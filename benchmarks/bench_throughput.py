@@ -1,0 +1,147 @@
+"""T1 — Engineering throughput benchmarks (update / query / merge / serde).
+
+These are conventional pytest-benchmark microbenchmarks: they do not
+correspond to a paper claim, but document the constant factors of this
+pure-Python implementation for downstream users.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    DDSketch,
+    GKSketch,
+    HierarchicalSamplingSketch,
+    KLLSketch,
+    MRLSketch,
+    ReservoirSampler,
+    TDigest,
+)
+from repro.core import ReqSketch, deserialize, serialize
+from repro.fast import FastReqSketch
+
+UPDATE_BATCH = 20_000
+rng = random.Random(99)
+DATA = [rng.random() for _ in range(UPDATE_BATCH)]
+
+
+SKETCH_FACTORIES = {
+    "req-auto": lambda: ReqSketch(32, seed=1),
+    "req-hra": lambda: ReqSketch(32, hra=True, seed=1),
+    "req-theory": lambda: ReqSketch(eps=0.1, delta=0.1, seed=1),
+    "kll": lambda: KLLSketch(k=200, seed=1),
+    "gk": lambda: GKSketch(eps=0.01),
+    "mrl": lambda: MRLSketch(buffer_size=128),
+    "tdigest": lambda: TDigest(compression=100),
+    "ddsketch": lambda: DDSketch(alpha=0.01),
+    "reservoir": lambda: ReservoirSampler(4096, seed=1),
+    "hier-sampling": lambda: HierarchicalSamplingSketch(eps=0.1, seed=1),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+def test_update_throughput(benchmark, name):
+    """Stream UPDATE_BATCH items into a fresh sketch."""
+    factory = SKETCH_FACTORIES[name]
+
+    def run():
+        sketch = factory()
+        sketch.update_many(DATA)
+        return sketch
+
+    sketch = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sketch.n == UPDATE_BATCH
+
+
+@pytest.mark.parametrize("name", ["req-auto", "kll", "tdigest", "gk"])
+def test_rank_query_throughput(benchmark, name):
+    """1000 rank queries against a built sketch."""
+    sketch = SKETCH_FACTORIES[name]()
+    sketch.update_many(DATA)
+    queries = [i / 1000 for i in range(1000)]
+
+    def run():
+        return [sketch.rank(q) for q in queries]
+
+    ranks = benchmark(run)
+    assert len(ranks) == 1000
+
+
+@pytest.mark.parametrize("name", ["req-auto", "kll", "tdigest"])
+def test_quantile_query_throughput(benchmark, name):
+    """1000 quantile queries against a built sketch."""
+    sketch = SKETCH_FACTORIES[name]()
+    sketch.update_many(DATA)
+    fractions = [i / 1000 for i in range(1, 1000)]
+
+    def run():
+        return sketch.quantiles(fractions)
+
+    values = benchmark(run)
+    assert len(values) == 999
+
+
+@pytest.mark.parametrize("name", ["req-auto", "req-theory", "kll"])
+def test_merge_throughput(benchmark, name):
+    """Merge two half-stream sketches (fresh copies each round)."""
+    factory = SKETCH_FACTORIES[name]
+    left = factory()
+    left.update_many(DATA[: UPDATE_BATCH // 2])
+    right = factory()
+    right.update_many(DATA[UPDATE_BATCH // 2 :])
+
+    if name.startswith("req"):
+        def run():
+            return ReqSketch.merged(left, right)
+    else:
+        import copy
+
+        def run():
+            return copy.deepcopy(left).merge(right)
+
+    merged = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert merged.n == UPDATE_BATCH
+
+
+def test_fast_engine_batch_update(benchmark):
+    """The numpy engine ingesting the batch as one array (the fast path)."""
+    import numpy as np
+
+    array = np.asarray(DATA)
+
+    def run():
+        sketch = FastReqSketch(32, seed=1)
+        sketch.update_many(array)
+        return sketch
+
+    sketch = benchmark(run)
+    assert sketch.n == UPDATE_BATCH
+
+
+def test_fast_engine_vector_ranks(benchmark):
+    """1000 rank queries answered in one vectorized call."""
+    import numpy as np
+
+    sketch = FastReqSketch(32, seed=2)
+    sketch.update_many(np.asarray(DATA))
+    queries = np.linspace(0.0, 1.0, 1000)
+    ranks = benchmark(lambda: sketch.ranks(queries))
+    assert len(ranks) == 1000
+
+
+def test_serialize_throughput(benchmark):
+    sketch = ReqSketch(32, seed=2)
+    sketch.update_many(DATA)
+    blob = benchmark(lambda: serialize(sketch))
+    assert len(blob) > 0
+
+
+def test_deserialize_throughput(benchmark):
+    sketch = ReqSketch(32, seed=3)
+    sketch.update_many(DATA)
+    blob = serialize(sketch)
+    clone = benchmark(lambda: deserialize(blob))
+    assert clone.n == sketch.n

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each experiment benchmark runs its experiment once (timed by
+pytest-benchmark) and prints the result tables with capture disabled, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records both
+the timings and the tables the experiments produce (the "rows the paper
+reports" — see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show_tables(capsys):
+    """Print experiment tables directly to the terminal (bypass capture)."""
+
+    def show(tables):
+        with capsys.disabled():
+            print()
+            for table in tables:
+                print(table.render())
+
+    return show
+
+
+def run_experiment_once(benchmark, module, scale="smoke"):
+    """Time one full experiment run; return its tables."""
+    return benchmark.pedantic(lambda: module.run(scale=scale), rounds=1, iterations=1)

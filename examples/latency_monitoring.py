@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Latency-tail monitoring: the paper's motivating scenario (Section 1).
+
+Run::
+
+    python examples/latency_monitoring.py [--n 300000]
+
+Network monitoring tracks p50/p90/p99/p99.9 of heavily long-tailed
+response times.  An additive-error sketch spends its accuracy uniformly
+over ranks — useless at p99.9, where the answers live in the top 0.1%.
+The REQ sketch in HRA mode makes its error *proportional to the number of
+items above the query*, exactly the requirement.
+
+This example streams a synthetic latency mix calibrated to the figures
+the paper quotes (p98.5 ~ 2 s, p99.5 ~ 20 s), then compares REQ-HRA
+against KLL at the tail percentiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+
+from repro import ReqSketch
+from repro.baselines import KLLSketch
+from repro.streams import latency_stream
+
+PERCENTILES = (0.5, 0.9, 0.99, 0.999, 0.9999)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=300_000, help="number of requests")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    stream = latency_stream(args.n, seed=args.seed)
+    exact = sorted(stream)
+    n = len(exact)
+
+    # HRA mode: the error at a query is proportional to the number of
+    # requests SLOWER than it -- tail percentiles get near-exact answers.
+    req = ReqSketch(k=32, hra=True, seed=args.seed)
+    req.update_many(stream)
+    kll = KLLSketch(k=200, seed=args.seed)
+    kll.update_many(stream)
+
+    print(f"requests: {n:,}   REQ retained: {req.num_retained:,}   "
+          f"KLL retained: {kll.num_retained:,}\n")
+    print(f"{'pct':>8} {'true (s)':>10} {'REQ (s)':>10} {'KLL (s)':>10} "
+          f"{'REQ tail-err':>13} {'KLL tail-err':>13}")
+    for q in PERCENTILES:
+        true_value = exact[min(n - 1, int(q * n))]
+        true_rank = bisect.bisect_right(exact, true_value)
+        tail = n - true_rank + 1  # items at or above the percentile
+        req_err = abs(req.rank(true_value) - true_rank) / tail
+        kll_err = abs(kll.rank(true_value) - true_rank) / tail
+        print(
+            f"{'p' + format(q * 100, 'g'):>8} {true_value:>10.3f} "
+            f"{req.quantile(q):>10.3f} {kll.quantile(q):>10.3f} "
+            f"{req_err:>13.4f} {kll_err:>13.4f}"
+        )
+
+    print(
+        "\nReading the last two columns: the error is measured relative to the\n"
+        "number of requests slower than the percentile. REQ keeps it small all\n"
+        "the way out; KLL's additive guarantee lets it blow up at p99.9+."
+    )
+
+    # Operational check: how many requests exceeded the 1-second SLO?
+    slo = 1.0
+    over = req.n - req.rank(slo)
+    true_over = n - bisect.bisect_right(exact, slo)
+    print(f"\nrequests over the {slo:.0f}s SLO: estimated {over:,}, true {true_over:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: build a REQ sketch, query ranks and quantiles.
+
+Run::
+
+    python examples/quickstart.py [--n 200000]
+
+Demonstrates the one-minute API: create a sketch, stream data in, read
+quantiles and ranks out, and check the answers against ground truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import random
+
+from repro import ReqSketch
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=200_000, help="stream length")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    # A lognormal stream: right-skewed, like most real measurements.
+    rng = random.Random(args.seed)
+    stream = [rng.lognormvariate(0.0, 1.0) for _ in range(args.n)]
+
+    # Default scheme: just pick an even k.  Larger k = more accurate.
+    sketch = ReqSketch(k=32, seed=args.seed)
+    sketch.update_many(stream)
+
+    print(f"stream length       : {sketch.n:,}")
+    print(f"items retained      : {sketch.num_retained:,} "
+          f"({100 * sketch.num_retained / sketch.n:.2f}% of the stream)")
+    print(f"compactor levels    : {sketch.num_levels}")
+    print(f"a-priori error bound: {sketch.error_bound():.4f} (multiplicative)")
+    print()
+
+    # Quantiles: fraction -> value.
+    exact = sorted(stream)
+    print(f"{'fraction':>9} {'estimate':>12} {'exact':>12}")
+    for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+        estimate = sketch.quantile(q)
+        truth = exact[int(q * len(exact))]
+        print(f"{q:>9} {estimate:>12.5f} {truth:>12.5f}")
+    print()
+
+    # Ranks: value -> how many stream items were <= value.
+    # The guarantee: relative error at most eps with high probability,
+    # which means LOW ranks are estimated very precisely.
+    print(f"{'value':>9} {'est rank':>10} {'true rank':>10} {'rel err':>9}")
+    for fraction in (0.0001, 0.001, 0.01, 0.5):
+        y = exact[int(fraction * len(exact))]
+        true_rank = bisect.bisect_right(exact, y)
+        est = sketch.rank(y)
+        rel = abs(est - true_rank) / true_rank
+        print(f"{y:>9.4f} {est:>10,} {true_rank:>10,} {rel:>9.5f}")
+
+    # Rank confidence interval from the (1 +/- eps) guarantee.
+    y = exact[len(exact) // 100]
+    lower, upper = sketch.rank_bounds(y)
+    print(f"\n95%-ish rank interval for the 1st percentile value: [{lower:,}, {upper:,}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Streams of unknown length: the Section 5 machinery, live.
+
+Run::
+
+    python examples/unknown_stream_length.py [--n 500000]
+
+The core analysis (Theorem 14) assumes an upper bound on the stream
+length.  Section 5 removes it: start with a small estimate N_0 and square
+it whenever the stream outgrows it.  The paper gives two flavors:
+
+* **close-out** (the analyzed variant): freeze the current summary and
+  open a fresh one for N^2; queries sum over summaries.
+* **in-place** (footnote 9, what production code does): recompute each
+  compactor's parameters for N^2 and keep going.
+
+This example runs both side by side on one stream, printing the estimate
+ladder as it climbs and the accuracy/space at each checkpoint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import bisect
+import random
+
+from repro import CloseOutReqSketch, ReqSketch
+
+FRACTIONS = (0.001, 0.01, 0.1, 0.5)
+
+
+def max_rel_error(sketch, exact) -> float:
+    worst = 0.0
+    for fraction in FRACTIONS:
+        y = exact[int(fraction * len(exact))]
+        true = bisect.bisect_right(exact, y)
+        worst = max(worst, abs(sketch.rank(y) - true) / max(true, 1))
+    return worst
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=500_000)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    data = [rng.random() for _ in range(args.n)]
+
+    closeout = CloseOutReqSketch(eps=0.1, delta=0.1, seed=1)
+    inplace = ReqSketch(eps=0.1, delta=0.1, seed=2)
+
+    checkpoints = sorted(
+        {args.n // 64, args.n // 16, args.n // 4, args.n}
+    )
+    print(f"{'n seen':>10} {'variant':<12} {'estimate N':>14} {'summaries':>9} "
+          f"{'retained':>9} {'max rel err':>12}")
+    cursor = 0
+    for checkpoint in checkpoints:
+        chunk = data[cursor:checkpoint]
+        cursor = checkpoint
+        closeout.update_many(chunk)
+        inplace.update_many(chunk)
+        exact = sorted(data[:checkpoint])
+        print(
+            f"{checkpoint:>10,} {'close-out':<12} {closeout.current_estimate:>14,} "
+            f"{closeout.num_summaries:>9} {closeout.num_retained:>9,} "
+            f"{max_rel_error(closeout, exact):>12.5f}"
+        )
+        print(
+            f"{checkpoint:>10,} {'in-place':<12} {inplace.estimate:>14,} "
+            f"{'1':>9} {inplace.num_retained:>9,} "
+            f"{max_rel_error(inplace, exact):>12.5f}"
+        )
+
+    print(
+        "\nThe estimate ladder squares (N -> N^2), so it is climbed only\n"
+        "log2 log2(eps n) times; the close-out variant's total space is\n"
+        "dominated by its final summary, exactly as Section 5 argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has setuptools but not ``wheel``,
+so PEP 517/660 editable installs cannot build.  This shim lets
+``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

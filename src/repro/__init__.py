@@ -1,0 +1,62 @@
+"""repro — a reproduction of "Relative Error Streaming Quantiles" (PODS 2021).
+
+The package implements the REQ sketch of Cormode, Karnin, Liberty, Thaler
+and Vesely (arXiv:2004.01668) together with every substrate the paper's
+claims rest on: the additive-error and multiplicative-error comparators of
+its Section 1.1, synthetic stream workloads, an evaluation harness, the
+theory-side constructions of its appendices, and an experiment suite that
+empirically validates each theorem.
+
+Quick start::
+
+    from repro import ReqSketch
+
+    sketch = ReqSketch(eps=0.05, hra=True)   # sharp at high ranks (p99, ...)
+    for latency in latencies:
+        sketch.update(latency)
+    p999 = sketch.quantile(0.999)
+
+See README.md for the architecture overview and DESIGN.md for the paper-to-
+module map.
+"""
+
+from repro.core import (
+    CloseOutReqSketch,
+    DeterministicReqSketch,
+    RelativeCompactor,
+    ReqSketch,
+    check_invariants,
+    deserialize,
+    serialize,
+)
+from repro.fast import FastReqSketch
+from repro.monitor import TumblingWindowMonitor
+from repro.errors import (
+    EmptySketchError,
+    IncompatibleSketchesError,
+    InvalidParameterError,
+    ReproError,
+    SerializationError,
+    StreamLengthExceededError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloseOutReqSketch",
+    "DeterministicReqSketch",
+    "EmptySketchError",
+    "FastReqSketch",
+    "IncompatibleSketchesError",
+    "InvalidParameterError",
+    "RelativeCompactor",
+    "ReproError",
+    "ReqSketch",
+    "SerializationError",
+    "StreamLengthExceededError",
+    "TumblingWindowMonitor",
+    "__version__",
+    "check_invariants",
+    "deserialize",
+    "serialize",
+]

@@ -1,0 +1,98 @@
+"""Common interface for every quantile summary in the library.
+
+The evaluation harness drives REQ and all comparators through this one
+surface, so each experiment is a pure cross-product of (sketch factory x
+stream x parameters).  The interface mirrors the query surface of
+:class:`repro.core.req.ReqSketch`; concrete sketches only implement
+``update``, ``rank``, ``quantile`` and the two size properties.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, List, Sequence
+
+from repro.errors import EmptySketchError, InvalidParameterError
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch(abc.ABC):
+    """Abstract base class for streaming quantile summaries.
+
+    Subclasses must maintain :attr:`n` (stream length seen) and implement
+    the abstract methods.  ``merge`` is optional; sketches that do not
+    support it inherit the default that raises ``NotImplementedError``.
+    """
+
+    #: Human-readable algorithm name used in experiment tables.
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of stream items summarized."""
+
+    @property
+    @abc.abstractmethod
+    def num_retained(self) -> int:
+        """Number of stored items/entries — the space measure of the paper."""
+
+    @abc.abstractmethod
+    def update(self, item: Any) -> None:
+        """Insert one stream item."""
+
+    @abc.abstractmethod
+    def rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Estimated rank of ``item`` in the stream."""
+
+    @abc.abstractmethod
+    def quantile(self, q: float) -> Any:
+        """Estimated item at normalized rank ``q``."""
+
+    # ------------------------------------------------------------------
+    # Derived conveniences
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n == 0
+
+    def update_many(self, items: Iterable[Any]) -> None:
+        """Insert an iterable of items in order."""
+        for item in items:
+            self.update(item)
+
+    def normalized_rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Rank scaled into ``[0, 1]``."""
+        if self.n == 0:
+            raise EmptySketchError("normalized_rank on an empty sketch")
+        return self.rank(item, inclusive=inclusive) / self.n
+
+    def quantiles(self, fractions: Sequence[float]) -> List[Any]:
+        """Vector version of :meth:`quantile`."""
+        return [self.quantile(q) for q in fractions]
+
+    def cdf(self, split_points: Sequence[Any], *, inclusive: bool = True) -> List[float]:
+        """Estimated CDF at strictly increasing split points, plus a final 1.0."""
+        if self.n == 0:
+            raise EmptySketchError("cdf on an empty sketch")
+        for left, right in zip(split_points, split_points[1:]):
+            if not left < right:
+                raise InvalidParameterError("split_points must be strictly increasing")
+        masses = [self.rank(p, inclusive=inclusive) / self.n for p in split_points]
+        masses.append(1.0)
+        return masses
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Merge another sketch of the same type into this one (optional)."""
+        raise NotImplementedError(f"{type(self).__name__} does not support merging")
+
+    def _require_nonempty(self) -> None:
+        if self.n == 0:
+            raise EmptySketchError(f"query on an empty {type(self).__name__}")
+
+    @staticmethod
+    def _check_fraction(q: float) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile fraction must be in [0, 1], got {q}")

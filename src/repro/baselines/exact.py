@@ -1,0 +1,86 @@
+"""Exact quantiles by storing everything — the ground-truth oracle.
+
+Linear space, but this is what every error measurement in the evaluation
+harness compares against, and it doubles as a baseline showing what "no
+summarization" costs in the space experiments.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, List, Sequence
+
+from repro.baselines.base import QuantileSketch
+
+__all__ = ["ExactQuantiles"]
+
+
+class ExactQuantiles(QuantileSketch):
+    """Stores the full stream; all queries are exact.
+
+    Sorting is deferred and cached, so interleaved update/query workloads
+    pay one sort per query burst rather than per update.
+    """
+
+    name = "exact"
+
+    def __init__(self) -> None:
+        self._items: List[Any] = []
+        self._sorted = True
+
+    @property
+    def n(self) -> int:
+        return len(self._items)
+
+    @property
+    def num_retained(self) -> int:
+        return len(self._items)
+
+    def update(self, item: Any) -> None:
+        self._items.append(item)
+        self._sorted = False
+
+    def update_many(self, items) -> None:
+        self._items.extend(items)
+        self._sorted = False
+
+    def _sort(self) -> None:
+        if not self._sorted:
+            self._items.sort()
+            self._sorted = True
+
+    def sorted_items(self) -> List[Any]:
+        """The full stream in ascending order (cached)."""
+        self._sort()
+        return self._items
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> int:
+        """Exact rank: ``|{x <= item}|`` (or ``< item`` when exclusive)."""
+        self._require_nonempty()
+        self._sort()
+        if inclusive:
+            return bisect.bisect_right(self._items, item)
+        return bisect.bisect_left(self._items, item)
+
+    def quantile(self, q: float) -> Any:
+        """Exact order statistic at normalized rank ``q``."""
+        self._require_nonempty()
+        self._check_fraction(q)
+        self._sort()
+        index = min(len(self._items) - 1, max(0, math.ceil(q * len(self._items)) - 1))
+        return self._items[index]
+
+    def merge(self, other: QuantileSketch) -> "ExactQuantiles":
+        if not isinstance(other, ExactQuantiles):
+            raise NotImplementedError("can only merge ExactQuantiles with ExactQuantiles")
+        self._items.extend(other._items)
+        self._sorted = False
+        return self
+
+    def ranks_of(self, queries: Sequence[Any], *, inclusive: bool = True) -> List[int]:
+        """Exact ranks for a batch of query points."""
+        self._sort()
+        if inclusive:
+            return [bisect.bisect_right(self._items, q) for q in queries]
+        return [bisect.bisect_left(self._items, q) for q in queries]

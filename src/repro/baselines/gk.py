@@ -1,0 +1,164 @@
+"""The Greenwald-Khanna sketch (SIGMOD 2001) — deterministic additive error.
+
+GK is the best known deterministic additive-error streaming summary,
+storing ``O(eps^-1 log(eps n))`` tuples, and the paper cites the matching
+comparison-based lower bound of Cormode-Vesely [6].  It appears in the
+space experiments (E2/E3) as the deterministic additive reference point.
+
+The summary is the classic list of tuples ``(v, g, delta)`` where ``v`` is a
+stored item, ``g`` is the gap in minimum rank to the previous stored item
+and ``delta`` bounds the rank uncertainty of ``v``.  The invariant
+``g + delta <= floor(2 eps n)`` is restored by a periodic compress pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.baselines.base import QuantileSketch
+from repro.errors import InvalidParameterError
+
+__all__ = ["GKSketch", "GKEntry"]
+
+
+@dataclass
+class GKEntry:
+    """One GK tuple: item ``v``, rank gap ``g``, uncertainty ``delta``."""
+
+    v: Any
+    g: int
+    delta: int
+
+
+class GKSketch(QuantileSketch):
+    """Deterministic additive-error quantile summary.
+
+    Args:
+        eps: Additive error as a fraction of the stream length: rank
+            estimates are within ``eps * n`` of truth, deterministically.
+    """
+
+    name = "gk"
+
+    def __init__(self, eps: float) -> None:
+        if not 0.0 < eps < 1.0:
+            raise InvalidParameterError(f"eps must be in (0, 1), got {eps}")
+        self.eps = eps
+        self._entries: List[GKEntry] = []
+        self._n = 0
+        # Compress every ~1/(2 eps) updates (Greenwald-Khanna's schedule).
+        self._compress_period = max(1, int(math.floor(1.0 / (2.0 * eps))))
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_retained(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[GKEntry]:
+        """The summary tuples, ascending by item (for tests/inspection)."""
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: Any) -> None:
+        if isinstance(item, float) and math.isnan(item):
+            raise InvalidParameterError("cannot insert NaN: items must form a total order")
+        self._n += 1
+        index = self._find_insert_position(item)
+        if index == 0 or index == len(self._entries):
+            # New minimum or maximum: exact rank, delta = 0.
+            self._entries.insert(index, GKEntry(item, 1, 0))
+        else:
+            threshold = self._threshold()
+            delta = max(0, threshold - 1)
+            self._entries.insert(index, GKEntry(item, 1, delta))
+        if self._n % self._compress_period == 0:
+            self._compress()
+
+    def _find_insert_position(self, item: Any) -> int:
+        low, high = 0, len(self._entries)
+        while low < high:
+            mid = (low + high) // 2
+            if self._entries[mid].v < item:
+                low = mid + 1
+            else:
+                high = mid
+        return low
+
+    def _threshold(self) -> int:
+        return int(math.floor(2.0 * self.eps * self._n))
+
+    def _compress(self) -> None:
+        """Merge adjacent tuples while the GK invariant allows it."""
+        if len(self._entries) < 3:
+            return
+        threshold = self._threshold()
+        merged: List[GKEntry] = [self._entries[-1]]
+        # Sweep right-to-left, folding each entry into its successor when
+        # the combined uncertainty stays under the threshold.  The first
+        # (minimum) entry is always kept exact.
+        for entry in reversed(self._entries[1:-1]):
+            successor = merged[-1]
+            if entry.g + successor.g + successor.delta < threshold:
+                successor.g += entry.g
+            else:
+                merged.append(entry)
+        merged.append(self._entries[0])
+        merged.reverse()
+        self._entries = merged
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Estimated rank, deterministically within ``eps * n`` of truth.
+
+        For a query falling between stored items ``v_i`` and ``v_{i+1}``
+        the true rank lies in ``[rmin_i, rmin_i + g_{i+1} + delta_{i+1} - 1]``
+        whose width the GK invariant caps at ``2 eps n``; the midpoint is
+        therefore within ``eps n``.
+        """
+        self._require_nonempty()
+        min_rank = 0
+        for entry in self._entries:
+            if inclusive:
+                beyond = item < entry.v
+            else:
+                beyond = not entry.v < item  # entry.v >= item
+            if beyond:
+                if min_rank == 0:
+                    return 0.0
+                return min_rank + (entry.g + entry.delta - 1) / 2.0
+            min_rank += entry.g
+        return float(self._n)
+
+    def quantile(self, q: float) -> Any:
+        """Item whose rank is within ``~eps * n`` of ``q * n``.
+
+        Returns the stored item whose rank interval midpoint is closest to
+        the target rank; by the GK invariant that midpoint is within
+        ``eps n`` of the item's true rank, and consecutive midpoints are at
+        most ``2 eps n`` apart, so the answer's rank error is O(eps n).
+        """
+        self._require_nonempty()
+        self._check_fraction(q)
+        target = q * self._n
+        best_value = self._entries[0].v
+        best_distance = None
+        min_rank = 0
+        for entry in self._entries:
+            min_rank += entry.g
+            midpoint = min_rank + entry.delta / 2.0
+            distance = abs(midpoint - target)
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_value = entry.v
+        return best_value

@@ -1,0 +1,206 @@
+"""The KLL sketch (Karnin, Lang, Liberty, FOCS 2016) — additive error.
+
+KLL is the optimal *additive*-error quantile sketch and the direct ancestor
+of the paper's algorithm: the REQ sketch reuses KLL's stack-of-compactors
+architecture and changes only the compaction operation (Section 2.2: "our
+essential departure from prior work is in the definition of the compaction
+operation").  Implementing KLL faithfully therefore serves two purposes:
+
+* it is the headline comparator in the error-vs-rank experiment (E1), where
+  its additive ``eps * n`` guarantee translates into *relative* error that
+  explodes at the distribution tails; and
+* diffing this module against :mod:`repro.core.compactor` exhibits precisely
+  the paper's contribution.
+
+This implementation follows the authors' reference design: level ``h`` has
+capacity ``ceil(k * c**(depth)) >= 2`` with ``c = 2/3``, a full level is
+halved by keeping even- or odd-indexed items of the sorted buffer (one fair
+coin per compaction), and the sketch compresses lazily when the total size
+exceeds the sum of capacities.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from typing import Any, List, Optional, Tuple
+
+from repro.baselines.base import QuantileSketch
+from repro.errors import IncompatibleSketchesError, InvalidParameterError
+
+__all__ = ["KLLSketch"]
+
+
+class KLLSketch(QuantileSketch):
+    """Additive-error quantile sketch storing ``O((k + log n))``-ish items.
+
+    Args:
+        k: Accuracy parameter; additive error is ``O(n / k)`` with constant
+            probability (larger k = more accurate).
+        c: Capacity decay rate across levels, in ``(0.5, 1)``.
+        seed: RNG seed for the compaction coins.
+    """
+
+    name = "kll"
+
+    def __init__(self, k: int = 200, *, c: float = 2.0 / 3.0, seed: Optional[int] = None) -> None:
+        if k < 2:
+            raise InvalidParameterError(f"k must be >= 2, got {k}")
+        if not 0.5 < c < 1.0:
+            raise InvalidParameterError(f"c must be in (0.5, 1), got {c}")
+        self.k = k
+        self.c = c
+        self._rng = random.Random(seed)
+        self._compactors: List[List[Any]] = [[]]
+        self._n = 0
+        self._min: Any = None
+        self._max: Any = None
+        self._cached: Optional[Tuple[List[Any], List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._compactors)
+
+    def capacity(self, level: int) -> int:
+        """Capacity of a level: ``ceil(k * c^depth)``, at least 2."""
+        depth = len(self._compactors) - level - 1
+        return max(2, int(math.ceil(self.k * (self.c**depth))))
+
+    def _max_size(self) -> int:
+        return sum(self.capacity(h) for h in range(len(self._compactors)))
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_retained(self) -> int:
+        return sum(len(c) for c in self._compactors)
+
+    @property
+    def min_item(self) -> Any:
+        self._require_nonempty()
+        return self._min
+
+    @property
+    def max_item(self) -> Any:
+        self._require_nonempty()
+        return self._max
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: Any) -> None:
+        if isinstance(item, float) and math.isnan(item):
+            raise InvalidParameterError("cannot insert NaN: items must form a total order")
+        self._compactors[0].append(item)
+        self._n += 1
+        if self._min is None or item < self._min:
+            self._min = item
+        if self._max is None or self._max < item:
+            self._max = item
+        if self.num_retained >= self._max_size():
+            self._compress()
+        self._cached = None
+
+    def _compress(self) -> None:
+        """Halve the first over-full level (lazy compaction, one per call)."""
+        for level in range(len(self._compactors)):
+            if len(self._compactors[level]) >= self.capacity(level):
+                if level + 1 == len(self._compactors):
+                    self._compactors.append([])
+                promoted, leftover = self._compact_level(self._compactors[level])
+                self._compactors[level] = leftover
+                self._compactors[level + 1].extend(promoted)
+                break
+
+    def _compact_level(self, buffer: List[Any]) -> Tuple[List[Any], List[Any]]:
+        """Sort and keep even- or odd-indexed items (one fair coin).
+
+        The compaction input must be even so each promoted item represents
+        exactly two inputs (keeps the total weight equal to ``n``); on an
+        odd buffer one random-end item stays behind at this level.
+        """
+        buffer.sort()
+        leftover: List[Any] = []
+        if len(buffer) % 2:
+            if self._rng.random() < 0.5:
+                leftover = [buffer.pop()]
+            else:
+                leftover = [buffer.pop(0)]
+        offset = 1 if self._rng.random() < 0.5 else 0
+        return buffer[offset::2], leftover
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> "KLLSketch":
+        """Merge another KLL sketch (same ``k``) into this one."""
+        if not isinstance(other, KLLSketch):
+            raise IncompatibleSketchesError(f"cannot merge KLLSketch with {type(other).__name__}")
+        if other.k != self.k:
+            raise IncompatibleSketchesError(f"k differs: {self.k} != {other.k}")
+        while len(self._compactors) < len(other._compactors):
+            self._compactors.append([])
+        for level, buffer in enumerate(other._compactors):
+            self._compactors[level].extend(buffer)
+        self._n += other._n
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or self._max < other._max):
+            self._max = other._max
+        while self.num_retained >= self._max_size():
+            before = self.num_retained
+            self._compress()
+            if self.num_retained == before:
+                break
+        self._cached = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _weighted(self) -> Tuple[List[Any], List[int]]:
+        if self._cached is None:
+            pairs: List[Tuple[Any, int]] = []
+            for level, buffer in enumerate(self._compactors):
+                weight = 1 << level
+                pairs.extend((item, weight) for item in buffer)
+            pairs.sort(key=lambda p: p[0])
+            items = [item for item, _ in pairs]
+            cumulative = list(itertools.accumulate(w for _, w in pairs))
+            self._cached = (items, cumulative)
+        return self._cached
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> int:
+        """Estimated rank; additive error ``O(n / k)`` w.h.p."""
+        self._require_nonempty()
+        items, cumulative = self._weighted()
+        if inclusive:
+            index = bisect.bisect_right(items, item)
+        else:
+            index = bisect.bisect_left(items, item)
+        return cumulative[index - 1] if index else 0
+
+    def quantile(self, q: float) -> Any:
+        """Estimated item at normalized rank ``q`` (exact min/max at 0/1)."""
+        self._require_nonempty()
+        self._check_fraction(q)
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        items, cumulative = self._weighted()
+        total = cumulative[-1]
+        target = max(1, math.ceil(q * total))
+        index = min(bisect.bisect_left(cumulative, target), len(items) - 1)
+        return items[index]

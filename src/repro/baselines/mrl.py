@@ -1,0 +1,179 @@
+"""The Manku-Rajagopalan-Lindsay sketch (SIGMOD 1998) — deterministic merges.
+
+MRL refined the Munro-Paterson multilevel buffer-merge scheme into the
+classic deterministic ``O(eps^-1 log^2(eps n))`` additive-error summary; the
+paper cites it as the architectural ancestor of compactor-based sketches.
+This implementation uses the binary-counter formulation: one buffer per
+level, and when a level already holds a buffer the incoming (equal-weight)
+buffer is *collapsed* with it — merge the two sorted runs and keep every
+other item, doubling the weight — exactly a deterministic compaction.
+
+The collapse offset alternates per level instead of being random, keeping
+the sketch fully deterministic (MRL's analysis does not need randomness).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.baselines.base import QuantileSketch
+from repro.errors import IncompatibleSketchesError, InvalidParameterError
+
+__all__ = ["MRLSketch"]
+
+
+class MRLSketch(QuantileSketch):
+    """Deterministic additive-error quantile summary via buffer collapses.
+
+    Args:
+        buffer_size: Items per buffer ``m``; the additive error after ``L``
+            collapse levels is at most ``L * n / (2 m)``-ish, so pick
+            ``m ~ eps^-1 log(eps n)`` for error ``eps * n``.
+    """
+
+    name = "mrl"
+
+    def __init__(self, buffer_size: int = 128) -> None:
+        if buffer_size < 2:
+            raise InvalidParameterError(f"buffer_size must be >= 2, got {buffer_size}")
+        self.buffer_size = buffer_size
+        self._incoming: List[Any] = []
+        #: level -> full sorted buffer of weight ``2**level`` (binary counter).
+        self._levels: Dict[int, List[Any]] = {}
+        self._offsets: Dict[int, int] = {}
+        self._n = 0
+        self._min: Any = None
+        self._max: Any = None
+        self._cached: Optional[Tuple[List[Any], List[int]]] = None
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_retained(self) -> int:
+        return len(self._incoming) + sum(len(b) for b in self._levels.values())
+
+    @property
+    def num_levels(self) -> int:
+        return 1 + (max(self._levels) if self._levels else 0)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: Any) -> None:
+        if isinstance(item, float) and math.isnan(item):
+            raise InvalidParameterError("cannot insert NaN: items must form a total order")
+        self._incoming.append(item)
+        self._n += 1
+        if self._min is None or item < self._min:
+            self._min = item
+        if self._max is None or self._max < item:
+            self._max = item
+        if len(self._incoming) >= self.buffer_size:
+            carry = sorted(self._incoming)
+            self._incoming = []
+            self._carry_up(carry, 0)
+        self._cached = None
+
+    def _carry_up(self, carry: List[Any], level: int) -> None:
+        """Binary-counter propagation: collapse while the level is occupied."""
+        while level in self._levels:
+            resident = self._levels.pop(level)
+            carry = self._collapse(resident, carry, level)
+            level += 1
+        self._levels[level] = carry
+
+    def _collapse(self, left: List[Any], right: List[Any], level: int) -> List[Any]:
+        """Merge two sorted runs, keep every other item (weight doubles).
+
+        The starting offset alternates per level so neither the low nor the
+        high extreme is systematically favored over repeated collapses.
+        """
+        merged = self._merge_sorted(left, right)
+        offset = self._offsets.get(level, 0)
+        self._offsets[level] = 1 - offset
+        return merged[offset::2]
+
+    @staticmethod
+    def _merge_sorted(left: List[Any], right: List[Any]) -> List[Any]:
+        result: List[Any] = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            if right[j] < left[i]:
+                result.append(right[j])
+                j += 1
+            else:
+                result.append(left[i])
+                i += 1
+        result.extend(left[i:])
+        result.extend(right[j:])
+        return result
+
+    # ------------------------------------------------------------------
+    # Merging (sketch-level)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> "MRLSketch":
+        """Merge another MRL sketch with the same buffer size."""
+        if not isinstance(other, MRLSketch):
+            raise IncompatibleSketchesError(f"cannot merge MRLSketch with {type(other).__name__}")
+        if other.buffer_size != self.buffer_size:
+            raise IncompatibleSketchesError(
+                f"buffer sizes differ: {self.buffer_size} != {other.buffer_size}"
+            )
+        for level in sorted(other._levels):
+            self._carry_up(list(other._levels[level]), level)
+        for item in other._incoming:
+            self.update(item)
+        self._n += other._n - len(other._incoming)
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or self._max < other._max):
+            self._max = other._max
+        self._cached = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _weighted(self) -> Tuple[List[Any], List[int]]:
+        if self._cached is None:
+            pairs: List[Tuple[Any, int]] = [(item, 1) for item in self._incoming]
+            for level, buffer in self._levels.items():
+                weight = 1 << level
+                pairs.extend((item, weight) for item in buffer)
+            pairs.sort(key=lambda p: p[0])
+            items = [item for item, _ in pairs]
+            cumulative = list(itertools.accumulate(w for _, w in pairs))
+            self._cached = (items, cumulative)
+        return self._cached
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> int:
+        """Estimated rank, deterministic additive error."""
+        self._require_nonempty()
+        items, cumulative = self._weighted()
+        if inclusive:
+            index = bisect.bisect_right(items, item)
+        else:
+            index = bisect.bisect_left(items, item)
+        return cumulative[index - 1] if index else 0
+
+    def quantile(self, q: float) -> Any:
+        """Estimated item at normalized rank ``q`` (exact min/max at 0/1)."""
+        self._require_nonempty()
+        self._check_fraction(q)
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        items, cumulative = self._weighted()
+        total = cumulative[-1]
+        target = max(1, math.ceil(q * total))
+        index = min(bisect.bisect_left(cumulative, target), len(items) - 1)
+        return items[index]

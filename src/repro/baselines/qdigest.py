@@ -1,0 +1,193 @@
+"""q-digest (Shrivastava, Buragohain, Agrawal, Suri; SenSys 2004).
+
+The paper's §1.1 notes that the deterministic biased-quantiles sketch of
+Cormode et al. [5] "is inspired by the work of Shrivastava et al. [20] in
+the additive error setting" and — like [5] — requires *prior knowledge of
+a bounded integer universe*, which is exactly why the paper rules that
+family out for real-valued data. We implement q-digest itself as the
+representative of the bounded-universe family: it makes the restriction
+tangible in the test suite (construction demands a universe bound; floats
+are rejected) and provides the mergeable additive-error reference point
+that [5] builds on.
+
+Structure: a conceptual complete binary tree over ``[0, universe)``;
+each node may hold a count.  The digest property keeps every non-leaf
+node's count triangle (node + parent + sibling) above ``n / compression``
+unless the node is a leaf, bounding the number of stored nodes by
+``O(compression * log(universe))`` while rank queries suffer at most
+``log(universe) * n / compression`` additive error.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.baselines.base import QuantileSketch
+from repro.errors import IncompatibleSketchesError, InvalidParameterError
+
+__all__ = ["QDigest"]
+
+
+class QDigest(QuantileSketch):
+    """Mergeable additive-error quantiles over a bounded integer universe.
+
+    Args:
+        universe: Items must be integers in ``[0, universe)``; rounded up
+            internally to a power of two (the tree's leaf count).
+        compression: The ``k`` parameter; larger = more accurate. Rank
+            error is at most ``log2(universe) * n / compression``.
+    """
+
+    name = "qdigest"
+
+    def __init__(self, universe: int, compression: int = 64) -> None:
+        if universe < 2:
+            raise InvalidParameterError(f"universe must be >= 2, got {universe}")
+        if compression < 1:
+            raise InvalidParameterError(f"compression must be >= 1, got {compression}")
+        self.universe = 1 << max(1, (universe - 1).bit_length())
+        self.compression = compression
+        #: Node id -> count.  Ids follow the heap convention: root = 1,
+        #: children of v are 2v and 2v+1; leaf for value x has id
+        #: universe + x.
+        self._nodes: Dict[int, int] = {}
+        self._n = 0
+
+    # ------------------------------------------------------------------
+    # Tree helpers
+    # ------------------------------------------------------------------
+
+    def _leaf(self, value: int) -> int:
+        return self.universe + value
+
+    def _node_range(self, node: int) -> Tuple[int, int]:
+        """The value interval ``[low, high]`` a node covers."""
+        level_size = self.universe
+        low = node
+        while low < self.universe:
+            low <<= 1
+        high = node
+        while high < self.universe:
+            high = (high << 1) | 1
+        return low - level_size, high - level_size
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_retained(self) -> int:
+        """Stored tree nodes (each one counter + one id)."""
+        return len(self._nodes)
+
+    def nodes(self) -> Iterator[Tuple[int, int]]:
+        """``(node_id, count)`` pairs (for tests/inspection)."""
+        return iter(self._nodes.items())
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: Any) -> None:
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise InvalidParameterError(
+                f"q-digest requires integer items from a bounded universe, got {item!r} "
+                "(this is the restriction the REQ paper's §1.1 points out)"
+            )
+        if not 0 <= item < self.universe:
+            raise InvalidParameterError(
+                f"item {item} outside the declared universe [0, {self.universe})"
+            )
+        leaf = self._leaf(item)
+        self._nodes[leaf] = self._nodes.get(leaf, 0) + 1
+        self._n += 1
+        if len(self._nodes) > 3 * self.compression * max(1, int(math.log2(self.universe))):
+            self._compress()
+
+    def _threshold(self) -> int:
+        return max(1, self._n // self.compression)
+
+    def _compress(self) -> None:
+        """Restore the digest property bottom-up (merge light triangles)."""
+        threshold = self._threshold()
+        # Process deepest levels first: sort ids descending by bit length.
+        for node in sorted(self._nodes, key=int.bit_length, reverse=True):
+            if node <= 1:
+                continue
+            count = self._nodes.get(node, 0)
+            if count == 0:
+                self._nodes.pop(node, None)
+                continue
+            parent = node >> 1
+            sibling = node ^ 1
+            triangle = count + self._nodes.get(sibling, 0) + self._nodes.get(parent, 0)
+            if triangle < threshold:
+                merged = self._nodes.pop(node, 0) + self._nodes.pop(sibling, 0)
+                if merged:
+                    self._nodes[parent] = self._nodes.get(parent, 0) + merged
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> "QDigest":
+        """Merge another q-digest over the same universe (add counts)."""
+        if not isinstance(other, QDigest):
+            raise IncompatibleSketchesError(f"cannot merge QDigest with {type(other).__name__}")
+        if other.universe != self.universe:
+            raise IncompatibleSketchesError(
+                f"universes differ: {self.universe} != {other.universe}"
+            )
+        for node, count in other._nodes.items():
+            self._nodes[node] = self._nodes.get(node, 0) + count
+        self._n += other._n
+        self._compress()
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Estimated rank; additive error <= log2(U) * n / compression.
+
+        A node's count is attributed to its interval's low end for the
+        exclusive part and spread conservatively for nodes straddling the
+        query; we use the midpoint convention (count nodes entirely at or
+        below the query fully, straddling nodes half).
+        """
+        self._require_nonempty()
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise InvalidParameterError("q-digest queries must be integers")
+        total = 0.0
+        for node, count in self._nodes.items():
+            low, high = self._node_range(node)
+            if inclusive:
+                if high <= item:
+                    total += count
+                elif low <= item < high:
+                    total += count / 2.0
+            else:
+                if high < item:
+                    total += count
+                elif low < item <= high:
+                    total += count / 2.0
+        return total
+
+    def quantile(self, q: float) -> int:
+        """Value whose rank is within the additive bound of ``q * n``."""
+        self._require_nonempty()
+        self._check_fraction(q)
+        target = max(1, math.ceil(q * self._n))
+        # Accumulate counts in value order of the intervals' high ends —
+        # the classic post-order walk approximation.
+        ordered = sorted(
+            self._nodes.items(), key=lambda pair: (self._node_range(pair[0])[1], pair[0])
+        )
+        running = 0
+        for node, count in ordered:
+            running += count
+            if running >= target:
+                return self._node_range(node)[1]
+        return self._node_range(ordered[-1][0])[1]

@@ -1,0 +1,88 @@
+"""Uniform reservoir sampling — the paper's Section 1 negative example.
+
+A uniform sample of ``O(eps^-2 log(1/eps))`` items yields *additive* error
+``eps * n``, but the paper points out that **no** sub-linear uniform sample
+achieves multiplicative error: the relative error at rank ``R(y)`` scales
+like ``sqrt(n / (m * R(y)))``-ish, exploding for small ranks.  Experiment E1
+demonstrates exactly this failure mode, so the reservoir is implemented here
+as a first-class baseline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Any, List, Optional
+
+from repro.baselines.base import QuantileSketch
+from repro.errors import InvalidParameterError
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler(QuantileSketch):
+    """Classic Algorithm-R reservoir sample of fixed capacity.
+
+    Args:
+        capacity: Maximum number of retained items ``m``.
+        seed: RNG seed for reproducible runs.
+    """
+
+    name = "reservoir"
+
+    def __init__(self, capacity: int, *, seed: Optional[int] = None) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._sample: List[Any] = []
+        self._sorted = True
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_retained(self) -> int:
+        return len(self._sample)
+
+    def update(self, item: Any) -> None:
+        self._n += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(item)
+            self._sorted = False
+            return
+        slot = self._rng.randrange(self._n)
+        if slot < self.capacity:
+            self._sample[slot] = item
+            self._sorted = False
+
+    def _sort(self) -> None:
+        if not self._sorted:
+            self._sample.sort()
+            self._sorted = True
+
+    def sample(self) -> List[Any]:
+        """The current sample, ascending."""
+        self._sort()
+        return list(self._sample)
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Estimated rank: sample rank scaled by ``n / |sample|``."""
+        self._require_nonempty()
+        self._sort()
+        if inclusive:
+            below = bisect.bisect_right(self._sample, item)
+        else:
+            below = bisect.bisect_left(self._sample, item)
+        return below * self._n / len(self._sample)
+
+    def quantile(self, q: float) -> Any:
+        """Sample order statistic at fraction ``q``."""
+        self._require_nonempty()
+        self._check_fraction(q)
+        self._sort()
+        index = min(len(self._sample) - 1, max(0, math.ceil(q * len(self._sample)) - 1))
+        return self._sample[index]

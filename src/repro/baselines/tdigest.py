@@ -1,0 +1,217 @@
+"""t-digest (Dunning & Ertl) — the heuristic the paper contrasts against.
+
+The paper's Section 1.1: "Dunning and Ertl describe a heuristic algorithm
+called t-digest that is intended to achieve relative error, but they provide
+no formal accuracy analysis."  We implement the *merging* t-digest with the
+k1 scale function so experiment E8 can measure where the heuristic's
+accuracy degrades (adversarial orderings; merge sequences) while REQ's
+guarantee holds.
+
+Design follows the reference description: incoming points accumulate in a
+buffer; on overflow the buffer is sorted together with the existing
+centroids and greedily re-clustered so that each centroid's normalized rank
+span fits within one unit of the scale function
+``k1(q) = (delta / 2 pi) * asin(2q - 1)``, which allots tiny clusters to the
+extreme quantiles and large ones to the middle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Tuple
+
+from repro.baselines.base import QuantileSketch
+from repro.errors import IncompatibleSketchesError, InvalidParameterError
+
+__all__ = ["TDigest"]
+
+
+class TDigest(QuantileSketch):
+    """Merging t-digest over real-valued streams.
+
+    Args:
+        compression: The ``delta`` parameter; the digest keeps roughly
+            ``delta`` centroids.  100 is the reference default.
+        buffer_factor: Incoming points buffered per merge pass, as a
+            multiple of ``compression``.
+    """
+
+    name = "tdigest"
+
+    def __init__(self, compression: float = 100.0, *, buffer_factor: int = 5) -> None:
+        if compression < 10:
+            raise InvalidParameterError(f"compression must be >= 10, got {compression}")
+        if buffer_factor < 1:
+            raise InvalidParameterError(f"buffer_factor must be >= 1, got {buffer_factor}")
+        self.compression = float(compression)
+        self._buffer_limit = int(buffer_factor * compression)
+        #: Sorted list of (mean, weight) centroids.
+        self._centroids: List[Tuple[float, float]] = []
+        self._buffer: List[float] = []
+        self._n = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def num_retained(self) -> int:
+        """Centroids plus buffered points (each centroid is one stored pair)."""
+        return len(self._centroids) + len(self._buffer)
+
+    @property
+    def num_centroids(self) -> int:
+        self._flush()
+        return len(self._centroids)
+
+    def centroids(self) -> List[Tuple[float, float]]:
+        """The ``(mean, weight)`` clusters, ascending by mean."""
+        self._flush()
+        return list(self._centroids)
+
+    # ------------------------------------------------------------------
+    # Scale function (k1)
+    # ------------------------------------------------------------------
+
+    def _k_scale(self, q: float) -> float:
+        q = min(1.0, max(0.0, q))
+        return (self.compression / (2.0 * math.pi)) * math.asin(2.0 * q - 1.0)
+
+    def _k_inverse(self, k: float) -> float:
+        return (math.sin(2.0 * math.pi * k / self.compression) + 1.0) / 2.0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: Any) -> None:
+        value = float(item)
+        if math.isnan(value):
+            raise InvalidParameterError("cannot insert NaN into a t-digest")
+        self._buffer.append(value)
+        self._n += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self._buffer) >= self._buffer_limit:
+            self._flush()
+
+    def _flush(self, *, force: bool = False) -> None:
+        """Re-cluster buffered points with the existing centroids."""
+        if not self._buffer and not (force and self._centroids):
+            return
+        incoming = [(value, 1.0) for value in self._buffer]
+        self._buffer = []
+        allc = sorted(self._centroids + incoming, key=lambda c: c[0])
+        if not allc:
+            return
+        total = sum(w for _, w in allc)
+        merged: List[Tuple[float, float]] = []
+        mean, weight = allc[0]
+        covered = 0.0
+        limit = total * self._k_inverse(self._k_scale(0.0) + 1.0)
+        for next_mean, next_weight in allc[1:]:
+            if covered + weight + next_weight <= limit:
+                # Fold into the open centroid (weighted mean update).
+                combined = weight + next_weight
+                mean += (next_mean - mean) * next_weight / combined
+                weight = combined
+            else:
+                merged.append((mean, weight))
+                covered += weight
+                limit = total * self._k_inverse(self._k_scale(covered / total) + 1.0)
+                mean, weight = next_mean, next_weight
+        merged.append((mean, weight))
+        self._centroids = merged
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: QuantileSketch) -> "TDigest":
+        """Merge another digest: centroids are re-clustered jointly."""
+        if not isinstance(other, TDigest):
+            raise IncompatibleSketchesError(f"cannot merge TDigest with {type(other).__name__}")
+        other._flush()
+        self._flush()
+        self._centroids = sorted(self._centroids + other._centroids, key=lambda c: c[0])
+        self._n += other._n
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+        self._flush(force=True)
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Estimated rank via piecewise-linear interpolation between centroids."""
+        self._require_nonempty()
+        self._flush()
+        value = float(item)
+        assert self._min is not None and self._max is not None
+        if value < self._min:
+            return 0.0
+        if value >= self._max:
+            return float(self._n)
+        # Cumulative weight at each centroid's mean = weight before it plus
+        # half its own weight (the centroid straddles its mean).
+        means = [m for m, _ in self._centroids]
+        cumulative: List[float] = []
+        running = 0.0
+        for _, weight in self._centroids:
+            cumulative.append(running + weight / 2.0)
+            running += weight
+        if value <= means[0]:
+            span = means[0] - self._min
+            frac = 0.0 if span <= 0 else (value - self._min) / span
+            return frac * cumulative[0]
+        if value >= means[-1]:
+            span = self._max - means[-1]
+            frac = 0.0 if span <= 0 else (value - means[-1]) / span
+            return cumulative[-1] + frac * (self._n - cumulative[-1])
+        import bisect as _bisect
+
+        hi = _bisect.bisect_right(means, value)
+        lo = hi - 1
+        span = means[hi] - means[lo]
+        frac = 0.0 if span <= 0 else (value - means[lo]) / span
+        return cumulative[lo] + frac * (cumulative[hi] - cumulative[lo])
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at normalized rank ``q`` (inverse interpolation)."""
+        self._require_nonempty()
+        self._check_fraction(q)
+        self._flush()
+        assert self._min is not None and self._max is not None
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        target = q * self._n
+        means = [m for m, _ in self._centroids]
+        cumulative: List[float] = []
+        running = 0.0
+        for _, weight in self._centroids:
+            cumulative.append(running + weight / 2.0)
+            running += weight
+        if target <= cumulative[0]:
+            frac = target / cumulative[0] if cumulative[0] > 0 else 0.0
+            return self._min + frac * (means[0] - self._min)
+        if target >= cumulative[-1]:
+            rest = self._n - cumulative[-1]
+            frac = 0.0 if rest <= 0 else (target - cumulative[-1]) / rest
+            return means[-1] + frac * (self._max - means[-1])
+        import bisect as _bisect
+
+        hi = _bisect.bisect_left(cumulative, target)
+        lo = hi - 1
+        span = cumulative[hi] - cumulative[lo]
+        frac = 0.0 if span <= 0 else (target - cumulative[lo]) / span
+        return means[lo] + frac * (means[hi] - means[lo])

@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-quantiles list                       # list experiments
+    repro-quantiles run E1 [--scale default]   # run one experiment
+    repro-quantiles report [--out FILE]        # run all, emit markdown
+    repro-quantiles sketch FILE [--q 0.5 ...]  # sketch a numbers file
+    repro-quantiles bounds --eps 0.01 --n 1e9  # print the space-bound table
+
+(Installed as ``repro-quantiles``; also runnable as ``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import ReqSketch
+from repro.errors import ReproError
+from repro.evaluation import Table
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.run_all import render_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-quantiles",
+        description="Relative Error Streaming Quantiles (PODS 2021) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and their paper claims")
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E1")
+    run_parser.add_argument("--scale", default="default", choices=("smoke", "default", "full"))
+
+    report_parser = sub.add_parser("report", help="run all experiments, emit markdown")
+    report_parser.add_argument("--scale", default="default", choices=("smoke", "default", "full"))
+    report_parser.add_argument("--out", default=None)
+
+    sketch_parser = sub.add_parser("sketch", help="sketch a whitespace-separated numbers file")
+    sketch_parser.add_argument("file", help="path, or '-' for stdin")
+    sketch_parser.add_argument("--k", type=int, default=32, help="section size (even)")
+    sketch_parser.add_argument("--hra", action="store_true", help="high-rank-accuracy mode")
+    sketch_parser.add_argument(
+        "--q",
+        type=float,
+        nargs="*",
+        default=[0.5, 0.9, 0.99, 0.999],
+        help="quantile fractions to report",
+    )
+    sketch_parser.add_argument("--seed", type=int, default=0)
+
+    bounds_parser = sub.add_parser("bounds", help="print the Section 1.1 space-bound table")
+    bounds_parser.add_argument("--eps", type=float, default=0.01)
+    bounds_parser.add_argument("--n", type=float, default=1e9)
+    bounds_parser.add_argument("--delta", type=float, default=0.05)
+    bounds_parser.add_argument("--universe", type=float, default=2**64)
+    return parser
+
+
+def _cmd_list() -> int:
+    table = Table("Experiments", ["id", "title", "paper claim"])
+    for module in EXPERIMENTS.values():
+        table.add_row(module.META.experiment_id, module.META.title, module.META.paper_claim)
+    table.print()
+    return 0
+
+
+def _cmd_run(experiment: str, scale: str) -> int:
+    for table in run_experiment(experiment, scale=scale):
+        table.print()
+    return 0
+
+
+def _cmd_report(scale: str, out: Optional[str]) -> int:
+    report = render_report(scale)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {out}")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+def _cmd_sketch(path: str, k: int, hra: bool, fractions: List[float], seed: int) -> int:
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    values = [float(token) for token in text.split()]
+    if not values:
+        print("no numbers found", file=sys.stderr)
+        return 1
+    sketch = ReqSketch(k, hra=hra, seed=seed)
+    sketch.update_many(values)
+    table = Table(
+        f"quantiles of {path} (n={sketch.n}, retained={sketch.num_retained}, "
+        f"{'HRA' if hra else 'LRA'}, k={k})",
+        ["fraction", "quantile", "rank_lower", "rank_upper"],
+    )
+    for q in fractions:
+        value = sketch.quantile(q)
+        lower, upper = sketch.rank_bounds(value)
+        table.add_row(q, value, lower, upper)
+    table.print()
+    return 0
+
+
+def _cmd_bounds(eps: float, n: float, delta: float, universe: float) -> int:
+    from repro.theory import (
+        cormode05_items,
+        gk_items,
+        kll_items,
+        lower_bound_deterministic_items,
+        lower_bound_randomized_items,
+        mrl_items,
+        req_theorem1_items,
+        req_theorem2_items,
+        zhang2006_items,
+        zhang_wang_items,
+    )
+
+    table = Table(
+        f"asymptotic items at eps={eps}, n={n:g}, delta={delta} (unit constants)",
+        ["algorithm", "guarantee", "items"],
+    )
+    table.add_row("REQ (Thm 1)", "relative, randomized", req_theorem1_items(eps, n, delta))
+    table.add_row("REQ (Thm 2)", "relative, randomized", req_theorem2_items(eps, n, delta))
+    table.add_row("Zhang et al. [22]", "relative, randomized", zhang2006_items(eps, n))
+    table.add_row("Zhang-Wang [21]", "relative, deterministic", zhang_wang_items(eps, n))
+    table.add_row("Cormode+ [5]", "relative, needs universe", cormode05_items(eps, n, universe))
+    table.add_row("GK [10]", "additive, deterministic", gk_items(eps, n))
+    table.add_row("MRL [13]", "additive, deterministic", mrl_items(eps, n))
+    table.add_row("KLL [12]", "additive, randomized", kll_items(eps, delta))
+    table.add_row("lower bound (rand.)", "relative", lower_bound_randomized_items(eps, n))
+    table.add_row(
+        "lower bound (det., comparison)", "relative", lower_bound_deterministic_items(eps, n)
+    )
+    table.print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args.experiment, args.scale)
+        if args.command == "report":
+            return _cmd_report(args.scale, args.out)
+        if args.command == "sketch":
+            return _cmd_sketch(args.file, args.k, args.hra, args.q, args.seed)
+        if args.command == "bounds":
+            return _cmd_bounds(args.eps, args.n, args.delta, args.universe)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

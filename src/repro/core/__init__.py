@@ -1,0 +1,77 @@
+"""Core REQ sketch: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.req.ReqSketch` — the relative-error quantiles sketch
+  (Algorithms 1-3), in ``fixed``, ``auto`` and fully mergeable ``theory``
+  parameterizations.
+* :class:`~repro.core.growth.CloseOutReqSketch` — the Section 5 unknown-``n``
+  close-out variant.
+* :class:`~repro.core.deterministic.DeterministicReqSketch` — the Appendix C
+  deterministic instantiation (Zhang-Wang-class space).
+* :mod:`~repro.core.params` / :mod:`~repro.core.bounds` — every parameter and
+  bound formula the paper states.
+* :func:`~repro.core.serialization.serialize` /
+  :func:`~repro.core.serialization.deserialize` — compact binary transport.
+"""
+
+from repro.core.bounds import (
+    a_priori_eps,
+    gaussian_rank_interval,
+    lemma12_std_dev,
+    rank_interval,
+)
+from repro.core.compactor import COIN_MODES, RelativeCompactor
+from repro.core.deterministic import DeterministicReqSketch
+from repro.core.estimator import WeightedCoreset
+from repro.core.growth import CloseOutReqSketch
+from repro.core.params import (
+    TheoryParams,
+    appendix_c_k,
+    buffer_size,
+    deterministic_k,
+    eps_for_streaming_k,
+    estimate_ladder,
+    initial_estimate,
+    k_hat,
+    mergeable_buffer_size,
+    mergeable_k,
+    next_estimate,
+    streaming_k,
+)
+from repro.core.req import SCHEMES, ReqSketch
+from repro.core.schedule import CompactionSchedule, trailing_ones
+from repro.core.serialization import deserialize, serialize
+from repro.core.validation import InvariantViolation, check_invariants
+
+__all__ = [
+    "COIN_MODES",
+    "SCHEMES",
+    "CloseOutReqSketch",
+    "CompactionSchedule",
+    "DeterministicReqSketch",
+    "InvariantViolation",
+    "RelativeCompactor",
+    "check_invariants",
+    "ReqSketch",
+    "TheoryParams",
+    "WeightedCoreset",
+    "a_priori_eps",
+    "appendix_c_k",
+    "buffer_size",
+    "deserialize",
+    "deterministic_k",
+    "eps_for_streaming_k",
+    "estimate_ladder",
+    "gaussian_rank_interval",
+    "initial_estimate",
+    "k_hat",
+    "lemma12_std_dev",
+    "mergeable_buffer_size",
+    "mergeable_k",
+    "next_estimate",
+    "rank_interval",
+    "serialize",
+    "streaming_k",
+    "trailing_ones",
+]

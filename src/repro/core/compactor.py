@@ -1,0 +1,242 @@
+"""The relative-compactor: Algorithm 1 of the paper.
+
+A relative-compactor ingests a stream of items and occasionally *compacts*:
+it removes a block of items from one end of its (sorted) buffer and promotes
+every other one of them — chosen by a single fair coin — to the next level,
+where each promoted item represents twice the weight.  The asymmetry that
+produces the *relative* (multiplicative) error guarantee is that one half of
+the buffer is never compacted:
+
+* In **LRA** mode (low-rank accuracy; the paper's presentation) the lowest
+  -ranked ``B/2`` items are protected, so items of small rank are estimated
+  almost exactly.
+* In **HRA** mode (high-rank accuracy; the reversed comparator mentioned in
+  Section 1) the highest-ranked ``B/2`` items are protected, which is the
+  mode used for latency-style tail monitoring (p99, p99.9, ...).
+
+How many of the unprotected sections join a compaction is decided by the
+deterministic schedule of :mod:`repro.core.schedule`; randomness enters only
+through the even/odd coin, exactly as the paper isolates in footnote 6.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, List, Optional
+
+from repro.core.schedule import CompactionSchedule
+from repro.errors import InvalidParameterError
+
+__all__ = ["RelativeCompactor", "COIN_MODES"]
+
+#: Supported strategies for the even/odd output coin.
+#: ``random`` is the paper's algorithm; ``even``/``odd`` always emit the
+#: items at even/odd offsets of the compacted slice; ``alternate`` flips
+#: deterministically each compaction.  The non-random modes realize the
+#: "any fixed setting of the randomness" deterministic algorithm of
+#: Appendix C.
+COIN_MODES = ("random", "even", "odd", "alternate")
+
+
+class RelativeCompactor:
+    """One level of the REQ sketch (Algorithm 1).
+
+    The compactor does not own a capacity: the enclosing sketch computes the
+    buffer bound ``B`` (which may grow over time in the ``auto`` and
+    ``theory`` schemes) and passes the number of items to protect into
+    :meth:`compact`.  This keeps all parameter policy in one place
+    (:mod:`repro.core.params` / :class:`repro.core.req.ReqSketch`) and the
+    mechanics of compaction in another.
+
+    Args:
+        k: Section size (an even integer >= 2).  A scheduled compaction
+            involves ``(z(C)+1) * k`` items of the unprotected half.
+        hra: High-rank-accuracy mode.  ``False`` protects the smallest items
+            (the paper's presentation); ``True`` protects the largest.
+        rng: Source of the output coin.  Pass a seeded ``random.Random`` for
+            reproducible runs.
+        coin_mode: One of :data:`COIN_MODES`.
+    """
+
+    __slots__ = ("k", "hra", "schedule", "_buffer", "_sorted", "_rng", "_coin_mode", "_flip", "inserted")
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        hra: bool = False,
+        rng: Optional[random.Random] = None,
+        coin_mode: str = "random",
+    ) -> None:
+        if k < 2 or k % 2 != 0:
+            raise InvalidParameterError(f"k must be an even integer >= 2, got {k}")
+        if coin_mode not in COIN_MODES:
+            raise InvalidParameterError(f"coin_mode must be one of {COIN_MODES}, got {coin_mode!r}")
+        self.k = k
+        self.hra = hra
+        self.schedule = CompactionSchedule()
+        self._buffer: List[Any] = []
+        self._sorted = True
+        self._rng = rng if rng is not None else random.Random()
+        self._coin_mode = coin_mode
+        self._flip = False
+        #: Total number of items ever inserted into this compactor; drives
+        #: the buffer-growth rule of the ``auto`` scheme.
+        self.inserted = 0
+
+    # ------------------------------------------------------------------
+    # Buffer access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def state(self) -> int:
+        """The compaction-schedule state ``C`` of this level."""
+        return self.schedule.state
+
+    def items(self) -> List[Any]:
+        """The retained items, sorted ascending (sorts lazily if needed)."""
+        self._sort()
+        return self._buffer
+
+    def append(self, item: Any) -> None:
+        """Insert one item into the buffer (Line 12 of Algorithm 1)."""
+        self._buffer.append(item)
+        self._sorted = False
+        self.inserted += 1
+
+    def extend(self, items: Iterable[Any]) -> None:
+        """Insert several items at once (promotions from the level below)."""
+        before = len(self._buffer)
+        self._buffer.extend(items)
+        self._sorted = False
+        self.inserted += len(self._buffer) - before
+
+    def _sort(self) -> None:
+        if not self._sorted:
+            self._buffer.sort()
+            self._sorted = True
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def scheduled_protect_count(self, capacity: int) -> int:
+        """Items to protect in the next *scheduled* compaction.
+
+        This is ``B - L`` with ``L = (z(C)+1) * k`` (Lines 5-6 of
+        Algorithm 1), never less than ``capacity // 2`` — the paper
+        guarantees ``L <= B/2`` analytically (Section 2.1); the clamp makes
+        the invariant structural.
+        """
+        length = (self.schedule.sections_to_compact()) * self.k
+        return max(capacity // 2, capacity - length)
+
+    def compact(self, protect: int) -> List[Any]:
+        """Compact every item beyond the ``protect`` protected ones.
+
+        In LRA mode the ``protect`` smallest items stay; everything above
+        them is compacted (the merge rule of Algorithm 3: items beyond the
+        nominal capacity are automatically included).  HRA mirrors this.
+        The surviving half of the compacted slice — even- or odd-indexed
+        items per one fair coin — is returned, sorted, for promotion to the
+        next level; the compaction-schedule state advances by one.
+
+        Args:
+            protect: Number of items shielded from this compaction.  Use
+                :meth:`scheduled_protect_count` for a scheduled compaction or
+                ``capacity // 2`` for the special compactions of Algorithm 3.
+
+        Returns:
+            The promoted items (possibly empty if nothing exceeded
+            ``protect``; in that case the schedule state does *not* advance,
+            matching the "does nothing" comment on Algorithm 3, line 32).
+        """
+        if protect < 0:
+            raise InvalidParameterError(f"protect must be >= 0, got {protect}")
+        # A compaction's input must have even size (Observation 4: the
+        # operation maps 2m items to m double-weight items).  An odd slice
+        # would promote ceil/floor of half and drift the sketch's total
+        # weight away from n; instead we shield one extra item.
+        if (len(self._buffer) - protect) % 2 != 0:
+            protect += 1
+        if len(self._buffer) <= protect:
+            return []
+        self._sort()
+        if self.hra:
+            # Protect the largest `protect` items; compact the low end.
+            cut = len(self._buffer) - protect
+            slice_ = self._buffer[:cut]
+            self._buffer = self._buffer[cut:]
+        else:
+            # Protect the smallest `protect` items; compact the high end.
+            slice_ = self._buffer[protect:]
+            del self._buffer[protect:]
+        offset = 1 if self._coin() else 0
+        promoted = slice_[offset::2]
+        self.schedule.advance()
+        return promoted
+
+    def _coin(self) -> bool:
+        """One fair coin per compaction (Observation 4's only randomness)."""
+        if self._coin_mode == "random":
+            return self._rng.random() < 0.5
+        if self._coin_mode == "even":
+            return False
+        if self._coin_mode == "odd":
+            return True
+        # alternate
+        self._flip = not self._flip
+        return self._flip
+
+    # ------------------------------------------------------------------
+    # Merge support
+    # ------------------------------------------------------------------
+
+    def absorb(self, other: "RelativeCompactor") -> None:
+        """Take over another compactor's items and schedule state.
+
+        Implements lines 16-18 of Algorithm 3 for one level: buffers are
+        concatenated and schedule states combined by bitwise OR.  The other
+        compactor is not modified.
+        """
+        if other.hra != self.hra:
+            raise InvalidParameterError("cannot absorb a compactor with a different accuracy mode")
+        self._buffer.extend(other._buffer)
+        self._sorted = False
+        self.inserted += other.inserted
+        self.schedule.merge(other.schedule)
+
+    def copy(self) -> "RelativeCompactor":
+        """Deep-enough copy: independent buffer and schedule, shared RNG."""
+        clone = RelativeCompactor(self.k, hra=self.hra, rng=self._rng, coin_mode=self._coin_mode)
+        clone._buffer = list(self._buffer)
+        clone._sorted = self._sorted
+        clone.schedule = self.schedule.copy()
+        clone._flip = self._flip
+        clone.inserted = self.inserted
+        return clone
+
+    def with_section_size(self, k: int) -> "RelativeCompactor":
+        """Return a copy using a new section size (theory-scheme growth).
+
+        When the estimate ladder advances (``N -> N^2``), Eq. (16) shrinks
+        the section size; the schedule state and buffer carry over unchanged,
+        as in Algorithm 3.
+        """
+        clone = RelativeCompactor(k, hra=self.hra, rng=self._rng, coin_mode=self._coin_mode)
+        clone._buffer = list(self._buffer)
+        clone._sorted = self._sorted
+        clone.schedule = self.schedule.copy()
+        clone._flip = self._flip
+        clone.inserted = self.inserted
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "HRA" if self.hra else "LRA"
+        return (
+            f"RelativeCompactor(k={self.k}, {mode}, items={len(self._buffer)}, "
+            f"state={self.schedule.state})"
+        )

@@ -1,0 +1,170 @@
+"""Rank and quantile estimation from a weighted coreset.
+
+The REQ sketch (and the Section 5 close-out variant, which aggregates several
+sketches) answers queries from the union of its compactor buffers, where an
+item retained at level ``h`` carries weight ``2**h`` (Algorithm 2,
+``Estimate-Rank``).  This module turns that weighted multiset into a small
+query structure with the usual sketch query surface: rank, normalized rank,
+quantile, CDF and PMF.
+
+The structure is immutable; sketches rebuild it lazily after updates.  Items
+only need to support ``<`` / ``<=`` comparison (the algorithm is
+comparison-based), so everything here works for floats, ints, strings,
+tuples, ...
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.errors import EmptySketchError, InvalidParameterError
+
+__all__ = ["WeightedCoreset"]
+
+
+class WeightedCoreset:
+    """A sorted weighted multiset supporting rank/quantile queries.
+
+    Args:
+        items: The retained items, in any order.
+        weights: Parallel sequence of positive integer weights.
+    """
+
+    __slots__ = ("_items", "_cumweights", "_total")
+
+    def __init__(self, items: Sequence[Any], weights: Sequence[int]) -> None:
+        if len(items) != len(weights):
+            raise InvalidParameterError(
+                f"items and weights must have equal length, got {len(items)} and {len(weights)}"
+            )
+        pairs = sorted(zip(items, weights), key=lambda pair: pair[0])
+        self._items: List[Any] = [item for item, _ in pairs]
+        self._cumweights: List[int] = list(itertools.accumulate(weight for _, weight in pairs))
+        self._total: int = self._cumweights[-1] if self._cumweights else 0
+
+    @classmethod
+    def from_levels(cls, levels: Iterable[Tuple[Sequence[Any], int]]) -> "WeightedCoreset":
+        """Build from ``(buffer, weight)`` pairs, one per compactor level."""
+        items: List[Any] = []
+        weights: List[int] = []
+        for buffer, weight in levels:
+            items.extend(buffer)
+            weights.extend([weight] * len(buffer))
+        return cls(items, weights)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of distinct retained entries (not total weight)."""
+        return len(self._items)
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all weights — the estimated stream length."""
+        return self._total
+
+    def items(self) -> List[Any]:
+        """The retained items in ascending order."""
+        return list(self._items)
+
+    def pairs(self) -> List[Tuple[Any, int]]:
+        """``(item, weight)`` pairs in ascending item order."""
+        result = []
+        previous = 0
+        for item, cumulative in zip(self._items, self._cumweights):
+            result.append((item, cumulative - previous))
+            previous = cumulative
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> int:
+        """Estimated rank of ``item``.
+
+        Args:
+            item: Query point; need not be a retained item.
+            inclusive: If ``True`` (the paper's convention) count stream
+                items ``<= item``; otherwise count items ``< item``.
+
+        Returns:
+            The estimated (weighted) rank, an integer in ``[0, total_weight]``.
+        """
+        if inclusive:
+            index = bisect.bisect_right(self._items, item)
+        else:
+            index = bisect.bisect_left(self._items, item)
+        if index == 0:
+            return 0
+        return self._cumweights[index - 1]
+
+    def normalized_rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Rank scaled to ``[0, 1]`` by the total weight."""
+        if self._total == 0:
+            raise EmptySketchError("normalized_rank on an empty coreset")
+        return self.rank(item, inclusive=inclusive) / self._total
+
+    def ranks(self, items: Sequence[Any], *, inclusive: bool = True) -> List[int]:
+        """Batch version of :meth:`rank` (one bisect per query)."""
+        return [self.rank(item, inclusive=inclusive) for item in items]
+
+    def quantile(self, q: float) -> Any:
+        """Item whose estimated normalized rank is (approximately) ``q``.
+
+        Returns the smallest retained item whose estimated inclusive rank
+        reaches ``ceil(q * total_weight)`` (clamped to at least 1), so that
+        ``quantile`` and ``rank`` are near-inverses.
+
+        Raises:
+            EmptySketchError: If the coreset is empty.
+            InvalidParameterError: If ``q`` is outside ``[0, 1]``.
+        """
+        if self._total == 0:
+            raise EmptySketchError("quantile on an empty coreset")
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile fraction must be in [0, 1], got {q}")
+        target = max(1, math.ceil(q * self._total))
+        index = bisect.bisect_left(self._cumweights, target)
+        index = min(index, len(self._items) - 1)
+        return self._items[index]
+
+    def quantiles(self, fractions: Sequence[float]) -> List[Any]:
+        """Vector version of :meth:`quantile`."""
+        return [self.quantile(q) for q in fractions]
+
+    def cdf(self, split_points: Sequence[Any], *, inclusive: bool = True) -> List[float]:
+        """Estimated CDF at the given (strictly increasing) split points.
+
+        Returns ``len(split_points) + 1`` values: the mass at or below each
+        split point, followed by 1.0.
+        """
+        self._check_split_points(split_points)
+        if self._total == 0:
+            raise EmptySketchError("cdf on an empty coreset")
+        masses = [self.rank(point, inclusive=inclusive) / self._total for point in split_points]
+        masses.append(1.0)
+        return masses
+
+    def pmf(self, split_points: Sequence[Any], *, inclusive: bool = True) -> List[float]:
+        """Estimated histogram mass between consecutive split points."""
+        cdf = self.cdf(split_points, inclusive=inclusive)
+        pmf = [cdf[0]]
+        pmf.extend(cdf[i] - cdf[i - 1] for i in range(1, len(cdf)))
+        return pmf
+
+    @staticmethod
+    def _check_split_points(split_points: Sequence[Any]) -> None:
+        if len(split_points) == 0:
+            raise InvalidParameterError("split_points must be non-empty")
+        for left, right in zip(split_points, split_points[1:]):
+            if not left < right:
+                raise InvalidParameterError("split_points must be strictly increasing")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WeightedCoreset(entries={len(self._items)}, total_weight={self._total})"

@@ -1,0 +1,195 @@
+"""Unknown stream length via close-out summaries (Section 5 of the paper).
+
+The Section 2-4 algorithm needs (a polynomial upper bound on) the stream
+length ``n`` in advance.  Section 5 removes the assumption: start with an
+initial estimate ``N_0 = O(1/eps)``; whenever the stream reaches the current
+estimate ``N_i``, *close out* the current summary (keep it read-only) and
+open a fresh one sized for ``N_{i+1} = N_i**2``.  At most
+``log2 log2(eps * n)`` summaries ever exist, their sizes form a geometric
+series dominated by the last, and rank estimates simply sum across
+summaries — each substream meets the ``(1 +/- eps)`` guarantee for its own
+portion of the rank, so the total does too.
+
+The alternative (and practically preferable) approach of *recomputing the
+parameters in place* (footnote 9) is what ``ReqSketch(scheme="theory")``
+implements; this module keeps the simple-analysis variant as a separate,
+faithful artifact so both can be compared (experiment E6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.estimator import WeightedCoreset
+from repro.core.params import validate_eps_delta
+from repro.core.req import ReqSketch
+from repro.errors import EmptySketchError, InvalidParameterError
+
+__all__ = ["CloseOutReqSketch"]
+
+
+class CloseOutReqSketch:
+    """Relative-error quantiles for streams of unknown length (Section 5).
+
+    Args:
+        eps: Target multiplicative error for every substream (and hence, by
+            the Section 5 argument, for the whole stream).
+        delta: Per-query failure probability budget.  Each summary is built
+            with this ``delta``; the union over the at most
+            ``log2 log2(eps*n)`` summaries inflates the failure probability
+            by only that factor (the paper instead argues via summed
+            sub-Gaussian variances; either way the guarantee class holds).
+        initial_estimate: ``N_0``; defaults to ``max(64, ceil(4 / eps))``
+            matching the ``N_0 = O(1/eps)`` prescription.
+        hra: High-rank-accuracy mode, forwarded to every summary.
+        seed: Seed for the underlying sketches' coins.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        delta: float = 0.05,
+        *,
+        initial_estimate: Optional[int] = None,
+        hra: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        validate_eps_delta(eps, delta)
+        self.eps = eps
+        self.delta = delta
+        self.hra = hra
+        self._seed = seed
+        if initial_estimate is None:
+            initial_estimate = max(64, math.ceil(4.0 / eps))
+        if initial_estimate < 2:
+            raise InvalidParameterError(f"initial_estimate must be >= 2, got {initial_estimate}")
+        self._estimate = initial_estimate
+        self._closed: List[ReqSketch] = []
+        self._active = self._new_summary(initial_estimate)
+        self._min: Any = None
+        self._max: Any = None
+        self._coreset: Optional[WeightedCoreset] = None
+
+    def _new_summary(self, estimate: int) -> ReqSketch:
+        seed = None if self._seed is None else self._seed + len(self._closed)
+        return ReqSketch(
+            eps=self.eps,
+            delta=self.delta,
+            n_bound=estimate,
+            scheme="fixed",
+            hra=self.hra,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Total number of stream items seen."""
+        return sum(s.n for s in self._closed) + self._active.n
+
+    @property
+    def is_empty(self) -> bool:
+        return self.n == 0
+
+    @property
+    def num_summaries(self) -> int:
+        """Number of summaries (closed + active); at most log2 log2(eps*n)+1."""
+        return len(self._closed) + 1
+
+    @property
+    def current_estimate(self) -> int:
+        """The active summary's stream-length estimate ``N_i``."""
+        return self._estimate
+
+    @property
+    def num_retained(self) -> int:
+        """Total retained items across all summaries (the space cost)."""
+        return sum(s.num_retained for s in self._closed) + self._active.num_retained
+
+    def summaries(self) -> List[ReqSketch]:
+        """All summaries, oldest first; the last one is the active summary."""
+        return [*self._closed, self._active]
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CloseOutReqSketch(eps={self.eps}, n={self.n}, "
+            f"summaries={self.num_summaries}, estimate={self._estimate})"
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, item: Any) -> None:
+        """Insert one item, closing out the active summary when it fills."""
+        if self._active.n >= self._estimate:
+            self._close_out()
+        self._active.update(item)
+        if self._min is None or item < self._min:
+            self._min = item
+        if self._max is None or self._max < item:
+            self._max = item
+        self._coreset = None
+
+    def update_many(self, items) -> None:
+        """Insert an iterable of items in order."""
+        for item in items:
+            self.update(item)
+
+    def _close_out(self) -> None:
+        """Freeze the active summary and open one for ``N_{i+1} = N_i**2``."""
+        self._closed.append(self._active)
+        self._estimate = self._estimate * self._estimate
+        self._active = self._new_summary(self._estimate)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _ensure_coreset(self) -> WeightedCoreset:
+        if self._coreset is None:
+            levels: List[Tuple[Sequence[Any], int]] = []
+            for summary in self.summaries():
+                for level, compactor in enumerate(summary.compactors()):
+                    levels.append((compactor.items(), 1 << level))
+            self._coreset = WeightedCoreset.from_levels(levels)
+        return self._coreset
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> int:
+        """Estimated rank: the sum of the summaries' estimates (Section 5)."""
+        if self.is_empty:
+            raise EmptySketchError("rank on an empty sketch")
+        return self._ensure_coreset().rank(item, inclusive=inclusive)
+
+    def normalized_rank(self, item: Any, *, inclusive: bool = True) -> float:
+        """Estimated rank scaled into ``[0, 1]``."""
+        return self.rank(item, inclusive=inclusive) / self.n
+
+    def quantile(self, q: float) -> Any:
+        """Item at normalized rank ``q`` over the combined summaries."""
+        if self.is_empty:
+            raise EmptySketchError("quantile on an empty sketch")
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile fraction must be in [0, 1], got {q}")
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        return self._ensure_coreset().quantile(q)
+
+    def quantiles(self, fractions: Sequence[float]) -> List[Any]:
+        """Vector version of :meth:`quantile`."""
+        return [self.quantile(q) for q in fractions]
+
+    def cdf(self, split_points: Sequence[Any], *, inclusive: bool = True) -> List[float]:
+        """Estimated CDF at the split points."""
+        if self.is_empty:
+            raise EmptySketchError("cdf on an empty sketch")
+        return self._ensure_coreset().cdf(split_points, inclusive=inclusive)

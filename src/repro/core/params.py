@@ -1,0 +1,246 @@
+"""Parameter computations for the REQ sketch.
+
+This module gathers every closed-form parameter rule the paper states:
+
+* Eq. (6):  the streaming section size ``k`` from (epsilon, delta, n), used by
+  Theorem 14 (the known-``n`` streaming analysis).
+* Eq. (15): the Appendix C section size with the ``log log(1/delta)``
+  dependence, whose deterministic limit reproduces Zhang-Wang's
+  ``O(eps^-1 log^3(eps n))`` bound.
+* Eq. (16) and (26): the mergeability parameters ``k_hat``, ``k(N)`` and
+  ``B(N)`` together with the estimate ladder ``N_0 = ceil(2^8 k_hat)``,
+  ``N_{i+1} = N_i^2`` (Appendix D.1).
+* Buffer size ``B = 2 k ceil(log2(n / k))`` (Line 1 of Algorithm 1).
+
+Logarithm conventions: ``log2`` is written explicitly in the paper wherever a
+base-2 logarithm is meant; the bare ``log(1/delta)`` terms come from Chernoff
+bounds and are natural logarithms.  We follow that convention here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "validate_eps_delta",
+    "streaming_k",
+    "appendix_c_k",
+    "deterministic_k",
+    "buffer_size",
+    "k_hat",
+    "initial_estimate",
+    "next_estimate",
+    "estimate_ladder",
+    "mergeable_k",
+    "mergeable_buffer_size",
+    "eps_for_streaming_k",
+    "TheoryParams",
+]
+
+
+def validate_eps_delta(eps: float, delta: float) -> None:
+    """Validate the accuracy/failure-probability pair ``(eps, delta)``.
+
+    The paper requires ``0 < eps <= 1`` and ``0 < delta <= 0.5``.
+    """
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    if not 0.0 < delta <= 0.5:
+        raise InvalidParameterError(f"delta must be in (0, 0.5], got {delta}")
+
+
+def _ceil_log2(x: float) -> int:
+    """``ceil(log2(x))`` guarded to be at least 1.
+
+    The guard covers tiny streams (``n <= k``) where the paper's formulas
+    would otherwise produce a non-positive buffer size; a single section pair
+    is the minimum meaningful geometry.
+    """
+    if x <= 1.0:
+        return 1
+    return max(1, math.ceil(math.log2(x)))
+
+
+def streaming_k(eps: float, delta: float, n: int) -> int:
+    """Section size ``k`` per Eq. (6) of the paper.
+
+    ``k = 2 * ceil( (4 / eps) * sqrt( ln(1/delta) / log2(eps * n) ) )``
+
+    Args:
+        eps: Target multiplicative error, in ``(0, 1]``.
+        delta: Target failure probability for a fixed query, in ``(0, 0.5]``.
+        n: (An upper bound on) the stream length.
+
+    Returns:
+        An even integer ``k >= 2``.
+    """
+    validate_eps_delta(eps, delta)
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    log_term = max(1.0, math.log2(max(2.0, eps * n)))
+    inner = (4.0 / eps) * math.sqrt(math.log(1.0 / delta) / log_term)
+    return 2 * max(1, math.ceil(inner))
+
+
+def appendix_c_k(eps: float, delta: float) -> int:
+    """Section size per Eq. (15): ``k = 2^4 * ceil(eps^-1 * log2(ln(1/delta)))``.
+
+    This variant trades the ``sqrt(log 1/delta)`` of Eq. (6) for a
+    ``log log(1/delta)`` at the cost of a ``log^2`` (instead of ``log^1.5``)
+    dependence on the stream length (Theorem 2 / Theorem 17).  Note it does
+    not depend on ``n``.
+    """
+    validate_eps_delta(eps, delta)
+    loglog = max(1.0, math.log2(max(2.0, math.log(1.0 / delta))))
+    k = 16 * math.ceil(loglog / eps)
+    return max(2, k + (k % 2))
+
+
+def deterministic_k(eps: float, n: int) -> int:
+    """Section size for the deterministic instantiation (end of Appendix C).
+
+    Setting ``delta < exp(-eps * n)`` in Eq. (15) makes ``log2 log(1/delta)``
+    exceed ``log2(eps * n) >= H`` so the error analysis holds for *every*
+    outcome of the coin flips; the resulting space is
+    ``O(eps^-1 log^3(eps n))``, matching Zhang and Wang [21].
+    """
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    log_term = max(1.0, math.log2(max(2.0, eps * n)))
+    k = 16 * math.ceil(log_term / eps)
+    return max(2, k + (k % 2))
+
+
+def buffer_size(k: int, n: int) -> int:
+    """Buffer capacity ``B = 2 * k * ceil(log2(n / k))`` (Algorithm 1, line 1).
+
+    Guarded below by ``2 * k`` (one compactable section plus the protected
+    half) so that degenerate inputs (``n <= 2k``) still yield a working
+    compactor.
+    """
+    if k < 2 or k % 2 != 0:
+        raise InvalidParameterError(f"k must be an even integer >= 2, got {k}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    return 2 * k * _ceil_log2(n / k)
+
+
+def k_hat(eps: float, delta: float) -> float:
+    """The merge-time base parameter per Eq. (26): ``(1/eps) sqrt(ln 1/delta)``.
+
+    ``k_hat`` is the one quantity that never changes over the life of a
+    mergeable sketch; the concrete section size ``k(N)`` and buffer size
+    ``B(N)`` are derived from it and from the current input-size estimate
+    ``N`` via Eq. (16).
+    """
+    validate_eps_delta(eps, delta)
+    return (1.0 / eps) * math.sqrt(math.log(1.0 / delta))
+
+
+def initial_estimate(khat: float) -> int:
+    """Initial input-size estimate ``N_0 = ceil(2^8 * k_hat)`` (Appendix D.1)."""
+    if khat <= 0:
+        raise InvalidParameterError(f"k_hat must be positive, got {khat}")
+    return math.ceil(256.0 * khat)
+
+
+def next_estimate(current: int) -> int:
+    """The estimate ladder step ``N_{i+1} = N_i^2`` (Section 5, Appendix D)."""
+    if current < 2:
+        raise InvalidParameterError(f"estimate must be >= 2, got {current}")
+    return current * current
+
+
+def estimate_ladder(khat: float, n: int) -> list[int]:
+    """All estimates ``N_0, N_1, ..., N_l`` needed to cover an input of size ``n``."""
+    ladder = [initial_estimate(khat)]
+    while ladder[-1] < n:
+        ladder.append(next_estimate(ladder[-1]))
+    return ladder
+
+
+def mergeable_k(khat: float, estimate: int) -> int:
+    """Section size ``k(N) = 2^5 * ceil(k_hat / sqrt(log2(N / k_hat)))`` (Eq. 16)."""
+    if khat <= 0:
+        raise InvalidParameterError(f"k_hat must be positive, got {khat}")
+    if estimate < 2 * khat:
+        raise InvalidParameterError(
+            f"estimate N={estimate} too small for k_hat={khat}; need N >= 2*k_hat"
+        )
+    denom = math.sqrt(max(1.0, math.log2(estimate / khat)))
+    k = 32 * math.ceil(khat / denom)
+    return max(2, k + (k % 2))
+
+
+def mergeable_buffer_size(khat: float, estimate: int) -> int:
+    """Buffer size ``B(N) = 2 k(N) * ceil(log2(N / k(N)) + 1)`` (Eq. 16)."""
+    k = mergeable_k(khat, estimate)
+    return 2 * k * max(2, math.ceil(math.log2(max(2.0, estimate / k)) + 1))
+
+
+def eps_for_streaming_k(k: int, n: int, delta: float = 0.05) -> float:
+    """Invert Eq. (6): the ``eps`` a given section size ``k`` guarantees.
+
+    Eq. (6) defines ``k`` from ``eps``; for a-posteriori error reporting we
+    need the inverse.  The dependence of the ``log2(eps*n)`` term on ``eps``
+    makes this a fixed-point problem; a few iterations converge because the
+    term varies only logarithmically.
+
+    Returns:
+        The smallest ``eps`` (capped at 1.0) such that
+        ``streaming_k(eps, delta, n) <= k``.
+    """
+    if k < 2:
+        raise InvalidParameterError(f"k must be >= 2, got {k}")
+    eps = 1.0
+    for _ in range(64):
+        log_term = max(1.0, math.log2(max(2.0, eps * n)))
+        new_eps = (8.0 / k) * math.sqrt(math.log(1.0 / delta) / log_term)
+        new_eps = min(1.0, new_eps)
+        if abs(new_eps - eps) < 1e-12:
+            break
+        eps = new_eps
+    return eps
+
+
+@dataclass(frozen=True)
+class TheoryParams:
+    """Bundle of the mergeable-scheme parameters at one point in time.
+
+    Attributes:
+        khat: The invariant base parameter of Eq. (26).
+        estimate: Current input-size estimate ``N_i``.
+        k: Section size ``k(N_i)`` per Eq. (16).
+        buffer: Buffer capacity ``B(N_i)`` per Eq. (16).
+    """
+
+    khat: float
+    estimate: int
+    k: int
+    buffer: int
+
+    @classmethod
+    def from_accuracy(cls, eps: float, delta: float) -> "TheoryParams":
+        """Build initial parameters from an accuracy target (Eqs. 26, 16)."""
+        khat = k_hat(eps, delta)
+        estimate = initial_estimate(khat)
+        return cls.for_estimate(khat, estimate)
+
+    @classmethod
+    def for_estimate(cls, khat: float, estimate: int) -> "TheoryParams":
+        """Parameters for a specific point ``N`` on the estimate ladder."""
+        return cls(
+            khat=khat,
+            estimate=estimate,
+            k=mergeable_k(khat, estimate),
+            buffer=mergeable_buffer_size(khat, estimate),
+        )
+
+    def grown(self) -> "TheoryParams":
+        """Parameters after one ladder step ``N -> N^2`` (Algorithm 3, line 6)."""
+        return TheoryParams.for_estimate(self.khat, next_estimate(self.estimate))

@@ -1,0 +1,105 @@
+"""The derandomized compaction schedule of the relative-compactor.
+
+The heart of Algorithm 1 in the paper is a deterministic rule deciding *how
+many* buffer sections take part in each compaction.  The rule simulates an
+exponential distribution: section 1 (the highest-ranked ``k`` items of the
+compactable half) participates in every compaction, section 2 in every other
+compaction, section 3 in every fourth, and so on.  Concretely, if ``C`` is
+the number of compactions performed so far (the *state*), the next compaction
+involves ``z(C) + 1`` sections where ``z(C)`` is the number of trailing ones
+in the binary representation of ``C``.
+
+The schedule has the property the paper isolates as Fact 5: between any two
+compactions that involve exactly ``j`` sections there is at least one that
+involves more than ``j`` sections.  This is what lets each "important" step be
+charged to ``k`` distinct items in the error analysis (Lemma 6).
+
+For mergeability (Appendix D), two schedule states are combined with a
+bitwise OR, which preserves the Fact 5 property across arbitrary merge trees
+(Fact 18 / Fact 21 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "trailing_ones",
+    "trailing_ones_naive",
+    "CompactionSchedule",
+]
+
+
+def trailing_ones(value: int) -> int:
+    """Return the number of trailing one bits of a non-negative integer.
+
+    This is ``z(C)`` in the paper's notation (Line 5 of Algorithm 1).
+
+    >>> [trailing_ones(c) for c in range(8)]
+    [0, 1, 0, 2, 0, 1, 0, 3]
+    """
+    if value < 0:
+        raise ValueError(f"trailing_ones requires a non-negative integer, got {value}")
+    # x has z trailing ones iff x + 1 has z trailing zeros.
+    return ((value + 1) & ~value).bit_length() - 1
+
+
+def trailing_ones_naive(value: int) -> int:
+    """Reference implementation of :func:`trailing_ones` via string scanning.
+
+    Kept for property-based testing: the bit-trick implementation above is
+    checked against this transparent one.
+    """
+    if value < 0:
+        raise ValueError(f"trailing_ones requires a non-negative integer, got {value}")
+    count = 0
+    while value & 1:
+        count += 1
+        value >>= 1
+    return count
+
+
+@dataclass
+class CompactionSchedule:
+    """State machine for the compaction schedule of one relative-compactor.
+
+    Attributes:
+        state: The integer state ``C``.  In a purely streaming run this equals
+            the number of compactions performed; after merges it is the
+            bitwise OR of the participating states (Algorithm 3, line 16) and
+            no longer counts compactions, but it still drives the section
+            rule correctly (Fact 21).
+    """
+
+    state: int = 0
+
+    def sections_to_compact(self) -> int:
+        """Number of sections the *next* compaction involves: ``z(C) + 1``."""
+        return trailing_ones(self.state) + 1
+
+    def advance(self) -> None:
+        """Record that a compaction was performed (Line 11 of Algorithm 1)."""
+        self.state += 1
+
+    def merge(self, other: "CompactionSchedule") -> None:
+        """Combine with another schedule state using bitwise OR.
+
+        This is the rule of Algorithm 3 (line 16).  OR-ing keeps every bit
+        that is set in either state, which guarantees that a bit recording
+        "section j+1 is due" is never lost by a merge (Fact 18), the property
+        on which the mergeability charging argument (Lemma 22) rests.
+        """
+        self.state |= other.state
+
+    def copy(self) -> "CompactionSchedule":
+        """Return an independent copy of this schedule."""
+        return CompactionSchedule(self.state)
+
+    def max_sections_used(self) -> int:
+        """Upper bound on sections any past compaction may have involved.
+
+        A state ``C`` implies no compaction so far involved more than
+        ``C.bit_length()`` sections, because ``z`` trailing ones require a
+        state of at least ``2**z - 1``.
+        """
+        return max(1, self.state.bit_length())

@@ -1,0 +1,193 @@
+"""Binary serialization for REQ sketches over float64 items.
+
+The format is a compact, versioned, struct-packed layout intended for
+shipping sketches between processes in a distributed aggregation (the
+Theorem 3 use case).  Arbitrary comparable Python items are supported via
+``pickle`` (every sketch class is picklable); this module's explicit format
+exists so that float streams — the overwhelmingly common case — do not pay
+pickle's overhead or its trust requirements on the receiving side.
+
+Layout (little-endian)::
+
+    magic    4s   b"REQ1"
+    scheme   B    0=fixed 1=auto 2=theory
+    hra      B    0/1
+    coin     B    index into COIN_MODES
+    flags    B    bit0: min/max present; bit1: eps present
+    k        I    current section size
+    n        Q    items summarized
+    n_bound  Q    fixed-scheme bound (0 if unused)
+    khat     d    theory-scheme base parameter (0.0 if unused)
+    estimate Q    theory-scheme current estimate N (0 if unused)
+    eps      d    construction eps (only if flags bit1)
+    delta    d    failure probability
+    min,max  dd   (only if flags bit0)
+    levels   I    number of compactor levels
+    per level:
+        state    Q   compaction-schedule state C
+        inserted Q   items ever inserted at this level
+        flip     B   'alternate' coin phase
+        count    I   retained items
+        items    count * d
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.core.compactor import COIN_MODES, RelativeCompactor
+from repro.core.params import TheoryParams
+from repro.core.req import SCHEMES, ReqSketch
+from repro.core.schedule import CompactionSchedule
+from repro.errors import SerializationError
+
+__all__ = ["serialize", "deserialize", "MAGIC"]
+
+MAGIC = b"REQ1"
+
+_HEADER = struct.Struct("<4sBBBBIQQdQd")
+_LEVEL_HEAD = struct.Struct("<QQBI")
+_PAIR = struct.Struct("<dd")
+_DOUBLE = struct.Struct("<d")
+
+
+def serialize(sketch: ReqSketch) -> bytes:
+    """Encode a float-item :class:`ReqSketch` into bytes.
+
+    Raises:
+        SerializationError: If any retained item is not a float/int (use
+            ``pickle`` for sketches over arbitrary comparable items).
+    """
+    flags = 0
+    if sketch.n > 0:
+        flags |= 1
+    if sketch.eps is not None:
+        flags |= 2
+    khat = sketch._theory.khat if sketch._theory is not None else 0.0
+    estimate = sketch._theory.estimate if sketch._theory is not None else 0
+    parts = [
+        _HEADER.pack(
+            MAGIC,
+            SCHEMES.index(sketch.scheme),
+            int(sketch.hra),
+            COIN_MODES.index(sketch._coin_mode),
+            flags,
+            sketch.k,
+            sketch.n,
+            sketch.n_bound or 0,
+            khat,
+            estimate,
+            sketch.delta,
+        )
+    ]
+    if flags & 2:
+        parts.append(_DOUBLE.pack(float(sketch.eps)))
+    if flags & 1:
+        try:
+            parts.append(_PAIR.pack(float(sketch.min_item), float(sketch.max_item)))
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(
+                "binary serialization supports numeric items only; use pickle"
+            ) from exc
+    compactors = sketch.compactors()
+    parts.append(struct.pack("<I", len(compactors)))
+    for compactor in compactors:
+        items = compactor.items()
+        parts.append(
+            _LEVEL_HEAD.pack(
+                compactor.schedule.state,
+                compactor.inserted,
+                int(compactor._flip),
+                len(items),
+            )
+        )
+        try:
+            parts.append(struct.pack(f"<{len(items)}d", *map(float, items)))
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(
+                "binary serialization supports numeric items only; use pickle"
+            ) from exc
+    return b"".join(parts)
+
+
+def deserialize(data: bytes) -> ReqSketch:
+    """Decode bytes produced by :func:`serialize` back into a sketch.
+
+    The RNG is reinitialized unseeded: coin outcomes after deserialization
+    are fresh randomness, which is exactly the semantics the analysis needs
+    (independence across compactions).
+    """
+    try:
+        return _deserialize(data)
+    except (struct.error, IndexError, ValueError) as exc:
+        raise SerializationError(f"malformed sketch bytes: {exc}") from exc
+
+
+def _deserialize(data: bytes) -> ReqSketch:
+    offset = 0
+    (
+        magic,
+        scheme_index,
+        hra,
+        coin_index,
+        flags,
+        k,
+        n,
+        n_bound,
+        khat,
+        estimate,
+        delta,
+    ) = _HEADER.unpack_from(data, offset)
+    offset += _HEADER.size
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}; expected {MAGIC!r}")
+    scheme = SCHEMES[scheme_index]
+    coin_mode = COIN_MODES[coin_index]
+
+    eps = None
+    if flags & 2:
+        (eps,) = _DOUBLE.unpack_from(data, offset)
+        offset += _DOUBLE.size
+    minimum = maximum = None
+    if flags & 1:
+        minimum, maximum = _PAIR.unpack_from(data, offset)
+        offset += _PAIR.size
+
+    kwargs: dict[str, Any] = {"scheme": scheme, "hra": bool(hra), "coin_mode": coin_mode}
+    if scheme == "fixed":
+        sketch = ReqSketch(k, n_bound=n_bound, eps=eps, delta=delta, **kwargs)
+    elif scheme == "theory":
+        sketch = ReqSketch(eps=eps, delta=delta, **kwargs)
+        sketch._theory = TheoryParams.for_estimate(khat, estimate)
+        sketch._k = sketch._theory.k
+    else:
+        sketch = ReqSketch(k, delta=delta, **kwargs)
+        sketch.eps = eps
+
+    (num_levels,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    compactors = []
+    for _ in range(num_levels):
+        state, inserted, flip, count = _LEVEL_HEAD.unpack_from(data, offset)
+        offset += _LEVEL_HEAD.size
+        items = list(struct.unpack_from(f"<{count}d", data, offset))
+        offset += 8 * count
+        compactor = RelativeCompactor(
+            sketch.k, hra=sketch.hra, rng=sketch._rng, coin_mode=coin_mode
+        )
+        compactor._buffer = items
+        compactor._sorted = True
+        compactor.schedule = CompactionSchedule(state)
+        compactor._flip = bool(flip)
+        compactor.inserted = inserted
+        compactors.append(compactor)
+    if offset != len(data):
+        raise SerializationError(f"{len(data) - offset} trailing bytes after sketch payload")
+
+    sketch._compactors = compactors
+    sketch._n = n
+    sketch._min = minimum
+    sketch._max = maximum
+    sketch._coreset = None
+    return sketch

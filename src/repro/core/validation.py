@@ -1,0 +1,108 @@
+"""Structural invariant checking for REQ sketches.
+
+``check_invariants(sketch)`` verifies every structural property the
+analysis relies on and raises :class:`InvariantViolation` with a precise
+message on the first breach.  The test suite calls it after randomized
+operation sequences; production users can call it when debugging a
+suspected corruption (e.g. after deserializing bytes from an untrusted
+aggregator).
+
+Checked invariants:
+
+1. ``n`` equals the total weight ``sum_h 2^h |B_h|`` (exact weight
+   conservation — the estimator's soundness).
+2. Every buffer is within its scheme's capacity bound.
+3. ``min_item``/``max_item`` bracket every retained item.
+4. Schedule states are non-negative and consistent with Observation 20's
+   ``C <= N/k`` bound in the fixed/theory schemes.
+5. Level count is within the Observation 13 bound
+   ``ceil(log2(n / B)) + 1`` levels (with slack for merges).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.req import ReqSketch
+from repro.errors import ReproError
+
+__all__ = ["InvariantViolation", "check_invariants"]
+
+
+class InvariantViolation(ReproError):
+    """Raised when a sketch's internal structure is inconsistent."""
+
+
+def check_invariants(sketch: ReqSketch) -> None:
+    """Validate the structural invariants of a :class:`ReqSketch`.
+
+    Raises:
+        InvariantViolation: On the first violated invariant.
+    """
+    if not isinstance(sketch, ReqSketch):
+        raise InvariantViolation(f"expected a ReqSketch, got {type(sketch).__name__}")
+    compactors = sketch.compactors()
+
+    total_weight = sum(len(c) * (1 << level) for level, c in enumerate(compactors))
+    if total_weight != sketch.n:
+        raise InvariantViolation(
+            f"weight conservation broken: total weight {total_weight} != n {sketch.n}"
+        )
+
+    for level, compactor in enumerate(compactors):
+        capacity = sketch._capacity(level)
+        if len(compactor) > capacity:
+            raise InvariantViolation(
+                f"level {level} holds {len(compactor)} items over capacity {capacity}"
+            )
+        if compactor.schedule.state < 0:
+            raise InvariantViolation(f"level {level} has negative schedule state")
+        items = compactor.items()
+        if any(b < a for a, b in zip(items, items[1:])):
+            raise InvariantViolation(f"level {level} buffer is not sorted")
+
+    if sketch.n > 0:
+        minimum, maximum = sketch.min_item, sketch.max_item
+        for level, compactor in enumerate(compactors):
+            for item in compactor.items():
+                if item < minimum or maximum < item:
+                    raise InvariantViolation(
+                        f"level {level} item {item!r} outside [min, max] = "
+                        f"[{minimum!r}, {maximum!r}]"
+                    )
+
+    _check_state_bound(sketch, compactors)
+    _check_level_count(sketch, compactors)
+
+
+def _check_state_bound(sketch: ReqSketch, compactors: List) -> None:
+    """Observation 20: C <= N / k (only binding when N is known)."""
+    reference = None
+    if sketch.scheme == "fixed":
+        reference = sketch.n_bound
+    elif sketch.scheme == "theory":
+        reference = sketch.estimate
+    if reference is None:
+        return
+    bound = max(1, reference // max(sketch.k, 1)) * 2  # slack for OR-merged states
+    for level, compactor in enumerate(compactors):
+        if compactor.schedule.state > bound:
+            raise InvariantViolation(
+                f"level {level} schedule state {compactor.schedule.state} exceeds "
+                f"Observation 20 bound ~{bound}"
+            )
+
+
+def _check_level_count(sketch: ReqSketch, compactors: List) -> None:
+    """Observation 13: at most ~log2(n / B) + O(1) levels."""
+    if sketch.n == 0 or not compactors:
+        return
+    smallest_buffer = min(sketch._capacity(level) for level in range(len(compactors)))
+    if smallest_buffer <= 0:
+        raise InvariantViolation("non-positive buffer capacity")
+    allowed = math.ceil(math.log2(max(2.0, sketch.n / smallest_buffer))) + 3
+    if len(compactors) > max(allowed, 4):
+        raise InvariantViolation(
+            f"{len(compactors)} levels exceeds the Observation 13 bound ~{allowed}"
+        )

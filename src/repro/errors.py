@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError` so that callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors (``TypeError`` from
+incomparable items, for example) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "EmptySketchError",
+    "StreamLengthExceededError",
+    "IncompatibleSketchesError",
+    "InvalidParameterError",
+    "SerializationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class EmptySketchError(ReproError):
+    """Raised when a query (rank, quantile, ...) is posed to an empty sketch."""
+
+
+class StreamLengthExceededError(ReproError):
+    """Raised when a fixed-``n`` sketch receives more items than its bound.
+
+    Only sketches constructed with an explicit stream-length bound (the
+    ``fixed`` scheme of :class:`repro.core.req.ReqSketch`) raise this; the
+    ``auto`` and ``theory`` schemes grow their parameters instead, as
+    described in Section 5 and Appendix D of the paper.
+    """
+
+
+class IncompatibleSketchesError(ReproError):
+    """Raised when two sketches cannot be merged.
+
+    Sketches are mergeable only when they agree on the parameters that define
+    the compaction geometry: the scheme, the accuracy mode (high/low rank
+    accuracy) and the base parameter (``k`` or ``k_hat``).
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when a sketch or experiment parameter is out of range."""
+
+
+class SerializationError(ReproError):
+    """Raised when a byte string cannot be decoded into a sketch."""

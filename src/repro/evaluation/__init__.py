@@ -1,0 +1,43 @@
+"""Evaluation harness: metrics, trial runner, tables, merge trees, memory."""
+
+from repro.evaluation.memory import memory_words, retained_items
+from repro.evaluation.mergetrees import TREE_SHAPES, build_via_tree, split_stream
+from repro.evaluation.metrics import (
+    ErrorProfile,
+    QueryError,
+    RankOracle,
+    relative_error,
+    tail_relative_error,
+)
+from repro.evaluation.runner import (
+    DEFAULT_FRACTIONS,
+    SketchSpec,
+    aggregate_max_relative,
+    evaluate_sketch,
+    failure_rate,
+    run_trial,
+    run_trials,
+)
+from repro.evaluation.tables import Table, format_cell
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "ErrorProfile",
+    "QueryError",
+    "RankOracle",
+    "SketchSpec",
+    "TREE_SHAPES",
+    "Table",
+    "aggregate_max_relative",
+    "build_via_tree",
+    "evaluate_sketch",
+    "failure_rate",
+    "format_cell",
+    "memory_words",
+    "relative_error",
+    "retained_items",
+    "run_trial",
+    "run_trials",
+    "split_stream",
+    "tail_relative_error",
+]

@@ -1,0 +1,122 @@
+"""Merge-tree shapes for the Theorem 3 (full mergeability) experiments.
+
+Theorem 3 promises the accuracy/space guarantee for a sketch "built from
+n items by an *arbitrary* sequence of merge operations".  This module
+builds sketches over the same stream through several tree shapes:
+
+* ``streaming`` — no merges at all (the Theorem 14 baseline),
+* ``balanced`` — tournament-style pairwise merging (the distributed
+  aggregation pattern),
+* ``left_deep`` — fold-left accumulation (a worst case for parameter
+  drift: one long-lived sketch absorbs many small ones),
+* ``random`` — random pairings, a proxy for "arbitrary".
+
+All helpers mutate only sketches they created; input chunks are read-only.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["split_stream", "build_via_tree", "TREE_SHAPES"]
+
+
+def split_stream(stream: Sequence[Any], parts: int) -> List[List[Any]]:
+    """Cut a stream into ``parts`` contiguous, near-equal chunks."""
+    if parts < 1:
+        raise InvalidParameterError(f"parts must be >= 1, got {parts}")
+    if parts > max(1, len(stream)):
+        parts = max(1, len(stream))
+    base, extra = divmod(len(stream), parts)
+    chunks: List[List[Any]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(stream[start : start + size]))
+        start += size
+    return chunks
+
+
+def _sketch_chunks(
+    factory: Callable[[int], Any], chunks: Sequence[Sequence[Any]], seed: int
+) -> List[Any]:
+    sketches = []
+    for index, chunk in enumerate(chunks):
+        sketch = factory(seed + index)
+        sketch.update_many(chunk)
+        sketches.append(sketch)
+    return sketches
+
+
+def _merge_balanced(sketches: List[Any]) -> Any:
+    while len(sketches) > 1:
+        paired: List[Any] = []
+        for index in range(0, len(sketches) - 1, 2):
+            left, right = sketches[index], sketches[index + 1]
+            left.merge(right)
+            paired.append(left)
+        if len(sketches) % 2:
+            paired.append(sketches[-1])
+        sketches = paired
+    return sketches[0]
+
+
+def _merge_left_deep(sketches: List[Any]) -> Any:
+    accumulator = sketches[0]
+    for sketch in sketches[1:]:
+        accumulator.merge(sketch)
+    return accumulator
+
+
+def _merge_random(sketches: List[Any], rng: random.Random) -> Any:
+    pool = list(sketches)
+    while len(pool) > 1:
+        i = rng.randrange(len(pool))
+        j = rng.randrange(len(pool) - 1)
+        if j >= i:
+            j += 1
+        pool[i].merge(pool[j])
+        pool.pop(j)  # the absorbed sketch leaves the pool; pool[i] stays
+    return pool[0]
+
+
+def build_via_tree(
+    factory: Callable[[int], Any],
+    stream: Sequence[Any],
+    *,
+    shape: str = "balanced",
+    parts: int = 16,
+    seed: int = 0,
+) -> Any:
+    """Summarize ``stream`` through a merge tree of the given shape.
+
+    Args:
+        factory: ``(seed) -> sketch``; one sketch is built per chunk.
+        stream: The full input stream.
+        shape: One of :data:`TREE_SHAPES` (``streaming`` skips merging).
+        parts: Number of leaf sketches.
+        seed: Base seed; leaf ``i`` gets ``seed + i``.
+
+    Returns:
+        The root sketch summarizing the whole stream.
+    """
+    if shape not in TREE_SHAPES:
+        raise InvalidParameterError(f"shape must be one of {sorted(TREE_SHAPES)}, got {shape!r}")
+    if shape == "streaming":
+        sketch = factory(seed)
+        sketch.update_many(stream)
+        return sketch
+    chunks = split_stream(stream, parts)
+    sketches = _sketch_chunks(factory, chunks, seed)
+    if shape == "balanced":
+        return _merge_balanced(sketches)
+    if shape == "left_deep":
+        return _merge_left_deep(sketches)
+    return _merge_random(sketches, random.Random(seed))
+
+
+#: Supported merge-tree shapes.
+TREE_SHAPES = ("streaming", "balanced", "left_deep", "random")

@@ -1,0 +1,154 @@
+"""Error metrics: exact ranks and additive/relative rank error.
+
+Terminology (matching the paper):
+
+* additive error of an estimate at query ``y``: ``|est - R(y)| / n``
+  (normalized to the stream length, so "0.01" means the classical
+  ``eps*n`` guarantee with ``eps = 0.01``);
+* relative (multiplicative) error: ``|est - R(y)| / R(y)``;
+* in HRA mode the relevant denominator is the *complementary* rank
+  ``n - R(y) + 1``, because reversing the comparator turns accuracy at
+  small ranks into accuracy at large ones (Section 1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.errors import EmptySketchError, InvalidParameterError
+
+__all__ = ["RankOracle", "QueryError", "ErrorProfile", "relative_error", "tail_relative_error"]
+
+
+def relative_error(estimate: float, true_rank: int) -> float:
+    """``|estimate - R| / max(R, 1)`` — the paper's multiplicative error."""
+    return abs(estimate - true_rank) / max(true_rank, 1)
+
+
+def tail_relative_error(estimate: float, true_rank: int, n: int) -> float:
+    """Relative error measured from the top: denominator ``n - R + 1``.
+
+    This is the quantity an HRA sketch bounds: the number of items *above*
+    the query (plus one to avoid dividing by zero at the maximum).
+    """
+    return abs(estimate - true_rank) / max(n - true_rank + 1, 1)
+
+
+class RankOracle:
+    """Ground-truth ranks from the fully-sorted stream.
+
+    Args:
+        items: The whole stream; sorted once at construction.
+    """
+
+    def __init__(self, items: Sequence[Any]) -> None:
+        if len(items) == 0:
+            raise EmptySketchError("RankOracle needs a non-empty stream")
+        self._sorted = sorted(items)
+
+    @property
+    def n(self) -> int:
+        return len(self._sorted)
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> int:
+        """Exact rank of ``item``."""
+        if inclusive:
+            return bisect.bisect_right(self._sorted, item)
+        return bisect.bisect_left(self._sorted, item)
+
+    def quantile(self, q: float) -> Any:
+        """Exact order statistic at fraction ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"fraction must be in [0, 1], got {q}")
+        index = min(len(self._sorted) - 1, max(0, int(q * len(self._sorted))))
+        return self._sorted[index]
+
+    def query_points(self, fractions: Sequence[float]) -> List[Any]:
+        """The exact order statistics at the given fractions (query items)."""
+        return [self.quantile(q) for q in fractions]
+
+    def rank_universe(self, count: int) -> List[Any]:
+        """``count`` evenly spaced retained values for all-quantiles sweeps."""
+        if count < 1:
+            raise InvalidParameterError(f"count must be >= 1, got {count}")
+        step = max(1, len(self._sorted) // count)
+        return self._sorted[::step]
+
+
+@dataclass
+class QueryError:
+    """Error of one rank query."""
+
+    query: Any
+    true_rank: int
+    estimate: float
+
+    @property
+    def additive(self) -> float:
+        return abs(self.estimate - self.true_rank)
+
+    def normalized_additive(self, n: int) -> float:
+        return self.additive / max(n, 1)
+
+    @property
+    def relative(self) -> float:
+        return relative_error(self.estimate, self.true_rank)
+
+    def tail_relative(self, n: int) -> float:
+        return tail_relative_error(self.estimate, self.true_rank, n)
+
+
+@dataclass
+class ErrorProfile:
+    """Aggregated errors of one sketch over a set of rank queries.
+
+    Attributes:
+        sketch_name: Label for tables.
+        n: Stream length.
+        num_retained: The sketch's space cost, in stored items.
+        queries: Per-query errors.
+        side: ``"low"`` to report plain relative error (LRA guarantee) or
+            ``"high"`` to report tail-relative error (HRA guarantee).
+    """
+
+    sketch_name: str
+    n: int
+    num_retained: int
+    queries: List[QueryError] = field(default_factory=list)
+    side: str = "low"
+
+    def _relative_errors(self) -> List[float]:
+        if self.side == "high":
+            return [q.tail_relative(self.n) for q in self.queries]
+        return [q.relative for q in self.queries]
+
+    @property
+    def max_relative(self) -> float:
+        return max(self._relative_errors(), default=0.0)
+
+    @property
+    def mean_relative(self) -> float:
+        errors = self._relative_errors()
+        return sum(errors) / len(errors) if errors else 0.0
+
+    @property
+    def max_additive(self) -> float:
+        return max((q.normalized_additive(self.n) for q in self.queries), default=0.0)
+
+    @property
+    def mean_additive(self) -> float:
+        errors = [q.normalized_additive(self.n) for q in self.queries]
+        return sum(errors) / len(errors) if errors else 0.0
+
+    def relative_at(self, index: int) -> float:
+        return self._relative_errors()[index]
+
+    def quantile_of_errors(self, fraction: float) -> float:
+        """Order statistic of the per-query relative errors (e.g. p95)."""
+        errors = sorted(self._relative_errors())
+        if not errors:
+            return 0.0
+        index = min(len(errors) - 1, max(0, int(fraction * len(errors))))
+        return errors[index]

@@ -1,0 +1,166 @@
+"""Trial runner: (sketch factory x stream x queries) -> error profiles.
+
+The runner is deliberately tiny: experiments compose
+:class:`SketchSpec` factories with streams from :mod:`repro.streams` and get
+back :class:`~repro.evaluation.metrics.ErrorProfile` objects, which the
+table layer renders.  Seeds are threaded explicitly everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import QuantileSketch
+from repro.evaluation.metrics import ErrorProfile, QueryError, RankOracle
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "SketchSpec",
+    "aggregate_max_relative",
+    "evaluate_sketch",
+    "failure_rate",
+    "run_trial",
+    "run_trials",
+]
+
+#: Query fractions spanning both tails and the body; used when an
+#: experiment does not specify its own.
+DEFAULT_FRACTIONS = (
+    0.0001,
+    0.001,
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    0.9,
+    0.95,
+    0.99,
+    0.999,
+    0.9999,
+)
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """A named sketch factory.
+
+    Args:
+        name: Label used in result tables.
+        factory: ``(seed) -> sketch``; must return a fresh sketch each call.
+        side: Which relative error the sketch's guarantee covers: ``"low"``
+            (LRA — plain relative error) or ``"high"`` (HRA — error
+            relative to the complementary rank).
+    """
+
+    name: str
+    factory: Callable[[Optional[int]], QuantileSketch]
+    side: str = "low"
+
+    def build(self, seed: Optional[int] = None) -> QuantileSketch:
+        sketch = self.factory(seed)
+        if not isinstance(sketch, QuantileSketch) and not hasattr(sketch, "rank"):
+            raise InvalidParameterError(f"factory for {self.name!r} returned {type(sketch)}")
+        return sketch
+
+
+def evaluate_sketch(
+    sketch: Any,
+    oracle: RankOracle,
+    query_items: Sequence[Any],
+    *,
+    name: Optional[str] = None,
+    side: str = "low",
+) -> ErrorProfile:
+    """Measure a built sketch against ground truth at the given queries."""
+    profile = ErrorProfile(
+        sketch_name=name or getattr(sketch, "name", type(sketch).__name__),
+        n=oracle.n,
+        num_retained=getattr(sketch, "num_retained", 0),
+        side=side,
+    )
+    for query in query_items:
+        profile.queries.append(
+            QueryError(
+                query=query,
+                true_rank=oracle.rank(query),
+                estimate=float(sketch.rank(query)),
+            )
+        )
+    return profile
+
+
+def run_trial(
+    spec: SketchSpec,
+    stream: Sequence[Any],
+    *,
+    seed: Optional[int] = None,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    oracle: Optional[RankOracle] = None,
+) -> ErrorProfile:
+    """Build a sketch from ``spec``, feed it ``stream``, measure errors.
+
+    Args:
+        spec: The sketch to evaluate.
+        stream: Items in arrival order.
+        seed: Seed passed to the factory.
+        fractions: Normalized ranks at which to query (query items are the
+            exact order statistics at these fractions).
+        oracle: Precomputed ground truth, to amortize sorting across specs.
+    """
+    if oracle is None:
+        oracle = RankOracle(stream)
+    sketch = spec.build(seed)
+    sketch.update_many(stream)
+    queries = oracle.query_points(fractions)
+    return evaluate_sketch(sketch, oracle, queries, name=spec.name, side=spec.side)
+
+
+def run_trials(
+    spec: SketchSpec,
+    stream_factory: Callable[[int], Sequence[Any]],
+    seeds: Sequence[int],
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> List[ErrorProfile]:
+    """Repeat :func:`run_trial` over seeds (fresh stream + fresh sketch)."""
+    profiles = []
+    for seed in seeds:
+        stream = stream_factory(seed)
+        profiles.append(run_trial(spec, stream, seed=seed, fractions=fractions))
+    return profiles
+
+
+def aggregate_max_relative(profiles: Sequence[ErrorProfile]) -> float:
+    """Largest relative error across trials (the union-bound quantity)."""
+    return max((p.max_relative for p in profiles), default=0.0)
+
+
+def failure_rate(profiles: Sequence[ErrorProfile], eps: float) -> Dict[str, float]:
+    """Fraction of (trial, query) pairs violating the ``eps`` guarantee.
+
+    Returns both the per-query failure rate (the Theorem 1 quantity: a
+    *fixed* query failing) and the per-trial rate (any query failing — the
+    Corollary 1 all-quantiles quantity).
+    """
+    total_queries = 0
+    failed_queries = 0
+    failed_trials = 0
+    for profile in profiles:
+        errors = (
+            [q.tail_relative(profile.n) for q in profile.queries]
+            if profile.side == "high"
+            else [q.relative for q in profile.queries]
+        )
+        total_queries += len(errors)
+        bad = sum(1 for e in errors if e > eps)
+        failed_queries += bad
+        if bad:
+            failed_trials += 1
+    return {
+        "per_query": failed_queries / max(total_queries, 1),
+        "per_trial": failed_trials / max(len(profiles), 1),
+    }

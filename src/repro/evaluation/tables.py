@@ -1,0 +1,115 @@
+"""Plain-text result tables.
+
+Every experiment renders its output through :class:`Table`, which prints
+aligned fixed-width text (for terminals and the bench logs), GitHub-flavored
+markdown (for EXPERIMENTS.md) and CSV (for downstream plotting).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["Table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats get engineering-friendly precision."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.0001:
+            return f"{value:.3e}"
+        if magnitude >= 1:
+            return f"{value:.4g}"
+        return f"{value:.5f}"
+    return str(value)
+
+
+class Table:
+    """A rectangular result table with a title and named columns.
+
+    Args:
+        title: Table caption (experiment name).
+        columns: Column headers.
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise InvalidParameterError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise InvalidParameterError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([format_cell(v) for v in values])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def _widths(self) -> List[int]:
+        widths = [len(header) for header in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        widths = self._widths()
+        out = io.StringIO()
+        out.write(f"== {self.title} ==\n")
+        header = "  ".join(name.ljust(width) for name, width in zip(self.columns, widths))
+        out.write(header.rstrip() + "\n")
+        out.write("  ".join("-" * width for width in widths) + "\n")
+        for row in self.rows:
+            line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            out.write(line.rstrip() + "\n")
+        return out.getvalue()
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering."""
+        out = io.StringIO()
+        out.write("| " + " | ".join(self.columns) + " |\n")
+        out.write("|" + "|".join(["---"] * len(self.columns)) + "|\n")
+        for row in self.rows:
+            out.write("| " + " | ".join(row) + " |\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """CSV rendering (no quoting needed: cells never contain commas)."""
+        out = io.StringIO()
+        out.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join(row) + "\n")
+        return out.getvalue()
+
+    def column(self, name: str) -> List[str]:
+        """All cells of a named column (for assertions in tests)."""
+        try:
+            index = self.columns.index(name)
+        except ValueError as exc:
+            raise InvalidParameterError(f"no column named {name!r}") from exc
+        return [row[index] for row in self.rows]
+
+    def column_floats(self, name: str) -> List[float]:
+        """A named column parsed as floats."""
+        return [float(cell) for cell in self.column(name)]
+
+    def print(self, file: Optional[Any] = None) -> None:
+        """Print the fixed-width rendering (convenience for experiments)."""
+        print(self.render(), file=file)

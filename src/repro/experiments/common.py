@@ -1,0 +1,147 @@
+"""Shared plumbing for the experiment suite.
+
+Each experiment module (``e01_...`` .. ``e12_...``) exposes::
+
+    META: ExperimentMeta          # id, title, paper claim
+    run(scale="default") -> List[Table]
+
+Scales let the same code serve three audiences: ``smoke`` for the test
+suite (seconds), ``default`` for the benchmark harness (tens of seconds),
+``full`` for regenerating EXPERIMENTS.md (minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.baselines import (
+    DDSketch,
+    GKSketch,
+    HierarchicalSamplingSketch,
+    KLLSketch,
+    ReservoirSampler,
+    TDigest,
+)
+from repro.core import ReqSketch
+from repro.errors import InvalidParameterError
+from repro.evaluation import SketchSpec
+
+__all__ = [
+    "ExperimentMeta",
+    "SCALES",
+    "scale_factor",
+    "scaled",
+    "req_spec",
+    "kll_spec",
+    "gk_spec",
+    "tdigest_spec",
+    "ddsketch_spec",
+    "reservoir_spec",
+    "hier_spec",
+    "mean",
+    "TAIL_FRACTIONS",
+    "BODY_FRACTIONS",
+]
+
+#: Recognized experiment scales and their relative effort multiplier.
+SCALES = {"smoke": 0.05, "default": 0.35, "full": 1.0}
+
+#: Query fractions emphasizing the tails (the paper's motivation).
+TAIL_FRACTIONS = (0.0001, 0.001, 0.01, 0.05, 0.5, 0.95, 0.99, 0.999, 0.9999)
+
+#: Query fractions spanning the body of the distribution.
+BODY_FRACTIONS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+@dataclass(frozen=True)
+class ExperimentMeta:
+    """Descriptor tying an experiment back to the paper.
+
+    Attributes:
+        experiment_id: Short id ("E1" ... "E12").
+        title: Human-readable name used in table captions.
+        paper_claim: The theorem/section whose claim the experiment checks.
+        expectation: One-line statement of the shape that must hold.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    expectation: str
+
+
+def scale_factor(scale: str) -> float:
+    """Effort multiplier for a named scale."""
+    if scale not in SCALES:
+        raise InvalidParameterError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
+    return SCALES[scale]
+
+
+def scaled(base: int, scale: str, *, minimum: int = 1) -> int:
+    """Scale an effort knob (stream length, trial count) to a named scale."""
+    return max(minimum, int(base * scale_factor(scale)))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+# ----------------------------------------------------------------------
+# Standard sketch specs
+# ----------------------------------------------------------------------
+
+
+def req_spec(
+    k: int = 32,
+    *,
+    hra: bool = False,
+    scheme: Optional[str] = None,
+    eps: Optional[float] = None,
+    n_bound: Optional[int] = None,
+    name: Optional[str] = None,
+) -> SketchSpec:
+    """A :class:`~repro.core.req.ReqSketch` factory spec."""
+    label = name or ("req-hra" if hra else "req")
+
+    def factory(seed: Optional[int]) -> ReqSketch:
+        if eps is not None:
+            return ReqSketch(eps=eps, n_bound=n_bound, scheme=scheme, hra=hra, seed=seed)
+        return ReqSketch(k, n_bound=n_bound, scheme=scheme, hra=hra, seed=seed)
+
+    return SketchSpec(label, factory, side="high" if hra else "low")
+
+
+def kll_spec(k: int = 200, *, name: str = "kll") -> SketchSpec:
+    """A KLL factory spec."""
+    return SketchSpec(name, lambda seed: KLLSketch(k=k, seed=seed))
+
+
+def gk_spec(eps: float = 0.01, *, name: str = "gk") -> SketchSpec:
+    """A Greenwald-Khanna factory spec."""
+    return SketchSpec(name, lambda seed: GKSketch(eps=eps))
+
+
+def tdigest_spec(compression: float = 100.0, *, name: str = "tdigest") -> SketchSpec:
+    """A t-digest factory spec."""
+    return SketchSpec(name, lambda seed: TDigest(compression=compression))
+
+
+def ddsketch_spec(alpha: float = 0.01, *, name: str = "ddsketch") -> SketchSpec:
+    """A DDSketch factory spec."""
+    return SketchSpec(name, lambda seed: DDSketch(alpha=alpha))
+
+
+def reservoir_spec(capacity: int = 4096, *, name: str = "reservoir") -> SketchSpec:
+    """A reservoir-sampling factory spec."""
+    return SketchSpec(name, lambda seed: ReservoirSampler(capacity, seed=seed))
+
+
+def hier_spec(eps: float = 0.05, *, hra: bool = False, name: str = "hier-sampling") -> SketchSpec:
+    """A hierarchical-sampling (Zhang et al. class) factory spec."""
+    return SketchSpec(
+        name,
+        lambda seed: HierarchicalSamplingSketch(eps=eps, hra=hra, seed=seed),
+        side="high" if hra else "low",
+    )

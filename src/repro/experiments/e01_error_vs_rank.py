@@ -1,0 +1,112 @@
+"""E1 — Relative rank error as a function of the queried rank.
+
+Paper claim (Theorem 1 and the Section 1 motivation): the REQ sketch's
+error at rank ``R(y)`` is at most ``eps * R(y)`` — its *relative* error is
+flat across ranks — whereas additive-error sketches (KLL, uniform samples)
+have error ``eps' * n`` independent of the rank, so their relative error
+explodes as ``R(y) -> 0`` (LRA view) or ``R(y) -> n`` (HRA view).
+
+The experiment streams the same data into REQ (both accuracy sides), KLL,
+a uniform reservoir (sized to match REQ's footprint) and the Zhang et
+al.-class hierarchical sampler, then tabulates the relative error at query
+ranks spanning eight orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.evaluation import RankOracle, Table, evaluate_sketch
+from repro.experiments.common import (
+    ExperimentMeta,
+    hier_spec,
+    kll_spec,
+    mean,
+    req_spec,
+    reservoir_spec,
+    scaled,
+)
+from repro.streams import shuffled, uniform
+
+__all__ = ["META", "run"]
+
+META = ExperimentMeta(
+    experiment_id="E1",
+    title="Relative error vs. normalized rank",
+    paper_claim="Theorem 1; Section 1 motivation (tails need multiplicative error)",
+    expectation=(
+        "REQ relative error flat in R(y); additive sketches' relative error "
+        "grows ~1/R(y) toward their weak tail"
+    ),
+)
+
+#: Query fractions from the extreme low tail to the extreme high tail.
+FRACTIONS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 0.9, 0.99, 0.999, 0.9999)
+
+
+def run(scale: str = "default") -> List[Table]:
+    """Run E1 and return the low-side and high-side error tables."""
+    n = scaled(400_000, scale, minimum=20_000)
+    trials = scaled(8, scale, minimum=2)
+    data = shuffled(uniform(n, seed=101), seed=7)
+    oracle = RankOracle(data)
+    queries = oracle.query_points(FRACTIONS)
+
+    specs_low = [
+        req_spec(k=32),
+        kll_spec(k=200),
+        reservoir_spec(capacity=4096),
+        hier_spec(eps=0.05),
+    ]
+    specs_high = [
+        req_spec(k=32, hra=True),
+        kll_spec(k=200),
+        reservoir_spec(capacity=4096),
+    ]
+
+    tables = []
+    for side, specs in (("low", specs_low), ("high", specs_high)):
+        per_spec = {}
+        retained = {}
+        for spec in specs:
+            trial_errors: List[List[float]] = []
+            for trial in range(trials):
+                sketch = spec.build(1000 + trial)
+                sketch.update_many(data)
+                profile = evaluate_sketch(sketch, oracle, queries, name=spec.name, side=side)
+                if side == "high":
+                    trial_errors.append([q.tail_relative(n) for q in profile.queries])
+                else:
+                    trial_errors.append([q.relative for q in profile.queries])
+                retained[spec.name] = sketch.num_retained
+            per_spec[spec.name] = [
+                mean([errors[i] for errors in trial_errors]) for i in range(len(queries))
+            ]
+
+        table = Table(
+            f"E1 ({side}-rank side): mean relative error over {trials} trials, n={n}",
+            ["fraction", "true_rank"] + [spec.name for spec in specs],
+        )
+        for index, fraction in enumerate(FRACTIONS):
+            true_rank = oracle.rank(queries[index])
+            table.add_row(
+                fraction,
+                true_rank,
+                *[per_spec[spec.name][index] for spec in specs],
+            )
+        table.add_row(
+            "retained",
+            "-",
+            *[retained[spec.name] for spec in specs],
+        )
+        tables.append(table)
+    return tables
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    for table in run():
+        table.print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,101 @@
+"""E4 — The failure probability and the sub-Gaussian error shape.
+
+Paper claim (Theorem 14): with ``k`` set per Eq. (6) for a target
+``(eps, delta)``, a *fixed* query's estimate violates
+``|Err(y)| <= eps R(y)`` with probability less than ``3 delta`` — and
+the error ``Err(y)`` is a zero-mean sub-Gaussian variable with variance at
+most ``2^5 R(y)^2 / (k B)`` (Lemma 12).
+
+We repeat many independent runs, record the signed error at fixed query
+ranks, and report (a) the empirical failure rate against ``eps``, (b) the
+empirical mean (should straddle zero — unbiasedness), and (c) the ratio of
+the empirical standard deviation to Lemma 12's bound (should be <= 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core import ReqSketch, streaming_k
+from repro.core.bounds import lemma12_std_dev
+from repro.evaluation import RankOracle, Table
+from repro.experiments.common import ExperimentMeta, mean, scaled
+from repro.streams import shuffled, uniform
+
+__all__ = ["META", "run"]
+
+META = ExperimentMeta(
+    experiment_id="E4",
+    title="Failure probability at a fixed query",
+    paper_claim="Theorem 14: Pr[|Err(y)| >= eps R(y)] < 3 delta; Lemma 12 variance bound",
+    expectation="empirical failure rate << target; empirical std within Lemma 12 bound",
+)
+
+EPS = 0.05
+DELTA = 0.1
+QUERY_FRACTIONS = (0.01, 0.1, 0.5, 0.9)
+
+
+def run(scale: str = "default") -> List[Table]:
+    """Run E4 and return the failure-rate table."""
+    n = scaled(120_000, scale, minimum=20_000)
+    trials = scaled(60, scale, minimum=10)
+    data = shuffled(uniform(n, seed=404), seed=5)
+    oracle = RankOracle(data)
+    k = streaming_k(EPS, DELTA, n)
+
+    errors_by_query = {fraction: [] for fraction in QUERY_FRACTIONS}
+    retained = 0
+    for trial in range(trials):
+        sketch = ReqSketch(k, n_bound=n, scheme="fixed", seed=9000 + trial)
+        sketch.update_many(data)
+        retained = sketch.num_retained
+        for fraction in QUERY_FRACTIONS:
+            query = oracle.quantile(fraction)
+            true_rank = oracle.rank(query)
+            errors_by_query[fraction].append(sketch.rank(query) - true_rank)
+
+    table = Table(
+        f"E4: error distribution at fixed queries (k={k} from eps={EPS}, delta={DELTA}; "
+        f"{trials} trials, n={n}, retained~{retained})",
+        [
+            "fraction",
+            "true_rank",
+            "mean_err",
+            "std_err",
+            "lemma12_bound",
+            "std/bound",
+            "fail_rate",
+            "target_3delta",
+        ],
+    )
+    for fraction in QUERY_FRACTIONS:
+        query = oracle.quantile(fraction)
+        true_rank = oracle.rank(query)
+        errors = errors_by_query[fraction]
+        mu = mean(errors)
+        variance = mean([(e - mu) ** 2 for e in errors])
+        std = math.sqrt(variance)
+        bound = lemma12_std_dev(true_rank, k, n)
+        failures = sum(1 for e in errors if abs(e) > EPS * true_rank)
+        table.add_row(
+            fraction,
+            true_rank,
+            mu,
+            std,
+            bound,
+            std / bound if bound > 0 else 0.0,
+            failures / trials,
+            3 * DELTA,
+        )
+    return [table]
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    for table in run():
+        table.print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

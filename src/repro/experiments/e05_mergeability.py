@@ -1,0 +1,87 @@
+"""E5 — Full mergeability (Theorem 3 / Appendix D).
+
+Paper claim: a sketch assembled from *any* sequence of merge operations
+over any partition of the input obeys the same
+``Pr[|Err(y)| >= eps R(y)] < delta`` guarantee and the same space bound as
+the streaming sketch.
+
+We summarize the same stream four ways — pure streaming, balanced
+tournament merging, left-deep folding, and random pairings — for both the
+``theory`` scheme (the Algorithm 3 machinery with the estimate ladder and
+special compactions) and the practical ``auto`` scheme, and compare the
+maximum relative error and retained items across shapes.  The shape
+assertion: no merge pattern degrades the error class or blows up the
+space.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import ReqSketch
+from repro.evaluation import RankOracle, Table, build_via_tree, evaluate_sketch
+from repro.experiments.common import ExperimentMeta, TAIL_FRACTIONS, mean, scaled
+from repro.streams import shuffled, uniform
+
+__all__ = ["META", "run"]
+
+META = ExperimentMeta(
+    experiment_id="E5",
+    title="Mergeability across merge-tree shapes",
+    paper_claim="Theorem 3 / Appendix D: guarantees hold under arbitrary merges",
+    expectation="error and space within a constant of the streaming build for every shape",
+)
+
+SHAPES = ("streaming", "balanced", "left_deep", "random")
+
+
+def _factories(n: int) -> List:
+    return [
+        ("auto(k=32)", lambda seed: ReqSketch(32, seed=seed)),
+        ("theory(eps=.1)", lambda seed: ReqSketch(eps=0.1, delta=0.1, seed=seed)),
+    ]
+
+
+def run(scale: str = "default") -> List[Table]:
+    """Run E5 and return the per-shape error/space table."""
+    n = scaled(300_000, scale, minimum=30_000)
+    parts = 24
+    trials = scaled(6, scale, minimum=2)
+    data = shuffled(uniform(n, seed=505), seed=3)
+    oracle = RankOracle(data)
+    queries = oracle.query_points(TAIL_FRACTIONS)
+
+    table = Table(
+        f"E5: merge-tree shapes, n={n}, {parts} leaf sketches, mean of {trials} trials",
+        ["scheme", "shape", "max_rel_err", "mean_rel_err", "retained", "levels"],
+    )
+    for scheme_name, factory in _factories(n):
+        for shape in SHAPES:
+            max_errors, mean_errors, retained, levels = [], [], [], []
+            for trial in range(trials):
+                root = build_via_tree(
+                    factory, data, shape=shape, parts=parts, seed=7000 + 97 * trial
+                )
+                profile = evaluate_sketch(root, oracle, queries, name=scheme_name)
+                max_errors.append(profile.max_relative)
+                mean_errors.append(profile.mean_relative)
+                retained.append(root.num_retained)
+                levels.append(root.num_levels)
+            table.add_row(
+                scheme_name,
+                shape,
+                mean(max_errors),
+                mean(mean_errors),
+                int(mean(retained)),
+                int(mean(levels)),
+            )
+    return [table]
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    for table in run():
+        table.print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

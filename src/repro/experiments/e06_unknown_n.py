@@ -1,0 +1,107 @@
+"""E6 — Streams of unknown length (Section 5 and footnote 9).
+
+Paper claim: without any bound on ``n``, either (a) closing out summaries
+at the estimate ladder ``N_{i+1} = N_i^2`` (Section 5) or (b) recomputing
+the parameters in place (footnote 9, our ``theory`` scheme) preserves both
+the accuracy guarantee and the space bound up to constants — the total
+space is dominated by the last summary.
+
+We stream far past several ladder boundaries and compare, at checkpoints:
+the known-``n`` fixed sketch (the Theorem 14 reference), the close-out
+variant, and the in-place-growth variant — reporting max relative error,
+retained items, and the number of summaries/estimate in force.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import CloseOutReqSketch, ReqSketch, streaming_k
+from repro.evaluation import RankOracle, Table, evaluate_sketch
+from repro.experiments.common import ExperimentMeta, TAIL_FRACTIONS, scaled
+from repro.streams import shuffled, uniform
+
+__all__ = ["META", "run"]
+
+META = ExperimentMeta(
+    experiment_id="E6",
+    title="Unknown stream length: close-out vs in-place growth vs known-n",
+    paper_claim="Section 5 (close-out ladder) and footnote 9 (recompute in place)",
+    expectation="unknown-n space within a small constant of known-n; same error class",
+)
+
+EPS = 0.1
+DELTA = 0.1
+
+
+def run(scale: str = "default") -> List[Table]:
+    """Run E6 and return the checkpoint comparison table."""
+    n = scaled(400_000, scale, minimum=50_000)
+    data = shuffled(uniform(n, seed=606), seed=2)
+    checkpoints = [n // 16, n // 4, n]
+
+    closeout = CloseOutReqSketch(EPS, DELTA, seed=21)
+    inplace = ReqSketch(eps=EPS, delta=DELTA, seed=22)
+
+    table = Table(
+        f"E6: unknown-n handling (eps={EPS}, delta={DELTA})",
+        [
+            "n_so_far",
+            "variant",
+            "max_rel_err",
+            "retained",
+            "known_n_retained",
+            "space_ratio",
+            "summaries/estimate",
+        ],
+    )
+    cursor = 0
+    for checkpoint in checkpoints:
+        chunk = data[cursor:checkpoint]
+        cursor = checkpoint
+        closeout.update_many(chunk)
+        inplace.update_many(chunk)
+
+        prefix = data[:checkpoint]
+        oracle = RankOracle(prefix)
+        queries = oracle.query_points(TAIL_FRACTIONS)
+
+        known = ReqSketch(
+            streaming_k(EPS, DELTA, checkpoint), n_bound=checkpoint, scheme="fixed", seed=23
+        )
+        known.update_many(prefix)
+        known_profile = evaluate_sketch(known, oracle, queries, name="known-n")
+        table.add_row(
+            checkpoint,
+            "known-n (fixed)",
+            known_profile.max_relative,
+            known.num_retained,
+            known.num_retained,
+            1.0,
+            "-",
+        )
+
+        for variant_name, sketch, detail in (
+            ("close-out (S5)", closeout, f"{closeout.num_summaries} summaries"),
+            ("in-place (fn.9)", inplace, f"N={inplace.estimate}"),
+        ):
+            profile = evaluate_sketch(sketch, oracle, queries, name=variant_name)
+            table.add_row(
+                checkpoint,
+                variant_name,
+                profile.max_relative,
+                sketch.num_retained,
+                known.num_retained,
+                sketch.num_retained / max(known.num_retained, 1),
+                detail,
+            )
+    return [table]
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    for table in run():
+        table.print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,115 @@
+"""E8 — The motivating workload: tail percentiles of web latencies.
+
+Paper claim (Section 1): latency monitoring tracks p50/p90/p99/p99.9 on
+heavily long-tailed data (p98.5 ~ 2 s vs p99.5 ~ 20 s per Masson et
+al. [15]); accuracy is needed where ``n - R(y) << n``, which is exactly
+the HRA multiplicative guarantee.  Section 1.1 additionally argues that
+DDSketch's *value*-relative guarantee is a different (weaker for rank
+questions) notion, and that t-digest has no guarantee at all.
+
+We build every sketch over the synthetic latency mix (IID and bursty
+arrival variants) and report, per tail percentile: the tail-relative rank
+error and the value-relative quantile error.  Expected shape: REQ-HRA
+bounds the former; DDSketch bounds the latter but not the former; additive
+KLL loses on both at the extreme tail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.baselines import DDSketch, KLLSketch, TDigest
+from repro.core import ReqSketch
+from repro.evaluation import RankOracle, Table
+from repro.experiments.common import ExperimentMeta, mean, scaled
+from repro.streams import latency_bursty_stream, latency_stream
+
+__all__ = ["META", "run"]
+
+META = ExperimentMeta(
+    experiment_id="E8",
+    title="Tail percentiles on the long-tailed latency mix",
+    paper_claim="Section 1 motivation; Section 1.1 critique of t-digest [7] and DDSketch [15]",
+    expectation=(
+        "REQ-HRA keeps tail-relative rank error ~flat to p99.95; DDSketch keeps "
+        "value error only; KLL rank error explodes at the tail"
+    ),
+)
+
+PERCENTILES = (0.5, 0.9, 0.99, 0.999, 0.9995)
+
+
+def _sketches(seed: int) -> List:
+    return [
+        ("req-hra(k=32)", ReqSketch(32, hra=True, seed=seed)),
+        ("kll(k=200)", KLLSketch(k=200, seed=seed)),
+        ("tdigest(100)", TDigest(compression=100)),
+        ("ddsketch(.01)", DDSketch(alpha=0.01)),
+    ]
+
+
+def _measure(stream: Sequence[float], trials: int, base_seed: int) -> tuple:
+    """Returns ``(names, rank_errors, value_errors, retained)`` per sketch."""
+    oracle = RankOracle(stream)
+    n = oracle.n
+    names = [name for name, _ in _sketches(0)]
+    rank_errors = {name: [[] for _ in PERCENTILES] for name in names}
+    value_errors = {name: [[] for _ in PERCENTILES] for name in names}
+    retained = {}
+    for trial in range(trials):
+        for name, sketch in _sketches(base_seed + trial):
+            sketch.update_many(stream)
+            retained[name] = sketch.num_retained
+            for index, percentile in enumerate(PERCENTILES):
+                true_value = oracle.quantile(percentile)
+                true_rank = oracle.rank(true_value)
+                est_rank = float(sketch.rank(true_value))
+                rank_errors[name][index].append(
+                    abs(est_rank - true_rank) / max(n - true_rank + 1, 1)
+                )
+                est_value = float(sketch.quantile(percentile))
+                value_errors[name][index].append(
+                    abs(est_value - true_value) / max(abs(true_value), 1e-12)
+                )
+    return names, rank_errors, value_errors, retained
+
+
+def run(scale: str = "default") -> List[Table]:
+    """Run E8 and return (rank-error, value-error) tables per arrival mode."""
+    n = scaled(400_000, scale, minimum=40_000)
+    trials = scaled(5, scale, minimum=2)
+    tables: List[Table] = []
+    for mode, stream in (
+        ("iid", latency_stream(n, seed=808)),
+        ("bursty", latency_bursty_stream(n, seed=809)),
+    ):
+        names, rank_errors, value_errors, retained = _measure(stream, trials, 6000)
+        rank_table = Table(
+            f"E8 ({mode}): tail-relative rank error, n={n}, mean of {trials} trials",
+            ["percentile"] + names,
+        )
+        value_table = Table(
+            f"E8 ({mode}): value-relative quantile error, n={n}, mean of {trials} trials",
+            ["percentile"] + names,
+        )
+        for index, percentile in enumerate(PERCENTILES):
+            rank_table.add_row(
+                f"p{percentile * 100:g}",
+                *[mean(rank_errors[name][index]) for name in names],
+            )
+            value_table.add_row(
+                f"p{percentile * 100:g}",
+                *[mean(value_errors[name][index]) for name in names],
+            )
+        rank_table.add_row("retained", *[retained[name] for name in names])
+        tables.extend([rank_table, value_table])
+    return tables
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    for table in run():
+        table.print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

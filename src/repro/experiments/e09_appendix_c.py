@@ -1,0 +1,97 @@
+"""E9 — The Appendix C regime: tiny delta and the deterministic limit.
+
+Paper claims (Theorem 2 / Theorem 17):
+
+* With ``k`` per Eq. (15), the space is
+  ``O(eps^-1 log^2(eps n) log log(1/delta))`` — an exponentially better
+  ``delta`` dependence than Theorem 1's ``sqrt(log 1/delta)``, at the cost
+  of one extra ``sqrt(log(eps n))`` factor; the crossover is at
+  ``delta <= 1/(eps n)^Omega(1)``.
+* Taking ``delta < exp(-eps n)`` and fixing the coins yields a fully
+  deterministic algorithm with ``O(eps^-1 log^3(eps n))`` space, matching
+  Zhang-Wang [21].
+
+We compare the two section-size formulas across a delta sweep (space
+side), then run the deterministic instantiation over adversarial orderings
+and verify it *never* violates the eps bound (error side).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import DeterministicReqSketch, appendix_c_k, streaming_k
+from repro.evaluation import RankOracle, Table, evaluate_sketch
+from repro.experiments.common import ExperimentMeta, scaled
+from repro.streams import ORDERINGS, uniform
+
+__all__ = ["META", "run"]
+
+META = ExperimentMeta(
+    experiment_id="E9",
+    title="Appendix C: log log(1/delta) regime and the deterministic limit",
+    paper_claim="Theorem 2 space; Appendix C deterministic O(eps^-1 log^3(eps n))",
+    expectation=(
+        "Eq.(15) k beats Eq.(6) k for tiny delta; deterministic variant has zero "
+        "violations on every ordering"
+    ),
+)
+
+EPS = 0.1
+DELTAS = (0.1, 1e-3, 1e-6, 1e-12, 1e-24, 1e-48, 1e-96)
+FRACTIONS = (0.001, 0.01, 0.1, 0.5, 0.9, 0.99)
+
+
+def run(scale: str = "default") -> List[Table]:
+    """Run E9 and return (space-vs-delta, deterministic-error) tables.
+
+    A note on the space table: with the paper's explicit constants
+    (2^4 in Eq. 15 vs the 8/sqrt(log2 eps n) of Eq. 6), the Appendix C
+    section size does not drop below the Theorem 1 one for any
+    float-representable delta at practical n — the claimed advantage is
+    about the *growth rate* (sqrt(ln 1/delta) vs log2 ln(1/delta)), so we
+    report each formula's growth factor relative to its delta=0.1 value:
+    Eq. (6)'s factor keeps climbing while Eq. (15)'s flattens.
+    """
+    n = scaled(200_000, scale, minimum=30_000)
+
+    space = Table(
+        f"E9: section size k from Eq.(6) vs Eq.(15) at eps={EPS}, n={n} "
+        "(growth = k(delta) / k(0.1))",
+        ["delta", "k_thm1_eq6", "eq6_growth", "k_appC_eq15", "eq15_growth"],
+    )
+    base6 = streaming_k(EPS, DELTAS[0], n)
+    base15 = appendix_c_k(EPS, DELTAS[0])
+    for delta in DELTAS:
+        k6 = streaming_k(EPS, delta, n)
+        k15 = appendix_c_k(EPS, delta)
+        space.add_row(delta, k6, k6 / base6, k15, k15 / base15)
+
+    data = uniform(n, seed=909)
+    determ_table = Table(
+        f"E9: deterministic instantiation across orderings (eps={EPS}, n={n})",
+        ["ordering", "max_rel_err", "violates_eps", "retained"],
+    )
+    for ordering_name, transform in ORDERINGS.items():
+        stream = transform(data)
+        oracle = RankOracle(stream)
+        queries = oracle.query_points(FRACTIONS)
+        sketch = DeterministicReqSketch(EPS, n_bound=n)
+        sketch.update_many(stream)
+        profile = evaluate_sketch(sketch, oracle, queries, name="determ")
+        determ_table.add_row(
+            ordering_name,
+            profile.max_relative,
+            profile.max_relative > EPS,
+            sketch.num_retained,
+        )
+    return [space, determ_table]
+
+
+def main() -> None:  # pragma: no cover - exercised via the CLI
+    for table in run():
+        table.print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,5 @@
+"""Numpy-accelerated float64 engine, cross-validated against the reference."""
+
+from repro.fast.engine import FastReqSketch
+
+__all__ = ["FastReqSketch"]

@@ -1,0 +1,5 @@
+"""Operational monitoring built on sketch mergeability (Theorem 3)."""
+
+from repro.monitor.windows import TumblingWindowMonitor, WindowSnapshot
+
+__all__ = ["TumblingWindowMonitor", "WindowSnapshot"]

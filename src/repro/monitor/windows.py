@@ -1,0 +1,187 @@
+"""Tumbling-window quantile monitoring built on sketch merging.
+
+The introduction's use case — tracking p50/p90/p99/p99.9 of response
+times — is in practice a *windowed* problem: operators want per-minute
+percentiles, an aggregate over the last hour, and alerts when the tail
+moves.  Full mergeability (Theorem 3) is exactly what makes this cheap:
+keep one small sketch per window and *merge* on demand for any horizon,
+rather than re-scanning data.
+
+:class:`TumblingWindowMonitor` implements the pattern with count-based
+windows (deterministic and easily testable; a wall-clock deployment maps
+timestamps to window indices the same way):
+
+* ``record(value)`` feeds the current window's sketch, rolling over every
+  ``window_size`` items;
+* ``horizon(last=m)`` returns one merged sketch over the last ``m``
+  windows — a pure merge, the inputs are untouched;
+* ``percentile_series(q)`` gives the per-window trend of a percentile;
+* ``tail_shift(q)`` compares the newest closed window against the
+  preceding baseline for alert-style regression detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro.core.req import ReqSketch
+from repro.errors import EmptySketchError, InvalidParameterError
+
+__all__ = ["WindowSnapshot", "TumblingWindowMonitor"]
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Immutable record of one closed window.
+
+    Attributes:
+        index: 0-based window sequence number.
+        sketch: The window's (frozen-by-convention) sketch.
+    """
+
+    index: int
+    sketch: ReqSketch
+
+    @property
+    def n(self) -> int:
+        return self.sketch.n
+
+    def quantile(self, q: float):
+        return self.sketch.quantile(q)
+
+
+class TumblingWindowMonitor:
+    """Per-window REQ sketches with merge-on-demand horizon queries.
+
+    Args:
+        window_size: Items per window (> 0).
+        retention: Closed windows kept for horizon queries (older windows
+            are dropped FIFO).
+        sketch_factory: ``(seed) -> ReqSketch``; defaults to
+            ``ReqSketch(k=32, hra=True)`` — the latency configuration.
+        seed: Base seed; window ``i`` gets ``seed + i``.
+    """
+
+    def __init__(
+        self,
+        window_size: int,
+        *,
+        retention: int = 64,
+        sketch_factory: Optional[Callable[[Optional[int]], ReqSketch]] = None,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if window_size < 1:
+            raise InvalidParameterError(f"window_size must be >= 1, got {window_size}")
+        if retention < 1:
+            raise InvalidParameterError(f"retention must be >= 1, got {retention}")
+        self.window_size = window_size
+        self.retention = retention
+        self._factory = sketch_factory or (
+            lambda s: ReqSketch(32, hra=True, seed=s)
+        )
+        self._seed = seed
+        self._windows: Deque[WindowSnapshot] = deque(maxlen=retention)
+        self._window_count = 0
+        self._active = self._new_sketch()
+        self._total = 0
+
+    def _new_sketch(self) -> ReqSketch:
+        seed = None if self._seed is None else self._seed + self._window_count
+        return self._factory(seed)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def record(self, value) -> None:
+        """Feed one measurement; the window closes as soon as it is full."""
+        self._active.update(value)
+        self._total += 1
+        if self._active.n >= self.window_size:
+            self._roll()
+
+    def record_many(self, values: Sequence) -> None:
+        """Feed a batch of measurements in order."""
+        for value in values:
+            self.record(value)
+
+    def _roll(self) -> None:
+        self._windows.append(WindowSnapshot(self._window_count, self._active))
+        self._window_count += 1
+        self._active = self._new_sketch()
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def total_recorded(self) -> int:
+        """All measurements ever recorded (including dropped windows)."""
+        return self._total
+
+    @property
+    def num_closed_windows(self) -> int:
+        """Closed windows currently retained."""
+        return len(self._windows)
+
+    @property
+    def current_window_n(self) -> int:
+        """Measurements in the open (not yet closed) window."""
+        return self._active.n
+
+    def closed_windows(self) -> List[WindowSnapshot]:
+        """Retained closed windows, oldest first."""
+        return list(self._windows)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def horizon(self, last: Optional[int] = None, *, include_open: bool = True) -> ReqSketch:
+        """One merged sketch over the most recent windows (pure merge).
+
+        Args:
+            last: Number of closed windows to include (default: all
+                retained).
+            include_open: Also merge the currently filling window.
+
+        Raises:
+            EmptySketchError: If the selection holds no data.
+        """
+        selected = list(self._windows)
+        if last is not None:
+            if last < 0:
+                raise InvalidParameterError(f"last must be >= 0, got {last}")
+            selected = selected[-last:] if last else []
+        merged = self._factory(None if self._seed is None else self._seed - 1)
+        for snapshot in selected:
+            merged.merge(snapshot.sketch)
+        if include_open and self._active.n:
+            merged.merge(self._active)
+        if merged.is_empty:
+            raise EmptySketchError("horizon over empty windows")
+        return merged
+
+    def percentile_series(self, q: float) -> List:
+        """The per-closed-window trend of percentile ``q``, oldest first."""
+        return [snapshot.quantile(q) for snapshot in self._windows]
+
+    def tail_shift(self, q: float = 0.99, *, baseline: int = 4) -> Optional[float]:
+        """Ratio of the newest closed window's ``q``-quantile to the
+        preceding ``baseline`` windows' merged ``q``-quantile.
+
+        Returns ``None`` until enough windows closed.  A ratio of 2.0
+        means the tail doubled — the paper's motivating regression signal.
+        """
+        if len(self._windows) < baseline + 1:
+            return None
+        newest = self._windows[-1]
+        reference = self._factory(None if self._seed is None else self._seed - 2)
+        for snapshot in list(self._windows)[-(baseline + 1) : -1]:
+            reference.merge(snapshot.sketch)
+        base_value = reference.quantile(q)
+        if base_value == 0:
+            return None
+        return newest.quantile(q) / base_value

@@ -1,0 +1,57 @@
+"""Synthetic stream workloads: distributions, orderings, and the latency mix."""
+
+from repro.streams.generators import (
+    DISTRIBUTIONS,
+    constant,
+    duplicated_integers,
+    exponential,
+    gaussian,
+    lognormal,
+    pareto,
+    sequential,
+    two_point,
+    uniform,
+    zipf_integers,
+)
+from repro.streams.latency import SLOW_FRACTION, latency_bursty_stream, latency_stream
+from repro.streams.timeseries import diurnal_cycle, drifting_lognormal, regime_switching
+from repro.streams.orderings import (
+    ORDERINGS,
+    as_arrived,
+    ascending,
+    block_shuffled,
+    descending,
+    sawtooth,
+    shuffled,
+    zoom_in,
+    zoom_out,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "ORDERINGS",
+    "SLOW_FRACTION",
+    "as_arrived",
+    "ascending",
+    "block_shuffled",
+    "constant",
+    "descending",
+    "diurnal_cycle",
+    "drifting_lognormal",
+    "duplicated_integers",
+    "exponential",
+    "gaussian",
+    "regime_switching",
+    "latency_bursty_stream",
+    "latency_stream",
+    "lognormal",
+    "pareto",
+    "sawtooth",
+    "sequential",
+    "shuffled",
+    "two_point",
+    "uniform",
+    "zipf_integers",
+    "zoom_in",
+    "zoom_out",
+]

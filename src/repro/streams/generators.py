@@ -1,0 +1,135 @@
+"""Seeded synthetic stream generators.
+
+Every generator returns a plain ``list`` of items and takes an explicit
+``seed``; the experiment harness never uses global randomness, so every
+number in EXPERIMENTS.md is reproducible bit-for-bit.
+
+The registry :data:`DISTRIBUTIONS` maps names to ``(n, seed) -> list``
+factories for use in parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "uniform",
+    "gaussian",
+    "exponential",
+    "lognormal",
+    "pareto",
+    "zipf_integers",
+    "duplicated_integers",
+    "constant",
+    "two_point",
+    "sequential",
+    "DISTRIBUTIONS",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 0:
+        raise InvalidParameterError(f"stream length must be >= 0, got {n}")
+
+
+def uniform(n: int, seed: int = 0, *, low: float = 0.0, high: float = 1.0) -> List[float]:
+    """IID uniform reals on ``[low, high)``."""
+    _check_n(n)
+    rng = random.Random(seed)
+    span = high - low
+    return [low + span * rng.random() for _ in range(n)]
+
+
+def gaussian(n: int, seed: int = 0, *, mu: float = 0.0, sigma: float = 1.0) -> List[float]:
+    """IID normal reals."""
+    _check_n(n)
+    rng = random.Random(seed)
+    return [rng.gauss(mu, sigma) for _ in range(n)]
+
+
+def exponential(n: int, seed: int = 0, *, rate: float = 1.0) -> List[float]:
+    """IID exponential reals (light right tail)."""
+    _check_n(n)
+    if rate <= 0:
+        raise InvalidParameterError(f"rate must be positive, got {rate}")
+    rng = random.Random(seed)
+    return [rng.expovariate(rate) for _ in range(n)]
+
+
+def lognormal(n: int, seed: int = 0, *, mu: float = 0.0, sigma: float = 1.0) -> List[float]:
+    """IID lognormal reals (moderate right tail; classic latency shape)."""
+    _check_n(n)
+    rng = random.Random(seed)
+    return [rng.lognormvariate(mu, sigma) for _ in range(n)]
+
+
+def pareto(n: int, seed: int = 0, *, alpha: float = 1.5, scale: float = 1.0) -> List[float]:
+    """IID Pareto reals (heavy right tail; the hard case for tail accuracy)."""
+    _check_n(n)
+    if alpha <= 0:
+        raise InvalidParameterError(f"alpha must be positive, got {alpha}")
+    rng = random.Random(seed)
+    return [scale * rng.paretovariate(alpha) for _ in range(n)]
+
+
+def zipf_integers(n: int, seed: int = 0, *, exponent: float = 1.2, universe: int = 10_000) -> List[int]:
+    """Integers drawn Zipf-style: value ``v`` with probability ~ ``v^-exponent``.
+
+    Produces the many-duplicates regime that stresses tie handling in
+    comparison-based sketches.
+    """
+    _check_n(n)
+    if exponent <= 0:
+        raise InvalidParameterError(f"exponent must be positive, got {exponent}")
+    if universe < 1:
+        raise InvalidParameterError(f"universe must be >= 1, got {universe}")
+    rng = random.Random(seed)
+    weights = [1.0 / (v**exponent) for v in range(1, universe + 1)]
+    return rng.choices(range(1, universe + 1), weights=weights, k=n)
+
+
+def duplicated_integers(n: int, seed: int = 0, *, universe: int = 100) -> List[int]:
+    """Uniform integers from a tiny universe — extreme duplication."""
+    _check_n(n)
+    if universe < 1:
+        raise InvalidParameterError(f"universe must be >= 1, got {universe}")
+    rng = random.Random(seed)
+    return [rng.randrange(universe) for _ in range(n)]
+
+
+def constant(n: int, seed: int = 0, *, value: float = 1.0) -> List[float]:
+    """A stream of one repeated value (degenerate edge case)."""
+    _check_n(n)
+    return [value] * n
+
+
+def two_point(n: int, seed: int = 0, *, low: float = 0.0, high: float = 1.0, p_high: float = 0.01) -> List[float]:
+    """Two-valued stream with rare highs — a minimal 'tail' distribution."""
+    _check_n(n)
+    if not 0.0 <= p_high <= 1.0:
+        raise InvalidParameterError(f"p_high must be in [0, 1], got {p_high}")
+    rng = random.Random(seed)
+    return [high if rng.random() < p_high else low for _ in range(n)]
+
+
+def sequential(n: int, seed: int = 0) -> List[int]:
+    """The stream ``0, 1, ..., n-1`` — all-distinct, already sorted."""
+    _check_n(n)
+    return list(range(n))
+
+
+#: Name -> factory registry used by parameter sweeps.  All factories share
+#: the ``(n, seed) -> list`` signature with defaults for shape parameters.
+DISTRIBUTIONS: Dict[str, Callable[[int, int], List]] = {
+    "uniform": uniform,
+    "gaussian": gaussian,
+    "exponential": exponential,
+    "lognormal": lognormal,
+    "pareto": pareto,
+    "zipf": zipf_integers,
+    "duplicates": duplicated_integers,
+    "sequential": sequential,
+}

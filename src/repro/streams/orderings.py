@@ -1,0 +1,131 @@
+"""Stream-order transforms.
+
+A comparison-based sketch's *guarantee* is order-oblivious, but its
+*realized* error is not: the coin flips interact with arrival order, and
+heuristics without guarantees (t-digest) are famously order-sensitive.
+Experiment E7 replays the same multiset under every transform below.
+
+Each transform is a pure function ``list -> list`` (the input is never
+mutated); :data:`ORDERINGS` registers them by name.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "as_arrived",
+    "ascending",
+    "descending",
+    "shuffled",
+    "zoom_in",
+    "zoom_out",
+    "sawtooth",
+    "block_shuffled",
+    "ORDERINGS",
+]
+
+
+def as_arrived(items: Sequence[Any]) -> List[Any]:
+    """Identity: the original arrival order."""
+    return list(items)
+
+
+def ascending(items: Sequence[Any]) -> List[Any]:
+    """Sorted ascending — the classic adversarial order for naive summaries."""
+    return sorted(items)
+
+
+def descending(items: Sequence[Any]) -> List[Any]:
+    """Sorted descending."""
+    return sorted(items, reverse=True)
+
+
+def shuffled(items: Sequence[Any], seed: int = 0) -> List[Any]:
+    """Uniformly random permutation (seeded)."""
+    result = list(items)
+    random.Random(seed).shuffle(result)
+    return result
+
+
+def zoom_in(items: Sequence[Any]) -> List[Any]:
+    """Alternate extremes converging inward: min, max, 2nd-min, 2nd-max, ...
+
+    Every prefix spans the full value range, so early compactions mix
+    extremes — a stress pattern used in the DataSketches test suites.
+    """
+    ordered = sorted(items)
+    result: List[Any] = []
+    low, high = 0, len(ordered) - 1
+    while low <= high:
+        result.append(ordered[low])
+        low += 1
+        if low <= high:
+            result.append(ordered[high])
+            high -= 1
+    return result
+
+
+def zoom_out(items: Sequence[Any]) -> List[Any]:
+    """From the middle outward: medians first, extremes last.
+
+    The extremes arrive when the sketch is already full — the mirror image
+    of :func:`zoom_in`.
+    """
+    ordered = sorted(items)
+    result: List[Any] = []
+    low, high = 0, len(ordered) - 1
+    while low <= high:
+        result.append(ordered[low])
+        low += 1
+        if low <= high:
+            result.append(ordered[high])
+            high -= 1
+    result.reverse()
+    return result
+
+
+def sawtooth(items: Sequence[Any], teeth: int = 16) -> List[Any]:
+    """Repeated ascending ramps: sort, then interleave ``teeth`` strides.
+
+    Models periodic workloads (daily load cycles) where the value range
+    repeats many times over the stream.
+    """
+    if teeth < 1:
+        raise InvalidParameterError(f"teeth must be >= 1, got {teeth}")
+    ordered = sorted(items)
+    result: List[Any] = []
+    for start in range(teeth):
+        result.extend(ordered[start::teeth])
+    return result
+
+
+def block_shuffled(items: Sequence[Any], block: int = 1000, seed: int = 0) -> List[Any]:
+    """Sort, cut into blocks, shuffle the blocks (locally sorted arrivals).
+
+    Models near-sorted inputs such as timestamped events with bounded
+    reordering.
+    """
+    if block < 1:
+        raise InvalidParameterError(f"block must be >= 1, got {block}")
+    ordered = sorted(items)
+    blocks = [ordered[i : i + block] for i in range(0, len(ordered), block)]
+    random.Random(seed).shuffle(blocks)
+    return [item for chunk in blocks for item in chunk]
+
+
+#: Name -> transform registry.  Transforms taking extra parameters are
+#: registered with their defaults bound.
+ORDERINGS: Dict[str, Callable[[Sequence[Any]], List[Any]]] = {
+    "as_arrived": as_arrived,
+    "ascending": ascending,
+    "descending": descending,
+    "shuffled": shuffled,
+    "zoom_in": zoom_in,
+    "zoom_out": zoom_out,
+    "sawtooth": sawtooth,
+    "block_shuffled": block_shuffled,
+}

@@ -1,0 +1,178 @@
+"""Closed-form space bounds for every algorithm in the paper's Section 1.1.
+
+These are the *asymptotic* item counts with unit constants; they exist so
+the space experiments (E2/E3) can overlay measured retention against the
+claimed growth shapes, and so the README can print the comparison table the
+paper's introduction walks through.
+
+All functions return floats (items, not bytes) and treat logarithms the way
+the paper writes them: ``log2`` where the paper writes ``log`` of stream
+quantities, natural log for ``log(1/delta)`` Chernoff terms.  Arguments are
+clamped so the formulas stay meaningful for small inputs
+(``log`` terms never drop below 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "req_theorem1_items",
+    "req_theorem2_items",
+    "req_all_quantiles_items",
+    "kll_items",
+    "gk_items",
+    "mrl_items",
+    "agarwal_items",
+    "felber_ostrovsky_items",
+    "zhang2006_items",
+    "zhang_wang_items",
+    "cormode05_items",
+    "gupta_zane_items",
+    "lower_bound_randomized_items",
+    "lower_bound_deterministic_items",
+    "theorem15_bits",
+    "log_growth_exponent",
+]
+
+
+def _check(eps: float, n: float) -> None:
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+
+
+def _log2eps(eps: float, n: float) -> float:
+    """``log2(eps * n)`` clamped to >= 1."""
+    return max(1.0, math.log2(max(2.0, eps * n)))
+
+
+def req_theorem1_items(eps: float, n: float, delta: float = 0.05) -> float:
+    """Theorem 1: ``eps^-1 * log^1.5(eps n) * sqrt(ln 1/delta)`` items."""
+    _check(eps, n)
+    return (1.0 / eps) * _log2eps(eps, n) ** 1.5 * math.sqrt(math.log(1.0 / delta))
+
+
+def req_theorem2_items(eps: float, n: float, delta: float = 0.05) -> float:
+    """Theorem 2 (Appendix C): ``eps^-1 * log^2(eps n) * log2 ln(1/delta)``."""
+    _check(eps, n)
+    loglog = max(1.0, math.log2(max(2.0, math.log(1.0 / delta))))
+    return (1.0 / eps) * _log2eps(eps, n) ** 2 * loglog
+
+
+def req_all_quantiles_items(eps: float, n: float, delta: float = 0.05) -> float:
+    """Corollary 1: all-quantiles via the union bound over the eps-cover."""
+    _check(eps, n)
+    inflated = math.log(max(math.e, _log2eps(eps, n) / (eps * delta)))
+    return (1.0 / eps) * _log2eps(eps, n) ** 1.5 * math.sqrt(inflated)
+
+
+def kll_items(eps: float, delta: float = 0.05) -> float:
+    """KLL [12]: ``eps^-1 * log2 ln(1/delta)`` — independent of n."""
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    loglog = max(1.0, math.log2(max(2.0, math.log(1.0 / delta))))
+    return (1.0 / eps) * loglog
+
+
+def gk_items(eps: float, n: float) -> float:
+    """Greenwald-Khanna [10]: ``eps^-1 * log2(eps n)`` (deterministic)."""
+    _check(eps, n)
+    return (1.0 / eps) * _log2eps(eps, n)
+
+
+def mrl_items(eps: float, n: float) -> float:
+    """Manku-Rajagopalan-Lindsay [13]: ``eps^-1 * log^2(eps n)``."""
+    _check(eps, n)
+    return (1.0 / eps) * _log2eps(eps, n) ** 2
+
+
+def agarwal_items(eps: float) -> float:
+    """Agarwal et al. [1]: ``eps^-1 * log^1.5(1/eps)`` (mergeable, additive)."""
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    return (1.0 / eps) * max(1.0, math.log2(1.0 / eps)) ** 1.5
+
+
+def felber_ostrovsky_items(eps: float) -> float:
+    """Felber-Ostrovsky [8]: ``eps^-1 * log(1/eps)`` (additive)."""
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    return (1.0 / eps) * max(1.0, math.log2(1.0 / eps))
+
+
+def zhang2006_items(eps: float, n: float) -> float:
+    """Zhang et al. [22]: ``eps^-2 * log2(eps^2 n)`` (randomized, relative)."""
+    _check(eps, n)
+    return (1.0 / eps**2) * max(1.0, math.log2(max(2.0, eps * eps * n)))
+
+
+def zhang_wang_items(eps: float, n: float) -> float:
+    """Zhang-Wang [21]: ``eps^-1 * log^3(eps n)`` (deterministic, relative)."""
+    _check(eps, n)
+    return (1.0 / eps) * _log2eps(eps, n) ** 3
+
+
+def cormode05_items(eps: float, n: float, universe: float) -> float:
+    """Cormode et al. [5]: ``eps^-1 * log2(eps n) * log2 |U|``.
+
+    Requires prior knowledge of a bounded universe ``U`` — the reason the
+    paper rules it out for real-valued data; included formula-only.
+    """
+    _check(eps, n)
+    if universe < 2:
+        raise InvalidParameterError(f"universe must be >= 2, got {universe}")
+    return (1.0 / eps) * _log2eps(eps, n) * math.log2(universe)
+
+
+def gupta_zane_items(eps: float, n: float) -> float:
+    """Gupta-Zane [11]: ``eps^-3 * log^2(eps n)`` (relative; needs n known)."""
+    _check(eps, n)
+    return (1.0 / eps**3) * _log2eps(eps, n) ** 2
+
+
+def lower_bound_randomized_items(eps: float, n: float) -> float:
+    """The ``Omega(eps^-1 log(eps n))`` randomized lower bound ([4], Thm 2)."""
+    _check(eps, n)
+    return (1.0 / eps) * _log2eps(eps, n)
+
+
+def lower_bound_deterministic_items(eps: float, n: float) -> float:
+    """Cormode-Vesely [6]: ``Omega(eps^-1 log^2(eps n))``, comparison-based."""
+    _check(eps, n)
+    return (1.0 / eps) * _log2eps(eps, n) ** 2
+
+
+def theorem15_bits(eps: float, n: float, universe: float) -> float:
+    """Theorem 15 (Appendix A): ``Omega(eps^-1 log(eps n) log(eps |U|))`` bits."""
+    _check(eps, n)
+    if universe < 2:
+        raise InvalidParameterError(f"universe must be >= 2, got {universe}")
+    return (1.0 / eps) * _log2eps(eps, n) * max(1.0, math.log2(max(2.0, eps * universe)))
+
+
+def log_growth_exponent(ns: list, sizes: list) -> float:
+    """Fit ``size ~ c * log2(n)^p`` and return ``p`` by least squares.
+
+    Used by experiment E2 to check the measured space growth exponent:
+    REQ should fit ``p ~ 1.5``, the deterministic variant ``p ~ 3``, GK
+    ``p ~ 1``.
+
+    Args:
+        ns: Stream lengths (>= 2 entries, all > 1).
+        sizes: Measured retained items at each length.
+    """
+    if len(ns) != len(sizes) or len(ns) < 2:
+        raise InvalidParameterError("need >= 2 paired (n, size) observations")
+    xs = [math.log(math.log2(max(2.0, float(n)))) for n in ns]
+    ys = [math.log(max(1.0, float(s))) for s in sizes]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise InvalidParameterError("stream lengths are too close to fit a growth exponent")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx

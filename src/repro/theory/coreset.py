@@ -1,0 +1,144 @@
+"""The offline-optimal relative-error coreset (Appendix A remark).
+
+Below Theorem 15 the paper sketches the matching upper bound: offline, an
+optimal summary of ``O(eps^-1 * log(eps n))`` items keeps
+
+* every item of rank ``1 .. 2*l`` at weight 1,
+* every other item of rank ``2*l + 1 .. 4*l`` at weight 2,
+* every fourth item of rank ``4*l + 1 .. 8*l`` at weight 4, ...
+
+with ``l = ceil(1/eps)``.  A rank ``r`` in phase ``i`` (ranks
+``(2^i*l, 2^{i+1}*l]``) is answered with error at most ``2^i < r/l <=
+eps*r``: the multiplicative guarantee, deterministically.
+
+This object serves three roles in the reproduction:
+
+1. the "offline optimal" row of the space experiments — the gold standard
+   any streaming algorithm is compared against;
+2. the eps-cover used in Corollary 1's proof (the coreset's items form a
+   set such that any query has a nearby covered query), powering the
+   all-quantiles experiment E11;
+3. a deterministic reference decoder for the Appendix A reconstruction
+   experiment E12.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import EmptySketchError, InvalidParameterError
+
+__all__ = ["OfflineCoreset", "coreset_size_bound"]
+
+
+def coreset_size_bound(eps: float, n: int) -> int:
+    """Upper bound on the coreset size: ``2*l*(log2(n/l)+2)`` items."""
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    ell = math.ceil(1.0 / eps)
+    phases = max(1, math.ceil(math.log2(max(2.0, n / ell))))
+    return 2 * ell * (phases + 2)
+
+
+class OfflineCoreset:
+    """Deterministic offline summary with multiplicative error ``eps``.
+
+    Args:
+        items: The *entire* dataset (any comparable items).  Sorted here.
+        eps: Target relative error; sets ``l = ceil(1/eps)``.
+        hra: If ``True``, build the summary from the top (sharp at high
+            ranks), mirroring the sketches' HRA mode.
+    """
+
+    def __init__(self, items: Sequence[Any], eps: float, *, hra: bool = False) -> None:
+        if len(items) == 0:
+            raise EmptySketchError("OfflineCoreset needs a non-empty dataset")
+        if not 0.0 < eps <= 1.0:
+            raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+        self.eps = eps
+        self.hra = hra
+        self.n = len(items)
+        self.ell = math.ceil(1.0 / eps)
+        ordered = sorted(items)
+        pairs = self._build(ordered, self.ell)
+        if hra:
+            # Mirror: apply the construction to the reversed order, then
+            # restore ascending item order.
+            mirrored = self._build(ordered[::-1], self.ell)
+            pairs = [(item, weight) for item, weight in mirrored][::-1]
+        self._items: List[Any] = [item for item, _ in pairs]
+        self._weights: List[int] = [weight for _, weight in pairs]
+        self._cumulative: List[int] = list(itertools.accumulate(self._weights))
+
+    @staticmethod
+    def _build(ordered: Sequence[Any], ell: int) -> List[Tuple[Any, int]]:
+        """Phase construction over a sorted sequence (ascending ranks)."""
+        pairs: List[Tuple[Any, int]] = []
+        n = len(ordered)
+        # Phase 0: ranks 1..2*ell, stride 1, weight 1.
+        limit = min(n, 2 * ell)
+        for index in range(limit):
+            pairs.append((ordered[index], 1))
+        start = limit  # 0-based rank of the next uncovered item
+        stride = 2
+        while start < n:
+            end = min(n, 2 * stride * ell)
+            # Within (start, end], keep every `stride`-th item; each stored
+            # item represents the `stride` ranks ending at it.
+            index = start + stride - 1
+            while index < end:
+                pairs.append((ordered[index], stride))
+                index += stride
+            leftover = end - (index - stride + 1)
+            if 0 < leftover:
+                # Tail of the phase shorter than one stride: keep the last
+                # item with the leftover weight so total weight == n.
+                pairs.append((ordered[end - 1], leftover))
+            start = end
+            stride *= 2
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_retained(self) -> int:
+        return len(self._items)
+
+    @property
+    def total_weight(self) -> int:
+        return self._cumulative[-1] if self._cumulative else 0
+
+    def items(self) -> List[Any]:
+        """Stored items, ascending — this is also Corollary 1's eps-cover."""
+        return list(self._items)
+
+    def pairs(self) -> List[Tuple[Any, int]]:
+        """``(item, weight)`` pairs, ascending."""
+        return list(zip(self._items, self._weights))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self, item: Any, *, inclusive: bool = True) -> int:
+        """Estimated rank; deterministically within ``eps * R`` of truth."""
+        if inclusive:
+            index = bisect.bisect_right(self._items, item)
+        else:
+            index = bisect.bisect_left(self._items, item)
+        return self._cumulative[index - 1] if index else 0
+
+    def quantile(self, q: float) -> Any:
+        """Stored item at normalized rank ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"fraction must be in [0, 1], got {q}")
+        target = max(1, math.ceil(q * self.total_weight))
+        index = min(bisect.bisect_left(self._cumulative, target), len(self._items) - 1)
+        return self._items[index]

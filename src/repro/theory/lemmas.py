@@ -1,0 +1,211 @@
+"""Empirical verification of the paper's internal lemmas.
+
+The headline theorems rest on a chain of structural lemmas about what
+happens *inside* the sketch.  This module instruments the sketch so each
+link of the chain can be measured directly on concrete streams:
+
+* **Lemma 6** — for any threshold item ``y``, the number of *important*
+  compaction steps at a level (those that change ``y``'s error) is at most
+  ``R_h(y) / k``, where ``R_h(y)`` is ``y``'s rank in the level's input.
+* **Observation 8 / Lemma 10** — ``y``'s rank roughly halves per level:
+  ``R_{h+1}(y) <= max(0, R_h(y) - B/2)`` deterministically, and
+  ``R_h(y) <= 2^{-h+1} R(y)`` with high probability.
+* **Lemma 11** — no important item reaches level ``H(y)``.
+* **Eq. (5) decomposition** — the end-to-end error is exactly
+  ``sum_h 2^h * Err_h(y)`` with
+  ``Err_h(y) = R_h(y) - 2 R_{h+1}(y) - R(y; B_h)``; this is an algebraic
+  identity and must hold *exactly* on every run.
+
+These are used by `tests/test_lemmas.py` and make the reproduction
+falsifiable at the granularity the proofs actually operate at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.compactor import RelativeCompactor
+from repro.core.req import ReqSketch
+
+__all__ = [
+    "LevelTrace",
+    "InstrumentedReqSketch",
+    "lemma6_report",
+    "error_decomposition",
+    "rank_halving_profile",
+]
+
+
+@dataclass
+class LevelTrace:
+    """Everything observed about one compactor level during a run.
+
+    Attributes:
+        inputs: Every item ever fed to this level (stream + promotions).
+        compaction_slices: The sorted slice compacted at each compaction.
+    """
+
+    inputs: List[Any] = field(default_factory=list)
+    compaction_slices: List[List[Any]] = field(default_factory=list)
+
+    def rank_of(self, y: Any) -> int:
+        """``R_h(y)``: the number of level inputs <= y."""
+        return sum(1 for item in self.inputs if item <= y)
+
+    def important_steps(self, y: Any) -> int:
+        """Compactions whose slice held an odd number of items <= y.
+
+        By Observation 4 these are exactly the compactions that add +/-1
+        to ``y``'s error; even counts contribute zero.
+        """
+        count = 0
+        for slice_ in self.compaction_slices:
+            important = sum(1 for item in slice_ if item <= y)
+            if important % 2 == 1:
+                count += 1
+        return count
+
+
+class _TracingCompactor(RelativeCompactor):
+    """A relative-compactor that reports its compaction slices."""
+
+    def __init__(self, *args, trace: LevelTrace, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._trace = trace
+
+    def append(self, item: Any) -> None:
+        self._trace.inputs.append(item)
+        super().append(item)
+
+    def extend(self, items) -> None:
+        items = list(items)
+        self._trace.inputs.extend(items)
+        super().extend(items)
+
+    def compact(self, protect: int) -> List[Any]:
+        before = sorted(self._buffer)
+        promoted = super().compact(protect)
+        if promoted or len(self._buffer) != len(before):
+            after = sorted(self._buffer)
+            # The compacted slice = multiset difference before - after.
+            slice_: List[Any] = []
+            remaining = list(after)
+            for item in before:
+                if remaining and remaining[0] == item:
+                    remaining.pop(0)
+                else:
+                    slice_.append(item)
+            self._trace.compaction_slices.append(slice_)
+        return promoted
+
+
+class InstrumentedReqSketch(ReqSketch):
+    """A ReqSketch recording per-level input streams and compactions.
+
+    Only meaningful for streaming runs (updates, not merges); intended for
+    lemma verification on moderate stream sizes.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        self.traces: List[LevelTrace] = []
+        super().__init__(*args, **kwargs)
+
+    def _new_compactor(self) -> RelativeCompactor:
+        trace = LevelTrace()
+        self.traces.append(trace)
+        return _TracingCompactor(
+            self._k,
+            hra=self.hra,
+            rng=self._rng,
+            coin_mode=self._coin_mode,
+            trace=trace,
+        )
+
+    def level_rank(self, level: int, y: Any) -> int:
+        """``R_h(y)`` for this run."""
+        if not 0 <= level < len(self.traces):
+            return 0
+        return self.traces[level].rank_of(y)
+
+
+def lemma6_report(
+    stream: Sequence[Any],
+    y: Any,
+    *,
+    k: int = 8,
+    seed: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Measure Lemma 6's bound on every level of a streaming run.
+
+    Returns one record per level with ``rank`` (``R_h(y)``),
+    ``important_steps``, and ``bound`` (``R_h(y) / k``).  Lemma 6 asserts
+    ``important_steps <= bound`` always (it is a deterministic counting
+    argument, not a probabilistic one).
+    """
+    sketch = InstrumentedReqSketch(k, seed=seed)
+    sketch.update_many(stream)
+    report = []
+    for level, trace in enumerate(sketch.traces):
+        rank = trace.rank_of(y)
+        report.append(
+            {
+                "level": level,
+                "rank": rank,
+                "important_steps": trace.important_steps(y),
+                "bound": rank / k,
+            }
+        )
+    return report
+
+
+def error_decomposition(
+    stream: Sequence[Any],
+    y: Any,
+    *,
+    k: int = 8,
+    seed: Optional[int] = None,
+) -> Dict[str, float]:
+    """Check the Eq. (5) error decomposition exactly.
+
+    Computes per-level ``Err_h(y) = R_h(y) - 2 R_{h+1}(y) - R(y; B_h)``
+    and verifies that ``sum_h 2^h Err_h(y)`` equals the sketch's actual
+    end-to-end error ``rank_estimate - R(y)``.
+
+    Returns a dict with both sides of the identity and the per-level terms.
+    """
+    sketch = InstrumentedReqSketch(k, seed=seed)
+    sketch.update_many(stream)
+    true_rank = sum(1 for item in stream if item <= y)
+
+    per_level: List[int] = []
+    for level, trace in enumerate(sketch.traces):
+        rank_here = trace.rank_of(y)
+        rank_next = (
+            sketch.traces[level + 1].rank_of(y) if level + 1 < len(sketch.traces) else 0
+        )
+        in_buffer = sum(1 for item in sketch.compactors()[level].items() if item <= y)
+        per_level.append(rank_here - 2 * rank_next - in_buffer)
+
+    decomposed = sum((1 << level) * err for level, err in enumerate(per_level))
+    actual = sketch.rank(y) - true_rank if sketch.n else 0
+    return {
+        "true_rank": true_rank,
+        "estimate": sketch.rank(y),
+        "actual_error": actual,
+        "decomposed_error": -decomposed,
+        "per_level": per_level,
+    }
+
+
+def rank_halving_profile(
+    stream: Sequence[Any],
+    y: Any,
+    *,
+    k: int = 8,
+    seed: Optional[int] = None,
+) -> List[int]:
+    """``[R_0(y), R_1(y), ...]`` for one streaming run (Lemma 10's subject)."""
+    sketch = InstrumentedReqSketch(k, seed=seed)
+    sketch.update_many(stream)
+    return [trace.rank_of(y) for trace in sketch.traces]

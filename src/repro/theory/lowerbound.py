@@ -1,0 +1,147 @@
+"""The Appendix A lower-bound construction, as executable code.
+
+Theorem 15 shows any sketch solving all-quantiles approximation with
+multiplicative error ``eps`` can *losslessly encode* an arbitrary subset
+``S`` of the universe with ``|S| = l * k`` where ``l = 1/(8 eps)`` and
+``k = log2(eps n)`` — hence needs ``Omega(eps^-1 log(eps n) log(eps |U|))``
+bits.  The encoding:
+
+* list ``S``'s elements ascending as ``y_1 < y_2 < ... < y_s``;
+* build the stream where items ``y_{i*l+1} .. y_{(i+1)*l}`` ("phase i"
+  items) each appear ``2**i`` times;
+* the decoder recovers ``y_{i*l+j}`` as the smallest universe item whose
+  estimated rank strictly exceeds ``(2**i - 1)*l + 2**i * j - 2**(i-1)``.
+
+Experiment E12 runs this pipeline end to end against both the offline
+coreset (always succeeds — the deterministic guarantee) and the REQ sketch
+(succeeds whenever its all-quantiles guarantee holds), demonstrating *why*
+the space lower bound is what it is: the sketch really does carry
+``|S| * log|U|`` bits of recoverable information.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Sequence
+
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "phase_parameters",
+    "encode_stream",
+    "decode_subset",
+    "reconstruction_roundtrip",
+]
+
+
+def phase_parameters(eps: float, n: int) -> tuple:
+    """The construction's ``(l, k)``: ``l = ceil(1/(8 eps))``, ``k = floor(log2(eps n))``.
+
+    Returns:
+        ``(l, k)`` with both at least 1; the encodable subset size is
+        ``l * k`` and the stream length is ``l * (2**k - 1) <= n``.
+    """
+    if not 0.0 < eps <= 1.0:
+        raise InvalidParameterError(f"eps must be in (0, 1], got {eps}")
+    if n < 2:
+        raise InvalidParameterError(f"n must be >= 2, got {n}")
+    ell = max(1, math.ceil(1.0 / (8.0 * eps)))
+    k = max(1, math.floor(math.log2(max(2.0, eps * n))))
+    # Shrink k until the stream fits in n.
+    while k > 1 and ell * (2**k - 1) > n:
+        k -= 1
+    return ell, k
+
+
+def encode_stream(subset: Sequence[Any], ell: int) -> List[Any]:
+    """Build the phase stream for a sorted subset.
+
+    Phase ``i`` (0-based) consists of subset elements with indices
+    ``i*ell .. (i+1)*ell - 1``, each repeated ``2**i`` times.  The subset
+    length must be a multiple of ``ell``.
+    """
+    if ell < 1:
+        raise InvalidParameterError(f"ell must be >= 1, got {ell}")
+    if len(subset) % ell != 0:
+        raise InvalidParameterError(
+            f"subset size {len(subset)} must be a multiple of ell={ell}"
+        )
+    ordered = sorted(subset)
+    if any(not a < b for a, b in zip(ordered, ordered[1:])):
+        raise InvalidParameterError("subset elements must be distinct")
+    stream: List[Any] = []
+    phases = len(ordered) // ell
+    for i in range(phases):
+        multiplicity = 2**i
+        for element in ordered[i * ell : (i + 1) * ell]:
+            stream.extend([element] * multiplicity)
+    return stream
+
+
+def decode_subset(
+    rank_estimator: Callable[[Any], float],
+    universe: Sequence[Any],
+    ell: int,
+    phases: int,
+) -> List[Any]:
+    """Recover the subset from any all-quantiles rank estimator.
+
+    Args:
+        rank_estimator: Estimated rank function over the universe (for
+            example ``sketch.rank``); must satisfy the multiplicative
+            guarantee for the decoding to be exact.
+        universe: The full ordered universe the subset was drawn from.
+        ell: Phase width ``l``.
+        phases: Number of phases ``k``.
+
+    Returns:
+        The decoded subset (ascending), of size ``ell * phases``.
+    """
+    decoded: List[Any] = []
+    cursor = 0  # universe index to resume scanning from (decoded is sorted)
+    for i in range(phases):
+        base = (2**i - 1) * ell
+        for j in range(1, ell + 1):
+            threshold = base + (2**i) * j - (2 ** (i - 1) if i >= 1 else 0.5)
+            while cursor < len(universe) and rank_estimator(universe[cursor]) <= threshold:
+                cursor += 1
+            if cursor >= len(universe):
+                raise InvalidParameterError(
+                    "decoder ran off the universe; the rank estimator violated "
+                    "its accuracy guarantee"
+                )
+            decoded.append(universe[cursor])
+    return decoded
+
+
+def reconstruction_roundtrip(
+    subset: Sequence[Any],
+    universe: Sequence[Any],
+    ell: int,
+    sketch_factory: Callable[[], Any],
+) -> dict:
+    """Encode ``subset`` as a stream, sketch it, decode, and compare.
+
+    Returns:
+        A dict with ``stream_length``, ``decoded``, ``exact`` (whether the
+        decoded set equals the subset) and ``hamming`` (count of positions
+        decoded incorrectly).
+    """
+    ordered = sorted(subset)
+    stream = encode_stream(ordered, ell)
+    sketch = sketch_factory()
+    sketch.update_many(stream)
+    phases = len(ordered) // ell
+    try:
+        decoded = decode_subset(sketch.rank, universe, ell, phases)
+    except InvalidParameterError:
+        decoded = []
+    hamming = sum(1 for a, b in zip(decoded, ordered) if a != b) + abs(
+        len(decoded) - len(ordered)
+    )
+    return {
+        "stream_length": len(stream),
+        "decoded": decoded,
+        "exact": decoded == ordered,
+        "hamming": hamming,
+    }

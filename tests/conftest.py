@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def uniform_stream():
+    """A fixed 30k-item uniform stream (session-scoped; do not mutate)."""
+    rng = random.Random(20_240_101)
+    return [rng.random() for _ in range(30_000)]
+
+
+@pytest.fixture(scope="session")
+def sorted_uniform(uniform_stream):
+    """The uniform stream, sorted ascending."""
+    return sorted(uniform_stream)
+
+
+@pytest.fixture(scope="session")
+def true_rank(sorted_uniform):
+    """Exact inclusive rank function over the uniform stream."""
+
+    def rank(y):
+        return bisect.bisect_right(sorted_uniform, y)
+
+    return rank
+
+
+@pytest.fixture(scope="session")
+def lognormal_stream():
+    """A fixed 30k-item lognormal (long-tailed) stream."""
+    rng = random.Random(7_777)
+    return [rng.lognormvariate(0.0, 1.5) for _ in range(30_000)]
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running statistical test")

@@ -1,0 +1,91 @@
+"""Tests for the convenience API surface: paper-named constructors,
+batch queries, and the monitoring summary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ReqSketch, appendix_c_k, streaming_k
+from repro.errors import EmptySketchError
+
+
+class TestTheoremConstructors:
+    def test_theorem1_uses_equation_six(self):
+        sketch = ReqSketch.from_theorem1(0.1, 0.1, 100_000)
+        assert sketch.scheme == "fixed"
+        assert sketch.k == streaming_k(0.1, 0.1, 100_000)
+        assert sketch.eps == 0.1
+
+    def test_theorem2_uses_equation_fifteen(self):
+        sketch = ReqSketch.from_theorem2(0.1, 1e-20, 100_000)
+        assert sketch.scheme == "fixed"
+        assert sketch.k == appendix_c_k(0.1, 1e-20)
+        assert sketch.eps == 0.1
+
+    def test_theorem2_k_insensitive_to_delta(self):
+        """The log log(1/delta) dependence: squaring delta barely moves k."""
+        mild = ReqSketch.from_theorem2(0.1, 1e-6, 100_000)
+        extreme = ReqSketch.from_theorem2(0.1, 1e-24, 100_000)
+        assert extreme.k <= 2 * mild.k
+
+    def test_theorem1_k_grows_with_sqrt_log_delta(self):
+        mild = ReqSketch.from_theorem1(0.1, 0.1, 100_000)
+        tight = ReqSketch.from_theorem1(0.1, 1e-8, 100_000)
+        assert tight.k > mild.k
+
+    def test_constructors_produce_working_sketches(self):
+        rng = random.Random(1)
+        data = [rng.random() for _ in range(5000)]
+        for sketch in (
+            ReqSketch.from_theorem1(0.2, 0.2, 5000, seed=1),
+            ReqSketch.from_theorem2(0.2, 0.01, 5000, seed=1),
+        ):
+            sketch.update_many(data)
+            assert sketch.n == 5000
+            assert 0 <= sketch.normalized_rank(0.5) <= 1
+
+    def test_hra_forwarded(self):
+        assert ReqSketch.from_theorem1(0.1, 0.1, 1000, hra=True).hra is True
+        assert ReqSketch.from_theorem2(0.1, 0.1, 1000, hra=True).hra is True
+
+
+class TestBatchRanks:
+    def test_matches_scalar(self):
+        sketch = ReqSketch(16, seed=2)
+        sketch.update_many(range(2000))
+        queries = [0, 500, 1999, 2500]
+        assert sketch.ranks(queries) == [sketch.rank(q) for q in queries]
+
+    def test_exclusive(self):
+        sketch = ReqSketch(16, seed=3)
+        sketch.update_many([1.0] * 100)
+        assert sketch.ranks([1.0], inclusive=False) == [0]
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySketchError):
+            ReqSketch(16).ranks([1.0])
+
+
+class TestSummary:
+    def test_empty_summary(self):
+        summary = ReqSketch(16).summary()
+        assert summary == {"n": 0, "num_retained": 0, "num_levels": 0}
+
+    def test_populated_summary(self):
+        sketch = ReqSketch(16, seed=4)
+        sketch.update_many(range(10_000))
+        summary = sketch.summary()
+        assert summary["n"] == 10_000
+        assert summary["min"] == 0
+        assert summary["max"] == 9999
+        assert summary["p50"] <= summary["p90"] <= summary["p99"] <= summary["p999"]
+        assert summary["scheme"] == "auto"
+
+    def test_summary_percentiles_accurate(self):
+        sketch = ReqSketch(32, seed=5)
+        sketch.update_many(range(100_000))
+        summary = sketch.summary()
+        assert abs(summary["p50"] - 50_000) < 2000
+        assert abs(summary["p99"] - 99_000) < 500

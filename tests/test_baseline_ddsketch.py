@@ -1,0 +1,119 @@
+"""Tests for the DDSketch baseline (value-relative guarantee)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import DDSketch
+from repro.errors import EmptySketchError, IncompatibleSketchesError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_invalid_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            DDSketch(alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            DDSketch(alpha=1.0)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            DDSketch(max_buckets=1)
+
+    def test_gamma(self):
+        sketch = DDSketch(alpha=0.1)
+        assert sketch.gamma == pytest.approx(1.1 / 0.9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            DDSketch().update(-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            DDSketch().update(float("nan"))
+
+    def test_empty_queries(self):
+        with pytest.raises(EmptySketchError):
+            DDSketch().quantile(0.5)
+
+
+class TestBucketMath:
+    def test_bucket_value_within_alpha_of_members(self):
+        """Every value in a bucket is within (1 +/- alpha) of its rep."""
+        alpha = 0.05
+        sketch = DDSketch(alpha=alpha)
+        for value in (0.001, 0.5, 1.0, 7.3, 1000.0, 1e9):
+            index = sketch.bucket_index(value)
+            rep = sketch.bucket_value(index)
+            assert abs(rep - value) <= alpha * value * 1.0001
+
+    def test_bucket_index_monotone(self):
+        sketch = DDSketch(alpha=0.01)
+        values = [0.1, 0.5, 1.0, 2.0, 10.0, 100.0]
+        indices = [sketch.bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+
+    def test_bucket_index_rejects_nonpositive(self):
+        with pytest.raises(InvalidParameterError):
+            DDSketch().bucket_index(0.0)
+
+
+class TestGuarantee:
+    def test_value_relative_quantiles(self, lognormal_stream):
+        """The DDSketch guarantee: quantile within (1 +/- alpha) in VALUE."""
+        alpha = 0.02
+        sketch = DDSketch(alpha=alpha)
+        sketch.update_many(lognormal_stream)
+        ordered = sorted(lognormal_stream)
+        n = len(ordered)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            true = ordered[min(n - 1, max(0, math.ceil(q * n) - 1))]
+            estimate = sketch.quantile(q)
+            assert abs(estimate - true) <= 2 * alpha * true
+
+    def test_bounded_buckets(self, lognormal_stream):
+        sketch = DDSketch(alpha=0.01, max_buckets=128)
+        sketch.update_many(lognormal_stream)
+        assert sketch.num_retained <= 129
+
+    def test_zero_handling(self):
+        sketch = DDSketch(alpha=0.05)
+        sketch.update_many([0.0, 0.0, 1.0])
+        assert sketch.rank(0.0) == 2
+        assert sketch.quantile(0.3) == 0.0
+
+    def test_n_tracking(self, lognormal_stream):
+        sketch = DDSketch()
+        sketch.update_many(lognormal_stream[:500])
+        assert sketch.n == 500
+
+
+class TestMerge:
+    def test_merge_counts(self, lognormal_stream):
+        a, b = DDSketch(alpha=0.02), DDSketch(alpha=0.02)
+        a.update_many(lognormal_stream[:5000])
+        b.update_many(lognormal_stream[5000:10_000])
+        a.merge(b)
+        assert a.n == 10_000
+        total = sum(a._buckets.values()) + a._zero_count
+        assert total == 10_000
+
+    def test_merge_alpha_mismatch(self):
+        with pytest.raises(IncompatibleSketchesError):
+            DDSketch(alpha=0.01).merge(DDSketch(alpha=0.02))
+
+    def test_merge_type(self):
+        with pytest.raises(IncompatibleSketchesError):
+            DDSketch().merge(object())
+
+    def test_merge_preserves_guarantee(self, lognormal_stream):
+        alpha = 0.02
+        a, b = DDSketch(alpha=alpha), DDSketch(alpha=alpha)
+        a.update_many(lognormal_stream[:15_000])
+        b.update_many(lognormal_stream[15_000:])
+        a.merge(b)
+        ordered = sorted(lognormal_stream)
+        n = len(ordered)
+        true = ordered[math.ceil(0.99 * n) - 1]
+        assert abs(a.quantile(0.99) - true) <= 2 * alpha * true

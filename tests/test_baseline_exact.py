@@ -1,0 +1,84 @@
+"""Tests for the exact oracle baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactQuantiles
+from repro.errors import EmptySketchError, InvalidParameterError
+
+
+class TestExact:
+    def test_empty_queries(self):
+        with pytest.raises(EmptySketchError):
+            ExactQuantiles().rank(1.0)
+
+    def test_rank_inclusive_exclusive(self):
+        oracle = ExactQuantiles()
+        oracle.update_many([1, 2, 2, 3])
+        assert oracle.rank(2) == 3
+        assert oracle.rank(2, inclusive=False) == 1
+
+    def test_quantiles_are_order_statistics(self):
+        oracle = ExactQuantiles()
+        oracle.update_many(range(100))
+        assert oracle.quantile(0.0) == 0
+        assert oracle.quantile(0.5) == 49
+        assert oracle.quantile(1.0) == 99
+
+    def test_quantile_validation(self):
+        oracle = ExactQuantiles()
+        oracle.update(1)
+        with pytest.raises(InvalidParameterError):
+            oracle.quantile(1.1)
+
+    def test_interleaved_update_query(self):
+        oracle = ExactQuantiles()
+        oracle.update_many([3, 1])
+        assert oracle.rank(2) == 1
+        oracle.update(2)
+        assert oracle.rank(2) == 2
+
+    def test_merge(self):
+        a, b = ExactQuantiles(), ExactQuantiles()
+        a.update_many([1, 3])
+        b.update_many([2, 4])
+        a.merge(b)
+        assert a.n == 4
+        assert a.rank(3) == 3
+
+    def test_merge_type(self):
+        with pytest.raises(NotImplementedError):
+            ExactQuantiles().merge(object())
+
+    def test_ranks_of_batch(self):
+        oracle = ExactQuantiles()
+        oracle.update_many([10, 20, 30])
+        assert oracle.ranks_of([5, 10, 25, 35]) == [0, 1, 2, 3]
+
+    def test_sorted_items_cached(self):
+        oracle = ExactQuantiles()
+        oracle.update_many([3, 1, 2])
+        assert oracle.sorted_items() == [1, 2, 3]
+
+    def test_num_retained_is_n(self):
+        oracle = ExactQuantiles()
+        oracle.update_many(range(500))
+        assert oracle.num_retained == oracle.n == 500
+
+    def test_normalized_rank(self):
+        oracle = ExactQuantiles()
+        oracle.update_many(range(10))
+        assert oracle.normalized_rank(4) == 0.5
+
+    def test_cdf_helper(self):
+        oracle = ExactQuantiles()
+        oracle.update_many(range(10))
+        cdf = oracle.cdf([4, 9])
+        assert cdf == [0.5, 1.0, 1.0]
+
+    def test_cdf_validation(self):
+        oracle = ExactQuantiles()
+        oracle.update_many(range(10))
+        with pytest.raises(InvalidParameterError):
+            oracle.cdf([5, 5])

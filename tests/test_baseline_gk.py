@@ -1,0 +1,100 @@
+"""Tests for the Greenwald-Khanna baseline (deterministic additive)."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.baselines import GKSketch
+from repro.errors import EmptySketchError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_invalid_eps(self):
+        with pytest.raises(InvalidParameterError):
+            GKSketch(eps=0.0)
+        with pytest.raises(InvalidParameterError):
+            GKSketch(eps=1.0)
+
+    def test_empty_queries(self):
+        sketch = GKSketch(eps=0.01)
+        with pytest.raises(EmptySketchError):
+            sketch.rank(1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GKSketch(eps=0.01).update(float("nan"))
+
+
+class TestInvariant:
+    def test_gk_invariant_holds(self, uniform_stream):
+        """g + delta <= floor(2 eps n) for every tuple (the GK invariant)."""
+        sketch = GKSketch(eps=0.01)
+        sketch.update_many(uniform_stream[:10_000])
+        threshold = int(2 * 0.01 * sketch.n)
+        for entry in sketch.entries()[1:]:
+            assert entry.g + entry.delta <= max(threshold, 1)
+
+    def test_gaps_sum_to_n(self, uniform_stream):
+        sketch = GKSketch(eps=0.02)
+        sketch.update_many(uniform_stream[:5000])
+        assert sum(e.g for e in sketch.entries()) == sketch.n
+
+    def test_entries_sorted(self, uniform_stream):
+        sketch = GKSketch(eps=0.02)
+        sketch.update_many(uniform_stream[:5000])
+        values = [e.v for e in sketch.entries()]
+        assert values == sorted(values)
+
+    def test_extremes_exact(self, uniform_stream):
+        sketch = GKSketch(eps=0.02)
+        data = uniform_stream[:5000]
+        sketch.update_many(data)
+        assert sketch.entries()[0].v == min(data)
+        assert sketch.entries()[-1].v == max(data)
+
+
+class TestAccuracy:
+    def test_deterministic_additive_error(self, uniform_stream, sorted_uniform):
+        eps = 0.01
+        sketch = GKSketch(eps=eps)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for fraction in (0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99):
+            y = sorted_uniform[int(fraction * n)]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert abs(sketch.rank(y) - true) <= eps * n + 1
+
+    def test_sorted_input(self):
+        """Ascending input is the classic GK stress case."""
+        eps = 0.02
+        n = 10_000
+        sketch = GKSketch(eps=eps)
+        sketch.update_many(range(n))
+        for y in (100, 1000, 5000, 9000):
+            assert abs(sketch.rank(y) - (y + 1)) <= eps * n + 1
+
+    def test_space_logarithmic(self):
+        sketch = GKSketch(eps=0.01)
+        rng = random.Random(1)
+        sketch.update_many(rng.random() for _ in range(50_000))
+        # O(eps^-1 log(eps n)) ~ 100 * 9; generous factor allowed.
+        assert sketch.num_retained < 4000
+
+    def test_quantile_within_additive_bound(self, uniform_stream, sorted_uniform):
+        eps = 0.01
+        sketch = GKSketch(eps=eps)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for q in (0.1, 0.5, 0.9):
+            value = sketch.quantile(q)
+            true_rank = bisect.bisect_right(sorted_uniform, value)
+            assert abs(true_rank - q * n) <= 2 * eps * n + 1
+
+    def test_duplicates(self):
+        sketch = GKSketch(eps=0.05)
+        sketch.update_many([7.0] * 1000)
+        assert sketch.rank(7.0) == pytest.approx(1000, abs=0.05 * 1000 + 1)
+        assert sketch.quantile(0.5) == 7.0

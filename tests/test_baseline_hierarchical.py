@@ -1,0 +1,127 @@
+"""Tests for the hierarchical-sampling (Zhang et al. class) baseline."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.baselines import HierarchicalSamplingSketch
+from repro.errors import EmptySketchError, IncompatibleSketchesError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_capacity_from_eps(self):
+        sketch = HierarchicalSamplingSketch(eps=0.1)
+        assert sketch.capacity == 400  # 4 / eps^2
+
+    def test_capacity_override(self):
+        sketch = HierarchicalSamplingSketch(capacity=50)
+        assert sketch.capacity == 50
+
+    def test_invalid_eps(self):
+        with pytest.raises(InvalidParameterError):
+            HierarchicalSamplingSketch(eps=0.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            HierarchicalSamplingSketch(capacity=0)
+
+    def test_empty_queries(self):
+        with pytest.raises(EmptySketchError):
+            HierarchicalSamplingSketch(eps=0.1).rank(1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            HierarchicalSamplingSketch(eps=0.1).update(float("nan"))
+
+
+class TestStructure:
+    def test_level_zero_exact_below_capacity(self):
+        sketch = HierarchicalSamplingSketch(capacity=1000, seed=1)
+        sketch.update_many(range(500))
+        for y in (0, 100, 499):
+            assert sketch.rank(y) == y + 1
+
+    def test_level_zero_keeps_smallest(self):
+        sketch = HierarchicalSamplingSketch(capacity=100, seed=2)
+        sketch.update_many(range(10_000))
+        assert sketch._levels[0].items == list(range(100))
+
+    def test_hra_keeps_largest(self):
+        sketch = HierarchicalSamplingSketch(capacity=100, hra=True, seed=3)
+        sketch.update_many(range(10_000))
+        assert sketch._levels[0].items == list(range(9900, 10_000))
+
+    def test_space_quadratic_in_inverse_eps(self):
+        small = HierarchicalSamplingSketch(eps=0.1)
+        large = HierarchicalSamplingSketch(eps=0.05)
+        assert large.capacity == pytest.approx(4 * small.capacity)
+
+    def test_levels_grow_logarithmically(self):
+        sketch = HierarchicalSamplingSketch(capacity=64, seed=4)
+        sketch.update_many(range(30_000))
+        assert sketch.num_levels <= 40
+
+
+class TestAccuracy:
+    def test_low_rank_relative_error(self, uniform_stream, sorted_uniform):
+        sketch = HierarchicalSamplingSketch(eps=0.1, seed=5)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for fraction in (0.001, 0.01, 0.1, 0.5):
+            y = sorted_uniform[int(fraction * n)]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert abs(sketch.rank(y) - true) / max(true, 1) < 0.3
+
+    def test_hra_high_rank(self, uniform_stream, sorted_uniform):
+        sketch = HierarchicalSamplingSketch(eps=0.1, hra=True, seed=6)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        y = sorted_uniform[n - 5]
+        true = bisect.bisect_right(sorted_uniform, y)
+        assert abs(sketch.rank(y) - true) <= 0.3 * (n - true + 1) + 1
+
+    def test_quantile_monotone(self, uniform_stream):
+        sketch = HierarchicalSamplingSketch(eps=0.1, seed=7)
+        sketch.update_many(uniform_stream)
+        values = sketch.quantiles([0.1, 0.3, 0.5, 0.7, 0.9])
+        assert values == sorted(values)
+
+    def test_extremes(self, uniform_stream, sorted_uniform):
+        sketch = HierarchicalSamplingSketch(eps=0.1, seed=8)
+        sketch.update_many(uniform_stream)
+        assert sketch.quantile(0.0) == sorted_uniform[0]
+        assert sketch.quantile(1.0) == sorted_uniform[-1]
+
+
+class TestMerge:
+    def test_merge(self, uniform_stream):
+        a = HierarchicalSamplingSketch(capacity=200, seed=9)
+        b = HierarchicalSamplingSketch(capacity=200, seed=10)
+        a.update_many(uniform_stream[:10_000])
+        b.update_many(uniform_stream[10_000:20_000])
+        a.merge(b)
+        assert a.n == 20_000
+        for level in a._levels:
+            assert len(level.items) <= 200
+            assert level.items == sorted(level.items)
+
+    def test_merge_mismatch(self):
+        a = HierarchicalSamplingSketch(capacity=100)
+        b = HierarchicalSamplingSketch(capacity=200)
+        with pytest.raises(IncompatibleSketchesError):
+            a.merge(b)
+
+    def test_merge_type(self):
+        with pytest.raises(IncompatibleSketchesError):
+            HierarchicalSamplingSketch(eps=0.1).merge(object())
+
+    def test_merge_keeps_bottom_k_semantics(self):
+        a = HierarchicalSamplingSketch(capacity=50, seed=11)
+        b = HierarchicalSamplingSketch(capacity=50, seed=12)
+        a.update_many(range(0, 1000, 2))
+        b.update_many(range(1, 1000, 2))
+        a.merge(b)
+        assert a._levels[0].items == list(range(50))

@@ -1,0 +1,136 @@
+"""Tests for the KLL baseline (additive error)."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.baselines import KLLSketch
+from repro.errors import EmptySketchError, IncompatibleSketchesError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        sketch = KLLSketch()
+        assert sketch.k == 200
+        assert sketch.is_empty
+
+    def test_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            KLLSketch(k=1)
+
+    def test_invalid_c(self):
+        with pytest.raises(InvalidParameterError):
+            KLLSketch(c=0.4)
+        with pytest.raises(InvalidParameterError):
+            KLLSketch(c=1.0)
+
+
+class TestBasics:
+    def test_empty_queries_raise(self):
+        sketch = KLLSketch()
+        with pytest.raises(EmptySketchError):
+            sketch.rank(1.0)
+        with pytest.raises(EmptySketchError):
+            sketch.quantile(0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            KLLSketch().update(float("nan"))
+
+    def test_exact_when_small(self):
+        sketch = KLLSketch(k=50)
+        values = [5.0, 1.0, 3.0]
+        sketch.update_many(values)
+        assert sketch.rank(3.0) == 2
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 5.0
+
+    def test_weight_conservation(self, uniform_stream):
+        sketch = KLLSketch(k=100, seed=1)
+        sketch.update_many(uniform_stream)
+        _, cumulative = sketch._weighted()
+        assert cumulative[-1] == len(uniform_stream)
+
+    def test_sublinear_space(self, uniform_stream):
+        sketch = KLLSketch(k=100, seed=2)
+        sketch.update_many(uniform_stream)
+        assert sketch.num_retained < len(uniform_stream) / 10
+
+    def test_capacity_geometry(self):
+        """Level capacities decay by c per level below the top."""
+        sketch = KLLSketch(k=100, seed=3)
+        sketch.update_many(range(10_000))
+        caps = [sketch.capacity(h) for h in range(sketch.num_levels)]
+        assert caps[-1] == 100
+        assert all(a <= b for a, b in zip(caps, caps[1:]))
+
+
+class TestAccuracy:
+    def test_additive_error_small(self, uniform_stream, sorted_uniform):
+        sketch = KLLSketch(k=200, seed=4)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for fraction in (0.01, 0.1, 0.5, 0.9, 0.99):
+            y = sorted_uniform[int(fraction * n)]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert abs(sketch.rank(y) - true) / n < 0.02
+
+    def test_relative_error_explodes_at_low_ranks(self, uniform_stream, sorted_uniform):
+        """The paper's Section 1 point: additive error is useless at tails."""
+        worst = 0.0
+        for seed in range(5):
+            sketch = KLLSketch(k=200, seed=seed)
+            sketch.update_many(uniform_stream)
+            y = sorted_uniform[5]
+            true = bisect.bisect_right(sorted_uniform, y)
+            worst = max(worst, abs(sketch.rank(y) - true) / true)
+        assert worst > 0.5  # >50% relative error at rank ~6 for some seed
+
+    def test_quantile_accuracy(self, uniform_stream, sorted_uniform):
+        sketch = KLLSketch(k=200, seed=5)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for q in (0.25, 0.5, 0.75):
+            value = sketch.quantile(q)
+            true_rank = bisect.bisect_right(sorted_uniform, value)
+            assert abs(true_rank - q * n) / n < 0.02
+
+
+class TestMerge:
+    def test_merge_n(self, uniform_stream):
+        a, b = KLLSketch(k=100, seed=6), KLLSketch(k=100, seed=7)
+        a.update_many(uniform_stream[:10_000])
+        b.update_many(uniform_stream[10_000:])
+        a.merge(b)
+        assert a.n == len(uniform_stream)
+        _, cumulative = a._weighted()
+        assert cumulative[-1] == len(uniform_stream)
+
+    def test_merge_type_checked(self):
+        with pytest.raises(IncompatibleSketchesError):
+            KLLSketch().merge(object())
+
+    def test_merge_k_mismatch(self):
+        with pytest.raises(IncompatibleSketchesError):
+            KLLSketch(k=100).merge(KLLSketch(k=200))
+
+    def test_merge_accuracy(self, uniform_stream, sorted_uniform):
+        a, b = KLLSketch(k=200, seed=8), KLLSketch(k=200, seed=9)
+        a.update_many(uniform_stream[:15_000])
+        b.update_many(uniform_stream[15_000:])
+        a.merge(b)
+        n = len(sorted_uniform)
+        y = sorted_uniform[n // 2]
+        true = bisect.bisect_right(sorted_uniform, y)
+        assert abs(a.rank(y) - true) / n < 0.03
+
+    def test_min_max_after_merge(self):
+        a, b = KLLSketch(k=50, seed=10), KLLSketch(k=50, seed=11)
+        a.update_many([1.0, 2.0])
+        b.update_many([0.5, 3.0])
+        a.merge(b)
+        assert a.min_item == 0.5
+        assert a.max_item == 3.0

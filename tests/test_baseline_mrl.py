@@ -1,0 +1,89 @@
+"""Tests for the MRL baseline (deterministic buffer collapses)."""
+
+from __future__ import annotations
+
+import bisect
+
+import pytest
+
+from repro.baselines import MRLSketch
+from repro.errors import EmptySketchError, IncompatibleSketchesError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_invalid_buffer(self):
+        with pytest.raises(InvalidParameterError):
+            MRLSketch(buffer_size=1)
+
+    def test_empty_queries(self):
+        with pytest.raises(EmptySketchError):
+            MRLSketch().rank(0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MRLSketch().update(float("nan"))
+
+
+class TestStructure:
+    def test_binary_counter_levels(self):
+        """m buffers of m items collapse like binary-counter carries."""
+        m = 16
+        sketch = MRLSketch(buffer_size=m)
+        sketch.update_many(range(m * 4))  # 4 full buffers -> one level-2
+        assert 2 in sketch._levels
+        assert 0 not in sketch._levels
+        assert 1 not in sketch._levels
+
+    def test_weight_conservation(self, uniform_stream):
+        sketch = MRLSketch(buffer_size=64)
+        sketch.update_many(uniform_stream)
+        _, cumulative = sketch._weighted()
+        assert cumulative[-1] == len(uniform_stream)
+
+    def test_deterministic(self, uniform_stream):
+        a, b = MRLSketch(buffer_size=64), MRLSketch(buffer_size=64)
+        a.update_many(uniform_stream[:10_000])
+        b.update_many(uniform_stream[:10_000])
+        assert a.rank(0.5) == b.rank(0.5)
+        assert a.num_retained == b.num_retained
+
+    def test_space_sublinear(self, uniform_stream):
+        sketch = MRLSketch(buffer_size=128)
+        sketch.update_many(uniform_stream)
+        assert sketch.num_retained < len(uniform_stream) / 10
+
+
+class TestAccuracy:
+    def test_additive_error(self, uniform_stream, sorted_uniform):
+        sketch = MRLSketch(buffer_size=256)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for fraction in (0.1, 0.5, 0.9):
+            y = sorted_uniform[int(fraction * n)]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert abs(sketch.rank(y) - true) / n < 0.03
+
+    def test_min_max(self, uniform_stream, sorted_uniform):
+        sketch = MRLSketch(buffer_size=64)
+        sketch.update_many(uniform_stream)
+        assert sketch.quantile(0.0) == sorted_uniform[0]
+        assert sketch.quantile(1.0) == sorted_uniform[-1]
+
+
+class TestMerge:
+    def test_merge(self, uniform_stream):
+        a, b = MRLSketch(buffer_size=64), MRLSketch(buffer_size=64)
+        a.update_many(uniform_stream[:8000])
+        b.update_many(uniform_stream[8000:16_000])
+        a.merge(b)
+        assert a.n == 16_000
+        _, cumulative = a._weighted()
+        assert cumulative[-1] == 16_000
+
+    def test_merge_mismatch(self):
+        with pytest.raises(IncompatibleSketchesError):
+            MRLSketch(buffer_size=64).merge(MRLSketch(buffer_size=128))
+
+    def test_merge_type(self):
+        with pytest.raises(IncompatibleSketchesError):
+            MRLSketch().merge(object())

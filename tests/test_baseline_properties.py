@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) on the baseline sketches' invariants."""
+
+from __future__ import annotations
+
+import bisect
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GKSketch, KLLSketch, MRLSketch, ReservoirSampler, TDigest
+from repro.core import ReqSketch
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+streams = st.lists(finite_floats, min_size=1, max_size=300)
+
+
+class TestGKProperties:
+    @given(streams, st.sampled_from([0.05, 0.1, 0.2]))
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_and_gap_sum(self, stream, eps):
+        sketch = GKSketch(eps=eps)
+        sketch.update_many(stream)
+        entries = sketch.entries()
+        assert sum(e.g for e in entries) == len(stream)
+        threshold = max(1, int(2 * eps * len(stream)))
+        for entry in entries[1:]:
+            assert entry.g + entry.delta <= threshold
+
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_error_bound(self, stream):
+        eps = 0.1
+        sketch = GKSketch(eps=eps)
+        sketch.update_many(stream)
+        ordered = sorted(stream)
+        for y in set(stream):
+            true = bisect.bisect_right(ordered, y)
+            assert abs(sketch.rank(y) - true) <= eps * len(stream) + 1
+
+
+class TestKLLProperties:
+    @given(streams, st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_weight_conservation(self, stream, seed):
+        sketch = KLLSketch(k=20, seed=seed)
+        sketch.update_many(stream)
+        _, cumulative = sketch._weighted()
+        assert cumulative[-1] == len(stream)
+
+    @given(streams, streams, st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_weight_conservation(self, left, right, seed):
+        a = KLLSketch(k=20, seed=seed)
+        b = KLLSketch(k=20, seed=seed + 1)
+        a.update_many(left)
+        b.update_many(right)
+        a.merge(b)
+        _, cumulative = a._weighted()
+        assert cumulative[-1] == len(left) + len(right)
+
+
+class TestMRLProperties:
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_weight_conservation(self, stream):
+        sketch = MRLSketch(buffer_size=16)
+        sketch.update_many(stream)
+        _, cumulative = sketch._weighted()
+        assert cumulative[-1] == len(stream)
+
+    @given(streams)
+    @settings(max_examples=30, deadline=None)
+    def test_rank_monotone(self, stream):
+        sketch = MRLSketch(buffer_size=16)
+        sketch.update_many(stream)
+        probes = sorted(set(stream))
+        ranks = [sketch.rank(p) for p in probes]
+        assert ranks == sorted(ranks)
+
+
+class TestTDigestProperties:
+    @given(streams)
+    @settings(max_examples=40, deadline=None)
+    def test_centroid_weights_sum_to_n(self, stream):
+        digest = TDigest(compression=20)
+        digest.update_many(stream)
+        assert abs(sum(w for _, w in digest.centroids()) - len(stream)) < 1e-6
+
+    @given(streams)
+    @settings(max_examples=30, deadline=None)
+    def test_cdf_endpoints(self, stream):
+        import math
+
+        digest = TDigest(compression=20)
+        digest.update_many(stream)
+        below_min = math.nextafter(min(stream), -math.inf)
+        assert digest.rank(below_min) == 0.0
+        assert digest.rank(max(stream)) == len(stream)
+
+
+class TestReservoirProperties:
+    @given(streams, st.integers(1, 64), st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_is_subset(self, stream, capacity, seed):
+        sampler = ReservoirSampler(capacity, seed=seed)
+        sampler.update_many(stream)
+        assert sampler.num_retained == min(capacity, len(stream))
+        pool = list(stream)
+        for item in sampler.sample():
+            assert item in pool
+            pool.remove(item)  # multiset containment
+
+
+class TestCrossSketchAgreement:
+    @given(st.lists(st.integers(0, 1000), min_size=50, max_size=300), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_req_and_kll_agree_at_median(self, stream, seed):
+        """Two independent algorithms must agree on the median within their
+        combined error budgets — a strong mutual-consistency oracle."""
+        req = ReqSketch(8, seed=seed)
+        kll = KLLSketch(k=50, seed=seed)
+        req.update_many(stream)
+        kll.update_many(stream)
+        n = len(stream)
+        ordered = sorted(stream)
+        true = ordered[n // 2]
+        true_rank = bisect.bisect_right(ordered, true)
+        assert abs(req.rank(true) - true_rank) <= max(5, 0.25 * true_rank)
+        assert abs(kll.rank(true) - true_rank) <= max(5, 0.25 * n)

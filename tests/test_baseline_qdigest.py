@@ -1,0 +1,133 @@
+"""Tests for the q-digest baseline (bounded-universe family)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import QDigest
+from repro.errors import EmptySketchError, IncompatibleSketchesError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_universe_rounds_to_power_of_two(self):
+        assert QDigest(1000).universe == 1024
+        assert QDigest(1024).universe == 1024
+
+    def test_invalid_universe(self):
+        with pytest.raises(InvalidParameterError):
+            QDigest(1)
+
+    def test_invalid_compression(self):
+        with pytest.raises(InvalidParameterError):
+            QDigest(100, compression=0)
+
+    def test_empty_queries(self):
+        with pytest.raises(EmptySketchError):
+            QDigest(100).rank(5)
+
+
+class TestUniverseRestriction:
+    """The defining limitation the REQ paper's §1.1 calls out."""
+
+    def test_rejects_floats(self):
+        with pytest.raises(InvalidParameterError):
+            QDigest(100).update(3.5)
+
+    def test_rejects_bools(self):
+        with pytest.raises(InvalidParameterError):
+            QDigest(100).update(True)
+
+    def test_rejects_out_of_universe(self):
+        digest = QDigest(64)
+        with pytest.raises(InvalidParameterError):
+            digest.update(64)
+        with pytest.raises(InvalidParameterError):
+            digest.update(-1)
+
+    def test_query_requires_integer(self):
+        digest = QDigest(64)
+        digest.update(3)
+        with pytest.raises(InvalidParameterError):
+            digest.rank(3.5)
+
+
+class TestAccuracy:
+    def test_exact_when_uncompressed(self):
+        digest = QDigest(256, compression=10_000)
+        values = [5, 5, 9, 200]
+        for value in values:
+            digest.update(value)
+        assert digest.rank(5) == 2
+        assert digest.rank(199) == 3
+        assert digest.rank(255) == 4
+
+    def test_additive_error_bound(self):
+        universe, compression = 4096, 64
+        rng = random.Random(1)
+        values = [rng.randrange(universe) for _ in range(50_000)]
+        digest = QDigest(universe, compression=compression)
+        digest.update_many(values)
+        ordered = sorted(values)
+        import bisect
+
+        bound = 12 * len(values) / compression  # log2(4096) * n / k
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            y = ordered[int(q * len(ordered))]
+            true = bisect.bisect_right(ordered, y)
+            assert abs(digest.rank(y) - true) <= bound
+
+    def test_space_bounded(self):
+        digest = QDigest(4096, compression=64)
+        rng = random.Random(2)
+        digest.update_many(rng.randrange(4096) for _ in range(100_000))
+        assert digest.num_retained <= 3 * 64 * 12 + 64
+
+    def test_quantile_reasonable(self):
+        digest = QDigest(1024, compression=128)
+        digest.update_many(range(1024))
+        median = digest.quantile(0.5)
+        assert abs(median - 512) <= 1024 * 12 / 128
+
+    def test_counts_conserved(self):
+        digest = QDigest(512, compression=16)
+        rng = random.Random(3)
+        digest.update_many(rng.randrange(512) for _ in range(20_000))
+        assert sum(count for _, count in digest.nodes()) == 20_000
+
+
+class TestMerge:
+    def test_merge_counts(self):
+        a, b = QDigest(256, compression=32), QDigest(256, compression=32)
+        rng = random.Random(4)
+        a.update_many(rng.randrange(256) for _ in range(5000))
+        b.update_many(rng.randrange(256) for _ in range(7000))
+        a.merge(b)
+        assert a.n == 12_000
+        assert sum(count for _, count in a.nodes()) == 12_000
+
+    def test_merge_universe_mismatch(self):
+        with pytest.raises(IncompatibleSketchesError):
+            QDigest(256).merge(QDigest(512))
+
+    def test_merge_type(self):
+        with pytest.raises(IncompatibleSketchesError):
+            QDigest(256).merge(object())
+
+    def test_merge_preserves_accuracy_class(self):
+        universe, compression = 1024, 64
+        rng = random.Random(5)
+        left = [rng.randrange(universe) for _ in range(10_000)]
+        right = [rng.randrange(universe) for _ in range(10_000)]
+        a = QDigest(universe, compression=compression)
+        b = QDigest(universe, compression=compression)
+        a.update_many(left)
+        b.update_many(right)
+        a.merge(b)
+        combined = sorted(left + right)
+        import bisect
+
+        y = combined[len(combined) // 2]
+        true = bisect.bisect_right(combined, y)
+        assert abs(a.rank(y) - true) <= 2 * 10 * len(combined) / compression

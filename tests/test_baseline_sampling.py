@@ -1,0 +1,85 @@
+"""Tests for the reservoir-sampling baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import ReservoirSampler
+from repro.errors import EmptySketchError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_invalid_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            ReservoirSampler(0)
+
+    def test_empty_queries(self):
+        with pytest.raises(EmptySketchError):
+            ReservoirSampler(10).rank(1.0)
+
+
+class TestSampling:
+    def test_keeps_everything_under_capacity(self):
+        sampler = ReservoirSampler(100, seed=1)
+        sampler.update_many(range(50))
+        assert sorted(sampler.sample()) == list(range(50))
+        assert sampler.rank(25) == pytest.approx(26.0)
+
+    def test_capacity_respected(self):
+        sampler = ReservoirSampler(64, seed=2)
+        sampler.update_many(range(10_000))
+        assert sampler.num_retained == 64
+        assert sampler.n == 10_000
+
+    def test_uniformity(self):
+        """Each item lands in the sample with probability ~m/n."""
+        hits = 0
+        trials = 300
+        for seed in range(trials):
+            sampler = ReservoirSampler(10, seed=seed)
+            sampler.update_many(range(100))
+            if 0 in sampler.sample():
+                hits += 1
+        # Expected 10% inclusion; binomial std ~ 1.7%.
+        assert 0.04 < hits / trials < 0.18
+
+    def test_seed_reproducible(self):
+        a = ReservoirSampler(16, seed=3)
+        b = ReservoirSampler(16, seed=3)
+        a.update_many(range(1000))
+        b.update_many(range(1000))
+        assert a.sample() == b.sample()
+
+
+class TestEstimates:
+    def test_rank_scaling(self):
+        sampler = ReservoirSampler(1000, seed=4)
+        sampler.update_many(range(10_000))
+        # Rank of 4999 should be ~5000 within sampling noise.
+        assert sampler.rank(4999) == pytest.approx(5000, rel=0.15)
+
+    def test_additive_error_reasonable(self, uniform_stream, sorted_uniform):
+        sampler = ReservoirSampler(2000, seed=5)
+        sampler.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        y = sorted_uniform[n // 2]
+        assert abs(sampler.rank(y) - n / 2) / n < 0.05
+
+    def test_relative_error_bad_at_low_ranks(self, uniform_stream, sorted_uniform):
+        """The paper's point: no o(n) uniform sample gives relative error."""
+        worst = 0.0
+        for seed in range(5):
+            sampler = ReservoirSampler(2000, seed=seed)
+            sampler.update_many(uniform_stream)
+            y = sorted_uniform[10]
+            worst = max(worst, abs(sampler.rank(y) - 11) / 11)
+        assert worst > 0.3
+
+    def test_quantile_from_sample(self):
+        sampler = ReservoirSampler(500, seed=6)
+        sampler.update_many(range(10_000))
+        assert sampler.quantile(0.5) == pytest.approx(5000, rel=0.2)
+        with pytest.raises(InvalidParameterError):
+            sampler.quantile(-0.1)

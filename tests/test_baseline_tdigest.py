@@ -1,0 +1,111 @@
+"""Tests for the t-digest baseline (the heuristic without guarantees)."""
+
+from __future__ import annotations
+
+import bisect
+
+import pytest
+
+from repro.baselines import TDigest
+from repro.errors import EmptySketchError, IncompatibleSketchesError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_invalid_compression(self):
+        with pytest.raises(InvalidParameterError):
+            TDigest(compression=5)
+
+    def test_invalid_buffer_factor(self):
+        with pytest.raises(InvalidParameterError):
+            TDigest(buffer_factor=0)
+
+    def test_empty_queries(self):
+        with pytest.raises(EmptySketchError):
+            TDigest().quantile(0.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TDigest().update(float("nan"))
+
+
+class TestCentroids:
+    def test_weights_sum_to_n(self, uniform_stream):
+        digest = TDigest(compression=100)
+        digest.update_many(uniform_stream)
+        assert sum(w for _, w in digest.centroids()) == pytest.approx(len(uniform_stream))
+
+    def test_means_sorted(self, uniform_stream):
+        digest = TDigest(compression=100)
+        digest.update_many(uniform_stream)
+        means = [m for m, _ in digest.centroids()]
+        assert means == sorted(means)
+
+    def test_centroid_count_near_compression(self, uniform_stream):
+        digest = TDigest(compression=100)
+        digest.update_many(uniform_stream)
+        assert digest.num_centroids <= 2 * 100
+
+    def test_small_clusters_at_extremes(self, uniform_stream):
+        """The k1 scale function keeps extreme centroids much smaller than
+        central ones (at delta=100, n=30k the bound near q=0 is ~30 items
+        vs ~950 at the median)."""
+        digest = TDigest(compression=100)
+        digest.update_many(uniform_stream)
+        centroids = digest.centroids()
+        middle_max = max(w for _, w in centroids)
+        assert centroids[0][1] <= 64
+        assert centroids[-1][1] <= 64
+        assert middle_max >= 8 * centroids[0][1]
+
+
+class TestAccuracy:
+    def test_median(self, uniform_stream, sorted_uniform):
+        digest = TDigest(compression=100)
+        digest.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        assert digest.quantile(0.5) == pytest.approx(sorted_uniform[n // 2], abs=0.02)
+
+    def test_rank_interpolation(self, uniform_stream, sorted_uniform):
+        digest = TDigest(compression=100)
+        digest.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for fraction in (0.1, 0.5, 0.9):
+            y = sorted_uniform[int(fraction * n)]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert abs(digest.rank(y) - true) / n < 0.02
+
+    def test_extremes(self, uniform_stream, sorted_uniform):
+        digest = TDigest(compression=100)
+        digest.update_many(uniform_stream)
+        assert digest.quantile(0.0) == sorted_uniform[0]
+        assert digest.quantile(1.0) == sorted_uniform[-1]
+        assert digest.rank(sorted_uniform[-1]) == len(sorted_uniform)
+        assert digest.rank(sorted_uniform[0] - 1.0) == 0.0
+
+    def test_single_value(self):
+        digest = TDigest()
+        digest.update(5.0)
+        assert digest.quantile(0.5) == 5.0
+        assert digest.n == 1
+
+
+class TestMerge:
+    def test_merge_n(self, uniform_stream):
+        a, b = TDigest(compression=100), TDigest(compression=100)
+        a.update_many(uniform_stream[:10_000])
+        b.update_many(uniform_stream[10_000:])
+        a.merge(b)
+        assert a.n == len(uniform_stream)
+        assert sum(w for _, w in a.centroids()) == pytest.approx(len(uniform_stream))
+
+    def test_merge_type(self):
+        with pytest.raises(IncompatibleSketchesError):
+            TDigest().merge(object())
+
+    def test_merge_accuracy(self, uniform_stream, sorted_uniform):
+        a, b = TDigest(compression=100), TDigest(compression=100)
+        a.update_many(uniform_stream[:15_000])
+        b.update_many(uniform_stream[15_000:])
+        a.merge(b)
+        n = len(sorted_uniform)
+        assert a.quantile(0.5) == pytest.approx(sorted_uniform[n // 2], abs=0.03)

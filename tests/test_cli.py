@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_run(self):
+        args = build_parser().parse_args(["run", "E1", "--scale", "smoke"])
+        assert args.experiment == "E1"
+        assert args.scale == "smoke"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E12" in out
+
+    def test_run_smoke(self, capsys):
+        assert main(["run", "E3", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "E3" in out
+
+    def test_run_unknown_is_error(self, capsys):
+        assert main(["run", "E99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--eps", "0.01", "--n", "1e8"]) == 0
+        out = capsys.readouterr().out
+        assert "REQ (Thm 1)" in out
+        assert "Zhang-Wang" in out
+
+    def test_sketch_file(self, tmp_path, capsys):
+        path = tmp_path / "numbers.txt"
+        path.write_text(" ".join(str(i) for i in range(1000)))
+        assert main(["sketch", str(path), "--q", "0.5", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "n=1000" in out
+
+    def test_sketch_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        assert main(["sketch", str(path)]) == 1
+
+    def test_sketch_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("1 2 3 4 5"))
+        assert main(["sketch", "-"]) == 0
+        assert "n=5" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        # report runs ALL experiments; smoke scale keeps it quick but this
+        # is still the slowest CLI test.
+        assert main(["report", "--scale", "smoke", "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert "## E1" in text and "## E12" in text

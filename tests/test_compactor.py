@@ -1,0 +1,203 @@
+"""Tests for the relative-compactor (Algorithm 1 mechanics).
+
+These tests pin down exactly the behavior Figures 1 and 2 of the paper
+illustrate: the protected half, the section rule, and the even/odd output
+coin.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.compactor import RelativeCompactor
+from repro.errors import InvalidParameterError
+
+
+def make(k=4, hra=False, seed=0, coin_mode="random"):
+    return RelativeCompactor(k, hra=hra, rng=random.Random(seed), coin_mode=coin_mode)
+
+
+class TestConstruction:
+    def test_rejects_odd_k(self):
+        with pytest.raises(InvalidParameterError):
+            make(k=5)
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(InvalidParameterError):
+            make(k=0)
+
+    def test_rejects_bad_coin_mode(self):
+        with pytest.raises(InvalidParameterError):
+            make(coin_mode="quantum")
+
+    def test_starts_empty(self):
+        compactor = make()
+        assert len(compactor) == 0
+        assert compactor.state == 0
+        assert compactor.inserted == 0
+
+
+class TestBufferOps:
+    def test_append_tracks_inserted(self):
+        compactor = make()
+        for value in (3, 1, 2):
+            compactor.append(value)
+        assert len(compactor) == 3
+        assert compactor.inserted == 3
+
+    def test_extend(self):
+        compactor = make()
+        compactor.extend([5, 4, 6])
+        assert len(compactor) == 3
+        assert compactor.inserted == 3
+
+    def test_items_sorted(self):
+        compactor = make()
+        compactor.extend([5, 1, 3, 2, 4])
+        assert compactor.items() == [1, 2, 3, 4, 5]
+
+
+class TestCompaction:
+    def test_compacts_largest_in_lra(self):
+        """LRA: the lowest-ranked items are never compacted (Figure 1)."""
+        compactor = make(k=4)
+        compactor.extend(range(16))
+        promoted = compactor.compact(8)
+        # Items 0..7 must stay; the compacted slice was 8..15.
+        assert compactor.items() == list(range(8))
+        assert all(p >= 8 for p in promoted)
+        assert len(promoted) == 4
+
+    def test_compacts_smallest_in_hra(self):
+        compactor = make(k=4, hra=True)
+        compactor.extend(range(16))
+        promoted = compactor.compact(8)
+        assert compactor.items() == list(range(8, 16))
+        assert all(p < 8 for p in promoted)
+        assert len(promoted) == 4
+
+    def test_promoted_are_alternating(self):
+        """The output is exactly the even- or odd-indexed slice items."""
+        compactor = make(k=2, coin_mode="even")
+        compactor.extend(range(8))
+        promoted = compactor.compact(4)
+        assert promoted == [4, 6]
+        compactor2 = make(k=2, coin_mode="odd")
+        compactor2.extend(range(8))
+        assert compactor2.compact(4) == [5, 7]
+
+    def test_schedule_advances_only_on_real_compaction(self):
+        compactor = make(k=2)
+        compactor.extend(range(4))
+        compactor.compact(4)  # nothing beyond protect
+        assert compactor.state == 0
+        compactor.compact(2)
+        assert compactor.state == 1
+
+    def test_empty_when_under_protect(self):
+        compactor = make()
+        compactor.extend(range(4))
+        assert compactor.compact(10) == []
+
+    def test_odd_slice_protects_one_more(self):
+        """Compaction input is forced even (Observation 4's 2m items)."""
+        compactor = make(k=2)
+        compactor.extend(range(9))
+        promoted = compactor.compact(4)  # slice of 5 -> adjusted to 4
+        assert len(compactor) == 5
+        assert len(promoted) == 2
+
+    def test_weight_conservation(self):
+        """(#remaining) + 2 * (#promoted) == #before, always."""
+        rng = random.Random(3)
+        compactor = make(k=4)
+        compactor.extend(rng.random() for _ in range(100))
+        before = len(compactor)
+        promoted = compactor.compact(compactor.scheduled_protect_count(32))
+        assert len(compactor) + 2 * len(promoted) == before
+
+    def test_negative_protect_rejected(self):
+        compactor = make()
+        with pytest.raises(InvalidParameterError):
+            compactor.compact(-1)
+
+
+class TestScheduledProtectCount:
+    def test_first_compaction_one_section(self):
+        compactor = make(k=4)
+        assert compactor.scheduled_protect_count(32) == 28
+
+    def test_second_compaction_two_sections(self):
+        compactor = make(k=4)
+        compactor.schedule.advance()
+        assert compactor.scheduled_protect_count(32) == 24
+
+    def test_never_below_half(self):
+        """L <= B/2 structurally (the paper proves it analytically)."""
+        compactor = make(k=4)
+        compactor.schedule.state = (1 << 40) - 1  # absurdly many trailing ones
+        assert compactor.scheduled_protect_count(32) == 16
+
+
+class TestCoinModes:
+    def test_even_mode_deterministic(self):
+        a, b = make(coin_mode="even"), make(coin_mode="even")
+        a.extend(range(10))
+        b.extend(range(10))
+        assert a.compact(4) == b.compact(4)
+
+    def test_alternate_flips(self):
+        compactor = make(k=2, coin_mode="alternate")
+        compactor.extend(range(8))
+        first = compactor.compact(4)
+        compactor.extend(range(100, 104))
+        second = compactor.compact(4)
+        # First used offset 1 (odd), second offset 0 (even) or vice versa;
+        # they must differ in parity of chosen offsets.
+        assert (first[0] % 2 == 1) != (second[0] % 2 == 1)
+
+    def test_random_mode_uses_rng(self):
+        outcomes = set()
+        for seed in range(20):
+            compactor = make(k=2, seed=seed)
+            compactor.extend(range(8))
+            outcomes.add(tuple(compactor.compact(4)))
+        assert len(outcomes) == 2  # both parities occur across seeds
+
+
+class TestMergeSupport:
+    def test_absorb_concatenates_and_ors(self):
+        a, b = make(k=4), make(k=4)
+        a.extend([1, 2])
+        b.extend([3, 4])
+        a.schedule.state = 0b01
+        b.schedule.state = 0b10
+        a.absorb(b)
+        assert sorted(a.items()) == [1, 2, 3, 4]
+        assert a.state == 0b11
+        assert b.items() == [3, 4]  # source untouched
+
+    def test_absorb_rejects_mode_mismatch(self):
+        a, b = make(hra=False), make(hra=True)
+        with pytest.raises(InvalidParameterError):
+            a.absorb(b)
+
+    def test_copy_independent(self):
+        a = make(k=4)
+        a.extend(range(8))
+        b = a.copy()
+        b.append(99)
+        assert len(a) == 8
+        assert len(b) == 9
+        assert b.state == a.state
+
+    def test_with_section_size(self):
+        a = make(k=8)
+        a.extend(range(10))
+        a.schedule.state = 5
+        b = a.with_section_size(4)
+        assert b.k == 4
+        assert b.items() == a.items()
+        assert b.state == 5

@@ -1,0 +1,84 @@
+"""Tests for the Appendix C deterministic instantiation."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.core import DeterministicReqSketch, ReqSketch
+from repro.errors import InvalidParameterError
+from repro.streams import ORDERINGS
+
+
+class TestConstruction:
+    def test_rejects_random_coins(self):
+        with pytest.raises(InvalidParameterError):
+            DeterministicReqSketch(0.1, 1000, coin_mode="random")
+
+    def test_uses_fixed_scheme(self):
+        sketch = DeterministicReqSketch(0.1, 10_000)
+        assert sketch.scheme == "fixed"
+        assert sketch.n_bound == 10_000
+
+    def test_k_grows_with_log_n(self):
+        small = DeterministicReqSketch(0.1, 10**4)
+        large = DeterministicReqSketch(0.1, 10**8)
+        assert large.k > small.k
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        rng = random.Random(0)
+        data = [rng.random() for _ in range(5000)]
+        a = DeterministicReqSketch(0.1, 5000)
+        b = DeterministicReqSketch(0.1, 5000)
+        a.update_many(data)
+        b.update_many(data)
+        assert [c.items() for c in a.compactors()] == [c.items() for c in b.compactors()]
+
+    def test_all_coin_modes_deterministic(self):
+        rng = random.Random(1)
+        data = [rng.random() for _ in range(3000)]
+        for mode in ("even", "odd", "alternate"):
+            a = DeterministicReqSketch(0.2, 3000, coin_mode=mode)
+            b = DeterministicReqSketch(0.2, 3000, coin_mode=mode)
+            a.update_many(data)
+            b.update_many(data)
+            assert a.rank(0.5) == b.rank(0.5)
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("ordering", sorted(ORDERINGS))
+    def test_never_violates_eps(self, ordering):
+        """Appendix C: the error bound holds for EVERY input order."""
+        eps = 0.1
+        rng = random.Random(2)
+        base = [rng.random() for _ in range(8000)]
+        stream = ORDERINGS[ordering](base)
+        ordered = sorted(base)
+        sketch = DeterministicReqSketch(eps, len(base))
+        sketch.update_many(stream)
+        for fraction in (0.001, 0.01, 0.1, 0.5, 0.9):
+            y = ordered[int(fraction * len(ordered))]
+            true = bisect.bisect_right(ordered, y)
+            assert abs(sketch.rank(y) - true) <= eps * true
+
+    def test_space_larger_than_randomized(self):
+        """Determinism costs the extra log factors (log^3 vs log^1.5)."""
+        rng = random.Random(3)
+        data = [rng.random() for _ in range(20_000)]
+        determ = DeterministicReqSketch(0.05, 20_000)
+        randomized = ReqSketch(eps=0.05, n_bound=20_000, delta=0.1, seed=4)
+        determ.update_many(data)
+        randomized.update_many(data)
+        assert determ.num_retained > randomized.num_retained
+
+    def test_weight_conserved(self):
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(10_000)]
+        sketch = DeterministicReqSketch(0.1, 10_000)
+        sketch.update_many(data)
+        total = sum(len(c) * (1 << h) for h, c in enumerate(sketch.compactors()))
+        assert total == 10_000

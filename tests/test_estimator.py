@@ -1,0 +1,132 @@
+"""Tests for the weighted-coreset query structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import WeightedCoreset
+from repro.errors import EmptySketchError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_mismatched_lengths(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedCoreset([1, 2], [1])
+
+    def test_from_levels(self):
+        coreset = WeightedCoreset.from_levels([([1, 3], 1), ([2], 4)])
+        assert coreset.total_weight == 6
+        assert coreset.items() == [1, 2, 3]
+
+    def test_empty(self):
+        coreset = WeightedCoreset([], [])
+        assert len(coreset) == 0
+        assert coreset.total_weight == 0
+
+    def test_sorts_input(self):
+        coreset = WeightedCoreset([3, 1, 2], [1, 1, 1])
+        assert coreset.items() == [1, 2, 3]
+
+    def test_pairs_preserve_weights(self):
+        coreset = WeightedCoreset([3, 1], [5, 7])
+        assert coreset.pairs() == [(1, 7), (3, 5)]
+
+
+class TestRank:
+    def test_inclusive_vs_exclusive(self):
+        coreset = WeightedCoreset([1, 2, 3], [10, 20, 30])
+        assert coreset.rank(2, inclusive=True) == 30
+        assert coreset.rank(2, inclusive=False) == 10
+
+    def test_below_minimum(self):
+        coreset = WeightedCoreset([5], [3])
+        assert coreset.rank(4) == 0
+
+    def test_above_maximum(self):
+        coreset = WeightedCoreset([5], [3])
+        assert coreset.rank(6) == 3
+
+    def test_between_items(self):
+        coreset = WeightedCoreset([1, 10], [4, 4])
+        assert coreset.rank(5) == 4
+
+    def test_duplicates_accumulate(self):
+        coreset = WeightedCoreset([2, 2, 2], [1, 2, 3])
+        assert coreset.rank(2) == 6
+        assert coreset.rank(2, inclusive=False) == 0
+
+    def test_normalized(self):
+        coreset = WeightedCoreset([1, 2], [1, 3])
+        assert coreset.normalized_rank(1) == 0.25
+
+    def test_normalized_empty_raises(self):
+        with pytest.raises(EmptySketchError):
+            WeightedCoreset([], []).normalized_rank(1)
+
+
+class TestQuantile:
+    def test_simple(self):
+        coreset = WeightedCoreset([10, 20, 30, 40], [1, 1, 1, 1])
+        assert coreset.quantile(0.25) == 10
+        assert coreset.quantile(0.5) == 20
+        assert coreset.quantile(1.0) == 40
+
+    def test_weighted(self):
+        coreset = WeightedCoreset([1, 2], [99, 1])
+        assert coreset.quantile(0.5) == 1
+        assert coreset.quantile(1.0) == 2
+
+    def test_zero_fraction_returns_min(self):
+        coreset = WeightedCoreset([7, 8], [1, 1])
+        assert coreset.quantile(0.0) == 7
+
+    def test_out_of_range(self):
+        coreset = WeightedCoreset([1], [1])
+        with pytest.raises(InvalidParameterError):
+            coreset.quantile(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptySketchError):
+            WeightedCoreset([], []).quantile(0.5)
+
+    def test_vector(self):
+        coreset = WeightedCoreset([1, 2, 3], [1, 1, 1])
+        assert coreset.quantiles([0.1, 0.5, 0.9]) == [1, 2, 3]
+
+    def test_rank_quantile_duality(self):
+        """rank(quantile(q)) >= ceil(q * W) for all stored weights."""
+        coreset = WeightedCoreset(list(range(10)), [3] * 10)
+        for q in (0.01, 0.1, 0.33, 0.5, 0.77, 0.99, 1.0):
+            item = coreset.quantile(q)
+            assert coreset.rank(item) >= q * coreset.total_weight
+
+
+class TestDistributions:
+    def test_cdf(self):
+        coreset = WeightedCoreset([1, 2, 3, 4], [1, 1, 1, 1])
+        assert coreset.cdf([2, 3]) == [0.5, 0.75, 1.0]
+
+    def test_pmf_sums_to_one(self):
+        coreset = WeightedCoreset([1, 2, 3, 4], [2, 1, 4, 1])
+        pmf = coreset.pmf([1.5, 2.5, 3.5])
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_split_points_must_increase(self):
+        coreset = WeightedCoreset([1], [1])
+        with pytest.raises(InvalidParameterError):
+            coreset.cdf([2, 2])
+
+    def test_split_points_nonempty(self):
+        coreset = WeightedCoreset([1], [1])
+        with pytest.raises(InvalidParameterError):
+            coreset.cdf([])
+
+    def test_cdf_empty_raises(self):
+        with pytest.raises(EmptySketchError):
+            WeightedCoreset([], []).cdf([1])
+
+    def test_string_items(self):
+        """The estimator is comparison-based: any ordered type works."""
+        coreset = WeightedCoreset(["b", "a", "c"], [1, 1, 1])
+        assert coreset.rank("b") == 2
+        assert coreset.quantile(1.0) == "c"

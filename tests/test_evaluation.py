@@ -1,0 +1,188 @@
+"""Tests for the evaluation harness: metrics, tables, runner, memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactQuantiles
+from repro.core import ReqSketch
+from repro.errors import EmptySketchError, InvalidParameterError
+from repro.evaluation import (
+    ErrorProfile,
+    QueryError,
+    RankOracle,
+    SketchSpec,
+    Table,
+    evaluate_sketch,
+    failure_rate,
+    format_cell,
+    memory_words,
+    relative_error,
+    retained_items,
+    run_trial,
+    run_trials,
+)
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(5, 0) == 5.0  # denominator clamped to 1
+
+    def test_oracle_rank(self):
+        oracle = RankOracle([3, 1, 2, 2])
+        assert oracle.rank(2) == 3
+        assert oracle.rank(2, inclusive=False) == 1
+        assert oracle.rank(0) == 0
+        assert oracle.n == 4
+
+    def test_oracle_empty(self):
+        with pytest.raises(EmptySketchError):
+            RankOracle([])
+
+    def test_oracle_quantile(self):
+        oracle = RankOracle(range(100))
+        assert oracle.quantile(0.0) == 0
+        assert oracle.quantile(0.5) == 50
+        with pytest.raises(InvalidParameterError):
+            oracle.quantile(2.0)
+
+    def test_oracle_query_points(self):
+        oracle = RankOracle(range(10))
+        assert oracle.query_points([0.0, 0.99]) == [0, 9]
+
+    def test_oracle_rank_universe(self):
+        oracle = RankOracle(range(100))
+        probes = oracle.rank_universe(10)
+        assert len(probes) == 10
+        with pytest.raises(InvalidParameterError):
+            oracle.rank_universe(0)
+
+    def test_query_error_accessors(self):
+        error = QueryError(query=5, true_rank=100, estimate=90.0)
+        assert error.additive == 10.0
+        assert error.relative == pytest.approx(0.1)
+        assert error.normalized_additive(1000) == pytest.approx(0.01)
+        assert error.tail_relative(110) == pytest.approx(10 / 11)
+
+    def test_profile_aggregates(self):
+        profile = ErrorProfile("x", n=100, num_retained=10)
+        profile.queries = [
+            QueryError(1, 10, 11.0),
+            QueryError(2, 50, 40.0),
+        ]
+        assert profile.max_relative == pytest.approx(0.2)
+        assert profile.mean_relative == pytest.approx(0.15)
+        assert profile.max_additive == pytest.approx(0.1)
+        assert profile.quantile_of_errors(0.0) == pytest.approx(0.1)
+
+    def test_profile_high_side(self):
+        profile = ErrorProfile("x", n=100, num_retained=10, side="high")
+        profile.queries = [QueryError(1, 99, 97.0)]
+        assert profile.max_relative == pytest.approx(1.0)  # |97-99| / (100-99+1)
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "demo" in text and "2.5" in text
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ["a"])
+        with pytest.raises(InvalidParameterError):
+            table.add_row(1, 2)
+
+    def test_needs_columns(self):
+        with pytest.raises(InvalidParameterError):
+            Table("demo", [])
+
+    def test_markdown(self):
+        table = Table("demo", ["x"])
+        table.add_row("v")
+        md = table.to_markdown()
+        assert md.splitlines()[0] == "| x |"
+        assert "| v |" in md
+
+    def test_csv(self):
+        table = Table("demo", ["x", "y"])
+        table.add_row(1, 2)
+        assert table.to_csv() == "x,y\n1,2\n"
+
+    def test_column_access(self):
+        table = Table("demo", ["x", "y"])
+        table.add_row(1, 0.5)
+        assert table.column("y") == ["0.50000"]
+        assert table.column_floats("y") == [0.5]
+        with pytest.raises(InvalidParameterError):
+            table.column("z")
+
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234567.0) == "1.235e+06"
+        assert format_cell(0.12345678) == "0.12346"
+        assert format_cell("s") == "s"
+
+    def test_len(self):
+        table = Table("demo", ["x"])
+        assert len(table) == 0
+        table.add_row(1)
+        assert len(table) == 1
+
+
+class TestRunner:
+    def test_evaluate_sketch(self):
+        oracle = RankOracle(range(100))
+        sketch = ExactQuantiles()
+        sketch.update_many(range(100))
+        profile = evaluate_sketch(sketch, oracle, [10, 50, 90])
+        assert profile.max_relative == 0.0
+        assert profile.n == 100
+
+    def test_run_trial(self):
+        spec = SketchSpec("req", lambda seed: ReqSketch(16, seed=seed))
+        profile = run_trial(spec, list(range(5000)), seed=1, fractions=(0.1, 0.5))
+        assert profile.sketch_name == "req"
+        assert profile.n == 5000
+        assert len(profile.queries) == 2
+
+    def test_run_trials(self):
+        spec = SketchSpec("req", lambda seed: ReqSketch(16, seed=seed))
+        profiles = run_trials(
+            spec, lambda seed: list(range(2000)), seeds=[1, 2, 3], fractions=(0.5,)
+        )
+        assert len(profiles) == 3
+
+    def test_failure_rate(self):
+        good = ErrorProfile("x", n=100, num_retained=1)
+        good.queries = [QueryError(1, 100, 100.0)]
+        bad = ErrorProfile("x", n=100, num_retained=1)
+        bad.queries = [QueryError(1, 100, 200.0)]
+        rates = failure_rate([good, bad], eps=0.1)
+        assert rates["per_trial"] == 0.5
+        assert rates["per_query"] == 0.5
+
+
+class TestMemory:
+    def test_retained_items(self):
+        sketch = ReqSketch(16)
+        sketch.update_many(range(1000))
+        assert retained_items(sketch) == sketch.num_retained
+
+    def test_retained_items_missing(self):
+        with pytest.raises(InvalidParameterError):
+            retained_items(object())
+
+    def test_memory_words_exceed_items(self):
+        sketch = ReqSketch(16)
+        sketch.update_many(range(1000))
+        assert memory_words(sketch) > sketch.num_retained
+
+    def test_gk_overhead_counted(self):
+        from repro.baselines import GKSketch
+
+        sketch = GKSketch(eps=0.05)
+        sketch.update_many(range(1000))
+        assert memory_words(sketch) >= 3 * sketch.num_retained

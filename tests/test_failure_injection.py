@@ -1,0 +1,151 @@
+"""Failure injection and robustness tests.
+
+A production sketch library must fail *loudly and typed* on corrupt
+inputs — never return silently wrong estimates or crash with an internal
+traceback.  These tests corrupt byte streams, abuse the API, and feed
+degenerate streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GKSketch, KLLSketch, MRLSketch
+from repro.core import ReqSketch, deserialize, serialize
+from repro.errors import (
+    InvalidParameterError,
+    ReproError,
+    SerializationError,
+    StreamLengthExceededError,
+)
+
+
+def build_blob(seed=0):
+    sketch = ReqSketch(8, seed=seed)
+    sketch.update_many(random.Random(seed).random() for _ in range(2000))
+    return serialize(sketch)
+
+
+class TestSerializationFuzz:
+    @given(st.integers(0, 10**9), st.integers(0, 255))
+    @settings(max_examples=80, deadline=None)
+    def test_single_byte_flip_never_crashes_uncaught(self, position, value):
+        """Any single-byte corruption either round-trips to a sketch or
+        raises SerializationError — never an uncaught internal error."""
+        blob = bytearray(build_blob())
+        index = position % len(blob)
+        blob[index] = value
+        try:
+            sketch = deserialize(bytes(blob))
+        except (SerializationError, InvalidParameterError):
+            return  # typed failure: acceptable
+        # Corruptions of item payload bytes can still decode; the result
+        # must at least be a functioning sketch object.
+        assert sketch.n >= 0
+
+    @given(st.integers(0, 400))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_raises(self, cut):
+        blob = build_blob()
+        truncated = blob[: max(0, len(blob) - 1 - cut)]
+        with pytest.raises(SerializationError):
+            deserialize(truncated)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_random_bytes_raise(self, junk):
+        with pytest.raises(SerializationError):
+            deserialize(junk)
+
+
+class TestApiAbuse:
+    def test_all_library_errors_share_base(self):
+        """Every typed failure is catchable as ReproError."""
+        for exc in (
+            InvalidParameterError,
+            SerializationError,
+            StreamLengthExceededError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_fixed_sketch_usable_after_overflow_attempt(self):
+        sketch = ReqSketch(8, n_bound=10)
+        sketch.update_many(range(10))
+        with pytest.raises(StreamLengthExceededError):
+            sketch.update(99)
+        # The failed update must not have corrupted the sketch.
+        assert sketch.n == 10
+        assert sketch.rank(9) == 10
+
+    def test_nan_rejected_without_corruption(self):
+        sketch = ReqSketch(8, seed=1)
+        sketch.update_many([1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            sketch.update(float("nan"))
+        assert sketch.n == 2
+        assert sketch.rank(2.0) == 2
+
+    def test_merge_error_leaves_target_intact(self):
+        a = ReqSketch(8, seed=1)
+        a.update_many(range(100))
+        b = ReqSketch(16, seed=2)
+        b.update_many(range(100))
+        with pytest.raises(ReproError):
+            a.merge(b)
+        assert a.n == 100
+        assert a.rank(99) == 100
+
+
+class TestDegenerateStreams:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ReqSketch(8, seed=1),
+            lambda: KLLSketch(k=50, seed=1),
+            lambda: GKSketch(eps=0.05),
+            lambda: MRLSketch(buffer_size=32),
+        ],
+        ids=["req", "kll", "gk", "mrl"],
+    )
+    def test_all_equal_stream(self, factory):
+        sketch = factory()
+        sketch.update_many([3.14] * 5000)
+        assert sketch.n == 5000
+        rank = sketch.rank(3.14)
+        assert rank >= 4000  # inclusive rank of the only value ~ n
+        assert sketch.quantile(0.5) == 3.14
+
+    def test_two_distinct_values(self):
+        sketch = ReqSketch(8, seed=2)
+        sketch.update_many([0.0, 1.0] * 3000)
+        assert abs(sketch.rank(0.0) - 3000) < 300
+        assert sketch.rank(1.0) == 6000
+
+    def test_infinities_are_orderable(self):
+        """+/-inf are valid floats with a total order; they must work."""
+        sketch = ReqSketch(8, seed=3)
+        sketch.update_many([float("-inf"), 0.0, float("inf")] * 100)
+        assert sketch.min_item == float("-inf")
+        assert sketch.max_item == float("inf")
+        # True inclusive rank of 0.0 is 200; allow the sketch's estimate
+        # noise (compactions have begun by n=300 at k=8).
+        assert abs(sketch.rank(0.0) - 200) <= 20
+
+    def test_alternating_extremes(self):
+        values = [(-1e308 if i % 2 else 1e308) for i in range(4000)]
+        sketch = ReqSketch(8, seed=4)
+        sketch.update_many(values)
+        assert sketch.n == 4000
+        assert abs(sketch.rank(0.0) - 2000) < 400
+
+    def test_adversarial_sorted_then_reversed(self):
+        sketch = ReqSketch(16, seed=5)
+        sketch.update_many(range(5000))
+        sketch.update_many(range(5000, 0, -1))
+        assert sketch.n == 10_000
+        total = sum(len(c) * (1 << h) for h, c in enumerate(sketch.compactors()))
+        assert total == 10_000

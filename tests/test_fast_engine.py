@@ -1,0 +1,247 @@
+"""Tests for the numpy-accelerated engine, cross-validated against the
+reference implementation."""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ReqSketch
+from repro.errors import (
+    EmptySketchError,
+    IncompatibleSketchesError,
+    InvalidParameterError,
+)
+from repro.fast import FastReqSketch
+
+
+@pytest.fixture(scope="module")
+def big_stream():
+    return np.random.default_rng(515).random(200_000)
+
+
+class TestConstruction:
+    def test_rejects_odd_k(self):
+        with pytest.raises(InvalidParameterError):
+            FastReqSketch(7)
+
+    def test_empty_queries_raise(self):
+        sketch = FastReqSketch(16)
+        with pytest.raises(EmptySketchError):
+            sketch.rank(0.5)
+        with pytest.raises(EmptySketchError):
+            sketch.quantile(0.5)
+
+    def test_nan_rejected_scalar_and_batch(self):
+        sketch = FastReqSketch(16)
+        with pytest.raises(InvalidParameterError):
+            sketch.update(float("nan"))
+        with pytest.raises(InvalidParameterError):
+            sketch.update_many(np.array([1.0, float("nan")]))
+
+
+class TestCorrectness:
+    def test_weight_conservation(self, big_stream):
+        sketch = FastReqSketch(32, seed=1)
+        sketch.update_many(big_stream)
+        assert sketch.rank(float(big_stream.max())) == big_stream.size
+
+    def test_n_and_extremes(self, big_stream):
+        sketch = FastReqSketch(32, seed=2)
+        sketch.update_many(big_stream)
+        assert sketch.n == big_stream.size
+        assert sketch.min_item == float(big_stream.min())
+        assert sketch.max_item == float(big_stream.max())
+        assert sketch.quantile(0.0) == sketch.min_item
+        assert sketch.quantile(1.0) == sketch.max_item
+
+    def test_low_rank_accuracy(self, big_stream):
+        sketch = FastReqSketch(32, seed=3)
+        sketch.update_many(big_stream)
+        exact = np.sort(big_stream)
+        for fraction in (0.0005, 0.001, 0.01, 0.1, 0.5):
+            y = float(exact[int(fraction * exact.size)])
+            true = int(np.searchsorted(exact, y, side="right"))
+            assert abs(sketch.rank(y) - true) / true < 0.05
+
+    def test_hra_tail_accuracy(self, big_stream):
+        sketch = FastReqSketch(32, hra=True, seed=4)
+        sketch.update_many(big_stream)
+        exact = np.sort(big_stream)
+        n = exact.size
+        for back in (2, 20, 200):
+            y = float(exact[n - back])
+            true = int(np.searchsorted(exact, y, side="right"))
+            assert abs(sketch.rank(y) - true) <= 0.05 * (n - true + 1) + 1
+
+    def test_matches_reference_error_class(self, big_stream):
+        """Fast and reference engines agree within their shared eps class."""
+        fast = FastReqSketch(32, seed=5)
+        fast.update_many(big_stream)
+        ref = ReqSketch(32, seed=5)
+        ref.update_many(big_stream.tolist())
+        exact = np.sort(big_stream)
+        for fraction in (0.001, 0.01, 0.5):
+            y = float(exact[int(fraction * exact.size)])
+            true = int(np.searchsorted(exact, y, side="right"))
+            fast_err = abs(fast.rank(y) - true) / true
+            ref_err = abs(ref.rank(y) - true) / true
+            assert fast_err < max(5 * ref_err, 0.02)
+
+    def test_space_comparable_to_reference(self, big_stream):
+        fast = FastReqSketch(32, seed=6)
+        fast.update_many(big_stream)
+        ref = ReqSketch(32, seed=6)
+        ref.update_many(big_stream.tolist())
+        assert fast.num_retained < 3 * ref.num_retained
+
+
+class TestScalarPath:
+    def test_scalar_updates_buffered(self):
+        sketch = FastReqSketch(16, seed=7)
+        for value in (3.0, 1.0, 2.0):
+            sketch.update(value)
+        assert sketch.n == 3
+        assert sketch.rank(2.0) == 2  # query flushes implicitly
+
+    def test_mixed_scalar_and_batch(self):
+        sketch = FastReqSketch(16, seed=8)
+        sketch.update(5.0)
+        sketch.update_many(np.arange(100, dtype=float))
+        sketch.update(105.0)
+        assert sketch.n == 102
+        assert sketch.rank(105.0) == 102
+
+    def test_flush_idempotent(self):
+        sketch = FastReqSketch(16, seed=9)
+        sketch.update(1.0)
+        sketch.flush()
+        sketch.flush()
+        assert sketch.n == 1
+        assert sketch.rank(1.0) == 1
+
+    def test_many_scalars_cross_block_boundary(self):
+        sketch = FastReqSketch(16, seed=10)
+        for i in range(10_000):
+            sketch.update(float(i))
+        assert sketch.n == 10_000
+        assert sketch.rank(9999.0) == 10_000
+
+
+class TestVectorQueries:
+    def test_ranks_match_scalar(self, big_stream):
+        sketch = FastReqSketch(32, seed=11)
+        sketch.update_many(big_stream)
+        queries = np.array([0.1, 0.5, 0.9])
+        batch = sketch.ranks(queries)
+        assert list(batch) == [sketch.rank(float(q)) for q in queries]
+
+    def test_ranks_monotone(self, big_stream):
+        sketch = FastReqSketch(32, seed=12)
+        sketch.update_many(big_stream)
+        ranks = sketch.ranks(np.linspace(0, 1, 50))
+        assert (np.diff(ranks) >= 0).all()
+
+    def test_quantiles_monotone(self, big_stream):
+        sketch = FastReqSketch(32, seed=13)
+        sketch.update_many(big_stream)
+        values = sketch.quantiles(np.linspace(0, 1, 21))
+        assert (np.diff(values) >= 0).all()
+
+    def test_quantile_fraction_validated(self, big_stream):
+        sketch = FastReqSketch(32, seed=14)
+        sketch.update_many(big_stream[:100])
+        with pytest.raises(InvalidParameterError):
+            sketch.quantiles([1.5])
+
+    def test_cdf(self, big_stream):
+        sketch = FastReqSketch(32, seed=15)
+        sketch.update_many(big_stream)
+        cdf = sketch.cdf([0.25, 0.5, 0.75])
+        assert cdf[-1] == 1.0
+        assert (np.diff(cdf) >= 0).all()
+        assert abs(cdf[1] - 0.5) < 0.02
+
+    def test_cdf_validation(self, big_stream):
+        sketch = FastReqSketch(32, seed=16)
+        sketch.update_many(big_stream[:100])
+        with pytest.raises(InvalidParameterError):
+            sketch.cdf([2.0, 1.0])
+        with pytest.raises(InvalidParameterError):
+            sketch.cdf([])
+
+
+class TestMerge:
+    def test_merge_basics(self, big_stream):
+        a = FastReqSketch(32, seed=17)
+        b = FastReqSketch(32, seed=18)
+        half = big_stream.size // 2
+        a.update_many(big_stream[:half])
+        b.update_many(big_stream[half:])
+        a.merge(b)
+        assert a.n == big_stream.size
+        assert a.rank(float(big_stream.max())) == big_stream.size
+        assert b.n == big_stream.size - half  # other unchanged
+
+    def test_merge_mismatch(self):
+        with pytest.raises(IncompatibleSketchesError):
+            FastReqSketch(16).merge(FastReqSketch(32))
+        with pytest.raises(IncompatibleSketchesError):
+            FastReqSketch(16).merge(object())
+
+    def test_merge_accuracy(self, big_stream):
+        parts = np.array_split(big_stream, 8)
+        root = FastReqSketch(32, seed=19)
+        root.update_many(parts[0])
+        for index, part in enumerate(parts[1:]):
+            shard = FastReqSketch(32, seed=20 + index)
+            shard.update_many(part)
+            root.merge(shard)
+        exact = np.sort(big_stream)
+        y = float(exact[2000])
+        true = int(np.searchsorted(exact, y, side="right"))
+        assert abs(root.rank(y) - true) / true < 0.05
+
+    def test_merge_with_pending_scalars(self):
+        a = FastReqSketch(16, seed=21)
+        b = FastReqSketch(16, seed=22)
+        a.update(1.0)
+        b.update(2.0)
+        a.merge(b)
+        assert a.n == 2
+        assert a.rank(2.0) == 2
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=500,
+        ),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_conservation_property(self, stream, seed):
+        sketch = FastReqSketch(4, seed=seed)
+        sketch.update_many(np.asarray(stream, dtype=np.float64))
+        assert sketch.rank(float(max(stream))) == len(stream)
+
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=1, max_size=400),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_agrees_with_sorting(self, stream, seed):
+        sketch = FastReqSketch(4, seed=seed)
+        sketch.update_many(np.asarray(stream, dtype=np.float64))
+        ordered = sorted(stream)
+        y = float(ordered[len(ordered) // 2])
+        true = bisect.bisect_right(ordered, y)
+        assert abs(sketch.rank(y) - true) <= max(6, 0.5 * true)

@@ -1,0 +1,131 @@
+"""Tests for the Section 5 close-out variant (CloseOutReqSketch)."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.core import CloseOutReqSketch
+from repro.errors import EmptySketchError, InvalidParameterError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        sketch = CloseOutReqSketch(0.1)
+        assert sketch.is_empty
+        assert sketch.num_summaries == 1
+        assert sketch.current_estimate >= 1 / 0.1
+
+    def test_initial_estimate_override(self):
+        sketch = CloseOutReqSketch(0.1, initial_estimate=100)
+        assert sketch.current_estimate == 100
+
+    def test_invalid_eps(self):
+        with pytest.raises(InvalidParameterError):
+            CloseOutReqSketch(0.0)
+
+    def test_invalid_initial_estimate(self):
+        with pytest.raises(InvalidParameterError):
+            CloseOutReqSketch(0.1, initial_estimate=1)
+
+
+class TestLadder:
+    def test_close_out_squares_estimate(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=1)
+        sketch.update_many(range(64 + 1))
+        assert sketch.num_summaries == 2
+        assert sketch.current_estimate == 64 * 64
+
+    def test_summary_count_is_loglog(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=2)
+        sketch.update_many(range(10_000))
+        # 64 -> 4096 -> 16M; 10k items need 3 summaries.
+        assert sketch.num_summaries == 3
+
+    def test_n_accumulates(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=3)
+        sketch.update_many(range(5000))
+        assert sketch.n == 5000
+        assert len(sketch) == 5000
+
+    def test_closed_summaries_frozen(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=4)
+        sketch.update_many(range(200))
+        first = sketch.summaries()[0]
+        n_before = first.n
+        sketch.update_many(range(200, 400))
+        assert sketch.summaries()[0].n == n_before
+
+
+class TestQueries:
+    def test_empty_raises(self):
+        sketch = CloseOutReqSketch(0.1)
+        with pytest.raises(EmptySketchError):
+            sketch.rank(1.0)
+        with pytest.raises(EmptySketchError):
+            sketch.quantile(0.5)
+        with pytest.raises(EmptySketchError):
+            sketch.cdf([1.0])
+
+    def test_rank_sums_over_summaries(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=5)
+        sketch.update_many([1.0] * 1000)
+        assert sketch.num_summaries > 1
+        assert sketch.rank(1.0) == 1000
+        assert sketch.rank(0.5) == 0
+
+    def test_min_max_span_summaries(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=6)
+        sketch.update_many(range(1000))
+        assert sketch.quantile(0.0) == 0
+        assert sketch.quantile(1.0) == 999
+
+    def test_quantile_fraction_validated(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64)
+        sketch.update(1.0)
+        with pytest.raises(InvalidParameterError):
+            sketch.quantile(2.0)
+
+    def test_accuracy_across_boundaries(self):
+        """The summed estimates stay in the eps class (Section 5 argument)."""
+        rng = random.Random(7)
+        data = [rng.random() for _ in range(20_000)]
+        ordered = sorted(data)
+        sketch = CloseOutReqSketch(0.1, seed=8)
+        sketch.update_many(data)
+        assert sketch.num_summaries >= 2
+        for fraction in (0.001, 0.01, 0.1, 0.5, 0.9):
+            y = ordered[int(fraction * len(ordered))]
+            true = bisect.bisect_right(ordered, y)
+            assert abs(sketch.rank(y) - true) / max(true, 1) < 0.1
+
+    def test_cdf(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=9)
+        sketch.update_many(range(1000))
+        cdf = sketch.cdf([250, 500, 750])
+        assert cdf[-1] == 1.0
+        assert cdf[0] == pytest.approx(0.25, abs=0.05)
+
+    def test_space_dominated_by_last_summary(self):
+        sketch = CloseOutReqSketch(0.1, seed=10)
+        rng = random.Random(11)
+        sketch.update_many(rng.random() for _ in range(30_000))
+        sizes = [s.num_retained for s in sketch.summaries()]
+        assert max(sizes) == sizes[-1] or sizes[-1] >= 0.3 * sum(sizes)
+
+    def test_hra_mode(self):
+        rng = random.Random(12)
+        data = [rng.random() for _ in range(5000)]
+        ordered = sorted(data)
+        sketch = CloseOutReqSketch(0.1, hra=True, seed=13)
+        sketch.update_many(data)
+        y = ordered[-3]
+        true = bisect.bisect_right(ordered, y)
+        assert abs(sketch.rank(y) - true) <= 0.1 * (len(data) - true + 1)
+
+    def test_normalized_rank(self):
+        sketch = CloseOutReqSketch(0.2, initial_estimate=64, seed=14)
+        sketch.update_many(range(100))
+        assert sketch.normalized_rank(99) == pytest.approx(1.0)

@@ -1,0 +1,144 @@
+"""Empirical verification of the paper's internal lemmas (Section 3-4).
+
+These tests execute the proof obligations on concrete streams: Lemma 6's
+charging bound, Observation 8's deterministic rank drop, Lemma 10's rank
+halving, Lemma 11's cutoff level, and the Eq. (5) error decomposition
+(which must hold *exactly*, being algebraic).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.streams import ascending, descending
+from repro.theory.lemmas import (
+    InstrumentedReqSketch,
+    error_decomposition,
+    lemma6_report,
+    rank_halving_profile,
+)
+
+
+def make_stream(n=8000, seed=0):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(n)]
+
+
+class TestLemma6:
+    """Important steps at level h are at most R_h(y) / k — deterministic."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bound_holds_random_order(self, seed):
+        stream = make_stream(seed=seed)
+        y = sorted(stream)[len(stream) // 10]
+        for record in lemma6_report(stream, y, k=8, seed=seed):
+            assert record["important_steps"] <= record["bound"] + 1e-9, record
+
+    @pytest.mark.parametrize("order", [ascending, descending])
+    def test_bound_holds_structured_order(self, order):
+        stream = order(make_stream(seed=4))
+        y = sorted(stream)[100]
+        for record in lemma6_report(stream, y, k=8, seed=5):
+            assert record["important_steps"] <= record["bound"] + 1e-9, record
+
+    @pytest.mark.parametrize("fraction", [0.001, 0.01, 0.5, 0.99])
+    def test_bound_across_query_positions(self, fraction):
+        stream = make_stream(seed=6)
+        y = sorted(stream)[int(fraction * len(stream))]
+        for record in lemma6_report(stream, y, k=8, seed=7):
+            assert record["important_steps"] <= record["bound"] + 1e-9, record
+
+    def test_small_rank_means_no_important_steps(self):
+        """An item below the protected half never suffers error (the
+        'items of rank zero suffer no error' observation)."""
+        stream = make_stream(seed=8)
+        y = sorted(stream)[2]  # rank 3: deep inside the protected half
+        report = lemma6_report(stream, y, k=8, seed=9)
+        assert all(record["important_steps"] == 0 for record in report)
+
+
+class TestErrorDecomposition:
+    """Eq. (5): the per-level errors telescope to the end-to-end error."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_identity_exact(self, seed):
+        stream = make_stream(n=6000, seed=seed)
+        y = sorted(stream)[len(stream) // 3]
+        result = error_decomposition(stream, y, k=8, seed=seed)
+        assert result["actual_error"] == result["decomposed_error"], result
+
+    @pytest.mark.parametrize("fraction", [0.01, 0.5, 0.95])
+    def test_identity_across_queries(self, fraction):
+        stream = make_stream(n=6000, seed=10)
+        y = sorted(stream)[int(fraction * len(stream))]
+        result = error_decomposition(stream, y, k=8, seed=11)
+        assert result["actual_error"] == result["decomposed_error"]
+
+    def test_identity_on_sorted_input(self):
+        stream = ascending(make_stream(n=6000, seed=12))
+        y = sorted(stream)[3000]
+        result = error_decomposition(stream, y, k=8, seed=13)
+        assert result["actual_error"] == result["decomposed_error"]
+
+
+class TestRankHalving:
+    def test_observation8_deterministic_drop(self):
+        """R_{h+1}(y) <= max(0, R_h(y) - B/2): the protected half never
+        promotes."""
+        stream = make_stream(n=10_000, seed=14)
+        y = sorted(stream)[2000]
+        k = 8
+        sketch = InstrumentedReqSketch(k, seed=15)
+        sketch.update_many(stream)
+        for level in range(len(sketch.traces) - 1):
+            rank_here = sketch.traces[level].rank_of(y)
+            rank_next = sketch.traces[level + 1].rank_of(y)
+            # The level's capacity in the auto scheme grows with inserts;
+            # use the most conservative (smallest) capacity it ever had.
+            min_capacity = 2 * k
+            assert rank_next <= max(0, rank_here - min_capacity // 2)
+
+    @pytest.mark.parametrize("seed", [16, 17, 18])
+    def test_lemma10_halving_with_slack(self, seed):
+        """R_h(y) <= 2^{-h+1} R(y) holds w.h.p.; check with the paper's
+        factor-2 slack on seeded runs."""
+        stream = make_stream(n=20_000, seed=seed)
+        y = sorted(stream)[5000]
+        profile = rank_halving_profile(stream, y, k=8, seed=seed)
+        true_rank = profile[0]
+        for level, rank in enumerate(profile):
+            assert rank <= 2 * true_rank / (2**level) + 1, (level, profile)
+
+    def test_lemma11_no_important_items_at_top(self):
+        """Items comparable to a low-rank y never reach the top level."""
+        stream = make_stream(n=20_000, seed=19)
+        y = sorted(stream)[200]
+        profile = rank_halving_profile(stream, y, k=8, seed=20)
+        assert profile[-1] == 0
+
+
+class TestInstrumentation:
+    def test_traces_cover_all_levels(self):
+        stream = make_stream(n=5000, seed=21)
+        sketch = InstrumentedReqSketch(8, seed=22)
+        sketch.update_many(stream)
+        assert len(sketch.traces) == sketch.num_levels
+        assert len(sketch.traces[0].inputs) == 5000
+
+    def test_promoted_counts_match_traces(self):
+        """Level h+1's input count = sum of promoted halves from level h."""
+        stream = make_stream(n=5000, seed=23)
+        sketch = InstrumentedReqSketch(8, seed=24)
+        sketch.update_many(stream)
+        for level in range(len(sketch.traces) - 1):
+            promoted = sum(
+                len(slice_) // 2 for slice_ in sketch.traces[level].compaction_slices
+            )
+            assert len(sketch.traces[level + 1].inputs) == promoted
+
+    def test_level_rank_out_of_range(self):
+        sketch = InstrumentedReqSketch(8, seed=25)
+        sketch.update(1.0)
+        assert sketch.level_rank(99, 1.0) == 0

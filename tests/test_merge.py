@@ -1,0 +1,242 @@
+"""Tests for merging (Algorithm 3 / Theorem 3)."""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.core import ReqSketch
+from repro.errors import IncompatibleSketchesError, StreamLengthExceededError
+from repro.evaluation import build_via_tree, split_stream
+
+
+def total_weight(sketch):
+    return sum(len(c) * (1 << h) for h, c in enumerate(sketch.compactors()))
+
+
+def split(data, parts):
+    return split_stream(data, parts)
+
+
+class TestCompatibility:
+    def test_scheme_mismatch(self):
+        a, b = ReqSketch(8), ReqSketch(8, n_bound=100)
+        with pytest.raises(IncompatibleSketchesError):
+            a.merge(b)
+
+    def test_mode_mismatch(self):
+        a, b = ReqSketch(8), ReqSketch(8, hra=True)
+        with pytest.raises(IncompatibleSketchesError):
+            a.merge(b)
+
+    def test_k_mismatch(self):
+        a, b = ReqSketch(8), ReqSketch(16)
+        with pytest.raises(IncompatibleSketchesError):
+            a.merge(b)
+
+    def test_khat_mismatch(self):
+        a, b = ReqSketch(eps=0.1), ReqSketch(eps=0.2)
+        with pytest.raises(IncompatibleSketchesError):
+            a.merge(b)
+
+    def test_non_sketch(self):
+        with pytest.raises(IncompatibleSketchesError):
+            ReqSketch(8).merge(object())
+
+    def test_fixed_bound_enforced_on_merge(self):
+        a, b = ReqSketch(8, n_bound=10), ReqSketch(8, n_bound=10)
+        a.update_many(range(6))
+        b.update_many(range(6))
+        with pytest.raises(StreamLengthExceededError):
+            a.merge(b)
+
+
+class TestBasicMerge:
+    @pytest.mark.parametrize(
+        "kwargs", [{"k": 16}, {"eps": 0.2, "delta": 0.2}], ids=["auto", "theory"]
+    )
+    def test_n_and_extremes(self, kwargs):
+        rng = random.Random(0)
+        left = [rng.random() for _ in range(5000)]
+        right = [rng.random() + 0.5 for _ in range(7000)]
+        a = ReqSketch(seed=1, **kwargs)
+        b = ReqSketch(seed=2, **kwargs)
+        a.update_many(left)
+        b.update_many(right)
+        a.merge(b)
+        assert a.n == 12_000
+        assert a.min_item == min(min(left), min(right))
+        assert a.max_item == max(max(left), max(right))
+
+    def test_weight_conservation(self, uniform_stream):
+        a = ReqSketch(16, seed=3)
+        b = ReqSketch(16, seed=4)
+        a.update_many(uniform_stream[:12_000])
+        b.update_many(uniform_stream[12_000:])
+        a.merge(b)
+        assert total_weight(a) == len(uniform_stream)
+
+    def test_merge_into_empty(self, uniform_stream):
+        a = ReqSketch(16, seed=5)
+        b = ReqSketch(16, seed=6)
+        b.update_many(uniform_stream[:1000])
+        a.merge(b)
+        assert a.n == 1000
+        assert a.rank(b.max_item) == 1000
+
+    def test_merge_empty_other(self, uniform_stream):
+        a = ReqSketch(16, seed=7)
+        a.update_many(uniform_stream[:1000])
+        a.merge(ReqSketch(16, seed=8))
+        assert a.n == 1000
+
+    def test_other_unchanged(self, uniform_stream):
+        a = ReqSketch(16, seed=9)
+        b = ReqSketch(16, seed=10)
+        a.update_many(uniform_stream[:5000])
+        b.update_many(uniform_stream[5000:10_000])
+        before_n = b.n
+        before_retained = b.num_retained
+        before_states = [c.state for c in b.compactors()]
+        a.merge(b)
+        assert b.n == before_n
+        assert b.num_retained == before_retained
+        assert [c.state for c in b.compactors()] == before_states
+
+    def test_merged_classmethod_pure(self, uniform_stream):
+        a = ReqSketch(16, seed=11)
+        b = ReqSketch(16, seed=12)
+        a.update_many(uniform_stream[:3000])
+        b.update_many(uniform_stream[3000:6000])
+        merged = ReqSketch.merged(a, b)
+        assert merged.n == 6000
+        assert a.n == 3000
+        assert b.n == 3000
+
+    def test_updates_after_merge(self, uniform_stream):
+        a = ReqSketch(16, seed=13)
+        b = ReqSketch(16, seed=14)
+        a.update_many(uniform_stream[:2000])
+        b.update_many(uniform_stream[2000:4000])
+        a.merge(b)
+        a.update_many(uniform_stream[4000:5000])
+        assert a.n == 5000
+        assert total_weight(a) == 5000
+
+    def test_state_is_bitwise_or(self):
+        a = ReqSketch(8, seed=15)
+        b = ReqSketch(8, seed=16)
+        a.update_many(range(500))
+        b.update_many(range(500))
+        state_a = a.compactors()[0].state
+        state_b = b.compactors()[0].state
+        a.merge(b)
+        merged_state = a.compactors()[0].state
+        # OR of inputs, possibly advanced by compactions during the merge.
+        assert merged_state >= (state_a | state_b)
+
+
+class TestTheoryMerge:
+    def test_estimate_grows_when_needed(self):
+        a = ReqSketch(eps=0.5, delta=0.5, seed=17)
+        b = ReqSketch(eps=0.5, delta=0.5, seed=18)
+        n0 = a.estimate
+        rng = random.Random(1)
+        a.update_many(rng.random() for _ in range(n0 - 5))
+        b.update_many(rng.random() for _ in range(n0 - 5))
+        a.merge(b)
+        assert a.estimate == n0 * n0
+        assert a.n == 2 * (n0 - 5)
+        assert total_weight(a) == a.n
+
+    def test_target_swap_when_other_taller(self):
+        """Algorithm 3 requires the taller sketch as target; ours may not be."""
+        a = ReqSketch(eps=0.5, delta=0.5, seed=19)
+        b = ReqSketch(eps=0.5, delta=0.5, seed=20)
+        rng = random.Random(2)
+        a.update_many(rng.random() for _ in range(50))
+        b.update_many(rng.random() for _ in range(3 * b.estimate))
+        assert b.num_levels >= a.num_levels
+        a.merge(b)
+        assert a.n == 50 + 3 * ReqSketch(eps=0.5, delta=0.5).estimate
+        assert total_weight(a) == a.n
+
+    def test_many_small_merges(self):
+        rng = random.Random(3)
+        data = [rng.random() for _ in range(20_000)]
+        accumulator = ReqSketch(eps=0.3, delta=0.3, seed=21)
+        for chunk in split(data, 40):
+            shard = ReqSketch(eps=0.3, delta=0.3, seed=rng.randrange(10**6))
+            shard.update_many(chunk)
+            accumulator.merge(shard)
+        assert accumulator.n == len(data)
+        assert total_weight(accumulator) == len(data)
+
+
+class TestMergeAccuracy:
+    @pytest.mark.parametrize("shape", ["balanced", "left_deep", "random"])
+    def test_tree_shapes_accurate(self, uniform_stream, sorted_uniform, shape):
+        root = build_via_tree(
+            lambda seed: ReqSketch(32, seed=seed),
+            uniform_stream,
+            shape=shape,
+            parts=16,
+            seed=23,
+        )
+        assert root.n == len(uniform_stream)
+        n = len(sorted_uniform)
+        for fraction in (0.001, 0.01, 0.1, 0.5):
+            y = sorted_uniform[int(fraction * n)]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert abs(root.rank(y) - true) / max(true, 1) < 0.08
+
+    def test_merge_matches_streaming_class(self, uniform_stream, sorted_uniform):
+        """Merged and streaming sketches land in the same error class."""
+        streaming = ReqSketch(32, seed=24)
+        streaming.update_many(uniform_stream)
+        merged = build_via_tree(
+            lambda seed: ReqSketch(32, seed=seed),
+            uniform_stream,
+            shape="balanced",
+            parts=8,
+            seed=25,
+        )
+        n = len(sorted_uniform)
+        for fraction in (0.01, 0.1, 0.5):
+            y = sorted_uniform[int(fraction * n)]
+            true = bisect.bisect_right(sorted_uniform, y)
+            stream_err = abs(streaming.rank(y) - true) / true
+            merge_err = abs(merged.rank(y) - true) / true
+            assert merge_err < max(5 * stream_err, 0.05)
+
+    def test_hra_merge(self, uniform_stream, sorted_uniform):
+        root = build_via_tree(
+            lambda seed: ReqSketch(32, hra=True, seed=seed),
+            uniform_stream,
+            shape="balanced",
+            parts=8,
+            seed=26,
+        )
+        n = len(sorted_uniform)
+        y = sorted_uniform[n - 5]
+        true = bisect.bisect_right(sorted_uniform, y)
+        assert abs(root.rank(y) - true) <= 0.05 * (n - true + 1)
+
+
+class TestSplitStream:
+    def test_partitions(self):
+        chunks = split_stream(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert [x for c in chunks for x in c] == list(range(10))
+
+    def test_more_parts_than_items(self):
+        chunks = split_stream([1, 2], 5)
+        assert sum(len(c) for c in chunks) == 2
+
+    def test_invalid_parts(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            split_stream([1], 0)

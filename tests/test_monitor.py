@@ -1,0 +1,151 @@
+"""Tests for the tumbling-window monitor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ReqSketch
+from repro.errors import EmptySketchError, InvalidParameterError
+from repro.monitor import TumblingWindowMonitor
+from repro.streams import latency_stream
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TumblingWindowMonitor(0)
+        with pytest.raises(InvalidParameterError):
+            TumblingWindowMonitor(10, retention=0)
+
+    def test_starts_empty(self):
+        monitor = TumblingWindowMonitor(100)
+        assert monitor.total_recorded == 0
+        assert monitor.num_closed_windows == 0
+        assert monitor.current_window_n == 0
+
+
+class TestWindowing:
+    def test_rollover_every_window_size(self):
+        monitor = TumblingWindowMonitor(100, seed=1)
+        monitor.record_many(range(350))
+        assert monitor.num_closed_windows == 3
+        assert monitor.current_window_n == 50
+        assert monitor.total_recorded == 350
+
+    def test_window_indices_sequential(self):
+        monitor = TumblingWindowMonitor(50, seed=2)
+        monitor.record_many(range(200))
+        assert [w.index for w in monitor.closed_windows()] == [0, 1, 2, 3]
+
+    def test_retention_drops_oldest(self):
+        monitor = TumblingWindowMonitor(10, retention=3, seed=3)
+        monitor.record_many(range(100))
+        windows = monitor.closed_windows()
+        assert len(windows) == 3
+        assert [w.index for w in windows] == [7, 8, 9]
+        assert monitor.total_recorded == 100
+
+    def test_window_n(self):
+        monitor = TumblingWindowMonitor(25, seed=4)
+        monitor.record_many(range(60))
+        assert all(w.n == 25 for w in monitor.closed_windows())
+
+
+class TestHorizon:
+    def test_horizon_merges_all(self):
+        monitor = TumblingWindowMonitor(100, seed=5)
+        monitor.record_many(range(450))
+        merged = monitor.horizon()
+        assert merged.n == 450
+
+    def test_horizon_last_m(self):
+        monitor = TumblingWindowMonitor(100, seed=6)
+        monitor.record_many(range(500))
+        merged = monitor.horizon(last=2, include_open=False)
+        assert merged.n == 200
+
+    def test_horizon_excluding_open(self):
+        monitor = TumblingWindowMonitor(100, seed=7)
+        monitor.record_many(range(250))
+        merged = monitor.horizon(include_open=False)
+        assert merged.n == 200
+
+    def test_horizon_pure(self):
+        """Horizon queries must not mutate the stored windows."""
+        monitor = TumblingWindowMonitor(100, seed=8)
+        monitor.record_many(range(300))
+        before = [w.n for w in monitor.closed_windows()]
+        monitor.horizon()
+        monitor.horizon(last=1)
+        assert [w.n for w in monitor.closed_windows()] == before
+
+    def test_horizon_empty_raises(self):
+        monitor = TumblingWindowMonitor(100)
+        with pytest.raises(EmptySketchError):
+            monitor.horizon()
+
+    def test_horizon_accuracy(self):
+        rng = random.Random(9)
+        data = [rng.random() for _ in range(20_000)]
+        monitor = TumblingWindowMonitor(
+            1000, sketch_factory=lambda s: ReqSketch(32, seed=s), seed=10
+        )
+        monitor.record_many(data)
+        merged = monitor.horizon()
+        ordered = sorted(data)
+        import bisect
+
+        y = ordered[200]
+        true = bisect.bisect_right(ordered, y)
+        assert abs(merged.rank(y) - true) / true < 0.1
+
+    def test_horizon_last_validation(self):
+        monitor = TumblingWindowMonitor(10, seed=11)
+        monitor.record_many(range(20))
+        with pytest.raises(InvalidParameterError):
+            monitor.horizon(last=-1)
+
+
+class TestTrendAndAlerts:
+    def test_percentile_series_length(self):
+        monitor = TumblingWindowMonitor(50, seed=12)
+        monitor.record_many(range(260))
+        assert len(monitor.percentile_series(0.5)) == 5
+
+    def test_percentile_series_tracks_shift(self):
+        """Windows fed increasing values show an increasing median."""
+        monitor = TumblingWindowMonitor(100, seed=13)
+        for base in (0.0, 100.0, 200.0):
+            monitor.record_many(base + i / 100 for i in range(100))
+        series = monitor.percentile_series(0.5)
+        assert series == sorted(series)
+        assert series[-1] > series[0] + 150
+
+    def test_tail_shift_none_until_enough_windows(self):
+        monitor = TumblingWindowMonitor(10, seed=14)
+        monitor.record_many(range(30))
+        assert monitor.tail_shift(baseline=4) is None
+
+    def test_tail_shift_detects_regression(self):
+        monitor = TumblingWindowMonitor(
+            200, sketch_factory=lambda s: ReqSketch(16, hra=True, seed=s), seed=15
+        )
+        rng = random.Random(16)
+        # Five calm windows, then one with a 10x slower tail.
+        for _ in range(5):
+            monitor.record_many(rng.lognormvariate(0, 0.3) for _ in range(200))
+        monitor.record_many(10.0 * rng.lognormvariate(0, 0.3) for _ in range(200))
+        ratio = monitor.tail_shift(0.9, baseline=4)
+        assert ratio is not None and ratio > 5.0
+
+    def test_tail_shift_stable_traffic_near_one(self):
+        monitor = TumblingWindowMonitor(
+            500, sketch_factory=lambda s: ReqSketch(16, hra=True, seed=s), seed=17
+        )
+        stream = latency_stream(4000, seed=18)
+        monitor.record_many(stream)
+        ratio = monitor.tail_shift(0.9, baseline=4)
+        assert ratio is not None
+        assert 0.3 < ratio < 3.0

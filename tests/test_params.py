@@ -1,0 +1,188 @@
+"""Tests for the parameter formulas (Eqs. 6, 15, 16, 26 and the N ladder)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import params
+from repro.errors import InvalidParameterError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("eps", [0.0, -0.1, 1.5, 2.0])
+    def test_bad_eps(self, eps):
+        with pytest.raises(InvalidParameterError):
+            params.validate_eps_delta(eps, 0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, -0.5, 0.6, 1.0])
+    def test_bad_delta(self, delta):
+        with pytest.raises(InvalidParameterError):
+            params.validate_eps_delta(0.1, delta)
+
+    def test_good_pair(self):
+        params.validate_eps_delta(1.0, 0.5)
+        params.validate_eps_delta(0.001, 0.001)
+
+
+class TestStreamingK:
+    def test_even_and_positive(self):
+        for eps in (0.01, 0.05, 0.2, 1.0):
+            k = params.streaming_k(eps, 0.05, 10**6)
+            assert k >= 2 and k % 2 == 0
+
+    def test_decreases_with_eps(self):
+        ks = [params.streaming_k(eps, 0.05, 10**6) for eps in (0.01, 0.02, 0.05, 0.1)]
+        assert ks == sorted(ks, reverse=True)
+
+    def test_grows_with_confidence(self):
+        loose = params.streaming_k(0.05, 0.4, 10**6)
+        tight = params.streaming_k(0.05, 1e-6, 10**6)
+        assert tight > loose
+
+    def test_shrinks_with_length(self):
+        """Longer streams allow a smaller k (the log2(eps n) denominator)."""
+        short = params.streaming_k(0.05, 0.05, 10**4)
+        long_ = params.streaming_k(0.05, 0.05, 10**9)
+        assert long_ <= short
+
+    def test_matches_equation_six(self):
+        eps, delta, n = 0.05, 0.1, 10**6
+        expected = 2 * math.ceil(
+            (4.0 / eps) * math.sqrt(math.log(1 / delta) / math.log2(eps * n))
+        )
+        assert params.streaming_k(eps, delta, n) == expected
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            params.streaming_k(0.1, 0.1, 0)
+
+
+class TestAppendixCK:
+    def test_no_n_dependence(self):
+        assert params.appendix_c_k(0.1, 0.01) == params.appendix_c_k(0.1, 0.01)
+
+    def test_loglog_delta_growth(self):
+        """Doubly-exponential delta improvement costs only ~linear k growth."""
+        k1 = params.appendix_c_k(0.1, 1e-2)
+        k2 = params.appendix_c_k(0.1, 1e-4)
+        k3 = params.appendix_c_k(0.1, 1e-16)
+        assert k1 <= k2 <= k3
+        assert k3 <= 4 * k1  # log log growth is tame
+
+    def test_even(self):
+        for delta in (0.5, 1e-3, 1e-9):
+            assert params.appendix_c_k(0.07, delta) % 2 == 0
+
+
+class TestDeterministicK:
+    def test_scales_with_log_n(self):
+        k_small = params.deterministic_k(0.1, 10**4)
+        k_large = params.deterministic_k(0.1, 10**8)
+        assert k_large > k_small
+
+    def test_linear_in_inverse_eps(self):
+        k1 = params.deterministic_k(0.1, 10**6)
+        k2 = params.deterministic_k(0.05, 10**6)
+        assert 1.5 <= k2 / k1 <= 2.5
+
+
+class TestBufferSize:
+    def test_formula(self):
+        assert params.buffer_size(10, 10_240) == 2 * 10 * 10
+
+    def test_minimum_geometry(self):
+        assert params.buffer_size(4, 1) == 8  # clamped to 2k
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(InvalidParameterError):
+            params.buffer_size(3, 100)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(InvalidParameterError):
+            params.buffer_size(0, 100)
+
+    @given(st.integers(1, 30), st.integers(1, 10**9))
+    def test_at_least_two_k(self, half_k, n):
+        k = 2 * half_k
+        assert params.buffer_size(k, n) >= 2 * k
+
+
+class TestEstimateLadder:
+    def test_initial(self):
+        assert params.initial_estimate(10.0) == 2560
+
+    def test_next_squares(self):
+        assert params.next_estimate(300) == 90_000
+
+    def test_ladder_covers_n(self):
+        ladder = params.estimate_ladder(10.0, 10**7)
+        assert ladder[-1] >= 10**7
+        assert all(b == a * a for a, b in zip(ladder, ladder[1:]))
+
+    def test_ladder_is_loglog_short(self):
+        ladder = params.estimate_ladder(4.0, 10**12)
+        assert len(ladder) <= 8
+
+    def test_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            params.initial_estimate(0.0)
+        with pytest.raises(InvalidParameterError):
+            params.next_estimate(1)
+
+
+class TestMergeableParams:
+    def test_khat_equation_26(self):
+        assert params.k_hat(0.1, 0.05) == pytest.approx(10 * math.sqrt(math.log(20)))
+
+    def test_k_of_n_shrinks_along_ladder(self):
+        """Eq. 16: k(N) decreases as N grows (the sqrt-log denominator)."""
+        khat = params.k_hat(0.1, 0.1)
+        n0 = params.initial_estimate(khat)
+        k0 = params.mergeable_k(khat, n0)
+        k1 = params.mergeable_k(khat, n0 * n0)
+        assert k1 <= k0
+
+    def test_buffer_grows_along_ladder(self):
+        khat = params.k_hat(0.1, 0.1)
+        n0 = params.initial_estimate(khat)
+        assert params.mergeable_buffer_size(khat, n0 * n0) > params.mergeable_buffer_size(
+            khat, n0
+        )
+
+    def test_rejects_small_estimate(self):
+        with pytest.raises(InvalidParameterError):
+            params.mergeable_k(100.0, 10)
+
+    def test_theory_params_growth(self):
+        tp = params.TheoryParams.from_accuracy(0.1, 0.1)
+        grown = tp.grown()
+        assert grown.estimate == tp.estimate**2
+        assert grown.khat == tp.khat
+        assert grown.buffer > tp.buffer
+
+
+class TestEpsInversion:
+    @pytest.mark.parametrize("eps", [0.01, 0.03, 0.1])
+    def test_roundtrip_within_quantization(self, eps):
+        """eps -> k -> eps' recovers eps up to the ceil() quantization."""
+        n, delta = 10**6, 0.05
+        k = params.streaming_k(eps, delta, n)
+        recovered = params.eps_for_streaming_k(k, n, delta)
+        assert recovered <= eps * 1.05
+        assert recovered >= eps * 0.5
+
+    def test_monotone_in_k(self):
+        n = 10**6
+        epss = [params.eps_for_streaming_k(k, n) for k in (8, 16, 32, 64, 128)]
+        assert epss == sorted(epss, reverse=True)
+
+    def test_capped_at_one(self):
+        assert params.eps_for_streaming_k(2, 100) <= 1.0
+
+    def test_rejects_tiny_k(self):
+        with pytest.raises(InvalidParameterError):
+            params.eps_for_streaming_k(1, 100)

@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The invariants checked here are the ones the paper's correctness rests on:
+
+* exact weight conservation (the estimate of the max item's rank is n),
+* monotonicity of the rank estimator,
+* the deterministic guarantee of the offline coreset,
+* serialization round-trips,
+* schedule algebra (Fact 5 survival under OR-merging).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReqSketch, deserialize, serialize
+from repro.core.estimator import WeightedCoreset
+from repro.core.schedule import CompactionSchedule, trailing_ones
+from repro.theory import OfflineCoreset
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+small_streams = st.lists(finite_floats, min_size=1, max_size=400)
+
+
+class TestWeightConservation:
+    @given(small_streams, st.booleans(), st.integers(0, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_total_weight_is_n(self, stream, hra, seed):
+        sketch = ReqSketch(4, hra=hra, seed=seed)
+        sketch.update_many(stream)
+        assert sketch.rank(sketch.max_item) == len(stream)
+
+    @given(small_streams, small_streams, st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_conserves_weight(self, left, right, seed):
+        a = ReqSketch(4, seed=seed)
+        b = ReqSketch(4, seed=seed + 1)
+        a.update_many(left)
+        b.update_many(right)
+        a.merge(b)
+        assert a.n == len(left) + len(right)
+        assert a.rank(a.max_item) == a.n
+
+
+class TestMonotonicity:
+    @given(small_streams, st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_monotone(self, stream, seed):
+        sketch = ReqSketch(4, seed=seed)
+        sketch.update_many(stream)
+        probes = sorted(set(stream))
+        ranks = [sketch.rank(p) for p in probes]
+        assert ranks == sorted(ranks)
+
+    @given(small_streams, st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_quantile_monotone(self, stream, seed):
+        sketch = ReqSketch(4, seed=seed)
+        sketch.update_many(stream)
+        fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        values = sketch.quantiles(fractions)
+        assert values == sorted(values)
+
+    @given(small_streams, st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_exclusive_rank_leq_inclusive(self, stream, seed):
+        sketch = ReqSketch(4, seed=seed)
+        sketch.update_many(stream)
+        for probe in stream[:10]:
+            assert sketch.rank(probe, inclusive=False) <= sketch.rank(probe)
+
+
+class TestBottomHalfExactness:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_minimum_rank_exact(self, stream):
+        """The smallest item's rank is exact in LRA mode: it can never be
+        part of a compacted slice before B/2 smaller items exist."""
+        sketch = ReqSketch(4, seed=1)
+        sketch.update_many(stream)
+        assert sketch.rank(min(stream)) == 1
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=300, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_maximum_complement_exact_hra(self, stream):
+        sketch = ReqSketch(4, hra=True, seed=1)
+        sketch.update_many(stream)
+        assert sketch.rank(max(stream)) == len(stream)
+        if len(stream) > 1:
+            second = sorted(stream)[-2]
+            assert sketch.rank(second) == len(stream) - 1
+
+
+class TestOfflineCoresetProperty:
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=500),
+        st.sampled_from([0.5, 0.2, 0.1]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_guarantee_on_arbitrary_data(self, data, eps):
+        """|est - R(y)| <= eps R(y) for every y, duplicates included."""
+        coreset = OfflineCoreset(data, eps)
+        ordered = sorted(data)
+        import bisect
+
+        for y in set(data):
+            true = bisect.bisect_right(ordered, y)
+            assert abs(coreset.rank(y) - true) <= eps * true
+
+
+class TestSerializationProperty:
+    @given(small_streams, st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, stream, seed):
+        sketch = ReqSketch(4, seed=seed)
+        sketch.update_many(stream)
+        clone = deserialize(serialize(sketch))
+        assert clone.n == sketch.n
+        probes = sorted(set(stream))[:5]
+        for probe in probes:
+            assert clone.rank(probe) == sketch.rank(probe)
+
+
+class TestWeightedCoresetProperty:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-1000, 1000), st.integers(1, 50)),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rank_of_max_is_total(self, pairs):
+        items = [p[0] for p in pairs]
+        weights = [p[1] for p in pairs]
+        coreset = WeightedCoreset(items, weights)
+        assert coreset.rank(max(items)) == sum(weights)
+        assert coreset.rank(min(items) - 1) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-1000, 1000), st.integers(1, 50)),
+            min_size=1,
+            max_size=100,
+        ),
+        st.floats(0.001, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_rank_duality(self, pairs, q):
+        coreset = WeightedCoreset([p[0] for p in pairs], [p[1] for p in pairs])
+        item = coreset.quantile(q)
+        assert coreset.rank(item) >= math.ceil(q * coreset.total_weight) - 0
+
+
+class TestScheduleProperty:
+    @given(st.integers(0, 2**48 - 1))
+    @settings(max_examples=200)
+    def test_sections_consistent_with_trailing_ones(self, state):
+        schedule = CompactionSchedule(state)
+        assert schedule.sections_to_compact() == trailing_ones(state) + 1
+
+    @given(st.lists(st.integers(0, 2**20), min_size=2, max_size=6))
+    @settings(max_examples=50)
+    def test_or_merge_commutative_associative(self, states):
+        """Merging schedule states in any order yields the same state."""
+        import functools
+
+        forward = functools.reduce(lambda a, b: a | b, states)
+        backward = functools.reduce(lambda a, b: a | b, reversed(states))
+        assert forward == backward
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    @settings(max_examples=100)
+    def test_merged_schedule_remembers_deep_compactions(self, x, y):
+        """Fact 18: the merged state's section count is at least the max of
+        the inputs' next-section counts is NOT required, but set bits
+        survive: any section due in either input is still due."""
+        merged = CompactionSchedule(x)
+        merged.merge(CompactionSchedule(y))
+        assert merged.state & x == x
+        assert merged.state & y == y

@@ -1,0 +1,136 @@
+"""Statistical accuracy tests for ReqSketch (Theorem 1's guarantee).
+
+These use fixed seeds so they are deterministic; thresholds include
+slack over the targeted ``eps`` to keep them robust, while still failing
+loudly if the multiplicative guarantee's *class* breaks (e.g. the additive
+regression the schedule ablation demonstrates).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.core import ReqSketch
+from repro.streams import ascending, descending, zoom_in
+
+
+def max_relative_error(sketch, ordered, fractions, side="low"):
+    n = len(ordered)
+    worst = 0.0
+    for fraction in fractions:
+        y = ordered[min(n - 1, int(fraction * n))]
+        true = bisect.bisect_right(ordered, y)
+        est = sketch.rank(y)
+        denom = max(n - true + 1, 1) if side == "high" else max(true, 1)
+        worst = max(worst, abs(est - true) / denom)
+    return worst
+
+
+LOW_FRACTIONS = (0.0005, 0.001, 0.01, 0.05, 0.1, 0.5)
+HIGH_FRACTIONS = (0.5, 0.9, 0.95, 0.99, 0.999, 0.9995)
+
+
+class TestLowRankAccuracy:
+    def test_uniform(self, uniform_stream, sorted_uniform):
+        sketch = ReqSketch(32, seed=21)
+        sketch.update_many(uniform_stream)
+        assert max_relative_error(sketch, sorted_uniform, LOW_FRACTIONS) < 0.05
+
+    def test_lognormal(self, lognormal_stream):
+        sketch = ReqSketch(32, seed=22)
+        sketch.update_many(lognormal_stream)
+        ordered = sorted(lognormal_stream)
+        assert max_relative_error(sketch, ordered, LOW_FRACTIONS) < 0.05
+
+    def test_bottom_items_near_exact(self, uniform_stream, sorted_uniform):
+        """The protected half makes the lowest ranks essentially exact."""
+        sketch = ReqSketch(32, seed=23)
+        sketch.update_many(uniform_stream)
+        for index in range(10):
+            y = sorted_uniform[index]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert sketch.rank(y) == true
+
+    @pytest.mark.parametrize("order", [ascending, descending, zoom_in])
+    def test_structured_orders(self, uniform_stream, sorted_uniform, order):
+        sketch = ReqSketch(32, seed=24)
+        sketch.update_many(order(uniform_stream))
+        assert max_relative_error(sketch, sorted_uniform, LOW_FRACTIONS) < 0.06
+
+
+class TestHighRankAccuracy:
+    def test_uniform_hra(self, uniform_stream, sorted_uniform):
+        sketch = ReqSketch(32, hra=True, seed=25)
+        sketch.update_many(uniform_stream)
+        assert (
+            max_relative_error(sketch, sorted_uniform, HIGH_FRACTIONS, side="high") < 0.05
+        )
+
+    def test_top_items_near_exact(self, uniform_stream, sorted_uniform):
+        sketch = ReqSketch(32, hra=True, seed=26)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for index in range(1, 11):
+            y = sorted_uniform[n - index]
+            true = bisect.bisect_right(sorted_uniform, y)
+            assert sketch.rank(y) == true
+
+    def test_lognormal_tail(self, lognormal_stream):
+        """The motivating workload: p99/p99.9 on a long-tailed stream."""
+        sketch = ReqSketch(32, hra=True, seed=27)
+        sketch.update_many(lognormal_stream)
+        ordered = sorted(lognormal_stream)
+        assert max_relative_error(sketch, ordered, (0.99, 0.999), side="high") < 0.05
+
+
+class TestSchemeEquivalence:
+    """All three schemes deliver the same error class on the same data."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": 32},
+            {"k": 32, "n_bound": 30_000},
+            {"eps": 0.1, "delta": 0.1},
+        ],
+        ids=["auto", "fixed", "theory"],
+    )
+    def test_scheme(self, uniform_stream, sorted_uniform, kwargs):
+        sketch = ReqSketch(seed=28, **kwargs)
+        sketch.update_many(uniform_stream)
+        assert max_relative_error(sketch, sorted_uniform, LOW_FRACTIONS) < 0.1
+
+
+class TestErrorScalesWithK:
+    @pytest.mark.slow
+    def test_doubling_k_reduces_error(self):
+        """Mean error over several seeds decreases when k doubles."""
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(40_000)]
+        ordered = sorted(data)
+
+        def mean_error(k):
+            errors = []
+            for seed in range(8):
+                sketch = ReqSketch(k, seed=100 + seed)
+                sketch.update_many(data)
+                errors.append(max_relative_error(sketch, ordered, LOW_FRACTIONS))
+            return sum(errors) / len(errors)
+
+        err_small, err_large = mean_error(8), mean_error(64)
+        assert err_large < err_small
+
+
+class TestQuantileAccuracy:
+    def test_quantile_values_close(self, uniform_stream, sorted_uniform):
+        """quantile(q) lands within a small rank neighborhood of q*n."""
+        sketch = ReqSketch(32, seed=29)
+        sketch.update_many(uniform_stream)
+        n = len(sorted_uniform)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            value = sketch.quantile(q)
+            true_rank = bisect.bisect_right(sorted_uniform, value)
+            assert abs(true_rank - q * n) / n < 0.01

@@ -1,0 +1,283 @@
+"""API and mechanics tests for ReqSketch (Algorithm 2)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import ReqSketch, buffer_size
+from repro.errors import (
+    EmptySketchError,
+    InvalidParameterError,
+    StreamLengthExceededError,
+)
+
+
+class TestConstruction:
+    def test_default_is_auto(self):
+        sketch = ReqSketch()
+        assert sketch.scheme == "auto"
+        assert sketch.k >= 2
+
+    def test_k_only_is_auto(self):
+        assert ReqSketch(16).scheme == "auto"
+
+    def test_k_and_bound_is_fixed(self):
+        sketch = ReqSketch(16, n_bound=1000)
+        assert sketch.scheme == "fixed"
+        assert sketch.n_bound == 1000
+
+    def test_eps_only_is_theory(self):
+        sketch = ReqSketch(eps=0.1)
+        assert sketch.scheme == "theory"
+        assert sketch.estimate is not None
+
+    def test_eps_and_bound_is_fixed(self):
+        sketch = ReqSketch(eps=0.1, n_bound=10_000)
+        assert sketch.scheme == "fixed"
+        assert sketch.k % 2 == 0
+
+    def test_explicit_scheme_wins(self):
+        sketch = ReqSketch(16, scheme="auto")
+        assert sketch.scheme == "auto"
+
+    def test_bad_scheme(self):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(16, scheme="magic")
+
+    def test_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(7)
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(0)
+
+    def test_bad_coin_mode(self):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(16, coin_mode="biased")
+
+    def test_fixed_requires_bound(self):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(16, scheme="fixed")
+
+    def test_theory_requires_eps(self):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(16, scheme="theory")
+
+    def test_fixed_requires_k_or_eps(self):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(scheme="fixed", n_bound=100)
+
+
+class TestEmptySketch:
+    def test_properties(self):
+        sketch = ReqSketch(8)
+        assert sketch.is_empty
+        assert sketch.n == 0
+        assert len(sketch) == 0
+        assert sketch.num_retained == 0
+        assert sketch.num_levels == 0
+
+    @pytest.mark.parametrize("query", ["rank", "quantile", "cdf", "pmf"])
+    def test_queries_raise(self, query):
+        sketch = ReqSketch(8)
+        with pytest.raises(EmptySketchError):
+            if query == "rank":
+                sketch.rank(1.0)
+            elif query == "quantile":
+                sketch.quantile(0.5)
+            elif query == "cdf":
+                sketch.cdf([1.0])
+            else:
+                sketch.pmf([1.0])
+
+    def test_min_max_raise(self):
+        sketch = ReqSketch(8)
+        with pytest.raises(EmptySketchError):
+            _ = sketch.min_item
+        with pytest.raises(EmptySketchError):
+            _ = sketch.max_item
+
+
+class TestSmallStreams:
+    def test_single_item(self):
+        sketch = ReqSketch(8)
+        sketch.update(42.0)
+        assert sketch.n == 1
+        assert sketch.rank(42.0) == 1
+        assert sketch.rank(41.0) == 0
+        assert sketch.quantile(0.5) == 42.0
+        assert sketch.min_item == sketch.max_item == 42.0
+
+    def test_exact_below_first_compaction(self):
+        """Until the level-0 buffer fills, every query is exact."""
+        sketch = ReqSketch(8)
+        values = [5, 3, 9, 1, 7]
+        sketch.update_many(values)
+        for value in values:
+            assert sketch.rank(value) == sorted(values).index(value) + 1
+
+    def test_duplicates(self):
+        sketch = ReqSketch(8)
+        sketch.update_many([2.0] * 50)
+        assert sketch.rank(2.0) == 50
+        assert sketch.rank(2.0, inclusive=False) == 0
+        assert sketch.quantile(0.5) == 2.0
+
+    def test_nan_rejected(self):
+        sketch = ReqSketch(8)
+        with pytest.raises(InvalidParameterError):
+            sketch.update(float("nan"))
+
+    def test_strings(self):
+        sketch = ReqSketch(8)
+        sketch.update_many(["banana", "apple", "cherry"])
+        assert sketch.rank("banana") == 2
+        assert sketch.quantile(0.0) == "apple"
+
+
+class TestScaling:
+    def test_n_tracking(self, uniform_stream):
+        sketch = ReqSketch(16, seed=1)
+        sketch.update_many(uniform_stream)
+        assert sketch.n == len(uniform_stream)
+
+    def test_total_weight_equals_n(self, uniform_stream):
+        """The compaction keeps sum(2^h * |buffer_h|) == n exactly."""
+        sketch = ReqSketch(16, seed=1)
+        sketch.update_many(uniform_stream)
+        total = sum(len(c) * (1 << h) for h, c in enumerate(sketch.compactors()))
+        assert total == sketch.n
+
+    def test_retained_is_sublinear(self, uniform_stream):
+        sketch = ReqSketch(16, seed=1)
+        sketch.update_many(uniform_stream)
+        assert sketch.num_retained < len(uniform_stream) / 5
+
+    def test_min_max_exact(self, uniform_stream, sorted_uniform):
+        sketch = ReqSketch(16, seed=1)
+        sketch.update_many(uniform_stream)
+        assert sketch.min_item == sorted_uniform[0]
+        assert sketch.max_item == sorted_uniform[-1]
+        assert sketch.quantile(0.0) == sorted_uniform[0]
+        assert sketch.quantile(1.0) == sorted_uniform[-1]
+
+    def test_rank_monotone_in_query(self, uniform_stream):
+        sketch = ReqSketch(16, seed=2)
+        sketch.update_many(uniform_stream)
+        points = [i / 50 for i in range(51)]
+        ranks = [sketch.rank(p) for p in points]
+        assert ranks == sorted(ranks)
+
+    def test_quantile_monotone_in_fraction(self, uniform_stream):
+        sketch = ReqSketch(16, seed=3)
+        sketch.update_many(uniform_stream)
+        fractions = [i / 20 for i in range(21)]
+        values = sketch.quantiles(fractions)
+        assert values == sorted(values)
+
+    def test_seed_reproducibility(self, uniform_stream):
+        a = ReqSketch(16, seed=99)
+        b = ReqSketch(16, seed=99)
+        a.update_many(uniform_stream)
+        b.update_many(uniform_stream)
+        assert a.rank(0.5) == b.rank(0.5)
+        assert a.num_retained == b.num_retained
+
+    def test_levels_grow_logarithmically(self, uniform_stream):
+        sketch = ReqSketch(16, seed=4)
+        sketch.update_many(uniform_stream)
+        assert sketch.num_levels <= math.ceil(math.log2(len(uniform_stream))) + 1
+
+
+class TestFixedScheme:
+    def test_bound_enforced(self):
+        sketch = ReqSketch(8, n_bound=10)
+        sketch.update_many(range(10))
+        with pytest.raises(StreamLengthExceededError):
+            sketch.update(11)
+
+    def test_capacity_constant(self):
+        sketch = ReqSketch(8, n_bound=100_000)
+        expected = buffer_size(8, 100_000)
+        sketch.update_many(random.Random(0).random() for _ in range(5000))
+        for level in range(sketch.num_levels):
+            assert sketch._capacity(level) == expected
+
+    def test_buffers_under_capacity(self):
+        sketch = ReqSketch(8, n_bound=100_000, seed=5)
+        sketch.update_many(random.Random(1).random() for _ in range(50_000))
+        cap = buffer_size(8, 100_000)
+        for compactor in sketch.compactors():
+            assert len(compactor) <= cap
+
+
+class TestTheoryScheme:
+    def test_estimate_grows_by_squaring(self):
+        sketch = ReqSketch(eps=0.5, delta=0.5, seed=6)
+        first = sketch.estimate
+        sketch.update_many(range(first + 10))
+        assert sketch.estimate == first * first
+
+    def test_k_shrinks_on_growth(self):
+        sketch = ReqSketch(eps=0.5, delta=0.5, seed=7)
+        k_before = sketch.k
+        sketch.update_many(range(sketch.estimate + 1))
+        assert sketch.k <= k_before
+
+    def test_weight_conserved_across_growth(self):
+        sketch = ReqSketch(eps=0.5, delta=0.5, seed=8)
+        n = sketch.estimate * 2
+        rng = random.Random(2)
+        sketch.update_many(rng.random() for _ in range(n))
+        total = sum(len(c) * (1 << h) for h, c in enumerate(sketch.compactors()))
+        assert total == n == sketch.n
+
+
+class TestCdfPmf:
+    def test_cdf_final_is_one(self, uniform_stream):
+        sketch = ReqSketch(16, seed=9)
+        sketch.update_many(uniform_stream)
+        cdf = sketch.cdf([0.25, 0.5, 0.75])
+        assert cdf[-1] == 1.0
+        assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+
+    def test_pmf_sums_to_one(self, uniform_stream):
+        sketch = ReqSketch(16, seed=10)
+        sketch.update_many(uniform_stream)
+        pmf = sketch.pmf([0.25, 0.5, 0.75])
+        assert sum(pmf) == pytest.approx(1.0)
+
+    def test_cdf_approximates_uniform(self, uniform_stream):
+        sketch = ReqSketch(32, seed=11)
+        sketch.update_many(uniform_stream)
+        cdf = sketch.cdf([0.1, 0.5, 0.9])
+        assert cdf[0] == pytest.approx(0.1, abs=0.02)
+        assert cdf[1] == pytest.approx(0.5, abs=0.02)
+        assert cdf[2] == pytest.approx(0.9, abs=0.02)
+
+
+class TestBounds:
+    def test_error_bound_positive(self, uniform_stream):
+        sketch = ReqSketch(32, seed=12)
+        sketch.update_many(uniform_stream)
+        assert 0 < sketch.error_bound() <= 1.0
+
+    def test_fixed_scheme_reports_construction_eps(self):
+        sketch = ReqSketch(eps=0.08, n_bound=10_000)
+        assert sketch.error_bound() == 0.08
+
+    def test_rank_bounds_contain_estimate(self, uniform_stream, true_rank):
+        sketch = ReqSketch(32, seed=13)
+        sketch.update_many(uniform_stream)
+        lower, upper = sketch.rank_bounds(0.5)
+        assert lower <= sketch.rank(0.5) <= upper
+
+    def test_items_and_weights(self, uniform_stream):
+        sketch = ReqSketch(16, seed=14)
+        sketch.update_many(uniform_stream)
+        pairs = list(sketch.items_and_weights())
+        assert sum(w for _, w in pairs) == sketch.n
+        items = [i for i, _ in pairs]
+        assert items == sorted(items)

@@ -1,0 +1,125 @@
+"""Tests for the compaction schedule (Algorithm 1's derandomized exponential).
+
+Includes a direct check of Fact 5, the property Figure 2's section layout
+exists to provide: between any two compactions involving exactly j
+sections, at least one involves more than j.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.schedule import CompactionSchedule, trailing_ones, trailing_ones_naive
+
+
+class TestTrailingOnes:
+    def test_known_values(self):
+        assert [trailing_ones(c) for c in range(16)] == [
+            0, 1, 0, 2, 0, 1, 0, 3, 0, 1, 0, 2, 0, 1, 0, 4,
+        ]
+
+    def test_all_ones(self):
+        for bits in range(1, 60):
+            assert trailing_ones((1 << bits) - 1) == bits
+
+    def test_power_of_two_has_none(self):
+        for bits in range(1, 60):
+            assert trailing_ones(1 << bits) == 0
+
+    def test_zero(self):
+        assert trailing_ones(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            trailing_ones(-1)
+        with pytest.raises(ValueError):
+            trailing_ones_naive(-3)
+
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_matches_naive(self, value):
+        assert trailing_ones(value) == trailing_ones_naive(value)
+
+
+class TestCompactionSchedule:
+    def test_initial_state(self):
+        schedule = CompactionSchedule()
+        assert schedule.state == 0
+        assert schedule.sections_to_compact() == 1
+
+    def test_advance_counts_compactions(self):
+        schedule = CompactionSchedule()
+        for expected in range(1, 10):
+            schedule.advance()
+            assert schedule.state == expected
+
+    def test_section_pattern(self):
+        """Section counts follow 1,2,1,3,1,2,1,4,... (binary ruler)."""
+        schedule = CompactionSchedule()
+        observed = []
+        for _ in range(15):
+            observed.append(schedule.sections_to_compact())
+            schedule.advance()
+        assert observed == [1, 2, 1, 3, 1, 2, 1, 4, 1, 2, 1, 3, 1, 2, 1]
+
+    def test_section_j_frequency(self):
+        """Section j joins every 2^(j-1)-th compaction (Figure 2's claim)."""
+        schedule = CompactionSchedule()
+        involvement = {j: 0 for j in range(1, 6)}
+        total = 2**8
+        for _ in range(total):
+            sections = schedule.sections_to_compact()
+            for j in range(1, min(sections, 5) + 1):
+                involvement[j] += 1
+            schedule.advance()
+        for j in range(1, 6):
+            assert involvement[j] == total // (2 ** (j - 1))
+
+    def test_fact5_between_equal_section_compactions(self):
+        """Fact 5: between two compactions with exactly j sections there is
+        one with more than j sections."""
+        schedule = CompactionSchedule()
+        history = []
+        for _ in range(2**10):
+            history.append(schedule.sections_to_compact())
+            schedule.advance()
+        for j in range(1, 9):
+            indices = [i for i, sections in enumerate(history) if sections == j]
+            for left, right in zip(indices, indices[1:]):
+                between = history[left + 1 : right]
+                assert any(s > j for s in between), (j, left, right)
+
+    def test_merge_is_bitwise_or(self):
+        a = CompactionSchedule(0b1010)
+        b = CompactionSchedule(0b0110)
+        a.merge(b)
+        assert a.state == 0b1110
+        assert b.state == 0b0110  # other side untouched
+
+    def test_merge_preserves_set_bits(self):
+        """Fact 18: a set bit survives any merge."""
+        a = CompactionSchedule(0b100101)
+        b = CompactionSchedule(0b010001)
+        a.merge(b)
+        for bit in (0, 2, 4, 5):
+            assert a.state & (1 << bit)
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**32))
+    def test_merge_bounded_by_sum(self, x, y):
+        """Fact 19: OR(x, y) <= x + y (keeps Observation 20's bound valid)."""
+        a = CompactionSchedule(x)
+        a.merge(CompactionSchedule(y))
+        assert a.state <= x + y
+
+    def test_copy_is_independent(self):
+        a = CompactionSchedule(5)
+        b = a.copy()
+        b.advance()
+        assert a.state == 5
+        assert b.state == 6
+
+    def test_max_sections_used(self):
+        assert CompactionSchedule(0).max_sections_used() == 1
+        assert CompactionSchedule(0b111).max_sections_used() == 3
+        assert CompactionSchedule(0b1000000).max_sections_used() == 7

@@ -1,0 +1,128 @@
+"""Tests for binary serialization and pickling of sketches."""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core import ReqSketch, deserialize, serialize
+from repro.errors import SerializationError
+
+
+def build(scheme_kwargs, n=5000, seed=1):
+    rng = random.Random(seed)
+    sketch = ReqSketch(seed=seed, **scheme_kwargs)
+    sketch.update_many(rng.random() for _ in range(n))
+    return sketch
+
+
+SCHEMES = [
+    {"k": 16},
+    {"k": 16, "n_bound": 5000},
+    {"eps": 0.2, "delta": 0.2},
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("kwargs", SCHEMES, ids=["auto", "fixed", "theory"])
+    def test_roundtrip_preserves_queries(self, kwargs):
+        sketch = build(kwargs)
+        clone = deserialize(serialize(sketch))
+        assert clone.n == sketch.n
+        assert clone.scheme == sketch.scheme
+        assert clone.k == sketch.k
+        assert clone.num_retained == sketch.num_retained
+        for q in (0.0, 0.1, 0.5, 0.9, 1.0):
+            assert clone.quantile(q) == sketch.quantile(q)
+        for y in (0.1, 0.5, 0.9):
+            assert clone.rank(y) == sketch.rank(y)
+
+    def test_roundtrip_preserves_schedule_states(self):
+        sketch = build({"k": 16})
+        clone = deserialize(serialize(sketch))
+        assert [c.state for c in clone.compactors()] == [
+            c.state for c in sketch.compactors()
+        ]
+
+    def test_roundtrip_preserves_min_max(self):
+        sketch = build({"k": 16})
+        clone = deserialize(serialize(sketch))
+        assert clone.min_item == sketch.min_item
+        assert clone.max_item == sketch.max_item
+
+    def test_empty_sketch(self):
+        sketch = ReqSketch(16)
+        clone = deserialize(serialize(sketch))
+        assert clone.is_empty
+        assert clone.k == 16
+
+    def test_hra_flag(self):
+        sketch = ReqSketch(16, hra=True, seed=2)
+        sketch.update_many(range(1000))
+        clone = deserialize(serialize(sketch))
+        assert clone.hra is True
+        assert clone.rank(999) == sketch.rank(999)
+
+    def test_clone_still_updatable(self):
+        sketch = build({"k": 16})
+        clone = deserialize(serialize(sketch))
+        clone.update_many(range(100))
+        assert clone.n == sketch.n + 100
+
+    def test_theory_estimate_preserved(self):
+        sketch = build({"eps": 0.5, "delta": 0.5}, n=3000)
+        clone = deserialize(serialize(sketch))
+        assert clone.estimate == sketch.estimate
+
+    def test_merge_after_roundtrip(self):
+        """The distributed use case: serialize shards, merge at the root."""
+        a, b = build({"k": 16}, seed=3), build({"k": 16}, seed=4)
+        a2 = deserialize(serialize(a))
+        b2 = deserialize(serialize(b))
+        a2.merge(b2)
+        assert a2.n == a.n + b.n
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        blob = bytearray(serialize(build({"k": 16})))
+        blob[:4] = b"XXXX"
+        with pytest.raises(SerializationError):
+            deserialize(bytes(blob))
+
+    def test_truncated(self):
+        blob = serialize(build({"k": 16}))
+        with pytest.raises(SerializationError):
+            deserialize(blob[: len(blob) // 2])
+
+    def test_trailing_garbage(self):
+        blob = serialize(build({"k": 16}))
+        with pytest.raises(SerializationError):
+            deserialize(blob + b"\x00")
+
+    def test_non_numeric_items(self):
+        sketch = ReqSketch(16)
+        sketch.update_many(["a", "b", "c"])
+        with pytest.raises(SerializationError):
+            serialize(sketch)
+
+    def test_empty_bytes(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"")
+
+
+class TestPickle:
+    @pytest.mark.parametrize("kwargs", SCHEMES, ids=["auto", "fixed", "theory"])
+    def test_pickle_roundtrip(self, kwargs):
+        sketch = build(kwargs)
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone.n == sketch.n
+        assert clone.rank(0.5) == sketch.rank(0.5)
+
+    def test_pickle_generic_items(self):
+        sketch = ReqSketch(16)
+        sketch.update_many(["x", "y", "z"] * 100)
+        clone = pickle.loads(pickle.dumps(sketch))
+        assert clone.rank("y") == sketch.rank("y")

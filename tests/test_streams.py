@@ -1,0 +1,197 @@
+"""Tests for stream generators, orderings, and the latency workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streams import (
+    DISTRIBUTIONS,
+    ORDERINGS,
+    SLOW_FRACTION,
+    ascending,
+    block_shuffled,
+    constant,
+    descending,
+    duplicated_integers,
+    exponential,
+    gaussian,
+    latency_bursty_stream,
+    latency_stream,
+    lognormal,
+    pareto,
+    sawtooth,
+    sequential,
+    shuffled,
+    two_point,
+    uniform,
+    zipf_integers,
+    zoom_in,
+    zoom_out,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_length_and_determinism(self, name):
+        factory = DISTRIBUTIONS[name]
+        a = factory(500, 42)
+        b = factory(500, 42)
+        c = factory(500, 43)
+        assert len(a) == 500
+        assert a == b
+        if name not in ("sequential",):
+            assert a != c  # different seed, different stream
+
+    def test_uniform_range(self):
+        values = uniform(1000, 1, low=5.0, high=6.0)
+        assert all(5.0 <= v < 6.0 for v in values)
+
+    def test_gaussian_centered(self):
+        values = gaussian(5000, 2, mu=10.0, sigma=0.1)
+        assert 9.9 < sum(values) / len(values) < 10.1
+
+    def test_exponential_positive(self):
+        assert all(v >= 0 for v in exponential(1000, 3))
+
+    def test_exponential_validation(self):
+        with pytest.raises(InvalidParameterError):
+            exponential(10, 1, rate=0.0)
+
+    def test_lognormal_positive(self):
+        assert all(v > 0 for v in lognormal(1000, 4))
+
+    def test_pareto_heavy_tail(self):
+        values = pareto(20_000, 5, alpha=1.1)
+        values.sort()
+        # Heavy tail: the max dwarfs the median.
+        assert values[-1] > 50 * values[len(values) // 2]
+
+    def test_pareto_validation(self):
+        with pytest.raises(InvalidParameterError):
+            pareto(10, 1, alpha=0.0)
+
+    def test_zipf_skew(self):
+        values = zipf_integers(20_000, 6, exponent=1.5, universe=1000)
+        ones = sum(1 for v in values if v == 1)
+        assert ones > len(values) * 0.2  # head value dominates
+
+    def test_zipf_validation(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_integers(10, 1, exponent=0.0)
+        with pytest.raises(InvalidParameterError):
+            zipf_integers(10, 1, universe=0)
+
+    def test_duplicates_universe(self):
+        values = duplicated_integers(1000, 7, universe=10)
+        assert set(values) <= set(range(10))
+
+    def test_constant(self):
+        assert constant(5, value=3.0) == [3.0] * 5
+
+    def test_two_point(self):
+        values = two_point(10_000, 8, low=0.0, high=9.0, p_high=0.1)
+        highs = sum(1 for v in values if v == 9.0)
+        assert 0.05 < highs / len(values) < 0.15
+
+    def test_two_point_validation(self):
+        with pytest.raises(InvalidParameterError):
+            two_point(10, 1, p_high=1.5)
+
+    def test_sequential(self):
+        assert sequential(5) == [0, 1, 2, 3, 4]
+
+    def test_negative_length(self):
+        with pytest.raises(InvalidParameterError):
+            uniform(-1, 0)
+
+    def test_zero_length(self):
+        assert uniform(0, 0) == []
+
+
+class TestOrderings:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_is_permutation(self, name):
+        data = uniform(777, 9)
+        out = ORDERINGS[name](data)
+        assert sorted(out) == sorted(data)
+        assert data == uniform(777, 9)  # input untouched
+
+    def test_ascending(self):
+        assert ascending([3, 1, 2]) == [1, 2, 3]
+
+    def test_descending(self):
+        assert descending([3, 1, 2]) == [3, 2, 1]
+
+    def test_shuffle_seeded(self):
+        data = list(range(100))
+        assert shuffled(data, seed=1) == shuffled(data, seed=1)
+        assert shuffled(data, seed=1) != shuffled(data, seed=2)
+
+    def test_zoom_in_alternates_extremes(self):
+        out = zoom_in([1, 2, 3, 4, 5])
+        assert out == [1, 5, 2, 4, 3]
+
+    def test_zoom_out_reverses_zoom_in(self):
+        data = list(range(10))
+        assert zoom_out(data) == list(reversed(zoom_in(data)))
+
+    def test_sawtooth_teeth(self):
+        out = sawtooth(list(range(12)), teeth=3)
+        assert out[:4] == [0, 3, 6, 9]
+
+    def test_sawtooth_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sawtooth([1], teeth=0)
+
+    def test_block_shuffled_blocks_sorted(self):
+        out = block_shuffled(list(range(100)), block=10, seed=3)
+        for start in range(0, 100, 10):
+            chunk = out[start : start + 10]
+            assert chunk == sorted(chunk)
+
+    def test_block_shuffled_validation(self):
+        with pytest.raises(InvalidParameterError):
+            block_shuffled([1], block=0)
+
+
+class TestLatency:
+    def test_positive_and_seeded(self):
+        a = latency_stream(2000, seed=1)
+        assert len(a) == 2000
+        assert all(v > 0 for v in a)
+        assert a == latency_stream(2000, seed=1)
+
+    def test_calibration_anchors(self):
+        """p98.5 ~ 2 s and p99.5 ~ 20 s, the figures the paper quotes."""
+        stream = sorted(latency_stream(200_000, seed=2))
+        p985 = stream[int(0.985 * len(stream))]
+        p995 = stream[int(0.995 * len(stream))]
+        assert 1.0 < p985 < 5.0
+        assert 8.0 < p995 < 40.0
+        assert p995 / p985 > 3.0  # the long-tail gap
+
+    def test_body_is_fast(self):
+        stream = sorted(latency_stream(50_000, seed=3))
+        median = stream[len(stream) // 2]
+        assert median < 0.5  # fast requests around 150 ms
+
+    def test_bursty_same_mass(self):
+        stream = latency_bursty_stream(20_000, seed=4)
+        slow = sum(1 for v in stream if v > 1.0)
+        assert slow / len(stream) == pytest.approx(SLOW_FRACTION, abs=0.02)
+
+    def test_bursty_is_clustered(self):
+        stream = latency_bursty_stream(20_000, seed=5, bursts=2)
+        slow_positions = [i for i, v in enumerate(stream) if v > 1.0]
+        if len(slow_positions) > 10:
+            spread = slow_positions[-1] - slow_positions[0]
+            assert spread < len(stream)  # trivially true; check clustering:
+            gaps = [b - a for a, b in zip(slow_positions, slow_positions[1:])]
+            assert sorted(gaps)[len(gaps) // 2] <= 3  # median gap tiny
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            latency_stream(-1)
+        with pytest.raises(InvalidParameterError):
+            latency_bursty_stream(10, bursts=0)

@@ -1,0 +1,226 @@
+"""Tests for the theory package: bounds, offline coreset, lower bound."""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+
+import pytest
+
+from repro.baselines import ExactQuantiles
+from repro.errors import EmptySketchError, InvalidParameterError
+from repro.theory import (
+    OfflineCoreset,
+    coreset_size_bound,
+    decode_subset,
+    encode_stream,
+    gk_items,
+    kll_items,
+    log_growth_exponent,
+    lower_bound_deterministic_items,
+    lower_bound_randomized_items,
+    phase_parameters,
+    reconstruction_roundtrip,
+    req_theorem1_items,
+    req_theorem2_items,
+    theorem15_bits,
+    zhang2006_items,
+    zhang_wang_items,
+)
+
+
+class TestBoundFormulas:
+    def test_ordering_at_typical_point(self):
+        """At eps=0.01, n=1e9 the paper's improvement chain holds."""
+        eps, n = 0.01, 1e9
+        assert lower_bound_randomized_items(eps, n) < req_theorem1_items(eps, n)
+        assert req_theorem1_items(eps, n) < zhang_wang_items(eps, n)
+        assert req_theorem1_items(eps, n) < zhang2006_items(eps, n)
+        assert gk_items(eps, n) < req_theorem1_items(eps, n)
+
+    def test_theorem2_beats_theorem1_for_tiny_delta(self):
+        """Thm 2 wins once delta <= 1/(eps n)^Omega(1) (the paper's remark
+        after Theorem 14); at n=1e4 a representable float delta suffices."""
+        eps, n = 0.01, 1e4
+        tiny = 1e-300
+        assert req_theorem2_items(eps, n, tiny) < req_theorem1_items(eps, n, tiny)
+
+    def test_theorem1_beats_theorem2_for_constant_delta(self):
+        eps, n = 0.01, 1e9
+        assert req_theorem1_items(eps, n, 0.1) < req_theorem2_items(eps, n, 0.1)
+
+    def test_monotone_in_n(self):
+        for formula in (req_theorem1_items, zhang_wang_items, gk_items):
+            assert formula(0.01, 1e9) > formula(0.01, 1e6)
+
+    def test_kll_independent_of_n(self):
+        assert kll_items(0.01) == kll_items(0.01)
+
+    def test_theorem15_bits_grow_with_universe(self):
+        assert theorem15_bits(0.01, 1e6, 2**64) > theorem15_bits(0.01, 1e6, 2**16)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            req_theorem1_items(0.0, 100)
+        with pytest.raises(InvalidParameterError):
+            req_theorem1_items(0.1, 0)
+
+    def test_growth_exponent_recovers_power(self):
+        ns = [10**4, 10**5, 10**6, 10**7, 10**8]
+        for power in (1.0, 1.5, 3.0):
+            sizes = [math.log2(n) ** power for n in ns]
+            assert log_growth_exponent(ns, sizes) == pytest.approx(power, abs=0.01)
+
+    def test_growth_exponent_validation(self):
+        with pytest.raises(InvalidParameterError):
+            log_growth_exponent([100], [1])
+        with pytest.raises(InvalidParameterError):
+            log_growth_exponent([100, 100], [1, 2])
+
+
+class TestOfflineCoreset:
+    def test_empty_rejected(self):
+        with pytest.raises(EmptySketchError):
+            OfflineCoreset([], 0.1)
+
+    def test_eps_validated(self):
+        with pytest.raises(InvalidParameterError):
+            OfflineCoreset([1], 0.0)
+
+    def test_total_weight_equals_n(self):
+        rng = random.Random(1)
+        data = [rng.random() for _ in range(5000)]
+        coreset = OfflineCoreset(data, 0.1)
+        assert coreset.total_weight == 5000
+
+    def test_size_within_bound(self):
+        rng = random.Random(2)
+        for n in (100, 5000, 50_000):
+            data = [rng.random() for _ in range(n)]
+            coreset = OfflineCoreset(data, 0.05)
+            assert coreset.num_retained <= coreset_size_bound(0.05, n)
+
+    def test_size_bound_formula(self):
+        assert coreset_size_bound(0.1, 10**6) == 2 * 10 * (math.ceil(math.log2(10**5)) + 2)
+
+    @pytest.mark.parametrize("eps", [0.25, 0.1, 0.05])
+    def test_deterministic_guarantee_lra(self, eps):
+        """|est - R| <= eps * R for EVERY distinct item (the Appendix A claim)."""
+        data = list(range(1, 4001))  # distinct, known ranks
+        coreset = OfflineCoreset(data, eps)
+        for rank, item in enumerate(data, start=1):
+            est = coreset.rank(item)
+            assert abs(est - rank) <= eps * rank
+
+    @pytest.mark.parametrize("eps", [0.25, 0.1])
+    def test_deterministic_guarantee_hra(self, eps):
+        data = list(range(1, 4001))
+        n = len(data)
+        coreset = OfflineCoreset(data, eps, hra=True)
+        for rank, item in enumerate(data, start=1):
+            est = coreset.rank(item)
+            assert abs(est - rank) <= eps * (n - rank + 1) + 1
+
+    def test_low_ranks_exact(self):
+        data = list(range(1, 1001))
+        coreset = OfflineCoreset(data, 0.1)
+        for rank in range(1, 21):
+            assert coreset.rank(rank) == rank
+
+    def test_quantile(self):
+        data = list(range(1, 1001))
+        coreset = OfflineCoreset(data, 0.1)
+        assert coreset.quantile(0.0) == 1
+        value = coreset.quantile(0.5)
+        assert abs(value - 500) <= 0.1 * 500 + 1
+
+    def test_quantile_validation(self):
+        coreset = OfflineCoreset([1], 0.1)
+        with pytest.raises(InvalidParameterError):
+            coreset.quantile(-0.1)
+
+    def test_items_sorted(self):
+        rng = random.Random(3)
+        coreset = OfflineCoreset([rng.random() for _ in range(2000)], 0.1)
+        items = coreset.items()
+        assert items == sorted(items)
+
+    def test_sublinear_size(self):
+        data = list(range(100_000))
+        coreset = OfflineCoreset(data, 0.05)
+        assert coreset.num_retained < 2000
+
+
+class TestLowerBound:
+    def test_phase_parameters(self):
+        ell, k = phase_parameters(0.05, 100_000)
+        assert ell == math.ceil(1 / (8 * 0.05))
+        assert ell * (2**k - 1) <= 100_000
+
+    def test_phase_parameters_validation(self):
+        with pytest.raises(InvalidParameterError):
+            phase_parameters(0.0, 100)
+        with pytest.raises(InvalidParameterError):
+            phase_parameters(0.1, 1)
+
+    def test_encode_stream_multiplicities(self):
+        subset = [10, 20, 30, 40]
+        stream = encode_stream(subset, ell=2)
+        assert stream.count(10) == 1 and stream.count(20) == 1
+        assert stream.count(30) == 2 and stream.count(40) == 2
+
+    def test_encode_requires_multiple_of_ell(self):
+        with pytest.raises(InvalidParameterError):
+            encode_stream([1, 2, 3], ell=2)
+
+    def test_encode_requires_distinct(self):
+        with pytest.raises(InvalidParameterError):
+            encode_stream([1, 1], ell=1)
+
+    def test_decode_with_exact_oracle(self):
+        universe = list(range(500))
+        ell, phases = 4, 5
+        subset = sorted(random.Random(4).sample(universe, ell * phases))
+        stream = encode_stream(subset, ell)
+        oracle = ExactQuantiles()
+        oracle.update_many(stream)
+        decoded = decode_subset(oracle.rank, universe, ell, phases)
+        assert decoded == subset
+
+    def test_roundtrip_exact(self):
+        universe = list(range(300))
+        subset = sorted(random.Random(5).sample(universe, 12))
+        result = reconstruction_roundtrip(subset, universe, 4, ExactQuantiles)
+        assert result["exact"]
+        assert result["hamming"] == 0
+        assert result["stream_length"] == 4 * (2**3 - 1)
+
+    def test_roundtrip_with_offline_coreset(self):
+        """The information-theoretic heart of Theorem 15: an eps-accurate
+        summary suffices to decode."""
+        eps = 0.05
+        universe = list(range(1000))
+        ell, phases = phase_parameters(eps, 50_000)
+        subset = sorted(random.Random(6).sample(universe, ell * phases))
+
+        class Adapter:
+            def __init__(self):
+                self.items = []
+                self.coreset = None
+
+            def update_many(self, items):
+                self.items.extend(items)
+                self.coreset = OfflineCoreset(self.items, eps)
+
+            def rank(self, y):
+                return self.coreset.rank(y)
+
+        result = reconstruction_roundtrip(subset, universe, ell, Adapter)
+        assert result["exact"]
+
+    def test_decoder_failure_detected(self):
+        """A wildly wrong estimator raises instead of looping forever."""
+        universe = list(range(10))
+        with pytest.raises(InvalidParameterError):
+            decode_subset(lambda y: 0.0, universe, 2, 2)

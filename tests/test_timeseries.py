@@ -1,0 +1,78 @@
+"""Tests for the time-evolving stream generators."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.streams import diurnal_cycle, drifting_lognormal, regime_switching
+
+
+class TestDriftingLognormal:
+    def test_seeded_and_sized(self):
+        a = drifting_lognormal(1000, seed=1)
+        assert len(a) == 1000
+        assert a == drifting_lognormal(1000, seed=1)
+        assert a != drifting_lognormal(1000, seed=2)
+
+    def test_drift_direction(self):
+        stream = drifting_lognormal(
+            20_000, seed=3, start_median=0.1, end_median=1.0, sigma=0.3
+        )
+        first = statistics.median(stream[:5000])
+        last = statistics.median(stream[-5000:])
+        assert last > 3 * first
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            drifting_lognormal(-1)
+        with pytest.raises(InvalidParameterError):
+            drifting_lognormal(10, start_median=0.0)
+
+    def test_positive(self):
+        assert all(v > 0 for v in drifting_lognormal(500, seed=4))
+
+
+class TestRegimeSwitching:
+    def test_regime_medians(self):
+        stream = regime_switching(30_000, seed=5, medians=(0.1, 1.0, 0.1), sigma=0.3)
+        calm = statistics.median(stream[:10_000])
+        incident = statistics.median(stream[10_000:20_000])
+        recovery = statistics.median(stream[20_000:])
+        assert incident > 5 * calm
+        assert abs(recovery - calm) < calm
+
+    def test_single_regime(self):
+        stream = regime_switching(1000, seed=6, medians=(0.5,))
+        assert len(stream) == 1000
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            regime_switching(10, medians=())
+        with pytest.raises(InvalidParameterError):
+            regime_switching(10, medians=(1.0, -1.0))
+
+
+class TestDiurnalCycle:
+    def test_cycles_visible(self):
+        stream = diurnal_cycle(40_000, seed=7, cycles=2, swing=1.0, sigma=0.2)
+        # Octile medians must show the modulation: peak vs trough > 1.3x.
+        octile = len(stream) // 8
+        medians = [
+            statistics.median(stream[i * octile : (i + 1) * octile]) for i in range(8)
+        ]
+        assert max(medians) > 1.3 * min(medians)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            diurnal_cycle(10, cycles=0)
+        with pytest.raises(InvalidParameterError):
+            diurnal_cycle(10, base_median=-1.0)
+
+    def test_zero_swing_is_stationary(self):
+        stream = diurnal_cycle(10_000, seed=8, swing=0.0, sigma=0.2)
+        first = statistics.median(stream[:3000])
+        last = statistics.median(stream[-3000:])
+        assert abs(first - last) < 0.3 * first

@@ -1,0 +1,93 @@
+"""Tests for the structural invariant checker."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReqSketch, check_invariants, deserialize, serialize
+from repro.core.validation import InvariantViolation
+
+
+class TestHappyPaths:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"k": 8}, {"k": 8, "n_bound": 50_000}, {"eps": 0.2, "delta": 0.2}],
+        ids=["auto", "fixed", "theory"],
+    )
+    def test_streaming_run_valid(self, kwargs):
+        sketch = ReqSketch(seed=1, **kwargs)
+        rng = random.Random(1)
+        sketch.update_many(rng.random() for _ in range(20_000))
+        check_invariants(sketch)
+
+    def test_empty_sketch_valid(self):
+        check_invariants(ReqSketch(8))
+
+    def test_after_merges_valid(self):
+        rng = random.Random(2)
+        accumulator = ReqSketch(16, seed=3)
+        for _ in range(10):
+            shard = ReqSketch(16, seed=rng.randrange(10**6))
+            shard.update_many(rng.random() for _ in range(3000))
+            accumulator.merge(shard)
+        check_invariants(accumulator)
+
+    def test_after_serde_valid(self):
+        sketch = ReqSketch(16, seed=4)
+        sketch.update_many(random.Random(4).random() for _ in range(10_000))
+        check_invariants(deserialize(serialize(sketch)))
+
+    def test_hra_valid(self):
+        sketch = ReqSketch(8, hra=True, seed=5)
+        sketch.update_many(range(10_000))
+        check_invariants(sketch)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_streams_valid(self, stream):
+        sketch = ReqSketch(4, seed=0)
+        sketch.update_many(stream)
+        check_invariants(sketch)
+
+
+class TestDetection:
+    def _built(self):
+        sketch = ReqSketch(8, seed=6)
+        sketch.update_many(random.Random(6).random() for _ in range(10_000))
+        return sketch
+
+    def test_detects_weight_corruption(self):
+        sketch = self._built()
+        sketch._compactors[0]._buffer.append(0.5)  # inject an extra item
+        with pytest.raises(InvariantViolation, match="weight conservation"):
+            check_invariants(sketch)
+
+    def test_detects_minmax_corruption(self):
+        sketch = self._built()
+        sketch._min = 0.9999  # pretend the minimum is huge
+        with pytest.raises(InvariantViolation, match="outside"):
+            check_invariants(sketch)
+
+    def test_detects_negative_state(self):
+        sketch = self._built()
+        sketch._compactors[0].schedule.state = -1
+        with pytest.raises(InvariantViolation, match="negative schedule"):
+            check_invariants(sketch)
+
+    def test_detects_wrong_type(self):
+        with pytest.raises(InvariantViolation, match="expected a ReqSketch"):
+            check_invariants(object())
+
+    def test_detects_overfull_buffer(self):
+        sketch = ReqSketch(8, n_bound=1000, seed=7)
+        sketch.update_many(range(500))
+        cap = sketch._capacity(0)
+        extra = cap + 5 - len(sketch._compactors[0])
+        sketch._compactors[0]._buffer.extend([0.0] * extra)
+        sketch._n += extra  # keep weight consistent so capacity check fires
+        with pytest.raises(InvariantViolation, match="over capacity"):
+            check_invariants(sketch)

@@ -1,0 +1,118 @@
+"""Tests for weighted updates (binary weight decomposition across levels)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ReqSketch, check_invariants
+from repro.errors import InvalidParameterError, StreamLengthExceededError
+
+
+class TestBasics:
+    def test_weight_one_equals_update(self):
+        a, b = ReqSketch(8, seed=1), ReqSketch(8, seed=1)
+        a.update(5.0)
+        b.update_weighted(5.0, 1)
+        assert a.n == b.n == 1
+        assert a.rank(5.0) == b.rank(5.0)
+
+    def test_weight_counts_toward_n(self):
+        sketch = ReqSketch(8, seed=2)
+        sketch.update_weighted(1.0, 1000)
+        assert sketch.n == 1000
+        assert sketch.rank(1.0) == 1000
+        assert sketch.rank(0.5) == 0
+
+    def test_binary_decomposition_levels(self):
+        sketch = ReqSketch(8, seed=3)
+        sketch.update_weighted(7.0, 0b1011)  # levels 0, 1, 3
+        items_per_level = [len(c) for c in sketch.compactors()]
+        assert items_per_level == [1, 1, 0, 1]
+
+    def test_weight_conservation_mixed(self):
+        sketch = ReqSketch(8, seed=4)
+        rng = random.Random(4)
+        total = 0
+        for _ in range(500):
+            weight = rng.randrange(1, 50)
+            sketch.update_weighted(rng.random(), weight)
+            total += weight
+        assert sketch.n == total
+        check_invariants(sketch)
+
+    def test_min_max_updated(self):
+        sketch = ReqSketch(8, seed=5)
+        sketch.update_weighted(10.0, 4)
+        sketch.update_weighted(-1.0, 8)
+        assert sketch.min_item == -1.0
+        assert sketch.max_item == 10.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("weight", [0, -1, 1.5, True])
+    def test_bad_weights(self, weight):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(8).update_weighted(1.0, weight)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ReqSketch(8).update_weighted(float("nan"), 2)
+
+    def test_fixed_bound_respected(self):
+        sketch = ReqSketch(8, n_bound=10)
+        sketch.update_weighted(1.0, 8)
+        with pytest.raises(StreamLengthExceededError):
+            sketch.update_weighted(2.0, 3)
+        assert sketch.n == 8  # failed update left the sketch unchanged
+
+
+class TestSemantics:
+    def test_equivalent_to_repeated_updates_in_distribution(self):
+        """A weighted insert lands within the error class of w copies."""
+        rng = random.Random(6)
+        data = [(rng.random(), rng.randrange(1, 16)) for _ in range(2000)]
+        weighted = ReqSketch(16, seed=7)
+        repeated = ReqSketch(16, seed=8)
+        for item, weight in data:
+            weighted.update_weighted(item, weight)
+            for _ in range(weight):
+                repeated.update(item)
+        assert weighted.n == repeated.n
+        ordered = sorted(item for item, w in data for _ in range(w))
+        import bisect
+
+        for fraction in (0.01, 0.1, 0.5, 0.9):
+            y = ordered[int(fraction * len(ordered))]
+            true = bisect.bisect_right(ordered, y)
+            for sketch in (weighted, repeated):
+                assert abs(sketch.rank(y) - true) / true < 0.1
+
+    def test_theory_scheme_grows(self):
+        sketch = ReqSketch(eps=0.5, delta=0.5, seed=9)
+        target = sketch.estimate + 10
+        sketch.update_weighted(1.0, target)
+        assert sketch.n == target
+        assert sketch.estimate >= target
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.integers(1, 64),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weight_conservation_property(self, pairs):
+        sketch = ReqSketch(4, seed=0)
+        for item, weight in pairs:
+            sketch.update_weighted(item, weight)
+        total = sum(w for _, w in pairs)
+        assert sketch.n == total
+        assert sketch.rank(sketch.max_item) == total
