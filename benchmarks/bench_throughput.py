@@ -1,13 +1,32 @@
 """T1 — Engineering throughput benchmarks (update / query / merge / serde).
 
-These are conventional pytest-benchmark microbenchmarks: they do not
-correspond to a paper claim, but document the constant factors of this
-pure-Python implementation for downstream users.
+Two entry points share one workload definition:
+
+* **pytest-benchmark** microbenchmarks (``pytest benchmarks/bench_throughput.py
+  --benchmark-only``) — conventional comparative timings across every sketch
+  in the repo;
+* **a tracked JSON emitter** (``python benchmarks/bench_throughput.py``) —
+  times the four hot operations (scalar update, batch update, merge,
+  quantile queries) for the reference and fast engines and writes
+  ``BENCH_throughput.json`` at the repo root.  The first run records a
+  ``baseline`` section; later runs preserve it and add ``current`` plus
+  ``speedup_vs_baseline`` ratios, giving future PRs a perf trajectory.
+
+Set ``BENCH_SMOKE=1`` (see ``benchmarks/conftest.py``) to shrink every
+workload so the whole file runs in seconds — used by the tier-1 smoke test.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import os
 import random
+import sys
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 import pytest
 
@@ -23,7 +42,10 @@ from repro.baselines import (
 from repro.core import ReqSketch, deserialize, serialize
 from repro.fast import FastReqSketch
 
-UPDATE_BATCH = 20_000
+#: Smoke mode shrinks every workload (env-driven; see benchmarks/conftest.py).
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+UPDATE_BATCH = 2_000 if BENCH_SMOKE else 20_000
 rng = random.Random(99)
 DATA = [rng.random() for _ in range(UPDATE_BATCH)]
 
@@ -121,6 +143,21 @@ def test_fast_engine_batch_update(benchmark):
     assert sketch.n == UPDATE_BATCH
 
 
+def test_fast_engine_scalar_update(benchmark):
+    """The numpy engine ingesting one item at a time (the staged path)."""
+
+    def run():
+        sketch = FastReqSketch(32, seed=1)
+        update = sketch.update
+        for value in DATA:
+            update(value)
+        sketch.flush()
+        return sketch
+
+    sketch = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sketch.n == UPDATE_BATCH
+
+
 def test_fast_engine_vector_ranks(benchmark):
     """1000 rank queries answered in one vectorized call."""
     import numpy as np
@@ -145,3 +182,239 @@ def test_deserialize_throughput(benchmark):
     blob = serialize(sketch)
     clone = benchmark(lambda: deserialize(blob))
     assert clone.n == sketch.n
+
+
+# ----------------------------------------------------------------------
+# Tracked JSON emitter (python benchmarks/bench_throughput.py)
+# ----------------------------------------------------------------------
+
+#: Operations recorded in BENCH_throughput.json, in report order.
+TRACKED_OPS = ("update", "update_many", "merge", "quantiles")
+
+#: Acceptance ratios checked by ``--check`` (fast engine vs baseline).
+SPEEDUP_FLOORS = {"update": 5.0, "update_many": 3.0}
+
+
+def _best_ops_per_sec(run: Callable[[], int], *, repeats: int = 3) -> float:
+    """Best-of-``repeats`` throughput for ``run`` (which returns an op count)."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ops = run()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, ops / elapsed)
+    return best
+
+
+def _workload_sizes(smoke: bool) -> Dict[str, int]:
+    if smoke:
+        return {"scalar_n": 5_000, "batch_n": 20_000, "merge_n": 10_000, "queries": 200}
+    return {"scalar_n": 200_000, "batch_n": 200_000, "merge_n": 100_000, "queries": 1_000}
+
+
+def measure_engine(name: str, *, smoke: bool = False, repeats: int = 3) -> Dict[str, float]:
+    """Time the four tracked operations for one engine (``fast``/``reference``).
+
+    Returns ops/sec per operation.  The reference engine's pure-Python scalar
+    loop gets a smaller stream so a full run stays under a minute.
+    """
+    import numpy as np
+
+    sizes = _workload_sizes(smoke)
+    fast = name == "fast"
+    scalar_n = sizes["scalar_n"] if fast else max(sizes["scalar_n"] // 10, 1_000)
+    batch_n = sizes["batch_n"] if fast else max(sizes["batch_n"] // 10, 1_000)
+    merge_n = sizes["merge_n"] if fast else max(sizes["merge_n"] // 10, 1_000)
+
+    data_rng = np.random.default_rng(42)
+    scalar_data = data_rng.random(scalar_n).tolist()
+    batch_data = data_rng.random(batch_n)
+    merge_data = data_rng.random(merge_n)
+
+    def make(seed: int):
+        if fast:
+            return FastReqSketch(32, seed=seed)
+        return ReqSketch(32, seed=seed)
+
+    def run_scalar() -> int:
+        # C-level driver loop (map) so the measurement is the per-item cost
+        # of update() itself, not the caller's bytecode dispatch.
+        sketch = make(1)
+        deque(map(sketch.update, scalar_data), maxlen=0)
+        if fast:
+            sketch.flush()
+        assert sketch.n == scalar_n
+        return scalar_n
+
+    def run_batch() -> int:
+        sketch = make(2)
+        sketch.update_many(batch_data if fast else batch_data.tolist())
+        assert sketch.n == batch_n
+        return batch_n
+
+    half = merge_n // 2
+    left = make(3)
+    right = make(4)
+    if fast:
+        left.update_many(merge_data[:half])
+        right.update_many(merge_data[half:])
+    else:
+        left.update_many(merge_data[:half].tolist())
+        right.update_many(merge_data[half:].tolist())
+
+    def run_merge() -> int:
+        if fast:
+            target = make(5)
+            target.merge(left)
+            target.merge(right)
+        else:
+            target = ReqSketch.merged(left, right)
+        assert target.n == merge_n
+        return merge_n
+
+    query_sketch = make(6)
+    query_sketch.update_many(batch_data if fast else batch_data.tolist())
+    n_queries = sizes["queries"]
+    fractions = np.linspace(0.001, 0.999, n_queries)
+    fraction_list = fractions.tolist()
+
+    def run_quantiles() -> int:
+        values = query_sketch.quantiles(fractions if fast else fraction_list)
+        assert len(values) == n_queries
+        return n_queries
+
+    return {
+        "update": _best_ops_per_sec(run_scalar, repeats=repeats),
+        "update_many": _best_ops_per_sec(run_batch, repeats=repeats),
+        "merge": _best_ops_per_sec(run_merge, repeats=repeats),
+        "quantiles": _best_ops_per_sec(run_quantiles, repeats=repeats),
+    }
+
+
+def collect_measurements(*, smoke: bool = False, repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Measure every tracked engine; returns ``{engine: {op: ops_per_sec}}``."""
+    return {
+        "fast": measure_engine("fast", smoke=smoke, repeats=repeats),
+        "reference": measure_engine("reference", smoke=smoke, repeats=repeats),
+    }
+
+
+def render_report(
+    current: Dict[str, Dict[str, float]],
+    baseline: Optional[Dict[str, Dict[str, float]]],
+    *,
+    smoke: bool,
+) -> dict:
+    """Assemble the JSON document: config, baseline, current, speedups."""
+    report = {
+        "schema": 1,
+        "benchmark": "bench_throughput",
+        "units": "ops_per_sec",
+        "config": {"smoke": smoke, **_workload_sizes(smoke)},
+        "baseline": baseline if baseline is not None else current,
+        "current": current,
+    }
+    report["baseline_config"] = report["config"]
+    base = report["baseline"]
+    speedups: Dict[str, Dict[str, float]] = {}
+    for engine, ops in current.items():
+        engine_base = base.get(engine, {})
+        speedups[engine] = {
+            op: round(value / engine_base[op], 3)
+            for op, value in ops.items()
+            if engine_base.get(op)
+        }
+    report["speedup_vs_baseline"] = speedups
+    return report
+
+
+def load_baseline(path: Path, config: dict) -> Optional[Dict[str, Dict[str, float]]]:
+    """The ``baseline`` section of an existing report, if any.
+
+    A baseline is only comparable when it was measured under the same
+    workload config — a smoke run must not be ratioed against (or silently
+    replace the baseline of) a full-workload report, and vice versa.
+    """
+    if not path.exists():
+        return None
+    try:
+        report = json.loads(path.read_text())
+        baseline = report["baseline"]
+        recorded = report.get("baseline_config", report.get("config"))
+    except (ValueError, KeyError):
+        return None
+    if recorded is not None and recorded != config:
+        print(
+            f"note: baseline in {path} was measured under a different workload "
+            "config; starting a fresh baseline for this config",
+            file=sys.stderr,
+        )
+        return None
+    return baseline
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_throughput.json"),
+        help="output JSON path (default: repo-root BENCH_throughput.json)",
+    )
+    parser.add_argument("--smoke", action="store_true", help="tiny workloads (seconds, not minutes)")
+    parser.add_argument("--repeats", type=int, default=3, help="best-of-N timing repeats")
+    parser.add_argument(
+        "--reset-baseline",
+        action="store_true",
+        help="overwrite the stored baseline with this run",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the fast engine meets the tracked speedup floors",
+    )
+    args = parser.parse_args(argv)
+
+    smoke = args.smoke or BENCH_SMOKE
+    out = Path(args.out)
+    config = {"smoke": smoke, **_workload_sizes(smoke)}
+    if out.exists() and not args.reset_baseline:
+        try:
+            existing = json.loads(out.read_text()).get("config")
+        except ValueError:
+            existing = None
+        if existing is not None and existing != config:
+            print(
+                f"error: {out} tracks a different workload config "
+                f"(smoke={existing.get('smoke')}); refusing to overwrite it "
+                "with this run — pass --out elsewhere or --reset-baseline",
+                file=sys.stderr,
+            )
+            return 2
+    baseline = None if args.reset_baseline else load_baseline(out, config)
+    current = collect_measurements(smoke=smoke, repeats=args.repeats)
+    report = render_report(current, baseline, smoke=smoke)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote {out}")
+    for engine in ("fast", "reference"):
+        for op in TRACKED_OPS:
+            ratio = report["speedup_vs_baseline"][engine].get(op)
+            print(
+                f"  {engine:>9}.{op:<12} {current[engine][op]:>14,.0f} ops/s"
+                + (f"  ({ratio:.2f}x baseline)" if ratio is not None else "")
+            )
+    if args.check:
+        failures = [
+            f"fast.{op}: {report['speedup_vs_baseline']['fast'].get(op, 0.0):.2f}x < {floor}x"
+            for op, floor in SPEEDUP_FLOORS.items()
+            if report["speedup_vs_baseline"]["fast"].get(op, 0.0) < floor
+        ]
+        if failures:
+            print("speedup floors not met: " + "; ".join(failures), file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

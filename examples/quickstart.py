@@ -64,6 +64,29 @@ def main() -> None:
     lower, upper = sketch.rank_bounds(y)
     print(f"\n95%-ish rank interval for the 1st percentile value: [{lower:,}, {upper:,}]")
 
+    # ------------------------------------------------------------------
+    # Performance: FastReqSketch for float streams
+    # ------------------------------------------------------------------
+    # ReqSketch handles any ordered items (floats, strings, tuples, ...).
+    # For plain numbers, FastReqSketch is the same algorithm ~100-500x
+    # faster: batches go through one vectorized numpy path, and scalar
+    # updates are staged in a C-backed block and ingested in bulk.
+    #
+    # Two things to know about the staged scalar path:
+    #   * update() stages items; they are counted immediately (sketch.n)
+    #     but only enter the level structure when the block fills, when
+    #     flush() is called, or implicitly on any query;
+    #   * pass numpy arrays (or lists) to update_many() whenever data
+    #     arrives in batches — it is the fastest path by far.
+    from repro import FastReqSketch
+
+    fast = FastReqSketch(k=32, seed=args.seed)
+    fast.update_many(stream)          # one vectorized ingest
+    fast.update(stream[0])            # staged ...
+    fast.flush()                      # ... and now visible to queries
+    print(f"\nFastReqSketch p99    : {fast.quantile(0.99):.5f} "
+          f"(n={fast.n:,}, retained={fast.num_retained:,})")
+
 
 if __name__ == "__main__":
     main()

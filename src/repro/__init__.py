@@ -16,6 +16,41 @@ Quick start::
         sketch.update(latency)
     p999 = sketch.quantile(0.999)
 
+Performance
+===========
+
+Two engines implement the same compactor stack:
+
+* :class:`ReqSketch` — the reference engine: pure Python, works for any
+  totally ordered items (floats, ints, strings, tuples, ...), and is the
+  fully parameterized implementation every experiment validates against.
+* :class:`FastReqSketch` — the ingestion engine for float64 streams:
+  levels are sorted numpy runs merged lazily, batches ingest through one
+  vectorized path, and scalar updates are staged in a preallocated block
+  (a small C extension compiled on first import when a compiler is
+  available; a pure-Python fallback otherwise — set ``REPRO_NO_NATIVE=1``
+  to force the fallback).  Throughput is tracked in
+  ``BENCH_throughput.json`` (regenerate with
+  ``python benchmarks/bench_throughput.py``).
+
+Choosing and using them:
+
+* Pick :class:`FastReqSketch` whenever items are plain numbers and update
+  rate matters (hot paths, monitors, services); pick :class:`ReqSketch`
+  for generic item types, the ``fixed``/``theory`` parameter schemes, or
+  serialization.
+* **Batch when you can**: ``update_many(array)`` is an order of magnitude
+  faster than per-item ``update`` even on the fast engine.
+* **Staging and visibility**: ``FastReqSketch.update`` stages items in a
+  block.  ``sketch.n`` counts them immediately, but they reach the level
+  structure only when the block fills, on ``flush()``, or implicitly on
+  any query — so there is no need to call ``flush()`` before querying;
+  call it only to bound staging latency externally (e.g. before
+  serializing a snapshot elsewhere).
+* Batches smaller than the staging block are appended to the staging
+  buffer; batches at least as large are sorted once and ingested as a
+  single sorted run.
+
 See README.md for the architecture overview and DESIGN.md for the paper-to-
 module map.
 """

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from repro.core import ReqSketch
 from repro.errors import ReproError
+from repro.fast import FastReqSketch
 from repro.evaluation import Table
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.run_all import render_report
@@ -56,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="quantile fractions to report",
     )
     sketch_parser.add_argument("--seed", type=int, default=0)
+    sketch_parser.add_argument(
+        "--engine",
+        default="fast",
+        choices=("fast", "reference"),
+        help="fast = numpy/C-accelerated float64 engine (default); "
+        "reference = pure-Python generic engine",
+    )
 
     bounds_parser = sub.add_parser("bounds", help="print the Section 1.1 space-bound table")
     bounds_parser.add_argument("--eps", type=float, default=0.01)
@@ -90,7 +98,9 @@ def _cmd_report(scale: str, out: Optional[str]) -> int:
     return 0
 
 
-def _cmd_sketch(path: str, k: int, hra: bool, fractions: List[float], seed: int) -> int:
+def _cmd_sketch(
+    path: str, k: int, hra: bool, fractions: List[float], seed: int, engine: str = "fast"
+) -> int:
     if path == "-":
         text = sys.stdin.read()
     else:
@@ -100,11 +110,14 @@ def _cmd_sketch(path: str, k: int, hra: bool, fractions: List[float], seed: int)
     if not values:
         print("no numbers found", file=sys.stderr)
         return 1
-    sketch = ReqSketch(k, hra=hra, seed=seed)
+    if engine == "fast":
+        sketch = FastReqSketch(k, hra=hra, seed=seed)
+    else:
+        sketch = ReqSketch(k, hra=hra, seed=seed)
     sketch.update_many(values)
     table = Table(
         f"quantiles of {path} (n={sketch.n}, retained={sketch.num_retained}, "
-        f"{'HRA' if hra else 'LRA'}, k={k})",
+        f"{'HRA' if hra else 'LRA'}, k={k}, engine={engine})",
         ["fraction", "quantile", "rank_lower", "rank_upper"],
     )
     for q in fractions:
@@ -161,7 +174,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "report":
             return _cmd_report(args.scale, args.out)
         if args.command == "sketch":
-            return _cmd_sketch(args.file, args.k, args.hra, args.q, args.seed)
+            return _cmd_sketch(args.file, args.k, args.hra, args.q, args.seed, args.engine)
         if args.command == "bounds":
             return _cmd_bounds(args.eps, args.n, args.delta, args.universe)
     except ReproError as exc:

@@ -108,11 +108,16 @@ class RelativeCompactor:
         self.inserted += 1
 
     def extend(self, items: Iterable[Any]) -> None:
-        """Insert several items at once (promotions from the level below)."""
-        before = len(self._buffer)
+        """Insert several items at once (promotions from the level below).
+
+        The input is materialized once and counted directly — inferring the
+        count from the buffer-length delta miscounts when the iterable
+        aliases the buffer itself (its iterator then sees the growth).
+        """
+        items = list(items)
         self._buffer.extend(items)
         self._sorted = False
-        self.inserted += len(self._buffer) - before
+        self.inserted += len(items)
 
     def _sort(self) -> None:
         if not self._sorted:

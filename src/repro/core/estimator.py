@@ -11,6 +11,12 @@ The structure is immutable; sketches rebuild it lazily after updates.  Items
 only need to support ``<`` / ``<=`` comparison (the algorithm is
 comparison-based), so everything here works for floats, ints, strings,
 tuples, ...
+
+Batch queries (:meth:`WeightedCoreset.ranks` / ``quantiles``) take a
+vectorized numpy path when the retained items are losslessly representable
+as float64 — one ``searchsorted`` over the whole query vector instead of a
+Python ``bisect`` per query — and fall back to the generic comparison-based
+path for everything else.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ from __future__ import annotations
 import bisect
 import itertools
 import math
-from typing import Any, Iterable, List, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import EmptySketchError, InvalidParameterError
 
@@ -33,7 +41,7 @@ class WeightedCoreset:
         weights: Parallel sequence of positive integer weights.
     """
 
-    __slots__ = ("_items", "_cumweights", "_total")
+    __slots__ = ("_items", "_cumweights", "_total", "_numeric_cache")
 
     def __init__(self, items: Sequence[Any], weights: Sequence[int]) -> None:
         if len(items) != len(weights):
@@ -44,6 +52,9 @@ class WeightedCoreset:
         self._items: List[Any] = [item for item, _ in pairs]
         self._cumweights: List[int] = list(itertools.accumulate(weight for _, weight in pairs))
         self._total: int = self._cumweights[-1] if self._cumweights else 0
+        #: Lazy (items, cumweights, padded cumweights) float64/int64 arrays;
+        #: False once numeric conversion has been tried and failed.
+        self._numeric_cache: Any = None
 
     @classmethod
     def from_levels(cls, levels: Iterable[Tuple[Sequence[Any], int]]) -> "WeightedCoreset":
@@ -110,8 +121,53 @@ class WeightedCoreset:
             raise EmptySketchError("normalized_rank on an empty coreset")
         return self.rank(item, inclusive=inclusive) / self._total
 
+    def _numeric_arrays(self) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """float64/int64 views of the coreset, or ``None`` for generic items.
+
+        The conversion must be lossless for the numpy path to agree with
+        the bisect path (e.g. integers beyond 2**53 round), so the result
+        is round-trip-checked once and cached.
+        """
+        if self._numeric_cache is None:
+            try:
+                items = np.asarray(self._items, dtype=np.float64)
+                lossless = not items.size or items.tolist() == self._items
+            except (TypeError, ValueError):
+                lossless = False
+            if lossless:
+                cumweights = np.asarray(self._cumweights, dtype=np.int64)
+                padded = np.concatenate(([0], cumweights))
+                self._numeric_cache = (items, cumweights, padded)
+            else:
+                self._numeric_cache = False
+        return self._numeric_cache or None
+
+    @staticmethod
+    def _as_query_array(queries: Sequence[Any]) -> Optional[np.ndarray]:
+        """Queries as a lossless float64 array, or ``None`` to fall back."""
+        try:
+            array = np.asarray(queries, dtype=np.float64)
+        except (TypeError, ValueError):
+            return None
+        if array.ndim != 1:
+            return None
+        comparable = queries.tolist() if isinstance(queries, np.ndarray) else list(queries)
+        return array if array.tolist() == comparable else None
+
     def ranks(self, items: Sequence[Any], *, inclusive: bool = True) -> List[int]:
-        """Batch version of :meth:`rank` (one bisect per query)."""
+        """Batch version of :meth:`rank`.
+
+        One vectorized ``searchsorted`` when both the coreset and the
+        queries are numeric; otherwise one bisect per query.
+        """
+        cache = self._numeric_arrays()
+        if cache is not None:
+            queries = self._as_query_array(items)
+            if queries is not None:
+                sorted_items, _, padded = cache
+                side = "right" if inclusive else "left"
+                positions = np.searchsorted(sorted_items, queries, side=side)
+                return padded[positions].tolist()
         return [self.rank(item, inclusive=inclusive) for item in items]
 
     def quantile(self, q: float) -> Any:
@@ -135,7 +191,26 @@ class WeightedCoreset:
         return self._items[index]
 
     def quantiles(self, fractions: Sequence[float]) -> List[Any]:
-        """Vector version of :meth:`quantile`."""
+        """Vector version of :meth:`quantile`.
+
+        Numeric coresets answer the whole vector with one ``searchsorted``
+        over the cumulative weights; the returned values are the retained
+        item objects themselves, exactly as the scalar path returns them.
+        """
+        cache = self._numeric_arrays()
+        if cache is not None and self._total > 0:
+            qs = self._as_query_array(fractions)
+            if qs is not None:
+                if ((qs < 0.0) | (qs > 1.0)).any():
+                    bad = next(q for q in qs.tolist() if not 0.0 <= q <= 1.0)
+                    raise InvalidParameterError(
+                        f"quantile fraction must be in [0, 1], got {bad}"
+                    )
+                _, cumweights, _ = cache
+                targets = np.maximum(1, np.ceil(qs * self._total)).astype(np.int64)
+                positions = np.searchsorted(cumweights, targets, side="left")
+                positions = np.minimum(positions, len(self._items) - 1)
+                return [self._items[index] for index in positions.tolist()]
         return [self.quantile(q) for q in fractions]
 
     def cdf(self, split_points: Sequence[Any], *, inclusive: bool = True) -> List[float]:

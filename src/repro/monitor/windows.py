@@ -13,21 +13,27 @@ timestamps to window indices the same way):
 
 * ``record(value)`` feeds the current window's sketch, rolling over every
   ``window_size`` items;
+* ``record_many(values)`` feeds a batch, split across window boundaries and
+  ingested through the sketch's vectorized batch path;
 * ``horizon(last=m)`` returns one merged sketch over the last ``m``
   windows — a pure merge, the inputs are untouched;
 * ``percentile_series(q)`` gives the per-window trend of a percentile;
 * ``tail_shift(q)`` compares the newest closed window against the
   preceding baseline for alert-style regression detection.
+
+Windows default to the numpy/C-accelerated :class:`~repro.fast.FastReqSketch`
+(latencies are floats); pass ``sketch_factory`` to monitor generic ordered
+items with the reference :class:`~repro.core.req.ReqSketch` instead.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Any, Callable, Deque, List, Optional, Sequence
 
-from repro.core.req import ReqSketch
 from repro.errors import EmptySketchError, InvalidParameterError
+from repro.fast import FastReqSketch
 
 __all__ = ["WindowSnapshot", "TumblingWindowMonitor"]
 
@@ -42,7 +48,7 @@ class WindowSnapshot:
     """
 
     index: int
-    sketch: ReqSketch
+    sketch: Any
 
     @property
     def n(self) -> int:
@@ -59,8 +65,9 @@ class TumblingWindowMonitor:
         window_size: Items per window (> 0).
         retention: Closed windows kept for horizon queries (older windows
             are dropped FIFO).
-        sketch_factory: ``(seed) -> ReqSketch``; defaults to
-            ``ReqSketch(k=32, hra=True)`` — the latency configuration.
+        sketch_factory: ``(seed) -> sketch``; defaults to
+            ``FastReqSketch(k=32, hra=True)`` — the latency configuration on
+            the accelerated engine.
         seed: Base seed; window ``i`` gets ``seed + i``.
     """
 
@@ -69,7 +76,7 @@ class TumblingWindowMonitor:
         window_size: int,
         *,
         retention: int = 64,
-        sketch_factory: Optional[Callable[[Optional[int]], ReqSketch]] = None,
+        sketch_factory: Optional[Callable[[Optional[int]], Any]] = None,
         seed: Optional[int] = 0,
     ) -> None:
         if window_size < 1:
@@ -79,7 +86,7 @@ class TumblingWindowMonitor:
         self.window_size = window_size
         self.retention = retention
         self._factory = sketch_factory or (
-            lambda s: ReqSketch(32, hra=True, seed=s)
+            lambda s: FastReqSketch(32, hra=True, seed=s)
         )
         self._seed = seed
         self._windows: Deque[WindowSnapshot] = deque(maxlen=retention)
@@ -87,7 +94,7 @@ class TumblingWindowMonitor:
         self._active = self._new_sketch()
         self._total = 0
 
-    def _new_sketch(self) -> ReqSketch:
+    def _new_sketch(self) -> Any:
         seed = None if self._seed is None else self._seed + self._window_count
         return self._factory(seed)
 
@@ -103,9 +110,23 @@ class TumblingWindowMonitor:
             self._roll()
 
     def record_many(self, values: Sequence) -> None:
-        """Feed a batch of measurements in order."""
-        for value in values:
-            self.record(value)
+        """Feed a batch of measurements in order.
+
+        The batch is split at window boundaries and each piece goes through
+        the sketch's ``update_many`` (the vectorized path on the fast
+        engine), rolling windows exactly as per-item :meth:`record` would.
+        """
+        values = list(values)
+        position = 0
+        total = len(values)
+        while position < total:
+            room = self.window_size - self._active.n
+            chunk = values[position : position + room]
+            self._active.update_many(chunk)
+            self._total += len(chunk)
+            position += len(chunk)
+            if self._active.n >= self.window_size:
+                self._roll()
 
     def _roll(self) -> None:
         self._windows.append(WindowSnapshot(self._window_count, self._active))
@@ -139,7 +160,7 @@ class TumblingWindowMonitor:
     # Queries
     # ------------------------------------------------------------------
 
-    def horizon(self, last: Optional[int] = None, *, include_open: bool = True) -> ReqSketch:
+    def horizon(self, last: Optional[int] = None, *, include_open: bool = True) -> Any:
         """One merged sketch over the most recent windows (pure merge).
 
         Args:

@@ -40,3 +40,6 @@ def lognormal_stream():
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running statistical test")
+    config.addinivalue_line(
+        "markers", "bench: benchmark-tooling smoke test (tiny workloads)"
+    )

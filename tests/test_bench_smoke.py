@@ -1,0 +1,83 @@
+"""Tier-1 smoke coverage for the benchmark tooling.
+
+Loads ``benchmarks/bench_throughput.py`` in smoke mode (tiny workloads)
+and runs its JSON emitter end-to-end, so the perf-tracking pipeline is
+exercised on every test run without benchmark-scale runtimes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def bench_module(tmp_path_factory):
+    """bench_throughput imported fresh with BENCH_SMOKE forced on."""
+    os.environ["BENCH_SMOKE"] = "1"
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "bench_throughput_smoke", BENCH_DIR / "bench_throughput.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    finally:
+        os.environ.pop("BENCH_SMOKE", None)
+    return module
+
+
+@pytest.mark.bench
+class TestBenchSmoke:
+    def test_smoke_flag_shrinks_workload(self, bench_module):
+        assert bench_module.BENCH_SMOKE
+        assert bench_module.UPDATE_BATCH == 2_000
+
+    def test_collect_measurements_structure(self, bench_module):
+        results = bench_module.collect_measurements(smoke=True, repeats=1)
+        assert set(results) == {"fast", "reference"}
+        for ops in results.values():
+            assert set(ops) == set(bench_module.TRACKED_OPS)
+            assert all(value > 0 for value in ops.values())
+
+    def test_emitter_tracks_baseline_across_runs(self, bench_module, tmp_path):
+        out = tmp_path / "BENCH_throughput.json"
+        assert bench_module.main(["--out", str(out), "--smoke", "--repeats", "1"]) == 0
+        first = json.loads(out.read_text())
+        # First run: baseline == current, all speedups 1.0.
+        assert first["baseline"] == first["current"]
+        assert all(
+            ratio == 1.0
+            for ops in first["speedup_vs_baseline"].values()
+            for ratio in ops.values()
+        )
+        assert bench_module.main(["--out", str(out), "--smoke", "--repeats", "1"]) == 0
+        second = json.loads(out.read_text())
+        # Second run: the recorded baseline must survive re-measurement.
+        assert second["baseline"] == first["baseline"]
+        assert set(second["speedup_vs_baseline"]["fast"]) == set(bench_module.TRACKED_OPS)
+
+    def test_reset_baseline_overwrites(self, bench_module, tmp_path):
+        out = tmp_path / "BENCH_throughput.json"
+        assert bench_module.main(["--out", str(out), "--smoke", "--repeats", "1"]) == 0
+        assert (
+            bench_module.main(
+                ["--out", str(out), "--smoke", "--repeats", "1", "--reset-baseline"]
+            )
+            == 0
+        )
+        report = json.loads(out.read_text())
+        assert report["baseline"] == report["current"]
+
+    def test_committed_report_meets_speedup_floors(self):
+        """The tracked BENCH_throughput.json must show the PR's headline wins."""
+        committed = BENCH_DIR.parent / "BENCH_throughput.json"
+        report = json.loads(committed.read_text())
+        speedups = report["speedup_vs_baseline"]["fast"]
+        assert speedups["update"] >= 5.0
+        assert speedups["update_many"] >= 3.0

@@ -218,6 +218,149 @@ class TestMerge:
         assert a.rank(2.0) == 2
 
 
+class TestSmallBatchStaging:
+    def test_small_batch_is_staged_not_flushed(self):
+        """Batches below the staging block must not churn the levels."""
+        sketch = FastReqSketch(16, seed=30)
+        sketch.update_many([3.0, 1.0, 2.0])
+        assert sketch.n == 3
+        assert sketch.num_levels == 0  # still staged
+        assert sketch._stage.count == 3
+        assert sketch.num_retained == 3
+        assert sketch.rank(2.0) == 2  # queries flush implicitly
+        assert sketch.num_levels >= 1
+
+    def test_repeated_small_batches_cross_block(self):
+        sketch = FastReqSketch(16, seed=31)
+        rng = np.random.default_rng(31)
+        total = 0
+        for _ in range(40):
+            batch = rng.random(500)
+            sketch.update_many(batch)
+            total += batch.size
+        assert sketch.n == total
+        assert sketch.rank(1.0) == total  # weight conserved across flushes
+
+    def test_small_batch_nan_rejected_before_staging(self):
+        sketch = FastReqSketch(16, seed=32)
+        sketch.update_many([1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            sketch.update_many([3.0, float("nan")])
+        assert sketch.n == 2  # nothing from the bad batch was staged
+        assert sketch._stage.count == 2
+
+    def test_large_batch_nan_rejected_before_ingest(self):
+        sketch = FastReqSketch(16, seed=33)
+        bad = np.arange(float(2 * sketch._stage.capacity))
+        bad[17] = float("nan")
+        with pytest.raises(InvalidParameterError):
+            sketch.update_many(bad)
+        assert sketch.n == 0
+
+    def test_min_max_reflect_staged_items(self):
+        sketch = FastReqSketch(16, seed=34)
+        sketch.update(5.0)
+        sketch.update(-2.0)
+        assert sketch.min_item == -2.0
+        assert sketch.max_item == 5.0
+
+
+class TestIncrementalCoreset:
+    """The version-stamped coreset cache must be invisible to queries."""
+
+    @staticmethod
+    def _scratch_answers(sketch, queries, fractions):
+        """Force a full rebuild (drop the cache) and re-answer."""
+        sketch._coreset = None
+        sketch._coreset_key = None
+        return sketch.ranks(queries), sketch.quantiles(fractions)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_interleaved_updates_queries_merges_byte_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        sketch = FastReqSketch(8, seed=seed)
+        queries = np.linspace(-0.1, 1.1, 57)
+        fractions = np.linspace(0.0, 1.0, 33)
+        for step in range(25):
+            op = int(rng.integers(0, 4))
+            if op == 0:
+                sketch.update_many(rng.random(int(rng.integers(1, 3000))))
+            elif op == 1:
+                for value in rng.random(int(rng.integers(1, 8))):
+                    sketch.update(float(value))
+            elif op == 2:
+                other = FastReqSketch(8, seed=1000 + step)
+                other.update_many(rng.random(int(rng.integers(1, 2000))))
+                sketch.merge(other)
+            else:
+                sketch.flush()
+            if sketch.n == 0:
+                continue
+            ranks_cached = sketch.ranks(queries)
+            quantiles_cached = sketch.quantiles(fractions)
+            ranks_scratch, quantiles_scratch = self._scratch_answers(
+                sketch, queries, fractions
+            )
+            assert ranks_cached.tobytes() == ranks_scratch.tobytes()
+            assert quantiles_cached.tobytes() == quantiles_scratch.tobytes()
+
+    def test_clean_cache_is_reused(self, big_stream):
+        sketch = FastReqSketch(32, seed=40)
+        sketch.update_many(big_stream)
+        first = sketch._ensure_coreset()
+        second = sketch._ensure_coreset()
+        assert first is second  # no rebuild without intervening updates
+
+    def test_update_invalidates_cache(self, big_stream):
+        sketch = FastReqSketch(32, seed=41)
+        sketch.update_many(big_stream[:100_000])
+        before = sketch.rank(0.5)
+        cached = sketch._ensure_coreset()
+        sketch.update_many(big_stream[100_000:])
+        assert sketch._ensure_coreset() is not cached
+        assert sketch.rank(float(big_stream.max())) == big_stream.size
+        assert sketch.rank(0.5) >= before
+
+
+class TestPythonFallbackStage:
+    @pytest.fixture
+    def fallback_sketch(self, monkeypatch):
+        from repro.fast import engine as engine_mod
+
+        monkeypatch.setattr(engine_mod, "_NativeStageBuffer", None)
+        return engine_mod.FastReqSketch(16, seed=50)
+
+    def test_fallback_matches_semantics(self, fallback_sketch):
+        sketch = fallback_sketch
+        assert type(sketch._stage).__name__ == "_PyStageBuffer"
+        for i in range(10_000):
+            sketch.update(float(i % 101))
+        sketch.update_many(np.arange(100.0))
+        assert sketch.n == 10_100
+        assert sketch.rank(200.0) == 10_100
+        with pytest.raises(InvalidParameterError):
+            sketch.update(float("nan"))
+        assert sketch.n == 10_100
+
+    def test_fallback_extend_crosses_block_boundary(self, fallback_sketch):
+        sketch = fallback_sketch
+        block = sketch._stage.capacity
+        sketch.update_many(np.random.default_rng(5).random(block - 1))
+        sketch.update_many(np.asarray([0.5, 0.25]))  # wraps over the block edge
+        assert sketch.n == block + 1
+        assert sketch.rank(2.0) == block + 1
+
+
+class TestErrorBounds:
+    def test_rank_bounds_bracket_estimate(self, big_stream):
+        sketch = FastReqSketch(32, seed=60)
+        sketch.update_many(big_stream)
+        y = float(np.quantile(big_stream, 0.1))
+        lower, upper = sketch.rank_bounds(y)
+        assert 0 <= lower <= sketch.rank(y) <= upper <= sketch.n
+        assert 0.0 < sketch.error_bound() < 1.0
+
+
 class TestPropertyBased:
     @given(
         st.lists(
