@@ -6,11 +6,21 @@ Two entry points share one workload definition:
   --benchmark-only``) — conventional comparative timings across every sketch
   in the repo;
 * **a tracked JSON emitter** (``python benchmarks/bench_throughput.py``) —
-  times the four hot operations (scalar update, batch update, merge,
-  quantile queries) for the reference and fast engines and writes
-  ``BENCH_throughput.json`` at the repo root.  The first run records a
-  ``baseline`` section; later runs preserve it and add ``current`` plus
-  ``speedup_vs_baseline`` ratios, giving future PRs a perf trajectory.
+  times the hot operations (scalar update, batch update, merge, quantile
+  queries, serde round-trips, 16-shard aggregation, sharded ingest) for
+  the reference and fast engines and writes ``BENCH_throughput.json`` at
+  the repo root.  The first run records a ``baseline`` section; later runs
+  preserve it and add ``current`` plus ``speedup_vs_baseline`` ratios,
+  giving future PRs a perf trajectory.  Ops added after a baseline was
+  recorded are backfilled into it from the first run that measures them,
+  so pre-existing baseline entries are never perturbed.
+
+  Aggregation-plane rows (items/sec over the same 16-shard workload):
+  ``merge_many`` is the fast engine's k-way union, ``merge_fold16`` the
+  equivalent sequential pairwise-``merge`` fold — their ratio is the
+  tracked ``merge_many_vs_pairwise`` headline (floor: 2x, enforced by
+  ``--check``).  ``serde`` counts wire-format round-trips/sec and
+  ``sharded_ingest`` the ShardedReqSketch local-backend ingest rate.
 
 Set ``BENCH_SMOKE=1`` (see ``benchmarks/conftest.py``) to shrink every
 workload so the whole file runs in seconds — used by the tier-1 smoke test.
@@ -169,6 +179,55 @@ def test_fast_engine_vector_ranks(benchmark):
     assert len(ranks) == 1000
 
 
+def test_fast_engine_merge_many(benchmark):
+    """16-shard k-way union on the fast engine (the aggregation-plane path)."""
+    import numpy as np
+
+    parts = np.array_split(np.asarray(DATA), 16)
+    shards = []
+    for index, part in enumerate(parts):
+        shard = FastReqSketch(32, seed=30 + index)
+        shard.update_many(part)
+        shard.quantile(0.5)
+        shards.append(shard)
+
+    def run():
+        target = FastReqSketch(32, seed=29)
+        target.merge_many(shards)
+        return target
+
+    merged = benchmark(run)
+    assert merged.n == UPDATE_BATCH
+
+
+def test_fast_engine_wire_roundtrip(benchmark):
+    """FRQ1 wire-format round trip (zero-copy decode)."""
+    import numpy as np
+
+    sketch = FastReqSketch(32, seed=28)
+    sketch.update_many(np.asarray(DATA))
+    sketch.flush()
+    clone = benchmark(lambda: FastReqSketch.from_bytes(sketch.to_bytes()))
+    assert clone.n == sketch.n
+
+
+def test_sharded_local_ingest(benchmark):
+    """ShardedReqSketch local-backend batch ingest (routing + shard feed)."""
+    import numpy as np
+
+    from repro.shard import ShardedReqSketch
+
+    array = np.asarray(DATA)
+
+    def run():
+        sharded = ShardedReqSketch(4, k=32, seed=27, backend="local")
+        sharded.update_many(array)
+        return sharded
+
+    sharded = benchmark(run)
+    assert sharded.n == UPDATE_BATCH
+
+
 def test_serialize_throughput(benchmark):
     sketch = ReqSketch(32, seed=2)
     sketch.update_many(DATA)
@@ -189,10 +248,33 @@ def test_deserialize_throughput(benchmark):
 # ----------------------------------------------------------------------
 
 #: Operations recorded in BENCH_throughput.json, in report order.
-TRACKED_OPS = ("update", "update_many", "merge", "quantiles")
+TRACKED_OPS = (
+    "update",
+    "update_many",
+    "merge",
+    "quantiles",
+    "serde",
+    "merge_many",
+    "merge_fold16",
+    "sharded_ingest",
+)
+
+#: Which tracked ops each engine measures (the reference engine has no
+#: k-way merge or sharded plane; its ``merge_many`` row is the pairwise
+#: fold, its only aggregation path, for cross-engine comparison).
+ENGINE_OPS = {
+    "fast": TRACKED_OPS,
+    "reference": ("update", "update_many", "merge", "quantiles", "serde", "merge_many"),
+}
+
+#: Shards in the aggregation-plane workloads (merge_many / merge_fold16).
+AGG_SHARDS = 16
 
 #: Acceptance ratios checked by ``--check`` (fast engine vs baseline).
 SPEEDUP_FLOORS = {"update": 5.0, "update_many": 3.0}
+
+#: ``--check`` floor for fast.merge_many over the equivalent pairwise fold.
+MERGE_MANY_FLOOR = 2.0
 
 
 def _best_ops_per_sec(run: Callable[[], int], *, repeats: int = 3) -> float:
@@ -284,12 +366,66 @@ def measure_engine(name: str, *, smoke: bool = False, repeats: int = 3) -> Dict[
         assert len(values) == n_queries
         return n_queries
 
-    return {
+    # Serde: round-trips/sec through the cross-format serialize/deserialize
+    # dispatch (FRQ1 wire format for fast, REQ1 for reference).
+    serde_sketch = make(7)
+    serde_sketch.update_many(batch_data if fast else batch_data.tolist())
+    serde_sketch.quantile(0.5)  # settle staging/consolidation first
+
+    def run_serde() -> int:
+        clone = deserialize(serialize(serde_sketch))
+        assert clone.n == serde_sketch.n
+        return 1
+
+    # Aggregation plane: union AGG_SHARDS equal shards of the merge stream.
+    # fast.merge_many is the k-way path; merge_fold16 (fast only) is the
+    # equivalent sequential pairwise fold it must beat; the reference
+    # engine's only aggregation is the fold, reported as its merge_many.
+    shard_parts = np.array_split(merge_data, AGG_SHARDS)
+    agg_shards = []
+    for index, part in enumerate(shard_parts):
+        shard = make(100 + index)
+        shard.update_many(part if fast else part.tolist())
+        shard.quantile(0.5)  # flush + consolidate, like a served/decoded shard
+        agg_shards.append(shard)
+
+    def run_merge_fold() -> int:
+        target = make(8)
+        for shard in agg_shards:
+            target.merge(shard)
+        assert target.n == merge_n
+        return merge_n
+
+    if fast:
+        def run_merge_many() -> int:
+            target = make(8)
+            target.merge_many(agg_shards)
+            assert target.n == merge_n
+            return merge_n
+    else:
+        run_merge_many = run_merge_fold
+
+    ops = {
         "update": _best_ops_per_sec(run_scalar, repeats=repeats),
         "update_many": _best_ops_per_sec(run_batch, repeats=repeats),
         "merge": _best_ops_per_sec(run_merge, repeats=repeats),
         "quantiles": _best_ops_per_sec(run_quantiles, repeats=repeats),
+        "serde": _best_ops_per_sec(run_serde, repeats=repeats),
+        "merge_many": _best_ops_per_sec(run_merge_many, repeats=repeats),
     }
+
+    if fast:
+        from repro.shard import ShardedReqSketch
+
+        def run_sharded() -> int:
+            sharded = ShardedReqSketch(4, k=32, seed=9, backend="local")
+            sharded.update_many(batch_data)
+            assert sharded.n == batch_n
+            return batch_n
+
+        ops["merge_fold16"] = _best_ops_per_sec(run_merge_fold, repeats=repeats)
+        ops["sharded_ingest"] = _best_ops_per_sec(run_sharded, repeats=repeats)
+    return ops
 
 
 def collect_measurements(*, smoke: bool = False, repeats: int = 3) -> Dict[str, Dict[str, float]]:
@@ -307,6 +443,13 @@ def render_report(
     smoke: bool,
 ) -> dict:
     """Assemble the JSON document: config, baseline, current, speedups."""
+    if baseline is not None:
+        # Backfill ops added since the baseline was recorded (they start a
+        # fresh trajectory from this run) WITHOUT touching existing entries.
+        baseline = {
+            engine: {**current.get(engine, {}), **ops}
+            for engine, ops in baseline.items()
+        }
     report = {
         "schema": 1,
         "benchmark": "bench_throughput",
@@ -326,6 +469,11 @@ def render_report(
             if engine_base.get(op)
         }
     report["speedup_vs_baseline"] = speedups
+    fast_ops = current.get("fast", {})
+    if fast_ops.get("merge_fold16"):
+        report["merge_many_vs_pairwise"] = round(
+            fast_ops["merge_many"] / fast_ops["merge_fold16"], 3
+        )
     return report
 
 
@@ -399,17 +547,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {out}")
     for engine in ("fast", "reference"):
         for op in TRACKED_OPS:
+            if op not in current[engine]:
+                continue
             ratio = report["speedup_vs_baseline"][engine].get(op)
             print(
-                f"  {engine:>9}.{op:<12} {current[engine][op]:>14,.0f} ops/s"
+                f"  {engine:>9}.{op:<14} {current[engine][op]:>14,.0f} ops/s"
                 + (f"  ({ratio:.2f}x baseline)" if ratio is not None else "")
             )
+    kway = report.get("merge_many_vs_pairwise")
+    if kway is not None:
+        print(f"  fast.merge_many vs pairwise fold ({AGG_SHARDS} shards): {kway:.2f}x")
     if args.check:
         failures = [
             f"fast.{op}: {report['speedup_vs_baseline']['fast'].get(op, 0.0):.2f}x < {floor}x"
             for op, floor in SPEEDUP_FLOORS.items()
             if report["speedup_vs_baseline"]["fast"].get(op, 0.0) < floor
         ]
+        if kway is not None and kway < MERGE_MANY_FLOOR:
+            failures.append(
+                f"fast.merge_many vs pairwise: {kway:.2f}x < {MERGE_MANY_FLOOR}x"
+            )
         if failures:
             print("speedup floors not met: " + "; ".join(failures), file=sys.stderr)
             return 1

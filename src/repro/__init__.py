@@ -37,8 +37,8 @@ Choosing and using them:
 
 * Pick :class:`FastReqSketch` whenever items are plain numbers and update
   rate matters (hot paths, monitors, services); pick :class:`ReqSketch`
-  for generic item types, the ``fixed``/``theory`` parameter schemes, or
-  serialization.
+  for generic item types or the ``theory`` parameter scheme.  Both engines
+  serialize through ``repro.serialize``/``repro.deserialize``.
 * **Batch when you can**: ``update_many(array)`` is an order of magnitude
   faster than per-item ``update`` even on the fast engine.
 * **Staging and visibility**: ``FastReqSketch.update`` stages items in a
@@ -50,6 +50,41 @@ Choosing and using them:
 * Batches smaller than the staging block are appended to the staging
   buffer; batches at least as large are sorted once and ingested as a
   single sorted run.
+
+Sharded aggregation
+===================
+
+The paper's full-mergeability theorem (Theorem 3) says REQ sketches can be
+combined in *arbitrary* merge trees with no accuracy loss — the union of
+any partition of a stream carries the same ``(1 +/- eps)`` guarantee as a
+single sketch fed the whole stream.  The package exposes that at three
+levels:
+
+* ``FastReqSketch.merge_many(sketches)`` — k-way aggregation: every
+  input is snapshotted once (inputs are never mutated, not even their
+  staging buffers), same-height buffers are concatenated, schedule states
+  are OR-ed, and ONE compression pass runs over the combined structure —
+  several times faster than a sequential pairwise-``merge`` fold.
+* ``to_bytes()`` / ``from_bytes()`` — the compact ``FRQ1`` wire format
+  (:mod:`repro.fast.wire`): versioned little-endian header, level runs as
+  raw float64 buffers, zero-copy ``np.frombuffer`` decode.  The layout is
+  versioned and stable: payloads written by this release decode in later
+  ones.  ``repro.serialize``/``repro.deserialize`` dispatch on the sketch
+  type / payload magic and convert across engines on request
+  (``deserialize(data, engine="fast"|"reference")``).
+* :class:`~repro.shard.ShardedReqSketch` — routes ``update_many`` batches
+  across ``S`` independent shards (round-robin or value-hash), with a
+  same-process backend for cheap deployments and a ``ProcessPoolExecutor``
+  backend that ships batches to workers and returns wire payloads; queries
+  run against a cached ``merge_many`` union coreset.
+
+**When to shard:** one ``FastReqSketch`` sustains tens of millions of
+updates/s, so shard for *cores* (the process backend, when one core
+saturates), for *isolation* (per-tenant/per-window shards merged on
+demand — see :class:`~repro.monitor.TumblingWindowMonitor`), or for
+*distribution* (sketch at the edge, ship ``FRQ1`` payloads, union at the
+aggregator).  Never for accuracy — the merged union is in the same error
+class either way, which is exactly the paper's mergeability theorem.
 
 See README.md for the architecture overview and DESIGN.md for the paper-to-
 module map.
@@ -66,6 +101,7 @@ from repro.core import (
 )
 from repro.fast import FastReqSketch
 from repro.monitor import TumblingWindowMonitor
+from repro.shard import ShardedReqSketch
 from repro.errors import (
     EmptySketchError,
     IncompatibleSketchesError,
@@ -88,6 +124,7 @@ __all__ = [
     "ReproError",
     "ReqSketch",
     "SerializationError",
+    "ShardedReqSketch",
     "StreamLengthExceededError",
     "TumblingWindowMonitor",
     "__version__",

@@ -6,6 +6,7 @@ Subcommands::
     repro-quantiles run E1 [--scale default]   # run one experiment
     repro-quantiles report [--out FILE]        # run all, emit markdown
     repro-quantiles sketch FILE [--q 0.5 ...]  # sketch a numbers file
+    repro-quantiles sketch FILE --shards 8     # ... through the sharded plane
     repro-quantiles bounds --eps 0.01 --n 1e9  # print the space-bound table
 
 (Installed as ``repro-quantiles``; also runnable as ``python -m repro.cli``.)
@@ -64,6 +65,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast = numpy/C-accelerated float64 engine (default); "
         "reference = pure-Python generic engine",
     )
+    sketch_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="ingest through N parallel shards and query their merge_many "
+        "union (fast engine only; accuracy is unchanged by Theorem 3)",
+    )
+    sketch_parser.add_argument(
+        "--backend",
+        default="local",
+        choices=("local", "process"),
+        help="shard backend: local = same-process shards; process = a "
+        "worker pool shipping wire-format partial sketches (needs --shards > 1)",
+    )
 
     bounds_parser = sub.add_parser("bounds", help="print the Section 1.1 space-bound table")
     bounds_parser.add_argument("--eps", type=float, default=0.01)
@@ -99,8 +114,17 @@ def _cmd_report(scale: str, out: Optional[str]) -> int:
 
 
 def _cmd_sketch(
-    path: str, k: int, hra: bool, fractions: List[float], seed: int, engine: str = "fast"
+    path: str,
+    k: int,
+    hra: bool,
+    fractions: List[float],
+    seed: int,
+    engine: str = "fast",
+    shards: int = 1,
+    backend: str = "local",
 ) -> int:
+    from repro.errors import InvalidParameterError
+
     if path == "-":
         text = sys.stdin.read()
     else:
@@ -110,14 +134,34 @@ def _cmd_sketch(
     if not values:
         print("no numbers found", file=sys.stderr)
         return 1
-    if engine == "fast":
-        sketch = FastReqSketch(k, hra=hra, seed=seed)
+    if backend != "local" and shards <= 1:
+        raise InvalidParameterError(
+            "--backend process does nothing without --shards > 1"
+        )
+    if shards > 1:
+        if engine != "fast":
+            raise InvalidParameterError(
+                "--shards requires the fast engine (the sharded plane ships "
+                "FRQ1 wire payloads of FastReqSketch)"
+            )
+        from repro.shard import ShardedReqSketch
+
+        with ShardedReqSketch(
+            shards, k=k, hra=hra, seed=seed, backend=backend
+        ) as sharded:
+            sharded.update_many(values)
+            sketch = sharded.collect()
+        label = f"engine=fast, shards={shards}/{backend}"
     else:
-        sketch = ReqSketch(k, hra=hra, seed=seed)
-    sketch.update_many(values)
+        if engine == "fast":
+            sketch = FastReqSketch(k, hra=hra, seed=seed)
+        else:
+            sketch = ReqSketch(k, hra=hra, seed=seed)
+        sketch.update_many(values)
+        label = f"engine={engine}"
     table = Table(
         f"quantiles of {path} (n={sketch.n}, retained={sketch.num_retained}, "
-        f"{'HRA' if hra else 'LRA'}, k={k}, engine={engine})",
+        f"{'HRA' if hra else 'LRA'}, k={k}, {label})",
         ["fraction", "quantile", "rank_lower", "rank_upper"],
     )
     for q in fractions:
@@ -174,7 +218,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "report":
             return _cmd_report(args.scale, args.out)
         if args.command == "sketch":
-            return _cmd_sketch(args.file, args.k, args.hra, args.q, args.seed, args.engine)
+            return _cmd_sketch(
+                args.file,
+                args.k,
+                args.hra,
+                args.q,
+                args.seed,
+                args.engine,
+                args.shards,
+                args.backend,
+            )
         if args.command == "bounds":
             return _cmd_bounds(args.eps, args.n, args.delta, args.universe)
     except ReproError as exc:

@@ -145,6 +145,9 @@ class WeightedCoreset:
     @staticmethod
     def _as_query_array(queries: Sequence[Any]) -> Optional[np.ndarray]:
         """Queries as a lossless float64 array, or ``None`` to fall back."""
+        if isinstance(queries, np.ndarray) and queries.dtype == np.float64:
+            # Already the target dtype: no conversion, so no loss to check.
+            return queries if queries.ndim == 1 else None
         try:
             array = np.asarray(queries, dtype=np.float64)
         except (TypeError, ValueError):

@@ -7,7 +7,21 @@ Theorem 3 use case).  Arbitrary comparable Python items are supported via
 exists so that float streams — the overwhelmingly common case — do not pay
 pickle's overhead or its trust requirements on the receiving side.
 
-Layout (little-endian)::
+Two wire formats share this entry point, one per engine:
+
+* ``REQ1`` (this module; layout below) — the reference
+  :class:`~repro.core.req.ReqSketch`, all three parameter schemes.
+* ``FRQ1`` (:mod:`repro.fast.wire`) — the numpy
+  :class:`~repro.fast.FastReqSketch`, with zero-copy level decode.
+
+:func:`serialize` dispatches on the sketch type and :func:`deserialize` on
+the payload magic, so callers (the CLI, the monitor, the sharded
+aggregation plane) can persist either engine through one API.  Pass
+``deserialize(data, engine=...)`` to convert across engines on decode —
+e.g. a mixed fleet whose shards run the fast engine but whose aggregator
+wants the reference engine's generic API.
+
+``REQ1`` layout (little-endian)::
 
     magic    4s   b"REQ1"
     scheme   B    0=fixed 1=auto 2=theory
@@ -34,15 +48,15 @@ Layout (little-endian)::
 from __future__ import annotations
 
 import struct
-from typing import Any
+from typing import Any, Optional
 
 from repro.core.compactor import COIN_MODES, RelativeCompactor
 from repro.core.params import TheoryParams
 from repro.core.req import SCHEMES, ReqSketch
 from repro.core.schedule import CompactionSchedule
-from repro.errors import SerializationError
+from repro.errors import IncompatibleSketchesError, SerializationError
 
-__all__ = ["serialize", "deserialize", "MAGIC"]
+__all__ = ["serialize", "deserialize", "ENGINES", "MAGIC"]
 
 MAGIC = b"REQ1"
 
@@ -52,13 +66,19 @@ _PAIR = struct.Struct("<dd")
 _DOUBLE = struct.Struct("<d")
 
 
-def serialize(sketch: ReqSketch) -> bytes:
-    """Encode a float-item :class:`ReqSketch` into bytes.
+def serialize(sketch) -> bytes:
+    """Encode a sketch into bytes (``REQ1`` or ``FRQ1`` per its engine).
+
+    Accepts a float-item :class:`ReqSketch` or a
+    :class:`~repro.fast.FastReqSketch`.
 
     Raises:
         SerializationError: If any retained item is not a float/int (use
             ``pickle`` for sketches over arbitrary comparable items).
     """
+    to_bytes = getattr(sketch, "to_bytes", None)
+    if to_bytes is not None:  # fast engine: FRQ1 wire format
+        return to_bytes()
     flags = 0
     if sketch.n > 0:
         flags |= 1
@@ -111,17 +131,96 @@ def serialize(sketch: ReqSketch) -> bytes:
     return b"".join(parts)
 
 
-def deserialize(data: bytes) -> ReqSketch:
+#: Engines :func:`deserialize` can decode into (``None`` = match the payload).
+ENGINES = ("fast", "reference")
+
+
+def deserialize(data: bytes, *, engine: Optional[str] = None):
     """Decode bytes produced by :func:`serialize` back into a sketch.
 
-    The RNG is reinitialized unseeded: coin outcomes after deserialization
-    are fresh randomness, which is exactly the semantics the analysis needs
+    The payload magic selects the decoder (``REQ1`` → :class:`ReqSketch`,
+    ``FRQ1`` → :class:`~repro.fast.FastReqSketch`).  ``engine`` forces the
+    result type instead, converting across engines when it does not match
+    the payload:
+
+    * ``engine="fast"`` on a ``REQ1`` payload rebuilds the levels in the
+      fast engine (float items only; the ``theory`` scheme is rejected
+      because the fast engine has no parameter ladder).
+    * ``engine="reference"`` on an ``FRQ1`` payload rebuilds the levels as
+      reference compactors (``auto`` scheme, or ``fixed`` when the payload
+      carries an ``n_bound`` the stream still respects).
+
+    Conversion preserves the retained items, per-level schedule states and
+    insert counts exactly, so the merge guarantee class is unchanged.  The
+    RNG is reinitialized unseeded: coin outcomes after deserialization are
+    fresh randomness, which is exactly the semantics the analysis needs
     (independence across compactions).
     """
+    if engine is not None and engine not in ENGINES:
+        raise SerializationError(f"engine must be one of {ENGINES}, got {engine!r}")
+    from repro.fast.wire import MAGIC_FAST
+
+    if bytes(data[:4]) == MAGIC_FAST:
+        from repro.fast import FastReqSketch
+
+        fast = FastReqSketch.from_bytes(data)
+        if engine == "reference":
+            return _fast_to_reference(fast)
+        return fast
     try:
-        return _deserialize(data)
+        sketch = _deserialize(data)
     except (struct.error, IndexError, ValueError) as exc:
         raise SerializationError(f"malformed sketch bytes: {exc}") from exc
+    if engine == "fast":
+        return _reference_to_fast(sketch)
+    return sketch
+
+
+def _fast_to_reference(fast) -> ReqSketch:
+    """Rebuild a fast-engine sketch as a reference :class:`ReqSketch`.
+
+    Levels map one-to-one (items, schedule state, insert count).  The
+    scheme is ``fixed`` when the payload's ``n_bound`` is still honored,
+    else ``auto`` — both use the same section-size/capacity rule as the
+    fast engine, so future updates continue the same trajectory.
+    """
+    fast.flush()
+    if fast.n_bound is not None and fast.n <= fast.n_bound:
+        sketch = ReqSketch(fast.k, n_bound=fast.n_bound, hra=fast.hra)
+    else:
+        sketch = ReqSketch(fast.k, hra=fast.hra)
+    compactors = []
+    for level in fast._levels:
+        compactor = RelativeCompactor(sketch.k, hra=sketch.hra, rng=sketch._rng)
+        compactor._buffer = [float(item) for item in level.consolidate()]
+        compactor._sorted = True
+        compactor.schedule = CompactionSchedule(level.schedule.state)
+        compactor.inserted = level.inserted
+        compactors.append(compactor)
+    sketch._compactors = compactors
+    sketch._n = fast.n
+    if fast.n:
+        sketch._min = fast.min_item
+        sketch._max = fast.max_item
+    sketch._coreset = None
+    return sketch
+
+
+def _reference_to_fast(sketch: ReqSketch):
+    """Rebuild a reference sketch in the fast engine (float items only)."""
+    from repro.fast import FastReqSketch
+
+    if sketch.scheme == "theory":
+        raise SerializationError(
+            "theory-scheme payloads cannot decode into the fast engine "
+            "(it has no Appendix D parameter ladder); use engine='reference'"
+        )
+    fast = FastReqSketch(sketch.k, hra=sketch.hra, n_bound=sketch.n_bound)
+    try:
+        fast.merge(sketch)
+    except IncompatibleSketchesError as exc:
+        raise SerializationError(str(exc)) from exc
+    return fast
 
 
 def _deserialize(data: bytes) -> ReqSketch:

@@ -120,6 +120,15 @@ stage_drain(StageBuffer *self, PyObject *Py_UNUSED(ignored))
     return bytes;
 }
 
+/* Return the staged items as bytes without resetting the buffer.  Lets a
+ * merge snapshot a donor sketch's staged items without mutating it. */
+static PyObject *
+stage_peek(StageBuffer *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyBytes_FromStringAndSize(
+        (const char *)self->buf, self->count * (Py_ssize_t)sizeof(double));
+}
+
 static PyObject *
 stage_set_flush(StageBuffer *self, PyObject *cb)
 {
@@ -205,6 +214,8 @@ static PyMethodDef stage_methods[] = {
      "extend(buffer) — stage a contiguous float64 buffer (caller vets NaN)"},
     {"drain", (PyCFunction)stage_drain, METH_NOARGS,
      "drain() -> bytes — copy out the staged float64 block and reset"},
+    {"peek", (PyCFunction)stage_peek, METH_NOARGS,
+     "peek() -> bytes — copy out the staged float64 block without reset"},
     {"set_flush", (PyCFunction)stage_set_flush, METH_O,
      "set_flush(callable) — no-arg callback fired when the block fills"},
     {NULL}

@@ -40,6 +40,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.params import eps_for_streaming_k
+from repro.core.req import ReqSketch
 from repro.core.schedule import CompactionSchedule
 from repro.errors import (
     EmptySketchError,
@@ -59,6 +60,11 @@ _EMPTY_WEIGHTS = np.empty(0, dtype=np.int64)
 
 #: The C staging-buffer type, or None when no toolchain is available.
 _NativeStageBuffer = load_stage_buffer()
+
+
+def _sketch_from_wire(cls, payload: bytes):
+    """Unpickle helper: rebuild a sketch from its FRQ1 wire payload."""
+    return cls.from_bytes(payload)
 
 
 class _PyStageBuffer:
@@ -106,6 +112,9 @@ class _PyStageBuffer:
         block = self._buf[: self.count].tobytes()
         self.count = 0
         return block
+
+    def peek(self) -> bytes:
+        return self._buf[: self.count].tobytes()
 
 
 class _FastLevel:
@@ -392,39 +401,156 @@ class FastReqSketch:
     # Merging
     # ------------------------------------------------------------------
 
-    def merge(self, other: "FastReqSketch") -> "FastReqSketch":
-        """Merge another FastReqSketch (same k/hra); other is unchanged."""
-        if not isinstance(other, FastReqSketch):
-            raise IncompatibleSketchesError(
-                f"cannot merge FastReqSketch with {type(other).__name__}"
-            )
-        if other.k != self.k or other.hra != self.hra or other.n_bound != self.n_bound:
-            raise IncompatibleSketchesError("k/hra/n_bound parameters differ")
+    def merge(self, other) -> "FastReqSketch":
+        """Merge one sketch into this one; ``other`` is left unchanged.
+
+        Accepts another :class:`FastReqSketch` or a float-item reference
+        :class:`~repro.core.req.ReqSketch` with the same ``k``/``hra``
+        (mixed fleets aggregate through the same path).
+        """
+        return self.merge_many((other,))
+
+    def merge_many(self, sketches) -> "FastReqSketch":
+        """K-way merge: absorb every input with ONE compression pass.
+
+        Equivalent in guarantee class to a sequential pairwise fold (the
+        Appendix D merge analysis covers arbitrary merge trees, and
+        concatenating same-height buffers before compacting is exactly the
+        flat tree), but much faster: each input's level runs are appended
+        O(1), schedule states are OR-ed, and ``_compress`` runs once over
+        the combined structure instead of once per input.
+
+        The inputs are snapshotted first and never mutated — not even their
+        staging buffers are drained.  Returns ``self`` for chaining.
+
+        Raises:
+            IncompatibleSketchesError: If any input's compaction geometry
+                (``k``, ``hra``, ``n_bound``) differs, or a reference sketch
+                holds non-numeric items.
+        """
+        states = [self._donor_state(other) for other in sketches]
         self.flush()
-        snapshot = other._snapshot_levels()
-        other_n = other.n
-        while len(self._levels) < len(snapshot):
-            self._levels.append(_FastLevel())
-        for level, (items, state, inserted) in enumerate(snapshot):
-            ours = self._levels[level]
-            if items.size:
-                ours.add_run(items)  # already counts items.size into inserted
-            ours.inserted += inserted - items.size
-            ours.schedule.merge(CompactionSchedule(state))
-            ours.version += 1
-        self._n += other_n
-        if other_n:
-            self._min = min(self._min, other._min)
-            self._max = max(self._max, other._max)
-        self._compress()
+        total = 0
+        for levels, staged, other_n, other_min, other_max in states:
+            if other_n == 0:
+                continue
+            while len(self._levels) < len(levels):
+                self._levels.append(_FastLevel())
+            for height, (items, state, inserted) in enumerate(levels):
+                ours = self._levels[height]
+                if items.size:
+                    ours.add_run(items)  # already counts items.size into inserted
+                ours.inserted += inserted - items.size
+                ours.schedule.merge(CompactionSchedule(state))
+                ours.version += 1
+            if staged is not None and staged.size:
+                if not self._levels:
+                    self._levels.append(_FastLevel())
+                self._levels[0].add_run(staged)
+            total += other_n
+            self._min = min(self._min, other_min)
+            self._max = max(self._max, other_max)
+        self._n += total
+        if total:
+            self._compress()
         return self
 
-    def _snapshot_levels(self) -> List[Tuple[np.ndarray, int, int]]:
-        self.flush()
-        return [
+    def _donor_state(self, other):
+        """Validate one merge input and snapshot it without mutating it.
+
+        Returns ``(levels, staged_run, n, min, max)`` where ``levels`` is a
+        list of ``(sorted items, schedule state, inserted)`` per height and
+        ``staged_run`` is the donor's staged-but-unflushed scalars as a
+        sorted run (or ``None``).
+        """
+        if isinstance(other, FastReqSketch):
+            if other.k != self.k or other.hra != self.hra or other.n_bound != self.n_bound:
+                raise IncompatibleSketchesError("k/hra/n_bound parameters differ")
+            return other._merge_state()
+        if isinstance(other, ReqSketch):
+            if other.scheme == "theory":
+                raise IncompatibleSketchesError(
+                    "cannot merge a theory-scheme reference sketch into the "
+                    "fast engine (it has no Appendix D parameter ladder); "
+                    "convert the fast sketch to the reference engine instead"
+                )
+            if other.k != self.k or other.hra != self.hra:
+                raise IncompatibleSketchesError("k/hra parameters differ")
+            if other.n_bound != self.n_bound:
+                raise IncompatibleSketchesError("n_bound parameters differ")
+            levels = []
+            for compactor in other.compactors():
+                try:
+                    items = np.asarray(compactor.items(), dtype=np.float64)
+                except (TypeError, ValueError) as exc:
+                    raise IncompatibleSketchesError(
+                        "cannot merge a reference sketch holding non-numeric items "
+                        "into the float64 fast engine"
+                    ) from exc
+                levels.append((items, compactor.state, compactor.inserted))
+            if other.is_empty:
+                return levels, None, 0, math.inf, -math.inf
+            return levels, None, other.n, float(other.min_item), float(other.max_item)
+        raise IncompatibleSketchesError(
+            f"cannot merge FastReqSketch with {type(other).__name__}"
+        )
+
+    def _merge_state(self):
+        """Read-only snapshot for merging: levels + staged run + n/min/max.
+
+        Unlike a flush-then-copy, this leaves the sketch byte-for-byte
+        untouched: pending runs are consolidated (a representation change,
+        not a content change) and the staging block is *peeked*, not
+        drained, so the donor's future compaction trajectory is unchanged.
+        """
+        levels = [
             (level.consolidate().copy(), level.schedule.state, level.inserted)
             for level in self._levels
         ]
+        staged = None
+        minimum, maximum = self._min, self._max
+        if self._stage.count:
+            staged = np.sort(np.frombuffer(self._stage.peek(), dtype=np.float64))
+            minimum = min(minimum, float(staged[0]))
+            maximum = max(maximum, float(staged[-1]))
+        return levels, staged, self.n, minimum, maximum
+
+    # ------------------------------------------------------------------
+    # Serialization (wire format; see repro.fast.wire)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Encode into the compact ``FRQ1`` wire format.
+
+        Staged scalars are flushed first (same visibility rule as a query),
+        so encoding may advance the level structure; the summarized multiset
+        is unchanged.  See :mod:`repro.fast.wire` for the layout.
+        """
+        from repro.fast.wire import to_bytes
+
+        return to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data) -> "FastReqSketch":
+        """Decode a ``FRQ1`` payload; level arrays are zero-copy views.
+
+        The RNG is reinitialized unseeded (fresh coin randomness, which is
+        what the analysis needs).  Raises
+        :class:`~repro.errors.SerializationError` on malformed input.
+        """
+        from repro.fast.wire import from_bytes
+
+        return from_bytes(data, cls)
+
+    def __reduce__(self):
+        """Pickle/deepcopy via the wire format.
+
+        The staging block and RNG are process-local (the staging buffer is
+        a C object), so pickling ships the FRQ1 payload: staged items are
+        flushed into it and the copy wakes with fresh coin randomness —
+        the same semantics as :meth:`from_bytes`.
+        """
+        return (_sketch_from_wire, (type(self), self.to_bytes()))
 
     # ------------------------------------------------------------------
     # Queries (vectorized, incrementally cached)

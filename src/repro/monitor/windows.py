@@ -16,7 +16,8 @@ timestamps to window indices the same way):
 * ``record_many(values)`` feeds a batch, split across window boundaries and
   ingested through the sketch's vectorized batch path;
 * ``horizon(last=m)`` returns one merged sketch over the last ``m``
-  windows — a pure merge, the inputs are untouched;
+  windows — a pure k-way ``merge_many`` on the fast engine (one snapshot +
+  one compression pass over all windows), the inputs are untouched;
 * ``percentile_series(q)`` gives the per-window trend of a percentile;
 * ``tail_shift(q)`` compares the newest closed window against the
   preceding baseline for alert-style regression detection.
@@ -31,6 +32,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import EmptySketchError, InvalidParameterError
 from repro.fast import FastReqSketch
@@ -115,8 +118,10 @@ class TumblingWindowMonitor:
         The batch is split at window boundaries and each piece goes through
         the sketch's ``update_many`` (the vectorized path on the fast
         engine), rolling windows exactly as per-item :meth:`record` would.
+        numpy arrays are chunked as views — no per-item boxing.
         """
-        values = list(values)
+        if not isinstance(values, np.ndarray):
+            values = list(values)
         position = 0
         total = len(values)
         while position < total:
@@ -160,6 +165,22 @@ class TumblingWindowMonitor:
     # Queries
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _merge_all(target: Any, sources: List[Any]) -> Any:
+        """Union ``sources`` into ``target`` — k-way when the engine has it.
+
+        The fast engine's ``merge_many`` snapshots every window once and
+        compresses once; generic sketch factories without it fall back to
+        the pairwise fold.  Either way the windows are left unchanged.
+        """
+        merge_many = getattr(target, "merge_many", None)
+        if merge_many is not None:
+            merge_many(sources)
+        else:
+            for sketch in sources:
+                target.merge(sketch)
+        return target
+
     def horizon(self, last: Optional[int] = None, *, include_open: bool = True) -> Any:
         """One merged sketch over the most recent windows (pure merge).
 
@@ -176,11 +197,11 @@ class TumblingWindowMonitor:
             if last < 0:
                 raise InvalidParameterError(f"last must be >= 0, got {last}")
             selected = selected[-last:] if last else []
-        merged = self._factory(None if self._seed is None else self._seed - 1)
-        for snapshot in selected:
-            merged.merge(snapshot.sketch)
+        sources = [snapshot.sketch for snapshot in selected]
         if include_open and self._active.n:
-            merged.merge(self._active)
+            sources.append(self._active)
+        merged = self._factory(None if self._seed is None else self._seed - 1)
+        self._merge_all(merged, sources)
         if merged.is_empty:
             raise EmptySketchError("horizon over empty windows")
         return merged
@@ -200,8 +221,10 @@ class TumblingWindowMonitor:
             return None
         newest = self._windows[-1]
         reference = self._factory(None if self._seed is None else self._seed - 2)
-        for snapshot in list(self._windows)[-(baseline + 1) : -1]:
-            reference.merge(snapshot.sketch)
+        self._merge_all(
+            reference,
+            [snapshot.sketch for snapshot in list(self._windows)[-(baseline + 1) : -1]],
+        )
         base_value = reference.quantile(q)
         if base_value == 0:
             return None

@@ -41,9 +41,10 @@ class TestBenchSmoke:
     def test_collect_measurements_structure(self, bench_module):
         results = bench_module.collect_measurements(smoke=True, repeats=1)
         assert set(results) == {"fast", "reference"}
-        for ops in results.values():
-            assert set(ops) == set(bench_module.TRACKED_OPS)
+        for engine, ops in results.items():
+            assert set(ops) == set(bench_module.ENGINE_OPS[engine])
             assert all(value > 0 for value in ops.values())
+        assert set(results["fast"]) == set(bench_module.TRACKED_OPS)
 
     def test_emitter_tracks_baseline_across_runs(self, bench_module, tmp_path):
         out = tmp_path / "BENCH_throughput.json"
@@ -75,9 +76,14 @@ class TestBenchSmoke:
         assert report["baseline"] == report["current"]
 
     def test_committed_report_meets_speedup_floors(self):
-        """The tracked BENCH_throughput.json must show the PR's headline wins."""
+        """The tracked BENCH_throughput.json must show the PRs' headline wins."""
         committed = BENCH_DIR.parent / "BENCH_throughput.json"
         report = json.loads(committed.read_text())
         speedups = report["speedup_vs_baseline"]["fast"]
         assert speedups["update"] >= 5.0
         assert speedups["update_many"] >= 3.0
+        # PR 2: the k-way aggregation plane must beat the pairwise fold 2x,
+        # and the new plane rows must be tracked.
+        assert report["merge_many_vs_pairwise"] >= 2.0
+        for op in ("serde", "merge_many", "merge_fold16", "sharded_ingest"):
+            assert report["current"]["fast"][op] > 0

@@ -58,6 +58,28 @@ class TestCommands:
         assert main(["sketch", "-"]) == 0
         assert "n=5" in capsys.readouterr().out
 
+    def test_sketch_sharded(self, tmp_path, capsys):
+        path = tmp_path / "numbers.txt"
+        path.write_text(" ".join(str(i) for i in range(2000)))
+        assert main(["sketch", str(path), "--shards", "4", "--q", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "n=2000" in out
+        assert "shards=4/local" in out
+
+    def test_sketch_sharded_requires_fast_engine(self, tmp_path, capsys):
+        path = tmp_path / "numbers.txt"
+        path.write_text("1 2 3")
+        assert (
+            main(["sketch", str(path), "--shards", "4", "--engine", "reference"]) == 2
+        )
+        assert "fast engine" in capsys.readouterr().err
+
+    def test_sketch_process_backend_requires_shards(self, tmp_path, capsys):
+        path = tmp_path / "numbers.txt"
+        path.write_text("1 2 3")
+        assert main(["sketch", str(path), "--backend", "process"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
     def test_report_to_file(self, tmp_path, capsys):
         out_file = tmp_path / "report.md"
         # report runs ALL experiments; smoke scale keeps it quick but this
