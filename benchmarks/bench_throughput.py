@@ -22,6 +22,12 @@ Two entry points share one workload definition:
   ``--check``).  ``serde`` counts wire-format round-trips/sec and
   ``sharded_ingest`` the ShardedReqSketch local-backend ingest rate.
 
+  Service-plane row: ``service_ingest`` measures end-to-end socket
+  ingestion — a real asyncio :class:`~repro.service.QuantileServer` on
+  localhost (in-memory, no WAL), a sync :class:`QuantileClient` shipping
+  the batch workload in 4096-value frames across 8 keys.  It prices the
+  full path: framing + TCP + event loop + ``update_many`` per frame.
+
 Set ``BENCH_SMOKE=1`` (see ``benchmarks/conftest.py``) to shrink every
 workload so the whole file runs in seconds — used by the tier-1 smoke test.
 """
@@ -228,6 +234,28 @@ def test_sharded_local_ingest(benchmark):
     assert sharded.n == UPDATE_BATCH
 
 
+def test_service_socket_ingest(benchmark):
+    """End-to-end quantile-service ingest over a localhost socket."""
+    import numpy as np
+
+    from repro.service import QuantileClient, QuantileService, ServerThread
+
+    service = QuantileService(None)
+    array = np.asarray(DATA)
+    epoch = [0]
+
+    def run():
+        epoch[0] += 1
+        with QuantileClient(port=running.port) as client:
+            for start in range(0, UPDATE_BATCH, 4096):
+                client.ingest(f"bench/{epoch[0]}", array[start : start + 4096])
+        return service
+
+    with ServerThread(service) as running:
+        benchmark.pedantic(run, rounds=3, iterations=1)
+        assert service.store.get(f"bench/{epoch[0]}").n == UPDATE_BATCH
+
+
 def test_serialize_throughput(benchmark):
     sketch = ReqSketch(32, seed=2)
     sketch.update_many(DATA)
@@ -257,6 +285,7 @@ TRACKED_OPS = (
     "merge_many",
     "merge_fold16",
     "sharded_ingest",
+    "service_ingest",
 )
 
 #: Which tracked ops each engine measures (the reference engine has no
@@ -425,7 +454,50 @@ def measure_engine(name: str, *, smoke: bool = False, repeats: int = 3) -> Dict[
 
         ops["merge_fold16"] = _best_ops_per_sec(run_merge_fold, repeats=repeats)
         ops["sharded_ingest"] = _best_ops_per_sec(run_sharded, repeats=repeats)
+        ops["service_ingest"] = _measure_service_ingest(batch_data, repeats=repeats)
     return ops
+
+
+#: ``service_ingest`` frame size (values per INGEST request).
+SERVICE_FRAME = 4096
+#: ``service_ingest`` spreads the workload over this many keys.
+SERVICE_KEYS = 8
+
+
+def _measure_service_ingest(batch_data, *, repeats: int) -> float:
+    """End-to-end socket ingest: asyncio server + sync client on localhost.
+
+    One in-memory server (no WAL — this row prices the network/protocol
+    path, not fsync) serves all repeats; each repeat streams the batch
+    workload in ``SERVICE_FRAME``-value frames round-robin across
+    ``SERVICE_KEYS`` keys, under fresh key names so every repeat ingests
+    into empty sketches like the other rows do.
+    """
+    import numpy as np
+
+    from repro.service import QuantileClient, QuantileService, ServerThread
+
+    batch_n = len(batch_data)
+    frames = [
+        np.ascontiguousarray(batch_data[start : start + SERVICE_FRAME])
+        for start in range(0, batch_n, SERVICE_FRAME)
+    ]
+    epoch = [0]
+
+    with ServerThread(QuantileService(None)) as running:
+
+        def run_ingest() -> int:
+            epoch[0] += 1
+            with QuantileClient(port=running.port) as client:
+                total = 0
+                for index, frame in enumerate(frames):
+                    key = f"bench/{epoch[0]}/{index % SERVICE_KEYS}"
+                    client.ingest(key, frame)
+                    total += len(frame)
+                assert total == batch_n
+            return batch_n
+
+        return _best_ops_per_sec(run_ingest, repeats=repeats)
 
 
 def collect_measurements(*, smoke: bool = False, repeats: int = 3) -> Dict[str, Dict[str, float]]:

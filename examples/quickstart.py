@@ -130,6 +130,37 @@ def main() -> None:
     print(f"wire-format round trip: n={revived.n:,}, "
           f"{len(payloads)} payloads, {sum(map(len, payloads)):,} bytes total")
 
+    # ------------------------------------------------------------------
+    # The service plane: serve quantiles to many clients over TCP
+    # ------------------------------------------------------------------
+    # `repro-quantiles serve --port 7379 --data-dir ./qdata` runs this as
+    # a standalone process; here ServerThread hosts the same server
+    # in-process on a free port to show the client API.  Each key is its
+    # own sketch (tenants, metrics, windows...), created lazily on first
+    # ingest.  With a --data-dir every batch is WAL-logged and
+    # periodically snapshotted, so a restarted server answers
+    # identically; with a --memory-budget cold keys spill to disk and
+    # reload on demand.
+    from repro.service import QuantileClient, QuantileService, ServerThread
+
+    with ServerThread(QuantileService(None, k=32)) as running:
+        with QuantileClient(port=running.port) as client:
+            # One INGEST frame per batch -> one update_many on the server.
+            for tenant in ("acme", "globex"):
+                client.ingest(f"{tenant}/latency", stream[:50_000])
+            result = client.query("acme/latency", [0.5, 0.99])
+            print(f"\nservice p50/p99      : {result.quantiles[0]:.5f} / "
+                  f"{result.quantiles[1]:.5f} (n={result.n:,}, "
+                  f"eps={result.error_bound:.3f})")
+            # MERGE ships an edge-built sketch's FRQ1 payload for server-
+            # side union — the distributed pattern over the service
+            # protocol.
+            client.merge("acme/latency", fast)
+            print(f"after MERGE          : n={client.query('acme/latency', [0.5]).n:,}")
+            stats = client.stats()
+            print(f"server stats         : {stats['keys']} keys, "
+                  f"{stats['ingested_values']:,} values ingested")
+
 
 if __name__ == "__main__":
     main()

@@ -1,11 +1,34 @@
-"""Legacy setup shim.
+"""Packaging for the ``repro`` reproduction of Relative Error Streaming Quantiles.
 
 The execution environment is offline and has setuptools but not ``wheel``,
-so PEP 517/660 editable installs cannot build.  This shim lets
-``pip install -e .`` fall back to the classic ``setup.py develop`` path.
-All metadata lives in pyproject.toml.
+so PEP 517/660 editable installs cannot build; this classic ``setup.py``
+keeps ``pip install -e .`` working through the ``setup.py develop`` path.
+
+The version is single-sourced from ``src/repro/_version.py`` (read with a
+regex so packaging never imports the package or its dependencies).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_VERSION_FILE = Path(__file__).resolve().parent / "src" / "repro" / "_version.py"
+_MATCH = re.search(r'__version__\s*=\s*"([^"]+)"', _VERSION_FILE.read_text(encoding="utf-8"))
+if _MATCH is None:
+    raise RuntimeError(f"no __version__ in {_VERSION_FILE}")
+
+setup(
+    name="repro-quantiles",
+    version=_MATCH.group(1),
+    description=(
+        "Reproduction of 'Relative Error Streaming Quantiles' (PODS 2021): "
+        "REQ sketches, a numpy/C fast engine, sharded aggregation, and a "
+        "durable asyncio quantile service"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro-quantiles=repro.cli:main"]},
+)

@@ -86,10 +86,33 @@ demand — see :class:`~repro.monitor.TumblingWindowMonitor`), or for
 aggregator).  Never for accuracy — the merged union is in the same error
 class either way, which is exactly the paper's mergeability theorem.
 
+The service plane
+=================
+
+:mod:`repro.service` turns the library into a runnable system: a
+multi-tenant keyed store of fast-engine sketches with LRU spill-to-disk,
+durable state (per-key ``FRQ1`` snapshots plus an append-only batch WAL
+with replay-on-recovery), and an asyncio TCP server speaking a compact
+length-prefixed binary protocol, with matching sync and async clients::
+
+    repro-quantiles serve --port 7379 --data-dir ./qdata
+
+    from repro.service import QuantileClient
+    with QuantileClient(port=7379) as client:
+        client.ingest("tenant-a/latency", latencies)   # one update_many
+        p50, p99 = client.query("tenant-a/latency", [0.5, 0.99]).quantiles
+
+Ingest batches append to the WAL before touching the store, so a killed
+server replays to the exact same sketches; cold keys spill to snapshot
+files and reload transparently; hot keys can be promoted onto a sharded
+backing plane.  The service imports lazily — ``import repro`` does not pay
+for it.
+
 See README.md for the architecture overview and DESIGN.md for the paper-to-
 module map.
 """
 
+from repro._version import __version__
 from repro.core import (
     CloseOutReqSketch,
     DeterministicReqSketch,
@@ -108,10 +131,9 @@ from repro.errors import (
     InvalidParameterError,
     ReproError,
     SerializationError,
+    ServiceError,
     StreamLengthExceededError,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "CloseOutReqSketch",
@@ -124,6 +146,7 @@ __all__ = [
     "ReproError",
     "ReqSketch",
     "SerializationError",
+    "ServiceError",
     "ShardedReqSketch",
     "StreamLengthExceededError",
     "TumblingWindowMonitor",

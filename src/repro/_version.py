@@ -1,0 +1,8 @@
+"""Single source of truth for the package version.
+
+Read by ``repro/__init__.py`` (as ``repro.__version__``), by ``setup.py``
+(via a regex, so packaging needs no import), and by the CLI's ``version``
+command.  Bump it here and nowhere else.
+"""
+
+__version__ = "1.1.0"

@@ -8,6 +8,9 @@ Subcommands::
     repro-quantiles sketch FILE [--q 0.5 ...]  # sketch a numbers file
     repro-quantiles sketch FILE --shards 8     # ... through the sharded plane
     repro-quantiles bounds --eps 0.01 --n 1e9  # print the space-bound table
+    repro-quantiles serve --data-dir ./qdata   # run the quantile service
+    repro-quantiles query KEY --q 0.5 0.99     # query a running service
+    repro-quantiles version                    # print the package version
 
 (Installed as ``repro-quantiles``; also runnable as ``python -m repro.cli``.)
 """
@@ -18,6 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro._version import __version__
 from repro.core import ReqSketch
 from repro.errors import ReproError
 from repro.fast import FastReqSketch
@@ -85,6 +89,73 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_parser.add_argument("--n", type=float, default=1e9)
     bounds_parser.add_argument("--delta", type=float, default=0.05)
     bounds_parser.add_argument("--universe", type=float, default=2**64)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the asyncio quantile service (multi-tenant keyed store)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7379)
+    serve_parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="durability root (WAL + snapshots); omit for a pure in-memory service",
+    )
+    serve_parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        help="retained-item cap across resident sketches; LRU keys past it "
+        "spill to the snapshot files (requires --data-dir)",
+    )
+    serve_parser.add_argument("--k", type=int, default=32, help="section size (even)")
+    serve_parser.add_argument("--hra", action="store_true", help="high-rank-accuracy mode")
+    serve_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base RNG seed; per-key seeds derive from it, making WAL replay "
+        "bit-exact (pass a negative value for fresh randomness)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=30.0,
+        help="seconds between periodic checkpoints (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--hot-key-items",
+        type=int,
+        default=None,
+        help="promote keys past this ingest count to a sharded backing plane",
+    )
+    serve_parser.add_argument("--hot-shards", type=int, default=4)
+    serve_parser.add_argument(
+        "--fsync", action="store_true", help="fsync the WAL per append (power-loss durability)"
+    )
+
+    query_parser = sub.add_parser("query", help="query a running quantile service")
+    query_parser.add_argument(
+        "key", nargs="?", default=None, help="tenant/metric key (omit with --stats)"
+    )
+    query_parser.add_argument("--host", default="127.0.0.1")
+    query_parser.add_argument("--port", type=int, default=7379)
+    query_parser.add_argument(
+        "--q",
+        type=float,
+        nargs="*",
+        default=[0.5, 0.9, 0.99, 0.999],
+        help="quantile fractions to report",
+    )
+    query_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print server (or per-key) stats JSON instead of quantiles",
+    )
+    query_parser.add_argument(
+        "--snapshot", action="store_true", help="force a checkpoint before anything else"
+    )
+
+    sub.add_parser("version", help="print the package version")
     return parser
 
 
@@ -206,11 +277,63 @@ def _cmd_bounds(eps: float, n: float, delta: float, universe: float) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import run_server
+
+    return run_server(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        k=args.k,
+        hra=args.hra,
+        seed=None if args.seed < 0 else args.seed,
+        memory_budget=args.memory_budget,
+        hot_key_items=args.hot_key_items,
+        hot_shards=args.hot_shards,
+        snapshot_interval=args.snapshot_interval or None,
+        fsync=args.fsync,
+    )
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.errors import InvalidParameterError
+    from repro.service import QuantileClient
+
+    if args.key is None and not args.stats:
+        raise InvalidParameterError("pass a key to query, or --stats for server stats")
+    with QuantileClient(args.host, args.port) as client:
+        if args.snapshot:
+            written = client.snapshot()
+            print(f"checkpointed {written} keys")
+        if args.stats:
+            print(json.dumps(client.stats(args.key), indent=2, sort_keys=True))
+            return 0
+        result = client.query(args.key, args.q)
+        table = Table(
+            f"quantiles of {args.key!r} at {args.host}:{args.port} "
+            f"(n={result.n:,}, eps={result.error_bound:.4f})",
+            ["fraction", "quantile"],
+        )
+        for q, value in zip(args.q, result.quantiles):
+            table.add_row(q, float(value))
+        table.print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if args.command == "version":
+            print(f"repro-quantiles {__version__}")
+            return 0
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "query":
+            return _cmd_query(args)
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
@@ -230,7 +353,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.command == "bounds":
             return _cmd_bounds(args.eps, args.n, args.delta, args.universe)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
+        # OSError covers the service commands' transport failures too:
+        # connection refused/reset, EADDRINUSE from serve, DNS errors.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0

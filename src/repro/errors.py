@@ -15,6 +15,7 @@ __all__ = [
     "IncompatibleSketchesError",
     "InvalidParameterError",
     "SerializationError",
+    "ServiceError",
 ]
 
 
@@ -51,3 +52,13 @@ class InvalidParameterError(ReproError, ValueError):
 
 class SerializationError(ReproError):
     """Raised when a byte string cannot be decoded into a sketch."""
+
+
+class ServiceError(ReproError):
+    """Raised by the quantile service plane (:mod:`repro.service`).
+
+    Covers protocol violations (malformed or oversized frames, unknown
+    opcodes), server-reported request failures surfaced by the clients, and
+    durable-state problems (a corrupt snapshot, a write-ahead log that
+    cannot be appended to).
+    """

@@ -36,13 +36,22 @@ produce a quietly-wrong sketch.
 from __future__ import annotations
 
 import struct
+from typing import NamedTuple, Optional
 
 import numpy as np
 
 from repro.core.schedule import CompactionSchedule
 from repro.errors import InvalidParameterError, SerializationError
 
-__all__ = ["MAGIC_FAST", "WIRE_VERSION", "to_bytes", "from_bytes"]
+__all__ = [
+    "MAGIC_FAST",
+    "WIRE_VERSION",
+    "WireSummary",
+    "to_bytes",
+    "from_bytes",
+    "peek_header",
+    "retained_in_payload",
+]
 
 MAGIC_FAST = b"FRQ1"
 WIRE_VERSION = 1
@@ -55,6 +64,70 @@ _LEVEL_HEAD = struct.Struct("<QQQ")
 #: Decoded-but-unvalidated wire doubles; "<f8" pins the byte order so the
 #: format (not the host) defines endianness.
 _WIRE_DTYPE = np.dtype("<f8")
+
+
+class WireSummary(NamedTuple):
+    """The ``FRQ1`` header fields, decoded without touching the level data.
+
+    ``min_item``/``max_item`` are meaningful only when ``n > 0`` (the
+    encoder writes zeros for an empty sketch).
+    """
+
+    k: int
+    hra: bool
+    n: int
+    n_bound: int
+    min_item: float
+    max_item: float
+    num_levels: int
+
+
+def peek_header(data) -> WireSummary:
+    """Read an ``FRQ1`` payload's header without decoding its levels.
+
+    The service plane's snapshot/spill files hold these payloads; stats and
+    memory accounting over keys that are not resident need ``n`` and the
+    sketch geometry but must not pay the full decode (or pin the payload's
+    level memory).  Validates only the magic and version — a payload that
+    passes here can still fail :func:`from_bytes`'s deep checks.
+
+    Raises:
+        SerializationError: On a bad magic, unknown version, or a payload
+            shorter than the fixed header.
+    """
+    if bytes(data[:4]) != MAGIC_FAST:
+        raise SerializationError(f"bad magic {bytes(data[:4])!r}; expected {MAGIC_FAST!r}")
+    try:
+        (
+            _magic,
+            version,
+            flags,
+            _reserved,
+            k,
+            n,
+            n_bound,
+            minimum,
+            maximum,
+            num_levels,
+        ) = _HEADER.unpack_from(data, 0)
+    except struct.error as exc:
+        raise SerializationError(f"truncated header: {exc}") from exc
+    if version != WIRE_VERSION:
+        raise SerializationError(f"unsupported wire version {version}")
+    return WireSummary(k, bool(flags & _FLAG_HRA), n, n_bound, minimum, maximum, num_levels)
+
+
+def retained_in_payload(data, header: Optional[WireSummary] = None) -> int:
+    """Retained-item count of an ``FRQ1`` payload, from its size alone.
+
+    The layout is fixed-overhead (header + one level head per level +
+    8 bytes per item), so the count needs no level decode.  Lives here so
+    the arithmetic tracks the struct definitions it depends on.
+    """
+    if header is None:
+        header = peek_header(data)
+    items_bytes = len(data) - _HEADER.size - _LEVEL_HEAD.size * header.num_levels
+    return max(0, items_bytes // _WIRE_DTYPE.itemsize)
 
 
 def to_bytes(sketch) -> bytes:

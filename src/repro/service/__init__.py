@@ -1,0 +1,57 @@
+"""The quantile service plane: a network-fronted, durable sketch store.
+
+PRs 1-2 built the fast engine and the sharded aggregation plane; this
+package turns the library into a runnable multi-tenant service.  What the
+paper contributes is exactly what makes this shape viable: per-key REQ
+summaries are tiny (``O(k log(n/k))`` items for relative-error rank
+guarantees), *fully mergeable* in arbitrary trees (Theorem 3), and travel
+as compact ``FRQ1`` payloads — so one process can front millions of keys,
+evict cold ones to disk for the cost of a few KiB each, and union edge
+sketches shipped over the wire without losing accuracy.
+
+Layers (bottom up):
+
+* :class:`SketchStore` (:mod:`repro.service.store`) — tenant/metric keys
+  to :class:`~repro.fast.FastReqSketch`, lazy creation, incremental
+  retained-item accounting, LRU spill-to-disk, optional hot-key promotion
+  to :class:`~repro.shard.ShardedReqSketch`.
+* :mod:`repro.service.persistence` — per-key ``FRQ1`` snapshots plus an
+  append-only CRC-guarded batch WAL; replay-on-recovery reconstructs
+  every key after a crash (bit-exact for WAL-replayed keys, thanks to
+  deterministic per-key seeds).
+* :class:`QuantileService` / :class:`QuantileServer`
+  (:mod:`repro.service.server`) — the durable core and its asyncio TCP
+  front speaking the length-prefixed binary protocol of
+  :mod:`repro.service.protocol` (``INGEST``/``QUERY``/``CDF``/``MERGE``/
+  ``STATS``/``SNAPSHOT``/``PING``).
+* :class:`QuantileClient` / :class:`AsyncQuantileClient`
+  (:mod:`repro.service.client`) — sync and asyncio clients with per-key
+  client-side batching.
+
+Run it::
+
+    repro-quantiles serve --port 7379 --data-dir ./qdata --memory-budget 2000000
+    repro-quantiles query p99s --host 127.0.0.1 --q 0.5 0.99
+
+or in-process::
+
+    from repro.service import QuantileService, QuantileServer, QuantileClient
+"""
+
+from repro.service.client import AsyncQuantileClient, QuantileClient, QueryResult
+from repro.service.persistence import SnapshotStore, WriteAheadLog
+from repro.service.server import QuantileServer, QuantileService, ServerThread, run_server
+from repro.service.store import SketchStore
+
+__all__ = [
+    "AsyncQuantileClient",
+    "QuantileClient",
+    "QuantileServer",
+    "QuantileService",
+    "QueryResult",
+    "ServerThread",
+    "SketchStore",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "run_server",
+]

@@ -1,0 +1,326 @@
+"""Clients for the quantile service (sync sockets and asyncio).
+
+Both clients speak the framed protocol of :mod:`repro.service.protocol`
+and expose the same surface: ``ingest`` ships a batch straight into the
+server's ``update_many`` path, ``ingest_one`` buffers scalars per key and
+auto-flushes full batches (batching is THE lever for socket throughput —
+one frame per value would spend everything on framing), ``query``/``cdf``
+read quantiles, ``merge`` ships a locally built sketch's ``FRQ1`` payload
+for server-side union (the distributed-edge pattern), and ``stats`` /
+``snapshot`` / ``ping`` cover operations.
+
+Error handling: a non-OK response status raises
+:class:`~repro.errors.ServiceError` carrying the server's message (and a
+``status`` attribute); transport failures surface as the usual
+``ConnectionError`` family.
+
+Example::
+
+    from repro.service import QuantileClient
+
+    with QuantileClient(port=7379) as client:
+        client.ingest("tenant-a/latency", latencies)
+        result = client.query("tenant-a/latency", [0.5, 0.99])
+        p99 = result.quantiles[1]
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+import numpy as np
+
+from repro.service import protocol as wire
+
+__all__ = ["QueryResult", "QuantileClient", "AsyncQuantileClient"]
+
+#: ``ingest_one`` flushes a key's buffer at this many staged values.
+DEFAULT_BATCH = 8192
+
+
+class QueryResult(NamedTuple):
+    """One QUERY/CDF answer: stream length, a-priori eps, and the values."""
+
+    n: int
+    error_bound: float
+    quantiles: np.ndarray
+
+
+def _decode_query_response(payload: bytes) -> QueryResult:
+    n, offset = wire.unpack_n(payload, 0)
+    eps = float(np.frombuffer(payload, dtype="<f8", count=1, offset=offset)[0])
+    values, _ = wire.unpack_values(payload, offset + 8)
+    return QueryResult(n, eps, values)
+
+
+class _RequestEncoder:
+    """Request-body builders shared by both clients."""
+
+    @staticmethod
+    def ingest(key: str, values) -> bytes:
+        return bytes([wire.OP_INGEST]) + wire.pack_key(key) + wire.pack_values(values)
+
+    @staticmethod
+    def query(key: str, fractions) -> bytes:
+        return bytes([wire.OP_QUERY]) + wire.pack_key(key) + wire.pack_values(fractions)
+
+    @staticmethod
+    def cdf(key: str, points) -> bytes:
+        return bytes([wire.OP_CDF]) + wire.pack_key(key) + wire.pack_values(points)
+
+    @staticmethod
+    def merge(key: str, payload: bytes) -> bytes:
+        return bytes([wire.OP_MERGE]) + wire.pack_key(key) + wire.pack_blob(payload)
+
+    @staticmethod
+    def stats(key: Optional[str]) -> bytes:
+        return bytes([wire.OP_STATS]) + wire.pack_key(key or "")
+
+    @staticmethod
+    def snapshot() -> bytes:
+        return bytes([wire.OP_SNAPSHOT])
+
+    @staticmethod
+    def ping() -> bytes:
+        return bytes([wire.OP_PING])
+
+
+def _merge_payload(sketch_or_bytes) -> bytes:
+    if isinstance(sketch_or_bytes, (bytes, bytearray, memoryview)):
+        return bytes(sketch_or_bytes)
+    return sketch_or_bytes.to_bytes()
+
+
+class QuantileClient:
+    """Blocking client over one TCP connection.
+
+    Args:
+        host, port: Server address.
+        batch_size: ``ingest_one`` buffer size per key.
+        timeout: Socket timeout in seconds (``None`` = block forever).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7379,
+        *,
+        batch_size: int = DEFAULT_BATCH,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.batch_size = batch_size
+        self._buffers: Dict[str, List[float]] = {}
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def _request(self, body: bytes) -> bytes:
+        self._sock.sendall(wire.encode_frame(body))
+        return wire.raise_for_status(wire.read_frame_sync(self._sock))
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest(self, key: str, values) -> int:
+        """Ship one batch; returns the key's total ``n`` on the server."""
+        payload = self._request(_RequestEncoder.ingest(key, values))
+        n, _ = wire.unpack_n(payload, 0)
+        return n
+
+    def ingest_one(self, key: str, value: float) -> None:
+        """Buffer one value; a full buffer ships as a single batch."""
+        buffer = self._buffers.setdefault(key, [])
+        buffer.append(float(value))
+        if len(buffer) >= self.batch_size:
+            del self._buffers[key]
+            self.ingest(key, buffer)
+
+    def flush(self) -> None:
+        """Ship every buffered ``ingest_one`` value.
+
+        Each key's buffer is detached only once its batch is accepted; on
+        a failure the failing key's values are re-attached and the rest
+        stay buffered, so nothing is silently lost and the caller can
+        retry.
+        """
+        for key in list(self._buffers):
+            values = self._buffers.pop(key)
+            if not values:
+                continue
+            try:
+                self.ingest(key, values)
+            except BaseException:
+                self._buffers[key] = values
+                raise
+
+    def merge(self, key: str, sketch_or_bytes) -> int:
+        """Union a local sketch (or its ``FRQ1`` payload) into a server key."""
+        payload = self._request(_RequestEncoder.merge(key, _merge_payload(sketch_or_bytes)))
+        n, _ = wire.unpack_n(payload, 0)
+        return n
+
+    # -- queries -------------------------------------------------------
+
+    def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
+        return _decode_query_response(self._request(_RequestEncoder.query(key, fractions)))
+
+    def quantile(self, key: str, q: float) -> float:
+        return float(self.query(key, [q]).quantiles[0])
+
+    def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
+        return _decode_query_response(self._request(_RequestEncoder.cdf(key, split_points)))
+
+    # -- operations ----------------------------------------------------
+
+    def stats(self, key: Optional[str] = None) -> dict:
+        import json
+
+        blob, _ = wire.unpack_blob(self._request(_RequestEncoder.stats(key)), 0)
+        return json.loads(blob.decode("utf-8"))
+
+    def snapshot(self) -> int:
+        """Force a full checkpoint; returns the number of keys written."""
+        payload = self._request(_RequestEncoder.snapshot())
+        return int.from_bytes(payload[:4], "little")
+
+    def ping(self) -> str:
+        """Server liveness + version string."""
+        blob, _ = wire.unpack_blob(self._request(_RequestEncoder.ping()), 0)
+        return blob.decode("utf-8")
+
+    def close(self) -> None:
+        try:
+            self.flush()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "QuantileClient":
+        return self
+
+    def __exit__(self, exc_type, *exc_info) -> None:
+        if exc_type is not None:
+            # The connection may be mid-frame; don't try to flush over it.
+            self._buffers = {}
+        self.close()
+
+
+class AsyncQuantileClient:
+    """Asyncio client over one TCP connection (same surface, ``await``-ed).
+
+    Construct then ``await connect()``, or use it as an async context
+    manager::
+
+        async with AsyncQuantileClient(port=7379) as client:
+            await client.ingest("key", values)
+            result = await client.query("key", [0.5, 0.99])
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7379,
+        *,
+        batch_size: int = DEFAULT_BATCH,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.batch_size = batch_size
+        self._buffers: Dict[str, List[float]] = {}
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "AsyncQuantileClient":
+        import asyncio
+
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        return self
+
+    async def _request(self, body: bytes) -> bytes:
+        if self._writer is None:
+            await self.connect()
+        self._writer.write(wire.encode_frame(body))
+        await self._writer.drain()
+        header = await self._reader.readexactly(4)
+        length = int.from_bytes(header, "little")
+        if length > wire.MAX_FRAME:
+            from repro.errors import ServiceError
+
+            raise ServiceError(f"peer announced a {length}-byte frame (cap {wire.MAX_FRAME})")
+        return wire.raise_for_status(await self._reader.readexactly(length))
+
+    async def ingest(self, key: str, values) -> int:
+        payload = await self._request(_RequestEncoder.ingest(key, values))
+        n, _ = wire.unpack_n(payload, 0)
+        return n
+
+    async def ingest_one(self, key: str, value: float) -> None:
+        buffer = self._buffers.setdefault(key, [])
+        buffer.append(float(value))
+        if len(buffer) >= self.batch_size:
+            del self._buffers[key]
+            await self.ingest(key, buffer)
+
+    async def flush(self) -> None:
+        """Ship every buffered value (same keep-on-failure contract as
+        :meth:`QuantileClient.flush`)."""
+        for key in list(self._buffers):
+            values = self._buffers.pop(key)
+            if not values:
+                continue
+            try:
+                await self.ingest(key, values)
+            except BaseException:
+                self._buffers[key] = values
+                raise
+
+    async def merge(self, key: str, sketch_or_bytes) -> int:
+        payload = await self._request(
+            _RequestEncoder.merge(key, _merge_payload(sketch_or_bytes))
+        )
+        n, _ = wire.unpack_n(payload, 0)
+        return n
+
+    async def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
+        return _decode_query_response(await self._request(_RequestEncoder.query(key, fractions)))
+
+    async def quantile(self, key: str, q: float) -> float:
+        return float((await self.query(key, [q])).quantiles[0])
+
+    async def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
+        return _decode_query_response(await self._request(_RequestEncoder.cdf(key, split_points)))
+
+    async def stats(self, key: Optional[str] = None) -> dict:
+        import json
+
+        blob, _ = wire.unpack_blob(await self._request(_RequestEncoder.stats(key)), 0)
+        return json.loads(blob.decode("utf-8"))
+
+    async def snapshot(self) -> int:
+        payload = await self._request(_RequestEncoder.snapshot())
+        return int.from_bytes(payload[:4], "little")
+
+    async def ping(self) -> str:
+        blob, _ = wire.unpack_blob(await self._request(_RequestEncoder.ping()), 0)
+        return blob.decode("utf-8")
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                await self.flush()
+            finally:
+                self._writer.close()
+                try:
+                    await self._writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                    pass
+                self._writer = None
+                self._reader = None
+
+    async def __aenter__(self) -> "AsyncQuantileClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, *exc_info) -> None:
+        if exc_type is not None:
+            self._buffers = {}
+        await self.close()

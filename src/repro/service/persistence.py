@@ -1,0 +1,288 @@
+"""Durable state for the quantile service: snapshots + a write-ahead log.
+
+Two complementary mechanisms, both built on the ``FRQ1`` wire format of
+:mod:`repro.fast.wire`, reconstruct every key after a restart:
+
+* **Per-key snapshots** (:class:`SnapshotStore`) — one file per key
+  holding the key (snapshots must be enumerable at recovery, so the key
+  is embedded; file names are digests), the sequence number of the last
+  WAL record folded into it, and the sketch's ``FRQ1`` payload.  Snapshot
+  files are written atomically (temp file + rename) so a crash mid-write
+  leaves the previous snapshot intact.
+* **An append-only batch WAL** (:class:`WriteAheadLog`) — every ingest
+  batch (raw float64 values) and merge (an ``FRQ1`` donor payload) is
+  appended with a monotonically increasing sequence number and a CRC32
+  before it is applied to the store.  Each record is self-delimiting, so
+  replay after a crash walks the log and stops cleanly at a torn tail.
+
+**Recovery** (:func:`recover`) registers every snapshot, then replays WAL
+records whose sequence number exceeds the owning key's snapshot sequence.
+Because :class:`~repro.service.SketchStore` derives per-key RNG seeds
+deterministically, a key recovered purely from the WAL re-consumes the
+exact same coin stream as the original process and ends *bit-identical*;
+a key recovered from a snapshot with no later records is trivially
+identical (same payload).  Only the snapshot-plus-later-records case
+re-randomizes the post-snapshot compaction coins — still inside the
+paper's ``(1 ± eps)`` guarantee, per Theorem 3's analysis of resumed
+merges.
+
+**Compaction**: after a full snapshot pass every record in the WAL is
+covered by some snapshot, so the log is truncated.  Sequence numbers keep
+counting up across truncations (they are persisted in the snapshots), so
+"newer than the snapshot" stays well-defined forever.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, Iterator, NamedTuple, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service.store import spill_filename
+
+__all__ = ["WalRecord", "WriteAheadLog", "SnapshotStore", "recover", "WAL_INGEST", "WAL_MERGE"]
+
+#: Record op: ``payload`` is a raw little-endian float64 batch.
+WAL_INGEST = 1
+#: Record op: ``payload`` is an ``FRQ1`` donor sketch to union in.
+WAL_MERGE = 2
+
+#: Per-record framing: body length, CRC32 of the body.
+_RECORD_HEAD = struct.Struct("<II")
+#: Body prefix: op, sequence number, key length (key + payload follow).
+_BODY_HEAD = struct.Struct("<BQH")
+
+_SNAP_HEAD = struct.Struct("<QH")
+
+
+class WalRecord(NamedTuple):
+    op: int
+    seq: int
+    key: str
+    payload: bytes
+
+
+class WriteAheadLog:
+    """An append-only, CRC-guarded record log.
+
+    Records are framed ``<u32 body_len><u32 crc32(body)><body>`` with the
+    body ``<u8 op><u64 seq><u16 key_len><key><payload>``.  Appends are
+    buffered-write + ``flush()`` by default (data reaches the OS; survives
+    a process crash).  Pass ``fsync=True`` for per-append ``os.fsync``
+    (survives power loss, at a large throughput cost).
+    """
+
+    def __init__(self, path, *, fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+
+    def append(self, op: int, seq: int, key: str, payload: bytes) -> None:
+        raw_key = key.encode("utf-8")
+        if len(raw_key) > 0xFFFF:
+            raise ServiceError(f"key of {len(raw_key)} UTF-8 bytes exceeds the 65535-byte cap")
+        body = _BODY_HEAD.pack(op, seq, len(raw_key)) + raw_key + payload
+        self._file.write(_RECORD_HEAD.pack(len(body), zlib.crc32(body)))
+        self._file.write(body)
+        self._file.flush()
+        if self.fsync:
+            import os
+
+            os.fsync(self._file.fileno())
+
+    def replay(self, *, strict: bool = False) -> Iterator[WalRecord]:
+        """Yield every intact record in order.
+
+        A torn tail (truncated record, CRC mismatch) ends iteration
+        cleanly — that is the expected state after a crash mid-append.
+        With ``strict=True`` it raises :class:`~repro.errors.ServiceError`
+        instead (for integrity audits).
+
+        Streams record by record from its own file handle (never the
+        whole log at once — recovery after a crash mid-burst must not
+        need WAL-sized memory; appends through the live handle keep
+        working independently).
+        """
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            offset = 0
+            while True:
+                head = handle.read(_RECORD_HEAD.size)
+                if not head:
+                    return
+                if len(head) < _RECORD_HEAD.size:
+                    if strict:
+                        raise ServiceError(f"torn WAL record header at byte {offset}")
+                    return
+                length, crc = _RECORD_HEAD.unpack(head)
+                body = handle.read(length)
+                if len(body) < length:
+                    if strict:
+                        raise ServiceError(f"torn WAL record body at byte {offset}")
+                    return
+                if zlib.crc32(body) != crc:
+                    if strict:
+                        raise ServiceError(f"WAL CRC mismatch at byte {offset}")
+                    return
+                try:
+                    op, seq, key_len = _BODY_HEAD.unpack_from(body, 0)
+                    raw_key = body[_BODY_HEAD.size : _BODY_HEAD.size + key_len]
+                    if len(raw_key) != key_len:
+                        raise ValueError("record body shorter than its declared key")
+                    key = raw_key.decode("utf-8")
+                except (struct.error, ValueError, UnicodeDecodeError) as exc:
+                    if strict:
+                        raise ServiceError(
+                            f"malformed WAL record at byte {offset}: {exc}"
+                        ) from exc
+                    return
+                yield WalRecord(op, seq, key, body[_BODY_HEAD.size + key_len :])
+                offset += _RECORD_HEAD.size + length
+
+    def truncate(self) -> None:
+        """Drop every record (call only when all are covered by snapshots)."""
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.flush()
+
+    @property
+    def size_bytes(self) -> int:
+        return self.path.stat().st_size if self.path.exists() else 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SnapshotStore:
+    """Per-key snapshot files: ``<u64 seq><u16 key_len><key><FRQ1 payload>``."""
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    def save(self, key: str, seq: int, payload: bytes) -> None:
+        """Atomically write ``key``'s snapshot (temp file + rename)."""
+        raw_key = key.encode("utf-8")
+        if len(raw_key) > 0xFFFF:
+            raise ServiceError(f"key of {len(raw_key)} UTF-8 bytes exceeds the 65535-byte cap")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / spill_filename(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(_SNAP_HEAD.pack(seq, len(raw_key)) + raw_key + payload)
+        tmp.replace(path)
+
+    def load(self, key: str) -> Optional[Tuple[int, bytes]]:
+        """``(seq, payload)`` for ``key``, or ``None`` if never snapshotted."""
+        path = self.directory / spill_filename(key)
+        if not path.exists():
+            return None
+        seq, _key, payload = self._parse(path)
+        return seq, payload
+
+    def load_all(self) -> Dict[str, Tuple[int, bytes]]:
+        """Every snapshot on disk, ``{key: (seq, payload)}``."""
+        if not self.directory.exists():
+            return {}
+        result: Dict[str, Tuple[int, bytes]] = {}
+        for path in sorted(self.directory.glob("*.frq1")):
+            seq, key, payload = self._parse(path)
+            result[key] = (seq, payload)
+        return result
+
+    def iter_meta(self):
+        """Yield ``(key, seq)`` per snapshot, reading only the file heads.
+
+        Recovery registers every snapshotted key without touching its
+        payload (keys load lazily through the store's spill path), so
+        startup I/O stays O(keys), not O(total snapshot bytes).
+        """
+        if not self.directory.exists():
+            return
+        for path in sorted(self.directory.glob("*.frq1")):
+            with open(path, "rb") as handle:
+                head = handle.read(_SNAP_HEAD.size)
+                try:
+                    seq, key_len = _SNAP_HEAD.unpack(head)
+                    raw_key = handle.read(key_len)
+                    if len(raw_key) != key_len:
+                        raise ValueError("snapshot shorter than its declared key")
+                    key = raw_key.decode("utf-8")
+                except (struct.error, ValueError, UnicodeDecodeError) as exc:
+                    raise ServiceError(f"corrupt snapshot file {path}: {exc}") from exc
+            yield key, seq
+
+    @staticmethod
+    def _parse(path: Path) -> Tuple[int, str, bytes]:
+        data = path.read_bytes()
+        try:
+            seq, key_len = _SNAP_HEAD.unpack_from(data, 0)
+            raw_key = data[_SNAP_HEAD.size : _SNAP_HEAD.size + key_len]
+            if len(raw_key) != key_len:
+                raise ValueError("snapshot shorter than its declared key")
+            key = raw_key.decode("utf-8")
+        except (struct.error, ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"corrupt snapshot file {path}: {exc}") from exc
+        return seq, key, data[_SNAP_HEAD.size + key_len :]
+
+
+def recover(
+    store,
+    wal: WriteAheadLog,
+    snapshots: SnapshotStore,
+    applied_seq: Dict[str, int],
+    snap_seq: Dict[str, int],
+) -> int:
+    """Rebuild ``store`` from disk; returns the next free sequence number.
+
+    Every snapshotted key is registered with the store as *spilled* (its
+    payload loads lazily through the store's spill callbacks, which the
+    server wires to ``snapshots`` — so recovery cost is O(WAL), not
+    O(keyspace)).  WAL records newer than the owning key's snapshot are
+    then re-applied in order; applying loads keys into residency and the
+    store's normal LRU budget enforcement handles any overflow.
+
+    ``applied_seq`` and ``snap_seq`` are the caller's live sequence maps,
+    filled in place.  Each record's sequence is entered into
+    ``applied_seq`` *before* it is applied: applying can trigger an LRU
+    spill, and the spill callback snapshots with ``applied_seq[key]`` —
+    recording the pre-apply sequence there would stamp a snapshot that
+    already contains the record as not containing it, double-applying it
+    on the next recovery.
+    """
+    import numpy as np
+
+    max_seq = 0
+    for key, seq in snapshots.iter_meta():
+        snap_seq[key] = seq
+        applied_seq[key] = seq
+        max_seq = max(max_seq, seq)
+        store.register_spilled(key)
+    for record in wal.replay():
+        max_seq = max(max_seq, record.seq)
+        if record.seq <= snap_seq.get(record.key, -1):
+            continue
+        applied_seq[record.key] = record.seq
+        try:
+            if record.op == WAL_INGEST:
+                store.update_many(record.key, np.frombuffer(record.payload, dtype="<f8"))
+            elif record.op == WAL_MERGE:
+                store.merge_payload(record.key, record.payload)
+            else:
+                raise ServiceError(f"unknown WAL op {record.op}")
+        except Exception as exc:
+            raise ServiceError(
+                f"WAL record seq={record.seq} key={record.key!r} cannot be "
+                f"applied ({exc}); the log is inconsistent with the store "
+                "configuration — refusing to start with partial state"
+            ) from exc
+    return max_seq + 1

@@ -1,0 +1,236 @@
+"""The length-prefixed binary protocol of the quantile service.
+
+One TCP connection carries a sequence of frames in each direction; every
+request frame gets exactly one response frame, in order.  A frame is::
+
+    length   u32   byte length of the body (little-endian)
+    body     ...   request or response payload
+
+Request bodies start with a one-byte opcode; response bodies start with a
+one-byte status (``0`` = OK, anything else an error code followed by a
+UTF-8 message).  All integers are little-endian; all value arrays are raw
+contiguous little-endian float64 — the same dtype the fast engine ingests,
+so the server feeds ``update_many`` without a conversion pass and the
+``FRQ1`` payloads of :mod:`repro.fast.wire` embed unchanged in ``MERGE``
+frames and snapshot files.
+
+Requests (``key`` is ``u16 length + UTF-8 bytes``)::
+
+    INGEST    0x01  key, u32 count, count * f64 values
+    QUERY     0x02  key, u32 count, count * f64 fractions
+    CDF       0x03  key, u32 count, count * f64 split points
+    MERGE     0x04  key, u32 length, FRQ1 payload
+    STATS     0x05  key (empty = server-wide)
+    SNAPSHOT  0x06  (no operands)
+    PING      0x07  (no operands)
+
+Responses (after the status byte)::
+
+    INGEST    u64 n                      key's total after the batch
+    QUERY     u64 n, f64 eps, values     a-priori error bound + quantiles
+    CDF       u64 n, f64 eps, masses     count+1 masses (final one 1.0)
+    MERGE     u64 n
+    STATS     u32 length, UTF-8 JSON
+    SNAPSHOT  u32 keys written
+    PING      u32 length, UTF-8 version
+
+The frame length is capped (:data:`MAX_FRAME`) so a corrupt or hostile
+length prefix cannot make either side allocate unbounded memory; both
+sides fail the connection loudly with :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "OP_INGEST",
+    "OP_QUERY",
+    "OP_CDF",
+    "OP_MERGE",
+    "OP_STATS",
+    "OP_SNAPSHOT",
+    "OP_PING",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_UNKNOWN_KEY",
+    "STATUS_BAD_REQUEST",
+    "MAX_FRAME",
+    "encode_frame",
+    "pack_key",
+    "pack_values",
+    "unpack_key",
+    "unpack_values",
+    "read_frame_sync",
+    "error_body",
+    "raise_for_status",
+]
+
+OP_INGEST = 0x01
+OP_QUERY = 0x02
+OP_CDF = 0x03
+OP_MERGE = 0x04
+OP_STATS = 0x05
+OP_SNAPSHOT = 0x06
+OP_PING = 0x07
+
+STATUS_OK = 0
+#: Generic server-side failure (the message says what went wrong).
+STATUS_ERROR = 1
+#: The requested key does not exist (queries never create keys).
+STATUS_UNKNOWN_KEY = 2
+#: The frame could not be decoded (bad opcode, truncated operands, ...).
+STATUS_BAD_REQUEST = 3
+
+#: Hard cap on one frame's body, request or response (64 MiB ~ an 8M-value
+#: ingest batch — far past the point where splitting batches is free).
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+_KEYLEN = struct.Struct("<H")
+_COUNT = struct.Struct("<I")
+_N = struct.Struct("<Q")
+
+#: Wire dtype for value arrays (explicit little-endian float64).
+WIRE_DTYPE = np.dtype("<f8")
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Prefix ``body`` with its u32 length."""
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"frame body of {len(body)} bytes exceeds MAX_FRAME ({MAX_FRAME})")
+    return _LEN.pack(len(body)) + body
+
+
+def pack_key(key: str) -> bytes:
+    """``u16 length + UTF-8`` key encoding (keys are capped at 64 KiB - 1)."""
+    raw = key.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ServiceError(f"key of {len(raw)} UTF-8 bytes exceeds the 65535-byte cap")
+    return _KEYLEN.pack(len(raw)) + raw
+
+
+def pack_values(values) -> bytes:
+    """``u32 count`` + the values as raw little-endian float64."""
+    array = np.ascontiguousarray(values, dtype=WIRE_DTYPE).reshape(-1)
+    return _COUNT.pack(array.size) + array.tobytes()
+
+
+def unpack_key(body: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a packed key at ``offset``; returns ``(key, new_offset)``."""
+    try:
+        (length,) = _KEYLEN.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated key length: {exc}") from exc
+    offset += _KEYLEN.size
+    end = offset + length
+    if end > len(body):
+        raise ServiceError(f"truncated key: {length} bytes declared, {len(body) - offset} present")
+    try:
+        return body[offset:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise ServiceError(f"key is not valid UTF-8: {exc}") from exc
+
+
+def unpack_values(body: bytes, offset: int) -> Tuple[np.ndarray, int]:
+    """Decode a packed value array at ``offset``; returns ``(array, new_offset)``.
+
+    The array is a zero-copy read-only view into ``body`` when the host is
+    little-endian (the overwhelmingly common case).
+    """
+    try:
+        (count,) = _COUNT.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated value count: {exc}") from exc
+    offset += _COUNT.size
+    end = offset + 8 * count
+    if end > len(body):
+        raise ServiceError(
+            f"truncated values: {count} declared, {(len(body) - offset) // 8} present"
+        )
+    return np.frombuffer(body, dtype=WIRE_DTYPE, count=count, offset=offset), end
+
+
+def pack_n(n: int) -> bytes:
+    return _N.pack(n)
+
+
+def unpack_n(body: bytes, offset: int) -> Tuple[int, int]:
+    try:
+        (n,) = _N.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated u64: {exc}") from exc
+    return n, offset + _N.size
+
+
+def pack_blob(data: bytes) -> bytes:
+    """``u32 length`` + raw bytes (FRQ1 payloads, JSON stats, ...)."""
+    return _COUNT.pack(len(data)) + data
+
+
+def unpack_blob(body: bytes, offset: int) -> Tuple[bytes, int]:
+    try:
+        (length,) = _COUNT.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated blob length: {exc}") from exc
+    offset += _COUNT.size
+    end = offset + length
+    if end > len(body):
+        raise ServiceError(f"truncated blob: {length} bytes declared, {len(body) - offset} present")
+    return bytes(body[offset:end]), end
+
+
+def error_body(status: int, message: str) -> bytes:
+    """A response body carrying an error status and its message."""
+    return bytes([status]) + message.encode("utf-8")
+
+
+def raise_for_status(body: bytes) -> bytes:
+    """Split a response body into its payload, raising on error statuses.
+
+    Returns the body after the status byte.  Raises
+    :class:`~repro.errors.ServiceError` carrying the server's message (and
+    a ``status`` attribute) for any non-OK status.
+    """
+    if not body:
+        raise ServiceError("empty response frame")
+    status = body[0]
+    if status == STATUS_OK:
+        return body[1:]
+    message = body[1:].decode("utf-8", errors="replace") or f"status {status}"
+    exc = ServiceError(message)
+    exc.status = status
+    raise exc
+
+
+def read_frame_sync(sock) -> bytes:
+    """Read one frame body from a blocking socket (the sync client's path).
+
+    Raises:
+        ServiceError: On EOF mid-frame or an oversized length prefix.
+        ConnectionError: If the peer closed before any byte arrived.
+    """
+    header = _recv_exact(sock, _LEN.size, eof_ok=True)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ServiceError(f"peer announced a {length}-byte frame (cap {MAX_FRAME})")
+    return _recv_exact(sock, length, eof_ok=False)
+
+
+def _recv_exact(sock, count: int, *, eof_ok: bool) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                raise ConnectionError("connection closed")
+            raise ServiceError(f"connection closed {remaining} bytes into a {count}-byte read")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if len(chunks) != 1 else chunks[0]

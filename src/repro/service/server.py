@@ -1,0 +1,582 @@
+"""The quantile service: durable keyed sketches behind an asyncio server.
+
+Two layers:
+
+* :class:`QuantileService` — the sans-io core: a
+  :class:`~repro.service.SketchStore` composed with the WAL and snapshot
+  store of :mod:`repro.service.persistence`.  Every mutation appends to
+  the WAL before touching the store; eviction spills through the snapshot
+  files, so an evicted key's checkpoint doubles as its durable state.
+  Usable directly in-process (tests, embedded deployments, benchmarks
+  with ``data_dir=None`` for a pure in-memory service).
+* :class:`QuantileServer` — an ``asyncio`` TCP front speaking the
+  length-prefixed protocol of :mod:`repro.service.protocol`.  Sketch
+  operations are vectorized numpy on tiny summaries — microseconds — so
+  a single event loop serves many connections without worker threads;
+  each ``INGEST`` frame carries a whole batch into one ``update_many``
+  call, which is what makes the socket path fast (the clients batch;
+  see :mod:`repro.service.client`).
+
+Consistency notes (single event loop, no locks needed):
+
+* Request handlers never await between reading a frame and writing its
+  response, so each request is atomic with respect to every other.
+* ``snapshot_all`` is a plain synchronous method — no awaits — so the
+  "write every dirty key, then truncate the WAL" sequence cannot
+  interleave with an ingest that would be lost by the truncation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import EmptySketchError, InvalidParameterError, ReproError, ServiceError
+from repro.service import protocol as wire
+from repro.service.persistence import (
+    WAL_INGEST,
+    WAL_MERGE,
+    SnapshotStore,
+    WriteAheadLog,
+    recover,
+)
+from repro.service.store import SketchStore
+
+__all__ = ["QuantileService", "QuantileServer", "ServerThread", "run_server"]
+
+
+class QuantileService:
+    """A durable multi-tenant sketch store (no networking).
+
+    Args:
+        data_dir: Durability root (``wal.log`` + ``snapshots/``).  ``None``
+            runs fully in memory — no WAL, no snapshots, eviction needs a
+            ``memory_budget`` of ``None`` or spills are refused.
+        k, hra, seed: Sketch parameters for every key (``seed`` defaults
+            to ``0`` so WAL replay is bit-exact; pass ``None`` for fresh
+            randomness at the cost of exact-replay determinism).
+        memory_budget: Retained-item cap across resident sketches; LRU
+            keys past it spill to the snapshot files.
+        hot_key_items: Optional per-key ingest threshold for promotion to
+            a local :class:`~repro.shard.ShardedReqSketch`.
+        hot_shards: Shards per promoted key.
+        fsync: Per-append ``os.fsync`` on the WAL (power-loss durability).
+    """
+
+    def __init__(
+        self,
+        data_dir: Optional[str] = None,
+        *,
+        k: int = 32,
+        hra: bool = False,
+        seed: Optional[int] = 0,
+        memory_budget: Optional[int] = None,
+        hot_key_items: Optional[int] = None,
+        hot_shards: int = 4,
+        fsync: bool = False,
+    ) -> None:
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self._applied_seq: Dict[str, int] = {}
+        self._snap_seq: Dict[str, int] = {}
+        self._seq = 1
+        if self.data_dir is None:
+            if memory_budget is not None:
+                raise InvalidParameterError(
+                    "a memory_budget needs a data_dir to spill into "
+                    "(in-memory services cannot evict without losing data)"
+                )
+            self.wal = None
+            self.snapshots = None
+            spill_save = spill_load = None
+        else:
+            self.wal = WriteAheadLog(self.data_dir / "wal.log", fsync=fsync)
+            self.snapshots = SnapshotStore(self.data_dir / "snapshots")
+
+            def spill_save(key: str, payload: bytes) -> None:
+                seq = self._applied_seq.get(key, 0)
+                self.snapshots.save(key, seq, payload)
+                self._snap_seq[key] = seq
+
+            def spill_load(key: str) -> Optional[bytes]:
+                loaded = self.snapshots.load(key)
+                return None if loaded is None else loaded[1]
+
+        self.store = SketchStore(
+            k=k,
+            hra=hra,
+            seed=seed,
+            memory_budget=memory_budget,
+            spill_save=spill_save,
+            spill_load=spill_load,
+            hot_key_items=hot_key_items,
+            hot_shards=hot_shards,
+            on_spill_load=self._reseed_from_epoch,
+        )
+        if self.wal is not None:
+            self._seq = recover(
+                self.store, self.wal, self.snapshots, self._applied_seq, self._snap_seq
+            )
+        self.started_at = time.time()
+        self.ingested_values = 0
+        self.query_count = 0
+        self.merge_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutations (WAL first, then the store)
+    # ------------------------------------------------------------------
+
+    def ingest(self, key: str, values) -> int:
+        """Apply one batch to ``key``; returns the key's total ``n``.
+
+        Validation happens *before* the WAL append — a rejected batch
+        (NaN, empty) must not poison replay.
+        """
+        array = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
+        if array.size == 0:
+            raise InvalidParameterError("empty ingest batch")
+        if np.isnan(array).any():
+            raise InvalidParameterError("cannot insert NaN: items must form a total order")
+        if self.wal is not None:
+            seq = self._seq
+            self._seq += 1
+            self.wal.append(WAL_INGEST, seq, key, array.astype("<f8", copy=False).tobytes())
+            self._applied_seq[key] = seq
+        n = self.store.update_many(key, array)
+        self.ingested_values += array.size
+        return n
+
+    def merge(self, key: str, payload: bytes) -> int:
+        """Union an ``FRQ1`` donor payload into ``key``; returns its ``n``."""
+        # Decode first: a corrupt payload must fail before it reaches the WAL.
+        from repro.fast import FastReqSketch
+
+        donor = FastReqSketch.from_bytes(payload)
+        if donor.k != self.store.k or donor.hra != self.store.hra or donor.n_bound is not None:
+            # Every merge-incompatibility must be rejected HERE: once a
+            # record reaches the WAL it is replayed on every restart, and a
+            # record that cannot apply would brick recovery permanently.
+            raise ServiceError(
+                f"merge payload has k={donor.k}/hra={donor.hra}/"
+                f"n_bound={donor.n_bound}; this service runs "
+                f"k={self.store.k}/hra={self.store.hra}/n_bound=None"
+            )
+        if self.wal is not None:
+            seq = self._seq
+            self._seq += 1
+            self.wal.append(WAL_MERGE, seq, key, bytes(payload))
+            self._applied_seq[key] = seq
+        n = self.store.merge_sketch(key, donor)
+        self.merge_count += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _sketch(self, key: str):
+        return self.store.get(key)
+
+    def query(self, key: str, fractions):
+        """``(n, error_bound, quantiles)`` for ``key``."""
+        sketch = self._sketch(key)
+        self.query_count += 1
+        return sketch.n, sketch.error_bound(), sketch.quantiles(fractions)
+
+    def cdf(self, key: str, split_points):
+        """``(n, error_bound, masses)`` for ``key`` (masses has one extra entry)."""
+        sketch = self._sketch(key)
+        self.query_count += 1
+        return sketch.n, sketch.error_bound(), sketch.cdf(split_points)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _epoch_seed(self, key: str, seq: int) -> Optional[int]:
+        """The deterministic RNG seed for ``key``'s post-``seq`` coin stream."""
+        base = self.store.derive_seed(key)
+        if base is None:
+            return None
+        return (base ^ (seq * 0x9E3779B97F4A7C15)) & (2**63 - 1)
+
+    def _reseed_from_epoch(self, key: str, sketch) -> None:
+        """Pin ``sketch``'s coin stream to its durable history.
+
+        Called after a snapshot is written (live side) and after one is
+        loaded (recovery/reload side).  ``FRQ1`` does not carry RNG state,
+        so without this a key recovered from a snapshot plus a WAL tail
+        would replay its post-snapshot compactions with different coins
+        and settle on slightly different (still in-guarantee) answers.
+        Re-seeding both sides from ``(key, snapshot seq)`` makes the coin
+        stream a deterministic function of the key's durable history, so
+        recovery is bit-exact in every case.  Skipped for unseeded stores
+        (no determinism was promised) and for promoted hot keys (their
+        snapshot is a collapsed union; exact replay is not claimed).
+        """
+        seed = self._epoch_seed(key, self._snap_seq.get(key, 0))
+        if seed is None:
+            return
+        sketch._rng = np.random.default_rng(seed)
+
+    def snapshot_all(self) -> int:
+        """Checkpoint every dirty key, then truncate the WAL.
+
+        Returns the number of snapshot files written.  Spilled keys are
+        clean by construction (eviction snapshots them); resident keys are
+        dirty when records newer than their snapshot exist.  After the
+        pass every WAL record is covered by some snapshot, so the log
+        resets.  Synchronous end to end — under asyncio this cannot
+        interleave with a mutation (see the module docstring).
+        """
+        if self.snapshots is None:
+            return 0
+        from repro.fast import FastReqSketch
+
+        written = 0
+        for key in self.store.resident_keys:
+            applied = self._applied_seq.get(key, 0)
+            if applied <= self._snap_seq.get(key, -1):
+                continue
+            self.snapshots.save(key, applied, self.store.peek_payload(key))
+            self._snap_seq[key] = applied
+            written += 1
+            sketch = self.store.peek(key)
+            if isinstance(sketch, FastReqSketch):
+                self._reseed_from_epoch(key, sketch)
+        self.wal.truncate()
+        return written
+
+    def close(self, *, snapshot: bool = True) -> None:
+        """Release file handles; by default checkpoint first."""
+        if snapshot and self.wal is not None:
+            self.snapshot_all()
+        if self.wal is not None:
+            self.wal.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self, key: Optional[str] = None) -> dict:
+        if key:
+            return self.store.key_stats(key)
+        report = {
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "ingested_values": self.ingested_values,
+            "query_count": self.query_count,
+            "merge_count": self.merge_count,
+            "durable": self.wal is not None,
+            "wal_bytes": self.wal.size_bytes if self.wal is not None else 0,
+            "next_seq": self._seq,
+        }
+        report.update(self.store.stats())
+        return report
+
+
+class QuantileServer:
+    """The asyncio TCP front for a :class:`QuantileService`.
+
+    Args:
+        service: The service to expose (owned by the caller).
+        host, port: Bind address; port ``0`` picks a free port (read it
+            back from :attr:`port` after :meth:`start`).
+        snapshot_interval: Seconds between periodic ``snapshot_all``
+            passes (``None`` disables; the ``SNAPSHOT`` opcode and
+            graceful stop still checkpoint).
+    """
+
+    def __init__(
+        self,
+        service: QuantileService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 7379,
+        snapshot_interval: Optional[float] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self.snapshot_interval = snapshot_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._snapshot_task: Optional[asyncio.Task] = None
+        self.connections = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.snapshot_interval is not None and self.service.wal is not None:
+            self._snapshot_task = asyncio.ensure_future(self._periodic_snapshots())
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, *, snapshot: bool = True) -> None:
+        """Stop accepting, drop connections, optionally checkpoint.
+
+        ``snapshot=False`` models a crash: durable state is whatever the
+        WAL and existing snapshots already hold (the recovery tests lean
+        on this).
+        """
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close(snapshot=snapshot)
+
+    async def _periodic_snapshots(self) -> None:
+        import sys
+
+        while True:
+            await asyncio.sleep(self.snapshot_interval)
+            try:
+                self.service.snapshot_all()
+            except Exception as exc:
+                # A transient failure (disk full, permission blip) must not
+                # kill the checkpoint loop for the rest of the process —
+                # the WAL keeps everything durable; report and retry.
+                print(f"periodic snapshot failed (will retry): {exc}", file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                (length,) = wire._LEN.unpack(header)
+                if length > wire.MAX_FRAME:
+                    writer.write(
+                        wire.encode_frame(
+                            wire.error_body(
+                                wire.STATUS_BAD_REQUEST,
+                                f"frame of {length} bytes exceeds cap {wire.MAX_FRAME}",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                body = await reader.readexactly(length)
+                writer.write(wire.encode_frame(self._dispatch(body)))
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _dispatch(self, body: bytes) -> bytes:
+        """Decode one request body, run it, encode the response body.
+
+        Synchronous on purpose: no await between decode and response means
+        every request is atomic under the event loop.
+        """
+        if not body:
+            return wire.error_body(wire.STATUS_BAD_REQUEST, "empty request frame")
+        op = body[0]
+        try:
+            if op == wire.OP_INGEST:
+                key, offset = wire.unpack_key(body, 1)
+                values, _ = wire.unpack_values(body, offset)
+                return b"\x00" + wire.pack_n(self.service.ingest(key, values))
+            if op == wire.OP_QUERY:
+                key, offset = wire.unpack_key(body, 1)
+                fractions, _ = wire.unpack_values(body, offset)
+                n, eps, quantiles = self.service.query(key, fractions)
+                return (
+                    b"\x00"
+                    + wire.pack_n(n)
+                    + np.float64(eps).tobytes()
+                    + wire.pack_values(quantiles)
+                )
+            if op == wire.OP_CDF:
+                key, offset = wire.unpack_key(body, 1)
+                points, _ = wire.unpack_values(body, offset)
+                n, eps, masses = self.service.cdf(key, points)
+                return (
+                    b"\x00" + wire.pack_n(n) + np.float64(eps).tobytes() + wire.pack_values(masses)
+                )
+            if op == wire.OP_MERGE:
+                key, offset = wire.unpack_key(body, 1)
+                payload, _ = wire.unpack_blob(body, offset)
+                return b"\x00" + wire.pack_n(self.service.merge(key, payload))
+            if op == wire.OP_STATS:
+                key, _ = wire.unpack_key(body, 1)
+                stats = self.service.stats(key or None)
+                return b"\x00" + wire.pack_blob(json.dumps(stats).encode("utf-8"))
+            if op == wire.OP_SNAPSHOT:
+                return b"\x00" + wire._COUNT.pack(self.service.snapshot_all())
+            if op == wire.OP_PING:
+                return b"\x00" + wire.pack_blob(__version__.encode("utf-8"))
+            return wire.error_body(wire.STATUS_BAD_REQUEST, f"unknown opcode {op:#x}")
+        except KeyError as exc:
+            return wire.error_body(wire.STATUS_UNKNOWN_KEY, f"unknown key {exc.args[0]!r}")
+        except EmptySketchError as exc:
+            return wire.error_body(wire.STATUS_ERROR, str(exc))
+        except (ReproError, ServiceError) as exc:
+            status = (
+                wire.STATUS_BAD_REQUEST if isinstance(exc, ServiceError) else wire.STATUS_ERROR
+            )
+            return wire.error_body(status, str(exc))
+
+
+class ServerThread:
+    """A :class:`QuantileServer` on a daemon thread with its own event loop.
+
+    The bridge for synchronous callers — tests, benchmarks, notebook
+    demos, or embedding the service next to blocking code::
+
+        with ServerThread(QuantileService(None)) as running:
+            client = QuantileClient(port=running.port)
+
+    ``stop(snapshot=False)`` models a crash (no goodbye checkpoint), which
+    the recovery tests lean on; the context manager exit checkpoints.
+    """
+
+    def __init__(
+        self,
+        service: QuantileService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        snapshot_interval: Optional[float] = None,
+        start_timeout: float = 10.0,
+    ) -> None:
+        self.service = service
+        self.server = QuantileServer(
+            service, host=host, port=port, snapshot_interval=snapshot_interval
+        )
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._stopped = False
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        if not self._started.wait(start_timeout):
+            raise ServiceError("server thread did not start in time")
+        if self._start_error is not None:
+            self.thread.join(timeout=start_timeout)
+            raise ServiceError(f"server failed to start: {self._start_error}")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._start_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self.loop.run_forever()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, *, snapshot: bool = True) -> None:
+        """Stop the server and its loop (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(snapshot=snapshot), self.loop
+        )
+        future.result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def run_server(
+    data_dir: Optional[str],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 7379,
+    k: int = 32,
+    hra: bool = False,
+    seed: Optional[int] = 0,
+    memory_budget: Optional[int] = None,
+    hot_key_items: Optional[int] = None,
+    hot_shards: int = 4,
+    snapshot_interval: Optional[float] = 30.0,
+    fsync: bool = False,
+) -> int:
+    """Blocking entry point for ``repro-quantiles serve``.
+
+    Runs until interrupted; SIGINT and SIGTERM both trigger a graceful
+    stop with a final checkpoint.  Returns a process exit code.
+    """
+    import signal
+
+    service = QuantileService(
+        data_dir,
+        k=k,
+        hra=hra,
+        seed=seed,
+        memory_budget=memory_budget,
+        hot_key_items=hot_key_items,
+        hot_shards=hot_shards,
+        fsync=fsync,
+    )
+    server = QuantileServer(
+        service, host=host, port=port, snapshot_interval=snapshot_interval
+    )
+
+    async def main() -> None:
+        await server.start()
+        durable = f"data_dir={data_dir}" if data_dir else "in-memory (no durability)"
+        print(
+            f"repro-quantiles {__version__} serving on {server.host}:{server.port} "
+            f"[k={k}, {'HRA' if hra else 'LRA'}, {durable}, "
+            f"{len(service.store)} keys recovered]",
+            flush=True,
+        )
+        # asyncio.start_server accepts connections as soon as it exists;
+        # this task only needs to sleep until a stop signal arrives.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: fall back to KeyboardInterrupt below
+        await stop.wait()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback path
+        pass
+    finally:
+        service.close(snapshot=True)
+    return 0

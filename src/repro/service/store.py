@@ -1,0 +1,451 @@
+"""A multi-tenant keyed store of REQ sketches with LRU spill-to-disk.
+
+:class:`SketchStore` maps tenant/metric keys (any string up to 64 KiB) to
+:class:`~repro.fast.FastReqSketch` instances.  The design constraints come
+straight from the paper: per-key summaries are tiny (``O(k log(n/k))``
+retained items), fully mergeable, and serialize compactly (``FRQ1``), so a
+single process can hold summaries for a very large keyspace — and evicting
+a cold key is just writing its wire payload somewhere and dropping it.
+
+Three responsibilities live here:
+
+* **Lazy creation** — the first ``update_many``/``merge`` against a key
+  creates its sketch.  Per-key RNG seeds are derived deterministically
+  from the store's base seed and the key (CRC32-mixed), which makes
+  write-ahead-log replay bit-exact: a crashed server that re-applies the
+  same batches in the same order reconstructs *identical* sketches (see
+  :mod:`repro.service.persistence`).  Pass ``seed=None`` for fresh
+  randomness when replay determinism is not needed.
+* **Memory accounting** — the store tracks total retained items across
+  resident sketches incrementally (``retained_items``), updated from
+  ``num_retained`` deltas of only the touched key, so the accounting cost
+  per ingest is O(levels of that key), not O(keys).
+* **LRU spill** — when ``memory_budget`` (in retained items) is exceeded,
+  least-recently-used keys are serialized through the ``spill_save``
+  callback and dropped from memory; a later access transparently reloads
+  them via ``spill_load``.  The server wires these callbacks to its
+  snapshot files so eviction doubles as a durable checkpoint; standalone
+  users can pass ``spill_dir`` for self-contained FRQ1 spill files.
+
+Hot keys can optionally be promoted onto a
+:class:`~repro.shard.ShardedReqSketch` (local backend) once they ingest
+more than ``hot_key_items`` values — per-key isolation for tenants whose
+traffic dwarfs the rest, at identical accuracy (Theorem 3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, ServiceError
+from repro.fast import FastReqSketch
+from repro.fast.wire import peek_header, retained_in_payload
+
+__all__ = ["SketchStore", "spill_filename"]
+
+
+def spill_filename(key: str) -> str:
+    """A filesystem-safe, collision-resistant file name for ``key``.
+
+    Keys are arbitrary UTF-8 up to 64 KiB, so the name is a digest rather
+    than an escaping of the key; the key itself lives inside snapshot
+    files (:mod:`repro.service.persistence`), never in file names.
+    """
+    return hashlib.sha256(key.encode("utf-8")).hexdigest() + ".frq1"
+
+
+class _Entry:
+    """One resident key: its sketch plus cached accounting state."""
+
+    __slots__ = ("sketch", "retained", "ingested", "sharded")
+
+    def __init__(self, sketch) -> None:
+        self.sketch = sketch
+        self.retained = 0
+        self.ingested = 0
+        self.sharded = False
+
+
+class SketchStore:
+    """Keyed :class:`~repro.fast.FastReqSketch` instances under one budget.
+
+    Args:
+        k: Section size for every sketch (even integer >= 2).
+        hra: High-rank-accuracy mode for every sketch.
+        seed: Base seed; each key derives a distinct deterministic seed
+            from it (``None`` = fresh randomness per key, which forfeits
+            bit-exact WAL replay).
+        memory_budget: Optional cap on total retained items across
+            resident sketches; exceeding it spills LRU keys.  Requires a
+            spill target (``spill_dir`` or ``spill_save``/``spill_load``).
+        spill_dir: Directory for self-contained FRQ1 spill files (created
+            on first spill).  Mutually exclusive with explicit callbacks.
+        spill_save: ``(key, payload) -> None`` called on eviction.
+        spill_load: ``(key) -> Optional[bytes]`` called on a miss; return
+            ``None`` if the key was never spilled.
+        hot_key_items: Optional ingest-count threshold past which a key is
+            promoted to a local-backend :class:`~repro.shard.ShardedReqSketch`.
+        hot_shards: Shards per promoted key.
+    """
+
+    def __init__(
+        self,
+        *,
+        k: int = 32,
+        hra: bool = False,
+        seed: Optional[int] = 0,
+        memory_budget: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        spill_save: Optional[Callable[[str, bytes], None]] = None,
+        spill_load: Optional[Callable[[str], Optional[bytes]]] = None,
+        hot_key_items: Optional[int] = None,
+        hot_shards: int = 4,
+        on_spill_load: Optional[Callable[[str, FastReqSketch], None]] = None,
+    ) -> None:
+        if (spill_save is None) != (spill_load is None):
+            raise InvalidParameterError("spill_save and spill_load must be passed together")
+        if spill_dir is not None and spill_save is not None:
+            raise InvalidParameterError("pass spill_dir or spill_save/spill_load, not both")
+        if spill_dir is not None:
+            directory = Path(spill_dir)
+
+            def spill_save(key: str, payload: bytes, _dir=directory) -> None:
+                _dir.mkdir(parents=True, exist_ok=True)
+                path = _dir / spill_filename(key)
+                tmp = path.with_suffix(".tmp")
+                tmp.write_bytes(payload)
+                tmp.replace(path)
+
+            def spill_load(key: str, _dir=directory) -> Optional[bytes]:
+                path = _dir / spill_filename(key)
+                return path.read_bytes() if path.exists() else None
+
+        if memory_budget is not None:
+            if memory_budget < 1:
+                raise InvalidParameterError(f"memory_budget must be >= 1, got {memory_budget}")
+            if spill_save is None:
+                raise InvalidParameterError(
+                    "a memory_budget needs somewhere to spill: pass spill_dir "
+                    "or spill_save/spill_load (dropping sketches would lose data)"
+                )
+        if hot_key_items is not None and hot_key_items < 1:
+            raise InvalidParameterError(f"hot_key_items must be >= 1, got {hot_key_items}")
+        # Fail fast on bad sketch parameters, not on the first ingest.
+        FastReqSketch(k, hra=hra)
+        self.k = k
+        self.hra = bool(hra)
+        self.seed = seed
+        self.memory_budget = memory_budget
+        self.hot_key_items = hot_key_items
+        self.hot_shards = hot_shards
+        self._spill_save = spill_save
+        self._spill_load = spill_load
+        self._on_spill_load = on_spill_load
+        #: Resident entries in LRU order (most recently used at the end).
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        #: Keys currently living only in the spill target.
+        self._spilled: Dict[str, bool] = {}
+        self._retained_total = 0
+        self.spill_count = 0
+        self.load_count = 0
+
+    # ------------------------------------------------------------------
+    # Key inventory
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or key in self._spilled
+
+    def __len__(self) -> int:
+        return len(self._entries) + len(self._spilled)
+
+    def keys(self) -> List[str]:
+        """Every known key, resident or spilled (insertion-ish order)."""
+        return list(self._entries) + list(self._spilled)
+
+    def register_spilled(self, key: str) -> None:
+        """Declare that ``key`` exists in the spill target (recovery path).
+
+        The first access loads it through ``spill_load`` like any evicted
+        key.  No-op if the key is already resident.
+        """
+        if key not in self._entries:
+            self._spilled[key] = True
+
+    @property
+    def resident_keys(self) -> List[str]:
+        return list(self._entries)
+
+    @property
+    def spilled_keys(self) -> List[str]:
+        return list(self._spilled)
+
+    @property
+    def retained_items(self) -> int:
+        """Total retained items across resident sketches (the memory metric)."""
+        return self._retained_total
+
+    def derive_seed(self, key: str) -> Optional[int]:
+        """The deterministic per-key seed (``None`` when the store is unseeded).
+
+        CRC32 of the key, shifted clear of small base-seed deltas, so
+        distinct keys (and distinct base seeds) get distinct coin streams.
+        """
+        if self.seed is None:
+            return None
+        return (self.seed + (zlib.crc32(key.encode("utf-8")) << 17)) & (2**63 - 1)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, *, create: bool = False):
+        """The sketch for ``key`` (reloading a spilled key transparently).
+
+        Marks the key most-recently-used.  With ``create=True`` a missing
+        key gets a fresh empty sketch; otherwise ``KeyError``.
+        """
+        entry = self._touch(key)
+        if entry is None:
+            if not create:
+                raise KeyError(key)
+            entry = self._create(key)
+        return entry.sketch
+
+    def peek(self, key: str):
+        """``key``'s sketch if resident — no LRU touch, no spill reload."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(key)
+        return entry.sketch
+
+    def peek_payload(self, key: str) -> bytes:
+        """A resident key's ``FRQ1`` payload without touching LRU order.
+
+        The checkpoint path uses this: snapshotting every resident key must
+        not rewrite the eviction order the workload established.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(key)
+        return self._payload(entry)
+
+    def is_sharded(self, key: str) -> bool:
+        """Whether a resident ``key`` is backed by a sharded plane."""
+        entry = self._entries.get(key)
+        return entry is not None and entry.sharded
+
+    def _create(self, key: str) -> _Entry:
+        sketch = FastReqSketch(self.k, hra=self.hra, seed=self.derive_seed(key))
+        entry = _Entry(sketch)
+        self._entries[key] = entry
+        return entry
+
+    def _touch(self, key: str) -> Optional[_Entry]:
+        """Mark ``key`` most-recently-used, reloading it if spilled."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        if key in self._spilled:
+            payload = self._spill_load(key) if self._spill_load else None
+            if payload is None:
+                raise ServiceError(f"spilled key {key!r} is missing from the spill target")
+            try:
+                sketch = FastReqSketch.from_bytes(payload)
+            except Exception as exc:
+                raise ServiceError(f"corrupt spill payload for key {key!r}: {exc}") from exc
+            del self._spilled[key]
+            if self._on_spill_load is not None:
+                # Post-load hook; the service uses it to re-seed the RNG
+                # deterministically so recovery replay stays bit-exact.
+                self._on_spill_load(key, sketch)
+            entry = _Entry(sketch)
+            entry.ingested = sketch.n
+            entry.retained = sketch.num_retained
+            self._entries[key] = entry
+            self._retained_total += entry.retained
+            self.load_count += 1
+            # Reloads happen on the read path too (QUERY on a spilled key);
+            # the budget must hold there, not just after writes — otherwise
+            # a query-only workload grows residency without bound.
+            if self.memory_budget is not None and self._retained_total > self.memory_budget:
+                self._enforce_budget(keep=key)
+            return entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def update_many(self, key: str, values) -> int:
+        """Feed one batch into ``key``'s sketch (created lazily); returns its ``n``."""
+        entry = self._touch(key) or self._create(key)
+        entry.sketch.update_many(values)
+        entry.ingested += int(np.size(values))
+        return self._settle(key, entry)
+
+    def merge_payload(self, key: str, payload: bytes) -> int:
+        """Union an ``FRQ1`` payload into ``key`` (created lazily); returns its ``n``.
+
+        The distributed-edge path: sketch at the edge, ship the payload,
+        union here.  The donor is decoded once and never retained.
+        """
+        try:
+            donor = FastReqSketch.from_bytes(payload)
+        except Exception as exc:
+            raise ServiceError(f"cannot decode merge payload for key {key!r}: {exc}") from exc
+        return self.merge_sketch(key, donor)
+
+    def merge_sketch(self, key: str, donor) -> int:
+        """Union an in-process sketch into ``key`` (created lazily)."""
+        entry = self._touch(key) or self._create(key)
+        if entry.sharded:
+            entry.sketch.absorb(donor)
+        else:
+            entry.sketch.merge_many((donor,))
+        entry.ingested += donor.n
+        return self._settle(key, entry)
+
+    def _settle(self, key: str, entry: _Entry) -> int:
+        """Post-write bookkeeping: accounting delta, promotion, budget."""
+        if (
+            self.hot_key_items is not None
+            and not entry.sharded
+            and entry.ingested >= self.hot_key_items
+        ):
+            self._promote(key, entry)
+        retained = entry.sketch.num_retained
+        self._retained_total += retained - entry.retained
+        entry.retained = retained
+        if self.memory_budget is not None and self._retained_total > self.memory_budget:
+            self._enforce_budget(keep=key)
+        return entry.sketch.n
+
+    def _promote(self, key: str, entry: _Entry) -> None:
+        """Re-home a hot key onto a local-backend sharded plane."""
+        from repro.shard import ShardedReqSketch
+
+        sharded = ShardedReqSketch(
+            self.hot_shards,
+            k=self.k,
+            hra=self.hra,
+            seed=self.derive_seed(key),
+            backend="local",
+        )
+        if entry.sketch.n:
+            sharded.absorb(entry.sketch)
+        entry.sketch = sharded
+        entry.sharded = True
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def payload(self, key: str) -> bytes:
+        """``key``'s current summary as an ``FRQ1`` payload (touches LRU).
+
+        A promoted (sharded) key serializes its union — the payload decodes
+        as a plain :class:`~repro.fast.FastReqSketch` anywhere.
+        """
+        entry = self._touch(key)
+        if entry is None:
+            raise KeyError(key)
+        return self._payload(entry)
+
+    @staticmethod
+    def _payload(entry: _Entry) -> bytes:
+        if entry.sharded:
+            return entry.sketch.collect().to_bytes()
+        return entry.sketch.to_bytes()
+
+    def spill(self, key: str) -> None:
+        """Explicitly evict one resident key to the spill target."""
+        entry = self._entries.get(key)
+        if entry is None:
+            if key in self._spilled:
+                return
+            raise KeyError(key)
+        self._evict(key, entry)
+
+    def _evict(self, key: str, entry: _Entry) -> None:
+        if self._spill_save is None:
+            raise ServiceError("no spill target configured")
+        self._spill_save(key, self._payload(entry))
+        del self._entries[key]
+        self._retained_total -= entry.retained
+        self._spilled[key] = True
+        self.spill_count += 1
+
+    def _enforce_budget(self, *, keep: str) -> None:
+        """Spill LRU keys until back under budget (never the active key)."""
+        while self._retained_total > self.memory_budget and len(self._entries) > 1:
+            victim = next(iter(self._entries))
+            if victim == keep:
+                # The active key is by definition MRU, so hitting it here
+                # means it is the only resident key — handled by the loop
+                # bound; this guards against callers racing the ordering.
+                break
+            self._evict(victim, self._entries[victim])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def key_stats(self, key: str) -> dict:
+        """Per-key stats without changing residency or LRU order.
+
+        A spilled key's numbers come from its payload header
+        (:func:`~repro.fast.wire.peek_header`) — no decode, no reload.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            sketch = entry.sketch
+            return {
+                "key": key,
+                "resident": True,
+                "sharded": entry.sharded,
+                "n": int(sketch.n),
+                "retained": int(sketch.num_retained),
+                "levels": int(
+                    sketch.num_levels if not entry.sharded else sketch.collect().num_levels
+                ),
+            }
+        if key in self._spilled:
+            payload = self._spill_load(key) if self._spill_load else None
+            if payload is None:
+                raise ServiceError(f"spilled key {key!r} is missing from the spill target")
+            header = peek_header(payload)
+            return {
+                "key": key,
+                "resident": False,
+                "sharded": False,
+                "n": int(header.n),
+                "retained": retained_in_payload(payload, header),
+                "levels": int(header.num_levels),
+                "payload_bytes": len(payload),
+            }
+        raise KeyError(key)
+
+    def stats(self) -> dict:
+        """Store-wide stats (cheap: no decodes, no reloads)."""
+        return {
+            "keys": len(self),
+            "resident": len(self._entries),
+            "spilled": len(self._spilled),
+            "retained_items": self._retained_total,
+            "memory_budget": self.memory_budget,
+            "spill_count": self.spill_count,
+            "load_count": self.load_count,
+            "n_resident": sum(int(e.sketch.n) for e in self._entries.values()),
+        }
+
+    def items(self) -> Iterator:
+        """Iterate ``(key, entry)`` over resident keys (no LRU effect)."""
+        return iter(self._entries.items())

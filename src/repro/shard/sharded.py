@@ -176,6 +176,31 @@ class ShardedReqSketch:
             raise InvalidParameterError("cannot insert NaN: items must form a total order")
         self._route(values)
 
+    def absorb(self, sketch) -> None:
+        """Merge an existing sketch's summary into the plane (local backend).
+
+        The hot-key promotion path of :class:`repro.service.SketchStore`
+        uses this: a key that outgrows a single :class:`FastReqSketch` is
+        re-homed onto a sharded plane by absorbing the sketch built so far,
+        after which batches route normally.  The donor must share ``k`` and
+        ``hra`` and is never mutated (``merge_many`` snapshot semantics).
+        It lands on the least-loaded shard — any placement is correct by
+        Theorem 3; this one keeps shard sizes balanced.
+
+        Raises:
+            InvalidParameterError: On the process backend (worker tasks
+                ingest raw values, not pre-built summaries).
+            IncompatibleSketchesError: If ``k``/``hra`` differ.
+        """
+        if self.backend != "local":
+            raise InvalidParameterError(
+                "absorb() requires the local backend; on the process backend "
+                "ship the sketch's wire payload to the aggregator instead"
+            )
+        self._union = None
+        target = min(self._shards, key=lambda shard: shard.n)
+        target.merge_many((sketch,))
+
     def _drain_scalars(self) -> None:
         if self._scalars:
             block = np.asarray(self._scalars, dtype=np.float64)

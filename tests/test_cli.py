@@ -87,3 +87,77 @@ class TestCommands:
         assert main(["report", "--scale", "smoke", "--out", str(out_file)]) == 0
         text = out_file.read_text()
         assert "## E1" in text and "## E12" in text
+
+
+class TestVersion:
+    def test_version_command(self, capsys):
+        from repro import __version__
+
+        assert main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro-quantiles {__version__}"
+
+    def test_version_single_sourced_with_setup_py(self):
+        import pathlib
+        import re
+
+        from repro import __version__
+
+        setup_text = (
+            pathlib.Path(__file__).resolve().parent.parent / "setup.py"
+        ).read_text(encoding="utf-8")
+        assert "_version.py" in setup_text, "setup.py must read src/repro/_version.py"
+        assert not re.search(r'version\s*=\s*"', setup_text), (
+            "setup.py must not hard-code a version string"
+        )
+        version_text = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "src"
+            / "repro"
+            / "_version.py"
+        ).read_text(encoding="utf-8")
+        assert f'__version__ = "{__version__}"' in version_text
+
+
+class TestServiceCommands:
+    @pytest.fixture()
+    def live_server(self):
+        from repro.service import QuantileService, ServerThread
+
+        with ServerThread(QuantileService(None, k=32)) as running:
+            yield running
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7379
+        assert args.data_dir is None
+        assert args.memory_budget is None
+        assert args.snapshot_interval == 30.0
+
+    def test_query_against_live_server(self, live_server, capsys):
+        from repro.service import QuantileClient
+
+        with QuantileClient(port=live_server.port) as client:
+            client.ingest("cli-key", [float(i) for i in range(1000)])
+        assert (
+            main(
+                ["query", "cli-key", "--port", str(live_server.port), "--q", "0.5"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cli-key" in out
+        assert "n=1,000" in out
+
+    def test_query_stats(self, live_server, capsys):
+        assert main(["query", "--stats", "--port", str(live_server.port)]) == 0
+        out = capsys.readouterr().out
+        assert '"keys"' in out
+
+    def test_query_without_key_or_stats_is_error(self, live_server, capsys):
+        assert main(["query", "--port", str(live_server.port)]) == 2
+        assert "key" in capsys.readouterr().err
+
+    def test_query_connection_refused_is_error(self, capsys):
+        # Port 1 is privileged and unbound; connection is refused fast.
+        assert main(["query", "k", "--port", "1"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -43,6 +43,10 @@ class TestExamples:
         out = run_example("quickstart.py", "--n", "20000")
         assert "stream length" in out
         assert "rank interval" in out
+        # The serve/query walkthrough: a real localhost server round-trip.
+        assert "service p50/p99" in out
+        assert "after MERGE" in out
+        assert "server stats" in out
 
     def test_latency_monitoring(self):
         out = run_example("latency_monitoring.py", "--n", "30000")

@@ -248,3 +248,72 @@ class TestCrossFormat:
         fast2 = deserialize(serialize(ref), engine="fast")
         queries = np.linspace(0.0, 1.0, 33)
         assert np.array_equal(fast2.ranks(queries), fast.ranks(queries))
+
+
+class TestCrossEngineEdgeCases:
+    """Serialization corners the service plane leans on."""
+
+    def test_empty_fast_sketch_frq1_roundtrip(self):
+        payload = FastReqSketch(32, hra=True).to_bytes()
+        clone = FastReqSketch.from_bytes(payload)
+        assert clone.is_empty
+        assert clone.k == 32
+        assert clone.hra is True
+        # An empty payload must stay live: first data after decode works.
+        clone.update_many([1.0, 2.0, 3.0])
+        assert clone.n == 3
+        assert clone.quantile(0.5) == 2.0
+
+    def test_empty_fast_payload_to_reference_engine(self):
+        ref = deserialize(FastReqSketch(16).to_bytes(), engine="reference")
+        assert isinstance(ref, ReqSketch)
+        assert ref.is_empty
+        assert ref.k == 16
+        ref.update_many([5.0])
+        assert ref.n == 1
+
+    @pytest.mark.parametrize("hra", [False, True], ids=["hra_false", "hra_true"])
+    def test_hra_flag_roundtrip_both_engines(self, stream, hra):
+        fast = build_fast(stream[:8000], hra=hra)
+        clone = FastReqSketch.from_bytes(fast.to_bytes())
+        assert clone.hra is hra
+        ref = deserialize(fast.to_bytes(), engine="reference")
+        assert ref.hra is hra
+        back = deserialize(serialize(ref), engine="fast")
+        assert back.hra is hra
+        queries = np.linspace(0.0, 1.0, 21)
+        assert np.array_equal(back.ranks(queries), fast.ranks(queries))
+
+    def test_reference_fast_reference_chain_preserves_state(self, stream):
+        """reference -> fast -> reference keeps n, extremes, and ranks."""
+        ref = ReqSketch(32, seed=21)
+        ref.update_many(stream[:15_000].tolist())
+        fast = deserialize(serialize(ref), engine="fast")
+        back = deserialize(serialize(fast), engine="reference")
+        assert isinstance(back, ReqSketch)
+        assert back.n == ref.n
+        assert back.min_item == ref.min_item
+        assert back.max_item == ref.max_item
+        assert back.num_retained == ref.num_retained
+        for y in (0.001, 0.1, 0.5, 0.9, 0.999):
+            assert back.rank(y) == ref.rank(y)
+
+    def test_single_item_survives_the_chain(self):
+        ref = ReqSketch(16, seed=22)
+        ref.update(42.0)
+        fast = deserialize(serialize(ref), engine="fast")
+        back = deserialize(serialize(fast), engine="reference")
+        assert back.n == 1
+        assert back.min_item == back.max_item == 42.0
+        assert back.rank(42.0) == 1
+
+    def test_staged_scalars_cross_engines(self, stream):
+        """Fast-engine staged-but-unflushed items must survive conversion."""
+        fast = FastReqSketch(32, seed=23)
+        fast.update_many(stream[:5000])
+        for value in (0.5, -3.0, 7.0):  # staged, below the block size
+            fast.update(value)
+        ref = deserialize(serialize(fast), engine="reference")
+        assert ref.n == 5003
+        assert ref.min_item == -3.0
+        assert ref.max_item == 7.0

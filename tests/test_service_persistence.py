@@ -1,0 +1,260 @@
+"""Tests for the WAL, snapshot store, and recovery (repro.service.persistence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import QuantileService, SnapshotStore, WriteAheadLog
+from repro.service.persistence import WAL_INGEST, WAL_MERGE
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(515)
+
+
+def batch_bytes(array) -> bytes:
+    return np.ascontiguousarray(array, dtype="<f8").tobytes()
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        payloads = [batch_bytes(rng.random(50)), batch_bytes(rng.random(10))]
+        wal.append(WAL_INGEST, 1, "alpha", payloads[0])
+        wal.append(WAL_MERGE, 2, "βeta/metric", payloads[1])
+        wal.close()
+
+        records = list(WriteAheadLog(tmp_path / "wal.log").replay())
+        assert [(r.op, r.seq, r.key) for r in records] == [
+            (WAL_INGEST, 1, "alpha"),
+            (WAL_MERGE, 2, "βeta/metric"),
+        ]
+        assert [r.payload for r in records] == payloads
+
+    def test_replay_empty_log(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        assert list(wal.replay()) == []
+
+    def test_torn_tail_stops_cleanly(self, tmp_path, rng):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(20)))
+        wal.append(WAL_INGEST, 2, "b", batch_bytes(rng.random(20)))
+        wal.close()
+        # Simulate a crash mid-append: chop bytes off the last record.
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])
+        records = list(WriteAheadLog(path).replay())
+        assert [r.seq for r in records] == [1]
+        with pytest.raises(ServiceError, match="torn"):
+            list(WriteAheadLog(path).replay(strict=True))
+
+    def test_crc_corruption_stops_cleanly(self, tmp_path, rng):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(20)))
+        wal.close()
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert list(WriteAheadLog(path).replay()) == []
+        with pytest.raises(ServiceError, match="CRC"):
+            list(WriteAheadLog(path).replay(strict=True))
+
+    def test_append_after_torn_tail_is_still_replayable_prefix(self, tmp_path, rng):
+        """Records appended after a torn tail are shadowed, not corrupting."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(5)))
+        wal.close()
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\xff")  # torn garbage
+        wal = WriteAheadLog(path)
+        wal.append(WAL_INGEST, 2, "b", batch_bytes(rng.random(5)))
+        wal.close()
+        # Replay stops at the garbage: record 2 is unreachable, but the
+        # prefix is intact — exactly the contract recovery relies on.
+        assert [r.seq for r in WriteAheadLog(path).replay()] == [1]
+
+    def test_truncate(self, tmp_path, rng):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(5)))
+        assert wal.size_bytes > 0
+        wal.truncate()
+        assert wal.size_bytes == 0
+        wal.append(WAL_INGEST, 2, "a", batch_bytes(rng.random(5)))
+        assert [r.seq for r in wal.replay()] == [2]
+        wal.close()
+
+    def test_oversized_key_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(ServiceError, match="65535"):
+            wal.append(WAL_INGEST, 1, "k" * 70_000, b"")
+        wal.close()
+
+
+class TestSnapshotStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        snaps = SnapshotStore(tmp_path / "snapshots")
+        snaps.save("tenant-a/latency", 17, b"PAYLOAD")
+        assert snaps.load("tenant-a/latency") == (17, b"PAYLOAD")
+        assert snaps.load("missing") is None
+
+    def test_load_all_recovers_keys(self, tmp_path):
+        snaps = SnapshotStore(tmp_path / "snapshots")
+        keys = ["plain", "ünïcode/κλειδί", "with spaces and / slashes", "x" * 5000]
+        for index, key in enumerate(keys):
+            snaps.save(key, index, f"payload-{index}".encode())
+        loaded = snaps.load_all()
+        assert set(loaded) == set(keys)
+        for index, key in enumerate(keys):
+            assert loaded[key] == (index, f"payload-{index}".encode())
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        snaps = SnapshotStore(tmp_path / "snapshots")
+        snaps.save("k", 1, b"old")
+        snaps.save("k", 2, b"new")
+        assert snaps.load("k") == (2, b"new")
+        assert len(list((tmp_path / "snapshots").glob("*.frq1"))) == 1
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        directory = tmp_path / "snapshots"
+        directory.mkdir()
+        (directory / ("ab" * 32 + ".frq1")).write_bytes(b"\x01")
+        with pytest.raises(ServiceError, match="corrupt"):
+            SnapshotStore(directory).load_all()
+
+
+class TestServiceRecovery:
+    """End-to-end durability through QuantileService (no sockets)."""
+
+    def test_wal_only_recovery_is_bit_exact(self, tmp_path, rng):
+        batches = [rng.random(1200) for _ in range(4)]
+        service = QuantileService(tmp_path, k=32)
+        for index, batch in enumerate(batches):
+            service.ingest(f"key{index % 2}", batch)
+        payload_before = {key: service.store.payload(key) for key in ("key0", "key1")}
+        service.close(snapshot=False)  # crash: nothing snapshotted
+
+        recovered = QuantileService(tmp_path, k=32)
+        for key in ("key0", "key1"):
+            assert recovered.store.payload(key) == payload_before[key]
+        recovered.close()
+
+    def test_snapshot_only_recovery_is_exact(self, tmp_path, rng):
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("k", rng.random(5000))
+        answers = service.query("k", [0.1, 0.5, 0.9, 0.99])[2]
+        assert service.snapshot_all() == 1
+        assert service.wal.size_bytes == 0  # compacted
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, k=32)
+        assert np.array_equal(recovered.query("k", [0.1, 0.5, 0.9, 0.99])[2], answers)
+        recovered.close()
+
+    def test_snapshot_plus_wal_tail_recovers_all_data(self, tmp_path, rng):
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("k", rng.random(3000))
+        service.snapshot_all()
+        service.ingest("k", rng.random(2000) + 5.0)  # WAL-only tail
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, k=32)
+        n, eps, quantiles = recovered.query("k", [0.999])
+        assert n == 5000
+        # The tail (values > 5) must be present: the top permille is ~6.
+        assert quantiles[0] > 5.0
+        recovered.close()
+
+    def test_merge_records_replay(self, tmp_path, rng):
+        from repro.fast import FastReqSketch
+
+        donor = FastReqSketch(32, seed=8)
+        donor.update_many(rng.random(2500))
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("k", rng.random(1000))
+        service.merge("k", donor.to_bytes())
+        payload_before = service.store.payload("k")
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, k=32)
+        assert recovered.store.payload("k") == payload_before
+        assert recovered.store.get("k").n == 3500
+        recovered.close()
+
+    def test_incompatible_merge_rejected_before_wal(self, tmp_path, rng):
+        """A donor the store cannot absorb must never reach the WAL.
+
+        If it did, every restart would replay the unappliable record and
+        recovery would fail forever.
+        """
+        from repro.fast import FastReqSketch
+
+        donor = FastReqSketch(32, n_bound=10**6, seed=1)
+        donor.update_many(rng.random(100))
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("k", rng.random(100))
+        with pytest.raises(ServiceError, match="n_bound"):
+            service.merge("k", donor.to_bytes())
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, k=32)  # must not raise
+        assert recovered.store.get("k").n == 100
+        recovered.close()
+
+    def test_recovery_with_memory_budget_spills(self, tmp_path, rng):
+        """Replay must respect the budget (and spill through the snapshots)."""
+        service = QuantileService(tmp_path, k=32, memory_budget=2000)
+        totals = {}
+        for index in range(5):
+            key = f"key{index}"
+            service.ingest(key, rng.random(2500))
+            totals[key] = 2500
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, k=32, memory_budget=2000)
+        assert len(recovered.store) == 5
+        for key, total in totals.items():
+            assert recovered.store.get(key).n == total
+        recovered.close()
+
+    def test_snapshot_all_skips_clean_keys(self, tmp_path, rng):
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("a", rng.random(100))
+        service.ingest("b", rng.random(100))
+        assert service.snapshot_all() == 2
+        assert service.snapshot_all() == 0  # nothing dirty
+        service.ingest("a", rng.random(100))
+        assert service.snapshot_all() == 1  # only the dirty key
+        service.close()
+
+    def test_in_memory_service_has_no_durability(self, rng):
+        service = QuantileService(None, k=32)
+        service.ingest("k", rng.random(100))
+        assert service.snapshot_all() == 0
+        assert service.stats()["durable"] is False
+        service.close()
+
+    def test_in_memory_budget_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="data_dir"):
+            QuantileService(None, memory_budget=100)
+
+    def test_sequence_numbers_survive_compaction(self, tmp_path, rng):
+        """Seqs keep counting across truncations, so snapshots stay ordered."""
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("k", rng.random(100))
+        service.snapshot_all()
+        first_seq = service._seq
+        service.ingest("k", rng.random(100))
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, k=32)
+        assert recovered._seq > first_seq
+        assert recovered.store.get("k").n == 200
+        recovered.close()

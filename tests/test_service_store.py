@@ -1,0 +1,245 @@
+"""Tests for the multi-tenant keyed store (repro.service.store)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, ServiceError
+from repro.fast import FastReqSketch
+from repro.service import SketchStore
+from repro.service.store import spill_filename
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(414)
+
+
+class TestLazyCreation:
+    def test_first_update_creates_key(self, rng):
+        store = SketchStore(k=32)
+        assert "a" not in store
+        n = store.update_many("a", rng.random(1000))
+        assert n == 1000
+        assert "a" in store
+        assert len(store) == 1
+
+    def test_get_without_create_raises(self):
+        store = SketchStore()
+        with pytest.raises(KeyError):
+            store.get("missing")
+
+    def test_get_create_true_makes_empty_sketch(self):
+        store = SketchStore(k=16)
+        sketch = store.get("fresh", create=True)
+        assert sketch.is_empty
+        assert sketch.k == 16
+
+    def test_keys_are_independent(self, rng):
+        store = SketchStore(k=32)
+        store.update_many("lo", rng.random(2000))
+        store.update_many("hi", rng.random(2000) + 10.0)
+        assert store.get("lo").quantile(0.5) < 1.0
+        assert store.get("hi").quantile(0.5) > 10.0
+
+    def test_derived_seeds_are_deterministic_and_distinct(self):
+        store_a = SketchStore(seed=7)
+        store_b = SketchStore(seed=7)
+        assert store_a.derive_seed("k1") == store_b.derive_seed("k1")
+        assert store_a.derive_seed("k1") != store_a.derive_seed("k2")
+        assert SketchStore(seed=None).derive_seed("k1") is None
+
+    def test_deterministic_rebuild_from_same_batches(self, rng):
+        """Same seed + same batch sequence => bit-identical sketches."""
+        batches = [rng.random(700) for _ in range(5)]
+        store_a = SketchStore(seed=3)
+        store_b = SketchStore(seed=3)
+        for batch in batches:
+            store_a.update_many("k", batch)
+            store_b.update_many("k", batch)
+        assert store_a.get("k").to_bytes() == store_b.get("k").to_bytes()
+
+
+class TestMerge:
+    def test_merge_payload_unions_into_key(self, rng):
+        store = SketchStore(k=32)
+        store.update_many("k", rng.random(1000))
+        donor = FastReqSketch(32, seed=9)
+        donor.update_many(rng.random(2000))
+        n = store.merge_payload("k", donor.to_bytes())
+        assert n == 3000
+        assert store.get("k").n == 3000
+
+    def test_merge_creates_key(self, rng):
+        store = SketchStore(k=32)
+        donor = FastReqSketch(32, seed=9)
+        donor.update_many(rng.random(500))
+        assert store.merge_payload("new", donor.to_bytes()) == 500
+
+    def test_corrupt_payload_rejected(self):
+        store = SketchStore()
+        with pytest.raises(ServiceError, match="decode"):
+            store.merge_payload("k", b"not a sketch")
+
+
+class TestMemoryAccounting:
+    def test_retained_matches_sum(self, rng):
+        store = SketchStore(k=32)
+        for i in range(8):
+            store.update_many(f"k{i}", rng.random(3000))
+        expected = sum(store.get(f"k{i}").num_retained for i in range(8))
+        assert store.retained_items == expected
+
+    def test_accounting_tracks_merges(self, rng):
+        store = SketchStore(k=32)
+        store.update_many("k", rng.random(1000))
+        donor = FastReqSketch(32, seed=1)
+        donor.update_many(rng.random(4000))
+        store.merge_sketch("k", donor)
+        assert store.retained_items == store.get("k").num_retained
+
+
+class TestSpill:
+    def test_budget_requires_spill_target(self):
+        with pytest.raises(InvalidParameterError, match="spill"):
+            SketchStore(memory_budget=100)
+
+    def test_lru_eviction_and_transparent_reload(self, rng, tmp_path):
+        store = SketchStore(k=32, memory_budget=2000, spill_dir=tmp_path)
+        streams = {f"k{i}": rng.random(3000) for i in range(6)}
+        expected = {}
+        for key, stream in streams.items():
+            store.update_many(key, stream)
+            expected[key] = store.get(key).quantile(0.5)
+        assert store.spilled_keys, "budget of 2000 items must force evictions"
+        assert store.retained_items <= 2000 or len(store.resident_keys) == 1
+        assert len(store) == 6
+        # Reload each key (including spilled ones) and check identical answers.
+        for key in streams:
+            assert store.get(key).quantile(0.5) == expected[key]
+        assert store.load_count > 0
+
+    def test_spill_files_are_frq1_payloads(self, rng, tmp_path):
+        store = SketchStore(k=32, spill_dir=tmp_path, memory_budget=10_000)
+        store.update_many("alpha", rng.random(2000))
+        store.spill("alpha")
+        path = tmp_path / spill_filename("alpha")
+        assert path.exists()
+        clone = FastReqSketch.from_bytes(path.read_bytes())
+        assert clone.n == 2000
+
+    def test_eviction_prefers_lru_order(self, rng, tmp_path):
+        store = SketchStore(k=32, memory_budget=1500, spill_dir=tmp_path)
+        store.update_many("old", rng.random(2500))
+        store.update_many("newer", rng.random(2500))
+        assert "old" in store.spilled_keys
+        assert "newer" in store.resident_keys
+
+    def test_explicit_spill_unknown_key(self, tmp_path):
+        store = SketchStore(spill_dir=tmp_path)
+        with pytest.raises(KeyError):
+            store.spill("ghost")
+
+    def test_budget_enforced_on_read_path_reload(self, rng, tmp_path):
+        """QUERY-driven reloads must evict too, not just writes."""
+        store = SketchStore(k=32, memory_budget=4000, spill_dir=tmp_path)
+        for i in range(6):
+            store.update_many(f"k{i}", rng.random(3000))
+        assert store.spilled_keys
+        for key in store.keys():
+            store.get(key)  # read path only: no writes from here on
+            assert (
+                store.retained_items <= 4000 or len(store.resident_keys) == 1
+            ), f"budget violated after reloading {key}"
+
+    def test_updates_continue_after_reload(self, rng, tmp_path):
+        store = SketchStore(k=32, spill_dir=tmp_path)
+        store.update_many("k", rng.random(1000))
+        store.spill("k")
+        store.update_many("k", rng.random(1000))
+        assert store.get("k").n == 2000
+
+
+class TestHotKeys:
+    def test_promotion_past_threshold(self, rng):
+        from repro.shard import ShardedReqSketch
+
+        store = SketchStore(k=32, hot_key_items=5000, hot_shards=3)
+        store.update_many("cold", rng.random(1000))
+        for _ in range(3):
+            store.update_many("hot", rng.random(2000))
+        assert isinstance(store.get("hot"), ShardedReqSketch)
+        assert isinstance(store.get("cold"), FastReqSketch)
+        assert store.get("hot").n == 6000
+
+    def test_promoted_key_queries_and_payload(self, rng):
+        store = SketchStore(k=32, hot_key_items=1000)
+        stream = rng.random(5000)
+        store.update_many("hot", stream)
+        quantile = store.get("hot").quantile(0.5)
+        assert 0.4 < quantile < 0.6
+        clone = FastReqSketch.from_bytes(store.payload("hot"))
+        assert clone.n == 5000
+
+    def test_promoted_key_accepts_merges(self, rng):
+        store = SketchStore(k=32, hot_key_items=100)
+        store.update_many("hot", rng.random(500))
+        donor = FastReqSketch(32, seed=4)
+        donor.update_many(rng.random(300))
+        assert store.merge_sketch("hot", donor) == 800
+
+    def test_promoted_key_spills_as_union(self, rng, tmp_path):
+        store = SketchStore(k=32, hot_key_items=100, spill_dir=tmp_path)
+        store.update_many("hot", rng.random(2000))
+        store.spill("hot")
+        # Reloads as a plain FastReqSketch (demotion on reload is fine: the
+        # union payload carries everything).
+        assert store.get("hot").n == 2000
+
+
+class TestStats:
+    def test_store_stats(self, rng, tmp_path):
+        store = SketchStore(k=32, memory_budget=1500, spill_dir=tmp_path)
+        for i in range(4):
+            store.update_many(f"k{i}", rng.random(1500))
+        stats = store.stats()
+        assert stats["keys"] == 4
+        assert stats["resident"] + stats["spilled"] == 4
+        assert stats["spill_count"] >= stats["spilled"]
+
+    def test_key_stats_resident_and_spilled(self, rng, tmp_path):
+        store = SketchStore(k=32, spill_dir=tmp_path)
+        store.update_many("k", rng.random(2000))
+        # Flush staging first: the resident retained count includes staged
+        # scalars, while a spill payload is always post-flush.
+        store.get("k").flush()
+        resident = store.key_stats("k")
+        assert resident["resident"] is True
+        assert resident["n"] == 2000
+        retained = resident["retained"]
+        store.spill("k")
+        spilled = store.key_stats("k")
+        assert spilled["resident"] is False
+        assert spilled["n"] == 2000
+        assert spilled["retained"] == retained
+        # key_stats must not reload the key.
+        assert "k" in store.spilled_keys
+
+    def test_key_stats_unknown(self):
+        store = SketchStore()
+        with pytest.raises(KeyError):
+            store.key_stats("ghost")
+
+
+class TestValidation:
+    def test_bad_k_fails_fast(self):
+        with pytest.raises(InvalidParameterError):
+            SketchStore(k=7)
+
+    def test_nan_rejected(self):
+        store = SketchStore()
+        with pytest.raises(InvalidParameterError):
+            store.update_many("k", [1.0, float("nan")])
+        assert "k" in store  # the entry exists but holds nothing
+        assert store.get("k").n == 0

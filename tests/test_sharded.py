@@ -143,6 +143,36 @@ class TestLocalBackend:
         assert sharded.n == 10_000
         assert sharded.rank(float(stream[:10_000].max())) == 10_000
 
+    def test_absorb_merges_existing_sketch(self, stream):
+        """The hot-key promotion path: fold a built sketch into the plane."""
+        single = FastReqSketch(32, seed=40)
+        single.update_many(stream[:8000])
+        sharded = ShardedReqSketch(4, k=32, seed=41)
+        sharded.update_many(stream[8000:12_000])
+        sharded.absorb(single)
+        assert sharded.n == 12_000
+        assert single.n == 8000  # the donor is never mutated
+        assert sharded.rank(float(np.max(stream[:12_000]))) == 12_000
+        # The union cache must see the absorbed data immediately.
+        median = sharded.quantile(0.5)
+        assert 0.4 < median < 0.6
+
+    def test_absorb_rejects_mismatched_geometry(self, stream):
+        donor = FastReqSketch(64, seed=42)
+        donor.update_many(stream[:100])
+        sharded = ShardedReqSketch(2, k=32, seed=43)
+        from repro.errors import IncompatibleSketchesError
+
+        with pytest.raises(IncompatibleSketchesError):
+            sharded.absorb(donor)
+
+    def test_absorb_rejected_on_process_backend(self, stream):
+        donor = FastReqSketch(32, seed=44)
+        donor.update_many(stream[:100])
+        with ShardedReqSketch(2, k=32, seed=45, backend="process") as sharded:
+            with pytest.raises(InvalidParameterError, match="local backend"):
+                sharded.absorb(donor)
+
 
 class TestProcessBackend:
     def test_end_to_end(self, stream):
