@@ -129,12 +129,20 @@ class QuantileClient:
         return n
 
     def ingest_one(self, key: str, value: float) -> None:
-        """Buffer one value; a full buffer ships as a single batch."""
+        """Buffer one value; a full buffer ships as a single batch.
+
+        Same contract as :meth:`flush`: if shipping fails, the batch is
+        re-attached to the buffer so a retry cannot silently lose it.
+        """
         buffer = self._buffers.setdefault(key, [])
         buffer.append(float(value))
         if len(buffer) >= self.batch_size:
             del self._buffers[key]
-            self.ingest(key, buffer)
+            try:
+                self.ingest(key, buffer)
+            except BaseException:
+                self._buffers[key] = buffer
+                raise
 
     def flush(self) -> None:
         """Ship every buffered ``ingest_one`` value.
@@ -255,15 +263,28 @@ class AsyncQuantileClient:
         return n
 
     async def ingest_one(self, key: str, value: float) -> None:
+        """Buffer one value (same keep-on-failure contract as
+        :meth:`QuantileClient.ingest_one`).
+
+        On failure the batch is *merged* back, not assigned: another task
+        may have started a fresh buffer for the key while ``ingest`` was
+        awaiting, and overwriting it would lose those values.
+        """
         buffer = self._buffers.setdefault(key, [])
         buffer.append(float(value))
         if len(buffer) >= self.batch_size:
             del self._buffers[key]
-            await self.ingest(key, buffer)
+            try:
+                await self.ingest(key, buffer)
+            except BaseException:
+                buffer.extend(self._buffers.pop(key, []))
+                self._buffers[key] = buffer
+                raise
 
     async def flush(self) -> None:
         """Ship every buffered value (same keep-on-failure contract as
-        :meth:`QuantileClient.flush`)."""
+        :meth:`QuantileClient.flush`; values staged by other tasks during
+        the await are merged, not overwritten)."""
         for key in list(self._buffers):
             values = self._buffers.pop(key)
             if not values:
@@ -271,6 +292,7 @@ class AsyncQuantileClient:
             try:
                 await self.ingest(key, values)
             except BaseException:
+                values.extend(self._buffers.pop(key, []))
                 self._buffers[key] = values
                 raise
 

@@ -13,7 +13,9 @@ Two complementary mechanisms, both built on the ``FRQ1`` wire format of
   batch (raw float64 values) and merge (an ``FRQ1`` donor payload) is
   appended with a monotonically increasing sequence number and a CRC32
   before it is applied to the store.  Each record is self-delimiting, so
-  replay after a crash walks the log and stops cleanly at a torn tail.
+  replay after a crash walks the log and stops cleanly at a torn tail —
+  and opening the log truncates that tail away, so records appended after
+  a restart are never shadowed behind unreadable bytes.
 
 **Recovery** (:func:`recover`) registers every snapshot, then replays WAL
 records whose sequence number exceeds the owning key's snapshot sequence.
@@ -34,6 +36,7 @@ counting up across truncations (they are persisted in the snapshots), so
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from pathlib import Path
@@ -57,6 +60,15 @@ _BODY_HEAD = struct.Struct("<BQH")
 _SNAP_HEAD = struct.Struct("<QH")
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Force a directory entry (a just-completed rename) to disk."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class WalRecord(NamedTuple):
     op: int
     seq: int
@@ -72,12 +84,22 @@ class WriteAheadLog:
     buffered-write + ``flush()`` by default (data reaches the OS; survives
     a process crash).  Pass ``fsync=True`` for per-append ``os.fsync``
     (survives power loss, at a large throughput cost).
+
+    Opening the log **self-heals a torn tail**: a crash mid-append can
+    leave a partial record at the end of the file, and because replay
+    stops at the first unreadable record, anything appended *after* that
+    tear would be acknowledged yet invisible to every future recovery.
+    ``__init__`` therefore trims the file to its longest valid record
+    prefix (:attr:`healed_bytes` reports how much was dropped) before the
+    append handle opens, keeping "appended" equivalent to "replayable".
     """
 
     def __init__(self, path, *, fsync: bool = False) -> None:
         self.path = Path(path)
         self.fsync = fsync
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Torn-tail bytes truncated away when this handle opened (0 = clean).
+        self.healed_bytes = self._heal_torn_tail()
         self._file = open(self.path, "ab")
 
     def append(self, op: int, seq: int, key: str, payload: bytes) -> None:
@@ -89,8 +111,6 @@ class WriteAheadLog:
         self._file.write(body)
         self._file.flush()
         if self.fsync:
-            import os
-
             os.fsync(self._file.fileno())
 
     def replay(self, *, strict: bool = False) -> Iterator[WalRecord]:
@@ -109,45 +129,97 @@ class WriteAheadLog:
         if not self.path.exists():
             return
         with open(self.path, "rb") as handle:
-            offset = 0
-            while True:
-                head = handle.read(_RECORD_HEAD.size)
-                if not head:
-                    return
-                if len(head) < _RECORD_HEAD.size:
-                    if strict:
-                        raise ServiceError(f"torn WAL record header at byte {offset}")
-                    return
-                length, crc = _RECORD_HEAD.unpack(head)
-                body = handle.read(length)
-                if len(body) < length:
-                    if strict:
-                        raise ServiceError(f"torn WAL record body at byte {offset}")
-                    return
-                if zlib.crc32(body) != crc:
-                    if strict:
-                        raise ServiceError(f"WAL CRC mismatch at byte {offset}")
-                    return
-                try:
-                    op, seq, key_len = _BODY_HEAD.unpack_from(body, 0)
-                    raw_key = body[_BODY_HEAD.size : _BODY_HEAD.size + key_len]
-                    if len(raw_key) != key_len:
-                        raise ValueError("record body shorter than its declared key")
-                    key = raw_key.decode("utf-8")
-                except (struct.error, ValueError, UnicodeDecodeError) as exc:
-                    if strict:
-                        raise ServiceError(
-                            f"malformed WAL record at byte {offset}: {exc}"
-                        ) from exc
-                    return
-                yield WalRecord(op, seq, key, body[_BODY_HEAD.size + key_len :])
-                offset += _RECORD_HEAD.size + length
+            for record, _end in self._records(handle, strict=strict):
+                yield record
+
+    @staticmethod
+    def _records(handle, *, strict: bool) -> Iterator[Tuple[WalRecord, int]]:
+        """Yield ``(record, end_offset)`` per intact record from ``handle``."""
+        offset = 0
+        while True:
+            head = handle.read(_RECORD_HEAD.size)
+            if not head:
+                return
+            if len(head) < _RECORD_HEAD.size:
+                if strict:
+                    raise ServiceError(f"torn WAL record header at byte {offset}")
+                return
+            length, crc = _RECORD_HEAD.unpack(head)
+            body = handle.read(length)
+            if len(body) < length:
+                if strict:
+                    raise ServiceError(f"torn WAL record body at byte {offset}")
+                return
+            if zlib.crc32(body) != crc:
+                if strict:
+                    raise ServiceError(f"WAL CRC mismatch at byte {offset}")
+                return
+            try:
+                op, seq, key_len = _BODY_HEAD.unpack_from(body, 0)
+                raw_key = body[_BODY_HEAD.size : _BODY_HEAD.size + key_len]
+                if len(raw_key) != key_len:
+                    raise ValueError("record body shorter than its declared key")
+                key = raw_key.decode("utf-8")
+            except (struct.error, ValueError, UnicodeDecodeError) as exc:
+                if strict:
+                    raise ServiceError(
+                        f"malformed WAL record at byte {offset}: {exc}"
+                    ) from exc
+                return
+            offset += _RECORD_HEAD.size + length
+            yield WalRecord(op, seq, key, body[_BODY_HEAD.size + key_len :]), offset
+
+    def _heal_torn_tail(self) -> int:
+        """Truncate a torn *tail* left by a crash; returns the bytes dropped.
+
+        Only a genuine torn append is healed: the invalid region must be a
+        single record whose declared extent reaches (or overruns) the end
+        of the file — the signature of a crash mid-append.  An unreadable
+        record with more data *after* its declared end is mid-file
+        corruption (bit rot, a bad sector): truncating there would destroy
+        every later record, so it raises instead — the operator keeps the
+        damaged file for offline repair (``replay(strict=True)`` pinpoints
+        the damage).
+
+        The scan re-reads the whole log once before :func:`recover` reads
+        it again; recovery is rare (startup only) and the log is bounded
+        by the checkpoint interval, so correctness of this path wins over
+        saving the extra pass.
+        """
+        if not self.path.exists():
+            return 0
+        size = self.path.stat().st_size
+        valid = 0
+        with open(self.path, "rb") as handle:
+            for _record, end in self._records(handle, strict=False):
+                valid = end
+        torn = size - valid
+        if not torn:
+            return 0
+        with open(self.path, "rb") as handle:
+            handle.seek(valid)
+            head = handle.read(_RECORD_HEAD.size)
+        if len(head) == _RECORD_HEAD.size:
+            (length, _crc) = _RECORD_HEAD.unpack(head)
+            if valid + _RECORD_HEAD.size + length < size:
+                raise ServiceError(
+                    f"WAL record at byte {valid} is unreadable but is not the "
+                    f"last record ({size - valid} bytes follow): mid-file "
+                    "corruption, not a torn append — refusing to truncate "
+                    "acknowledged records; repair the log offline "
+                    "(replay(strict=True) locates the damage)"
+                )
+        with open(self.path, "r+b") as handle:
+            handle.truncate(valid)
+        return torn
 
     def truncate(self) -> None:
         """Drop every record (call only when all are covered by snapshots)."""
         self._file.close()
         self._file = open(self.path, "wb")
         self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
 
     @property
     def size_bytes(self) -> int:
@@ -165,10 +237,17 @@ class WriteAheadLog:
 
 
 class SnapshotStore:
-    """Per-key snapshot files: ``<u64 seq><u16 key_len><key><FRQ1 payload>``."""
+    """Per-key snapshot files: ``<u64 seq><u16 key_len><key><FRQ1 payload>``.
 
-    def __init__(self, directory) -> None:
+    With ``fsync=True`` every save is forced to disk (file data before the
+    rename, the directory entry after it), matching the power-loss
+    durability of an ``fsync``-ing WAL — required when a snapshot is about
+    to justify truncating the WAL records it covers.
+    """
+
+    def __init__(self, directory, *, fsync: bool = False) -> None:
         self.directory = Path(directory)
+        self.fsync = fsync
 
     def save(self, key: str, seq: int, payload: bytes) -> None:
         """Atomically write ``key``'s snapshot (temp file + rename)."""
@@ -178,8 +257,14 @@ class SnapshotStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.directory / spill_filename(key)
         tmp = path.with_suffix(".tmp")
-        tmp.write_bytes(_SNAP_HEAD.pack(seq, len(raw_key)) + raw_key + payload)
+        with open(tmp, "wb") as handle:
+            handle.write(_SNAP_HEAD.pack(seq, len(raw_key)) + raw_key + payload)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         tmp.replace(path)
+        if self.fsync:
+            _fsync_dir(self.directory)
 
     def load(self, key: str) -> Optional[Tuple[int, bytes]]:
         """``(seq, payload)`` for ``key``, or ``None`` if never snapshotted."""

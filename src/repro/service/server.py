@@ -67,7 +67,10 @@ class QuantileService:
         hot_key_items: Optional per-key ingest threshold for promotion to
             a local :class:`~repro.shard.ShardedReqSketch`.
         hot_shards: Shards per promoted key.
-        fsync: Per-append ``os.fsync`` on the WAL (power-loss durability).
+        fsync: ``os.fsync`` on every WAL append and snapshot save, so
+            acknowledged writes survive power loss — including across a
+            checkpoint, where the snapshots are forced to disk before the
+            WAL truncation that makes them load-bearing.
     """
 
     def __init__(
@@ -97,7 +100,7 @@ class QuantileService:
             spill_save = spill_load = None
         else:
             self.wal = WriteAheadLog(self.data_dir / "wal.log", fsync=fsync)
-            self.snapshots = SnapshotStore(self.data_dir / "snapshots")
+            self.snapshots = SnapshotStore(self.data_dir / "snapshots", fsync=fsync)
 
             def spill_save(key: str, payload: bytes) -> None:
                 seq = self._applied_seq.get(key, 0)
@@ -120,6 +123,17 @@ class QuantileService:
             on_spill_load=self._reseed_from_epoch,
         )
         if self.wal is not None:
+            if self.wal.healed_bytes:
+                import sys
+
+                print(
+                    f"WARNING: truncated {self.wal.healed_bytes} torn bytes from "
+                    f"the WAL tail at {self.wal.path} (crash mid-append); the "
+                    "partially-written final record is gone (never durable; "
+                    "never acknowledged when fsync is on), all earlier records "
+                    "replay normally",
+                    file=sys.stderr,
+                )
             self._seq = recover(
                 self.store, self.wal, self.snapshots, self._applied_seq, self._snap_seq
             )
@@ -138,6 +152,7 @@ class QuantileService:
         Validation happens *before* the WAL append — a rejected batch
         (NaN, empty) must not poison replay.
         """
+        self._check_key(key)
         array = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
         if array.size == 0:
             raise InvalidParameterError("empty ingest batch")
@@ -152,8 +167,23 @@ class QuantileService:
         self.ingested_values += array.size
         return n
 
+    @staticmethod
+    def _check_key(key: str) -> None:
+        """Refuse to create the empty key.
+
+        The wire ``STATS`` opcode reads an empty key as "server-wide", so
+        an empty-keyed sketch would be ingestible yet unreachable for
+        per-key stats; rejecting it at creation keeps every stored key
+        addressable by every opcode.
+        """
+        if not key:
+            raise ServiceError(
+                "the empty key is reserved (STATS uses it for server-wide stats)"
+            )
+
     def merge(self, key: str, payload: bytes) -> int:
         """Union an ``FRQ1`` donor payload into ``key``; returns its ``n``."""
+        self._check_key(key)
         # Decode first: a corrupt payload must fail before it reaches the WAL.
         from repro.fast import FastReqSketch
 
@@ -275,6 +305,7 @@ class QuantileService:
             "merge_count": self.merge_count,
             "durable": self.wal is not None,
             "wal_bytes": self.wal.size_bytes if self.wal is not None else 0,
+            "wal_healed_bytes": self.wal.healed_bytes if self.wal is not None else 0,
             "next_seq": self._seq,
         }
         report.update(self.store.stats())
@@ -443,6 +474,18 @@ class QuantileServer:
                 wire.STATUS_BAD_REQUEST if isinstance(exc, ServiceError) else wire.STATUS_ERROR
             )
             return wire.error_body(status, str(exc))
+        except Exception as exc:
+            # Unexpected failures (a full disk killing a WAL append, a numpy
+            # edge case) must not tear down the connection with no response;
+            # answer with an error and keep serving.  The traceback goes to
+            # stderr — the client only sees the exception type and message.
+            import sys
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
+            return wire.error_body(
+                wire.STATUS_ERROR, f"internal error: {type(exc).__name__}: {exc}"
+            )
 
 
 class ServerThread:

@@ -38,7 +38,7 @@ class TestWriteAheadLog:
         wal = WriteAheadLog(tmp_path / "wal.log")
         assert list(wal.replay()) == []
 
-    def test_torn_tail_stops_cleanly(self, tmp_path, rng):
+    def test_torn_tail_healed_on_open(self, tmp_path, rng):
         path = tmp_path / "wal.log"
         wal = WriteAheadLog(path)
         wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(20)))
@@ -47,12 +47,13 @@ class TestWriteAheadLog:
         # Simulate a crash mid-append: chop bytes off the last record.
         data = path.read_bytes()
         path.write_bytes(data[:-7])
-        records = list(WriteAheadLog(path).replay())
-        assert [r.seq for r in records] == [1]
-        with pytest.raises(ServiceError, match="torn"):
-            list(WriteAheadLog(path).replay(strict=True))
+        wal = WriteAheadLog(path)
+        assert wal.healed_bytes > 0  # the torn record was truncated away
+        assert [r.seq for r in wal.replay()] == [1]
+        assert list(wal.replay(strict=True))  # the healed log is pristine
+        wal.close()
 
-    def test_crc_corruption_stops_cleanly(self, tmp_path, rng):
+    def test_crc_corruption_healed_on_open(self, tmp_path, rng):
         path = tmp_path / "wal.log"
         wal = WriteAheadLog(path)
         wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(20)))
@@ -60,24 +61,63 @@ class TestWriteAheadLog:
         data = bytearray(path.read_bytes())
         data[-1] ^= 0xFF
         path.write_bytes(bytes(data))
-        assert list(WriteAheadLog(path).replay()) == []
-        with pytest.raises(ServiceError, match="CRC"):
-            list(WriteAheadLog(path).replay(strict=True))
+        wal = WriteAheadLog(path)
+        assert list(wal.replay()) == []
+        assert wal.size_bytes == 0  # the corrupt record was truncated away
+        wal.close()
 
-    def test_append_after_torn_tail_is_still_replayable_prefix(self, tmp_path, rng):
-        """Records appended after a torn tail are shadowed, not corrupting."""
+    def test_strict_replay_detects_corruption(self, tmp_path, rng):
+        """Strict mode flags tears/CRC damage that appear after open."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(20)))
+        wal.append(WAL_INGEST, 2, "b", batch_bytes(rng.random(20)))
+        # Corrupt beneath the live handle (opening healed a clean log, so
+        # the damage is still present when replay walks the file).
+        data = bytearray(path.read_bytes())
+        torn = bytes(data[:-7])
+        path.write_bytes(torn)
+        assert [r.seq for r in wal.replay()] == [1]
+        with pytest.raises(ServiceError, match="torn"):
+            list(wal.replay(strict=True))
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ServiceError, match="CRC"):
+            list(wal.replay(strict=True))
+        wal.close()
+
+    def test_append_after_torn_tail_is_replayable(self, tmp_path, rng):
+        """Opening truncates a torn tail, so later appends are never shadowed."""
         path = tmp_path / "wal.log"
         wal = WriteAheadLog(path)
         wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(5)))
         wal.close()
+        clean_size = path.stat().st_size
         with open(path, "ab") as handle:
-            handle.write(b"\xff\xff")  # torn garbage
+            handle.write(b"\xff\xff")  # torn garbage from a crash mid-append
         wal = WriteAheadLog(path)
+        assert wal.healed_bytes == 2
+        assert path.stat().st_size == clean_size
         wal.append(WAL_INGEST, 2, "b", batch_bytes(rng.random(5)))
         wal.close()
-        # Replay stops at the garbage: record 2 is unreachable, but the
-        # prefix is intact — exactly the contract recovery relies on.
-        assert [r.seq for r in WriteAheadLog(path).replay()] == [1]
+        assert [r.seq for r in WriteAheadLog(path).replay()] == [1, 2]
+
+    def test_mid_file_corruption_refuses_to_open(self, tmp_path, rng):
+        """Bit rot before the tail must not be 'healed' away: truncating at
+        the damage would destroy every acknowledged record after it."""
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        wal.append(WAL_INGEST, 1, "a", batch_bytes(rng.random(20)))
+        first_end = path.stat().st_size
+        wal.append(WAL_INGEST, 2, "b", batch_bytes(rng.random(20)))
+        wal.close()
+        data = bytearray(path.read_bytes())
+        data[first_end // 2] ^= 0xFF  # bit rot inside record 1's body
+        path.write_bytes(bytes(data))
+        with pytest.raises(ServiceError, match="mid-file"):
+            WriteAheadLog(path)
+        # The damaged file is untouched, available for offline repair.
+        assert path.stat().st_size == len(data)
 
     def test_truncate(self, tmp_path, rng):
         wal = WriteAheadLog(tmp_path / "wal.log")
@@ -244,6 +284,42 @@ class TestServiceRecovery:
 
         with pytest.raises(InvalidParameterError, match="data_dir"):
             QuantileService(None, memory_budget=100)
+
+    def test_ingests_after_torn_tail_survive_second_crash(self, tmp_path, rng):
+        """The review scenario: crash leaves a torn WAL tail, the restarted
+        service acknowledges new ingests, then crashes again before any
+        snapshot — the new records must still replay (the tear is truncated
+        at startup, so they are not shadowed behind unreadable bytes)."""
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("k", rng.random(500))
+        service.close(snapshot=False)
+        with open(tmp_path / "wal.log", "ab") as handle:
+            handle.write(b"\x99" * 11)  # crash mid-append: torn garbage
+
+        restarted = QuantileService(tmp_path, k=32)
+        assert restarted.store.get("k").n == 500  # prefix replayed
+        assert restarted.stats()["wal_healed_bytes"] == 11  # heal is visible
+        restarted.ingest("k", rng.random(300))  # acknowledged post-restart
+        restarted.close(snapshot=False)  # second crash, still no snapshot
+
+        recovered = QuantileService(tmp_path, k=32)
+        assert recovered.store.get("k").n == 800
+        recovered.close()
+
+    def test_fsync_checkpoint_roundtrip(self, tmp_path, rng):
+        """fsync=True must flow through WAL appends, snapshot saves, and
+        the checkpoint truncation without changing observable behavior."""
+        service = QuantileService(tmp_path, k=32, fsync=True)
+        assert service.snapshots.fsync is True
+        service.ingest("k", rng.random(1000))
+        answers = service.query("k", [0.5, 0.99])[2]
+        assert service.snapshot_all() == 1
+        assert service.wal.size_bytes == 0
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, k=32, fsync=True)
+        assert np.array_equal(recovered.query("k", [0.5, 0.99])[2], answers)
+        recovered.close()
 
     def test_sequence_numbers_survive_compaction(self, tmp_path, rng):
         """Seqs keep counting across truncations, so snapshots stay ordered."""

@@ -157,6 +157,37 @@ class TestProtocol:
             with pytest.raises(ServiceError, match="empty"):
                 client.ingest("k", [])
 
+    def test_empty_key_rejected_for_ingest_and_merge(self, harness, rng):
+        """'' means server-wide to STATS, so it must never become a key."""
+        from repro import FastReqSketch
+
+        donor = FastReqSketch(32, seed=3)
+        donor.update_many(rng.random(100))
+        running = harness(QuantileService(None, k=32))
+        with QuantileClient(port=running.port) as client:
+            with pytest.raises(ServiceError, match="reserved") as excinfo:
+                client.ingest("", [1.0, 2.0])
+            assert excinfo.value.status == wire.STATUS_BAD_REQUEST
+            with pytest.raises(ServiceError, match="reserved"):
+                client.merge("", donor)
+            # The empty key still addresses server-wide stats.
+            assert client.stats()["keys"] == 0
+
+    def test_internal_error_answered_and_connection_survives(self, harness, rng):
+        """A non-ReproError inside a handler must produce an error response,
+        not a silently dropped connection."""
+        running = harness(QuantileService(None))
+
+        def boom(key, values):
+            raise RuntimeError("disk on fire")
+
+        running.service.ingest = boom
+        with QuantileClient(port=running.port) as client:
+            with pytest.raises(ServiceError, match="internal error.*disk on fire") as excinfo:
+                client.ingest("k", [1.0])
+            assert excinfo.value.status == wire.STATUS_ERROR
+            assert isinstance(client.ping(), str)  # connection still usable
+
     def test_unknown_opcode(self, harness):
         running = harness(QuantileService(None))
         with QuantileClient(port=running.port) as client:
@@ -333,6 +364,26 @@ class TestAsyncClient:
         assert cdf.quantiles[-1] == 1.0
         assert stats["keys"] == 2
         assert isinstance(version, str)
+
+    def test_async_ingest_one_failure_merges_concurrent_buffer(self):
+        """A failed ship must re-attach by merging: values another task
+        staged for the same key during the await must not be overwritten."""
+
+        async def scenario():
+            client = AsyncQuantileClient(batch_size=2)
+
+            async def failing_ingest(key, values):
+                # Simulate a concurrent task staging a value mid-await.
+                client._buffers.setdefault(key, []).append(99.0)
+                raise ConnectionError("transport down")
+
+            client.ingest = failing_ingest
+            await client.ingest_one("k", 1.0)
+            with pytest.raises(ConnectionError):
+                await client.ingest_one("k", 2.0)
+            return client._buffers["k"]
+
+        assert asyncio.run(scenario()) == [1.0, 2.0, 99.0]
 
     def test_async_error_status(self, harness):
         running = harness(QuantileService(None))
