@@ -130,7 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--hot-shards", type=int, default=4)
     serve_parser.add_argument(
-        "--fsync", action="store_true", help="fsync the WAL per append (power-loss durability)"
+        "--fsync",
+        action="store_true",
+        help="fsync WAL commits and snapshots (power-loss durability; with "
+        "group commit the fsync is amortized across each commit batch)",
+    )
+    serve_parser.add_argument(
+        "--no-group-commit",
+        action="store_true",
+        help="write + fsync the WAL synchronously per request instead of "
+        "batching appends on the background group-commit writer "
+        "(lower single-request latency, much lower ingest throughput)",
+    )
+    serve_parser.add_argument(
+        "--no-uvloop",
+        action="store_true",
+        help="stick to the stock asyncio event loop even when uvloop is "
+        "installed (uvloop is auto-detected and silently skipped when absent)",
     )
 
     query_parser = sub.add_parser("query", help="query a running quantile service")
@@ -292,6 +308,8 @@ def _cmd_serve(args) -> int:
         hot_shards=args.hot_shards,
         snapshot_interval=args.snapshot_interval or None,
         fsync=args.fsync,
+        group_commit=not args.no_group_commit,
+        use_uvloop=not args.no_uvloop,
     )
 
 

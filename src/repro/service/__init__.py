@@ -18,15 +18,20 @@ Layers (bottom up):
 * :mod:`repro.service.persistence` — per-key ``FRQ1`` snapshots plus an
   append-only CRC-guarded batch WAL; replay-on-recovery reconstructs
   every key after a crash (bit-exact for WAL-replayed keys, thanks to
-  deterministic per-key seeds).
+  deterministic per-key seeds).  :class:`GroupCommitWal` moves appends
+  and fsyncs onto a background writer with group commit — acks gate on
+  commit tickets, so durability costs latency instead of throughput.
 * :class:`QuantileService` / :class:`QuantileServer`
   (:mod:`repro.service.server`) — the durable core and its asyncio TCP
   front speaking the length-prefixed binary protocol of
   :mod:`repro.service.protocol` (``INGEST``/``QUERY``/``CDF``/``MERGE``/
-  ``STATS``/``SNAPSHOT``/``PING``).
+  ``STATS``/``SNAPSHOT``/``PING``/``MULTI_INGEST``).  The ingest path is
+  pipelined end to end: zero-copy frame decode, per-tick coalescing into
+  single ``update_many`` batches, uvloop when installed.
 * :class:`QuantileClient` / :class:`AsyncQuantileClient`
   (:mod:`repro.service.client`) — sync and asyncio clients with per-key
-  client-side batching.
+  client-side batching, windowed pipelined streaming (``ingest_stream``),
+  and multi-key fan-in frames (``ingest_multi``).
 
 Run it::
 
@@ -39,12 +44,19 @@ or in-process::
 """
 
 from repro.service.client import AsyncQuantileClient, QuantileClient, QueryResult
-from repro.service.persistence import SnapshotStore, WriteAheadLog
-from repro.service.server import QuantileServer, QuantileService, ServerThread, run_server
+from repro.service.persistence import GroupCommitWal, SnapshotStore, WriteAheadLog
+from repro.service.server import (
+    QuantileServer,
+    QuantileService,
+    ServerThread,
+    new_event_loop,
+    run_server,
+)
 from repro.service.store import SketchStore
 
 __all__ = [
     "AsyncQuantileClient",
+    "GroupCommitWal",
     "QuantileClient",
     "QuantileServer",
     "QuantileService",
@@ -53,5 +65,6 @@ __all__ = [
     "SketchStore",
     "SnapshotStore",
     "WriteAheadLog",
+    "new_event_loop",
     "run_server",
 ]

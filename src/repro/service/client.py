@@ -2,24 +2,32 @@
 
 Both clients speak the framed protocol of :mod:`repro.service.protocol`
 and expose the same surface: ``ingest`` ships a batch straight into the
-server's ``update_many`` path, ``ingest_one`` buffers scalars per key and
-auto-flushes full batches (batching is THE lever for socket throughput —
-one frame per value would spend everything on framing), ``query``/``cdf``
-read quantiles, ``merge`` ships a locally built sketch's ``FRQ1`` payload
-for server-side union (the distributed-edge pattern), and ``stats`` /
-``snapshot`` / ``ping`` cover operations.
+server's ``update_many`` path, ``ingest_stream`` pipelines a large batch
+as a **window** of in-flight frames (no per-frame round trip — the lever
+that closes the service/engine throughput gap), ``ingest_multi`` packs
+several keys' batches into one ``MULTI_INGEST`` frame (fan-in),
+``ingest_one`` buffers scalars per key and auto-flushes full batches
+(batching is THE lever for socket throughput — one frame per value would
+spend everything on framing), ``query``/``cdf`` read quantiles, ``merge``
+ships a locally built sketch's ``FRQ1`` payload for server-side union
+(the distributed-edge pattern), and ``stats`` / ``snapshot`` / ``ping``
+cover operations.
 
 Error handling: a non-OK response status raises
 :class:`~repro.errors.ServiceError` carrying the server's message (and a
 ``status`` attribute); transport failures surface as the usual
-``ConnectionError`` family.
+``ConnectionError`` family.  ``ingest_stream`` maps error acks back to
+the offending frame: the raised error carries ``batch_index`` /
+``value_offset`` / ``count`` attributes plus an ``errors`` list when
+several frames failed (frames already in flight behind a failed one are
+still processed independently by the server).
 
 Example::
 
     from repro.service import QuantileClient
 
     with QuantileClient(port=7379) as client:
-        client.ingest("tenant-a/latency", latencies)
+        client.ingest_stream("tenant-a/latency", latencies)   # pipelined
         result = client.query("tenant-a/latency", [0.5, 0.99])
         p99 = result.quantiles[1]
 """
@@ -27,16 +35,22 @@ Example::
 from __future__ import annotations
 
 import socket
+from collections import deque
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ServiceError
 from repro.service import protocol as wire
 
 __all__ = ["QueryResult", "QuantileClient", "AsyncQuantileClient"]
 
 #: ``ingest_one`` flushes a key's buffer at this many staged values.
 DEFAULT_BATCH = 8192
+
+#: ``ingest_stream`` defaults: values per frame / frames in flight.
+DEFAULT_FRAME_VALUES = 8192
+DEFAULT_WINDOW = 32
 
 
 class QueryResult(NamedTuple):
@@ -47,11 +61,113 @@ class QueryResult(NamedTuple):
     quantiles: np.ndarray
 
 
-def _decode_query_response(payload: bytes) -> QueryResult:
+def _decode_query_response(payload) -> QueryResult:
     n, offset = wire.unpack_n(payload, 0)
     eps = float(np.frombuffer(payload, dtype="<f8", count=1, offset=offset)[0])
     values, _ = wire.unpack_values(payload, offset + 8)
-    return QueryResult(n, eps, values)
+    # Copy: the payload may live in a reusable receive scratch buffer.
+    return QueryResult(n, eps, np.array(values))
+
+
+class _IngestStream:
+    """The I/O-agnostic core of ``ingest_stream`` (sync and async).
+
+    Owns the window accounting, frame building, and error-ack attribution
+    so the two clients differ only in how bytes move: drive it with
+    :meth:`next_window` (a :class:`memoryview` to send, or ``None`` when
+    the window is full / the data is exhausted), feed every received ack
+    body to :meth:`ack`, and call :meth:`finish` once :attr:`done`.
+    """
+
+    __slots__ = (
+        "_key",
+        "_array",
+        "_frame_values",
+        "_window",
+        "_scratch",
+        "_outstanding",
+        "_errors",
+        "_position",
+        "_frame_index",
+        "_total",
+        "last_n",
+    )
+
+    def __init__(self, key: str, values, frame_values: int, window: int, scratch: bytearray):
+        array = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE).reshape(-1)
+        if array.size == 0:
+            raise ServiceError("empty ingest stream")
+        if window < 1:
+            raise ServiceError(f"window must be >= 1, got {window}")
+        self._array = array
+        self._frame_values = frame_values
+        self._window = window
+        self._scratch = scratch
+        self._key = key
+        self._outstanding: deque = deque()  # (frame_index, value_offset, count)
+        self._errors: List[ServiceError] = []
+        self._position = 0
+        self._frame_index = 0
+        self._total = int(array.size)
+        self.last_n = 0
+
+    @property
+    def done(self) -> bool:
+        return self._position >= self._total and not self._outstanding
+
+    def next_window(self):
+        """The next window of encoded frames to send, or ``None`` to read
+        an ack first.  The view aliases the reusable scratch: release it
+        (and be done sending) before the next call."""
+        room = self._window - len(self._outstanding)
+        if room <= 0 or self._position >= self._total:
+            return None
+        take = min(room * self._frame_values, self._total - self._position)
+        view, counts = wire.build_ingest_frames(
+            self._key,
+            self._array[self._position : self._position + take],
+            frame_values=self._frame_values,
+            out=self._scratch,
+        )
+        for count in counts:
+            self._outstanding.append((self._frame_index, self._position, count))
+            self._frame_index += 1
+            self._position += count
+        return view
+
+    def ack(self, body) -> None:
+        """Consume one response body, attributing errors to its frame."""
+        index, value_offset, count = self._outstanding.popleft()
+        try:
+            payload = wire.raise_for_status(body)
+            self.last_n, _ = wire.unpack_n(payload, 0)
+        except ServiceError as exc:
+            exc.batch_index = index
+            exc.value_offset = value_offset
+            exc.count = count
+            self._errors.append(exc)
+
+    def finish(self) -> int:
+        """The key's final ``n`` — or the first failed frame's error,
+        carrying every failure in ``.errors``."""
+        if self._errors:
+            first = self._errors[0]
+            first.errors = self._errors
+            raise first
+        return self.last_n
+
+
+def _decode_multi_response(payload) -> List[int]:
+    try:
+        (groups,) = wire._COUNT.unpack_from(payload, 0)
+    except Exception as exc:  # struct.error
+        raise ServiceError(f"truncated MULTI_INGEST response: {exc}") from exc
+    offset = wire._COUNT.size
+    totals = []
+    for _ in range(groups):
+        n, offset = wire.unpack_n(payload, offset)
+        totals.append(n)
+    return totals
 
 
 class _RequestEncoder:
@@ -113,12 +229,22 @@ class QuantileClient:
         self.port = port
         self.batch_size = batch_size
         self._buffers: Dict[str, List[float]] = {}
+        #: Reusable encode scratch (zero allocations per window once warm).
+        self._tx = bytearray()
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            # A large send buffer lets a whole pipeline window enter the
+            # kernel in one sendall, so the stream never stalls on acks.
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 21)
+        except OSError:  # pragma: no cover - platform quirk, not fatal
+            pass
+        #: Buffered reader: one recv drains a whole window of acks.
+        self._frames = wire.FrameReader(self._sock)
 
-    def _request(self, body: bytes) -> bytes:
+    def _request(self, body: bytes):
         self._sock.sendall(wire.encode_frame(body))
-        return wire.raise_for_status(wire.read_frame_sync(self._sock))
+        return wire.raise_for_status(self._frames.read_frame())
 
     # -- ingestion -----------------------------------------------------
 
@@ -127,6 +253,56 @@ class QuantileClient:
         payload = self._request(_RequestEncoder.ingest(key, values))
         n, _ = wire.unpack_n(payload, 0)
         return n
+
+    def ingest_stream(
+        self,
+        key: str,
+        values,
+        *,
+        frame_values: int = DEFAULT_FRAME_VALUES,
+        window: int = DEFAULT_WINDOW,
+    ) -> int:
+        """Pipelined ingest: stream ``values`` as many in-flight frames.
+
+        Up to ``window`` frames ride the wire before the first ack is
+        awaited, so throughput is bounded by bandwidth + server work, not
+        by round trips; each window is encoded into one reusable buffer
+        and shipped with a single ``sendall``.  The server coalesces the
+        frames it receives per event-loop tick into single sketch/WAL
+        batches, so larger windows also amortize compaction.
+
+        Returns the key's total ``n`` after the last frame.  On error
+        acks, raises :class:`~repro.errors.ServiceError` for the *first*
+        offending frame with ``batch_index`` (frame number), ``value_offset``
+        (index of its first value in ``values``), ``count``, and
+        ``errors`` (every failed frame) attributes — frames after a failed
+        one are still processed by the server, so a caller can retry
+        exactly the failed slices.
+        """
+        stream = _IngestStream(key, values, frame_values, window, self._tx)
+        while not stream.done:
+            window_view = stream.next_window()
+            if window_view is not None:
+                try:
+                    self._sock.sendall(window_view)
+                finally:
+                    window_view.release()  # free the scratch for reuse
+            else:
+                stream.ack(self._frames.read_frame())
+        return stream.finish()
+
+    def ingest_multi(self, batches) -> Dict[str, int]:
+        """Ship several keys' batches in ONE ``MULTI_INGEST`` frame.
+
+        ``batches`` is a mapping (or ``(key, values)`` pairs).  The whole
+        frame is applied atomically-per-key server-side and acked with one
+        round trip; returns ``{key: n_after}`` (for a repeated key, the
+        total after its *last* group).
+        """
+        items = list(batches.items()) if hasattr(batches, "items") else list(batches)
+        payload = self._request(wire.pack_multi_ingest(items))
+        totals = _decode_multi_response(payload)
+        return {key: n for (key, _values), n in zip(items, totals)}
 
     def ingest_one(self, key: str, value: float) -> None:
         """Buffer one value; a full buffer ships as a single batch.
@@ -244,23 +420,64 @@ class AsyncQuantileClient:
         self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
         return self
 
+    async def _read_frame(self) -> bytes:
+        """One frame body off the stream (shared by requests and acks)."""
+        header = await self._reader.readexactly(4)
+        length = int.from_bytes(header, "little")
+        if length > wire.MAX_FRAME:
+            raise ServiceError(f"peer announced a {length}-byte frame (cap {wire.MAX_FRAME})")
+        return await self._reader.readexactly(length)
+
     async def _request(self, body: bytes) -> bytes:
         if self._writer is None:
             await self.connect()
         self._writer.write(wire.encode_frame(body))
         await self._writer.drain()
-        header = await self._reader.readexactly(4)
-        length = int.from_bytes(header, "little")
-        if length > wire.MAX_FRAME:
-            from repro.errors import ServiceError
-
-            raise ServiceError(f"peer announced a {length}-byte frame (cap {wire.MAX_FRAME})")
-        return wire.raise_for_status(await self._reader.readexactly(length))
+        return wire.raise_for_status(await self._read_frame())
 
     async def ingest(self, key: str, values) -> int:
         payload = await self._request(_RequestEncoder.ingest(key, values))
         n, _ = wire.unpack_n(payload, 0)
         return n
+
+    async def ingest_stream(
+        self,
+        key: str,
+        values,
+        *,
+        frame_values: int = DEFAULT_FRAME_VALUES,
+        window: int = DEFAULT_WINDOW,
+    ) -> int:
+        """Pipelined ingest (same contract as
+        :meth:`QuantileClient.ingest_stream`): up to ``window`` frames in
+        flight, one buffer build + one write per window, error acks mapped
+        back to the offending frame via ``batch_index``/``value_offset``.
+        The windowing/attribution state machine is shared with the sync
+        client (:class:`_IngestStream`); only the I/O differs."""
+        if self._writer is None:
+            await self.connect()
+        stream = _IngestStream(key, values, frame_values, window, bytearray())
+        while not stream.done:
+            window_view = stream.next_window()
+            if window_view is not None:
+                try:
+                    # bytes(): the transport may buffer past this tick,
+                    # and the view aliases the reusable scratch.
+                    self._writer.write(bytes(window_view))
+                finally:
+                    window_view.release()
+                await self._writer.drain()
+            else:
+                stream.ack(await self._read_frame())
+        return stream.finish()
+
+    async def ingest_multi(self, batches) -> Dict[str, int]:
+        """One ``MULTI_INGEST`` frame for several keys' batches (see
+        :meth:`QuantileClient.ingest_multi`)."""
+        items = list(batches.items()) if hasattr(batches, "items") else list(batches)
+        payload = await self._request(wire.pack_multi_ingest(items))
+        totals = _decode_multi_response(payload)
+        return {key: n for (key, _values), n in zip(items, totals)}
 
     async def ingest_one(self, key: str, value: float) -> None:
         """Buffer one value (same keep-on-failure contract as

@@ -16,6 +16,11 @@ Two complementary mechanisms, both built on the ``FRQ1`` wire format of
   replay after a crash walks the log and stops cleanly at a torn tail —
   and opening the log truncates that tail away, so records appended after
   a restart are never shadowed behind unreadable bytes.
+  :class:`GroupCommitWal` wraps the same log with a background writer
+  thread and **group commit**: appends enqueue and return a commit
+  ticket, the writer drains the queue and pays one flush/fsync per
+  batch, and acknowledgements gate on the ticket — identical replay
+  semantics, amortized durability cost.
 
 **Recovery** (:func:`recover`) registers every snapshot, then replays WAL
 records whose sequence number exceeds the owning key's snapshot sequence.
@@ -38,14 +43,26 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
+import time
 import zlib
+from collections import deque
+from concurrent.futures import Future
 from pathlib import Path
 from typing import Dict, Iterator, NamedTuple, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.service.store import spill_filename
 
-__all__ = ["WalRecord", "WriteAheadLog", "SnapshotStore", "recover", "WAL_INGEST", "WAL_MERGE"]
+__all__ = [
+    "WalRecord",
+    "WriteAheadLog",
+    "GroupCommitWal",
+    "SnapshotStore",
+    "recover",
+    "WAL_INGEST",
+    "WAL_MERGE",
+]
 
 #: Record op: ``payload`` is a raw little-endian float64 batch.
 WAL_INGEST = 1
@@ -102,15 +119,25 @@ class WriteAheadLog:
         self.healed_bytes = self._heal_torn_tail()
         self._file = open(self.path, "ab")
 
-    def append(self, op: int, seq: int, key: str, payload: bytes) -> None:
+    def append(self, op: int, seq: int, key: str, payload: bytes, *, flush: bool = True) -> None:
+        """Append one record.  ``flush=False`` defers the buffered-write
+        flush (and any fsync) to a later :meth:`commit` — the group-commit
+        writer uses this to pay one flush/fsync for a whole batch."""
         raw_key = key.encode("utf-8")
         if len(raw_key) > 0xFFFF:
             raise ServiceError(f"key of {len(raw_key)} UTF-8 bytes exceeds the 65535-byte cap")
         body = _BODY_HEAD.pack(op, seq, len(raw_key)) + raw_key + payload
         self._file.write(_RECORD_HEAD.pack(len(body), zlib.crc32(body)))
         self._file.write(body)
+        if flush:
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+
+    def commit(self, *, fsync: Optional[bool] = None) -> None:
+        """Flush buffered appends to the OS (and optionally the platter)."""
         self._file.flush()
-        if self.fsync:
+        if self.fsync if fsync is None else fsync:
             os.fsync(self._file.fileno())
 
     def replay(self, *, strict: bool = False) -> Iterator[WalRecord]:
@@ -230,6 +257,251 @@ class WriteAheadLog:
             self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class GroupCommitWal:
+    """A :class:`WriteAheadLog` with an off-loop writer and group commit.
+
+    :meth:`append` enqueues the record and returns a **commit ticket** (a
+    :class:`concurrent.futures.Future`) immediately — no file I/O on the
+    caller's thread.  A dedicated writer thread drains the whole queue,
+    writes every queued record, then pays **one** flush (and one
+    ``os.fsync`` when ``fsync=True``) for the batch before resolving the
+    tickets.  Callers that acknowledge writes (the server) release the ack
+    only once the ticket resolves, so the durability contract is identical
+    to the synchronous log — acknowledged means replayable — while the
+    fsync cost is amortized across every record that arrived during the
+    previous commit.
+
+    Records hit the file in append order (single FIFO queue), so replay
+    and torn-tail healing are exactly :class:`WriteAheadLog`'s.  A crash
+    loses at most the queued-but-uncommitted suffix — records whose
+    tickets never resolved and whose writes were therefore never
+    acknowledged.
+
+    Thread model: appends come from one thread (the asyncio event loop);
+    the writer thread owns the file between barriers.  :meth:`barrier`
+    blocks until everything queued is durable — checkpoints call it before
+    truncating so no covered record can land after the truncate.
+    """
+
+    def __init__(self, path, *, fsync: bool = False, max_queue: int = 65536) -> None:
+        # The inner log never fsyncs per append; this class owns commits.
+        self._inner = WriteAheadLog(path, fsync=False)
+        self.fsync = fsync
+        self.max_queue = max_queue
+        self._cond = threading.Condition()
+        self._queue: deque = deque()
+        self._open_ticket: Optional[Future] = None
+        self._committing = False
+        self._closed = False
+        self._crashed = False
+        #: First commit failure; once set the log is poisoned (see _run).
+        self._failed: Optional[BaseException] = None
+        self.commit_count = 0
+        self.committed_records = 0
+        self.max_commit_batch = 0
+        self.last_commit_batch = 0
+        self.last_commit_seconds = 0.0
+        self.total_commit_seconds = 0.0
+        self._thread = threading.Thread(
+            target=self._run, name="wal-group-commit", daemon=True
+        )
+        self._thread.start()
+
+    # -- WriteAheadLog surface (recovery + introspection) --------------
+
+    @property
+    def path(self) -> Path:
+        return self._inner.path
+
+    @property
+    def healed_bytes(self) -> int:
+        return self._inner.healed_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return self._inner.size_bytes
+
+    def replay(self, *, strict: bool = False) -> Iterator[WalRecord]:
+        return self._inner.replay(strict=strict)
+
+    # -- the off-loop append path --------------------------------------
+
+    def append(self, op: int, seq: int, key: str, payload: bytes) -> Future:
+        """Enqueue one record; returns its commit ticket.
+
+        The ticket resolves (``result() is None``) once the record — and
+        every record queued with it — is flushed (and fsynced when
+        configured).  It carries the write error if the commit failed.
+        ``payload`` must be an owned buffer: it is written after this call
+        returns, so a view into a reusable scratch would tear.
+        """
+        with self._cond:
+            self._check_usable()
+            if len(self._queue) >= self.max_queue:
+                # Backpressure: the producer (event loop) outran the disk.
+                # Block briefly rather than growing without bound; the
+                # writer drains whole queues per wakeup, so this clears in
+                # one commit.
+                while (
+                    len(self._queue) >= self.max_queue
+                    and not self._closed
+                    and not self._crashed
+                    and self._failed is None
+                ):
+                    self._cond.wait(0.05)
+                # The wait can end because the log died, not because the
+                # queue drained — enqueueing then would strand the record
+                # (and its ticket) forever.
+                self._check_usable()
+            ticket = self._open_ticket
+            if ticket is None:
+                ticket = self._open_ticket = Future()
+            self._queue.append((op, seq, key, payload))
+            self._cond.notify_all()
+        return ticket
+
+    def _check_usable(self) -> None:
+        """Raise (under the lock) when the log cannot accept appends."""
+        if self._failed is not None:
+            raise ServiceError(
+                f"write-ahead log failed and is poisoned: {self._failed} — "
+                "appending past a failed commit could leave a torn record "
+                "mid-file that shadows later records from replay"
+            )
+        if self._closed or self._crashed:
+            raise ServiceError("write-ahead log is closed")
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not (self._closed or self._crashed):
+                    self._cond.wait()
+                if self._crashed:
+                    return
+                if not self._queue:  # closed and drained
+                    return
+                batch = list(self._queue)
+                self._queue.clear()
+                ticket = self._open_ticket
+                self._open_ticket = None
+                self._committing = True
+                self._cond.notify_all()
+            started = time.perf_counter()
+            error: Optional[BaseException] = None
+            try:
+                for op, seq, key, payload in batch:
+                    self._inner.append(op, seq, key, payload, flush=False)
+                self._inner.commit(fsync=self.fsync)
+            except BaseException as exc:  # disk full, handle revoked, ...
+                error = exc
+            elapsed = time.perf_counter() - started
+            with self._cond:
+                self._committing = False
+                if error is None:
+                    self.commit_count += 1
+                    self.committed_records += len(batch)
+                    self.last_commit_batch = len(batch)
+                    self.max_commit_batch = max(self.max_commit_batch, len(batch))
+                    self.last_commit_seconds = elapsed
+                    self.total_commit_seconds += elapsed
+                else:
+                    # POISON the log.  The failed write may have left a
+                    # partial record mid-file; appending (and committing)
+                    # anything after it would put acknowledged records
+                    # behind bytes replay cannot cross — the torn-tail
+                    # healer only heals a *tail*.  Refuse all further
+                    # appends, fail everything still queued, and leave
+                    # the file for recovery to heal at next open.
+                    self._failed = error
+                    abandoned_ticket = self._open_ticket
+                    self._open_ticket = None
+                    self._queue.clear()
+                self._cond.notify_all()
+            if ticket is not None:
+                if error is None:
+                    ticket.set_result(None)
+                else:
+                    ticket.set_exception(error)
+            if error is not None:
+                if abandoned_ticket is not None:
+                    abandoned_ticket.set_exception(
+                        ServiceError(f"write-ahead log poisoned by earlier failure: {error}")
+                    )
+                return
+
+    # -- barriers, truncation, shutdown --------------------------------
+
+    def barrier(self, timeout: Optional[float] = 30.0) -> None:
+        """Block until every queued record is committed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._queue or self._committing:
+                if self._closed and not self._queue and not self._committing:
+                    return
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise ServiceError("WAL commit barrier timed out")
+                self._cond.wait(remaining)
+
+    def truncate(self) -> None:
+        """Drop every record (after a barrier — nothing in flight survives)."""
+        self.barrier()
+        self._inner.truncate()
+        if self.fsync:
+            os.fsync(self._inner._file.fileno())
+
+    def close(self) -> None:
+        """Drain the queue, commit, stop the writer, close the file."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=30)
+        self._inner.close()
+
+    def _abandon(self) -> None:
+        """Test hook: simulate a crash — queued records are LOST.
+
+        Stops the writer without draining, so anything enqueued after the
+        last commit never reaches the file, exactly like power loss
+        between ack-staging and the group fsync.
+        """
+        with self._cond:
+            self._crashed = True
+            self._queue.clear()
+            self._cond.notify_all()
+        self._thread.join(timeout=30)
+        self._inner.close()
+
+    def stats(self) -> dict:
+        """Commit-pipeline counters for STATS reporting."""
+        with self._cond:
+            count = self.commit_count
+            return {
+                "queue_depth": len(self._queue),
+                "commit_count": count,
+                "committed_records": self.committed_records,
+                "last_commit_batch": self.last_commit_batch,
+                "max_commit_batch": self.max_commit_batch,
+                "mean_commit_batch": round(self.committed_records / count, 2) if count else 0.0,
+                "last_commit_ms": round(self.last_commit_seconds * 1e3, 3),
+                "mean_commit_ms": round(self.total_commit_seconds / count * 1e3, 3)
+                if count
+                else 0.0,
+            }
+
+    def __enter__(self) -> "GroupCommitWal":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -16,33 +16,43 @@ frames and snapshot files.
 
 Requests (``key`` is ``u16 length + UTF-8 bytes``)::
 
-    INGEST    0x01  key, u32 count, count * f64 values
-    QUERY     0x02  key, u32 count, count * f64 fractions
-    CDF       0x03  key, u32 count, count * f64 split points
-    MERGE     0x04  key, u32 length, FRQ1 payload
-    STATS     0x05  key (empty = server-wide)
-    SNAPSHOT  0x06  (no operands)
-    PING      0x07  (no operands)
+    INGEST        0x01  key, u32 count, count * f64 values
+    QUERY         0x02  key, u32 count, count * f64 fractions
+    CDF           0x03  key, u32 count, count * f64 split points
+    MERGE         0x04  key, u32 length, FRQ1 payload
+    STATS         0x05  key (empty = server-wide)
+    SNAPSHOT      0x06  (no operands)
+    PING          0x07  (no operands)
+    MULTI_INGEST  0x08  u32 groups, groups * (key, u32 count, values)
 
 Responses (after the status byte)::
 
-    INGEST    u64 n                      key's total after the batch
-    QUERY     u64 n, f64 eps, values     a-priori error bound + quantiles
-    CDF       u64 n, f64 eps, masses     count+1 masses (final one 1.0)
-    MERGE     u64 n
-    STATS     u32 length, UTF-8 JSON
-    SNAPSHOT  u32 keys written
-    PING      u32 length, UTF-8 version
+    INGEST        u64 n                      key's total after the batch
+    QUERY         u64 n, f64 eps, values     a-priori error bound + quantiles
+    CDF           u64 n, f64 eps, masses     count+1 masses (final one 1.0)
+    MERGE         u64 n
+    STATS         u32 length, UTF-8 JSON
+    SNAPSHOT      u32 keys written
+    PING          u32 length, UTF-8 version
+    MULTI_INGEST  u32 groups, groups * u64 n (per group, in request order)
 
 The frame length is capped (:data:`MAX_FRAME`) so a corrupt or hostile
 length prefix cannot make either side allocate unbounded memory; both
 sides fail the connection loudly with :class:`~repro.errors.ServiceError`.
+
+Hot-path discipline: every decode helper accepts any buffer (``bytes``,
+``bytearray``, ``memoryview``) and reads value arrays as zero-copy
+``np.frombuffer`` views — no per-value Python objects anywhere.  Encoders
+that run per batch (:func:`build_ingest_frames`) write headers and values
+directly into one reusable output buffer via ``pack_into`` + vectorized
+numpy slice assignment, so a pipelined client pays one buffer fill and one
+``sendall`` for a whole window of frames.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +66,8 @@ __all__ = [
     "OP_STATS",
     "OP_SNAPSHOT",
     "OP_PING",
+    "OP_MULTI_INGEST",
+    "OP_NAMES",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_UNKNOWN_KEY",
@@ -66,7 +78,11 @@ __all__ = [
     "pack_values",
     "unpack_key",
     "unpack_values",
+    "build_ingest_frames",
+    "pack_multi_ingest",
+    "unpack_multi_ingest",
     "read_frame_sync",
+    "FrameReader",
     "error_body",
     "raise_for_status",
 ]
@@ -78,6 +94,19 @@ OP_MERGE = 0x04
 OP_STATS = 0x05
 OP_SNAPSHOT = 0x06
 OP_PING = 0x07
+OP_MULTI_INGEST = 0x08
+
+#: Opcode -> wire name (STATS reporting; unknown opcodes render as hex).
+OP_NAMES = {
+    OP_INGEST: "ingest",
+    OP_QUERY: "query",
+    OP_CDF: "cdf",
+    OP_MERGE: "merge",
+    OP_STATS: "stats",
+    OP_SNAPSHOT: "snapshot",
+    OP_PING: "ping",
+    OP_MULTI_INGEST: "multi_ingest",
+}
 
 STATUS_OK = 0
 #: Generic server-side failure (the message says what went wrong).
@@ -132,7 +161,9 @@ def unpack_key(body: bytes, offset: int) -> Tuple[str, int]:
     if end > len(body):
         raise ServiceError(f"truncated key: {length} bytes declared, {len(body) - offset} present")
     try:
-        return body[offset:end].decode("utf-8"), end
+        # bytes() first so memoryview/bytearray bodies decode too; the copy
+        # is just the key (<= 64 KiB), never the value payload.
+        return bytes(body[offset:end]).decode("utf-8"), end
     except UnicodeDecodeError as exc:
         raise ServiceError(f"key is not valid UTF-8: {exc}") from exc
 
@@ -185,52 +216,248 @@ def unpack_blob(body: bytes, offset: int) -> Tuple[bytes, int]:
     return bytes(body[offset:end]), end
 
 
+def build_ingest_frames(
+    key: str,
+    values,
+    *,
+    frame_values: int = 8192,
+    out: Optional[bytearray] = None,
+):
+    """Encode ``values`` as consecutive complete ``INGEST`` frames.
+
+    The whole window is laid out in **one** buffer — headers via
+    ``pack_into``, values via vectorized numpy slice assignment straight
+    into the buffer (no per-value objects, no ``bytes`` concatenation) —
+    so a pipelined sender pays a single ``sendall`` per window.
+
+    Args:
+        key: Target key (shared by every frame).
+        values: The batch; split into frames of at most ``frame_values``.
+        frame_values: Values per frame (the last frame takes the remainder).
+        out: Optional reusable scratch ``bytearray``; grown in place when
+            too small.  Callers must be done with the previous window (and
+            have released any views into it) before reusing.
+
+    Returns:
+        ``(window, counts)`` — a :class:`memoryview` over the encoded
+        frames and the per-frame value counts, in order.
+    """
+    array = np.ascontiguousarray(values, dtype=WIRE_DTYPE).reshape(-1)
+    if array.size == 0:
+        raise ServiceError("cannot frame an empty batch")
+    if frame_values < 1:
+        raise ServiceError(f"frame_values must be >= 1, got {frame_values}")
+    raw_key = pack_key(key)
+    head = 1 + len(raw_key) + _COUNT.size  # opcode + key + count
+    if head + 8 * frame_values > MAX_FRAME:
+        raise ServiceError(
+            f"{frame_values} values per frame exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    n = int(array.size)
+    nframes = -(-n // frame_values)
+    total = nframes * (_LEN.size + head) + 8 * n
+    if out is None:
+        buf = bytearray(total)
+    else:
+        buf = out
+        if len(buf) < total:
+            buf.extend(bytes(total - len(buf)))
+    counts = []
+    offset = 0
+    pos = 0
+    while pos < n:
+        count = min(frame_values, n - pos)
+        _LEN.pack_into(buf, offset, head + 8 * count)
+        offset += _LEN.size
+        buf[offset] = OP_INGEST
+        buf[offset + 1 : offset + 1 + len(raw_key)] = raw_key
+        offset += 1 + len(raw_key)
+        _COUNT.pack_into(buf, offset, count)
+        offset += _COUNT.size
+        np.frombuffer(buf, dtype=WIRE_DTYPE, count=count, offset=offset)[:] = array[
+            pos : pos + count
+        ]
+        offset += 8 * count
+        pos += count
+        counts.append(count)
+    return memoryview(buf)[:offset], counts
+
+
+def pack_multi_ingest(batches) -> bytes:
+    """One ``MULTI_INGEST`` request body from ``(key, values)`` pairs.
+
+    Fan-in convenience: several keys' batches travel (and are acked) as a
+    single frame, pricing one round trip for the lot.
+    """
+    items = list(batches.items()) if hasattr(batches, "items") else list(batches)
+    if not items:
+        raise ServiceError("MULTI_INGEST needs at least one (key, values) group")
+    parts = [bytes([OP_MULTI_INGEST]), _COUNT.pack(len(items))]
+    for key, values in items:
+        parts.append(pack_key(key))
+        parts.append(pack_values(values))
+    body = b"".join(parts)
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"MULTI_INGEST body of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_multi_ingest(body, offset: int = 1):
+    """Decode a ``MULTI_INGEST`` body into ``[(key, values_view), ...]``.
+
+    Value arrays are zero-copy views into ``body``.  Any truncation or
+    trailing garbage raises :class:`~repro.errors.ServiceError` naming the
+    offending group, so a pipelined client can attribute the failure.
+    """
+    try:
+        (groups,) = _COUNT.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated MULTI_INGEST group count: {exc}") from exc
+    offset += _COUNT.size
+    if groups == 0:
+        raise ServiceError("MULTI_INGEST declares zero groups")
+    out = []
+    for index in range(groups):
+        try:
+            key, offset = unpack_key(body, offset)
+            values, offset = unpack_values(body, offset)
+        except ServiceError as exc:
+            raise ServiceError(f"MULTI_INGEST group {index}: {exc}") from exc
+        out.append((key, values))
+    if offset != len(body):
+        raise ServiceError(
+            f"{len(body) - offset} trailing bytes after MULTI_INGEST group {groups - 1}"
+        )
+    return out
+
+
 def error_body(status: int, message: str) -> bytes:
     """A response body carrying an error status and its message."""
     return bytes([status]) + message.encode("utf-8")
 
 
-def raise_for_status(body: bytes) -> bytes:
+def raise_for_status(body) -> bytes:
     """Split a response body into its payload, raising on error statuses.
 
+    Accepts any buffer (``bytes`` or a scratch-backed ``memoryview``).
     Returns the body after the status byte.  Raises
     :class:`~repro.errors.ServiceError` carrying the server's message (and
     a ``status`` attribute) for any non-OK status.
     """
-    if not body:
+    if not len(body):
         raise ServiceError("empty response frame")
     status = body[0]
     if status == STATUS_OK:
         return body[1:]
-    message = body[1:].decode("utf-8", errors="replace") or f"status {status}"
+    message = bytes(body[1:]).decode("utf-8", errors="replace") or f"status {status}"
     exc = ServiceError(message)
     exc.status = status
     raise exc
 
 
-def read_frame_sync(sock) -> bytes:
+def read_frame_sync(sock, *, scratch: Optional[bytearray] = None):
     """Read one frame body from a blocking socket (the sync client's path).
+
+    Reads via ``recv_into`` — the body lands in one preallocated buffer
+    (no per-chunk allocations, no join).  Pass a reusable ``scratch``
+    ``bytearray`` to skip even that allocation: the return value is then a
+    :class:`memoryview` into ``scratch``, valid until the next call that
+    reuses it.  Without ``scratch`` the return type stays ``bytes``.
 
     Raises:
         ServiceError: On EOF mid-frame or an oversized length prefix.
         ConnectionError: If the peer closed before any byte arrived.
     """
-    header = _recv_exact(sock, _LEN.size, eof_ok=True)
+    header = bytearray(_LEN.size)
+    _recv_into_exact(sock, memoryview(header), eof_ok=True)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
         raise ServiceError(f"peer announced a {length}-byte frame (cap {MAX_FRAME})")
-    return _recv_exact(sock, length, eof_ok=False)
+    if scratch is None:
+        body = bytearray(length)
+        _recv_into_exact(sock, memoryview(body), eof_ok=False)
+        return bytes(body)
+    if len(scratch) < length:
+        scratch.extend(bytes(length - len(scratch)))
+    view = memoryview(scratch)[:length]
+    _recv_into_exact(sock, view, eof_ok=False)
+    return view
+
+
+def _recv_into_exact(sock, view: memoryview, *, eof_ok: bool) -> None:
+    """Fill ``view`` from ``sock`` exactly, without intermediate copies."""
+    total = len(view)
+    got = 0
+    while got < total:
+        received = sock.recv_into(view[got:])
+        if not received:
+            if eof_ok and got == 0:
+                raise ConnectionError("connection closed")
+            raise ServiceError(
+                f"connection closed {total - got} bytes into a {total}-byte read"
+            )
+        got += received
 
 
 def _recv_exact(sock, count: int, *, eof_ok: bool) -> bytes:
-    chunks = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if eof_ok and remaining == count:
-                raise ConnectionError("connection closed")
-            raise ServiceError(f"connection closed {remaining} bytes into a {count}-byte read")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+    """Back-compat shim over :func:`_recv_into_exact` (returns ``bytes``)."""
+    buf = bytearray(count)
+    _recv_into_exact(sock, memoryview(buf), eof_ok=eof_ok)
+    return bytes(buf)
+
+
+class FrameReader:
+    """Buffered frame reader over a blocking socket.
+
+    One ``recv_into`` pulls everything the kernel has buffered — under
+    pipelining that is a whole window of acks — and successive
+    :meth:`read_frame` calls peel frames off without further syscalls.
+    Frame bodies are returned as :class:`memoryview`\\ s into the internal
+    buffer, valid until the next call (callers decode immediately; anything
+    retained must be copied).
+    """
+
+    __slots__ = ("_sock", "_buf", "_rpos", "_wpos")
+
+    def __init__(self, sock, *, initial: int = 1 << 16) -> None:
+        self._sock = sock
+        self._buf = bytearray(initial)
+        self._rpos = 0
+        self._wpos = 0
+
+    def read_frame(self) -> memoryview:
+        """One frame body (EOF/oversize semantics of :func:`read_frame_sync`)."""
+        header = self._take(_LEN.size, eof_ok=True)
+        (length,) = _LEN.unpack_from(header, 0)
+        header.release()
+        if length > MAX_FRAME:
+            raise ServiceError(f"peer announced a {length}-byte frame (cap {MAX_FRAME})")
+        return self._take(length, eof_ok=False)
+
+    def _take(self, count: int, *, eof_ok: bool) -> memoryview:
+        buf = self._buf
+        while self._wpos - self._rpos < count:
+            if len(buf) - self._wpos < max(count - (self._wpos - self._rpos), 4096):
+                pending = self._wpos - self._rpos
+                if pending and self._rpos:
+                    buf[:pending] = bytes(memoryview(buf)[self._rpos : self._wpos])
+                self._rpos, self._wpos = 0, pending
+                if len(buf) - pending < count - pending:
+                    # Replace (not resize) so earlier views stay valid.
+                    grown = bytearray(max(len(buf) * 2, count + pending))
+                    grown[:pending] = memoryview(buf)[:pending]
+                    self._buf = buf = grown
+            received = self._sock.recv_into(memoryview(buf)[self._wpos :])
+            if not received:
+                if eof_ok and self._wpos == self._rpos:
+                    raise ConnectionError("connection closed")
+                raise ServiceError(
+                    f"connection closed {count - (self._wpos - self._rpos)} bytes "
+                    f"into a {count}-byte read"
+                )
+            self._wpos += received
+        view = memoryview(buf)[self._rpos : self._rpos + count]
+        self._rpos += count
+        if self._rpos == self._wpos:
+            self._rpos = self._wpos = 0
+        return view

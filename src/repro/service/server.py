@@ -12,28 +12,44 @@ Two layers:
 * :class:`QuantileServer` — an ``asyncio`` TCP front speaking the
   length-prefixed protocol of :mod:`repro.service.protocol`.  Sketch
   operations are vectorized numpy on tiny summaries — microseconds — so
-  a single event loop serves many connections without worker threads;
-  each ``INGEST`` frame carries a whole batch into one ``update_many``
-  call, which is what makes the socket path fast (the clients batch;
-  see :mod:`repro.service.client`).
+  a single event loop serves many connections without worker threads.
+
+The ingest hot path is **pipelined and coalesced**: connections are
+``asyncio.Protocol`` transports (no stream-reader overhead), every
+``data_received`` tick parses *all* complete frames in the connection
+buffer as zero-copy views, ``INGEST``/``MULTI_INGEST`` batches for the
+same key are funnelled through one staging concat into a **single**
+``update_many`` (one WAL record, one amortized-compaction pass — the
+schedule the paper's cost analysis assumes), and the per-frame acks are
+computed from the cumulative counts.  With a group-commit WAL
+(``group_commit=True``), WAL writes and fsyncs run on a background
+writer thread and acks are released only when the covering commit
+ticket resolves — responses stay in request order via a per-connection
+ordered output queue.
 
 Consistency notes (single event loop, no locks needed):
 
-* Request handlers never await between reading a frame and writing its
-  response, so each request is atomic with respect to every other.
+* Frame batches are dispatched synchronously — no await between decode
+  and response staging — so each batch is atomic with respect to every
+  other connection's.  Within a batch, any non-ingest opcode flushes the
+  pending ingest coalesce first, so one connection's requests always
+  observe their own program order.
 * ``snapshot_all`` is a plain synchronous method — no awaits — so the
   "write every dirty key, then truncate the WAL" sequence cannot
-  interleave with an ingest that would be lost by the truncation.
+  interleave with an ingest that would be lost by the truncation (it
+  barriers the group-commit writer before truncating).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import threading
 import time
+from collections import deque
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -43,13 +59,32 @@ from repro.service import protocol as wire
 from repro.service.persistence import (
     WAL_INGEST,
     WAL_MERGE,
+    GroupCommitWal,
     SnapshotStore,
     WriteAheadLog,
     recover,
 )
 from repro.service.store import SketchStore
 
-__all__ = ["QuantileService", "QuantileServer", "ServerThread", "run_server"]
+__all__ = ["QuantileService", "QuantileServer", "ServerThread", "run_server", "new_event_loop"]
+
+
+def new_event_loop(use_uvloop: bool = True) -> asyncio.AbstractEventLoop:
+    """A fresh event loop, ``uvloop``-backed when installed.
+
+    ``uvloop`` is never required: when it is missing (or ``use_uvloop``
+    is false, or ``REPRO_NO_UVLOOP`` is set) this silently falls back to
+    the stock asyncio loop, so deployments opt in simply by installing
+    the package and opt out with the CLI flag.
+    """
+    if use_uvloop and not os.environ.get("REPRO_NO_UVLOOP"):
+        try:
+            import uvloop
+
+            return uvloop.new_event_loop()
+        except Exception:  # pragma: no cover - uvloop not installed here
+            pass
+    return asyncio.new_event_loop()
 
 
 class QuantileService:
@@ -67,10 +102,17 @@ class QuantileService:
         hot_key_items: Optional per-key ingest threshold for promotion to
             a local :class:`~repro.shard.ShardedReqSketch`.
         hot_shards: Shards per promoted key.
-        fsync: ``os.fsync`` on every WAL append and snapshot save, so
+        fsync: ``os.fsync`` on every WAL commit and snapshot save, so
             acknowledged writes survive power loss — including across a
             checkpoint, where the snapshots are forced to disk before the
             WAL truncation that makes them load-bearing.
+        group_commit: Move WAL appends (and their fsyncs) to a background
+            writer with group commit.  Mutations return after the record
+            is *queued*; durability of an individual write is signalled by
+            its commit ticket (:meth:`commit_ticket` / the server's
+            ack gating), and :meth:`wal_barrier` blocks until everything
+            queued so far is durable.  Replay semantics are unchanged —
+            records reach the file in append order.
     """
 
     def __init__(
@@ -84,11 +126,14 @@ class QuantileService:
         hot_key_items: Optional[int] = None,
         hot_shards: int = 4,
         fsync: bool = False,
+        group_commit: bool = False,
     ) -> None:
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self._applied_seq: Dict[str, int] = {}
         self._snap_seq: Dict[str, int] = {}
         self._seq = 1
+        self._last_ticket = None
+        self.wal_appends = 0
         if self.data_dir is None:
             if memory_budget is not None:
                 raise InvalidParameterError(
@@ -99,7 +144,10 @@ class QuantileService:
             self.snapshots = None
             spill_save = spill_load = None
         else:
-            self.wal = WriteAheadLog(self.data_dir / "wal.log", fsync=fsync)
+            if group_commit:
+                self.wal = GroupCommitWal(self.data_dir / "wal.log", fsync=fsync)
+            else:
+                self.wal = WriteAheadLog(self.data_dir / "wal.log", fsync=fsync)
             self.snapshots = SnapshotStore(self.data_dir / "snapshots", fsync=fsync)
 
             def spill_save(key: str, payload: bytes) -> None:
@@ -146,6 +194,38 @@ class QuantileService:
     # Mutations (WAL first, then the store)
     # ------------------------------------------------------------------
 
+    def _wal_append(self, op: int, key: str, payload: bytes) -> None:
+        """Append one record (sequence assignment + ticket bookkeeping)."""
+        seq = self._seq
+        self._seq += 1
+        ticket = self.wal.append(op, seq, key, payload)
+        if ticket is not None:  # group-commit log: durability is deferred
+            self._last_ticket = ticket
+        self.wal_appends += 1
+        self._applied_seq[key] = seq
+
+    def commit_ticket(self):
+        """The pending commit ticket covering every WAL append so far.
+
+        ``None`` when nothing is awaiting a commit — in-memory services,
+        synchronous WALs (durable at append time), or a drained group
+        queue.  The server releases ingest/merge acks only after this
+        resolves.  A ticket that completed **with an exception** is still
+        returned: the covered records never became durable, and mapping
+        it to ``None`` would let the server ack writes the WAL lost.
+        """
+        ticket = self._last_ticket
+        if ticket is None:
+            return None
+        if ticket.done() and ticket.exception() is None:
+            return None
+        return ticket
+
+    def wal_barrier(self) -> None:
+        """Block until every queued WAL record is durable (no-op otherwise)."""
+        if isinstance(self.wal, GroupCommitWal):
+            self.wal.barrier()
+
     def ingest(self, key: str, values) -> int:
         """Apply one batch to ``key``; returns the key's total ``n``.
 
@@ -159,10 +239,41 @@ class QuantileService:
         if np.isnan(array).any():
             raise InvalidParameterError("cannot insert NaN: items must form a total order")
         if self.wal is not None:
-            seq = self._seq
-            self._seq += 1
-            self.wal.append(WAL_INGEST, seq, key, array.astype("<f8", copy=False).tobytes())
-            self._applied_seq[key] = seq
+            self._wal_append(WAL_INGEST, key, array.astype("<f8", copy=False).tobytes())
+        n = self.store.update_many(key, array)
+        self.ingested_values += array.size
+        return n
+
+    def ingest_batches(self, key: str, arrays, *, prevalidated: bool = False) -> int:
+        """Coalesced ingest: several frames' batches, ONE record, ONE apply.
+
+        The server's per-tick coalescing funnels every ``INGEST`` frame a
+        connection delivered for ``key`` here.  The concatenation becomes
+        a single WAL record applied by a single ``update_many`` — live
+        path and replay therefore run the *same* call on the *same* bytes,
+        which keeps recovery bit-exact, and compaction cost is amortized
+        over the whole group exactly as the paper's schedule intends.
+        Per-frame acks are reconstructed by the caller from the cumulative
+        counts (``n`` grows by exactly each batch's size).
+        """
+        if len(arrays) == 1:
+            return self.ingest(key, arrays[0])
+        self._check_key(key)
+        array = self.store.stage_concat(arrays)
+        if not prevalidated:
+            # The server validates per frame before staging (so errors
+            # attribute to the exact frame) and passes prevalidated=True;
+            # direct callers get the full check here.
+            if array.size == 0:
+                raise InvalidParameterError("empty ingest batch")
+            if np.isnan(array).any():
+                raise InvalidParameterError("cannot insert NaN: items must form a total order")
+        elif array.size == 0:
+            raise InvalidParameterError("empty ingest batch")
+        if self.wal is not None:
+            # tobytes() owns the bytes — the WAL writer thread must never
+            # see the reusable staging scratch this view points into.
+            self._wal_append(WAL_INGEST, key, array.astype("<f8", copy=False).tobytes())
         n = self.store.update_many(key, array)
         self.ingested_values += array.size
         return n
@@ -198,10 +309,7 @@ class QuantileService:
                 f"k={self.store.k}/hra={self.store.hra}/n_bound=None"
             )
         if self.wal is not None:
-            seq = self._seq
-            self._seq += 1
-            self.wal.append(WAL_MERGE, seq, key, bytes(payload))
-            self._applied_seq[key] = seq
+            self._wal_append(WAL_MERGE, key, bytes(payload))
         n = self.store.merge_sketch(key, donor)
         self.merge_count += 1
         return n
@@ -306,10 +414,225 @@ class QuantileService:
             "durable": self.wal is not None,
             "wal_bytes": self.wal.size_bytes if self.wal is not None else 0,
             "wal_healed_bytes": self.wal.healed_bytes if self.wal is not None else 0,
+            "wal_appends": self.wal_appends,
             "next_seq": self._seq,
         }
+        if isinstance(self.wal, GroupCommitWal):
+            wal_stats = self.wal.stats()
+            report["wal_queue_depth"] = wal_stats.pop("queue_depth")
+            report["group_commit"] = wal_stats
+        else:
+            report["wal_queue_depth"] = 0
         report.update(self.store.stats())
         return report
+
+
+class _Connection(asyncio.BufferedProtocol):
+    """One client connection on the pipelined hot path.
+
+    A :class:`asyncio.BufferedProtocol`: the kernel's ``recv`` lands
+    directly in the connection's parse buffer (:meth:`get_buffer` hands
+    the transport the writable tail), so inbound bytes are copied exactly
+    once — kernel to buffer — and one syscall can deliver far more than
+    the stream-reader's fixed chunk.  :meth:`buffer_updated` parses every
+    complete frame as a zero-copy :class:`memoryview`, hands the whole
+    batch to the server's coalescing dispatcher, then compacts.
+    Responses are staged per batch and written in request order; a batch
+    whose WAL records are still in the group-commit queue parks behind
+    its commit ticket in :attr:`_outq` (earlier pending batches keep
+    later ready ones queued, so ordering survives mixed workloads).
+    """
+
+    __slots__ = (
+        "server",
+        "transport",
+        "_buf",
+        "_rpos",
+        "_wpos",
+        "_outq",
+        "_close_after_flush",
+    )
+
+    #: Initial receive-buffer size; grows to fit the largest frame seen.
+    #: Small on purpose — mostly-idle connections in a many-client
+    #: deployment should not pin megabytes each; a pipelining connection
+    #: pays a one-time geometric growth instead.
+    _INITIAL_BUFFER = 1 << 16
+    #: Minimum writable tail handed to the transport per recv.
+    _MIN_RECV = 1 << 16
+    #: Socket receive-buffer request (large windows without GIL ping-pong).
+    _SO_RCVBUF = 1 << 21
+
+    def __init__(self, server: "QuantileServer") -> None:
+        self.server = server
+        self.transport = None
+        self._buf = bytearray(self._INITIAL_BUFFER)
+        self._rpos = 0  # parse offset
+        self._wpos = 0  # fill offset
+        #: Ordered (ticket, payload) pairs awaiting write.
+        self._outq: deque = deque()
+        self._close_after_flush = False
+
+    # -- asyncio.BufferedProtocol hooks --------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        self.server.connections += 1
+        self.server._transports.add(transport)
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            try:
+                import socket as _socket
+
+                sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_RCVBUF, self._SO_RCVBUF)
+            except OSError:  # pragma: no cover - platform quirk, not fatal
+                pass
+
+    def connection_lost(self, exc) -> None:
+        self.server._transports.discard(self.transport)
+        self._outq.clear()
+
+    def eof_received(self):
+        # A half-closing client (write_eof, then read acks) must still
+        # receive everything owed — including acks parked behind a
+        # pending group-commit ticket.  Keep the transport open and close
+        # once the output queue drains.
+        self._close_after_flush = True
+        self._flush_outq()
+        return True
+
+    def pause_writing(self) -> None:
+        # The kernel send buffer is full: stop reading new requests so a
+        # slow reader cannot balloon our response queue.
+        if self.transport is not None:
+            self.transport.pause_reading()
+
+    def resume_writing(self) -> None:
+        if self.transport is not None:
+            self.transport.resume_reading()
+
+    def get_buffer(self, sizehint: int) -> memoryview:
+        buf = self._buf
+        free = len(buf) - self._wpos
+        if free < self._MIN_RECV:
+            pending = self._wpos - self._rpos
+            if self._rpos:
+                # Move the unparsed tail (at most one partial frame) to
+                # the front; capacity is preserved, no reallocation.
+                buf[:pending] = bytes(memoryview(buf)[self._rpos : self._wpos])
+                self._rpos = 0
+                self._wpos = pending
+                free = len(buf) - pending
+            if free < self._MIN_RECV:
+                # A frame larger than the buffer is mid-flight: grow to
+                # fit its declared length (bounded by MAX_FRAME + header).
+                needed = self._MIN_RECV
+                if pending >= 4:
+                    (length,) = wire._LEN.unpack_from(buf, 0)
+                    if length <= wire.MAX_FRAME:
+                        needed = max(needed, 4 + length - pending)
+                buf.extend(bytes(needed + len(buf)))  # geometric growth
+        return memoryview(buf)[self._wpos :]
+
+    def buffer_updated(self, nbytes: int) -> None:
+        try:
+            self._wpos += nbytes
+            buf = self._buf
+            frames: List[memoryview] = []
+            view = memoryview(buf)
+            pos = self._rpos
+            end = self._wpos
+            oversized: Optional[int] = None
+            while end - pos >= 4:
+                (length,) = wire._LEN.unpack_from(buf, pos)
+                if length > wire.MAX_FRAME:
+                    oversized = length
+                    break
+                if end - pos - 4 < length:
+                    break
+                frames.append(view[pos + 4 : pos + 4 + length])
+                pos += 4 + length
+            if frames:
+                # Dispatch is synchronous: every frame's values are copied
+                # into sketches/WAL payloads before we return, so the
+                # views can be released and the buffer compacted.
+                payload, ticket = self.server._process_frames(frames)
+            else:
+                payload, ticket = b"", None
+            for frame in frames:
+                frame.release()
+            view.release()
+            if pos == self._wpos:
+                self._rpos = self._wpos = 0
+            else:
+                self._rpos = pos
+            if payload:
+                self._enqueue(ticket, payload)
+            if oversized is not None:
+                self._enqueue(
+                    None,
+                    wire.encode_frame(
+                        wire.error_body(
+                            wire.STATUS_BAD_REQUEST,
+                            f"frame of {oversized} bytes exceeds cap {wire.MAX_FRAME}",
+                        )
+                    ),
+                )
+                self._close_after_flush = True
+                self._flush_outq()
+        except Exception:  # pragma: no cover - never kill the event loop
+            import sys
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
+            if self.transport is not None:
+                self.transport.close()
+
+    # -- ordered, commit-gated response writes -------------------------
+
+    def _enqueue(self, ticket, payload: bytes) -> None:
+        if ticket is None and not self._outq:
+            if self.transport is not None:
+                self.transport.write(payload)
+            return
+        self._outq.append((ticket, payload))
+        if ticket is not None:
+            # Resolved on the WAL writer thread; hop back to the loop.
+            loop = self.server._loop
+            ticket.add_done_callback(
+                lambda _fut: loop.call_soon_threadsafe(self._flush_outq)
+            )
+        self._flush_outq()
+
+    def _flush_outq(self) -> None:
+        transport = self.transport
+        while self._outq:
+            ticket, payload = self._outq[0]
+            if ticket is not None:
+                if not ticket.done():
+                    return
+                if ticket.exception() is not None:
+                    # The group commit failed (disk full, ...): the staged
+                    # acks are lies now.  Drop the connection — the client
+                    # sees a transport error and knows the batch outcome
+                    # is indeterminate; recovery replays only what commit-
+                    # ted.  Never send an OK ack for a lost record.
+                    import sys
+
+                    print(
+                        f"WAL group commit failed: {ticket.exception()}; "
+                        "dropping connection instead of acking",
+                        file=sys.stderr,
+                    )
+                    self._outq.clear()
+                    if transport is not None:
+                        transport.abort()
+                    return
+            self._outq.popleft()
+            if transport is not None:
+                transport.write(payload)
+        if self._close_after_flush and transport is not None:
+            transport.close()
 
 
 class QuantileServer:
@@ -339,11 +662,16 @@ class QuantileServer:
         self.snapshot_interval = snapshot_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._snapshot_task: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._transports: set = set()
         self.connections = 0
+        #: Per-opcode frame counts (STATS: observe the pipeline in prod).
+        self.op_counts: Dict[str, int] = {}
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
+        self._loop = asyncio.get_running_loop()
+        self._server = await self._loop.create_server(
+            lambda: _Connection(self), self.host, self._requested_port
         )
         self.port = self._server.sockets[0].getsockname()[1]
         if self.snapshot_interval is not None and self.service.wal is not None:
@@ -373,6 +701,9 @@ class QuantileServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for transport in list(self._transports):
+            transport.close()
+        self._transports.clear()
         self.service.close(snapshot=snapshot)
 
     async def _periodic_snapshots(self) -> None:
@@ -389,37 +720,146 @@ class QuantileServer:
                 print(f"periodic snapshot failed (will retry): {exc}", file=sys.stderr)
 
     # ------------------------------------------------------------------
-    # Connection handling
+    # Batch dispatch: coalescing + commit gating
     # ------------------------------------------------------------------
 
-    async def _handle_connection(self, reader, writer) -> None:
-        self.connections += 1
-        try:
-            while True:
-                header = await reader.readexactly(4)
-                (length,) = wire._LEN.unpack(header)
-                if length > wire.MAX_FRAME:
-                    writer.write(
-                        wire.encode_frame(
-                            wire.error_body(
-                                wire.STATUS_BAD_REQUEST,
-                                f"frame of {length} bytes exceeds cap {wire.MAX_FRAME}",
-                            )
-                        )
+    def _count_op(self, op: int) -> None:
+        name = wire.OP_NAMES.get(op, f"op_{op:#x}")
+        self.op_counts[name] = self.op_counts.get(name, 0) + 1
+
+    def _process_frames(self, frames):
+        """Dispatch one tick's worth of frames; returns ``(payload, ticket)``.
+
+        ``payload`` is every response frame, encoded and joined in request
+        order; ``ticket`` (or ``None``) is the group-commit ticket the
+        write must wait for.  Consecutive ``INGEST``/``MULTI_INGEST``
+        batches coalesce per key into one WAL record + one ``update_many``
+        (per-frame acks reconstructed from cumulative counts); any other
+        opcode flushes the pending coalesce first so a connection's own
+        request order is always observed.
+        """
+        service = self.service
+        slots: List[Optional[bytes]] = [None] * len(frames)
+        #: key -> list of (values_view, resolve(ok_n_or_error_body)).
+        pending: Dict[str, list] = {}
+        #: frame index -> per-group result list (MULTI_INGEST assembly).
+        multi: Dict[int, list] = {}
+        appends_before = service.wal_appends
+
+        def flush_pending() -> None:
+            for key, entries in pending.items():
+                try:
+                    n_after = service.ingest_batches(
+                        key, [v for v, _ in entries], prevalidated=True
                     )
-                    await writer.drain()
-                    break
-                body = await reader.readexactly(length)
-                writer.write(wire.encode_frame(self._dispatch(body)))
-                await writer.drain()
-        except (asyncio.IncompleteReadError, ConnectionResetError):
-            pass  # client went away; nothing to answer
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                pass
+                except Exception as exc:
+                    body = self._error_response(exc)
+                    for _values, resolve in entries:
+                        resolve(body)
+                else:
+                    running = n_after - sum(int(v.size) for v, _ in entries)
+                    for values, resolve in entries:
+                        running += int(values.size)
+                        resolve(running)
+            pending.clear()
+
+        def stage(key: str, values, resolve) -> None:
+            pending.setdefault(key, []).append((values, resolve))
+
+        for index, frame in enumerate(frames):
+            if not len(frame):
+                self._count_op(0)
+                slots[index] = wire.error_body(wire.STATUS_BAD_REQUEST, "empty request frame")
+                continue
+            op = frame[0]
+            self._count_op(op)
+            if op == wire.OP_INGEST:
+                try:
+                    key, offset = wire.unpack_key(frame, 1)
+                    values, _ = wire.unpack_values(frame, offset)
+                    self._validate_batch(values)
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+
+                def resolve_single(result, index=index):
+                    slots[index] = (
+                        b"\x00" + wire.pack_n(result) if isinstance(result, int) else result
+                    )
+
+                stage(key, values, resolve_single)
+            elif op == wire.OP_MULTI_INGEST:
+                try:
+                    groups = wire.unpack_multi_ingest(frame)
+                    for g_index, (_key, values) in enumerate(groups):
+                        try:
+                            self._validate_batch(values)
+                        except Exception as exc:
+                            raise ServiceError(f"MULTI_INGEST group {g_index}: {exc}") from exc
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+                results = multi[index] = [None] * len(groups)
+                for g_index, (key, values) in enumerate(groups):
+
+                    def resolve_group(result, results=results, g_index=g_index):
+                        results[g_index] = result
+
+                    stage(key, values, resolve_group)
+            else:
+                flush_pending()
+                slots[index] = self._dispatch(frame)
+        flush_pending()
+
+        # Assemble MULTI_INGEST responses from their per-group results.
+        for index, results in multi.items():
+            failed = next((r for r in results if not isinstance(r, int)), None)
+            if failed is not None:
+                slots[index] = failed
+            else:
+                slots[index] = (
+                    b"\x00"
+                    + wire._COUNT.pack(len(results))
+                    + b"".join(wire.pack_n(n) for n in results)
+                )
+
+        out = bytearray()
+        for body in slots:
+            out += wire._LEN.pack(len(body))
+            out += body
+        ticket = (
+            service.commit_ticket() if service.wal_appends != appends_before else None
+        )
+        # The bytearray is fresh per tick, so hand it to transport.write
+        # as-is — no defensive bytes() copy on the hot path.
+        return out, ticket
+
+    @staticmethod
+    def _validate_batch(values) -> None:
+        """Per-frame validation so errors attribute to the exact frame."""
+        if values.size == 0:
+            raise InvalidParameterError("empty ingest batch")
+        if np.isnan(values).any():
+            raise InvalidParameterError("cannot insert NaN: items must form a total order")
+
+    @staticmethod
+    def _error_response(exc: Exception) -> bytes:
+        """Map an exception to the response body ``_dispatch`` would send."""
+        if isinstance(exc, KeyError):
+            return wire.error_body(wire.STATUS_UNKNOWN_KEY, f"unknown key {exc.args[0]!r}")
+        if isinstance(exc, EmptySketchError):
+            return wire.error_body(wire.STATUS_ERROR, str(exc))
+        if isinstance(exc, ServiceError):
+            return wire.error_body(wire.STATUS_BAD_REQUEST, str(exc))
+        if isinstance(exc, ReproError):
+            return wire.error_body(wire.STATUS_ERROR, str(exc))
+        import sys
+        import traceback
+
+        traceback.print_exc(file=sys.stderr)
+        return wire.error_body(
+            wire.STATUS_ERROR, f"internal error: {type(exc).__name__}: {exc}"
+        )
 
     def _dispatch(self, body: bytes) -> bytes:
         """Decode one request body, run it, encode the response body.
@@ -459,33 +899,25 @@ class QuantileServer:
             if op == wire.OP_STATS:
                 key, _ = wire.unpack_key(body, 1)
                 stats = self.service.stats(key or None)
+                if not key:
+                    # Server-wide stats also report the network front:
+                    # cumulative + currently-open connections and
+                    # per-opcode frame counts (how much of the traffic
+                    # rides the pipelined/coalesced path).
+                    stats["connections"] = self.connections
+                    stats["open_connections"] = len(self._transports)
+                    stats["op_counts"] = dict(self.op_counts)
                 return b"\x00" + wire.pack_blob(json.dumps(stats).encode("utf-8"))
             if op == wire.OP_SNAPSHOT:
                 return b"\x00" + wire._COUNT.pack(self.service.snapshot_all())
             if op == wire.OP_PING:
                 return b"\x00" + wire.pack_blob(__version__.encode("utf-8"))
             return wire.error_body(wire.STATUS_BAD_REQUEST, f"unknown opcode {op:#x}")
-        except KeyError as exc:
-            return wire.error_body(wire.STATUS_UNKNOWN_KEY, f"unknown key {exc.args[0]!r}")
-        except EmptySketchError as exc:
-            return wire.error_body(wire.STATUS_ERROR, str(exc))
-        except (ReproError, ServiceError) as exc:
-            status = (
-                wire.STATUS_BAD_REQUEST if isinstance(exc, ServiceError) else wire.STATUS_ERROR
-            )
-            return wire.error_body(status, str(exc))
         except Exception as exc:
-            # Unexpected failures (a full disk killing a WAL append, a numpy
-            # edge case) must not tear down the connection with no response;
-            # answer with an error and keep serving.  The traceback goes to
-            # stderr — the client only sees the exception type and message.
-            import sys
-            import traceback
-
-            traceback.print_exc(file=sys.stderr)
-            return wire.error_body(
-                wire.STATUS_ERROR, f"internal error: {type(exc).__name__}: {exc}"
-            )
+            # One mapping for every path (shared with the coalescing
+            # dispatcher): a failure must answer with an error response,
+            # never tear down the connection silently.
+            return self._error_response(exc)
 
 
 class ServerThread:
@@ -509,12 +941,13 @@ class ServerThread:
         port: int = 0,
         snapshot_interval: Optional[float] = None,
         start_timeout: float = 10.0,
+        use_uvloop: bool = True,
     ) -> None:
         self.service = service
         self.server = QuantileServer(
             service, host=host, port=port, snapshot_interval=snapshot_interval
         )
-        self.loop = asyncio.new_event_loop()
+        self.loop = new_event_loop(use_uvloop)
         self._started = threading.Event()
         self._start_error: Optional[BaseException] = None
         self._stopped = False
@@ -574,11 +1007,18 @@ def run_server(
     hot_shards: int = 4,
     snapshot_interval: Optional[float] = 30.0,
     fsync: bool = False,
+    group_commit: bool = True,
+    use_uvloop: bool = True,
 ) -> int:
     """Blocking entry point for ``repro-quantiles serve``.
 
     Runs until interrupted; SIGINT and SIGTERM both trigger a graceful
     stop with a final checkpoint.  Returns a process exit code.
+
+    Durable deployments default to ``group_commit=True`` — WAL writes and
+    fsyncs happen off the event loop and acks gate on the covering commit,
+    so durability costs latency (one group commit) instead of throughput.
+    ``use_uvloop`` picks up uvloop when installed (silent fallback).
     """
     import signal
 
@@ -591,6 +1031,7 @@ def run_server(
         hot_key_items=hot_key_items,
         hot_shards=hot_shards,
         fsync=fsync,
+        group_commit=group_commit and data_dir is not None,
     )
     server = QuantileServer(
         service, host=host, port=port, snapshot_interval=snapshot_interval
@@ -616,10 +1057,17 @@ def run_server(
                 pass  # non-Unix loop: fall back to KeyboardInterrupt below
         await stop.wait()
 
+    loop = new_event_loop(use_uvloop)
     try:
-        asyncio.run(main())
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(main())
     except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback path
         pass
     finally:
-        service.close(snapshot=True)
+        try:
+            loop.run_until_complete(server.stop(snapshot=True))
+        except Exception:
+            service.close(snapshot=True)
+        asyncio.set_event_loop(None)
+        loop.close()
     return 0

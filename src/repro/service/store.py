@@ -154,6 +154,9 @@ class SketchStore:
         self._retained_total = 0
         self.spill_count = 0
         self.load_count = 0
+        #: Reusable coalescing scratch for :meth:`stage_concat` (float64;
+        #: grown geometrically, never shrunk — the store is single-writer).
+        self._stage_buf: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Key inventory
@@ -290,6 +293,34 @@ class SketchStore:
         entry.sketch.update_many(values)
         entry.ingested += int(np.size(values))
         return self._settle(key, entry)
+
+    def stage_concat(self, arrays) -> np.ndarray:
+        """Concatenate per-frame value views into one contiguous batch.
+
+        The server's coalescing path funnels every ``INGEST`` frame a
+        connection delivered in one event-loop tick here, then feeds the
+        result to a **single** :meth:`update_many` — so the sketch's
+        amortized compaction schedule sees one large run instead of many
+        small ones, exactly as the paper's cost analysis assumes.
+
+        Returns a view into a reusable scratch buffer: valid until the
+        next ``stage_concat`` call.  Callers that persist the batch (the
+        WAL) must copy (``tobytes``) before the next tick.  The sketch
+        itself copies on ingest (staging block / ``np.sort``), so handing
+        the view to ``update_many`` is safe.
+        """
+        total = 0
+        for array in arrays:
+            total += int(array.size)
+        buf = self._stage_buf
+        if buf is None or buf.size < total:
+            self._stage_buf = buf = np.empty(max(total, 16384), dtype=np.float64)
+        offset = 0
+        for array in arrays:
+            size = int(array.size)
+            buf[offset : offset + size] = array
+            offset += size
+        return buf[:total]
 
     def merge_payload(self, key: str, payload: bytes) -> int:
         """Union an ``FRQ1`` payload into ``key`` (created lazily); returns its ``n``.

@@ -51,18 +51,29 @@ def rng():
 
 
 class TestAcceptance:
-    """The PR's end-to-end bar: socket ingest at scale + crash recovery."""
+    """The PR's end-to-end bar: socket ingest at scale + crash recovery.
+
+    Parametrized over both WAL modes: synchronous appends and the
+    off-loop group-commit writer with per-commit fsync — recovery must be
+    bit-exact either way (acks gate on the commit ticket, so everything
+    the client saw acknowledged is replayable).
+    """
 
     NUM_KEYS = 100
     PER_KEY = 1000  # 100 keys x 1000 values = 100k values over the socket
 
-    def test_ingest_query_kill_restart(self, tmp_path, harness, rng):
+    @pytest.mark.parametrize(
+        "wal_mode",
+        [{"group_commit": False}, {"group_commit": True, "fsync": True}],
+        ids=["sync-wal", "group-commit-fsync"],
+    )
+    def test_ingest_query_kill_restart(self, tmp_path, harness, rng, wal_mode):
         streams = {
             f"tenant-{i:03d}/latency": np.sort(rng.lognormal(0.0, 1.0, self.PER_KEY))
             for i in range(self.NUM_KEYS)
         }
 
-        running = harness(QuantileService(tmp_path, k=32))
+        running = harness(QuantileService(tmp_path, k=32, **wal_mode))
         with QuantileClient(port=running.port) as client:
             total = 0
             for key, stream in streams.items():
@@ -99,7 +110,7 @@ class TestAcceptance:
 
         running.stop(snapshot=False)  # kill: no goodbye checkpoint
 
-        revived = harness(QuantileService(tmp_path, k=32))
+        revived = harness(QuantileService(tmp_path, k=32, **wal_mode))
         with QuantileClient(port=revived.port) as client:
             assert client.stats()["keys"] == self.NUM_KEYS
             for key, expected in before.items():
