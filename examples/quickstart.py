@@ -156,6 +156,23 @@ def main() -> None:
             print(f"\nservice p50/p99      : {result.quantiles[0]:.5f} / "
                   f"{result.quantiles[1]:.5f} (n={result.n:,}, "
                   f"eps={result.error_bound:.3f})")
+            # Batched reads: many requests ride ONE MULTI_QUERY frame,
+            # each with its own status (a missing key reports an error
+            # without failing its neighbours)...
+            p50s = client.query_many(
+                [(f"{tenant}/latency", [0.5]) for tenant in ("acme", "globex")]
+            )
+            print(f"batched p50s         : acme={p50s[0].quantiles[0]:.5f}, "
+                  f"globex={p50s[1].quantiles[0]:.5f}")
+            # ... and query_stream pipelines thousands of uniform requests
+            # as vectorized frames — the read-side ingest_stream (the
+            # server answers each frame with one batched searchsorted
+            # over the key's version-stamped query index).
+            import numpy as np
+            points = np.tile([0.5, 0.99], (2_000, 1))
+            burst = client.query_stream("acme/latency", points, window=8)
+            print(f"query_stream         : {burst.values.shape[0]:,} requests, "
+                  f"retained={burst.num_retained}")
             # MERGE ships an edge-built sketch's FRQ1 payload for server-
             # side union — the distributed pattern over the service
             # protocol.

@@ -108,6 +108,16 @@ files and reload transparently; hot keys can be promoted onto a sharded
 backing plane.  The service imports lazily — ``import repro`` does not pay
 for it.
 
+Reads scale the same way writes do: :class:`FastReqSketch` caches a
+*version-stamped query index* (sorted coreset + cumulative weights,
+rebuilt only when the coreset version changes; ``error_bound`` memoized
+on the same stamp), and the service's ``MULTI_QUERY`` opcode ships many
+read requests per frame with per-request statuses — uniform batches are
+vectorized end to end (client ``query_many`` / ``query_stream``), with
+answers bit-identical to in-process queries even across spill/reload
+and WAL recovery.  See :mod:`repro.fast.engine` for the index
+invariants and :mod:`repro.service` for the wire surface.
+
 See README.md for the architecture overview and DESIGN.md for the paper-to-
 module map.
 """

@@ -10,6 +10,7 @@ Subcommands::
     repro-quantiles bounds --eps 0.01 --n 1e9  # print the space-bound table
     repro-quantiles serve --data-dir ./qdata   # run the quantile service
     repro-quantiles query KEY --q 0.5 0.99     # query a running service
+    repro-quantiles query K1 K2 --rank 1.5     # ranks, many keys, one frame
     repro-quantiles version                    # print the package version
 
 (Installed as ``repro-quantiles``; also runnable as ``python -m repro.cli``.)
@@ -151,7 +152,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     query_parser = sub.add_parser("query", help="query a running quantile service")
     query_parser.add_argument(
-        "key", nargs="?", default=None, help="tenant/metric key (omit with --stats)"
+        "keys",
+        nargs="*",
+        default=[],
+        help="tenant/metric keys (several ride one MULTI_QUERY frame; "
+        "omit with --stats)",
     )
     query_parser.add_argument("--host", default="127.0.0.1")
     query_parser.add_argument("--port", type=int, default=7379)
@@ -161,6 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=[0.5, 0.9, 0.99, 0.999],
         help="quantile fractions to report",
+    )
+    query_parser.add_argument(
+        "--rank",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="VALUE",
+        help="report estimated ranks of these values instead of quantiles",
     )
     query_parser.add_argument(
         "--stats",
@@ -316,28 +329,41 @@ def _cmd_serve(args) -> int:
 def _cmd_query(args) -> int:
     import json
 
-    from repro.errors import InvalidParameterError
+    from repro.errors import InvalidParameterError, ServiceError
     from repro.service import QuantileClient
 
-    if args.key is None and not args.stats:
+    if not args.keys and not args.stats:
         raise InvalidParameterError("pass a key to query, or --stats for server stats")
+    kind = "quantiles" if args.rank is None else "ranks"
+    points = args.q if args.rank is None else args.rank
+    columns = ["fraction", "quantile"] if args.rank is None else ["value", "rank"]
     with QuantileClient(args.host, args.port) as client:
         if args.snapshot:
             written = client.snapshot()
             print(f"checkpointed {written} keys")
         if args.stats:
-            print(json.dumps(client.stats(args.key), indent=2, sort_keys=True))
+            print(json.dumps(client.stats(args.keys[0] if args.keys else None),
+                             indent=2, sort_keys=True))
             return 0
-        result = client.query(args.key, args.q)
-        table = Table(
-            f"quantiles of {args.key!r} at {args.host}:{args.port} "
-            f"(n={result.n:,}, eps={result.error_bound:.4f})",
-            ["fraction", "quantile"],
-        )
-        for q, value in zip(args.q, result.quantiles):
-            table.add_row(q, float(value))
-        table.print()
-    return 0
+        # All keys ride one MULTI_QUERY frame; a missing key reports its
+        # error but never fails its neighbours (per-request statuses).
+        results = client.query_many([(key, kind, points) for key in args.keys])
+        failed = False
+        for key, result in zip(args.keys, results):
+            if isinstance(result, ServiceError):
+                print(f"error: {key!r}: {result}", file=sys.stderr)
+                failed = True
+                continue
+            table = Table(
+                f"{kind} of {key!r} at {args.host}:{args.port} "
+                f"(n={result.n:,}, eps={result.error_bound:.4f}, "
+                f"retained={result.num_retained})",
+                columns,
+            )
+            for point, value in zip(points, result.quantiles):
+                table.add_row(point, float(value))
+            table.print()
+    return 2 if failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

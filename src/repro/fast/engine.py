@@ -18,9 +18,28 @@ throughput-first structures:
   pure-Python fallback) and the block is drained into the level structure
   only when full, so single-item ingestion costs one C call per item.
   An explicit :meth:`flush` (implicit on any query) controls visibility.
-* **An incremental query coreset** — per-level sorted arrays are cached
+* **A version-stamped query index** — per-level sorted arrays are cached
   and version-stamped; a query rebuilds only levels dirtied since the
-  last query instead of re-sorting every retained item.
+  last query instead of re-sorting every retained item.  The rebuilt
+  index (sorted items, cumulative weights, and the zero-padded inverse
+  rank index) is itself cached and reused for every ``quantiles`` /
+  ``ranks`` / ``cdf`` call until the coreset version changes, so a pure
+  read workload is a single ``np.searchsorted`` per batch with no
+  per-query rebuild.  ``error_bound`` is memoized on the same stamp.
+
+Query-index invariants (the service plane leans on these):
+
+* The index is a pure function of the retained multiset: rebuilding it
+  from scratch (or from a deserialized ``FRQ1`` payload of the same
+  state) yields bit-identical arrays, so cached answers are always
+  bit-identical to a freshly built coreset's.
+* Every content mutation (``update``/``update_many``/``merge``) bumps a
+  level version, which invalidates the index on the *next* query; a
+  stale index is never served.
+* :attr:`~FastReqSketch.query_index_hits` /
+  :attr:`~FastReqSketch.query_index_rebuilds` count served-from-cache
+  queries vs rebuilds (misses == rebuilds), and
+  :attr:`~FastReqSketch.query_index_version` stamps the current build.
 
 Differences from the reference engine, all deliberate: float64 items only
 (NaN rejected); the ``auto`` parameter scheme only (constant ``k``,
@@ -60,6 +79,34 @@ _EMPTY_WEIGHTS = np.empty(0, dtype=np.int64)
 
 #: The C staging-buffer type, or None when no toolchain is available.
 _NativeStageBuffer = load_stage_buffer()
+
+
+class _QueryIndex:
+    """One immutable build of a sketch's query index.
+
+    ``items`` is the weighted coreset sorted ascending, ``cumweights`` the
+    inclusive cumulative item weights (the *inverse rank index*: a
+    ``searchsorted`` over it maps a target rank to its item position), and
+    ``padded`` the zero-padded cumulative weights (the *rank index*: a
+    ``searchsorted`` of query values over ``items`` indexes into it to
+    read estimated ranks).  ``version`` is the sketch's monotonically
+    increasing rebuild stamp for this build.
+    """
+
+    __slots__ = ("items", "cumweights", "padded", "total", "version")
+
+    def __init__(
+        self,
+        items: np.ndarray,
+        cumweights: np.ndarray,
+        padded: np.ndarray,
+        version: int,
+    ) -> None:
+        self.items = items
+        self.cumweights = cumweights
+        self.padded = padded
+        self.total = int(cumweights[-1]) if cumweights.size else 0
+        self.version = version
 
 
 def _sketch_from_wire(cls, payload: bytes):
@@ -221,8 +268,13 @@ class FastReqSketch:
         self._n = 0
         self._min = math.inf
         self._max = -math.inf
-        self._coreset: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
-        self._coreset_key: Optional[List[int]] = None
+        self._index: Optional[_QueryIndex] = None
+        self._index_key: Optional[List[int]] = None
+        self._eps_memo: Optional[Tuple[int, float, float]] = None
+        #: Queries answered from the cached index without a rebuild.
+        self.query_index_hits = 0
+        #: Index rebuilds (== cache misses: every miss rebuilds).
+        self.query_index_rebuilds = 0
 
         stage_type = _NativeStageBuffer or _PyStageBuffer
         self._stage = stage_type(_PENDING_BLOCK, InvalidParameterError)
@@ -556,18 +608,25 @@ class FastReqSketch:
     # Queries (vectorized, incrementally cached)
     # ------------------------------------------------------------------
 
-    def _ensure_coreset(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """The (sorted items, cumulative weights, 0-padded cumweights) triple.
+    @property
+    def query_index_version(self) -> int:
+        """Stamp of the current index build (== rebuild count so far)."""
+        return self.query_index_rebuilds
+
+    def query_index(self) -> _QueryIndex:
+        """The version-stamped query index (rebuilt lazily on dirt).
 
         Cached against per-level version stamps: levels untouched since the
         last query reuse their consolidated sorted arrays as-is, so an
         update/query workload only pays to re-sort the levels that actually
-        changed, and a pure query workload pays nothing.
+        changed, and a pure query workload pays nothing — every batch
+        query is a single ``np.searchsorted`` over these arrays.
         """
         self.flush()
         key = [level.version for level in self._levels]
-        if self._coreset is not None and self._coreset_key == key:
-            return self._coreset
+        if self._index is not None and self._index_key == key:
+            self.query_index_hits += 1
+            return self._index
         parts: List[np.ndarray] = []
         weights: List[np.ndarray] = []
         for height, level in enumerate(self._levels):
@@ -589,9 +648,15 @@ class FastReqSketch:
             sorted_items = merged[order]
             cumweights = np.cumsum(np.concatenate(weights)[order])
         padded = np.concatenate(([0], cumweights))
-        self._coreset = (sorted_items, cumweights, padded)
-        self._coreset_key = key
-        return self._coreset
+        self.query_index_rebuilds += 1
+        self._index = _QueryIndex(sorted_items, cumweights, padded, self.query_index_rebuilds)
+        self._index_key = key
+        return self._index
+
+    def _ensure_coreset(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Back-compat view of the index as its raw array triple."""
+        index = self.query_index()
+        return index.items, index.cumweights, index.padded
 
     def rank(self, item: float, *, inclusive: bool = True) -> int:
         """Estimated rank of one query point."""
@@ -601,10 +666,10 @@ class FastReqSketch:
         """Vectorized rank estimates for an array of query points."""
         if self.n == 0:
             raise EmptySketchError("ranks on an empty sketch")
-        sorted_items, _, padded = self._ensure_coreset()
+        index = self.query_index()
         side = "right" if inclusive else "left"
-        positions = np.searchsorted(sorted_items, np.asarray(items, dtype=np.float64), side=side)
-        return padded[positions]
+        positions = np.searchsorted(index.items, np.asarray(items, dtype=np.float64), side=side)
+        return index.padded[positions]
 
     def normalized_rank(self, item: float, *, inclusive: bool = True) -> float:
         """Rank scaled into [0, 1]."""
@@ -621,12 +686,11 @@ class FastReqSketch:
         qs = np.asarray(fractions, dtype=np.float64)
         if ((qs < 0.0) | (qs > 1.0)).any():
             raise InvalidParameterError("quantile fractions must be in [0, 1]")
-        sorted_items, cumweights, _ = self._ensure_coreset()
-        total = int(cumweights[-1])
-        targets = np.maximum(1, np.ceil(qs * total)).astype(np.int64)
-        positions = np.searchsorted(cumweights, targets, side="left")
-        positions = np.minimum(positions, sorted_items.size - 1)
-        result = sorted_items[positions]
+        index = self.query_index()
+        targets = np.maximum(1, np.ceil(qs * index.total)).astype(np.int64)
+        positions = np.searchsorted(index.cumweights, targets, side="left")
+        positions = np.minimum(positions, index.items.size - 1)
+        result = index.items[positions]
         result = np.where(qs <= 0.0, self._min, result)
         result = np.where(qs >= 1.0, self._max, result)
         return result
@@ -646,8 +710,19 @@ class FastReqSketch:
     # ------------------------------------------------------------------
 
     def error_bound(self, *, delta: float = 0.05) -> float:
-        """A-priori multiplicative error ``eps`` at the current stream length."""
-        return eps_for_streaming_k(self.k, max(2, self.n), delta)
+        """A-priori multiplicative error ``eps`` at the current stream length.
+
+        Memoized on ``(n, delta)``: a read-heavy workload (the service
+        query plane answers thousands of requests between ingests) pays
+        the bound computation once per stream length, not per request.
+        """
+        n = max(2, self.n)
+        memo = self._eps_memo
+        if memo is not None and memo[0] == n and memo[1] == delta:
+            return memo[2]
+        eps = eps_for_streaming_k(self.k, n, delta)
+        self._eps_memo = (n, delta, eps)
+        return eps
 
     def rank_bounds(self, item: float, *, delta: float = 0.05) -> Tuple[int, int]:
         """(lower, upper) bounds on the true rank, from the (1 +/- eps) bound."""

@@ -25,13 +25,32 @@ Layers (bottom up):
   (:mod:`repro.service.server`) — the durable core and its asyncio TCP
   front speaking the length-prefixed binary protocol of
   :mod:`repro.service.protocol` (``INGEST``/``QUERY``/``CDF``/``MERGE``/
-  ``STATS``/``SNAPSHOT``/``PING``/``MULTI_INGEST``).  The ingest path is
-  pipelined end to end: zero-copy frame decode, per-tick coalescing into
-  single ``update_many`` batches, uvloop when installed.
+  ``STATS``/``SNAPSHOT``/``PING``/``MULTI_INGEST``/``RANK``/
+  ``MULTI_QUERY``).  The ingest path is pipelined end to end: zero-copy
+  frame decode, per-tick coalescing into single ``update_many`` batches,
+  uvloop when installed.
 * :class:`QuantileClient` / :class:`AsyncQuantileClient`
   (:mod:`repro.service.client`) — sync and asyncio clients with per-key
-  client-side batching, windowed pipelined streaming (``ingest_stream``),
-  and multi-key fan-in frames (``ingest_multi``).
+  client-side batching, windowed pipelined streaming in both directions
+  (``ingest_stream`` / ``query_stream``, one shared windowing state
+  machine), multi-key fan-in frames (``ingest_multi``), and batched
+  reads with per-request statuses (``query_many``).
+
+The query plane leans on the engine's **version-stamped query index**
+(:meth:`repro.fast.FastReqSketch.query_index`) and its invariants:
+
+* the index is a pure function of the retained multiset — rebuilding
+  from the same state (including a deserialized ``FRQ1`` payload, a
+  reloaded spill file, or WAL-replayed history) yields bit-identical
+  arrays, so answers over the wire are bit-identical to in-process ones;
+* every mutation bumps a level version that invalidates the index on
+  the next read — a stale index (or stale memoized ``error_bound``) is
+  never served;
+* a uniform ``MULTI_QUERY`` frame is answered with ONE batched
+  ``searchsorted`` over the index and vectorized response encode; the
+  server's ``STATS`` reports the aggregate hit/miss/rebuild counters
+  (``query_index``) plus per-opcode counts so cache behaviour is
+  observable in production.
 
 Run it::
 

@@ -8,10 +8,15 @@ that closes the service/engine throughput gap), ``ingest_multi`` packs
 several keys' batches into one ``MULTI_INGEST`` frame (fan-in),
 ``ingest_one`` buffers scalars per key and auto-flushes full batches
 (batching is THE lever for socket throughput — one frame per value would
-spend everything on framing), ``query``/``cdf`` read quantiles, ``merge``
-ships a locally built sketch's ``FRQ1`` payload for server-side union
-(the distributed-edge pattern), and ``stats`` / ``snapshot`` / ``ping``
-cover operations.
+spend everything on framing), ``query``/``cdf``/``rank`` read quantiles,
+CDF masses, and rank estimates, ``query_many`` packs many keys' reads
+into one ``MULTI_QUERY`` frame (per-request statuses: a missing key
+never fails the batch), ``query_stream`` pipelines windows of uniform
+query frames — the read-side mirror of ``ingest_stream``, sharing its
+windowing state machine, with vectorized encode/decode on both sides —
+``merge`` ships a locally built sketch's ``FRQ1`` payload for
+server-side union (the distributed-edge pattern), and ``stats`` /
+``snapshot`` / ``ping`` cover operations.
 
 Error handling: a non-OK response status raises
 :class:`~repro.errors.ServiceError` carrying the server's message (and a
@@ -43,7 +48,7 @@ import numpy as np
 from repro.errors import ServiceError
 from repro.service import protocol as wire
 
-__all__ = ["QueryResult", "QuantileClient", "AsyncQuantileClient"]
+__all__ = ["QueryResult", "BatchQueryResult", "QuantileClient", "AsyncQuantileClient"]
 
 #: ``ingest_one`` flushes a key's buffer at this many staged values.
 DEFAULT_BATCH = 8192
@@ -52,64 +57,127 @@ DEFAULT_BATCH = 8192
 DEFAULT_FRAME_VALUES = 8192
 DEFAULT_WINDOW = 32
 
+#: ``query_stream`` defaults: requests per MULTI_QUERY frame / frames in
+#: flight.  Queries are answered from the cached index in microseconds,
+#: so frames amortize framing and the window only needs to hide one RTT.
+DEFAULT_FRAME_REQUESTS = 512
+DEFAULT_QUERY_WINDOW = 8
+
 
 class QueryResult(NamedTuple):
-    """One QUERY/CDF answer: stream length, a-priori eps, and the values."""
+    """One QUERY/CDF/RANK answer: ``n``, a-priori eps, values, retained.
+
+    ``quantiles`` holds whatever the request asked for — quantile values,
+    rank estimates (as exact float64), or CDF masses; :attr:`values` is
+    the kind-neutral alias.  ``num_retained`` is the server sketch's
+    retained-item count (the response footer), there so dashboards can
+    watch summary size without a separate STATS round trip.
+    """
 
     n: int
     error_bound: float
     quantiles: np.ndarray
+    num_retained: int = 0
+
+    @property
+    def values(self) -> np.ndarray:
+        """Kind-neutral alias for :attr:`quantiles`."""
+        return self.quantiles
+
+
+class BatchQueryResult(NamedTuple):
+    """A ``query_stream`` answer: one matrix row per request.
+
+    ``values[i]`` answers request ``i`` (for ``kind="cdf"`` each row has
+    one extra trailing ``1.0`` mass).  ``n`` / ``error_bound`` /
+    ``num_retained`` describe the key as of the **last** frame (between
+    frames a concurrent writer may advance the key; within one frame the
+    server is atomic).
+    """
+
+    n: int
+    error_bound: float
+    values: np.ndarray
+    num_retained: int = 0
 
 
 def _decode_query_response(payload) -> QueryResult:
-    n, offset = wire.unpack_n(payload, 0)
-    eps = float(np.frombuffer(payload, dtype="<f8", count=1, offset=offset)[0])
-    values, _ = wire.unpack_values(payload, offset + 8)
+    n, eps, values, retained, _ = wire.unpack_query_result(payload, 0)
     # Copy: the payload may live in a reusable receive scratch buffer.
-    return QueryResult(n, eps, np.array(values))
+    return QueryResult(n, eps, np.array(values), retained)
 
 
-class _IngestStream:
-    """The I/O-agnostic core of ``ingest_stream`` (sync and async).
+def _decode_multi_query_list(payload, *, expected: int, base_index: int = 0):
+    """Decode a ``MULTI_QUERY`` response into per-request results.
 
-    Owns the window accounting, frame building, and error-ack attribution
-    so the two clients differ only in how bytes move: drive it with
-    :meth:`next_window` (a :class:`memoryview` to send, or ``None`` when
-    the window is full / the data is exhausted), feed every received ack
-    body to :meth:`ack`, and call :meth:`finish` once :attr:`done`.
+    Returns a list (one entry per request, in order) of
+    :class:`QueryResult` for OK records and :class:`ServiceError` —
+    carrying ``status`` and ``request_index`` — for failed ones, so one
+    bad key surfaces next to its neighbours' answers instead of masking
+    them.
     """
+    try:
+        (count,) = wire._COUNT.unpack_from(payload, 0)
+    except Exception as exc:  # struct.error
+        raise ServiceError(f"truncated MULTI_QUERY response: {exc}") from exc
+    if count != expected:
+        raise ServiceError(f"MULTI_QUERY response covers {count} requests, expected {expected}")
+    offset = wire._COUNT.size
+    out: List[object] = []
+    for index in range(count):
+        if offset >= len(payload):
+            raise ServiceError(f"truncated MULTI_QUERY response record {index}")
+        status = payload[offset]
+        offset += 1
+        if status == wire.STATUS_OK:
+            n, eps, values, retained, offset = wire.unpack_query_result(payload, offset)
+            out.append(QueryResult(n, eps, np.array(values), retained))
+        else:
+            blob, offset = wire.unpack_blob(payload, offset)
+            exc = ServiceError(blob.decode("utf-8", errors="replace") or f"status {status}")
+            exc.status = status
+            exc.request_index = base_index + index
+            out.append(exc)
+    return out
 
-    __slots__ = (
-        "_key",
-        "_array",
-        "_frame_values",
-        "_window",
-        "_scratch",
-        "_outstanding",
-        "_errors",
-        "_position",
-        "_frame_index",
-        "_total",
-        "last_n",
+
+def _normalize_query_request(request):
+    """``(key, points)`` or ``(key, kind, points)`` -> ``(key, kind, points)``."""
+    if len(request) == 2:
+        key, points = request
+        return key, "quantiles", points
+    if len(request) == 3:
+        return request
+    raise ServiceError(
+        f"query requests are (key, points) or (key, kind, points) tuples, "
+        f"got {len(request)} elements"
     )
 
-    def __init__(self, key: str, values, frame_values: int, window: int, scratch: bytearray):
-        array = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE).reshape(-1)
-        if array.size == 0:
-            raise ServiceError("empty ingest stream")
+
+class _WindowedStream:
+    """The I/O-agnostic send-window state machine of the pipelined paths.
+
+    Shared by :class:`_IngestStream` and :class:`_QueryStream` (and thus
+    by the sync and async clients): owns the in-flight frame accounting
+    and error collection so reads and writes pipeline through the same
+    discipline and the four stream entry points differ only in how bytes
+    move and what a frame means.  Drive it with :meth:`next_window` (a
+    :class:`memoryview` to send, or ``None`` when the window is full /
+    the data is exhausted), feed every received response body to
+    :meth:`ack`, and call :meth:`finish` once :attr:`done`.
+    """
+
+    __slots__ = ("_window", "_scratch", "_outstanding", "_errors", "_position", "_total")
+
+    def __init__(self, total: int, window: int, scratch: bytearray) -> None:
         if window < 1:
             raise ServiceError(f"window must be >= 1, got {window}")
-        self._array = array
-        self._frame_values = frame_values
         self._window = window
         self._scratch = scratch
-        self._key = key
-        self._outstanding: deque = deque()  # (frame_index, value_offset, count)
+        self._outstanding: deque = deque()
         self._errors: List[ServiceError] = []
         self._position = 0
-        self._frame_index = 0
-        self._total = int(array.size)
-        self.last_n = 0
+        self._total = total
 
     @property
     def done(self) -> bool:
@@ -122,6 +190,36 @@ class _IngestStream:
         room = self._window - len(self._outstanding)
         if room <= 0 or self._position >= self._total:
             return None
+        return self._fill(room)
+
+    def ack(self, body) -> None:
+        """Consume one response body for the oldest in-flight frame."""
+        self._consume(body, self._outstanding.popleft())
+
+    def _raise_errors(self) -> None:
+        if self._errors:
+            first = self._errors[0]
+            first.errors = self._errors
+            raise first
+
+
+class _IngestStream(_WindowedStream):
+    """The core of ``ingest_stream``: frame building + error-ack attribution."""
+
+    __slots__ = ("_key", "_array", "_frame_values", "_frame_index", "last_n")
+
+    def __init__(self, key: str, values, frame_values: int, window: int, scratch: bytearray):
+        array = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE).reshape(-1)
+        if array.size == 0:
+            raise ServiceError("empty ingest stream")
+        super().__init__(int(array.size), window, scratch)
+        self._array = array
+        self._frame_values = frame_values
+        self._key = key
+        self._frame_index = 0
+        self.last_n = 0
+
+    def _fill(self, room: int):
         take = min(room * self._frame_values, self._total - self._position)
         view, counts = wire.build_ingest_frames(
             self._key,
@@ -135,9 +233,8 @@ class _IngestStream:
             self._position += count
         return view
 
-    def ack(self, body) -> None:
-        """Consume one response body, attributing errors to its frame."""
-        index, value_offset, count = self._outstanding.popleft()
+    def _consume(self, body, token) -> None:
+        index, value_offset, count = token
         try:
             payload = wire.raise_for_status(body)
             self.last_n, _ = wire.unpack_n(payload, 0)
@@ -150,11 +247,92 @@ class _IngestStream:
     def finish(self) -> int:
         """The key's final ``n`` — or the first failed frame's error,
         carrying every failure in ``.errors``."""
-        if self._errors:
-            first = self._errors[0]
-            first.errors = self._errors
-            raise first
+        self._raise_errors()
         return self.last_n
+
+
+class _QueryStream(_WindowedStream):
+    """The core of ``query_stream``: windows of uniform ``MULTI_QUERY`` frames.
+
+    One row of the points matrix per request; frames are built vectorized
+    (:func:`~repro.service.protocol.build_query_frames`) and answers land
+    by row into one preallocated result matrix — the uniform-response
+    fast path decodes a whole frame with two vectorized compares and one
+    matrix copy, so neither side loops per request.
+    """
+
+    __slots__ = ("_key", "_kind", "_points", "_frame_requests", "_values", "_n", "_eps", "_retained")
+
+    def __init__(self, key: str, kind, points, frame_requests: int, window: int, scratch: bytearray):
+        kind = wire.kind_code(kind)
+        pts = np.ascontiguousarray(points, dtype=wire.WIRE_DTYPE)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        if pts.ndim != 2 or pts.size == 0:
+            raise ServiceError("empty query stream")
+        if frame_requests < 1:
+            raise ServiceError(f"frame_requests must be >= 1, got {frame_requests}")
+        super().__init__(int(pts.shape[0]), window, scratch)
+        self._key = key
+        self._kind = kind
+        self._points = pts
+        self._frame_requests = frame_requests
+        width = pts.shape[1] + 1 if kind == wire.KIND_CDF else pts.shape[1]
+        self._values = np.empty((pts.shape[0], width), dtype=np.float64)
+        self._n = 0
+        self._eps = 0.0
+        self._retained = 0
+
+    def _fill(self, room: int):
+        take = min(room * self._frame_requests, self._total - self._position)
+        view, counts = wire.build_query_frames(
+            self._key,
+            self._kind,
+            self._points[self._position : self._position + take],
+            frame_requests=self._frame_requests,
+            out=self._scratch,
+        )
+        for count in counts:
+            self._outstanding.append((self._position, count))
+            self._position += count
+        return view
+
+    def _consume(self, body, token) -> None:
+        start, count = token
+        try:
+            payload = wire.raise_for_status(body)
+        except ServiceError as exc:
+            # The whole frame was refused (decode error): attribute it to
+            # its first request; ``count`` says how many rows it covered.
+            exc.request_index = start
+            exc.count = count
+            self._errors.append(exc)
+            return
+        fast = wire.decode_uniform_query_response(payload, count)
+        if fast is not None:
+            n, eps, values, retained = fast
+            if values.shape[1] != self._values.shape[1]:
+                raise ServiceError(
+                    f"response rows carry {values.shape[1]} values, "
+                    f"expected {self._values.shape[1]}"
+                )
+            self._values[start : start + count] = values
+            self._n, self._eps, self._retained = n, eps, retained
+            return
+        for index, entry in enumerate(
+            _decode_multi_query_list(payload, expected=count, base_index=start)
+        ):
+            if isinstance(entry, ServiceError):
+                self._errors.append(entry)
+            else:
+                self._values[start + index] = entry.quantiles
+                self._n, self._eps, self._retained = entry.n, entry.error_bound, entry.num_retained
+
+    def finish(self) -> BatchQueryResult:
+        """The stacked answers — or the first failed request's error,
+        carrying every failure in ``.errors`` (each with ``request_index``)."""
+        self._raise_errors()
+        return BatchQueryResult(self._n, self._eps, self._values, self._retained)
 
 
 def _decode_multi_response(payload) -> List[int]:
@@ -184,6 +362,10 @@ class _RequestEncoder:
     @staticmethod
     def cdf(key: str, points) -> bytes:
         return bytes([wire.OP_CDF]) + wire.pack_key(key) + wire.pack_values(points)
+
+    @staticmethod
+    def rank(key: str, values) -> bytes:
+        return bytes([wire.OP_RANK]) + wire.pack_key(key) + wire.pack_values(values)
 
     @staticmethod
     def merge(key: str, payload: bytes) -> bytes:
@@ -354,6 +536,63 @@ class QuantileClient:
 
     def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
         return _decode_query_response(self._request(_RequestEncoder.cdf(key, split_points)))
+
+    def rank(self, key: str, values: Sequence[float]) -> QueryResult:
+        """Estimated ranks of ``values`` (as exact float64 integers)."""
+        return _decode_query_response(self._request(_RequestEncoder.rank(key, values)))
+
+    def query_many(self, requests) -> List[object]:
+        """Ship many read requests in ONE ``MULTI_QUERY`` frame.
+
+        ``requests`` is an iterable of ``(key, points)`` (quantiles) or
+        ``(key, kind, points)`` tuples, ``kind`` one of ``"quantiles"`` /
+        ``"ranks"`` / ``"cdf"``.  Returns one entry per request, in
+        order: a :class:`QueryResult`, or a
+        :class:`~repro.errors.ServiceError` (with ``status`` and
+        ``request_index``) for requests that failed — a missing key
+        never fails its neighbours.  One round trip for the whole batch.
+        """
+        items = [_normalize_query_request(request) for request in requests]
+        payload = self._request(wire.pack_multi_query(items))
+        return _decode_multi_query_list(payload, expected=len(items))
+
+    def query_stream(
+        self,
+        key: str,
+        points,
+        *,
+        kind: str = "quantiles",
+        frame_requests: int = DEFAULT_FRAME_REQUESTS,
+        window: int = DEFAULT_QUERY_WINDOW,
+    ) -> BatchQueryResult:
+        """Pipelined reads: one request per row of ``points``.
+
+        The read-side mirror of :meth:`ingest_stream` (same windowing
+        machinery): up to ``window`` ``MULTI_QUERY`` frames of
+        ``frame_requests`` uniform requests ride the wire before the
+        first response is awaited, so read throughput is bounded by
+        bandwidth + server work, not round trips.  Frames encode and
+        decode vectorized end to end (no per-request loop on either
+        side).  With ``window=1`` this degrades to batched round trips —
+        one frame at a time — which is the right shape for a single
+        dashboard refresh.
+
+        Returns a :class:`BatchQueryResult` whose ``values[i]`` answers
+        ``points[i]``.  Per-request error responses raise
+        :class:`~repro.errors.ServiceError` for the first failed request
+        with ``request_index`` and an ``errors`` list carrying the rest.
+        """
+        stream = _QueryStream(key, kind, points, frame_requests, window, self._tx)
+        while not stream.done:
+            window_view = stream.next_window()
+            if window_view is not None:
+                try:
+                    self._sock.sendall(window_view)
+                finally:
+                    window_view.release()  # free the scratch for reuse
+            else:
+                stream.ack(self._frames.read_frame())
+        return stream.finish()
 
     # -- operations ----------------------------------------------------
 
@@ -528,6 +767,46 @@ class AsyncQuantileClient:
 
     async def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
         return _decode_query_response(await self._request(_RequestEncoder.cdf(key, split_points)))
+
+    async def rank(self, key: str, values: Sequence[float]) -> QueryResult:
+        """Estimated ranks of ``values`` (as exact float64 integers)."""
+        return _decode_query_response(await self._request(_RequestEncoder.rank(key, values)))
+
+    async def query_many(self, requests) -> List[object]:
+        """One ``MULTI_QUERY`` frame for many read requests (see
+        :meth:`QuantileClient.query_many`)."""
+        items = [_normalize_query_request(request) for request in requests]
+        payload = await self._request(wire.pack_multi_query(items))
+        return _decode_multi_query_list(payload, expected=len(items))
+
+    async def query_stream(
+        self,
+        key: str,
+        points,
+        *,
+        kind: str = "quantiles",
+        frame_requests: int = DEFAULT_FRAME_REQUESTS,
+        window: int = DEFAULT_QUERY_WINDOW,
+    ) -> BatchQueryResult:
+        """Pipelined reads (same contract as
+        :meth:`QuantileClient.query_stream`); the windowing state machine
+        is shared with the sync client and ``ingest_stream``."""
+        if self._writer is None:
+            await self.connect()
+        stream = _QueryStream(key, kind, points, frame_requests, window, bytearray())
+        while not stream.done:
+            window_view = stream.next_window()
+            if window_view is not None:
+                try:
+                    # bytes(): the transport may buffer past this tick,
+                    # and the view aliases the reusable scratch.
+                    self._writer.write(bytes(window_view))
+                finally:
+                    window_view.release()
+                await self._writer.drain()
+            else:
+                stream.ack(await self._read_frame())
+        return stream.finish()
 
     async def stats(self, key: Optional[str] = None) -> dict:
         import json

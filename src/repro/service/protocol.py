@@ -24,17 +24,40 @@ Requests (``key`` is ``u16 length + UTF-8 bytes``)::
     SNAPSHOT      0x06  (no operands)
     PING          0x07  (no operands)
     MULTI_INGEST  0x08  u32 groups, groups * (key, u32 count, values)
+    RANK          0x09  key, u32 count, count * f64 query points
+    MULTI_QUERY   0x0A  u32 requests, requests * (key, u8 kind, u32 count,
+                        count * f64 points); kind: 0 = quantiles,
+                        1 = ranks (inclusive), 2 = cdf
 
-Responses (after the status byte)::
+Responses (after the status byte; every read response carries the key's
+``u64 num_retained`` as a trailing footer for observability)::
 
     INGEST        u64 n                      key's total after the batch
-    QUERY         u64 n, f64 eps, values     a-priori error bound + quantiles
-    CDF           u64 n, f64 eps, masses     count+1 masses (final one 1.0)
+    QUERY         u64 n, f64 eps, values, u64 retained
+    CDF           u64 n, f64 eps, masses, u64 retained   count+1 masses
+    RANK          u64 n, f64 eps, ranks (f64), u64 retained
     MERGE         u64 n
     STATS         u32 length, UTF-8 JSON
     SNAPSHOT      u32 keys written
     PING          u32 length, UTF-8 version
     MULTI_INGEST  u32 groups, groups * u64 n (per group, in request order)
+    MULTI_QUERY   u32 requests, requests * record — each record leads with
+                  its OWN u8 status (one missing key cannot fail the
+                  batch): OK records are ``0, u64 n, f64 eps, u32 count,
+                  values, u64 retained`` (a QUERY/CDF/RANK response body);
+                  error records are ``status, u32 length, UTF-8 message``.
+
+``MULTI_QUERY`` is the vectorized read path.  A *uniform* frame — every
+record naming the same key, kind, and point count (the dashboard shape:
+many point sets against one metric) — is fixed-stride on the wire, so
+both sides move it with numpy instead of per-request loops: the client
+tiles one record template and writes all point rows with a single 2-D
+slice assignment (:func:`build_query_frames`), the server verifies
+uniformity with one vectorized header compare, extracts every row as one
+matrix (:func:`try_uniform_multi_query`), answers them with a single
+batch call against the sketch's query index, and emits the response the
+same way (:func:`encode_uniform_query_response`).  Mixed frames fall
+back to a per-request loop with identical results.
 
 The frame length is capped (:data:`MAX_FRAME`) so a corrupt or hostile
 length prefix cannot make either side allocate unbounded memory; both
@@ -67,7 +90,13 @@ __all__ = [
     "OP_SNAPSHOT",
     "OP_PING",
     "OP_MULTI_INGEST",
+    "OP_RANK",
+    "OP_MULTI_QUERY",
     "OP_NAMES",
+    "KIND_QUANTILES",
+    "KIND_RANKS",
+    "KIND_CDF",
+    "QUERY_KINDS",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_UNKNOWN_KEY",
@@ -81,6 +110,17 @@ __all__ = [
     "build_ingest_frames",
     "pack_multi_ingest",
     "unpack_multi_ingest",
+    "pack_multi_query",
+    "unpack_multi_query",
+    "kind_code",
+    "query_response_bound",
+    "ERROR_MESSAGE_CAP",
+    "build_query_frames",
+    "try_uniform_multi_query",
+    "pack_query_result",
+    "unpack_query_result",
+    "encode_uniform_query_response",
+    "decode_uniform_query_response",
     "read_frame_sync",
     "FrameReader",
     "error_body",
@@ -95,6 +135,8 @@ OP_STATS = 0x05
 OP_SNAPSHOT = 0x06
 OP_PING = 0x07
 OP_MULTI_INGEST = 0x08
+OP_RANK = 0x09
+OP_MULTI_QUERY = 0x0A
 
 #: Opcode -> wire name (STATS reporting; unknown opcodes render as hex).
 OP_NAMES = {
@@ -106,7 +148,17 @@ OP_NAMES = {
     OP_SNAPSHOT: "snapshot",
     OP_PING: "ping",
     OP_MULTI_INGEST: "multi_ingest",
+    OP_RANK: "rank",
+    OP_MULTI_QUERY: "multi_query",
 }
+
+#: ``MULTI_QUERY`` request kinds (the per-record ``u8 kind`` operand).
+KIND_QUANTILES = 0
+KIND_RANKS = 1
+KIND_CDF = 2
+
+#: Client-facing kind names -> wire codes.
+QUERY_KINDS = {"quantiles": KIND_QUANTILES, "ranks": KIND_RANKS, "cdf": KIND_CDF}
 
 STATUS_OK = 0
 #: Generic server-side failure (the message says what went wrong).
@@ -124,6 +176,12 @@ _LEN = struct.Struct("<I")
 _KEYLEN = struct.Struct("<H")
 _COUNT = struct.Struct("<I")
 _N = struct.Struct("<Q")
+_EPS = struct.Struct("<d")
+
+#: Fixed sizes of an OK query record: ``status + n + eps + count`` head
+#: and the ``u64 num_retained`` footer (the values sit between them).
+_QREC_HEAD = 1 + _N.size + _EPS.size + _COUNT.size
+_QREC_TAIL = _N.size
 
 #: Wire dtype for value arrays (explicit little-endian float64).
 WIRE_DTYPE = np.dtype("<f8")
@@ -329,6 +387,313 @@ def unpack_multi_ingest(body, offset: int = 1):
             f"{len(body) - offset} trailing bytes after MULTI_INGEST group {groups - 1}"
         )
     return out
+
+
+def kind_code(kind) -> int:
+    """Normalize a query kind — a :data:`QUERY_KINDS` name or a numeric
+    wire code — to its ``u8`` code.  The single spelling of this check:
+    clients, frame builders, and the server all route through it, so a
+    new kind is added in exactly one table."""
+    if isinstance(kind, str):
+        try:
+            return QUERY_KINDS[kind]
+        except KeyError:
+            raise ServiceError(
+                f"unknown query kind {kind!r}; expected one of {sorted(QUERY_KINDS)}"
+            ) from None
+    code = int(kind)
+    if not 0 <= code <= 0xFF:
+        raise ServiceError(f"query kind {kind!r} does not fit the u8 kind byte")
+    return code
+
+
+def query_response_bound(requests: int, count: int) -> int:
+    """Upper bound on a ``MULTI_QUERY`` response body for a request shape.
+
+    An OK record outweighs its request record (the fixed head plus the
+    ``num_retained`` footer, and ``cdf`` answers ``count + 1`` masses),
+    so a request frame under :data:`MAX_FRAME` can imply a response over
+    it.  Both sides use this bound to refuse such batches up front —
+    with a small error frame server-side — instead of emitting a frame
+    the protocol layer itself forbids.  Error records are bounded too
+    (messages are truncated to :data:`ERROR_MESSAGE_CAP`).
+    """
+    record = _QREC_HEAD + 8 * (count + 1) + _QREC_TAIL
+    return 1 + _COUNT.size + requests * max(record, 1 + _COUNT.size + ERROR_MESSAGE_CAP)
+
+
+#: Per-record error messages inside MULTI_QUERY responses are truncated
+#: to this many UTF-8 bytes so the response bound holds for any key size.
+ERROR_MESSAGE_CAP = 512
+
+
+def pack_multi_query(requests) -> bytes:
+    """One ``MULTI_QUERY`` request body from ``(key, kind, points)`` triples.
+
+    ``kind`` is a wire code (:data:`KIND_QUANTILES` / :data:`KIND_RANKS` /
+    :data:`KIND_CDF`) or its :data:`QUERY_KINDS` name.  The generic
+    encoder — mixed keys, kinds, and point counts; uniform single-key
+    batches should go through :func:`build_query_frames` instead.
+    """
+    items = list(requests)
+    if not items:
+        raise ServiceError("MULTI_QUERY needs at least one (key, kind, points) request")
+    parts = [bytes([OP_MULTI_QUERY]), _COUNT.pack(len(items))]
+    for key, kind, points in items:
+        parts.append(pack_key(key))
+        parts.append(bytes([kind_code(kind)]))
+        parts.append(pack_values(points))
+    body = b"".join(parts)
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"MULTI_QUERY body of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_multi_query(body, offset: int = 1):
+    """Decode a ``MULTI_QUERY`` body into ``[(key, kind, points_view), ...]``.
+
+    Point arrays are zero-copy views into ``body``.  Truncation or
+    trailing garbage raises :class:`~repro.errors.ServiceError` naming
+    the offending request.
+    """
+    try:
+        (requests,) = _COUNT.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated MULTI_QUERY request count: {exc}") from exc
+    offset += _COUNT.size
+    if requests == 0:
+        raise ServiceError("MULTI_QUERY declares zero requests")
+    out = []
+    for index in range(requests):
+        try:
+            key, offset = unpack_key(body, offset)
+            if offset >= len(body):
+                raise ServiceError("truncated kind byte")
+            kind = body[offset]
+            points, offset = unpack_values(body, offset + 1)
+        except ServiceError as exc:
+            raise ServiceError(f"MULTI_QUERY request {index}: {exc}") from exc
+        out.append((key, kind, points))
+    if offset != len(body):
+        raise ServiceError(
+            f"{len(body) - offset} trailing bytes after MULTI_QUERY request {requests - 1}"
+        )
+    return out
+
+
+def build_query_frames(
+    key: str,
+    kind,
+    points,
+    *,
+    frame_requests: int = 512,
+    out: Optional[bytearray] = None,
+):
+    """Encode uniform query requests as consecutive ``MULTI_QUERY`` frames.
+
+    ``points`` is a 2-D float64 array — one row per request, all against
+    ``key`` with the same ``kind``.  Uniform records are fixed-stride, so
+    the whole window is built vectorized: one record template tiled by a
+    broadcast assignment, every point row written with a single 2-D slice
+    assignment — no per-request packing, mirroring
+    :func:`build_ingest_frames` on the write side.
+
+    Returns ``(window, counts)`` — a :class:`memoryview` over the encoded
+    frames and the per-frame request counts, in order.  Same ``out``
+    scratch contract as :func:`build_ingest_frames`.
+    """
+    kind = kind_code(kind)
+    pts = np.ascontiguousarray(points, dtype=WIRE_DTYPE)
+    if pts.ndim == 1:
+        pts = pts.reshape(1, -1)
+    if pts.ndim != 2:
+        raise ServiceError(f"points must be a (requests, count) matrix, got ndim={pts.ndim}")
+    nreq, count = pts.shape
+    if nreq == 0 or count == 0:
+        raise ServiceError("cannot frame an empty query batch")
+    if frame_requests < 1:
+        raise ServiceError(f"frame_requests must be >= 1, got {frame_requests}")
+    raw_key = pack_key(key)
+    rec_head = raw_key + bytes([int(kind)]) + _COUNT.pack(count)
+    rec = len(rec_head) + 8 * count
+    head = 1 + _COUNT.size  # opcode + request count
+    per_frame = min(frame_requests, nreq)
+    if (
+        head + rec * per_frame > MAX_FRAME
+        or query_response_bound(per_frame, count) > MAX_FRAME
+    ):
+        raise ServiceError(
+            f"{frame_requests} requests of {count} points per frame exceeds "
+            f"MAX_FRAME ({MAX_FRAME}) on the request or response side; "
+            "lower frame_requests"
+        )
+    nframes = -(-nreq // frame_requests)
+    total = nframes * (_LEN.size + head) + nreq * rec
+    if out is None:
+        buf = bytearray(total)
+    else:
+        buf = out
+        if len(buf) < total:
+            buf.extend(bytes(total - len(buf)))
+    template = np.frombuffer(rec_head + bytes(8 * count), dtype=np.uint8)
+    u8 = np.frombuffer(buf, dtype=np.uint8)
+    counts = []
+    offset = 0
+    pos = 0
+    while pos < nreq:
+        take = min(frame_requests, nreq - pos)
+        _LEN.pack_into(buf, offset, head + take * rec)
+        offset += _LEN.size
+        buf[offset] = OP_MULTI_QUERY
+        _COUNT.pack_into(buf, offset + 1, take)
+        offset += head
+        mat = u8[offset : offset + take * rec].reshape(take, rec)
+        mat[:] = template
+        mat[:, len(rec_head) :] = pts[pos : pos + take].view(np.uint8)
+        offset += take * rec
+        pos += take
+        counts.append(take)
+    return memoryview(buf)[:offset], counts
+
+
+def try_uniform_multi_query(body):
+    """``(key, kind, points_matrix)`` for a uniform frame, else ``None``.
+
+    A frame is uniform when every record shares the first record's key,
+    kind, and point count — verified exactly, with one vectorized byte
+    compare over the fixed-stride record headers (no per-request parse).
+    The returned matrix is one contiguous ``(requests, count)`` float64
+    copy of every point row.  Raises on a frame whose *first* record is
+    malformed (the generic decoder would too).
+    """
+    try:
+        (requests,) = _COUNT.unpack_from(body, 1)
+    except struct.error as exc:
+        raise ServiceError(f"truncated MULTI_QUERY request count: {exc}") from exc
+    if requests == 0:
+        raise ServiceError("MULTI_QUERY declares zero requests")
+    base = 1 + _COUNT.size
+    try:
+        key, offset = unpack_key(body, base)
+        if offset >= len(body):
+            raise ServiceError("truncated kind byte")
+        kind = body[offset]
+        (count,) = _COUNT.unpack_from(body, offset + 1)
+    except struct.error as exc:
+        raise ServiceError(f"MULTI_QUERY request 0: {exc}") from exc
+    hdr = (offset - base) + 1 + _COUNT.size
+    rec = hdr + 8 * count
+    if len(body) - base != requests * rec:
+        return None
+    u8 = np.frombuffer(body, dtype=np.uint8)
+    mat = u8[base:].reshape(requests, rec)
+    if requests > 1 and not (mat[1:, :hdr] == mat[0, :hdr]).all():
+        return None
+    pts = np.ascontiguousarray(mat[:, hdr:]).view(WIRE_DTYPE)
+    return key, kind, pts
+
+
+def pack_query_result(n: int, eps: float, values, retained: int) -> bytes:
+    """One OK query payload: ``0, u64 n, f64 eps, values, u64 retained``.
+
+    Doubles as the single ``QUERY``/``CDF``/``RANK`` response body and as
+    one OK ``MULTI_QUERY`` record.
+    """
+    array = np.ascontiguousarray(values, dtype=WIRE_DTYPE).reshape(-1)
+    return (
+        b"\x00"
+        + _N.pack(n)
+        + _EPS.pack(eps)
+        + _COUNT.pack(array.size)
+        + array.tobytes()
+        + _N.pack(retained)
+    )
+
+
+def unpack_query_result(payload, offset: int = 0):
+    """Decode an OK query payload (after its status byte).
+
+    Returns ``(n, eps, values_view, retained, new_offset)``; the values
+    are a zero-copy view into ``payload``.
+    """
+    n, offset = unpack_n(payload, offset)
+    try:
+        (eps,) = _EPS.unpack_from(payload, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated error bound: {exc}") from exc
+    values, offset = unpack_values(payload, offset + _EPS.size)
+    retained, offset = unpack_n(payload, offset)
+    return n, float(eps), values, retained, offset
+
+
+def encode_uniform_query_response(n: int, eps: float, values, retained: int) -> bytearray:
+    """A whole-frame ``MULTI_QUERY`` response for a uniform answer matrix.
+
+    ``values`` is the ``(requests, count)`` float64 answer matrix for one
+    key; every record shares ``n``/``eps``/``retained``, so the response
+    is one template tile plus a single vectorized value fill.
+    """
+    array = np.ascontiguousarray(values, dtype=WIRE_DTYPE)
+    if array.ndim != 2:
+        raise ServiceError(f"uniform response needs a 2-D matrix, got ndim={array.ndim}")
+    requests, count = array.shape
+    head = b"\x00" + _COUNT.pack(requests)
+    rec_head = b"\x00" + _N.pack(n) + _EPS.pack(eps) + _COUNT.pack(count)
+    rec = _QREC_HEAD + 8 * count + _QREC_TAIL
+    body = bytearray(len(head) + requests * rec)
+    body[: len(head)] = head
+    u8 = np.frombuffer(body, dtype=np.uint8)
+    mat = u8[len(head) :].reshape(requests, rec)
+    mat[:] = np.frombuffer(rec_head + bytes(8 * count) + _N.pack(retained), dtype=np.uint8)
+    mat[:, _QREC_HEAD : _QREC_HEAD + 8 * count] = array.view(np.uint8)
+    return body
+
+
+def decode_uniform_query_response(payload, expected_requests: int):
+    """``(n, eps, values_matrix, retained)`` for a uniform-OK response.
+
+    The inverse of :func:`encode_uniform_query_response`: verifies (with
+    one vectorized compare over the fixed-stride records) that every
+    record is OK and shares the first record's header and footer, then
+    extracts all value rows as one contiguous matrix — the copy, so the
+    result survives receive-scratch reuse.  Returns ``(n, eps,
+    values_matrix, retained)``, or ``None`` when the
+    response is not uniform (some record errored, or counts differ);
+    callers fall back to the per-record decoder.  Raises on a response
+    whose declared request count disagrees with ``expected_requests``.
+    """
+    try:
+        (requests,) = _COUNT.unpack_from(payload, 0)
+    except struct.error as exc:
+        raise ServiceError(f"truncated MULTI_QUERY response: {exc}") from exc
+    if requests != expected_requests:
+        raise ServiceError(
+            f"MULTI_QUERY response covers {requests} requests, expected {expected_requests}"
+        )
+    base = _COUNT.size
+    if len(payload) <= base:
+        raise ServiceError("truncated MULTI_QUERY response records")
+    if payload[base] != STATUS_OK:
+        return None
+    try:
+        n, offset = unpack_n(payload, base + 1)
+        (eps,) = _EPS.unpack_from(payload, offset)
+        (count,) = _COUNT.unpack_from(payload, offset + _EPS.size)
+    except (ServiceError, struct.error):
+        raise ServiceError("truncated MULTI_QUERY response record 0") from None
+    rec = _QREC_HEAD + 8 * count + _QREC_TAIL
+    if len(payload) - base != requests * rec:
+        return None
+    u8 = np.frombuffer(payload, dtype=np.uint8)
+    mat = u8[base : base + requests * rec].reshape(requests, rec)
+    if requests > 1:
+        same_head = (mat[1:, :_QREC_HEAD] == mat[0, :_QREC_HEAD]).all()
+        same_tail = (mat[1:, rec - _QREC_TAIL :] == mat[0, rec - _QREC_TAIL :]).all()
+        if not (same_head and same_tail):
+            return None
+    (retained,) = _N.unpack_from(payload, base + rec - _QREC_TAIL)
+    values = np.ascontiguousarray(mat[:, _QREC_HEAD : _QREC_HEAD + 8 * count]).view(WIRE_DTYPE)
+    return n, float(eps), values, retained
 
 
 def error_body(status: int, message: str) -> bytes:

@@ -315,23 +315,57 @@ class QuantileService:
         return n
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (index-backed; see repro.service.store.SketchStore.query)
     # ------------------------------------------------------------------
 
-    def _sketch(self, key: str):
-        return self.store.get(key)
+    #: Wire kind codes -> the store's kind names (derived, not re-listed).
+    _KIND_NAMES = {code: name for name, code in wire.QUERY_KINDS.items()}
+
+    @classmethod
+    def _kind_name(cls, kind) -> str:
+        name = cls._KIND_NAMES.get(wire.kind_code(kind))
+        if name is None:
+            raise ServiceError(f"unknown query kind {kind:#x}")
+        return name
 
     def query(self, key: str, fractions):
-        """``(n, error_bound, quantiles)`` for ``key``."""
-        sketch = self._sketch(key)
+        """``(n, error_bound, quantiles, num_retained)`` for ``key``."""
         self.query_count += 1
-        return sketch.n, sketch.error_bound(), sketch.quantiles(fractions)
+        return self.store.query(key, "quantiles", fractions)
 
     def cdf(self, key: str, split_points):
-        """``(n, error_bound, masses)`` for ``key`` (masses has one extra entry)."""
-        sketch = self._sketch(key)
+        """``(n, error_bound, masses, num_retained)`` — one extra mass entry."""
         self.query_count += 1
-        return sketch.n, sketch.error_bound(), sketch.cdf(split_points)
+        return self.store.query(key, "cdf", split_points)
+
+    def rank(self, key: str, values):
+        """``(n, error_bound, ranks, num_retained)`` — ranks as exact f64."""
+        self.query_count += 1
+        return self.store.query(key, "ranks", values)
+
+    def query_points(self, key: str, kind, points, cache: Optional[dict] = None):
+        """One ``MULTI_QUERY`` request: ``(n, eps, values, retained)``.
+
+        ``cache`` maps keys to already-resolved sketches so every request
+        in one frame shares a single store lookup (and a single LRU
+        touch / spill reload) per key — the per-frame index reuse the
+        batched read path is built around.
+        """
+        kind_name = self._kind_name(kind)
+        sketch = cache.get(key) if cache is not None else None
+        if sketch is None:
+            sketch = self.store.get(key)
+            if cache is not None:
+                cache[key] = sketch
+        self.query_count += 1
+        values = self.store.evaluate(sketch, kind_name, points)
+        return int(sketch.n), float(sketch.error_bound()), values, int(sketch.num_retained)
+
+    def query_batch(self, key: str, kind, points):
+        """A uniform ``MULTI_QUERY`` frame: one vectorized engine call."""
+        result = self.store.query_batch(key, self._kind_name(kind), points)
+        self.query_count += int(points.shape[0])
+        return result
 
     # ------------------------------------------------------------------
     # Durability
@@ -878,20 +912,17 @@ class QuantileServer:
             if op == wire.OP_QUERY:
                 key, offset = wire.unpack_key(body, 1)
                 fractions, _ = wire.unpack_values(body, offset)
-                n, eps, quantiles = self.service.query(key, fractions)
-                return (
-                    b"\x00"
-                    + wire.pack_n(n)
-                    + np.float64(eps).tobytes()
-                    + wire.pack_values(quantiles)
-                )
+                return wire.pack_query_result(*self.service.query(key, fractions))
             if op == wire.OP_CDF:
                 key, offset = wire.unpack_key(body, 1)
                 points, _ = wire.unpack_values(body, offset)
-                n, eps, masses = self.service.cdf(key, points)
-                return (
-                    b"\x00" + wire.pack_n(n) + np.float64(eps).tobytes() + wire.pack_values(masses)
-                )
+                return wire.pack_query_result(*self.service.cdf(key, points))
+            if op == wire.OP_RANK:
+                key, offset = wire.unpack_key(body, 1)
+                values, _ = wire.unpack_values(body, offset)
+                return wire.pack_query_result(*self.service.rank(key, values))
+            if op == wire.OP_MULTI_QUERY:
+                return self._multi_query(body)
             if op == wire.OP_MERGE:
                 key, offset = wire.unpack_key(body, 1)
                 payload, _ = wire.unpack_blob(body, offset)
@@ -918,6 +949,63 @@ class QuantileServer:
             # dispatcher): a failure must answer with an error response,
             # never tear down the connection silently.
             return self._error_response(exc)
+
+    def _multi_query(self, body) -> bytes:
+        """Answer one ``MULTI_QUERY`` frame (vectorized when uniform).
+
+        A uniform frame (single key/kind/count — the dashboard shape) is
+        answered with ONE batched engine call over the key's query index
+        and one vectorized response build.  Anything else — mixed keys,
+        a failing key, an invalid row — takes the per-request loop, whose
+        answers are bit-identical and whose errors attribute to the exact
+        request via per-record statuses (one missing key never fails the
+        rest of the batch).
+        """
+        service = self.service
+        uniform = wire.try_uniform_multi_query(body)
+        if uniform is not None:
+            key, kind, points = uniform
+            if wire.query_response_bound(points.shape[0], points.shape[1]) > wire.MAX_FRAME:
+                # A request frame under MAX_FRAME can imply a response
+                # over it (an OK record outweighs its request record).
+                # Refuse with a small error frame instead of emitting a
+                # frame our own protocol layer forbids — the connection
+                # stays usable and the client can split the batch.
+                return wire.error_body(
+                    wire.STATUS_BAD_REQUEST,
+                    f"response for {points.shape[0]} requests would exceed "
+                    f"MAX_FRAME ({wire.MAX_FRAME}); split the batch",
+                )
+            try:
+                result = service.query_batch(key, kind, points)
+            except Exception:
+                pass  # re-run per request below so the error names its row
+            else:
+                return bytes(wire.encode_uniform_query_response(*result))
+        requests = wire.unpack_multi_query(body)
+        bound = sum(
+            wire.query_response_bound(1, int(points.size)) for _k, _kind, points in requests
+        )
+        if bound > wire.MAX_FRAME:
+            return wire.error_body(
+                wire.STATUS_BAD_REQUEST,
+                f"response for {len(requests)} requests would exceed "
+                f"MAX_FRAME ({wire.MAX_FRAME}); split the batch",
+            )
+        parts = [b"\x00", wire._COUNT.pack(len(requests))]
+        cache: Dict[str, object] = {}
+        for key, kind, points in requests:
+            try:
+                result = service.query_points(key, kind, points, cache)
+            except Exception as exc:
+                error = self._error_response(exc)
+                # Truncated so the response bound above holds for any key
+                # size (an unknown-key message embeds the key).
+                message = bytes(error[1 : 1 + wire.ERROR_MESSAGE_CAP])
+                parts.append(bytes([error[0]]) + wire.pack_blob(message))
+            else:
+                parts.append(wire.pack_query_result(*result))
+        return b"".join(parts)
 
 
 class ServerThread:

@@ -154,6 +154,10 @@ class SketchStore:
         self._retained_total = 0
         self.spill_count = 0
         self.load_count = 0
+        #: Query-index counters carried by evicted sketches (the live
+        #: counters ride on each resident sketch; see query_index_stats).
+        self._index_hits_evicted = 0
+        self._index_rebuilds_evicted = 0
         #: Reusable coalescing scratch for :meth:`stage_concat` (float64;
         #: grown geometrically, never shrunk — the store is single-writer).
         self._stage_buf: Optional[np.ndarray] = None
@@ -372,8 +376,94 @@ class SketchStore:
         )
         if entry.sketch.n:
             sharded.absorb(entry.sketch)
+        # The plane's counters start at zero; fold the replaced sketch's
+        # into the store accumulator (like eviction does) so aggregate
+        # query-index stats never go backwards on promotion.
+        self._index_hits_evicted += int(getattr(entry.sketch, "query_index_hits", 0))
+        self._index_rebuilds_evicted += int(getattr(entry.sketch, "query_index_rebuilds", 0))
         entry.sketch = sharded
         entry.sharded = True
+
+    # ------------------------------------------------------------------
+    # Queries (the read hot path: index-backed, vectorized)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def evaluate(sketch, kind: str, points) -> np.ndarray:
+        """Run one read request against ``sketch``; returns float64 values.
+
+        ``kind`` is ``"quantiles"`` / ``"ranks"`` / ``"cdf"``.  Every kind
+        routes through the sketch's version-stamped query index — one
+        vectorized ``searchsorted`` per call; ranks are widened to float64
+        (exact below 2**53) so every kind shares the wire value format.
+        """
+        if kind == "quantiles":
+            return sketch.quantiles(points)
+        if kind == "ranks":
+            return np.asarray(sketch.ranks(points), dtype=np.float64)
+        if kind == "cdf":
+            return sketch.cdf(points)
+        raise ServiceError(f"unknown query kind {kind!r}")
+
+    def query(self, key: str, kind: str, points):
+        """``(n, error_bound, values, num_retained)`` for one request.
+
+        Reloads a spilled key transparently (the reloaded sketch rebuilds
+        its query index on this first read, then serves later reads from
+        it).  The error bound comes from the engine's memoized value —
+        one bound computation per stream length, not per request — and
+        ``num_retained`` rides along as the response footer's source.
+        """
+        sketch = self.get(key)
+        values = self.evaluate(sketch, kind, points)
+        return int(sketch.n), float(sketch.error_bound()), values, int(sketch.num_retained)
+
+    def query_batch(self, key: str, kind: str, points: np.ndarray):
+        """Uniform batch read: ``points`` is one ``(requests, count)`` matrix.
+
+        All rows are answered with a single index-backed engine call —
+        flatten, one vectorized ``searchsorted``, reshape — which is what
+        makes a uniform ``MULTI_QUERY`` frame O(total points) instead of
+        O(requests) Python dispatches.  Raises (instead of degrading to a
+        per-row loop) when any row is invalid; the server then falls back
+        to the per-request path so errors attribute to the exact request.
+        Row answers are bit-identical to per-row :meth:`query` calls.
+        """
+        sketch = self.get(key)
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        requests, count = pts.shape
+        if kind == "quantiles":
+            values = sketch.quantiles(pts.reshape(-1)).reshape(requests, count)
+        elif kind == "ranks":
+            ranks = sketch.ranks(pts.reshape(-1)).reshape(requests, count)
+            values = np.asarray(ranks, dtype=np.float64)
+        elif kind == "cdf":
+            if count == 0:
+                raise InvalidParameterError("split_points must be non-empty")
+            if (np.diff(pts, axis=1) <= 0).any():
+                raise InvalidParameterError("split_points must be strictly increasing")
+            # Same operations as FastReqSketch.cdf per row (int64 rank
+            # division, then the appended 1.0), so rows stay bit-identical.
+            masses = sketch.ranks(pts.reshape(-1)).reshape(requests, count) / sketch.n
+            values = np.concatenate([masses, np.ones((requests, 1))], axis=1)
+        else:
+            raise ServiceError(f"unknown query kind {kind!r}")
+        return int(sketch.n), float(sketch.error_bound()), values, int(sketch.num_retained)
+
+    def query_index_stats(self) -> dict:
+        """Aggregate query-index counters across the whole keyspace.
+
+        Sums the per-sketch hit/rebuild counters of every resident key
+        plus an accumulator absorbed from evicted sketches, so the totals
+        are monotonic across spill/reload cycles.  A miss always rebuilds
+        (the index is never served stale), so ``misses == rebuilds``.
+        """
+        hits = self._index_hits_evicted
+        rebuilds = self._index_rebuilds_evicted
+        for entry in self._entries.values():
+            hits += int(getattr(entry.sketch, "query_index_hits", 0))
+            rebuilds += int(getattr(entry.sketch, "query_index_rebuilds", 0))
+        return {"hits": hits, "misses": rebuilds, "rebuilds": rebuilds}
 
     # ------------------------------------------------------------------
     # Eviction
@@ -413,6 +503,11 @@ class SketchStore:
         self._retained_total -= entry.retained
         self._spilled[key] = True
         self.spill_count += 1
+        # The reloaded sketch restarts its counters at zero; fold the
+        # evicted sketch's into the store accumulator so aggregate
+        # query-index stats stay monotonic across spill/reload cycles.
+        self._index_hits_evicted += int(getattr(entry.sketch, "query_index_hits", 0))
+        self._index_rebuilds_evicted += int(getattr(entry.sketch, "query_index_rebuilds", 0))
 
     def _enforce_budget(self, *, keep: str) -> None:
         """Spill LRU keys until back under budget (never the active key)."""
@@ -475,6 +570,7 @@ class SketchStore:
             "spill_count": self.spill_count,
             "load_count": self.load_count,
             "n_resident": sum(int(e.sketch.n) for e in self._entries.values()),
+            "query_index": self.query_index_stats(),
         }
 
     def items(self) -> Iterator:

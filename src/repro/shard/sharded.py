@@ -22,7 +22,13 @@ exploits that to scale ingestion past one core / one process:
 
 Queries (``rank``/``quantile``/``cdf``/...) go through a cached union
 coreset: ``collect()`` merges all shards into one sketch, and the cache is
-invalidated whenever new data arrives.
+invalidated whenever new data arrives (including :meth:`absorb`).  Batch
+``quantiles``/``ranks``/``cdf`` calls route through the cached union's
+version-stamped query index (:meth:`~repro.fast.FastReqSketch.query_index`),
+so a read-heavy workload rebuilds neither the union nor its index per
+call; :attr:`query_index_hits` / :attr:`query_index_rebuilds` count
+union-cache reuse vs rebuilds (the same surface the service's STATS
+aggregates for promoted hot keys).
 """
 
 from __future__ import annotations
@@ -109,6 +115,10 @@ class ShardedReqSketch:
         self._scalars: List[float] = []
         self._union: Optional[FastReqSketch] = None
         self._union_token: Optional[int] = None
+        #: Queries served from the cached union without a rebuild.
+        self.query_index_hits = 0
+        #: Union-coreset rebuilds (== cache misses: every miss rebuilds).
+        self.query_index_rebuilds = 0
         if backend == "local":
             self._shards = [
                 FastReqSketch(k, hra=hra, seed=self._shard_seed(i))
@@ -197,7 +207,11 @@ class ShardedReqSketch:
                 "absorb() requires the local backend; on the process backend "
                 "ship the sketch's wire payload to the aggregator instead"
             )
+        # Invalidate the cached union (and thus its query index) even when
+        # the donor leaves n unchanged (an empty donor is a no-op anyway);
+        # clearing the token too keeps the staleness check single-sourced.
         self._union = None
+        self._union_token = None
         target = min(self._shards, key=lambda shard: shard.n)
         target.merge_many((sketch,))
 
@@ -302,7 +316,9 @@ class ShardedReqSketch:
         self._drain_scalars()
         token = self.n
         if self._union is not None and self._union_token == token:
+            self.query_index_hits += 1
             return self._union
+        self.query_index_rebuilds += 1
         # seed - 1 is disjoint from every shard seed (seed..seed+S-1) and
         # every worker-task seed (>= seed + S): no correlated coin streams.
         union_seed = None if self._seed is None else self._seed - 1
@@ -334,6 +350,22 @@ class ShardedReqSketch:
         self._union = union
         self._union_token = token
         return union
+
+    @property
+    def query_index_version(self) -> int:
+        """Stamp of the current union build (== rebuild count so far)."""
+        return self.query_index_rebuilds
+
+    def query_index(self):
+        """The cached union's version-stamped query index.
+
+        Batch reads against the plane are two cache layers deep: the
+        union coreset is rebuilt only when new data arrived, and its
+        engine-level index (sorted items + cumulative weights) is
+        version-stamped on top — so repeated ``quantiles``/``ranks``
+        batches cost one ``searchsorted`` each, same as a single sketch.
+        """
+        return self._collect().query_index()
 
     def rank(self, item: float, *, inclusive: bool = True) -> int:
         return self._collect().rank(item, inclusive=inclusive)

@@ -307,17 +307,23 @@ class TestIncrementalCoreset:
     def test_clean_cache_is_reused(self, big_stream):
         sketch = FastReqSketch(32, seed=40)
         sketch.update_many(big_stream)
-        first = sketch._ensure_coreset()
-        second = sketch._ensure_coreset()
+        first = sketch.query_index()
+        second = sketch.query_index()
         assert first is second  # no rebuild without intervening updates
+        assert sketch.query_index_hits >= 1
+        assert second.version == sketch.query_index_version
 
     def test_update_invalidates_cache(self, big_stream):
         sketch = FastReqSketch(32, seed=41)
         sketch.update_many(big_stream[:100_000])
         before = sketch.rank(0.5)
-        cached = sketch._ensure_coreset()
+        cached = sketch.query_index()
+        rebuilds = sketch.query_index_rebuilds
         sketch.update_many(big_stream[100_000:])
-        assert sketch._ensure_coreset() is not cached
+        fresh = sketch.query_index()
+        assert fresh is not cached
+        assert fresh.version > cached.version
+        assert sketch.query_index_rebuilds == rebuilds + 1
         assert sketch.rank(float(big_stream.max())) == big_stream.size
         assert sketch.rank(0.5) >= before
 

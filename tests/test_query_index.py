@@ -1,0 +1,256 @@
+"""Cache-invalidation correctness of the version-stamped query index.
+
+The main risk of the vectorized query plane is a stale cache: an index
+(or memoized error bound) served after the coreset changed.  The property
+tests here interleave every mutation the engine supports — ``update_many``
+batches, staged scalars, ``merge``, wire round trips, spill-to-disk +
+reload through :class:`~repro.service.SketchStore`, and full snapshot/WAL
+recovery through :class:`~repro.service.QuantileService` — and after each
+step require the cached index's answers to be **bit-identical** to a
+freshly built coreset's (a new sketch decoded from the same ``FRQ1``
+payload, which shares no cache state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import eps_for_streaming_k
+from repro.fast import FastReqSketch
+from repro.service import QuantileService, SketchStore
+
+QUERY_FRACTIONS = np.array([0.0, 0.001, 0.25, 0.5, 0.75, 0.99, 1.0])
+QUERY_POINTS = np.array([-1.0, 0.1, 0.5, 0.9, 2.0])
+CDF_POINTS = np.array([0.1, 0.5, 0.9])
+
+
+def assert_index_matches_fresh(sketch) -> None:
+    """The cached index must answer exactly like a cache-free rebuild."""
+    if sketch.n == 0:
+        return
+    fresh = FastReqSketch.from_bytes(sketch.to_bytes())
+    assert np.array_equal(sketch.quantiles(QUERY_FRACTIONS), fresh.quantiles(QUERY_FRACTIONS))
+    assert np.array_equal(sketch.ranks(QUERY_POINTS), fresh.ranks(QUERY_POINTS))
+    assert np.array_equal(
+        sketch.ranks(QUERY_POINTS, inclusive=False),
+        fresh.ranks(QUERY_POINTS, inclusive=False),
+    )
+    assert np.array_equal(sketch.cdf(CDF_POINTS), fresh.cdf(CDF_POINTS))
+
+
+#: One mutation step: (op, payload seed / size).
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["batch", "scalars", "merge", "roundtrip", "query"]),
+        st.integers(0, 2**31 - 1),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestIndexVsFreshCoreset:
+    @given(steps, st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_mutations_stay_bit_identical(self, ops, hra):
+        sketch = FastReqSketch(16, hra=hra, seed=7)
+        for op, arg in ops:
+            rng = np.random.default_rng(arg)
+            if op == "batch":
+                sketch.update_many(rng.random(int(rng.integers(1, 20_000))))
+            elif op == "scalars":
+                for value in rng.random(int(rng.integers(1, 50))):
+                    sketch.update(value)
+            elif op == "merge":
+                donor = FastReqSketch(16, hra=hra, seed=arg)
+                donor.update_many(rng.random(int(rng.integers(1, 5_000))))
+                donor.quantile(0.5)  # donor owns a warm index of its own
+                sketch.merge(donor)
+            elif op == "roundtrip":
+                if sketch.n:
+                    sketch = FastReqSketch.from_bytes(sketch.to_bytes())
+            else:  # query: warm the cache so later mutations must invalidate it
+                if sketch.n:
+                    sketch.quantiles(QUERY_FRACTIONS)
+                    sketch.ranks(QUERY_POINTS)
+            assert_index_matches_fresh(sketch)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_repeated_queries_hit_without_drift(self, seed):
+        rng = np.random.default_rng(seed)
+        sketch = FastReqSketch(32, seed=3)
+        sketch.update_many(rng.random(30_000))
+        first = sketch.quantiles(QUERY_FRACTIONS)
+        rebuilds = sketch.query_index_rebuilds
+        for _ in range(3):
+            assert np.array_equal(sketch.quantiles(QUERY_FRACTIONS), first)
+        assert sketch.query_index_rebuilds == rebuilds  # pure hits
+        assert sketch.query_index_hits >= 3
+
+
+class TestSpillReloadAndRecovery:
+    def test_spill_reload_answers_bit_identical(self, tmp_path):
+        store = SketchStore(k=32, seed=0, spill_dir=str(tmp_path / "spill"))
+        rng = np.random.default_rng(11)
+        store.update_many("k", rng.random(40_000))
+        n, eps, values, retained = store.query("k", "quantiles", QUERY_FRACTIONS)
+        ranks_before = store.query("k", "ranks", QUERY_POINTS)[2]
+        store.spill("k")
+        assert "k" in store.spilled_keys
+        # The reload rebuilds the index once, then serves hits from it.
+        n2, eps2, values2, retained2 = store.query("k", "quantiles", QUERY_FRACTIONS)
+        assert (n, eps, retained) == (n2, eps2, retained2)
+        assert np.array_equal(values, values2)
+        assert np.array_equal(ranks_before, store.query("k", "ranks", QUERY_POINTS)[2])
+        stats = store.query_index_stats()
+        assert stats["rebuilds"] >= 2  # pre-spill build + post-reload build
+        assert stats["hits"] >= 1
+        assert stats["misses"] == stats["rebuilds"]
+
+    def test_snapshot_recovery_answers_bit_identical(self, tmp_path):
+        rng = np.random.default_rng(23)
+        service = QuantileService(tmp_path, k=32)
+        service.ingest("k", rng.random(20_000))
+        service.snapshot_all()
+        service.ingest("k", rng.random(10_000) + 2.0)  # WAL-only tail
+        expected_q = service.query("k", QUERY_FRACTIONS)
+        expected_r = service.rank("k", QUERY_POINTS)
+        expected_c = service.cdf("k", CDF_POINTS)
+        service.close(snapshot=False)  # crash: recovery replays the WAL tail
+
+        recovered = QuantileService(tmp_path, k=32)
+        for expected, got in (
+            (expected_q, recovered.query("k", QUERY_FRACTIONS)),
+            (expected_r, recovered.rank("k", QUERY_POINTS)),
+            (expected_c, recovered.cdf("k", CDF_POINTS)),
+        ):
+            assert expected[0] == got[0]  # n
+            assert expected[1] == got[1]  # memoized error bound
+            assert np.array_equal(expected[2], got[2])  # values, bit-exact
+            assert expected[3] == got[3]  # num_retained footer source
+        # Recovery replays through update_many: the index it serves must
+        # also match a cache-free rebuild of its own state.
+        assert_index_matches_fresh(recovered.store.get("k"))
+        recovered.close()
+
+
+def test_promotion_keeps_index_stats_monotonic(tmp_path):
+    """Hot-key promotion replaces the sketch; the replaced sketch's
+    query-index counters must fold into the store aggregate (like
+    eviction) so STATS totals never go backwards."""
+    store = SketchStore(k=32, seed=0, hot_key_items=10_000, hot_shards=2)
+    rng = np.random.default_rng(17)
+    store.update_many("hot", rng.random(5_000))
+    for _ in range(5):
+        store.query("hot", "quantiles", QUERY_FRACTIONS)
+    before = store.query_index_stats()
+    assert before["hits"] >= 4
+    store.update_many("hot", rng.random(6_000))  # crosses hot_key_items
+    assert store.is_sharded("hot")
+    after = store.query_index_stats()
+    assert after["hits"] >= before["hits"]
+    assert after["rebuilds"] >= before["rebuilds"]
+    store.query("hot", "quantiles", QUERY_FRACTIONS)
+    store.query("hot", "quantiles", QUERY_FRACTIONS)
+    final = store.query_index_stats()
+    assert final["hits"] > after["hits"]
+
+
+class TestMemoizedErrorBound:
+    def test_memo_matches_direct_computation(self):
+        sketch = FastReqSketch(32, seed=1)
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            sketch.update_many(rng.random(5_000))
+            assert sketch.error_bound() == eps_for_streaming_k(32, max(2, sketch.n), 0.05)
+            # Second call is the memo; must be the identical value.
+            assert sketch.error_bound() == eps_for_streaming_k(32, max(2, sketch.n), 0.05)
+
+    def test_memo_keyed_on_delta(self):
+        sketch = FastReqSketch(32, seed=1)
+        sketch.update_many(np.random.default_rng(6).random(10_000))
+        loose = sketch.error_bound(delta=0.5)
+        tight = sketch.error_bound(delta=0.01)
+        assert loose == eps_for_streaming_k(32, sketch.n, 0.5)
+        assert tight == eps_for_streaming_k(32, sketch.n, 0.01)
+        assert loose < tight
+
+    def test_memo_tracks_staged_scalars(self):
+        sketch = FastReqSketch(32, seed=2)
+        sketch.update_many(np.random.default_rng(8).random(4_096))
+        assert sketch.error_bound() == eps_for_streaming_k(32, 4_096, 0.05)
+        sketch.update(0.5)  # staged only: n changes without a level bump
+        assert sketch.n == 4_097
+        # The memo must not serve the stale n=4096 bound.
+        assert sketch.error_bound() == eps_for_streaming_k(32, 4_097, 0.05)
+
+
+class TestShardedQueryPath:
+    def test_union_cache_hits_and_absorb_invalidation(self):
+        from repro.shard import ShardedReqSketch
+
+        rng = np.random.default_rng(9)
+        plane = ShardedReqSketch(4, k=32, seed=5, backend="local")
+        plane.update_many(rng.random(20_000))
+        first = plane.quantiles(QUERY_FRACTIONS)
+        rebuilds = plane.query_index_rebuilds
+        assert rebuilds >= 1
+        assert np.array_equal(plane.quantiles(QUERY_FRACTIONS), first)
+        assert plane.query_index_rebuilds == rebuilds  # served from cache
+        assert plane.query_index_hits >= 1
+        assert plane.query_index() is plane.query_index()  # engine-level hit too
+
+        donor = FastReqSketch(32, seed=77)
+        donor.update_many(rng.random(5_000) + 3.0)
+        plane.absorb(donor)
+        assert plane.rank(10.0) == 25_000  # absorb invalidated the union
+        assert plane.query_index_rebuilds == rebuilds + 1
+
+    def test_updates_invalidate_union(self):
+        from repro.shard import ShardedReqSketch
+
+        rng = np.random.default_rng(10)
+        plane = ShardedReqSketch(2, k=32, seed=4, backend="local")
+        plane.update_many(rng.random(8_192))
+        plane.quantile(0.5)
+        rebuilds = plane.query_index_rebuilds
+        plane.update_many(rng.random(1_000) + 5.0)
+        assert plane.rank(10.0) == 9_192
+        assert plane.query_index_rebuilds == rebuilds + 1
+
+
+@pytest.mark.parametrize("hra", [False, True])
+def test_wire_answers_match_in_process(hra):
+    """The service answers (vectorized path included) must equal the
+    in-process engine's for the same key state — the acceptance check."""
+    from repro.service import QuantileClient, ServerThread
+
+    rng = np.random.default_rng(13)
+    data = rng.random(30_000)
+    service = QuantileService(None, k=32, hra=hra, seed=0)
+    with ServerThread(service) as running:
+        with QuantileClient(port=running.port) as client:
+            client.ingest_stream("k", data)
+            sketch = service.store.get("k")
+            expected_q = sketch.quantiles(QUERY_FRACTIONS)
+            expected_r = np.asarray(sketch.ranks(QUERY_POINTS), dtype=np.float64)
+            expected_c = sketch.cdf(CDF_POINTS)
+
+            assert np.array_equal(client.query("k", QUERY_FRACTIONS).quantiles, expected_q)
+            assert np.array_equal(client.rank("k", QUERY_POINTS).quantiles, expected_r)
+            assert np.array_equal(client.cdf("k", CDF_POINTS).quantiles, expected_c)
+
+            batch = client.query_stream("k", np.tile(QUERY_FRACTIONS, (64, 1)), window=2)
+            assert batch.values.shape == (64, QUERY_FRACTIONS.size)
+            assert all(np.array_equal(row, expected_q) for row in batch.values)
+
+            mixed = client.query_many(
+                [("k", QUERY_FRACTIONS), ("k", "ranks", QUERY_POINTS), ("k", "cdf", CDF_POINTS)]
+            )
+            assert np.array_equal(mixed[0].quantiles, expected_q)
+            assert np.array_equal(mixed[1].quantiles, expected_r)
+            assert np.array_equal(mixed[2].quantiles, expected_c)

@@ -204,8 +204,9 @@ class TestServiceRecovery:
         service.close(snapshot=False)
 
         recovered = QuantileService(tmp_path, k=32)
-        n, eps, quantiles = recovered.query("k", [0.999])
+        n, eps, quantiles, retained = recovered.query("k", [0.999])
         assert n == 5000
+        assert retained > 0
         # The tail (values > 5) must be present: the top permille is ~6.
         assert quantiles[0] > 5.0
         recovered.close()
