@@ -595,10 +595,15 @@ def _measure_service_ingest_pipelined(batch_data, *, repeats: int) -> float:
     the tracked number for the service/engine throughput-gap work.  One
     connection serves all repeats (pipelining is a steady-state property;
     connection setup is priced by ``service_ingest``).
+
+    The client carries a :class:`RetryPolicy`, so this row prices the
+    production shape: an exactly-once session with sequence-framed
+    ingest (``SEQ_INGEST`` + server-side dedup marks), not the bare
+    fire-and-hope wire format.
     """
     import numpy as np
 
-    from repro.service import QuantileClient, QuantileService, ServerThread
+    from repro.service import QuantileClient, QuantileService, RetryPolicy, ServerThread
 
     batch_n = len(batch_data)
     per_key = batch_n // SERVICE_KEYS
@@ -610,7 +615,8 @@ def _measure_service_ingest_pipelined(batch_data, *, repeats: int) -> float:
     epoch = [0]
 
     with ServerThread(QuantileService(None)) as running:
-        with QuantileClient(port=running.port) as client:
+        with QuantileClient(port=running.port, retry=RetryPolicy(timeout=60.0)) as client:
+            assert client.exactly_once  # sequence framing is on
 
             def run_pipelined() -> int:
                 epoch[0] += 1

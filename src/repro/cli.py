@@ -11,6 +11,7 @@ Subcommands::
     repro-quantiles serve --data-dir ./qdata   # run the quantile service
     repro-quantiles query KEY --q 0.5 0.99     # query a running service
     repro-quantiles query K1 K2 --rank 1.5     # ranks, many keys, one frame
+    repro-quantiles ingest KEY FILE            # stream a numbers file in
     repro-quantiles version                    # print the package version
 
 (Installed as ``repro-quantiles``; also runnable as ``python -m repro.cli``.)
@@ -149,6 +150,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="stick to the stock asyncio event loop even when uvloop is "
         "installed (uvloop is auto-detected and silently skipped when absent)",
     )
+    serve_parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        help="refuse connections past this count with RETRY_LATER "
+        "(default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM graceful drain waits for in-flight acks "
+        "to flush before closing connections",
+    )
 
     query_parser = sub.add_parser("query", help="query a running quantile service")
     query_parser.add_argument(
@@ -183,9 +198,46 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--snapshot", action="store_true", help="force a checkpoint before anything else"
     )
+    _add_retry_arguments(query_parser)
+
+    ingest_parser = sub.add_parser(
+        "ingest", help="stream a whitespace-separated numbers file into a key"
+    )
+    ingest_parser.add_argument("key", help="tenant/metric key")
+    ingest_parser.add_argument("file", help="path, or '-' for stdin")
+    ingest_parser.add_argument("--host", default="127.0.0.1")
+    ingest_parser.add_argument("--port", type=int, default=7379)
+    _add_retry_arguments(ingest_parser)
 
     sub.add_parser("version", help="print the package version")
     return parser
+
+
+def _add_retry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-operation socket timeout in seconds",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="reconnect-and-retry attempts on transport errors or "
+        "RETRY_LATER overload answers; ingest retries negotiate an "
+        "exactly-once session so a replayed frame is never double-counted "
+        "(0 = fail fast)",
+    )
+
+
+def _client_retry(args):
+    """The retry policy (or None) implied by --timeout/--retries."""
+    from repro.service import RetryPolicy
+
+    if args.retries <= 0:
+        return None
+    return RetryPolicy(timeout=args.timeout, retries=args.retries)
 
 
 def _cmd_list() -> int:
@@ -323,6 +375,8 @@ def _cmd_serve(args) -> int:
         fsync=args.fsync,
         group_commit=not args.no_group_commit,
         use_uvloop=not args.no_uvloop,
+        max_connections=args.max_connections,
+        drain_timeout=args.drain_timeout,
     )
 
 
@@ -337,7 +391,9 @@ def _cmd_query(args) -> int:
     kind = "quantiles" if args.rank is None else "ranks"
     points = args.q if args.rank is None else args.rank
     columns = ["fraction", "quantile"] if args.rank is None else ["value", "rank"]
-    with QuantileClient(args.host, args.port) as client:
+    with QuantileClient(
+        args.host, args.port, timeout=args.timeout, retry=_client_retry(args)
+    ) as client:
         if args.snapshot:
             written = client.snapshot()
             print(f"checkpointed {written} keys")
@@ -366,6 +422,28 @@ def _cmd_query(args) -> int:
     return 2 if failed else 0
 
 
+def _cmd_ingest(args) -> int:
+    from repro.service import QuantileClient
+
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    values = [float(token) for token in text.split()]
+    if not values:
+        print("no numbers found", file=sys.stderr)
+        return 1
+    with QuantileClient(
+        args.host, args.port, timeout=args.timeout, retry=_client_retry(args)
+    ) as client:
+        total = client.ingest_stream(args.key, values)
+        guarantee = "exactly-once" if client.exactly_once else "at-most-once"
+        print(f"ingested {len(values):,} values into {args.key!r} "
+              f"(key total n={total:,}, {guarantee})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -378,6 +456,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":
@@ -397,9 +477,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.command == "bounds":
             return _cmd_bounds(args.eps, args.n, args.delta, args.universe)
+    except ConnectionRefusedError:
+        host = getattr(args, "host", "127.0.0.1")
+        port = getattr(args, "port", None)
+        where = f"{host}:{port}" if port else host
+        print(
+            f"error: could not connect to the quantile service at {where} — "
+            f"is it running? (start one with: repro-quantiles serve)",
+            file=sys.stderr,
+        )
+        return 2
     except (ReproError, OSError) as exc:
-        # OSError covers the service commands' transport failures too:
-        # connection refused/reset, EADDRINUSE from serve, DNS errors.
+        # OSError covers the service commands' other transport failures:
+        # connection reset, EADDRINUSE from serve, DNS errors.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0

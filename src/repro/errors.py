@@ -16,6 +16,8 @@ __all__ = [
     "InvalidParameterError",
     "SerializationError",
     "ServiceError",
+    "TransportError",
+    "RetryBudgetExceededError",
 ]
 
 
@@ -61,4 +63,23 @@ class ServiceError(ReproError):
     opcodes), server-reported request failures surfaced by the clients, and
     durable-state problems (a corrupt snapshot, a write-ahead log that
     cannot be appended to).
+    """
+
+
+class TransportError(ServiceError, ConnectionError):
+    """A connection died mid-exchange (EOF inside a frame, reset, ...).
+
+    Deliberately both a :class:`ServiceError` (existing callers that catch
+    the service family keep working) and a :class:`ConnectionError` (the
+    retry layer treats it like any other transport failure: the request
+    outcome is *indeterminate*, so only idempotent or sequence-numbered
+    work may be replayed).
+    """
+
+
+class RetryBudgetExceededError(ServiceError):
+    """A client retry policy ran out of budget before the operation stuck.
+
+    Carries the final underlying failure as ``__cause__``; raised instead
+    of retrying forever so a hard outage surfaces as one loud error.
     """

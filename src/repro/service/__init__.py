@@ -35,6 +35,18 @@ Layers (bottom up):
   (``ingest_stream`` / ``query_stream``, one shared windowing state
   machine), multi-key fan-in frames (``ingest_multi``), and batched
   reads with per-request statuses (``query_many``).
+* :mod:`repro.service.resilience` — the resilience plane.
+  :class:`RetryPolicy` gives clients reconnect-and-replay with capped
+  jittered backoff and a hard retry budget; with it, ``HELLO``
+  negotiates an exactly-once session whose per-``(session, key)``
+  high-water marks (:class:`SessionTable`) ride the WAL and a sidecar
+  checkpoint, so a retried frame is acknowledged without being applied
+  twice — even across a server crash between apply and ack.
+  :class:`OverloadPolicy` sheds ingest (``RETRY_LATER``) on WAL-queue /
+  parse-buffer watermarks while reads keep flowing; the server also
+  enforces connection limits, answers ``HEALTH``, and drains gracefully
+  on ``SIGTERM``.  :mod:`repro.service.faultproxy` is the deterministic
+  chaos harness that proves all of it (seeded mid-byte faults).
 
 The query plane leans on the engine's **version-stamped query index**
 (:meth:`repro.fast.FastReqSketch.query_index`) and its invariants:
@@ -63,7 +75,9 @@ or in-process::
 """
 
 from repro.service.client import AsyncQuantileClient, QuantileClient, QueryResult
+from repro.service.faultproxy import FaultProxy, ScriptedFaults, SeededFaults
 from repro.service.persistence import GroupCommitWal, SnapshotStore, WriteAheadLog
+from repro.service.resilience import OverloadPolicy, RetryPolicy, SessionTable
 from repro.service.server import (
     QuantileServer,
     QuantileService,
@@ -75,12 +89,18 @@ from repro.service.store import SketchStore
 
 __all__ = [
     "AsyncQuantileClient",
+    "FaultProxy",
     "GroupCommitWal",
+    "OverloadPolicy",
     "QuantileClient",
     "QuantileServer",
     "QuantileService",
     "QueryResult",
+    "RetryPolicy",
+    "ScriptedFaults",
+    "SeededFaults",
     "ServerThread",
+    "SessionTable",
     "SketchStore",
     "SnapshotStore",
     "WriteAheadLog",

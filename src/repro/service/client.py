@@ -39,16 +39,31 @@ Example::
 
 from __future__ import annotations
 
+import os
 import socket
+import time
 from collections import deque
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, TransportError
 from repro.service import protocol as wire
+from repro.service.resilience import RetryPolicy
 
 __all__ = ["QueryResult", "BatchQueryResult", "QuantileClient", "AsyncQuantileClient"]
+
+#: Exceptions that mean "the connection is gone" (sync client).  Note
+#: :class:`~repro.errors.TransportError` subclasses ``ConnectionError``,
+#: so mid-frame EOFs land here too; ``socket.timeout`` is an ``OSError``,
+#: so a retry policy's timeout drives the same reconnect path.
+_TRANSPORT_ERRORS = (ConnectionError, OSError)
+
+
+def _new_session_id() -> str:
+    """A fresh exactly-once session id (random; uniqueness is all that
+    matters — the server keys its dedup table on it)."""
+    return "c-" + os.urandom(8).hex()
 
 #: ``ingest_one`` flushes a key's buffer at this many staged values.
 DEFAULT_BATCH = 8192
@@ -183,6 +198,11 @@ class _WindowedStream:
     def done(self) -> bool:
         return self._position >= self._total and not self._outstanding
 
+    @property
+    def outstanding(self) -> int:
+        """Frames sent but not yet acknowledged."""
+        return len(self._outstanding)
+
     def next_window(self):
         """The next window of encoded frames to send, or ``None`` to read
         an ack first.  The view aliases the reusable scratch: release it
@@ -204,11 +224,33 @@ class _WindowedStream:
 
 
 class _IngestStream(_WindowedStream):
-    """The core of ``ingest_stream``: frame building + error-ack attribution."""
+    """The core of ``ingest_stream``: frame building + error-ack attribution.
 
-    __slots__ = ("_key", "_array", "_frame_values", "_frame_index", "last_n")
+    With ``start_seq`` set the frames are ``SEQ_INGEST`` (exactly-once):
+    frame ``i`` always carries sequence ``start_seq + i``, and because
+    frame boundaries are a pure function of ``frame_values`` and the
+    slice offset, a :meth:`rewind` replays byte-identical frames with
+    identical sequence numbers — which is what lets the server's session
+    table deduplicate them.  ``RETRY_LATER`` acks are collected in
+    :attr:`shed` (instead of the error list) for the pump to rewind and
+    back off; without ``start_seq`` they are plain error acks, because
+    auto-rewinding unsequenced frames could double-apply ones the server
+    already counted.
+    """
 
-    def __init__(self, key: str, values, frame_values: int, window: int, scratch: bytearray):
+    __slots__ = ("_key", "_array", "_frame_values", "_frame_index", "last_n",
+                 "_start_seq", "shed", "num_frames")
+
+    def __init__(
+        self,
+        key: str,
+        values,
+        frame_values: int,
+        window: int,
+        scratch: bytearray,
+        *,
+        start_seq: Optional[int] = None,
+    ):
         array = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE).reshape(-1)
         if array.size == 0:
             raise ServiceError("empty ingest stream")
@@ -218,14 +260,22 @@ class _IngestStream(_WindowedStream):
         self._key = key
         self._frame_index = 0
         self.last_n = 0
+        self._start_seq = start_seq
+        #: Tokens of frames the server shed with RETRY_LATER (seq mode).
+        self.shed: List[tuple] = []
+        self.num_frames = -(-int(array.size) // int(frame_values))
 
     def _fill(self, room: int):
         take = min(room * self._frame_values, self._total - self._position)
+        start_seq = (
+            None if self._start_seq is None else self._start_seq + self._frame_index
+        )
         view, counts = wire.build_ingest_frames(
             self._key,
             self._array[self._position : self._position + take],
             frame_values=self._frame_values,
             out=self._scratch,
+            start_seq=start_seq,
         )
         for count in counts:
             self._outstanding.append((self._frame_index, self._position, count))
@@ -233,12 +283,39 @@ class _IngestStream(_WindowedStream):
             self._position += count
         return view
 
+    def rewind(self) -> bool:
+        """Reset to the oldest frame not positively acknowledged.
+
+        After a reconnect (everything in flight is of unknown fate) or a
+        shed drain (everything from the first shed frame on was refused),
+        replaying from here re-sends byte-identical frames; the session
+        table applies each exactly once.  Returns ``False`` when there is
+        nothing to replay.
+        """
+        token = self.shed[0] if self.shed else (
+            self._outstanding[0] if self._outstanding else None
+        )
+        if token is None:
+            return False
+        index, position, _count = token
+        self._frame_index = index
+        self._position = position
+        self._outstanding.clear()
+        self.shed.clear()
+        return True
+
     def _consume(self, body, token) -> None:
         index, value_offset, count = token
         try:
             payload = wire.raise_for_status(body)
             self.last_n, _ = wire.unpack_n(payload, 0)
         except ServiceError as exc:
+            if (
+                self._start_seq is not None
+                and getattr(exc, "status", None) == wire.STATUS_RETRY_LATER
+            ):
+                self.shed.append(token)
+                return
             exc.batch_index = index
             exc.value_offset = value_offset
             exc.count = count
@@ -296,6 +373,16 @@ class _QueryStream(_WindowedStream):
             self._outstanding.append((self._position, count))
             self._position += count
         return view
+
+    def rewind(self) -> bool:
+        """Reset to the oldest unanswered request row (reads are
+        idempotent, so replaying after a reconnect is always safe)."""
+        if not self._outstanding:
+            return False
+        start, _count = self._outstanding[0]
+        self._position = start
+        self._outstanding.clear()
+        return True
 
     def _consume(self, body, token) -> None:
         start, count = token
@@ -396,7 +483,19 @@ class QuantileClient:
     Args:
         host, port: Server address.
         batch_size: ``ingest_one`` buffer size per key.
-        timeout: Socket timeout in seconds (``None`` = block forever).
+        timeout: Socket timeout in seconds (``None`` defers to the retry
+            policy's timeout, or blocks forever without one).
+        retry: A :class:`~repro.service.resilience.RetryPolicy` enabling
+            automatic reconnect + replay.  Reads (idempotent) are always
+            retried; ingest is retried only once an exactly-once session
+            is negotiated (see ``session``) — against an old server that
+            refuses ``HELLO`` the client degrades to retrying reads only.
+            ``STATUS_RETRY_LATER`` responses back off and resend.
+        session: Exactly-once session id.  Auto-generated when a retry
+            policy is given; pass an explicit id to resume a previous
+            client's session (the server's high-water marks then suppress
+            any frames it already counted).  Must not be shared by two
+            live clients — frame sequence numbers are per session.
     """
 
     def __init__(
@@ -406,6 +505,8 @@ class QuantileClient:
         *,
         batch_size: int = DEFAULT_BATCH,
         timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        session: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -413,26 +514,143 @@ class QuantileClient:
         self._buffers: Dict[str, List[float]] = {}
         #: Reusable encode scratch (zero allocations per window once warm).
         self._tx = bytearray()
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._retry = retry
+        self._retry_state = retry.start() if retry is not None else None
+        if retry is not None and timeout is None:
+            timeout = retry.timeout
+        self._timeout = timeout
+        self.session_id = session if session is not None else (
+            _new_session_id() if retry is not None else None
+        )
+        #: True once the server granted the exactly-once session.
+        self.exactly_once = False
+        self._next_seq = 1
+        self._closed = False
+        self._sock: Optional[socket.socket] = None
+        self._frames = None
+        self._open_connection()
+
+    # -- connection lifecycle ------------------------------------------
+
+    def _open_connection(self) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=self._timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
             # A large send buffer lets a whole pipeline window enter the
             # kernel in one sendall, so the stream never stalls on acks.
-            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 21)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 21)
         except OSError:  # pragma: no cover - platform quirk, not fatal
             pass
+        self._sock = sock
         #: Buffered reader: one recv drains a whole window of acks.
-        self._frames = wire.FrameReader(self._sock)
+        self._frames = wire.FrameReader(sock)
+        if self.session_id is not None:
+            self._hello()
 
-    def _request(self, body: bytes):
+    def _hello(self) -> None:
+        """Negotiate the exactly-once session on a fresh connection.
+
+        An old server answers the unknown opcode with ``BAD_REQUEST``;
+        the client then runs without exactly-once (ingest retries are
+        unsafe and disabled, idempotent reads still retry).
+        """
+        self._sock.sendall(wire.encode_frame(wire.pack_hello(self.session_id)))
+        try:
+            payload = wire.raise_for_status(self._frames.read_frame())
+        except ServiceError as exc:
+            if (
+                not isinstance(exc, _TRANSPORT_ERRORS)
+                and getattr(exc, "status", None) == wire.STATUS_BAD_REQUEST
+            ):
+                self.exactly_once = False
+                return
+            raise
+        granted, high_water = wire.unpack_hello_response(payload)
+        self.exactly_once = bool(granted & wire.FLAG_EXACTLY_ONCE)
+        # Resuming a session: never reuse a sequence number the server
+        # has already seen (it would be silently deduplicated).
+        if high_water >= self._next_seq:
+            self._next_seq = high_water + 1
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+        self._sock = None
+        self._frames = None
+
+    def _reconnect(self, cause: Optional[BaseException] = None) -> None:
+        """Reconnect (and re-HELLO) with backoff; spends retry budget."""
+        self._drop_connection()
+        state = self._retry_state
+        attempt = 0
+        while True:
+            state.spend(cause)
+            time.sleep(state.delay(attempt))
+            attempt += 1
+            try:
+                self._open_connection()
+                return
+            except _TRANSPORT_ERRORS as exc:
+                cause = exc
+                if attempt > self._retry.retries:
+                    raise
+
+    def _reserve_seq(self, frames: int = 1) -> int:
+        """Claim ``frames`` consecutive sequence numbers (never reused —
+        even a failed operation's numbers may have reached the server)."""
+        seq = self._next_seq
+        self._next_seq = seq + frames
+        return seq
+
+    def _request_once(self, body: bytes):
+        if self._sock is None:
+            raise TransportError("client connection is closed")
         self._sock.sendall(wire.encode_frame(body))
         return wire.raise_for_status(self._frames.read_frame())
+
+    def _request(self, body: bytes, *, idempotent: bool = False):
+        """One request/response, with the retry policy applied.
+
+        Transport errors reconnect + resend only for ``idempotent``
+        bodies (reads, or sequenced ingest the server deduplicates);
+        ``RETRY_LATER`` answers always back off + resend — the server
+        guarantees a shed frame was not applied.
+        """
+        if self._retry is None:
+            return self._request_once(body)
+        attempt = 0
+        while True:
+            try:
+                if self._sock is None:
+                    self._open_connection()
+                return self._request_once(body)
+            except _TRANSPORT_ERRORS as exc:
+                self._drop_connection()
+                if not idempotent:
+                    raise
+                self._reconnect(exc)
+            except ServiceError as exc:
+                if (
+                    getattr(exc, "status", None) != wire.STATUS_RETRY_LATER
+                    or attempt >= self._retry.retries
+                ):
+                    raise
+                self._retry_state.spend(exc)
+                time.sleep(self._retry_state.delay(attempt))
+                attempt += 1
 
     # -- ingestion -----------------------------------------------------
 
     def ingest(self, key: str, values) -> int:
         """Ship one batch; returns the key's total ``n`` on the server."""
-        payload = self._request(_RequestEncoder.ingest(key, values))
+        if self.exactly_once:
+            body = wire.pack_seq_ingest(self._reserve_seq(), key, values)
+            payload = self._request(body, idempotent=True)
+        else:
+            payload = self._request(_RequestEncoder.ingest(key, values))
         n, _ = wire.unpack_n(payload, 0)
         return n
 
@@ -460,7 +678,17 @@ class QuantileClient:
         ``errors`` (every failed frame) attributes — frames after a failed
         one are still processed by the server, so a caller can retry
         exactly the failed slices.
+
+        With an exactly-once session (``retry=`` + negotiated ``HELLO``)
+        the frames are sequenced: a dropped connection reconnects and
+        replays every unacknowledged frame (the server deduplicates any
+        it already counted), and ``RETRY_LATER`` acks drain the window,
+        rewind to the first shed frame, back off, and resume.
         """
+        if self.exactly_once and self._retry is not None:
+            stream = _IngestStream(key, values, frame_values, window, self._tx)
+            stream._start_seq = self._reserve_seq(stream.num_frames)
+            return self._pump_resilient(stream, shed_retries=True)
         stream = _IngestStream(key, values, frame_values, window, self._tx)
         while not stream.done:
             window_view = stream.next_window()
@@ -473,6 +701,44 @@ class QuantileClient:
                 stream.ack(self._frames.read_frame())
         return stream.finish()
 
+    def _pump_resilient(self, stream, *, shed_retries: bool):
+        """Drive a windowed stream with reconnect-and-replay.
+
+        Transport errors reconnect, rewind to the oldest frame of unknown
+        fate, and resend (safe: the frames are sequenced, or are reads).
+        With ``shed_retries`` a ``RETRY_LATER`` ack stops new sends,
+        drains the remaining in-flight acks (the server's shed floor
+        guarantees they were all shed too), rewinds, and backs off.
+        """
+        shed_attempt = 0
+        while not stream.done:
+            try:
+                if shed_retries and stream.shed:
+                    if stream.outstanding:
+                        stream.ack(self._frames.read_frame())
+                        continue
+                    if shed_attempt >= self._retry.retries:
+                        raise ServiceError(
+                            f"server still shedding after {shed_attempt} retries"
+                        )
+                    stream.rewind()
+                    self._retry_state.spend()
+                    time.sleep(self._retry_state.delay(shed_attempt))
+                    shed_attempt += 1
+                    continue
+                window_view = stream.next_window()
+                if window_view is not None:
+                    try:
+                        self._sock.sendall(window_view)
+                    finally:
+                        window_view.release()
+                else:
+                    stream.ack(self._frames.read_frame())
+            except _TRANSPORT_ERRORS as exc:
+                self._reconnect(exc)
+                stream.rewind()
+        return stream.finish()
+
     def ingest_multi(self, batches) -> Dict[str, int]:
         """Ship several keys' batches in ONE ``MULTI_INGEST`` frame.
 
@@ -482,7 +748,11 @@ class QuantileClient:
         total after its *last* group).
         """
         items = list(batches.items()) if hasattr(batches, "items") else list(batches)
-        payload = self._request(wire.pack_multi_ingest(items))
+        if self.exactly_once:
+            body = wire.pack_seq_multi_ingest(self._reserve_seq(), items)
+            payload = self._request(body, idempotent=True)
+        else:
+            payload = self._request(wire.pack_multi_ingest(items))
         totals = _decode_multi_response(payload)
         return {key: n for (key, _values), n in zip(items, totals)}
 
@@ -529,17 +799,23 @@ class QuantileClient:
     # -- queries -------------------------------------------------------
 
     def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
-        return _decode_query_response(self._request(_RequestEncoder.query(key, fractions)))
+        return _decode_query_response(
+            self._request(_RequestEncoder.query(key, fractions), idempotent=True)
+        )
 
     def quantile(self, key: str, q: float) -> float:
         return float(self.query(key, [q]).quantiles[0])
 
     def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
-        return _decode_query_response(self._request(_RequestEncoder.cdf(key, split_points)))
+        return _decode_query_response(
+            self._request(_RequestEncoder.cdf(key, split_points), idempotent=True)
+        )
 
     def rank(self, key: str, values: Sequence[float]) -> QueryResult:
         """Estimated ranks of ``values`` (as exact float64 integers)."""
-        return _decode_query_response(self._request(_RequestEncoder.rank(key, values)))
+        return _decode_query_response(
+            self._request(_RequestEncoder.rank(key, values), idempotent=True)
+        )
 
     def query_many(self, requests) -> List[object]:
         """Ship many read requests in ONE ``MULTI_QUERY`` frame.
@@ -553,7 +829,7 @@ class QuantileClient:
         never fails its neighbours.  One round trip for the whole batch.
         """
         items = [_normalize_query_request(request) for request in requests]
-        payload = self._request(wire.pack_multi_query(items))
+        payload = self._request(wire.pack_multi_query(items), idempotent=True)
         return _decode_multi_query_list(payload, expected=len(items))
 
     def query_stream(
@@ -583,6 +859,10 @@ class QuantileClient:
         with ``request_index`` and an ``errors`` list carrying the rest.
         """
         stream = _QueryStream(key, kind, points, frame_requests, window, self._tx)
+        if self._retry is not None:
+            # Reads are idempotent: reconnect-and-replay is always safe,
+            # no session needed.
+            return self._pump_resilient(stream, shed_retries=False)
         while not stream.done:
             window_view = stream.next_window()
             if window_view is not None:
@@ -599,24 +879,41 @@ class QuantileClient:
     def stats(self, key: Optional[str] = None) -> dict:
         import json
 
-        blob, _ = wire.unpack_blob(self._request(_RequestEncoder.stats(key)), 0)
+        blob, _ = wire.unpack_blob(
+            self._request(_RequestEncoder.stats(key), idempotent=True), 0
+        )
         return json.loads(blob.decode("utf-8"))
 
     def snapshot(self) -> int:
         """Force a full checkpoint; returns the number of keys written."""
-        payload = self._request(_RequestEncoder.snapshot())
+        payload = self._request(_RequestEncoder.snapshot(), idempotent=True)
         return int.from_bytes(payload[:4], "little")
 
     def ping(self) -> str:
         """Server liveness + version string."""
-        blob, _ = wire.unpack_blob(self._request(_RequestEncoder.ping()), 0)
+        blob, _ = wire.unpack_blob(self._request(_RequestEncoder.ping(), idempotent=True), 0)
         return blob.decode("utf-8")
 
+    def health(self) -> dict:
+        """The server's readiness: ``state`` (``ready`` / ``overloaded``
+        / ``draining``) plus operational detail (open connections, WAL
+        queue depth, shed counts)."""
+        import json
+
+        payload = self._request(wire.pack_health(), idempotent=True)
+        _state, blob = wire.unpack_health_response(payload)
+        return json.loads(blob.decode("utf-8"))
+
     def close(self) -> None:
+        """Flush buffered values and close the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         try:
-            self.flush()
+            if self._sock is not None:
+                self.flush()
         finally:
-            self._sock.close()
+            self._drop_connection()
 
     def __enter__(self) -> "QuantileClient":
         return self
@@ -645,6 +942,8 @@ class AsyncQuantileClient:
         port: int = 7379,
         *,
         batch_size: int = DEFAULT_BATCH,
+        retry: Optional[RetryPolicy] = None,
+        session: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -652,30 +951,140 @@ class AsyncQuantileClient:
         self._buffers: Dict[str, List[float]] = {}
         self._reader = None
         self._writer = None
+        self._retry = retry
+        self._retry_state = retry.start() if retry is not None else None
+        self.session_id = session if session is not None else (
+            _new_session_id() if retry is not None else None
+        )
+        self.exactly_once = False
+        self._next_seq = 1
+        self._closed = False
+
+    #: Exceptions that mean "the connection is gone" (async client): the
+    #: sync family plus the stream reader's mid-frame EOFs
+    #: (``IncompleteReadError`` subclasses ``EOFError``).  A wait_for
+    #: timeout raises ``TimeoutError``, an ``OSError`` since 3.10.
+    _ASYNC_TRANSPORT_ERRORS = (ConnectionError, OSError, EOFError)
 
     async def connect(self) -> "AsyncQuantileClient":
         import asyncio
 
         self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        if self.session_id is not None:
+            await self._hello()
         return self
 
+    async def _hello(self) -> None:
+        """Negotiate the exactly-once session (old servers answer the
+        unknown opcode with ``BAD_REQUEST``; we degrade gracefully)."""
+        self._writer.write(wire.encode_frame(wire.pack_hello(self.session_id)))
+        await self._writer.drain()
+        try:
+            payload = wire.raise_for_status(await self._read_frame())
+        except ServiceError as exc:
+            if (
+                not isinstance(exc, self._ASYNC_TRANSPORT_ERRORS)
+                and getattr(exc, "status", None) == wire.STATUS_BAD_REQUEST
+            ):
+                self.exactly_once = False
+                return
+            raise
+        granted, high_water = wire.unpack_hello_response(payload)
+        self.exactly_once = bool(granted & wire.FLAG_EXACTLY_ONCE)
+        if high_water >= self._next_seq:
+            self._next_seq = high_water + 1
+
+    def _drop_connection(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        self._writer = None
+        self._reader = None
+
+    async def _reconnect(self, cause: Optional[BaseException] = None) -> None:
+        """Reconnect (and re-HELLO) with backoff; spends retry budget."""
+        import asyncio
+
+        self._drop_connection()
+        state = self._retry_state
+        attempt = 0
+        while True:
+            state.spend(cause)
+            await asyncio.sleep(state.delay(attempt))
+            attempt += 1
+            try:
+                await self.connect()
+                return
+            except self._ASYNC_TRANSPORT_ERRORS as exc:
+                cause = exc
+                if attempt > self._retry.retries:
+                    raise
+
+    def _reserve_seq(self, frames: int = 1) -> int:
+        seq = self._next_seq
+        self._next_seq = seq + frames
+        return seq
+
     async def _read_frame(self) -> bytes:
-        """One frame body off the stream (shared by requests and acks)."""
+        """One frame body off the stream (shared by requests and acks).
+
+        With a retry policy carrying a timeout, a stalled read times out
+        (and the caller's retry path reconnects) instead of hanging.
+        """
+        import asyncio
+
+        if self._retry is not None and self._retry.timeout is not None:
+            return await asyncio.wait_for(self._read_frame_raw(), self._retry.timeout)
+        return await self._read_frame_raw()
+
+    async def _read_frame_raw(self) -> bytes:
         header = await self._reader.readexactly(4)
         length = int.from_bytes(header, "little")
         if length > wire.MAX_FRAME:
             raise ServiceError(f"peer announced a {length}-byte frame (cap {wire.MAX_FRAME})")
         return await self._reader.readexactly(length)
 
-    async def _request(self, body: bytes) -> bytes:
+    async def _request_once(self, body: bytes) -> bytes:
         if self._writer is None:
             await self.connect()
         self._writer.write(wire.encode_frame(body))
         await self._writer.drain()
         return wire.raise_for_status(await self._read_frame())
 
+    async def _request(self, body: bytes, *, idempotent: bool = False) -> bytes:
+        """One request/response with the retry policy applied (same
+        contract as :meth:`QuantileClient._request`)."""
+        import asyncio
+
+        if self._retry is None:
+            return await self._request_once(body)
+        attempt = 0
+        while True:
+            try:
+                return await self._request_once(body)
+            except self._ASYNC_TRANSPORT_ERRORS as exc:
+                self._drop_connection()
+                if not idempotent:
+                    raise
+                await self._reconnect(exc)
+            except ServiceError as exc:
+                if (
+                    getattr(exc, "status", None) != wire.STATUS_RETRY_LATER
+                    or attempt >= self._retry.retries
+                ):
+                    raise
+                self._retry_state.spend(exc)
+                await asyncio.sleep(self._retry_state.delay(attempt))
+                attempt += 1
+
     async def ingest(self, key: str, values) -> int:
-        payload = await self._request(_RequestEncoder.ingest(key, values))
+        if self.exactly_once:
+            body = wire.pack_seq_ingest(self._reserve_seq(), key, values)
+            payload = await self._request(body, idempotent=True)
+        else:
+            payload = await self._request(_RequestEncoder.ingest(key, values))
         n, _ = wire.unpack_n(payload, 0)
         return n
 
@@ -692,10 +1101,16 @@ class AsyncQuantileClient:
         flight, one buffer build + one write per window, error acks mapped
         back to the offending frame via ``batch_index``/``value_offset``.
         The windowing/attribution state machine is shared with the sync
-        client (:class:`_IngestStream`); only the I/O differs."""
+        client (:class:`_IngestStream`); only the I/O differs.  With an
+        exactly-once session, dropped connections replay unacknowledged
+        frames and ``RETRY_LATER`` acks rewind + back off, exactly as in
+        the sync client."""
         if self._writer is None:
             await self.connect()
         stream = _IngestStream(key, values, frame_values, window, bytearray())
+        if self.exactly_once and self._retry is not None:
+            stream._start_seq = self._reserve_seq(stream.num_frames)
+            return await self._pump_resilient(stream, shed_retries=True)
         while not stream.done:
             window_view = stream.next_window()
             if window_view is not None:
@@ -710,11 +1125,49 @@ class AsyncQuantileClient:
                 stream.ack(await self._read_frame())
         return stream.finish()
 
+    async def _pump_resilient(self, stream, *, shed_retries: bool):
+        """Async twin of :meth:`QuantileClient._pump_resilient`."""
+        import asyncio
+
+        shed_attempt = 0
+        while not stream.done:
+            try:
+                if shed_retries and stream.shed:
+                    if stream.outstanding:
+                        stream.ack(await self._read_frame())
+                        continue
+                    if shed_attempt >= self._retry.retries:
+                        raise ServiceError(
+                            f"server still shedding after {shed_attempt} retries"
+                        )
+                    stream.rewind()
+                    self._retry_state.spend()
+                    await asyncio.sleep(self._retry_state.delay(shed_attempt))
+                    shed_attempt += 1
+                    continue
+                window_view = stream.next_window()
+                if window_view is not None:
+                    try:
+                        self._writer.write(bytes(window_view))
+                    finally:
+                        window_view.release()
+                    await self._writer.drain()
+                else:
+                    stream.ack(await self._read_frame())
+            except self._ASYNC_TRANSPORT_ERRORS as exc:
+                await self._reconnect(exc)
+                stream.rewind()
+        return stream.finish()
+
     async def ingest_multi(self, batches) -> Dict[str, int]:
         """One ``MULTI_INGEST`` frame for several keys' batches (see
         :meth:`QuantileClient.ingest_multi`)."""
         items = list(batches.items()) if hasattr(batches, "items") else list(batches)
-        payload = await self._request(wire.pack_multi_ingest(items))
+        if self.exactly_once:
+            body = wire.pack_seq_multi_ingest(self._reserve_seq(), items)
+            payload = await self._request(body, idempotent=True)
+        else:
+            payload = await self._request(wire.pack_multi_ingest(items))
         totals = _decode_multi_response(payload)
         return {key: n for (key, _values), n in zip(items, totals)}
 
@@ -760,23 +1213,29 @@ class AsyncQuantileClient:
         return n
 
     async def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
-        return _decode_query_response(await self._request(_RequestEncoder.query(key, fractions)))
+        return _decode_query_response(
+            await self._request(_RequestEncoder.query(key, fractions), idempotent=True)
+        )
 
     async def quantile(self, key: str, q: float) -> float:
         return float((await self.query(key, [q])).quantiles[0])
 
     async def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
-        return _decode_query_response(await self._request(_RequestEncoder.cdf(key, split_points)))
+        return _decode_query_response(
+            await self._request(_RequestEncoder.cdf(key, split_points), idempotent=True)
+        )
 
     async def rank(self, key: str, values: Sequence[float]) -> QueryResult:
         """Estimated ranks of ``values`` (as exact float64 integers)."""
-        return _decode_query_response(await self._request(_RequestEncoder.rank(key, values)))
+        return _decode_query_response(
+            await self._request(_RequestEncoder.rank(key, values), idempotent=True)
+        )
 
     async def query_many(self, requests) -> List[object]:
         """One ``MULTI_QUERY`` frame for many read requests (see
         :meth:`QuantileClient.query_many`)."""
         items = [_normalize_query_request(request) for request in requests]
-        payload = await self._request(wire.pack_multi_query(items))
+        payload = await self._request(wire.pack_multi_query(items), idempotent=True)
         return _decode_multi_query_list(payload, expected=len(items))
 
     async def query_stream(
@@ -794,6 +1253,8 @@ class AsyncQuantileClient:
         if self._writer is None:
             await self.connect()
         stream = _QueryStream(key, kind, points, frame_requests, window, bytearray())
+        if self._retry is not None:
+            return await self._pump_resilient(stream, shed_retries=False)
         while not stream.done:
             window_view = stream.next_window()
             if window_view is not None:
@@ -811,29 +1272,47 @@ class AsyncQuantileClient:
     async def stats(self, key: Optional[str] = None) -> dict:
         import json
 
-        blob, _ = wire.unpack_blob(await self._request(_RequestEncoder.stats(key)), 0)
+        blob, _ = wire.unpack_blob(
+            await self._request(_RequestEncoder.stats(key), idempotent=True), 0
+        )
         return json.loads(blob.decode("utf-8"))
 
     async def snapshot(self) -> int:
-        payload = await self._request(_RequestEncoder.snapshot())
+        payload = await self._request(_RequestEncoder.snapshot(), idempotent=True)
         return int.from_bytes(payload[:4], "little")
 
     async def ping(self) -> str:
-        blob, _ = wire.unpack_blob(await self._request(_RequestEncoder.ping()), 0)
+        blob, _ = wire.unpack_blob(
+            await self._request(_RequestEncoder.ping(), idempotent=True), 0
+        )
         return blob.decode("utf-8")
 
+    async def health(self) -> dict:
+        """The server's readiness state + operational detail (see
+        :meth:`QuantileClient.health`)."""
+        import json
+
+        payload = await self._request(wire.pack_health(), idempotent=True)
+        _state, blob = wire.unpack_health_response(payload)
+        return json.loads(blob.decode("utf-8"))
+
     async def close(self) -> None:
+        """Flush buffered values and close the connection (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         if self._writer is not None:
             try:
                 await self.flush()
             finally:
-                self._writer.close()
-                try:
-                    await self._writer.wait_closed()
-                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                    pass
+                writer = self._writer
                 self._writer = None
                 self._reader = None
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                    pass
 
     async def __aenter__(self) -> "AsyncQuantileClient":
         return await self.connect()

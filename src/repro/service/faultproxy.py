@@ -1,0 +1,359 @@
+"""A deterministic fault-injecting TCP proxy for chaos tests.
+
+:class:`FaultProxy` sits between a client and a quantile server on
+loopback and mangles the **request** byte stream in reproducible ways:
+frames can be delayed, split mid-byte, duplicated, truncated (a partial
+frame followed by a hard close — the torn-write shape), or severed
+before/after delivery.  The response stream is forwarded untouched: the
+interesting failure modes for exactly-once are all on the write path
+(did the server apply a frame whose ack the client never saw?), and a
+mangled response would only obscure which side lost what.
+
+The client→server pump is **frame-aware**: it reassembles the protocol's
+``u32``-length-prefixed frames and consults a fault schedule per frame,
+so a test can say "sever the connection immediately after frame 7 is
+fully delivered" and mean exactly that.  Frame indices count across
+reconnects (a monotonic per-proxy counter) — a client that reconnects
+and replays sees its replayed frames as *new* indices, which is what
+lets a scripted schedule inject one fault and then let the retry
+through.
+
+Determinism: a :class:`SeededFaults` schedule draws from
+``random.Random(seed)`` only — same seed, same byte-level fault
+sequence.  Sleeps introduce wall-clock timing but never change *which*
+faults fire.
+
+Fault actions (strings or tuples):
+
+* ``"pass"`` — forward the frame unchanged.
+* ``("delay", seconds)`` — sleep, then forward.
+* ``("split", nbytes)`` — forward ``nbytes``, sleep a beat, forward the
+  rest (exercises mid-frame reads on the server's parse loop).
+* ``"sever"`` — drop both sides *before* the frame is delivered (the
+  frame never reaches the server).
+* ``"sever_after"`` — drop the client, then deliver the frame fully
+  upstream (the server applies it; the client can never see the ack —
+  THE exactly-once scenario).
+* ``("truncate", nbytes)`` — deliver only the first ``nbytes`` of the
+  frame, then drop both sides (server sees a torn frame mid-byte).
+* ``"dup"`` — deliver the frame, drop the **client** side only, deliver
+  the frame *again* on the still-open upstream connection, then drop
+  it.  The server sees the bytes twice on one connection and (after the
+  client reconnects and replays) a third time on the next — it must
+  count them once.
+
+Usage::
+
+    with FaultProxy(server_port, schedule=SeededFaults(seed=7)) as proxy:
+        client = QuantileClient(port=proxy.port, retry=RetryPolicy(...))
+        client.ingest_stream("k", values)
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+import time
+from typing import Dict, Optional, Union
+
+__all__ = ["FaultProxy", "SeededFaults", "ScriptedFaults", "PASS"]
+
+_LEN = struct.Struct("<I")
+
+PASS = "pass"
+
+Action = Union[str, tuple]
+
+
+class ScriptedFaults:
+    """An explicit ``{frame_index: action}`` schedule (default: pass).
+
+    Frame indices are the proxy's monotonic counter — they keep counting
+    across client reconnects, so index 7 is the 8th frame the proxy ever
+    saw, whichever connection carried it.
+    """
+
+    def __init__(self, actions: Dict[int, Action]) -> None:
+        self._actions = dict(actions)
+
+    def action(self, frame_index: int) -> Action:
+        return self._actions.get(frame_index, PASS)
+
+
+class SeededFaults:
+    """A seeded random schedule: each frame independently draws a fault.
+
+    Args:
+        seed: The RNG seed — the whole point; two runs with the same
+            seed inject byte-identical fault sequences.
+        delay_rate, split_rate, sever_rate, sever_after_rate,
+        truncate_rate, dup_rate: Per-frame probabilities (evaluated in
+            that order on one uniform draw).
+        delay: Seconds for a ``delay`` fault (kept small so chaos suites
+            stay fast).
+        first_faultable: Frames before this index always pass — lets the
+            HELLO/negotiation exchange through so faults land on the
+            interesting traffic.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        delay_rate: float = 0.05,
+        split_rate: float = 0.10,
+        sever_rate: float = 0.02,
+        sever_after_rate: float = 0.02,
+        truncate_rate: float = 0.02,
+        dup_rate: float = 0.02,
+        delay: float = 0.002,
+        first_faultable: int = 1,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._delay = delay
+        self._first = first_faultable
+        self._bands = []
+        edge = 0.0
+        for rate, name in (
+            (delay_rate, "delay"),
+            (split_rate, "split"),
+            (sever_rate, "sever"),
+            (sever_after_rate, "sever_after"),
+            (truncate_rate, "truncate"),
+            (dup_rate, "dup"),
+        ):
+            edge += rate
+            self._bands.append((edge, name))
+        if edge > 1.0:
+            raise ValueError(f"fault rates sum to {edge} > 1")
+
+    def action(self, frame_index: int) -> Action:
+        # One draw per frame regardless of outcome, so the schedule for
+        # frame k never depends on which faults actually fired earlier.
+        draw = self._rng.random()
+        cut = self._rng.random()
+        if frame_index < self._first:
+            return PASS
+        for edge, name in self._bands:
+            if draw < edge:
+                if name == "delay":
+                    return ("delay", self._delay)
+                if name == "split":
+                    return ("split", 1 + int(cut * 6))
+                if name == "truncate":
+                    return ("truncate", 1 + int(cut * 6))
+                return name
+        return PASS
+
+
+class _Pipe(threading.Thread):
+    """The raw server→client pump (responses forwarded untouched)."""
+
+    def __init__(self, src: socket.socket, dst: socket.socket) -> None:
+        super().__init__(daemon=True)
+        self._src = src
+        self._dst = dst
+
+    def run(self) -> None:
+        try:
+            while True:
+                chunk = self._src.recv(1 << 16)
+                if not chunk:
+                    break
+                self._dst.sendall(chunk)
+        except OSError:
+            pass
+        finally:
+            for sock in (self._src, self._dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+
+class _Link(threading.Thread):
+    """One proxied client connection: the frame-aware request pump."""
+
+    def __init__(self, proxy: "FaultProxy", client: socket.socket) -> None:
+        super().__init__(daemon=True)
+        self.proxy = proxy
+        self.client = client
+        self.upstream = socket.create_connection(
+            ("127.0.0.1", proxy.upstream_port), timeout=30
+        )
+        self.upstream.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._responses = _Pipe(self.upstream, self.client)
+
+    # -- socket helpers ------------------------------------------------
+
+    def _read_exact(self, count: int) -> Optional[bytes]:
+        chunks = []
+        while count:
+            chunk = self.client.recv(count)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
+
+    def _close(self, sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _sever_both(self) -> None:
+        self._close(self.client)
+        self._close(self.upstream)
+
+    # -- the pump ------------------------------------------------------
+
+    def run(self) -> None:
+        self._responses.start()
+        try:
+            self._pump()
+        except OSError:
+            self._sever_both()
+
+    def _pump(self) -> None:
+        while True:
+            header = self._read_exact(_LEN.size)
+            if header is None:
+                self._sever_both()
+                return
+            (length,) = _LEN.unpack(header)
+            body = self._read_exact(length)
+            if body is None:
+                self._sever_both()
+                return
+            frame = header + body
+            action = self.proxy._next_action()
+            if action == PASS:
+                self.upstream.sendall(frame)
+            elif action == "sever":
+                self._sever_both()
+                return
+            elif action == "sever_after":
+                # Cut the client FIRST: the ack can then never be relayed
+                # (the response pump hits a dead socket), so the frame is
+                # applied upstream while the client is left not knowing —
+                # deterministically "applied but never acked".
+                self._close(self.client)
+                try:
+                    self.upstream.sendall(frame)
+                    time.sleep(0.01)
+                except OSError:
+                    pass
+                self._close(self.upstream)
+                return
+            elif action == "dup":
+                self.upstream.sendall(frame)
+                # Drop only the client: it will reconnect and replay.
+                # The duplicate rides the old upstream connection, so
+                # request/response pairing on the NEW connection stays
+                # clean while the server still sees the bytes twice.
+                self._close(self.client)
+                try:
+                    self.upstream.sendall(frame)
+                    time.sleep(0.01)
+                except OSError:
+                    pass
+                self._close(self.upstream)
+                return
+            elif action[0] == "delay":
+                time.sleep(action[1])
+                self.upstream.sendall(frame)
+            elif action[0] == "split":
+                cut = max(1, min(int(action[1]), len(frame) - 1))
+                self.upstream.sendall(frame[:cut])
+                time.sleep(0.001)
+                self.upstream.sendall(frame[cut:])
+            elif action[0] == "truncate":
+                cut = max(1, min(int(action[1]), len(frame) - 1))
+                self.upstream.sendall(frame[:cut])
+                time.sleep(0.01)
+                self._sever_both()
+                return
+            else:  # pragma: no cover - schedule bug
+                raise ValueError(f"unknown fault action {action!r}")
+
+
+class FaultProxy:
+    """The listener: accepts clients forever, one :class:`_Link` each.
+
+    Args:
+        upstream_port: The real server's port (loopback).
+        schedule: A fault schedule (``action(frame_index)``); defaults
+            to all-pass (a transparent proxy).
+        port: Listen port (``0`` = ephemeral; read :attr:`port`).
+    """
+
+    def __init__(self, upstream_port: int, *, schedule=None, port: int = 0) -> None:
+        self.upstream_port = upstream_port
+        self.schedule = schedule if schedule is not None else ScriptedFaults({})
+        self._frame_index = 0
+        self._lock = threading.Lock()
+        self._links = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", port))
+        self._listener.listen(16)
+        self.port = self._listener.getsockname()[1]
+        self._stopped = False
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    @property
+    def frames_seen(self) -> int:
+        """Frames the proxy has pulled off client connections so far."""
+        with self._lock:
+            return self._frame_index
+
+    def _next_action(self) -> Action:
+        with self._lock:
+            index = self._frame_index
+            self._frame_index += 1
+        return self.schedule.action(index)
+
+    def _accept_loop(self) -> None:
+        while not self._stopped:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            try:
+                link = _Link(self, client)
+            except OSError:
+                # Upstream refused (server down mid-test): drop the
+                # client so its retry loop backs off and tries again.
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            self._links.append(link)
+            link.start()
+
+    def stop(self) -> None:
+        self._stopped = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for link in self._links:
+            link._sever_both()
+        for link in self._links:
+            link.join(timeout=5)
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,66 @@
+"""Logging for the service plane (replaces ad-hoc stderr prints).
+
+Everything under the ``repro.service`` logger, so operators configure one
+name.  The library never installs handlers — embedding applications keep
+control — but :func:`configure_cli_logging` gives the ``serve`` CLI a
+sane stderr default.
+
+:class:`RateLimiter` throttles repeat diagnostics (the periodic-snapshot
+retry path fires every interval during a disk outage; one line per
+window beats one per attempt).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict
+
+__all__ = ["logger", "RateLimiter", "configure_cli_logging"]
+
+#: The service plane's logger; children via ``logger.getChild(...)``.
+logger = logging.getLogger("repro.service")
+
+
+class RateLimiter:
+    """Allow one event per key per ``interval`` seconds; count the rest.
+
+    ``ready(key)`` returns ``True`` when the caller should emit, plus the
+    number of suppressed occurrences since the last emission (so the
+    emitted line can say "... (N repeats suppressed)").
+    """
+
+    __slots__ = ("interval", "_last", "_suppressed")
+
+    def __init__(self, interval: float = 30.0) -> None:
+        self.interval = interval
+        self._last: Dict[str, float] = {}
+        self._suppressed: Dict[str, int] = {}
+
+    def ready(self, key: str, *, now: float = None):
+        """``(should_emit, suppressed_count)`` for one occurrence of ``key``."""
+        now = time.monotonic() if now is None else now
+        last = self._last.get(key)
+        if last is None or now - last >= self.interval:
+            self._last[key] = now
+            suppressed = self._suppressed.pop(key, 0)
+            return True, suppressed
+        self._suppressed[key] = self._suppressed.get(key, 0) + 1
+        return False, self._suppressed[key]
+
+
+def configure_cli_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler for CLI entry points (idempotent).
+
+    Only touches the ``repro.service`` logger — never the root — so the
+    CLI gets visible diagnostics without hijacking the host application's
+    logging when the library is imported elsewhere.
+    """
+    if any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.setLevel(level)

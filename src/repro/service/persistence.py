@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Dict, Iterator, NamedTuple, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.service.log import logger as _log
 from repro.service.store import spill_filename
 
 __all__ = [
@@ -62,12 +63,21 @@ __all__ = [
     "recover",
     "WAL_INGEST",
     "WAL_MERGE",
+    "WAL_SEQ_INGEST",
+    "pack_session_header",
+    "unpack_session_header",
 ]
 
 #: Record op: ``payload`` is a raw little-endian float64 batch.
 WAL_INGEST = 1
 #: Record op: ``payload`` is an ``FRQ1`` donor sketch to union in.
 WAL_MERGE = 2
+#: Record op: an ingest batch from a sequenced (exactly-once) session.
+#: ``payload`` is ``<u16 sid_len><sid><u64 max_frame_seq>`` followed by
+#: the raw float64 batch; replay folds the session mark back into the
+#: :class:`~repro.service.resilience.SessionTable` — **even for records
+#: the key's snapshot already covers** — so dedup survives restarts.
+WAL_SEQ_INGEST = 3
 
 #: Per-record framing: body length, CRC32 of the body.
 _RECORD_HEAD = struct.Struct("<II")
@@ -75,6 +85,32 @@ _RECORD_HEAD = struct.Struct("<II")
 _BODY_HEAD = struct.Struct("<BQH")
 
 _SNAP_HEAD = struct.Struct("<QH")
+
+#: ``WAL_SEQ_INGEST`` payload prefix: session-id length (id + u64 seq follow).
+_SESSION_HEAD = struct.Struct("<H")
+_SESSION_SEQ = struct.Struct("<Q")
+
+
+def pack_session_header(sid: str, seq: int) -> bytes:
+    """The ``WAL_SEQ_INGEST`` payload prefix for ``(sid, seq)``."""
+    raw = sid.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ServiceError(f"session id of {len(raw)} UTF-8 bytes exceeds the 65535-byte cap")
+    return _SESSION_HEAD.pack(len(raw)) + raw + _SESSION_SEQ.pack(seq)
+
+
+def unpack_session_header(payload) -> Tuple[str, int, int]:
+    """Decode a session header; returns ``(sid, seq, values_offset)``."""
+    try:
+        (sid_len,) = _SESSION_HEAD.unpack_from(payload, 0)
+        raw = bytes(payload[_SESSION_HEAD.size : _SESSION_HEAD.size + sid_len])
+        if len(raw) != sid_len:
+            raise ValueError("payload shorter than its declared session id")
+        sid = raw.decode("utf-8")
+        (seq,) = _SESSION_SEQ.unpack_from(payload, _SESSION_HEAD.size + sid_len)
+    except (struct.error, ValueError, UnicodeDecodeError) as exc:
+        raise ServiceError(f"corrupt WAL session header: {exc}") from exc
+    return sid, seq, _SESSION_HEAD.size + sid_len + _SESSION_SEQ.size
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -423,6 +459,13 @@ class GroupCommitWal:
                     # appends, fail everything still queued, and leave
                     # the file for recovery to heal at next open.
                     self._failed = error
+                    _log.error(
+                        "WAL group commit failed, log poisoned: path=%s "
+                        "batch=%d error=%s",
+                        self._inner.path,
+                        len(batch),
+                        error,
+                    )
                     abandoned_ticket = self._open_ticket
                     self._open_ticket = None
                     self._queue.clear()
@@ -598,6 +641,7 @@ def recover(
     snapshots: SnapshotStore,
     applied_seq: Dict[str, int],
     snap_seq: Dict[str, int],
+    sessions=None,
 ) -> int:
     """Rebuild ``store`` from disk; returns the next free sequence number.
 
@@ -615,6 +659,12 @@ def recover(
     recording the pre-apply sequence there would stamp a snapshot that
     already contains the record as not containing it, double-applying it
     on the next recovery.
+
+    ``sessions`` (a :class:`~repro.service.resilience.SessionTable`, or
+    ``None``) receives every ``WAL_SEQ_INGEST`` record's session mark —
+    including records skipped because a snapshot covers them, since the
+    mark must survive regardless of which durability artifact carried
+    the values.
     """
     import numpy as np
 
@@ -626,12 +676,18 @@ def recover(
         store.register_spilled(key)
     for record in wal.replay():
         max_seq = max(max_seq, record.seq)
+        payload = record.payload
+        if record.op == WAL_SEQ_INGEST:
+            sid, frame_seq, offset = unpack_session_header(payload)
+            if sessions is not None:
+                sessions.observe(sid, record.key, frame_seq)
+            payload = payload[offset:]
         if record.seq <= snap_seq.get(record.key, -1):
             continue
         applied_seq[record.key] = record.seq
         try:
-            if record.op == WAL_INGEST:
-                store.update_many(record.key, np.frombuffer(record.payload, dtype="<f8"))
+            if record.op in (WAL_INGEST, WAL_SEQ_INGEST):
+                store.update_many(record.key, np.frombuffer(payload, dtype="<f8"))
             elif record.op == WAL_MERGE:
                 store.merge_payload(record.key, record.payload)
             else:

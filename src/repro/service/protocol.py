@@ -79,7 +79,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, TransportError
 
 __all__ = [
     "OP_INGEST",
@@ -92,7 +92,15 @@ __all__ = [
     "OP_MULTI_INGEST",
     "OP_RANK",
     "OP_MULTI_QUERY",
+    "OP_HELLO",
+    "OP_SEQ_INGEST",
+    "OP_SEQ_MULTI_INGEST",
+    "OP_HEALTH",
     "OP_NAMES",
+    "FLAG_EXACTLY_ONCE",
+    "HEALTH_READY",
+    "HEALTH_OVERLOADED",
+    "HEALTH_DRAINING",
     "KIND_QUANTILES",
     "KIND_RANKS",
     "KIND_CDF",
@@ -101,6 +109,7 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_UNKNOWN_KEY",
     "STATUS_BAD_REQUEST",
+    "STATUS_RETRY_LATER",
     "MAX_FRAME",
     "encode_frame",
     "pack_key",
@@ -110,6 +119,15 @@ __all__ = [
     "build_ingest_frames",
     "pack_multi_ingest",
     "unpack_multi_ingest",
+    "pack_hello",
+    "unpack_hello",
+    "pack_hello_response",
+    "unpack_hello_response",
+    "pack_seq_ingest",
+    "pack_seq_multi_ingest",
+    "unpack_seq",
+    "pack_health",
+    "unpack_health_response",
     "pack_multi_query",
     "unpack_multi_query",
     "kind_code",
@@ -137,6 +155,19 @@ OP_PING = 0x07
 OP_MULTI_INGEST = 0x08
 OP_RANK = 0x09
 OP_MULTI_QUERY = 0x0A
+#: Session handshake: ``u32 capability flags, session id (key encoding)``.
+#: Response: ``status, u32 granted flags, u64 session high-water mark``.
+#: Negotiated — an old server answers BAD_REQUEST ("unknown opcode") and
+#: the client falls back to the unsequenced protocol.
+OP_HELLO = 0x0B
+#: ``INGEST`` with a ``u64 seq`` between the opcode and the key; the
+#: server applies it at most once per ``(session, key)`` (see
+#: :mod:`repro.service.resilience`).
+OP_SEQ_INGEST = 0x0C
+#: ``MULTI_INGEST`` with a leading ``u64 seq`` shared by every group.
+OP_SEQ_MULTI_INGEST = 0x0D
+#: Readiness probe: responds ``status, u8 state, u32 length, JSON``.
+OP_HEALTH = 0x0E
 
 #: Opcode -> wire name (STATS reporting; unknown opcodes render as hex).
 OP_NAMES = {
@@ -150,7 +181,20 @@ OP_NAMES = {
     OP_MULTI_INGEST: "multi_ingest",
     OP_RANK: "rank",
     OP_MULTI_QUERY: "multi_query",
+    OP_HELLO: "hello",
+    OP_SEQ_INGEST: "seq_ingest",
+    OP_SEQ_MULTI_INGEST: "seq_multi_ingest",
+    OP_HEALTH: "health",
 }
+
+#: ``HELLO`` capability flag: per-frame sequence numbers + server-side
+#: dedup — the exactly-once ingest contract.
+FLAG_EXACTLY_ONCE = 0x1
+
+#: ``HEALTH`` states (the ``u8`` after the response status byte).
+HEALTH_READY = 0
+HEALTH_OVERLOADED = 1
+HEALTH_DRAINING = 2
 
 #: ``MULTI_QUERY`` request kinds (the per-record ``u8 kind`` operand).
 KIND_QUANTILES = 0
@@ -167,6 +211,9 @@ STATUS_ERROR = 1
 STATUS_UNKNOWN_KEY = 2
 #: The frame could not be decoded (bad opcode, truncated operands, ...).
 STATUS_BAD_REQUEST = 3
+#: The server is shedding load (or draining); the request was NOT
+#: applied — back off and resend the same frame.
+STATUS_RETRY_LATER = 4
 
 #: Hard cap on one frame's body, request or response (64 MiB ~ an 8M-value
 #: ingest batch — far past the point where splitting batches is free).
@@ -280,6 +327,7 @@ def build_ingest_frames(
     *,
     frame_values: int = 8192,
     out: Optional[bytearray] = None,
+    start_seq: Optional[int] = None,
 ):
     """Encode ``values`` as consecutive complete ``INGEST`` frames.
 
@@ -295,6 +343,12 @@ def build_ingest_frames(
         out: Optional reusable scratch ``bytearray``; grown in place when
             too small.  Callers must be done with the previous window (and
             have released any views into it) before reusing.
+        start_seq: When given, frames are ``SEQ_INGEST`` carrying
+            sequence numbers ``start_seq, start_seq + 1, ...`` (one per
+            frame) for the server's exactly-once dedup.  Frame boundaries
+            are a pure function of ``frame_values`` and the slice offset,
+            so a rewound stream re-encodes byte-identical frames with
+            identical sequence numbers.
 
     Returns:
         ``(window, counts)`` — a :class:`memoryview` over the encoded
@@ -306,7 +360,8 @@ def build_ingest_frames(
     if frame_values < 1:
         raise ServiceError(f"frame_values must be >= 1, got {frame_values}")
     raw_key = pack_key(key)
-    head = 1 + len(raw_key) + _COUNT.size  # opcode + key + count
+    seq_size = 0 if start_seq is None else _N.size
+    head = 1 + seq_size + len(raw_key) + _COUNT.size  # opcode [+ seq] + key + count
     if head + 8 * frame_values > MAX_FRAME:
         raise ServiceError(
             f"{frame_values} values per frame exceeds MAX_FRAME ({MAX_FRAME})"
@@ -323,13 +378,21 @@ def build_ingest_frames(
     counts = []
     offset = 0
     pos = 0
+    seq = start_seq
     while pos < n:
         count = min(frame_values, n - pos)
         _LEN.pack_into(buf, offset, head + 8 * count)
         offset += _LEN.size
-        buf[offset] = OP_INGEST
-        buf[offset + 1 : offset + 1 + len(raw_key)] = raw_key
-        offset += 1 + len(raw_key)
+        if seq_size:
+            buf[offset] = OP_SEQ_INGEST
+            _N.pack_into(buf, offset + 1, seq)
+            seq += 1
+            offset += 1 + seq_size
+        else:
+            buf[offset] = OP_INGEST
+            offset += 1
+        buf[offset : offset + len(raw_key)] = raw_key
+        offset += len(raw_key)
         _COUNT.pack_into(buf, offset, count)
         offset += _COUNT.size
         np.frombuffer(buf, dtype=WIRE_DTYPE, count=count, offset=offset)[:] = array[
@@ -387,6 +450,79 @@ def unpack_multi_ingest(body, offset: int = 1):
             f"{len(body) - offset} trailing bytes after MULTI_INGEST group {groups - 1}"
         )
     return out
+
+
+def pack_hello(session_id: str, flags: int = FLAG_EXACTLY_ONCE) -> bytes:
+    """A ``HELLO`` request body: capability flags + the session id."""
+    return bytes([OP_HELLO]) + _COUNT.pack(flags) + pack_key(session_id)
+
+
+def unpack_hello(body) -> Tuple[int, str]:
+    """Decode a ``HELLO`` body into ``(flags, session_id)``."""
+    try:
+        (flags,) = _COUNT.unpack_from(body, 1)
+    except struct.error as exc:
+        raise ServiceError(f"truncated HELLO flags: {exc}") from exc
+    sid, offset = unpack_key(body, 1 + _COUNT.size)
+    if offset != len(body):
+        raise ServiceError(f"{len(body) - offset} trailing bytes after HELLO session id")
+    if not sid:
+        raise ServiceError("HELLO session id must be non-empty")
+    return flags, sid
+
+
+def pack_hello_response(granted: int, high_water: int) -> bytes:
+    """An OK ``HELLO`` response: granted flags + session high-water mark."""
+    return b"\x00" + _COUNT.pack(granted) + _N.pack(high_water)
+
+
+def unpack_hello_response(payload) -> Tuple[int, int]:
+    """Decode an OK ``HELLO`` payload into ``(granted, high_water)``."""
+    try:
+        (granted,) = _COUNT.unpack_from(payload, 0)
+        (high_water,) = _N.unpack_from(payload, _COUNT.size)
+    except struct.error as exc:
+        raise ServiceError(f"truncated HELLO response: {exc}") from exc
+    return granted, high_water
+
+
+def pack_seq_ingest(seq: int, key: str, values) -> bytes:
+    """One ``SEQ_INGEST`` body (the single-frame, non-streamed encode)."""
+    return bytes([OP_SEQ_INGEST]) + _N.pack(seq) + pack_key(key) + pack_values(values)
+
+
+def pack_seq_multi_ingest(seq: int, batches) -> bytes:
+    """A ``SEQ_MULTI_INGEST`` body: ``u64 seq`` + the MULTI_INGEST groups."""
+    body = pack_multi_ingest(batches)
+    out = bytes([OP_SEQ_MULTI_INGEST]) + _N.pack(seq) + body[1:]
+    if len(out) > MAX_FRAME:
+        raise ServiceError(f"SEQ_MULTI_INGEST body of {len(out)} bytes exceeds MAX_FRAME")
+    return out
+
+
+def unpack_seq(body, offset: int = 1) -> Tuple[int, int]:
+    """Decode the ``u64 seq`` of a sequenced frame; returns ``(seq, new_offset)``."""
+    try:
+        (seq,) = _N.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated sequence number: {exc}") from exc
+    if seq == 0:
+        raise ServiceError("sequence numbers start at 1 (0 is reserved)")
+    return seq, offset + _N.size
+
+
+def pack_health() -> bytes:
+    """A ``HEALTH`` request body (no operands)."""
+    return bytes([OP_HEALTH])
+
+
+def unpack_health_response(payload) -> Tuple[int, bytes]:
+    """Decode an OK ``HEALTH`` payload into ``(state, json_blob)``."""
+    if not len(payload):
+        raise ServiceError("truncated HEALTH response")
+    state = payload[0]
+    blob, _ = unpack_blob(payload, 1)
+    return state, blob
 
 
 def kind_code(kind) -> int:
@@ -758,7 +894,7 @@ def _recv_into_exact(sock, view: memoryview, *, eof_ok: bool) -> None:
         if not received:
             if eof_ok and got == 0:
                 raise ConnectionError("connection closed")
-            raise ServiceError(
+            raise TransportError(
                 f"connection closed {total - got} bytes into a {total}-byte read"
             )
         got += received
@@ -816,7 +952,7 @@ class FrameReader:
             if not received:
                 if eof_ok and self._wpos == self._rpos:
                     raise ConnectionError("connection closed")
-                raise ServiceError(
+                raise TransportError(
                     f"connection closed {count - (self._wpos - self._rpos)} bytes "
                     f"into a {count}-byte read"
                 )

@@ -56,17 +56,30 @@ import numpy as np
 from repro._version import __version__
 from repro.errors import EmptySketchError, InvalidParameterError, ReproError, ServiceError
 from repro.service import protocol as wire
+from repro.service.log import RateLimiter, configure_cli_logging
+from repro.service.log import logger as log
 from repro.service.persistence import (
     WAL_INGEST,
     WAL_MERGE,
+    WAL_SEQ_INGEST,
     GroupCommitWal,
     SnapshotStore,
     WriteAheadLog,
+    pack_session_header,
     recover,
+)
+from repro.service.resilience import (
+    ADMIT_DUPLICATE,
+    ADMIT_SHED,
+    OverloadPolicy,
+    SessionTable,
 )
 from repro.service.store import SketchStore
 
 __all__ = ["QuantileService", "QuantileServer", "ServerThread", "run_server", "new_event_loop"]
+
+#: Sentinel: "use the default overload policy" (``None`` disables shedding).
+_DEFAULT_OVERLOAD = object()
 
 
 def new_event_loop(use_uvloop: bool = True) -> asyncio.AbstractEventLoop:
@@ -127,6 +140,7 @@ class QuantileService:
         hot_shards: int = 4,
         fsync: bool = False,
         group_commit: bool = False,
+        max_sessions: int = 4096,
     ) -> None:
         self.data_dir = Path(data_dir) if data_dir is not None else None
         self._applied_seq: Dict[str, int] = {}
@@ -134,6 +148,9 @@ class QuantileService:
         self._seq = 1
         self._last_ticket = None
         self.wal_appends = 0
+        #: Exactly-once dedup state (kept even for in-memory services, so
+        #: retries within one process lifetime never double-count).
+        self.sessions = SessionTable(max_sessions)
         if self.data_dir is None:
             if memory_budget is not None:
                 raise InvalidParameterError(
@@ -172,18 +189,22 @@ class QuantileService:
         )
         if self.wal is not None:
             if self.wal.healed_bytes:
-                import sys
-
-                print(
-                    f"WARNING: truncated {self.wal.healed_bytes} torn bytes from "
-                    f"the WAL tail at {self.wal.path} (crash mid-append); the "
-                    "partially-written final record is gone (never durable; "
-                    "never acknowledged when fsync is on), all earlier records "
+                log.warning(
+                    "healed WAL torn tail: path=%s truncated_bytes=%d — a crash "
+                    "mid-append left a partial final record; it was never durable "
+                    "(never acknowledged when fsync is on), all earlier records "
                     "replay normally",
-                    file=sys.stderr,
+                    self.wal.path,
+                    self.wal.healed_bytes,
                 )
+            self.sessions.load(self.data_dir / "sessions.bin")
             self._seq = recover(
-                self.store, self.wal, self.snapshots, self._applied_seq, self._snap_seq
+                self.store,
+                self.wal,
+                self.snapshots,
+                self._applied_seq,
+                self._snap_seq,
+                self.sessions,
             )
         self.started_at = time.time()
         self.ingested_values = 0
@@ -226,11 +247,15 @@ class QuantileService:
         if isinstance(self.wal, GroupCommitWal):
             self.wal.barrier()
 
-    def ingest(self, key: str, values) -> int:
+    def ingest(self, key: str, values, *, session=None) -> int:
         """Apply one batch to ``key``; returns the key's total ``n``.
 
         Validation happens *before* the WAL append — a rejected batch
-        (NaN, empty) must not poison replay.
+        (NaN, empty) must not poison replay.  ``session`` is an optional
+        ``(session_id, max_frame_seq)`` pair: the batch came through the
+        exactly-once sequenced path and its WAL record must carry the
+        session mark so recovery rebuilds the dedup table (see
+        :class:`~repro.service.resilience.SessionTable`).
         """
         self._check_key(key)
         array = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
@@ -239,12 +264,20 @@ class QuantileService:
         if np.isnan(array).any():
             raise InvalidParameterError("cannot insert NaN: items must form a total order")
         if self.wal is not None:
-            self._wal_append(WAL_INGEST, key, array.astype("<f8", copy=False).tobytes())
+            payload = array.astype("<f8", copy=False).tobytes()
+            if session is not None:
+                self._wal_append(
+                    WAL_SEQ_INGEST, key, pack_session_header(*session) + payload
+                )
+            else:
+                self._wal_append(WAL_INGEST, key, payload)
         n = self.store.update_many(key, array)
         self.ingested_values += array.size
         return n
 
-    def ingest_batches(self, key: str, arrays, *, prevalidated: bool = False) -> int:
+    def ingest_batches(
+        self, key: str, arrays, *, prevalidated: bool = False, session=None
+    ) -> int:
         """Coalesced ingest: several frames' batches, ONE record, ONE apply.
 
         The server's per-tick coalescing funnels every ``INGEST`` frame a
@@ -257,7 +290,11 @@ class QuantileService:
         counts (``n`` grows by exactly each batch's size).
         """
         if len(arrays) == 1:
-            return self.ingest(key, arrays[0])
+            # No kwargs in the common case: embedders (and a couple of
+            # tests) monkeypatch ``ingest`` with plain two-arg callables.
+            if session is None:
+                return self.ingest(key, arrays[0])
+            return self.ingest(key, arrays[0], session=session)
         self._check_key(key)
         array = self.store.stage_concat(arrays)
         if not prevalidated:
@@ -273,10 +310,35 @@ class QuantileService:
         if self.wal is not None:
             # tobytes() owns the bytes — the WAL writer thread must never
             # see the reusable staging scratch this view points into.
-            self._wal_append(WAL_INGEST, key, array.astype("<f8", copy=False).tobytes())
+            payload = array.astype("<f8", copy=False).tobytes()
+            if session is not None:
+                self._wal_append(
+                    WAL_SEQ_INGEST, key, pack_session_header(*session) + payload
+                )
+            else:
+                self._wal_append(WAL_INGEST, key, payload)
         n = self.store.update_many(key, array)
         self.ingested_values += array.size
         return n
+
+    def current_n(self, key: str) -> int:
+        """``key``'s total count right now (``0`` for an unknown key).
+
+        Duplicate sequenced frames are acked with the key's *current* n —
+        the frame is already counted, so "n after this frame" is simply
+        "n now".  Works for spilled keys without reloading them.
+        """
+        try:
+            return int(self.store.key_stats(key)["n"])
+        except (KeyError, ServiceError):
+            return 0
+
+    @property
+    def wal_queue_depth(self) -> int:
+        """Records queued behind the group-commit writer (0 otherwise)."""
+        if isinstance(self.wal, GroupCommitWal):
+            return self.wal.queue_depth
+        return 0
 
     @staticmethod
     def _check_key(key: str) -> None:
@@ -422,6 +484,11 @@ class QuantileService:
             sketch = self.store.peek(key)
             if isinstance(sketch, FastReqSketch):
                 self._reseed_from_epoch(key, sketch)
+        # Persist the session high-water marks BEFORE truncating: the WAL
+        # records that carried them are about to disappear, and a crash
+        # between save and truncate is harmless (replay re-observes the
+        # same marks — max-fold is idempotent).
+        self.sessions.save(self.data_dir / "sessions.bin", fsync=self.wal.fsync)
         self.wal.truncate()
         return written
 
@@ -450,6 +517,7 @@ class QuantileService:
             "wal_healed_bytes": self.wal.healed_bytes if self.wal is not None else 0,
             "wal_appends": self.wal_appends,
             "next_seq": self._seq,
+            "sessions": len(self.sessions),
         }
         if isinstance(self.wal, GroupCommitWal):
             wal_stats = self.wal.stats()
@@ -485,6 +553,9 @@ class _Connection(asyncio.BufferedProtocol):
         "_wpos",
         "_outq",
         "_close_after_flush",
+        "session_id",
+        "_rejected",
+        "_tick_backlog",
     )
 
     #: Initial receive-buffer size; grows to fit the largest frame seen.
@@ -506,13 +577,39 @@ class _Connection(asyncio.BufferedProtocol):
         #: Ordered (ticket, payload) pairs awaiting write.
         self._outq: deque = deque()
         self._close_after_flush = False
+        #: Exactly-once session granted via HELLO (None until negotiated).
+        self.session_id: Optional[str] = None
+        self._rejected = False
+        #: Unparsed bytes at the start of the current tick — the overload
+        #: watermark input (capacity never shrinks, so it is useless here).
+        self._tick_backlog = 0
 
     # -- asyncio.BufferedProtocol hooks --------------------------------
 
     def connection_made(self, transport) -> None:
         self.transport = transport
-        self.server.connections += 1
-        self.server._transports.add(transport)
+        server = self.server
+        if server.draining or (
+            server.max_connections is not None
+            and len(server._transports) >= server.max_connections
+        ):
+            # Refuse at the door with a retryable error so the client's
+            # backoff loop can come back, then close.  The connection is
+            # never registered — it does not count against the limit and
+            # its bytes are ignored.
+            self._rejected = True
+            server.rejected_connections += 1
+            reason = "draining" if server.draining else "connection limit reached"
+            transport.write(
+                wire.encode_frame(
+                    wire.error_body(wire.STATUS_RETRY_LATER, f"{reason}; retry later")
+                )
+            )
+            transport.close()
+            return
+        server.connections += 1
+        server._transports.add(transport)
+        server._conns.add(self)
         sock = transport.get_extra_info("socket")
         if sock is not None:
             try:
@@ -524,6 +621,7 @@ class _Connection(asyncio.BufferedProtocol):
 
     def connection_lost(self, exc) -> None:
         self.server._transports.discard(self.transport)
+        self.server._conns.discard(self)
         self._outq.clear()
 
     def eof_received(self):
@@ -569,8 +667,11 @@ class _Connection(asyncio.BufferedProtocol):
         return memoryview(buf)[self._wpos :]
 
     def buffer_updated(self, nbytes: int) -> None:
+        if self._rejected:
+            return
         try:
             self._wpos += nbytes
+            self._tick_backlog = self._wpos - self._rpos
             buf = self._buf
             frames: List[memoryview] = []
             view = memoryview(buf)
@@ -590,7 +691,7 @@ class _Connection(asyncio.BufferedProtocol):
                 # Dispatch is synchronous: every frame's values are copied
                 # into sketches/WAL payloads before we return, so the
                 # views can be released and the buffer compacted.
-                payload, ticket = self.server._process_frames(frames)
+                payload, ticket = self.server._process_frames(frames, self)
             else:
                 payload, ticket = b"", None
             for frame in frames:
@@ -615,10 +716,7 @@ class _Connection(asyncio.BufferedProtocol):
                 self._close_after_flush = True
                 self._flush_outq()
         except Exception:  # pragma: no cover - never kill the event loop
-            import sys
-            import traceback
-
-            traceback.print_exc(file=sys.stderr)
+            log.exception("unhandled error in connection parse loop; closing connection")
             if self.transport is not None:
                 self.transport.close()
 
@@ -651,12 +749,10 @@ class _Connection(asyncio.BufferedProtocol):
                     # sees a transport error and knows the batch outcome
                     # is indeterminate; recovery replays only what commit-
                     # ted.  Never send an OK ack for a lost record.
-                    import sys
-
-                    print(
-                        f"WAL group commit failed: {ticket.exception()}; "
-                        "dropping connection instead of acking",
-                        file=sys.stderr,
+                    log.error(
+                        "WAL group commit failed: %s; dropping connection "
+                        "instead of acking",
+                        ticket.exception(),
                     )
                     self._outq.clear()
                     if transport is not None:
@@ -679,6 +775,15 @@ class QuantileServer:
         snapshot_interval: Seconds between periodic ``snapshot_all``
             passes (``None`` disables; the ``SNAPSHOT`` opcode and
             graceful stop still checkpoint).
+        max_connections: Cap on concurrently open connections; arrivals
+            past it are refused with ``STATUS_RETRY_LATER`` (``None`` =
+            unlimited).
+        overload: An :class:`~repro.service.resilience.OverloadPolicy`
+            deciding when ingest is shed with ``STATUS_RETRY_LATER``.
+            Defaults to ``OverloadPolicy()``; pass ``None`` to disable
+            shedding entirely.
+        drain_timeout: Default deadline (seconds) for a graceful drain —
+            how long :meth:`stop` waits for in-flight acks to flush.
     """
 
     def __init__(
@@ -688,17 +793,33 @@ class QuantileServer:
         host: str = "127.0.0.1",
         port: int = 7379,
         snapshot_interval: Optional[float] = None,
+        max_connections: Optional[int] = None,
+        overload=_DEFAULT_OVERLOAD,
+        drain_timeout: float = 10.0,
     ) -> None:
         self.service = service
         self.host = host
         self._requested_port = port
         self.port: Optional[int] = None
         self.snapshot_interval = snapshot_interval
+        self.max_connections = max_connections
+        self.overload = OverloadPolicy() if overload is _DEFAULT_OVERLOAD else overload
+        self.drain_timeout = drain_timeout
         self._server: Optional[asyncio.AbstractServer] = None
         self._snapshot_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._transports: set = set()
+        self._conns: set = set()
         self.connections = 0
+        #: True once a graceful drain began: no new connections, all
+        #: ingest shed, reads still answered until the deadline.
+        self.draining = False
+        #: Sequenced ingest frames shed with RETRY_LATER (observability).
+        self.shed_count = 0
+        #: Connections refused at the door (limit reached or draining).
+        self.rejected_connections = 0
+        self._stopped = False
+        self._snapshot_log_limit = RateLimiter(30.0)
         #: Per-opcode frame counts (STATS: observe the pipeline in prod).
         self.op_counts: Dict[str, int] = {}
 
@@ -717,13 +838,26 @@ class QuantileServer:
         async with self._server:
             await self._server.serve_forever()
 
-    async def stop(self, *, snapshot: bool = True) -> None:
+    async def stop(
+        self, *, snapshot: bool = True, drain: bool = False, drain_timeout: Optional[float] = None
+    ) -> None:
         """Stop accepting, drop connections, optionally checkpoint.
 
         ``snapshot=False`` models a crash: durable state is whatever the
         WAL and existing snapshots already hold (the recovery tests lean
         on this).
+
+        ``drain=True`` is the graceful path (SIGTERM): stop accepting,
+        shed new ingest with ``STATUS_RETRY_LATER``, wait up to
+        ``drain_timeout`` for every connection's staged acks to flush
+        (including acks parked behind group-commit tickets), barrier the
+        WAL, then close.  Clients with retry policies fail over cleanly —
+        every ack they hold is durable, everything shed was never applied.
         """
+        if self._stopped:
+            return
+        self._stopped = True
+        self.draining = True
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
             try:
@@ -735,14 +869,31 @@ class QuantileServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if drain:
+            deadline = self._loop.time() + (
+                self.drain_timeout if drain_timeout is None else drain_timeout
+            )
+            while any(conn._outq for conn in self._conns):
+                if self._loop.time() >= deadline:
+                    log.warning(
+                        "drain deadline reached with %d connections still "
+                        "flushing; closing them",
+                        sum(1 for conn in self._conns if conn._outq),
+                    )
+                    break
+                await asyncio.sleep(0.02)
+            try:
+                # Off-loop: the barrier blocks on the WAL writer thread.
+                await self._loop.run_in_executor(None, self.service.wal_barrier)
+            except ServiceError as exc:  # pragma: no cover - poisoned WAL
+                log.error("WAL barrier failed during drain: %s", exc)
         for transport in list(self._transports):
             transport.close()
         self._transports.clear()
+        self._conns.clear()
         self.service.close(snapshot=snapshot)
 
     async def _periodic_snapshots(self) -> None:
-        import sys
-
         while True:
             await asyncio.sleep(self.snapshot_interval)
             try:
@@ -750,8 +901,15 @@ class QuantileServer:
             except Exception as exc:
                 # A transient failure (disk full, permission blip) must not
                 # kill the checkpoint loop for the rest of the process —
-                # the WAL keeps everything durable; report and retry.
-                print(f"periodic snapshot failed (will retry): {exc}", file=sys.stderr)
+                # the WAL keeps everything durable; report (rate-limited:
+                # one line per window, not one per attempt) and retry.
+                emit, suppressed = self._snapshot_log_limit.ready("periodic-snapshot")
+                if emit:
+                    log.warning(
+                        "periodic snapshot failed (will retry): %s%s",
+                        exc,
+                        f" ({suppressed} repeats suppressed)" if suppressed else "",
+                    )
 
     # ------------------------------------------------------------------
     # Batch dispatch: coalescing + commit gating
@@ -761,30 +919,60 @@ class QuantileServer:
         name = wire.OP_NAMES.get(op, f"op_{op:#x}")
         self.op_counts[name] = self.op_counts.get(name, 0) + 1
 
-    def _process_frames(self, frames):
+    def _shedding(self, conn) -> bool:
+        """Shed ingest this tick?  (Reads always pass; see OverloadPolicy.)"""
+        if self.draining:
+            return True
+        if self.overload is None:
+            return False
+        return self.overload.should_shed(
+            wal_queue_depth=self.service.wal_queue_depth,
+            buffer_bytes=conn._tick_backlog,
+        )
+
+    def _process_frames(self, frames, conn):
         """Dispatch one tick's worth of frames; returns ``(payload, ticket)``.
 
         ``payload`` is every response frame, encoded and joined in request
         order; ``ticket`` (or ``None``) is the group-commit ticket the
-        write must wait for.  Consecutive ``INGEST``/``MULTI_INGEST``
-        batches coalesce per key into one WAL record + one ``update_many``
+        write must wait for.  Consecutive ingest batches coalesce per
+        ``(key, session)`` into one WAL record + one ``update_many``
         (per-frame acks reconstructed from cumulative counts); any other
         opcode flushes the pending coalesce first so a connection's own
         request order is always observed.
+
+        Sequenced frames (``SEQ_INGEST``/``SEQ_MULTI_INGEST``) pass the
+        session's dedup gate first: duplicates (replays of frames whose
+        mark is already durable) are acked without being applied, and
+        under overload or drain the frame is shed with ``RETRY_LATER``
+        *before* any mark advances — see ``SessionTable.admit`` for why
+        shedding must also pin a floor.
         """
         service = self.service
+        sessions = service.sessions
         slots: List[Optional[bytes]] = [None] * len(frames)
-        #: key -> list of (values_view, resolve(ok_n_or_error_body)).
-        pending: Dict[str, list] = {}
+        #: (key, sid_or_None) -> list of (values_view, resolve(...)).
+        pending: Dict[tuple, list] = {}
+        #: (key, sid) -> highest frame seq staged for that group.
+        pending_seq: Dict[tuple, int] = {}
         #: frame index -> per-group result list (MULTI_INGEST assembly).
         multi: Dict[int, list] = {}
         appends_before = service.wal_appends
+        shedding = self._shedding(conn)
+        shed_body = None
+        if shedding:
+            reason = "draining" if self.draining else "overloaded"
+            shed_body = wire.error_body(
+                wire.STATUS_RETRY_LATER, f"{reason}; ingest shed, retry later"
+            )
 
         def flush_pending() -> None:
-            for key, entries in pending.items():
+            for group, entries in pending.items():
+                key, sid = group
+                session = None if sid is None else (sid, pending_seq[group])
                 try:
                     n_after = service.ingest_batches(
-                        key, [v for v, _ in entries], prevalidated=True
+                        key, [v for v, _ in entries], prevalidated=True, session=session
                     )
                 except Exception as exc:
                     body = self._error_response(exc)
@@ -796,9 +984,16 @@ class QuantileServer:
                         running += int(values.size)
                         resolve(running)
             pending.clear()
+            pending_seq.clear()
 
-        def stage(key: str, values, resolve) -> None:
-            pending.setdefault(key, []).append((values, resolve))
+        def stage(key: str, sid, values, resolve) -> None:
+            pending.setdefault((key, sid), []).append((values, resolve))
+
+        def stage_seq(key: str, sid: str, seq: int, values, resolve) -> None:
+            group = (key, sid)
+            if seq > pending_seq.get(group, 0):
+                pending_seq[group] = seq
+            pending.setdefault(group, []).append((values, resolve))
 
         for index, frame in enumerate(frames):
             if not len(frame):
@@ -808,6 +1003,10 @@ class QuantileServer:
             op = frame[0]
             self._count_op(op)
             if op == wire.OP_INGEST:
+                if shedding:
+                    slots[index] = shed_body
+                    self.shed_count += 1
+                    continue
                 try:
                     key, offset = wire.unpack_key(frame, 1)
                     values, _ = wire.unpack_values(frame, offset)
@@ -821,8 +1020,12 @@ class QuantileServer:
                         b"\x00" + wire.pack_n(result) if isinstance(result, int) else result
                     )
 
-                stage(key, values, resolve_single)
+                stage(key, None, values, resolve_single)
             elif op == wire.OP_MULTI_INGEST:
+                if shedding:
+                    slots[index] = shed_body
+                    self.shed_count += 1
+                    continue
                 try:
                     groups = wire.unpack_multi_ingest(frame)
                     for g_index, (_key, values) in enumerate(groups):
@@ -839,7 +1042,100 @@ class QuantileServer:
                     def resolve_group(result, results=results, g_index=g_index):
                         results[g_index] = result
 
-                    stage(key, values, resolve_group)
+                    stage(key, None, values, resolve_group)
+            elif op == wire.OP_SEQ_INGEST:
+                try:
+                    seq, offset = wire.unpack_seq(frame, 1)
+                    key, offset = wire.unpack_key(frame, offset)
+                    values, _ = wire.unpack_values(frame, offset)
+                    self._validate_batch(values)
+                    if conn.session_id is None:
+                        raise ServiceError(
+                            "sequenced ingest requires an exactly-once session "
+                            "(send HELLO first)"
+                        )
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+                sid = conn.session_id
+                verdict = sessions.admit(sid, key, seq, shedding=shedding)
+                if verdict is ADMIT_SHED:
+                    self.shed_count += 1
+                    slots[index] = shed_body or wire.error_body(
+                        wire.STATUS_RETRY_LATER, "ingest shed, retry later"
+                    )
+                elif verdict is ADMIT_DUPLICATE:
+                    # Already counted (the mark is durable): ack with the
+                    # key's current n, never re-apply.  This is the
+                    # exactly-once half the WAL cannot give alone.
+                    slots[index] = b"\x00" + wire.pack_n(service.current_n(key))
+                else:
+
+                    def resolve_seq(result, index=index):
+                        slots[index] = (
+                            b"\x00" + wire.pack_n(result) if isinstance(result, int) else result
+                        )
+
+                    stage_seq(key, sid, seq, values, resolve_seq)
+            elif op == wire.OP_SEQ_MULTI_INGEST:
+                try:
+                    seq, offset = wire.unpack_seq(frame, 1)
+                    groups = wire.unpack_multi_ingest(frame, offset)
+                    for g_index, (_key, values) in enumerate(groups):
+                        try:
+                            self._validate_batch(values)
+                        except Exception as exc:
+                            raise ServiceError(
+                                f"SEQ_MULTI_INGEST group {g_index}: {exc}"
+                            ) from exc
+                    if conn.session_id is None:
+                        raise ServiceError(
+                            "sequenced ingest requires an exactly-once session "
+                            "(send HELLO first)"
+                        )
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+                sid = conn.session_id
+                verdicts = {}
+                for key, _values in groups:
+                    if key not in verdicts:
+                        verdicts[key] = sessions.admit(sid, key, seq, shedding=shedding)
+                if any(v is ADMIT_SHED for v in verdicts.values()):
+                    # Shedding is tick-constant and the shed floor is
+                    # per-session, so APPLY+SHED cannot mix in one frame
+                    # (see SessionTable.admit); retrying the whole frame
+                    # is therefore safe and simple.
+                    self.shed_count += 1
+                    slots[index] = shed_body or wire.error_body(
+                        wire.STATUS_RETRY_LATER, "ingest shed, retry later"
+                    )
+                    continue
+                results = multi[index] = [None] * len(groups)
+                for g_index, (key, values) in enumerate(groups):
+                    if verdicts[key] is ADMIT_DUPLICATE:
+                        results[g_index] = service.current_n(key)
+                        continue
+
+                    def resolve_seq_group(result, results=results, g_index=g_index):
+                        results[g_index] = result
+
+                    stage_seq(key, sid, seq, values, resolve_seq_group)
+            elif op == wire.OP_HELLO:
+                flush_pending()
+                try:
+                    flags, sid = wire.unpack_hello(frame)
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+                granted = flags & wire.FLAG_EXACTLY_ONCE
+                if granted:
+                    conn.session_id = sid
+                    high_water = sessions.hello(sid)
+                else:
+                    conn.session_id = None
+                    high_water = 0
+                slots[index] = wire.pack_hello_response(granted, high_water)
             else:
                 flush_pending()
                 slots[index] = self._dispatch(frame)
@@ -938,17 +1234,52 @@ class QuantileServer:
                     stats["connections"] = self.connections
                     stats["open_connections"] = len(self._transports)
                     stats["op_counts"] = dict(self.op_counts)
+                    stats["shed_count"] = self.shed_count
+                    stats["rejected_connections"] = self.rejected_connections
+                    stats["draining"] = self.draining
                 return b"\x00" + wire.pack_blob(json.dumps(stats).encode("utf-8"))
             if op == wire.OP_SNAPSHOT:
                 return b"\x00" + wire._COUNT.pack(self.service.snapshot_all())
             if op == wire.OP_PING:
                 return b"\x00" + wire.pack_blob(__version__.encode("utf-8"))
+            if op == wire.OP_HEALTH:
+                return self._health_response()
             return wire.error_body(wire.STATUS_BAD_REQUEST, f"unknown opcode {op:#x}")
         except Exception as exc:
             # One mapping for every path (shared with the coalescing
             # dispatcher): a failure must answer with an error response,
             # never tear down the connection silently.
             return self._error_response(exc)
+
+    def _health_response(self) -> bytes:
+        """One ``HEALTH`` answer: readiness byte + JSON detail.
+
+        Load balancers branch on the byte (cheap, stable); operators read
+        the blob.  ``OVERLOADED`` reflects the WAL queue only — per-
+        connection parse backlog is a per-peer signal, not server health.
+        """
+        if self.draining:
+            state = wire.HEALTH_DRAINING
+        elif self.overload is not None and self.overload.should_shed(
+            wal_queue_depth=self.service.wal_queue_depth
+        ):
+            state = wire.HEALTH_OVERLOADED
+        else:
+            state = wire.HEALTH_READY
+        detail = {
+            "state": ("ready", "overloaded", "draining")[state],
+            "open_connections": len(self._transports),
+            "max_connections": self.max_connections,
+            "wal_queue_depth": self.service.wal_queue_depth,
+            "shed_count": self.shed_count,
+            "rejected_connections": self.rejected_connections,
+            "sessions": len(self.service.sessions),
+        }
+        return (
+            b"\x00"
+            + bytes([state])
+            + wire.pack_blob(json.dumps(detail).encode("utf-8"))
+        )
 
     def _multi_query(self, body) -> bytes:
         """Answer one ``MULTI_QUERY`` frame (vectorized when uniform).
@@ -1030,10 +1361,19 @@ class ServerThread:
         snapshot_interval: Optional[float] = None,
         start_timeout: float = 10.0,
         use_uvloop: bool = True,
+        max_connections: Optional[int] = None,
+        overload=_DEFAULT_OVERLOAD,
+        drain_timeout: float = 10.0,
     ) -> None:
         self.service = service
         self.server = QuantileServer(
-            service, host=host, port=port, snapshot_interval=snapshot_interval
+            service,
+            host=host,
+            port=port,
+            snapshot_interval=snapshot_interval,
+            max_connections=max_connections,
+            overload=overload,
+            drain_timeout=drain_timeout,
         )
         self.loop = new_event_loop(use_uvloop)
         self._started = threading.Event()
@@ -1062,13 +1402,13 @@ class ServerThread:
     def port(self) -> int:
         return self.server.port
 
-    def stop(self, *, snapshot: bool = True) -> None:
+    def stop(self, *, snapshot: bool = True, drain: bool = False) -> None:
         """Stop the server and its loop (idempotent)."""
         if self._stopped:
             return
         self._stopped = True
         future = asyncio.run_coroutine_threadsafe(
-            self.server.stop(snapshot=snapshot), self.loop
+            self.server.stop(snapshot=snapshot, drain=drain), self.loop
         )
         future.result(timeout=30)
         self.loop.call_soon_threadsafe(self.loop.stop)
@@ -1097,11 +1437,17 @@ def run_server(
     fsync: bool = False,
     group_commit: bool = True,
     use_uvloop: bool = True,
+    max_connections: Optional[int] = None,
+    drain_timeout: float = 10.0,
 ) -> int:
     """Blocking entry point for ``repro-quantiles serve``.
 
-    Runs until interrupted; SIGINT and SIGTERM both trigger a graceful
-    stop with a final checkpoint.  Returns a process exit code.
+    Runs until interrupted.  SIGTERM triggers a graceful **drain**: stop
+    accepting, shed new ingest with ``RETRY_LATER``, flush in-flight acks
+    (up to ``drain_timeout``), barrier the WAL, checkpoint, exit — the
+    orchestrator-rollout path, where clients with retry policies fail
+    over without losing an acknowledged value.  SIGINT stops fast (still
+    with a final checkpoint).  Returns a process exit code.
 
     Durable deployments default to ``group_commit=True`` — WAL writes and
     fsyncs happen off the event loop and acks gate on the covering commit,
@@ -1110,6 +1456,7 @@ def run_server(
     """
     import signal
 
+    configure_cli_logging()
     service = QuantileService(
         data_dir,
         k=k,
@@ -1122,10 +1469,17 @@ def run_server(
         group_commit=group_commit and data_dir is not None,
     )
     server = QuantileServer(
-        service, host=host, port=port, snapshot_interval=snapshot_interval
+        service,
+        host=host,
+        port=port,
+        snapshot_interval=snapshot_interval,
+        max_connections=max_connections,
+        drain_timeout=drain_timeout,
     )
+    drain_requested = False
 
     async def main() -> None:
+        nonlocal drain_requested
         await server.start()
         durable = f"data_dir={data_dir}" if data_dir else "in-memory (no durability)"
         print(
@@ -1138,12 +1492,21 @@ def run_server(
         # this task only needs to sleep until a stop signal arrives.
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
-        for signum in (signal.SIGINT, signal.SIGTERM):
+
+        def request_stop(drain: bool) -> None:
+            nonlocal drain_requested
+            drain_requested = drain
+            stop.set()
+
+        for signum, drain in ((signal.SIGINT, False), (signal.SIGTERM, True)):
             try:
-                loop.add_signal_handler(signum, stop.set)
+                loop.add_signal_handler(signum, request_stop, drain)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass  # non-Unix loop: fall back to KeyboardInterrupt below
         await stop.wait()
+        if drain_requested:
+            log.info("SIGTERM: draining (timeout %.1fs)", drain_timeout)
+        await server.stop(snapshot=True, drain=drain_requested)
 
     loop = new_event_loop(use_uvloop)
     try:

@@ -1,0 +1,403 @@
+"""Chaos harness: exactly-once ingest under deterministic fault injection.
+
+Every test routes a real :class:`QuantileClient` through the
+:class:`FaultProxy` (or kills the server outright) and then checks the
+strongest invariant the workload admits:
+
+* ``window=1`` streams must leave a **bit-identical** sketch payload to a
+  fault-free run — same frames applied once each, in order, so even the
+  compaction RNG walks the same path.
+* Pipelined streams (coalesced server-side, so batch boundaries differ
+  run to run) must satisfy the WAL value-stream invariant: the
+  concatenation of every post-dedup ingest payload in the WAL equals the
+  bytes the client sent, exactly once, in order.
+
+All schedules are seeded or scripted — a failure reproduces byte-for-byte
+with the same seed.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import persistence
+from repro.service.client import QuantileClient
+from repro.service.faultproxy import PASS, FaultProxy, ScriptedFaults, SeededFaults
+from repro.service.resilience import RetryPolicy
+from repro.service.server import QuantileService, ServerThread
+
+pytestmark = pytest.mark.chaos
+
+KEY = "chaos"
+
+
+def _values(count, seed=9):
+    # A fixed, irregular stream; values distinct so duplicates would move
+    # rank estimates (a dup of 0.0 into a stream of 0.0s proves nothing).
+    state = seed
+    out = []
+    for _ in range(count):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        out.append(state / float(1 << 64))
+    return out
+
+
+def _policy(seed, **overrides):
+    base = dict(
+        timeout=10.0,
+        retries=12,
+        backoff=0.01,
+        backoff_max=0.1,
+        jitter=0.25,
+        budget=500,
+        seed=seed,
+    )
+    base.update(overrides)
+    return RetryPolicy(**base)
+
+
+def _wal_value_bytes(wal_path, key):
+    """Concatenate the raw f64 payload of every ingest record for ``key``."""
+    chunks = []
+    wal = persistence.WriteAheadLog(wal_path)
+    try:
+        for record in wal.replay():
+            if record.key != key:
+                continue
+            if record.op == persistence.WAL_SEQ_INGEST:
+                _sid, _seq, offset = persistence.unpack_session_header(record.payload)
+                chunks.append(record.payload[offset:])
+            elif record.op == persistence.WAL_INGEST:
+                chunks.append(record.payload)
+    finally:
+        wal._file.close()
+    return b"".join(bytes(c) for c in chunks)
+
+
+# ----------------------------------------------------------------------
+# Scripted single-fault matrix: one fault on the first ingest frame.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "action",
+    [
+        ("delay", 0.005),
+        ("split", 3),
+        "sever",
+        "sever_after",
+        ("truncate", 5),
+        "dup",
+    ],
+    ids=["delay", "split", "sever", "sever_after", "truncate", "dup"],
+)
+def test_single_fault_counts_once(action):
+    """Each fault mode on the first ingest frame: n lands exactly right.
+
+    ``sever_after`` and ``dup`` are THE exactly-once scenarios — the
+    server applies the frame but the client never sees the ack (or sees
+    the bytes again), and the replay must be acked without re-counting.
+    """
+    values = _values(1_000)
+    service = QuantileService(None)
+    with ServerThread(service) as running:
+        # Frame 0 is HELLO; the fault lands on the ingest frame.
+        with FaultProxy(running.port, schedule=ScriptedFaults({1: action})) as proxy:
+            client = QuantileClient(port=proxy.port, retry=_policy(seed=101))
+            assert client.exactly_once
+            client.ingest(KEY, values)
+            assert client.stats(KEY)["n"] == len(values)
+            client.close()
+        assert int(service.store.key_stats(KEY)["n"]) == len(values)
+
+
+# ----------------------------------------------------------------------
+# Seeded storms, window=1: bit-exact against a fault-free run.
+# ----------------------------------------------------------------------
+
+
+def _run_stream(port, values, *, window, seed):
+    client = QuantileClient(port=port, retry=_policy(seed=seed))
+    assert client.exactly_once
+    try:
+        return client.ingest_stream(KEY, values, frame_values=256, window=window)
+    finally:
+        client.close()
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_seeded_storm_window1_bit_exact(seed):
+    """A seeded fault storm over a window=1 stream leaves the sketch
+    byte-identical to a clean run: same frames, applied once, in order."""
+    values = _values(4_000)
+
+    clean = QuantileService(None)
+    with ServerThread(clean) as running:
+        n_clean = _run_stream(running.port, values, window=1, seed=seed)
+        clean_payload = clean.store.payload(KEY)
+    assert n_clean == len(values)
+
+    chaotic = QuantileService(None)
+    with ServerThread(chaotic) as running:
+        schedule = SeededFaults(
+            seed,
+            delay_rate=0.10,
+            split_rate=0.15,
+            sever_rate=0.05,
+            sever_after_rate=0.08,
+            truncate_rate=0.05,
+            dup_rate=0.05,
+            delay=0.001,
+        )
+        with FaultProxy(running.port, schedule=schedule) as proxy:
+            n_chaos = _run_stream(proxy.port, values, window=1, seed=seed)
+            assert proxy.frames_seen > len(values) // 256  # replays happened
+        chaos_payload = chaotic.store.payload(KEY)
+
+    assert n_chaos == len(values)
+    assert chaos_payload == clean_payload
+
+
+# ----------------------------------------------------------------------
+# Seeded storms, pipelined: the WAL value-stream invariant.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [5, 31])
+def test_seeded_storm_pipelined_wal_stream(tmp_path, seed):
+    """Pipelined (window=8) under a storm: every value the client sent
+    appears in the WAL exactly once, in order, and nothing else does."""
+    values = _values(12_000)
+    service = QuantileService(str(tmp_path))
+    running = ServerThread(service, snapshot_interval=None)
+    try:
+        schedule = SeededFaults(
+            seed,
+            delay_rate=0.05,
+            split_rate=0.10,
+            sever_rate=0.04,
+            sever_after_rate=0.06,
+            truncate_rate=0.04,
+            dup_rate=0.04,
+            delay=0.001,
+        )
+        with FaultProxy(running.port, schedule=schedule) as proxy:
+            assert _run_stream(proxy.port, values, window=8, seed=seed) == len(values)
+    finally:
+        running.stop(snapshot=False)  # crash-style: leave the WAL untruncated
+
+    assert _wal_value_bytes(tmp_path / "wal.log", KEY) == struct.pack(
+        f"<{len(values)}d", *values
+    )
+
+    # And a cold recovery agrees on the count.
+    recovered = QuantileService(str(tmp_path))
+    assert int(recovered.store.key_stats(KEY)["n"]) == len(values)
+
+
+# ----------------------------------------------------------------------
+# Kill the server under load; restart; the stream completes exactly-once.
+# ----------------------------------------------------------------------
+
+
+class _Throttle:
+    """Delay every frame so the kill reliably lands mid-stream."""
+
+    def action(self, frame_index):
+        return ("delay", 0.004)
+
+
+def test_kill_server_under_load(tmp_path):
+    """Crash the server mid-stream and restart it on the same port: the
+    client rides its retry policy through the outage and every acked
+    value is counted exactly once (proved at the WAL byte level)."""
+    values = _values(30_000)
+    first = QuantileService(str(tmp_path))
+    running = ServerThread(first, snapshot_interval=None)
+    port = running.port
+    restarted = []
+    failures = []
+
+    with FaultProxy(port, schedule=_Throttle()) as proxy:
+
+        def kill_and_restart():
+            try:
+                deadline = time.monotonic() + 10
+                while proxy.frames_seen < 8 and time.monotonic() < deadline:
+                    time.sleep(0.002)
+                running.stop(snapshot=False)  # crash: no goodbye snapshot
+                second = QuantileService(str(tmp_path))
+                restarted.append(ServerThread(second, port=port, snapshot_interval=None))
+            except BaseException as exc:  # surface in the main thread
+                failures.append(exc)
+
+        killer = threading.Thread(target=kill_and_restart)
+        killer.start()
+        try:
+            n_final = _run_stream(
+                proxy.port, values, window=4, seed=77
+            )
+        finally:
+            killer.join(timeout=30)
+    assert not failures, failures
+    assert restarted, "server was never restarted"
+    assert n_final == len(values)
+    restarted[0].stop(snapshot=False)
+
+    assert _wal_value_bytes(tmp_path / "wal.log", KEY) == struct.pack(
+        f"<{len(values)}d", *values
+    )
+
+
+# ----------------------------------------------------------------------
+# Torn WAL tail + retry replay (the per-key high-water-mark property).
+# ----------------------------------------------------------------------
+
+
+class _GateSchedule:
+    """sever_after the second ingest frame, then sever everything until
+    the test opens the gate (so the replay cannot land on the old server)."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+
+    def action(self, frame_index):
+        if frame_index == 2:
+            return "sever_after"
+        if frame_index > 2 and not self.gate.is_set():
+            return "sever"
+        return PASS
+
+
+def test_torn_wal_tail_heals_and_replay_applies(tmp_path):
+    """A crash tears the WAL record of an applied-but-unacked frame; the
+    restarted server heals the tail, forgets that frame's session mark,
+    and the client's replay is *applied* (not deduped) — acked values
+    survive, unacked ones are never silently lost."""
+    batch_a = _values(500, seed=1)
+    batch_b = _values(700, seed=2)
+    service = QuantileService(str(tmp_path))
+    running = ServerThread(service, snapshot_interval=None)
+    schedule = _GateSchedule()
+    outcome = {}
+
+    with FaultProxy(running.port, schedule=schedule) as proxy:
+        client = QuantileClient(
+            port=proxy.port,
+            retry=_policy(seed=3, retries=40, backoff=0.02, backoff_max=0.2, budget=2000),
+        )
+        assert client.exactly_once
+        client.ingest(KEY, batch_a)  # frame 1: acked normally
+
+        def ingest_b():
+            try:
+                client.ingest(KEY, batch_b)  # frame 2: applied, never acked
+                outcome["n"] = client.stats(KEY)["n"]
+            except BaseException as exc:
+                outcome["error"] = exc
+
+        worker = threading.Thread(target=ingest_b)
+        worker.start()
+
+        # Wait until the old server has applied the unacked frame.  Poll
+        # the counter (a plain int) rather than key_stats, which settles
+        # staged values and must stay on the loop thread.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if service.ingested_values >= len(batch_a) + len(batch_b):
+                break
+            time.sleep(0.005)
+        running.stop(snapshot=False)
+
+        # Tear the WAL tail: drop the last record (the one carrying the
+        # unacked frame) and leave a half-written record in its place.
+        wal_path = tmp_path / "wal.log"
+        ends = []
+        with open(wal_path, "rb") as handle:
+            for _record, end in persistence.WriteAheadLog._records(handle, strict=False):
+                ends.append(end)
+        assert len(ends) >= 2
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(ends[-2])
+            handle.seek(ends[-2])
+            handle.write(struct.pack("<II", 1000, 0) + b"torn!")
+
+        second = QuantileService(str(tmp_path))
+        assert second.wal.healed_bytes > 0  # the torn tail was trimmed
+        # The torn record is gone: only batch_a survived recovery.
+        assert int(second.store.key_stats(KEY)["n"]) == len(batch_a)
+
+        restarted = ServerThread(second, port=running.port, snapshot_interval=None)
+        try:
+            schedule.gate.set()  # let the client's replay through
+            worker.join(timeout=30)
+            assert "error" not in outcome, outcome.get("error")
+            # The replay was applied, not deduped: both batches counted once.
+            assert outcome["n"] == len(batch_a) + len(batch_b)
+            client.close()
+        finally:
+            restarted.stop()
+
+
+# ----------------------------------------------------------------------
+# Overload shed + retry: the stream completes once the pressure lifts.
+# ----------------------------------------------------------------------
+
+
+class _ShedFirst:
+    """An overload policy that sheds the first ``count`` evaluations.
+
+    Duck-types :class:`OverloadPolicy` — deterministic pressure that
+    lifts on its own, so the test exercises the full shed → rewind →
+    back off → replay → apply cycle without racing real queue depths.
+    """
+
+    def __init__(self, count):
+        self.left = count
+
+    def should_shed(self, *, wal_queue_depth, buffer_bytes=0):
+        if self.left > 0:
+            self.left -= 1
+            return True
+        return False
+
+
+def test_shed_then_recover_counts_once(tmp_path):
+    """RETRY_LATER acks rewind and back off; once the server stops
+    shedding, the replayed frames are applied (or deduped) exactly once."""
+    values = _values(6_000)
+    service = QuantileService(str(tmp_path))
+    running = ServerThread(
+        service, snapshot_interval=None, overload=_ShedFirst(3)
+    )
+    try:
+        client = QuantileClient(
+            port=running.port,
+            retry=_policy(seed=13, retries=30, budget=2000),
+        )
+        assert client.exactly_once
+        n = client.ingest_stream(KEY, values, frame_values=512, window=8)
+        client.close()
+        assert running.server.shed_count > 0
+    finally:
+        running.stop(snapshot=False)
+    assert n == len(values)
+    assert _wal_value_bytes(tmp_path / "wal.log", KEY) == struct.pack(
+        f"<{len(values)}d", *values
+    )
+
+
+def test_scripted_schedule_is_deterministic():
+    """The same seed draws the same action sequence, independent of what
+    fired (two RNG draws per frame, always)."""
+    one = SeededFaults(99)
+    two = SeededFaults(99)
+    assert [one.action(i) for i in range(200)] == [two.action(i) for i in range(200)]
+    # first_faultable frames pass but still consume draws.
+    shifted = SeededFaults(99, first_faultable=50)
+    assert [shifted.action(i) for i in range(50)] == [PASS] * 50

@@ -43,3 +43,5 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "bench: benchmark-tooling smoke test (tiny workloads)"
     )
+    # The `chaos` marker is registered in pytest.ini next to the
+    # chaos-smoke CI job that selects it.

@@ -1,0 +1,324 @@
+"""Unit tests for the resilience plane: retry policy, session table,
+overload policy, and the server-side behaviors they drive (shedding,
+connection limits, drain, HEALTH)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    InvalidParameterError,
+    RetryBudgetExceededError,
+    ServiceError,
+    TransportError,
+)
+from repro.service import protocol as wire
+from repro.service.client import AsyncQuantileClient, QuantileClient
+from repro.service.faultproxy import FaultProxy, ScriptedFaults
+from repro.service.resilience import (
+    ADMIT_APPLY,
+    ADMIT_DUPLICATE,
+    ADMIT_SHED,
+    OverloadPolicy,
+    RetryPolicy,
+    SessionTable,
+)
+from repro.service.server import QuantileService, ServerThread
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / RetryState
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(budget=0)
+        with pytest.raises(InvalidParameterError):
+            RetryPolicy(backoff=-0.1)
+
+    def test_delay_doubles_and_caps(self):
+        state = RetryPolicy(backoff=0.1, backoff_max=0.5, jitter=0.0).start()
+        assert [state.delay(a) for a in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(backoff=0.2, backoff_max=1.0, jitter=0.5, seed=42)
+        one, two = policy.start(), policy.start()
+        for attempt in range(8):
+            delay = one.delay(attempt)
+            base = min(0.2 * 2**attempt, 1.0)
+            assert base * 0.5 <= delay <= base
+            assert delay == two.delay(attempt)  # same seed, same schedule
+
+    def test_budget_exhaustion_raises(self):
+        state = RetryPolicy(budget=3).start()
+        for _ in range(3):
+            state.spend()
+        with pytest.raises(RetryBudgetExceededError):
+            state.spend()
+
+    def test_budget_error_is_service_error(self):
+        assert issubclass(RetryBudgetExceededError, ServiceError)
+
+    def test_transport_error_is_both(self):
+        # except-clause compatibility: callers catching either hierarchy
+        # must see a dropped connection.
+        assert issubclass(TransportError, ServiceError)
+        assert issubclass(TransportError, ConnectionError)
+
+
+# ----------------------------------------------------------------------
+# SessionTable
+# ----------------------------------------------------------------------
+
+
+class TestSessionTable:
+    def test_hello_and_apply_advance(self):
+        table = SessionTable()
+        assert table.hello("s") == 0
+        assert table.admit("s", "k", 1) == ADMIT_APPLY
+        assert table.admit("s", "k", 2) == ADMIT_APPLY
+        assert table.high_water("s", "k") == 2
+        assert table.hello("s") == 2
+
+    def test_duplicates_not_applied(self):
+        table = SessionTable()
+        table.admit("s", "k", 1)
+        table.admit("s", "k", 2)
+        assert table.admit("s", "k", 1) == ADMIT_DUPLICATE
+        assert table.admit("s", "k", 2) == ADMIT_DUPLICATE
+        assert table.high_water("s", "k") == 2
+
+    def test_marks_are_per_key(self):
+        table = SessionTable()
+        table.admit("s", "a", 5)
+        assert table.high_water("s", "b") == 0
+        assert table.admit("s", "b", 1) == ADMIT_APPLY
+
+    def test_sessions_are_independent(self):
+        table = SessionTable()
+        table.admit("one", "k", 7)
+        assert table.admit("two", "k", 1) == ADMIT_APPLY
+
+    def test_shed_floor_blocks_later_sequences(self):
+        """Once seq 5 is shed, seq 6+ is shed even after pressure lifts —
+        otherwise 6 would advance the mark and 5's retry would be
+        wrongly deduplicated (an acked-but-never-counted frame)."""
+        table = SessionTable()
+        assert table.admit("s", "k", 5, shedding=True) == ADMIT_SHED
+        assert table.admit("s", "k", 6) == ADMIT_SHED  # not shedding anymore
+        # The rewound retry of 5 itself applies and lifts the floor.
+        assert table.admit("s", "k", 5) == ADMIT_APPLY
+        assert table.admit("s", "k", 6) == ADMIT_APPLY
+
+    def test_shed_floor_cleared_by_duplicate_replay(self):
+        """A replay at-or-under the floor that is already applied means
+        the client rewound: dedup it, then let fresh frames flow."""
+        table = SessionTable()
+        table.admit("s", "k", 1)
+        assert table.admit("s", "k", 2, shedding=True) == ADMIT_SHED
+        assert table.admit("s", "k", 1) == ADMIT_DUPLICATE  # the rewind
+        assert table.admit("s", "k", 2) == ADMIT_APPLY
+
+    def test_shed_floor_is_minimum(self):
+        table = SessionTable()
+        table.admit("s", "k", 4, shedding=True)
+        table.admit("s", "j", 2, shedding=True)
+        # Floor is min(4, 2): even key k's 4 stays shed until 2 returns.
+        assert table.admit("s", "k", 4) == ADMIT_SHED
+        assert table.admit("s", "j", 2) == ADMIT_APPLY
+        assert table.admit("s", "k", 4) == ADMIT_APPLY
+
+    def test_observe_folds_max(self):
+        table = SessionTable()
+        table.observe("s", "k", 5)
+        table.observe("s", "k", 3)  # out-of-order recovery records
+        assert table.high_water("s", "k") == 5
+
+    def test_roundtrip_bytes(self):
+        table = SessionTable()
+        table.admit("alpha", "k1", 3)
+        table.admit("alpha", "k2", 9)
+        table.admit("beta", "k1", 1)
+        other = SessionTable()
+        other.load_bytes(table.to_bytes())
+        assert other.high_water("alpha", "k2") == 9
+        assert other.high_water("beta", "k1") == 1
+        assert len(other) == 2
+
+    def test_corrupt_bytes_rejected(self):
+        table = SessionTable()
+        table.admit("s", "k", 1)
+        blob = table.to_bytes()
+        with pytest.raises(ServiceError):
+            SessionTable().load_bytes(b"XXXX" + blob[4:])
+        flipped = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        with pytest.raises(ServiceError):
+            SessionTable().load_bytes(flipped)
+
+    def test_save_and_load_file(self, tmp_path):
+        path = tmp_path / "sessions.bin"
+        table = SessionTable()
+        table.admit("s", "k", 42)
+        table.save(path)
+        fresh = SessionTable()
+        assert fresh.load(path) is True
+        assert fresh.high_water("s", "k") == 42
+        assert SessionTable().load(tmp_path / "missing.bin") is False
+
+    def test_lru_eviction(self):
+        table = SessionTable(max_sessions=2)
+        table.admit("a", "k", 1)
+        table.admit("b", "k", 1)
+        table.admit("c", "k", 1)  # evicts "a"
+        assert table.evicted == 1
+        assert len(table) == 2
+        # An evicted session returns as brand new (marks forgotten).
+        assert table.hello("a") == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SessionTable(max_sessions=0)
+
+
+# ----------------------------------------------------------------------
+# OverloadPolicy
+# ----------------------------------------------------------------------
+
+
+class TestOverloadPolicy:
+    def test_thresholds(self):
+        policy = OverloadPolicy(max_wal_queue=10, max_buffer_bytes=100)
+        assert not policy.should_shed(wal_queue_depth=9, buffer_bytes=99)
+        assert policy.should_shed(wal_queue_depth=10, buffer_bytes=0)
+        assert policy.should_shed(wal_queue_depth=0, buffer_bytes=100)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            OverloadPolicy(max_wal_queue=0)
+        with pytest.raises(InvalidParameterError):
+            OverloadPolicy(max_buffer_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# Server-side behaviors
+# ----------------------------------------------------------------------
+
+
+class _AlwaysShed:
+    def should_shed(self, *, wal_queue_depth, buffer_bytes=0):
+        return True
+
+
+class TestServerResilience:
+    def test_health_on_idle_server(self):
+        service = QuantileService(None)
+        with ServerThread(service) as running:
+            with QuantileClient(port=running.port) as client:
+                detail = client.health()
+        assert detail["state"] == "ready"
+        assert detail["wal_queue_depth"] == 0
+        assert detail["open_connections"] >= 1
+        assert "shed_count" in detail and "sessions" in detail
+
+    def test_overload_sheds_writes_not_reads(self):
+        """An overloaded server refuses ingest with RETRY_LATER but keeps
+        answering reads — degrade to read-only, don't fall over."""
+        service = QuantileService(None)
+        service.ingest("k", [1.0, 2.0, 3.0])
+        with ServerThread(service, overload=_AlwaysShed()) as running:
+            with QuantileClient(port=running.port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.ingest("k", [4.0])
+                assert excinfo.value.status == wire.STATUS_RETRY_LATER
+                # Reads still flow.
+                assert client.stats("k")["n"] == 3
+                assert client.query("k", [0.5])
+            assert running.server.shed_count > 0
+            assert running.server._health_response()  # never raises
+        assert int(service.store.key_stats("k")["n"]) == 3
+
+    def test_max_connections_rejects_with_retry_later(self):
+        service = QuantileService(None)
+        with ServerThread(service, max_connections=1) as running:
+            first = QuantileClient(port=running.port)
+            assert first.ping()
+            second = QuantileClient(port=running.port)
+            with pytest.raises(ServiceError) as excinfo:
+                second.ping()
+            assert excinfo.value.status == wire.STATUS_RETRY_LATER
+            second.close()
+            first.close()
+            assert running.server.rejected_connections == 1
+            # The slot freed: a new client is admitted.
+            with QuantileClient(port=running.port) as third:
+                assert third.ping()
+
+    def test_graceful_drain_persists_and_is_idempotent(self, tmp_path):
+        service = QuantileService(str(tmp_path))
+        running = ServerThread(service)
+        with QuantileClient(port=running.port) as client:
+            client.ingest("k", [float(i) for i in range(100)])
+        running.stop(snapshot=True, drain=True)
+        running.stop()  # second stop is a no-op
+        recovered = QuantileService(str(tmp_path))
+        assert int(recovered.store.key_stats("k")["n"]) == 100
+
+    def test_hello_resumes_high_water(self, tmp_path):
+        """A client that reconnects with the same session id is told the
+        server's high-water mark and never reuses those sequences."""
+        service = QuantileService(str(tmp_path))
+        with ServerThread(service) as running:
+            policy = RetryPolicy(seed=7)
+            one = QuantileClient(port=running.port, retry=policy, session="fixed-sid")
+            assert one.exactly_once
+            one.ingest("k", [1.0, 2.0])
+            one.close()
+            two = QuantileClient(port=running.port, retry=policy, session="fixed-sid")
+            assert two.exactly_once
+            assert two._next_seq >= 2  # resumed past the applied frame
+            assert two.ingest("k", [3.0]) == 3
+            two.close()
+
+    def test_async_exactly_once_sever_after(self):
+        """The async client's reconnect-and-replay: an applied-but-unacked
+        frame is replayed and deduplicated, never double-counted."""
+        service = QuantileService(None)
+        values = [float(i) for i in range(800)]
+
+        async def scenario(port):
+            client = AsyncQuantileClient(
+                port=port,
+                retry=RetryPolicy(retries=10, backoff=0.01, backoff_max=0.1, seed=6),
+            )
+            await client.connect()
+            assert client.exactly_once
+            try:
+                await client.ingest("k", values)
+                return (await client.stats("k"))["n"]
+            finally:
+                await client.close()
+
+        with ServerThread(service) as running:
+            with FaultProxy(
+                running.port, schedule=ScriptedFaults({1: "sever_after"})
+            ) as proxy:
+                n = asyncio.run(scenario(proxy.port))
+        assert n == len(values)
+        assert int(service.store.key_stats("k")["n"]) == len(values)
+
+    def test_plain_client_unaffected(self):
+        """No retry policy, no session: the legacy wire behavior, against
+        a server with every resilience feature enabled."""
+        service = QuantileService(None)
+        with ServerThread(service, max_connections=64) as running:
+            with QuantileClient(port=running.port) as client:
+                assert client.ingest("k", [1.0, 2.0]) == 2
+                assert not client.exactly_once
