@@ -9,9 +9,12 @@ Subcommands::
     repro-quantiles sketch FILE --shards 8     # ... through the sharded plane
     repro-quantiles bounds --eps 0.01 --n 1e9  # print the space-bound table
     repro-quantiles serve --data-dir ./qdata   # run the quantile service
+    repro-quantiles serve --node-id a          # ... as a named cluster node
     repro-quantiles query KEY --q 0.5 0.99     # query a running service
     repro-quantiles query K1 K2 --rank 1.5     # ranks, many keys, one frame
     repro-quantiles ingest KEY FILE            # stream a numbers file in
+    repro-quantiles cluster-status ring.json   # per-node health of a cluster
+    repro-quantiles cluster-status ring.json --key lat --repair
     repro-quantiles version                    # print the package version
 
 (Installed as ``repro-quantiles``; also runnable as ``python -m repro.cli``.)
@@ -164,6 +167,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a SIGTERM graceful drain waits for in-flight acks "
         "to flush before closing connections",
     )
+    serve_parser.add_argument(
+        "--node-id",
+        default=None,
+        help="this node's identity in a cluster topology; echoed in the "
+        "READY line, HEALTH and STATS so operators and the cluster "
+        "client can tell replicas apart",
+    )
+
+    status_parser = sub.add_parser(
+        "cluster-status",
+        help="per-node health and per-key replica agreement of a cluster",
+    )
+    status_parser.add_argument(
+        "topology", help="cluster topology JSON file (see repro.cluster.ClusterMap)"
+    )
+    status_parser.add_argument(
+        "--key",
+        action="append",
+        default=None,
+        metavar="KEY",
+        help="also report per-replica n for this key (repeatable); "
+        "disagreement means a replica needs repair",
+    )
+    status_parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="run an anti-entropy repair pass over the given --key keys",
+    )
+    status_parser.add_argument("--timeout", type=float, default=3.0)
 
     query_parser = sub.add_parser("query", help="query a running quantile service")
     query_parser.add_argument(
@@ -377,7 +409,62 @@ def _cmd_serve(args) -> int:
         use_uvloop=not args.no_uvloop,
         max_connections=args.max_connections,
         drain_timeout=args.drain_timeout,
+        node_id=args.node_id,
     )
+
+
+def _cmd_cluster_status(args) -> int:
+    from repro.cluster import ClusterClient, ClusterMap, repair
+    from repro.service import RetryPolicy
+
+    cluster_map = ClusterMap.load(args.topology)
+    retry = RetryPolicy(timeout=args.timeout, retries=1)
+    exit_code = 0
+    with ClusterClient(cluster_map, retry=retry) as client:
+        table = Table(
+            f"cluster topology v{cluster_map.version} "
+            f"(R={cluster_map.replication}, vnodes={cluster_map.vnodes})",
+            ["node", "address", "state", "connections", "wal_queue", "sessions"],
+        )
+        for node_id, detail in client.health().items():
+            node = cluster_map.node(node_id)
+            if detail is None:
+                table.add_row(node_id, node.address, "DOWN", "-", "-", "-")
+                exit_code = 2
+                continue
+            table.add_row(
+                node_id,
+                node.address,
+                detail.get("state", "?"),
+                detail.get("open_connections", "?"),
+                detail.get("wal_queue_depth", "?"),
+                detail.get("sessions", "?"),
+            )
+        table.print()
+        for key in args.key or []:
+            counts = client.key_counts(key)
+            agree = len({n for n in counts.values() if n is not None}) <= 1
+            placement = ", ".join(
+                f"{node_id}={'unreachable' if n is None else n}"
+                for node_id, n in counts.items()
+            )
+            verdict = "consistent" if agree else "DIVERGED"
+            print(f"key {key!r}: {placement} — {verdict}")
+            if not agree:
+                exit_code = 2
+        if args.repair:
+            if not args.key:
+                print("error: --repair needs at least one --key", file=sys.stderr)
+                return 2
+            report = repair(client, args.key)
+            print(
+                f"repair: examined={report.examined} consistent={report.consistent} "
+                f"healed={report.healed} unhealed={report.unhealed} "
+                f"skipped_down={report.skipped_down}"
+            )
+            if report.clean:
+                exit_code = 0
+    return exit_code
 
 
 def _cmd_query(args) -> int:
@@ -458,6 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_query(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "cluster-status":
+            return _cmd_cluster_status(args)
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":

@@ -1,0 +1,750 @@
+"""Cluster-aware clients: replicated writes, failover reads, handoff.
+
+:class:`ClusterClient` (sync) and :class:`AsyncClusterClient` front a
+fleet of quantile-service nodes through a :class:`~repro.cluster.ring.ClusterMap`:
+
+* **Writes fan out to every replica** of the key (R distinct nodes on
+  the ring).  Each node gets its own :class:`~repro.service.QuantileClient`
+  with its own exactly-once session — per-replica sessions, because the
+  server's dedup marks are per ``(session, key)`` and two replicas must
+  never share a sequence-number space.  A write is acknowledged once at
+  least one replica applied it durably (W=1: availability first; the
+  paper's mergeability theorem means a lagging replica is *repairable*,
+  not wrong).
+* **A down replica gets hinted handoff.**  The exact encoded
+  ``SEQ_INGEST`` body — session sequence number included — is buffered
+  in a bounded :class:`~repro.cluster.handoff.HintQueue` and replayed
+  verbatim when the node returns.  Replaying the identical frame through
+  the identical session is what makes recovery exact: frames the
+  replica applied before crashing are deduplicated by its high-water
+  marks, frames it missed apply now, and the replica converges to the
+  same per-key ``n`` as its peers.
+* **Reads fail over.**  A read tries the key's replicas in ring order
+  and moves to the next on timeout, transport failure, retry-budget
+  exhaustion, ``RETRY_LATER`` (shedding/draining), or ``UNKNOWN_KEY``
+  (a replica that missed the key entirely) — any single replica can
+  answer, with the single-sketch error bound.
+* **Down nodes are probed**, not hammered: after a failure the node is
+  skipped until ``probe_interval`` elapses; the next operation touching
+  it attempts one reconnect, replays pending hints first (ordering:
+  hints carry older sequence numbers, and the server's high-water dedup
+  requires per-key sequence order), then resumes live traffic.
+
+The clients are single-operator objects (one thread / one task); they
+hold one socket per node and no locks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.handoff import DEFAULT_MAX_HINTS, DEFAULT_MAX_VALUES, Hint, HintQueue
+from repro.cluster.ring import ClusterMap, ClusterNode
+from repro.errors import ClusterError, RetryBudgetExceededError, ServiceError
+from repro.service import protocol as wire
+from repro.service.client import AsyncQuantileClient, QuantileClient, QueryResult, _new_session_id
+from repro.service.resilience import RetryPolicy
+
+__all__ = ["ClusterClient", "AsyncClusterClient"]
+
+#: Failures that mean "this replica, this instant" — absorbed by
+#: failover/handoff rather than surfaced (everything else is a real
+#: error: bad request, incompatible merge, unknown key on writes, ...).
+_REPLICA_ERRORS = (ConnectionError, OSError, RetryBudgetExceededError)
+
+
+def _is_failover_status(exc: ServiceError) -> bool:
+    return getattr(exc, "status", None) == wire.STATUS_RETRY_LATER
+
+
+class _Replica:
+    """One node as seen by a cluster client: connection + handoff state.
+
+    The exactly-once session belongs to the *replica slot*, not to any
+    one connection: ``session_id`` is fixed for the client's lifetime
+    and ``next_seq`` mirrors the highest sequence number ever reserved,
+    so sequence numbers stay unique and monotonic across node restarts,
+    reconnects, and offline periods (hints reserve their sequence
+    numbers while the node is down).
+    """
+
+    __slots__ = ("node", "client", "session_id", "next_seq", "down_since", "next_probe", "hints", "failures", "acked")
+
+    def __init__(self, node: ClusterNode, *, max_hints: int, max_values: int) -> None:
+        self.node = node
+        self.client = None
+        self.session_id = _new_session_id()
+        self.next_seq = 1
+        self.down_since: Optional[float] = None
+        self.next_probe = 0.0
+        self.hints = HintQueue(max_hints=max_hints, max_values=max_values)
+        self.failures = 0
+        #: Whether this node ever durably acknowledged a sequenced frame
+        #: of this session — the amnesia detector's memory: if it did,
+        #: and a reconnect HELLO later reports a zero high-water mark,
+        #: the node lost committed state (disk wipe), not just uptime.
+        self.acked = False
+
+    def note_amnesia(self) -> int:
+        """Handle a reconnect that found the node with no memory of this
+        session.  Returns the number of hints abandoned (0 = replay is
+        still the exact path).
+
+        Replay converges the node only when the queue holds the node's
+        *entire* history for this session — i.e. it never acked anything
+        (it was down from the first frame) and nothing was dropped.  In
+        every other amnesia case (it acked then lost disk, or the queue
+        overflowed) the buffered suffix would build a partial replica
+        that exact repair cannot merge into, so the hints are abandoned
+        and the anti-entropy pass copies the authority instead.
+        """
+        if not self.acked and self.hints.complete:
+            return 0
+        return self.hints.abandon()
+
+    @property
+    def live(self) -> bool:
+        return self.client is not None
+
+    def reserve_seq(self) -> int:
+        """The next session sequence number (client counter authoritative
+        while connected; the mirror keeps counting while down)."""
+        if self.client is not None:
+            seq = self.client._reserve_seq()
+            self.next_seq = max(self.next_seq, seq + 1)
+            return seq
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def sync_seq_from_client(self) -> None:
+        if self.client is not None:
+            self.next_seq = max(self.next_seq, self.client._next_seq)
+
+    def stats(self) -> dict:
+        return {
+            "node_id": self.node.node_id,
+            "address": self.node.address,
+            "live": self.live,
+            "down_since": self.down_since,
+            "failures": self.failures,
+            "session": self.session_id,
+            "next_seq": self.next_seq,
+            **self.hints.stats(),
+        }
+
+
+class ClusterClient:
+    """Blocking cluster client: replicated writes, failover reads.
+
+    Args:
+        cluster_map: The topology (a :class:`~repro.cluster.ring.ClusterMap`,
+            or a path to a topology JSON file).
+        retry: Per-node retry policy (defaults to ``RetryPolicy()``).
+            Required in spirit: exactly-once sessions — which hinted
+            handoff depends on — are only negotiated with a policy.
+        probe_interval: Seconds between reconnect probes at a down node.
+        max_hints, max_hint_values: Bounds of each node's hint queue.
+
+    Counters (observability): :attr:`write_acks`, :attr:`read_failovers`,
+    :attr:`hinted_writes`, :attr:`nodes_marked_down`.
+    """
+
+    def __init__(
+        self,
+        cluster_map,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        probe_interval: float = 0.5,
+        max_hints: int = DEFAULT_MAX_HINTS,
+        max_hint_values: int = DEFAULT_MAX_VALUES,
+    ) -> None:
+        if not isinstance(cluster_map, ClusterMap):
+            cluster_map = ClusterMap.load(cluster_map)
+        self.map = cluster_map
+        self._retry = retry if retry is not None else RetryPolicy()
+        self.probe_interval = probe_interval
+        self._replicas: Dict[str, _Replica] = {
+            node.node_id: _Replica(node, max_hints=max_hints, max_values=max_hint_values)
+            for node in cluster_map.nodes
+        }
+        #: Keys written through this client — the default scope of an
+        #: anti-entropy pass (:func:`repro.cluster.repair.repair`).
+        self.keys_seen = set()
+        self.write_acks = 0
+        self.read_failovers = 0
+        self.hinted_writes = 0
+        self.nodes_marked_down = 0
+        self._closed = False
+
+    # -- per-node connection management --------------------------------
+
+    def _replica(self, node: ClusterNode) -> _Replica:
+        return self._replicas[node.node_id]
+
+    def _connect(self, rep: _Replica) -> None:
+        client = QuantileClient(
+            rep.node.host,
+            rep.node.port,
+            retry=self._retry,
+            session=rep.session_id,
+        )
+        # HELLO just ran: the client's counter now sits at the server's
+        # high-water + 1, so a zero high-water reads back as 1 here.
+        amnesia = client.exactly_once and client._next_seq == 1 and rep.next_seq > 1
+        # Never hand out a sequence number below one reserved offline
+        # (an unreplayed hint may still carry it).
+        client._next_seq = max(client._next_seq, rep.next_seq)
+        rep.client = client
+        rep.next_seq = client._next_seq
+        if amnesia:
+            rep.note_amnesia()
+
+    def _mark_down(self, rep: _Replica, exc: Optional[BaseException] = None) -> None:
+        rep.sync_seq_from_client()
+        if rep.client is not None:
+            try:
+                rep.client.close()
+            except Exception:
+                pass
+            rep.client = None
+        now = time.monotonic()
+        if rep.down_since is None:
+            rep.down_since = now
+            self.nodes_marked_down += 1
+        rep.next_probe = now + self.probe_interval
+        rep.failures += 1
+
+    def _ensure_live(self, rep: _Replica, *, force: bool = False) -> bool:
+        """Connect (or probe-reconnect) a replica; replay hints first."""
+        if rep.client is None:
+            now = time.monotonic()
+            if not force and rep.down_since is not None and now < rep.next_probe:
+                return False
+            try:
+                self._connect(rep)
+            except _REPLICA_ERRORS as exc:
+                self._mark_down(rep, exc)
+                return False
+        if len(rep.hints) and not self._replay_hints(rep):
+            return False
+        rep.down_since = None
+        return True
+
+    def _replay_hints(self, rep: _Replica) -> bool:
+        """Ship every buffered hint, oldest first, before live traffic.
+
+        Bodies are replayed verbatim — same session, same sequence
+        numbers — so a frame the node applied before it went down
+        deduplicates instead of double-counting.
+        """
+        for hint in rep.hints.drain():
+            try:
+                rep.client._request(hint.body, idempotent=True)
+                rep.acked = True
+            except _REPLICA_ERRORS as exc:
+                rep.hints.requeue(hint)
+                self._mark_down(rep, exc)
+                return False
+            except ServiceError as exc:
+                if _is_failover_status(exc):
+                    rep.hints.requeue(hint)
+                    return False
+                raise
+        return True
+
+    # -- writes --------------------------------------------------------
+
+    def ingest(self, key: str, values) -> int:
+        """Write one batch to every replica of ``key``.
+
+        Live replicas get a sequenced exactly-once frame; down replicas
+        get a hint.  Returns the highest replica ``n`` acknowledged.
+        Raises :class:`~repro.errors.ClusterError` only when **no**
+        replica acknowledged (the write is then not durable anywhere —
+        hints buffered for it will still replay if a node returns, but
+        the caller must treat the write as failed).
+        """
+        values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
+        self.keys_seen.add(key)
+        best_n = -1
+        last_error: Optional[BaseException] = None
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not self._ensure_live(rep):
+                self._hint(rep, key, values)
+                continue
+            body = self._seq_body(rep, key, values)
+            try:
+                if body is None:
+                    # Old server without exactly-once: best effort, no
+                    # safe replay — never hinted.
+                    n = rep.client.ingest(key, values)
+                else:
+                    payload = rep.client._request(body, idempotent=True)
+                    n, _ = wire.unpack_n(payload, 0)
+                    rep.acked = True
+            except _REPLICA_ERRORS as exc:
+                self._mark_down(rep, exc)
+                if body is not None:
+                    self._push_hint(rep, Hint(key, len(values), body))
+                last_error = exc
+                continue
+            except ServiceError as exc:
+                if _is_failover_status(exc) and body is not None:
+                    # Shedding past the retry budget: treat like a down
+                    # node — the frame was NOT applied; hint it.
+                    self._push_hint(rep, Hint(key, len(values), body))
+                    last_error = exc
+                    continue
+                raise
+            best_n = max(best_n, n)
+        if best_n < 0:
+            raise ClusterError(
+                f"no live replica acknowledged ingest of {len(values)} values "
+                f"for key {key!r} (replicas: "
+                f"{[node.node_id for node in self.map.replicas(key)]})"
+            ) from last_error
+        self.write_acks += 1
+        return best_n
+
+    def ingest_stream(self, key: str, values, *, frame_values: int = 8192) -> int:
+        """Stream a large batch as ``frame_values``-sized replicated
+        frames — the mid-stream-failure-safe shape: a node dying at
+        frame k hints frames k.. while the live replicas keep acking."""
+        values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
+        n = 0
+        for start in range(0, len(values), frame_values):
+            n = self.ingest(key, values[start : start + frame_values])
+        return n
+
+    def _seq_body(self, rep: _Replica, key: str, values) -> Optional[bytes]:
+        if rep.client is not None and not rep.client.exactly_once:
+            return None
+        return wire.pack_seq_ingest(rep.reserve_seq(), key, values)
+
+    def _hint(self, rep: _Replica, key: str, values) -> None:
+        """Buffer a write for a replica that is down right now."""
+        body = wire.pack_seq_ingest(rep.reserve_seq(), key, values)
+        self._push_hint(rep, Hint(key, len(values), body))
+
+    def _push_hint(self, rep: _Replica, hint: Hint) -> None:
+        rep.hints.push(hint)
+        self.hinted_writes += 1
+
+    def flush_hints(self, *, force: bool = True) -> Dict[str, int]:
+        """Try to revive every down node and replay its hints now.
+
+        Returns ``{node_id: pending_hints_after}`` for nodes that still
+        hold hints (empty dict = fully drained).
+        """
+        pending: Dict[str, int] = {}
+        for rep in self._replicas.values():
+            if len(rep.hints):
+                self._ensure_live(rep, force=force)
+            if len(rep.hints):
+                pending[rep.node.node_id] = len(rep.hints)
+        return pending
+
+    # -- reads ---------------------------------------------------------
+
+    def _read(self, key: str, op: str, *args):
+        """Run a read op against the key's replicas with failover."""
+        last_error: Optional[BaseException] = None
+        unknown: Optional[ServiceError] = None
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not self._ensure_live(rep):
+                # Skipping a down replica is a failover too: whatever
+                # answers will be a later replica in preference order.
+                self.read_failovers += 1
+                continue
+            try:
+                return getattr(rep.client, op)(key, *args)
+            except _REPLICA_ERRORS as exc:
+                self._mark_down(rep, exc)
+                self.read_failovers += 1
+                last_error = exc
+            except ServiceError as exc:
+                status = getattr(exc, "status", None)
+                if status == wire.STATUS_RETRY_LATER:
+                    self.read_failovers += 1
+                    last_error = exc
+                    continue
+                if status == wire.STATUS_UNKNOWN_KEY:
+                    # This replica missed the key (it was down for the
+                    # key's whole life) — a peer may still have it.
+                    unknown = exc
+                    continue
+                raise
+        if unknown is not None and last_error is None:
+            raise unknown
+        raise ClusterError(
+            f"every replica of key {key!r} failed the read "
+            f"({[node.node_id for node in self.map.replicas(key)]})"
+        ) from (last_error or unknown)
+
+    def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
+        return self._read(key, "query", fractions)
+
+    def quantile(self, key: str, q: float) -> float:
+        return float(self.query(key, [q]).quantiles[0])
+
+    def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
+        return self._read(key, "cdf", split_points)
+
+    def rank(self, key: str, values: Sequence[float]) -> QueryResult:
+        return self._read(key, "rank", values)
+
+    def fetch(self, key: str) -> Tuple[int, bytes]:
+        """``(n, FRQ1 payload)`` from the first replica that answers."""
+        return self._read(key, "fetch")
+
+    # -- cluster introspection -----------------------------------------
+
+    def key_counts(self, key: str) -> Dict[str, Optional[int]]:
+        """Per-replica ``n`` for ``key`` — the divergence detector.
+
+        ``0`` for a replica that never saw the key, ``None`` for one
+        that is unreachable right now.
+        """
+        counts: Dict[str, Optional[int]] = {}
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not self._ensure_live(rep, force=True):
+                counts[node.node_id] = None
+                continue
+            try:
+                counts[node.node_id] = int(rep.client.stats(key)["n"])
+            except _REPLICA_ERRORS as exc:
+                self._mark_down(rep, exc)
+                counts[node.node_id] = None
+            except ServiceError as exc:
+                if getattr(exc, "status", None) == wire.STATUS_UNKNOWN_KEY:
+                    counts[node.node_id] = 0
+                else:
+                    raise
+        return counts
+
+    def health(self) -> Dict[str, Optional[dict]]:
+        """Per-node ``HEALTH`` detail (``None`` for unreachable nodes)."""
+        out: Dict[str, Optional[dict]] = {}
+        for rep in self._replicas.values():
+            if not self._ensure_live(rep, force=True):
+                out[rep.node.node_id] = None
+                continue
+            try:
+                out[rep.node.node_id] = rep.client.health()
+            except _REPLICA_ERRORS as exc:
+                self._mark_down(rep, exc)
+                out[rep.node.node_id] = None
+        return out
+
+    def stats(self) -> dict:
+        """Cluster-client view: topology + per-replica state + counters."""
+        return {
+            "topology_version": self.map.version,
+            "replication": self.map.replication,
+            "nodes": [rep.stats() for rep in self._replicas.values()],
+            "keys_seen": len(self.keys_seen),
+            "write_acks": self.write_acks,
+            "read_failovers": self.read_failovers,
+            "hinted_writes": self.hinted_writes,
+            "nodes_marked_down": self.nodes_marked_down,
+        }
+
+    def node_client(self, node_id: str) -> Optional[QuantileClient]:
+        """The live per-node client (repair uses this; ``None`` if down)."""
+        rep = self._replicas[node_id]
+        self._ensure_live(rep, force=True)
+        return rep.client
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for rep in self._replicas.values():
+            rep.sync_seq_from_client()
+            if rep.client is not None:
+                try:
+                    rep.client.close()
+                except Exception:
+                    pass
+                rep.client = None
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncClusterClient:
+    """Asyncio cluster client: same contract, concurrent write fan-out.
+
+    Writes build each replica's sequenced frame synchronously (sequence
+    reservation must be racefree within the task) and then await every
+    replica concurrently, so the write latency is the *slowest* replica,
+    not the sum.  Reads fail over sequentially in ring order, like the
+    sync client.
+    """
+
+    def __init__(
+        self,
+        cluster_map,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        probe_interval: float = 0.5,
+        max_hints: int = DEFAULT_MAX_HINTS,
+        max_hint_values: int = DEFAULT_MAX_VALUES,
+    ) -> None:
+        if not isinstance(cluster_map, ClusterMap):
+            cluster_map = ClusterMap.load(cluster_map)
+        self.map = cluster_map
+        self._retry = retry if retry is not None else RetryPolicy()
+        self.probe_interval = probe_interval
+        self._replicas: Dict[str, _Replica] = {
+            node.node_id: _Replica(node, max_hints=max_hints, max_values=max_hint_values)
+            for node in cluster_map.nodes
+        }
+        self.keys_seen = set()
+        self.write_acks = 0
+        self.read_failovers = 0
+        self.hinted_writes = 0
+        self.nodes_marked_down = 0
+        self._closed = False
+
+    def _replica(self, node: ClusterNode) -> _Replica:
+        return self._replicas[node.node_id]
+
+    async def _connect(self, rep: _Replica) -> None:
+        client = AsyncQuantileClient(
+            rep.node.host,
+            rep.node.port,
+            retry=self._retry,
+            session=rep.session_id,
+        )
+        await client.connect()
+        amnesia = client.exactly_once and client._next_seq == 1 and rep.next_seq > 1
+        client._next_seq = max(client._next_seq, rep.next_seq)
+        rep.client = client
+        rep.next_seq = client._next_seq
+        if amnesia:
+            rep.note_amnesia()
+
+    async def _mark_down(self, rep: _Replica, exc: Optional[BaseException] = None) -> None:
+        rep.sync_seq_from_client()
+        if rep.client is not None:
+            try:
+                await rep.client.close()
+            except Exception:
+                pass
+            rep.client = None
+        now = time.monotonic()
+        if rep.down_since is None:
+            rep.down_since = now
+            self.nodes_marked_down += 1
+        rep.next_probe = now + self.probe_interval
+        rep.failures += 1
+
+    async def _ensure_live(self, rep: _Replica, *, force: bool = False) -> bool:
+        if rep.client is None:
+            now = time.monotonic()
+            if not force and rep.down_since is not None and now < rep.next_probe:
+                return False
+            try:
+                await self._connect(rep)
+            except _REPLICA_ERRORS as exc:
+                await self._mark_down(rep, exc)
+                return False
+        if len(rep.hints) and not await self._replay_hints(rep):
+            return False
+        rep.down_since = None
+        return True
+
+    async def _replay_hints(self, rep: _Replica) -> bool:
+        for hint in rep.hints.drain():
+            try:
+                await rep.client._request(hint.body, idempotent=True)
+                rep.acked = True
+            except _REPLICA_ERRORS as exc:
+                rep.hints.requeue(hint)
+                await self._mark_down(rep, exc)
+                return False
+            except ServiceError as exc:
+                if _is_failover_status(exc):
+                    rep.hints.requeue(hint)
+                    return False
+                raise
+        return True
+
+    async def ingest(self, key: str, values) -> int:
+        """Replicated write; see :meth:`ClusterClient.ingest`."""
+        import asyncio
+
+        values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
+        self.keys_seen.add(key)
+        plan: List[Tuple[_Replica, Optional[bytes]]] = []
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not await self._ensure_live(rep):
+                self._hint(rep, key, values)
+                continue
+            plan.append((rep, self._seq_body(rep, key, values)))
+
+        async def write_one(rep: _Replica, body: Optional[bytes]):
+            try:
+                if body is None:
+                    return await rep.client.ingest(key, values)
+                payload = await rep.client._request(body, idempotent=True)
+                n, _ = wire.unpack_n(payload, 0)
+                rep.acked = True
+                return n
+            except _REPLICA_ERRORS as exc:
+                await self._mark_down(rep, exc)
+                if body is not None:
+                    self._push_hint(rep, Hint(key, len(values), body))
+                return exc
+            except ServiceError as exc:
+                if _is_failover_status(exc) and body is not None:
+                    self._push_hint(rep, Hint(key, len(values), body))
+                    return exc
+                raise
+
+        results = await asyncio.gather(*(write_one(rep, body) for rep, body in plan))
+        acked = [n for n in results if isinstance(n, int)]
+        if not acked:
+            errors = [r for r in results if isinstance(r, BaseException)]
+            raise ClusterError(
+                f"no live replica acknowledged ingest of {len(values)} values "
+                f"for key {key!r}"
+            ) from (errors[-1] if errors else None)
+        self.write_acks += 1
+        return max(acked)
+
+    async def ingest_stream(self, key: str, values, *, frame_values: int = 8192) -> int:
+        values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
+        n = 0
+        for start in range(0, len(values), frame_values):
+            n = await self.ingest(key, values[start : start + frame_values])
+        return n
+
+    def _seq_body(self, rep: _Replica, key: str, values) -> Optional[bytes]:
+        if rep.client is not None and not rep.client.exactly_once:
+            return None
+        return wire.pack_seq_ingest(rep.reserve_seq(), key, values)
+
+    def _hint(self, rep: _Replica, key: str, values) -> None:
+        body = wire.pack_seq_ingest(rep.reserve_seq(), key, values)
+        self._push_hint(rep, Hint(key, len(values), body))
+
+    def _push_hint(self, rep: _Replica, hint: Hint) -> None:
+        rep.hints.push(hint)
+        self.hinted_writes += 1
+
+    async def flush_hints(self, *, force: bool = True) -> Dict[str, int]:
+        pending: Dict[str, int] = {}
+        for rep in self._replicas.values():
+            if len(rep.hints):
+                await self._ensure_live(rep, force=force)
+            if len(rep.hints):
+                pending[rep.node.node_id] = len(rep.hints)
+        return pending
+
+    async def _read(self, key: str, op: str, *args):
+        last_error: Optional[BaseException] = None
+        unknown: Optional[ServiceError] = None
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not await self._ensure_live(rep):
+                self.read_failovers += 1
+                continue
+            try:
+                return await getattr(rep.client, op)(key, *args)
+            except _REPLICA_ERRORS as exc:
+                await self._mark_down(rep, exc)
+                self.read_failovers += 1
+                last_error = exc
+            except ServiceError as exc:
+                status = getattr(exc, "status", None)
+                if status == wire.STATUS_RETRY_LATER:
+                    self.read_failovers += 1
+                    last_error = exc
+                    continue
+                if status == wire.STATUS_UNKNOWN_KEY:
+                    unknown = exc
+                    continue
+                raise
+        if unknown is not None and last_error is None:
+            raise unknown
+        raise ClusterError(
+            f"every replica of key {key!r} failed the read"
+        ) from (last_error or unknown)
+
+    async def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
+        return await self._read(key, "query", fractions)
+
+    async def quantile(self, key: str, q: float) -> float:
+        return float((await self.query(key, [q])).quantiles[0])
+
+    async def cdf(self, key: str, split_points: Sequence[float]) -> QueryResult:
+        return await self._read(key, "cdf", split_points)
+
+    async def rank(self, key: str, values: Sequence[float]) -> QueryResult:
+        return await self._read(key, "rank", values)
+
+    async def fetch(self, key: str) -> Tuple[int, bytes]:
+        return await self._read(key, "fetch")
+
+    async def key_counts(self, key: str) -> Dict[str, Optional[int]]:
+        counts: Dict[str, Optional[int]] = {}
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not await self._ensure_live(rep, force=True):
+                counts[node.node_id] = None
+                continue
+            try:
+                counts[node.node_id] = int((await rep.client.stats(key))["n"])
+            except _REPLICA_ERRORS as exc:
+                await self._mark_down(rep, exc)
+                counts[node.node_id] = None
+            except ServiceError as exc:
+                if getattr(exc, "status", None) == wire.STATUS_UNKNOWN_KEY:
+                    counts[node.node_id] = 0
+                else:
+                    raise
+        return counts
+
+    def stats(self) -> dict:
+        return {
+            "topology_version": self.map.version,
+            "replication": self.map.replication,
+            "nodes": [rep.stats() for rep in self._replicas.values()],
+            "keys_seen": len(self.keys_seen),
+            "write_acks": self.write_acks,
+            "read_failovers": self.read_failovers,
+            "hinted_writes": self.hinted_writes,
+            "nodes_marked_down": self.nodes_marked_down,
+        }
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for rep in self._replicas.values():
+            rep.sync_seq_from_client()
+            if rep.client is not None:
+                try:
+                    await rep.client.close()
+                except Exception:
+                    pass
+                rep.client = None
+
+    async def __aenter__(self) -> "AsyncClusterClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,135 @@
+"""Hinted handoff: a bounded buffer of writes a down replica missed.
+
+When a replica is unreachable, the cluster client keeps acknowledging
+writes (any live replica suffices) and *hints* the missed frames here.
+A hint is the **exact encoded request body** that would have been sent —
+opcode, session id is implicit in the frame's sequence number space, and
+the ``(seq, key, values)`` operands — so replay after recovery ships
+byte-identical frames through the same exactly-once session.  The
+server's per-``(session, key)`` high-water marks then make replay
+idempotent: frames the replica already applied (it may have crashed
+between apply and ack) are acknowledged without being re-applied, frames
+it missed apply normally, and the replica converges to the same per-key
+``n`` as its peers — no read-your-writes anomalies, no double counts.
+
+The queue is bounded (``max_hints`` frames / ``max_values`` buffered
+values).  Overflow drops the *incoming* hint and marks the queue
+incomplete: replay alone can no longer converge the replica, and the
+anti-entropy pass (:mod:`repro.cluster.repair`) must reconcile it
+instead.  Dropping the newest (rather than evicting the oldest) keeps
+the buffered prefix contiguous in sequence order, which the server's
+high-water dedup requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, NamedTuple
+
+__all__ = ["Hint", "HintQueue", "DEFAULT_MAX_HINTS", "DEFAULT_MAX_VALUES"]
+
+DEFAULT_MAX_HINTS = 4096
+DEFAULT_MAX_VALUES = 4_000_000
+
+
+class Hint(NamedTuple):
+    """One buffered write: the frame body to replay, plus accounting."""
+
+    key: str
+    count: int
+    body: bytes
+
+
+class HintQueue:
+    """FIFO hint buffer for one down replica (single-writer, bounded)."""
+
+    __slots__ = ("max_hints", "max_values", "_hints", "buffered_values", "dropped_hints", "dropped_values", "replayed_hints")
+
+    def __init__(
+        self,
+        *,
+        max_hints: int = DEFAULT_MAX_HINTS,
+        max_values: int = DEFAULT_MAX_VALUES,
+    ) -> None:
+        self.max_hints = max_hints
+        self.max_values = max_values
+        self._hints: Deque[Hint] = deque()
+        #: Values currently buffered across all hints.
+        self.buffered_values = 0
+        #: Hints refused because the queue was full — once nonzero the
+        #: replica needs anti-entropy repair, not just replay.
+        self.dropped_hints = 0
+        self.dropped_values = 0
+        #: Hints successfully replayed over the queue's lifetime.
+        self.replayed_hints = 0
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    @property
+    def complete(self) -> bool:
+        """Whether replay alone can converge the replica (nothing dropped)."""
+        return self.dropped_hints == 0
+
+    def push(self, hint: Hint) -> bool:
+        """Buffer one missed write; ``False`` if the bound dropped it."""
+        if (
+            len(self._hints) >= self.max_hints
+            or self.buffered_values + hint.count > self.max_values
+        ):
+            self.dropped_hints += 1
+            self.dropped_values += hint.count
+            return False
+        self._hints.append(hint)
+        self.buffered_values += hint.count
+        return True
+
+    def drain(self) -> Iterator[Hint]:
+        """Yield hints oldest-first, popping each as it is yielded.
+
+        A replay loop that raises mid-drain leaves the un-replayed tail
+        queued (the popped hint was already shipped — or is being
+        retried by the caller through the exactly-once session, where a
+        duplicate is harmless).
+        """
+        while self._hints:
+            hint = self._hints.popleft()
+            self.buffered_values -= hint.count
+            self.replayed_hints += 1
+            yield hint
+
+    def requeue(self, hint: Hint) -> None:
+        """Put a hint back at the front (its replay failed mid-flight)."""
+        self._hints.appendleft(hint)
+        self.buffered_values += hint.count
+        self.replayed_hints -= 1
+
+    def abandon(self) -> int:
+        """Drop every pending hint, counting them as dropped.
+
+        Used when the replica is discovered to have lost state that
+        predates the queue (disk wipe): replaying only the buffered
+        suffix would build a partial replica that exact repair cannot
+        touch, so the hints are surrendered and convergence handed to
+        the anti-entropy pass (which copies the authority wholesale).
+        """
+        count = len(self._hints)
+        self.dropped_hints += count
+        self.dropped_values += self.buffered_values
+        self._hints.clear()
+        self.buffered_values = 0
+        return count
+
+    def clear(self) -> None:
+        self._hints.clear()
+        self.buffered_values = 0
+
+    def stats(self) -> dict:
+        return {
+            "pending_hints": len(self._hints),
+            "buffered_values": self.buffered_values,
+            "dropped_hints": self.dropped_hints,
+            "dropped_values": self.dropped_values,
+            "replayed_hints": self.replayed_hints,
+            "complete": self.complete,
+        }

@@ -1,0 +1,147 @@
+"""Anti-entropy repair: detect replica divergence, heal it exactly.
+
+Replicas of a key diverge when a node misses writes and hinted handoff
+could not fully cover the gap (the node was down past the hint bound, or
+it lost state and restarted from an old snapshot).  This module closes
+that gap:
+
+**Detection** is cheap: per-replica per-key ``n`` via ``STATS``.  Under
+replicated writes every replica of a key receives the *same value
+stream*, so equal ``n`` means converged and unequal ``n`` pinpoints the
+stale replica and exactly how many values it is missing.
+
+**Healing** is conservative, because REQ sketches merge but do not
+subtract.  Merging two sketches that share history double-counts the
+shared prefix, so the pass only ships state where the result is provably
+exact:
+
+* A replica at ``n == 0`` (lost everything, or never saw the key) is
+  healed by fetching the authority's FRQ1 payload (``FETCH``) and
+  merging it in (``MERGE``) — merging into nothing is a copy, and the
+  paper's mergeability theorem gives the copy the authority's error
+  bound.
+* A replica at ``0 < n < authority`` is first given a hint-replay
+  chance (:meth:`~repro.cluster.client.ClusterClient.flush_hints` runs
+  before detection; exactly-once replay converges it without double
+  counting).  If it is still short, the divergence is **reported, not
+  force-merged** — the operator remedy is to wipe the stale replica's
+  key (restart it without its data dir, or let retention drop the key)
+  and re-run repair, which then takes the exact ``n == 0`` path.
+
+The pass is idempotent and safe to run on a live cluster: it only adds
+values a replica provably lacks in full.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.errors import ClusterError
+
+__all__ = ["KeyRepair", "RepairReport", "repair"]
+
+
+class KeyRepair(NamedTuple):
+    """What one key looked like and what was done about it."""
+
+    key: str
+    counts: Dict[str, Optional[int]]  # node_id -> n (None = unreachable)
+    authority: Optional[str]  # node holding the max n
+    healed: Dict[str, int]  # node_id -> n after an exact heal
+    unhealed: Dict[str, int]  # node_id -> stale n that needs operator action
+
+    @property
+    def consistent(self) -> bool:
+        reachable = [n for n in self.counts.values() if n is not None]
+        return len(set(reachable)) <= 1
+
+
+class RepairReport(NamedTuple):
+    """One anti-entropy pass over a set of keys."""
+
+    examined: int
+    consistent: int
+    healed: int  # replicas healed exactly (FETCH + MERGE into empty)
+    unhealed: int  # replicas left divergent (partial state, no exact heal)
+    skipped_down: int  # replicas unreachable during the pass
+    keys: List[KeyRepair]
+
+    @property
+    def clean(self) -> bool:
+        """No reachable replica left divergent after the pass."""
+        return self.unhealed == 0
+
+
+def repair(client, keys: Optional[Sequence[str]] = None, *, heal: bool = True) -> RepairReport:
+    """Run one anti-entropy pass through a :class:`ClusterClient`.
+
+    Args:
+        client: A live :class:`~repro.cluster.client.ClusterClient`.
+        keys: Keys to examine; defaults to every key written through
+            ``client`` (``client.keys_seen``).
+        heal: When ``False``, detect and report only.
+
+    Returns a :class:`RepairReport`; raises nothing for divergence (the
+    report carries it) but propagates real protocol errors.
+    """
+    if keys is None:
+        keys = sorted(client.keys_seen)
+    # Hints first: replay is the exact path for partially-stale replicas,
+    # and it shrinks (often empties) the divergence set before we fetch
+    # any payloads.
+    client.flush_hints()
+
+    examined = consistent = healed_total = unhealed_total = skipped_down = 0
+    results: List[KeyRepair] = []
+    for key in keys:
+        examined += 1
+        counts = client.key_counts(key)
+        skipped_down += sum(1 for n in counts.values() if n is None)
+        reachable = {node: n for node, n in counts.items() if n is not None}
+        distinct = set(reachable.values())
+        if len(distinct) <= 1:
+            consistent += 1
+            results.append(KeyRepair(key, counts, None, {}, {}))
+            continue
+
+        authority = max(reachable, key=lambda node: reachable[node])
+        target_n = reachable[authority]
+        healed: Dict[str, int] = {}
+        unhealed: Dict[str, int] = {}
+        payload: Optional[bytes] = None
+        for node_id, n in reachable.items():
+            if n == target_n:
+                continue
+            if n > 0 or not heal:
+                unhealed[node_id] = n
+                continue
+            # Exact heal: copy the authority's sketch into the empty
+            # replica. Fetch lazily, once per key.
+            if payload is None:
+                auth_client = client.node_client(authority)
+                if auth_client is None:
+                    unhealed[node_id] = n
+                    continue
+                fetched_n, payload = auth_client.fetch(key)
+                if fetched_n != target_n:
+                    # The authority moved between STATS and FETCH (live
+                    # writes); its payload is still a superset — adopt
+                    # the fresher count.
+                    target_n = fetched_n
+            stale_client = client.node_client(node_id)
+            if stale_client is None:
+                unhealed[node_id] = n
+                skipped_down += 1
+                continue
+            new_n = stale_client.merge(key, payload)
+            if new_n != target_n:
+                raise ClusterError(
+                    f"repair of key {key!r} on node {node_id!r} landed at "
+                    f"n={new_n}, expected {target_n} — the replica was not "
+                    f"empty after all; wipe it and re-run repair"
+                )
+            healed[node_id] = new_n
+        healed_total += len(healed)
+        unhealed_total += len(unhealed)
+        results.append(KeyRepair(key, counts, authority, healed, unhealed))
+    return RepairReport(examined, consistent, healed_total, unhealed_total, skipped_down, results)

@@ -1,0 +1,265 @@
+"""The cluster topology: a consistent-hash ring with virtual nodes.
+
+A :class:`ClusterMap` is an immutable, versioned description of which
+quantile-service nodes exist and how keys map onto them:
+
+* **Consistent hashing with virtual nodes** — every node owns
+  ``vnodes`` points on a 64-bit ring (hashes of ``"node_id/i"``); a key
+  hashes to a ring position and its replicas are the next ``R`` points
+  owned by *distinct* nodes, walking clockwise.  Virtual nodes smooth
+  the load split, and adding/removing one node only remaps the keys
+  whose arcs it owned — the property that makes elastic topologies
+  cheap.
+* **Replication factor** — ``replication`` (R) distinct nodes per key.
+  The paper's full-mergeability theorem is what makes R > 1 *free*
+  semantically: every replica holds a valid REQ summary of the values
+  routed to it, and any subset of replicas merges into a summary with
+  the single-sketch error bound, so reads may use any replica and
+  repair is a sketch merge.
+* **Versioned** — maps are immutable; :meth:`with_node` /
+  :meth:`without_node` return a *new* map with ``version + 1``.  Clients
+  stamp operations with the version they routed under, so a topology
+  change is detectable (and an old map never silently routes forever).
+
+Hashing uses BLAKE2b (8-byte digest), not Python's salted ``hash()`` —
+every process, machine, and run must agree on the ring or replicas
+would disagree about key placement.
+
+Topology files are plain JSON (:meth:`ClusterMap.save` /
+:meth:`ClusterMap.load`)::
+
+    {
+      "version": 1,
+      "replication": 2,
+      "vnodes": 64,
+      "nodes": [
+        {"node_id": "a", "host": "127.0.0.1", "port": 7001},
+        {"node_id": "b", "host": "127.0.0.1", "port": 7002}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, NamedTuple, Tuple, Union
+
+from repro.errors import ClusterError, InvalidParameterError
+
+__all__ = ["ClusterNode", "ClusterMap", "DEFAULT_VNODES", "key_hash"]
+
+#: Virtual nodes per physical node (vnode count trades ring-build cost
+#: for placement smoothness; 64 keeps per-node load within a few percent
+#: of even for realistic cluster sizes).
+DEFAULT_VNODES = 64
+
+
+def key_hash(text: str) -> int:
+    """The ring position of ``text`` — a stable unsalted 64-bit hash."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class ClusterNode(NamedTuple):
+    """One quantile-service process: identity + address."""
+
+    node_id: str
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def _as_node(node: Union[ClusterNode, Tuple, Dict]) -> ClusterNode:
+    if isinstance(node, ClusterNode):
+        return node
+    if isinstance(node, dict):
+        return ClusterNode(str(node["node_id"]), str(node["host"]), int(node["port"]))
+    node_id, host, port = node
+    return ClusterNode(str(node_id), str(host), int(port))
+
+
+class ClusterMap:
+    """An immutable consistent-hash ring over a set of nodes.
+
+    Args:
+        nodes: :class:`ClusterNode` instances (or ``(node_id, host,
+            port)`` tuples / ``{"node_id", "host", "port"}`` dicts).
+            Node ids must be unique and non-empty.
+        replication: Distinct replicas per key; keys are placed on
+            ``min(replication, len(nodes))`` nodes, so a map survives
+            shrinking below R without re-validation.
+        vnodes: Ring points per node.
+        version: Topology version (bumped by :meth:`with_node` /
+            :meth:`without_node`).
+    """
+
+    __slots__ = ("nodes", "replication", "vnodes", "version", "_by_id", "_hashes", "_owners")
+
+    def __init__(
+        self,
+        nodes: Iterable[Union[ClusterNode, Tuple, Dict]],
+        *,
+        replication: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        version: int = 1,
+    ) -> None:
+        node_list = [_as_node(node) for node in nodes]
+        if not node_list:
+            raise InvalidParameterError("a ClusterMap needs at least one node")
+        if replication < 1:
+            raise InvalidParameterError(f"replication must be >= 1, got {replication}")
+        if vnodes < 1:
+            raise InvalidParameterError(f"vnodes must be >= 1, got {vnodes}")
+        seen = set()
+        for node in node_list:
+            if not node.node_id:
+                raise InvalidParameterError("node_id must be non-empty")
+            if node.node_id in seen:
+                raise InvalidParameterError(f"duplicate node_id {node.node_id!r}")
+            seen.add(node.node_id)
+        self.nodes: Tuple[ClusterNode, ...] = tuple(node_list)
+        self.replication = replication
+        self.vnodes = vnodes
+        self.version = version
+        self._by_id = {node.node_id: node for node in self.nodes}
+        # The ring: vnode hashes sorted once; ties (astronomically rare
+        # but possible) break by node_id so every process builds the
+        # identical ring.
+        points = sorted(
+            (key_hash(f"{node.node_id}/{i}"), node.node_id)
+            for node in self.nodes
+            for i in range(self.vnodes)
+        )
+        self._hashes = [point[0] for point in points]
+        self._owners = [point[1] for point in points]
+
+    # -- routing -------------------------------------------------------
+
+    def replicas(self, key: str) -> Tuple[ClusterNode, ...]:
+        """The key's replica set: the next R distinct nodes clockwise.
+
+        The first entry is the key's *primary* (preferred read target);
+        order is deterministic, so every client agrees on it.
+        """
+        want = min(self.replication, len(self.nodes))
+        start = bisect.bisect_right(self._hashes, key_hash(key)) % len(self._owners)
+        picked: List[ClusterNode] = []
+        picked_ids = set()
+        index = start
+        while len(picked) < want:
+            owner = self._owners[index]
+            if owner not in picked_ids:
+                picked_ids.add(owner)
+                picked.append(self._by_id[owner])
+            index = (index + 1) % len(self._owners)
+        return tuple(picked)
+
+    def primary(self, key: str) -> ClusterNode:
+        return self.replicas(key)[0]
+
+    def node(self, node_id: str) -> ClusterNode:
+        try:
+            return self._by_id[node_id]
+        except KeyError:
+            raise ClusterError(f"unknown node_id {node_id!r} (topology v{self.version})")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._by_id
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ClusterMap):
+            return NotImplemented
+        return (
+            self.nodes == other.nodes
+            and self.replication == other.replication
+            and self.vnodes == other.vnodes
+            and self.version == other.version
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nodes, self.replication, self.vnodes, self.version))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        ids = ",".join(node.node_id for node in self.nodes)
+        return (
+            f"ClusterMap(v{self.version}, R={self.replication}, "
+            f"vnodes={self.vnodes}, nodes=[{ids}])"
+        )
+
+    # -- topology changes (immutably, version-bumped) ------------------
+
+    def with_node(self, node: Union[ClusterNode, Tuple, Dict]) -> "ClusterMap":
+        """A new map including ``node``, at ``version + 1``."""
+        return ClusterMap(
+            self.nodes + (_as_node(node),),
+            replication=self.replication,
+            vnodes=self.vnodes,
+            version=self.version + 1,
+        )
+
+    def without_node(self, node_id: str) -> "ClusterMap":
+        """A new map excluding ``node_id``, at ``version + 1``."""
+        if node_id not in self._by_id:
+            raise ClusterError(f"unknown node_id {node_id!r} (topology v{self.version})")
+        return ClusterMap(
+            tuple(node for node in self.nodes if node.node_id != node_id),
+            replication=self.replication,
+            vnodes=self.vnodes,
+            version=self.version + 1,
+        )
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "replication": self.replication,
+            "vnodes": self.vnodes,
+            "nodes": [
+                {"node_id": node.node_id, "host": node.host, "port": node.port}
+                for node in self.nodes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterMap":
+        try:
+            return cls(
+                data["nodes"],
+                replication=int(data.get("replication", 2)),
+                vnodes=int(data.get("vnodes", DEFAULT_VNODES)),
+                version=int(data.get("version", 1)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ClusterError(f"malformed topology document: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterMap":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ClusterError(f"topology is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ClusterMap":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise ClusterError(f"cannot read topology file {path}: {exc}") from exc
+        return cls.from_json(text)

@@ -18,6 +18,7 @@ __all__ = [
     "ServiceError",
     "TransportError",
     "RetryBudgetExceededError",
+    "ClusterError",
 ]
 
 
@@ -82,4 +83,15 @@ class RetryBudgetExceededError(ServiceError):
 
     Carries the final underlying failure as ``__cause__``; raised instead
     of retrying forever so a hard outage surfaces as one loud error.
+    """
+
+
+class ClusterError(ServiceError):
+    """A cluster-level operation could not complete (:mod:`repro.cluster`).
+
+    Raised when every replica of a key is unreachable (a write found no
+    live replica to acknowledge it, a read exhausted failover), or when
+    an anti-entropy repair pass cannot heal a divergence exactly.  Per-
+    replica failures that the cluster layer absorbed (failover, hinted
+    handoff) do *not* raise — they are reported through client counters.
     """

@@ -77,6 +77,12 @@ _PENDING_BLOCK = 8192
 _EMPTY_ITEMS = np.empty(0, dtype=np.float64)
 _EMPTY_WEIGHTS = np.empty(0, dtype=np.int64)
 
+#: Views into bases at or below this size are kept as views instead of
+#: materialized: a copy() call costs more ingest time than pinning a
+#: few-KiB base array costs memory (the anti-pinning guards below only
+#: bother copying out of bases larger than this).
+_PIN_EXEMPT_BYTES = 16384
+
 #: The C staging-buffer type, or None when no toolchain is available.
 _NativeStageBuffer = load_stage_buffer()
 
@@ -173,7 +179,16 @@ class _FastLevel:
     the representation, not the multiset.
     """
 
-    __slots__ = ("items", "runs", "run_size", "schedule", "inserted", "version")
+    __slots__ = (
+        "items",
+        "runs",
+        "run_size",
+        "schedule",
+        "inserted",
+        "version",
+        "cap_cache",
+        "cap_valid",
+    )
 
     def __init__(self) -> None:
         self.items = _EMPTY_ITEMS
@@ -182,6 +197,11 @@ class _FastLevel:
         self.schedule = CompactionSchedule()
         self.inserted = 0
         self.version = 0
+        #: Memoized capacity + the ``inserted`` bound it stays valid for
+        #: (the growth rule only changes when ``inserted`` crosses
+        #: ``k * 2^sections``; the compression loop asks far more often).
+        self.cap_cache = 0
+        self.cap_valid = -1
 
     @property
     def size(self) -> int:
@@ -196,9 +216,16 @@ class _FastLevel:
         much smaller than its base would pin the base's memory, so those
         are materialized; the 16x threshold keeps total pinned memory
         within 16x of the retained items while skipping the expensive
-        strided gathers for the large mid-cascade promotions.
+        strided gathers for the large mid-cascade promotions.  Bases under
+        ``_PIN_EXEMPT_BYTES`` are never worth a copy call: pinning them
+        costs less memory than the copy costs time on the ingest path.
         """
-        if run.base is not None and run.nbytes * 16 < run.base.nbytes:
+        base = run.base
+        if (
+            base is not None
+            and base.nbytes > _PIN_EXEMPT_BYTES
+            and run.nbytes * 16 < base.nbytes
+        ):
             run = run.copy()
         self.runs.append(run)
         self.run_size += run.size
@@ -404,9 +431,16 @@ class FastReqSketch:
     def _capacity(self, level: int) -> int:
         if self._fixed_capacity is not None:
             return self._fixed_capacity
-        inserted = max(1, self._levels[level].inserted)
+        state = self._levels[level]
+        inserted = max(1, state.inserted)
+        if inserted <= state.cap_valid:
+            return state.cap_cache
         sections = max(1, math.ceil(math.log2(max(2.0, inserted / self.k))))
-        return 2 * self.k * sections
+        state.cap_cache = 2 * self.k * sections
+        # ceil(log2(inserted / k)) is flat until inserted crosses the next
+        # power-of-two multiple of k, so the memo holds up to that bound.
+        state.cap_valid = self.k << sections
+        return state.cap_cache
 
     def _compress(self) -> None:
         level = 0
@@ -439,7 +473,12 @@ class FastReqSketch:
         else:
             slice_ = items[protect:]
             level.items = items[:protect]
-        if level.items.base is not None and level.items.nbytes * 4 < level.items.base.nbytes:
+        base = level.items.base
+        if (
+            base is not None
+            and base.nbytes > _PIN_EXEMPT_BYTES
+            and level.items.nbytes * 4 < base.nbytes
+        ):
             level.items = level.items.copy()
         level.version += 1
         offset = 1 if self._rng.random() < 0.5 else 0

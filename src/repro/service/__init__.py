@@ -46,7 +46,13 @@ Layers (bottom up):
   parse-buffer watermarks while reads keep flowing; the server also
   enforces connection limits, answers ``HEALTH``, and drains gracefully
   on ``SIGTERM``.  :mod:`repro.service.faultproxy` is the deterministic
-  chaos harness that proves all of it (seeded mid-byte faults).
+  chaos harness that proves all of it (seeded mid-byte faults, silent
+  frame blackholes, manual partitions).
+
+One layer up, :mod:`repro.cluster` runs many of these nodes as a
+replicated cluster (consistent-hash routing, failover reads, hinted
+handoff, anti-entropy repair over ``FETCH``/``MERGE``); each node is
+just this service started with a ``node_id``.
 
 The query plane leans on the engine's **version-stamped query index**
 (:meth:`repro.fast.FastReqSketch.query_index`) and its invariants:

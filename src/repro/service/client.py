@@ -43,7 +43,7 @@ import os
 import socket
 import time
 from collections import deque
-from typing import Dict, List, NamedTuple, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -463,6 +463,10 @@ class _RequestEncoder:
         return bytes([wire.OP_STATS]) + wire.pack_key(key or "")
 
     @staticmethod
+    def fetch(key: str) -> bytes:
+        return bytes([wire.OP_FETCH]) + wire.pack_key(key)
+
+    @staticmethod
     def snapshot() -> bytes:
         return bytes([wire.OP_SNAPSHOT])
 
@@ -545,7 +549,15 @@ class QuantileClient:
         #: Buffered reader: one recv drains a whole window of acks.
         self._frames = wire.FrameReader(sock)
         if self.session_id is not None:
-            self._hello()
+            try:
+                self._hello()
+            except BaseException:
+                # A connection whose HELLO never completed must not
+                # survive: reusing it would send sequenced frames into a
+                # session the server never opened.  (Reachable when the
+                # network eats the HELLO exchange without severing TCP.)
+                self._drop_connection()
+                raise
 
     def _hello(self) -> None:
         """Negotiate the exactly-once session on a fresh connection.
@@ -796,6 +808,18 @@ class QuantileClient:
         n, _ = wire.unpack_n(payload, 0)
         return n
 
+    def fetch(self, key: str) -> Tuple[int, bytes]:
+        """``(n, FRQ1 payload)`` for ``key`` — the anti-entropy read path.
+
+        The payload decodes with
+        :meth:`repro.fast.FastReqSketch.from_bytes` and embeds unchanged
+        in a :meth:`merge` call against any compatible service.
+        """
+        payload = self._request(_RequestEncoder.fetch(key), idempotent=True)
+        n, offset = wire.unpack_n(payload, 0)
+        blob, _ = wire.unpack_blob(payload, offset)
+        return n, bytes(blob)
+
     # -- queries -------------------------------------------------------
 
     def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
@@ -971,7 +995,14 @@ class AsyncQuantileClient:
 
         self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
         if self.session_id is not None:
-            await self._hello()
+            try:
+                await self._hello()
+            except BaseException:
+                # Same rule as the sync client: a connection whose HELLO
+                # never completed must not survive to carry sequenced
+                # frames into a session the server never opened.
+                self._drop_connection()
+                raise
         return self
 
     async def _hello(self) -> None:
@@ -1211,6 +1242,14 @@ class AsyncQuantileClient:
         )
         n, _ = wire.unpack_n(payload, 0)
         return n
+
+    async def fetch(self, key: str) -> Tuple[int, bytes]:
+        """``(n, FRQ1 payload)`` for ``key`` (see
+        :meth:`QuantileClient.fetch`)."""
+        payload = await self._request(_RequestEncoder.fetch(key), idempotent=True)
+        n, offset = wire.unpack_n(payload, 0)
+        blob, _ = wire.unpack_blob(payload, offset)
+        return n, bytes(blob)
 
     async def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
         return _decode_query_response(

@@ -3,11 +3,16 @@
 :class:`FaultProxy` sits between a client and a quantile server on
 loopback and mangles the **request** byte stream in reproducible ways:
 frames can be delayed, split mid-byte, duplicated, truncated (a partial
-frame followed by a hard close — the torn-write shape), or severed
-before/after delivery.  The response stream is forwarded untouched: the
-interesting failure modes for exactly-once are all on the write path
-(did the server apply a frame whose ack the client never saw?), and a
-mangled response would only obscure which side lost what.
+frame followed by a hard close — the torn-write shape), severed
+before/after delivery, or **blackholed** (dropped silently while the
+TCP connection stays up — the network-partition shape, distinct from a
+crash precisely because nothing tells the peer).  Outside a partition
+the response stream is forwarded untouched: the interesting failure
+modes for exactly-once are all on the write path (did the server apply
+a frame whose ack the client never saw?), and a mangled response would
+only obscure which side lost what.  During a partition both directions
+drop whole frames — the pumps are frame-aware, so a healed link never
+resumes mid-frame.
 
 The client→server pump is **frame-aware**: it reassembles the protocol's
 ``u32``-length-prefixed frames and consults a fault schedule per frame,
@@ -41,6 +46,16 @@ Fault actions (strings or tuples):
   it.  The server sees the bytes twice on one connection and (after the
   client reconnects and replays) a third time on the next — it must
   count them once.
+* ``"blackhole"`` — swallow this one frame silently; the connection
+  stays open and the client discovers the loss only by timeout.
+* ``("partition", n)`` — swallow this frame and the next ``n - 1``
+  request frames; while the partition is active, response frames are
+  swallowed too (no bytes cross in either direction).
+
+A partition can also be driven manually — :meth:`FaultProxy.partition`
+blackholes every frame in both directions until :meth:`FaultProxy.heal`
+— which is how the cluster chaos tests isolate one node for an exact
+span of the test and then watch hinted handoff reconcile it.
 
 Usage::
 
@@ -89,10 +104,15 @@ class SeededFaults:
         seed: The RNG seed — the whole point; two runs with the same
             seed inject byte-identical fault sequences.
         delay_rate, split_rate, sever_rate, sever_after_rate,
-        truncate_rate, dup_rate: Per-frame probabilities (evaluated in
-            that order on one uniform draw).
+        truncate_rate, dup_rate, partition_rate: Per-frame probabilities
+            (evaluated in that order on one uniform draw).
+            ``partition_rate`` defaults to ``0.0`` and sits last in the
+            band order, so schedules seeded before it existed are
+            byte-identical.
         delay: Seconds for a ``delay`` fault (kept small so chaos suites
             stay fast).
+        partition_frames: Request frames swallowed by one ``partition``
+            fault.
         first_faultable: Frames before this index always pass — lets the
             HELLO/negotiation exchange through so faults land on the
             interesting traffic.
@@ -108,11 +128,14 @@ class SeededFaults:
         sever_after_rate: float = 0.02,
         truncate_rate: float = 0.02,
         dup_rate: float = 0.02,
+        partition_rate: float = 0.0,
         delay: float = 0.002,
+        partition_frames: int = 3,
         first_faultable: int = 1,
     ) -> None:
         self._rng = random.Random(seed)
         self._delay = delay
+        self._partition_frames = partition_frames
         self._first = first_faultable
         self._bands = []
         edge = 0.0
@@ -123,6 +146,7 @@ class SeededFaults:
             (sever_after_rate, "sever_after"),
             (truncate_rate, "truncate"),
             (dup_rate, "dup"),
+            (partition_rate, "partition"),
         ):
             edge += rate
             self._bands.append((edge, name))
@@ -144,25 +168,50 @@ class SeededFaults:
                     return ("split", 1 + int(cut * 6))
                 if name == "truncate":
                     return ("truncate", 1 + int(cut * 6))
+                if name == "partition":
+                    return ("partition", self._partition_frames)
                 return name
         return PASS
 
 
 class _Pipe(threading.Thread):
-    """The raw server→client pump (responses forwarded untouched)."""
+    """The server→client response pump.
 
-    def __init__(self, src: socket.socket, dst: socket.socket) -> None:
+    Frame-aware so a partition can swallow *whole* response frames: a
+    raw byte pump would have to either forward (no partition) or tear a
+    frame mid-byte (desyncing the client forever, even after heal).
+    Outside a partition every frame is forwarded verbatim.
+    """
+
+    def __init__(self, proxy: "FaultProxy", src: socket.socket, dst: socket.socket) -> None:
         super().__init__(daemon=True)
+        self.proxy = proxy
         self._src = src
         self._dst = dst
+
+    def _read_exact(self, count: int) -> Optional[bytes]:
+        chunks = []
+        while count:
+            chunk = self._src.recv(count)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            count -= len(chunk)
+        return b"".join(chunks)
 
     def run(self) -> None:
         try:
             while True:
-                chunk = self._src.recv(1 << 16)
-                if not chunk:
+                header = self._read_exact(_LEN.size)
+                if header is None:
                     break
-                self._dst.sendall(chunk)
+                (length,) = _LEN.unpack(header)
+                body = self._read_exact(length)
+                if body is None:
+                    break
+                if self.proxy._drop_response():
+                    continue
+                self._dst.sendall(header + body)
         except OSError:
             pass
         finally:
@@ -185,7 +234,7 @@ class _Link(threading.Thread):
         )
         self.upstream.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._responses = _Pipe(self.upstream, self.client)
+        self._responses = _Pipe(proxy, self.upstream, self.client)
 
     # -- socket helpers ------------------------------------------------
 
@@ -234,9 +283,17 @@ class _Link(threading.Thread):
                 self._sever_both()
                 return
             frame = header + body
+            if self.proxy._drop_request():
+                # Manually partitioned (or inside a scheduled partition
+                # span): the frame vanishes without consuming a schedule
+                # slot; the client learns only by timing out.
+                continue
             action = self.proxy._next_action()
             if action == PASS:
                 self.upstream.sendall(frame)
+            elif action == "blackhole":
+                self.proxy._count_dropped()
+                continue
             elif action == "sever":
                 self._sever_both()
                 return
@@ -267,6 +324,10 @@ class _Link(threading.Thread):
                     pass
                 self._close(self.upstream)
                 return
+            elif action[0] == "partition":
+                self.proxy._count_dropped()
+                self.proxy._begin_partition(int(action[1]) - 1)
+                continue
             elif action[0] == "delay":
                 time.sleep(action[1])
                 self.upstream.sendall(frame)
@@ -299,6 +360,11 @@ class FaultProxy:
         self.upstream_port = upstream_port
         self.schedule = schedule if schedule is not None else ScriptedFaults({})
         self._frame_index = 0
+        self._partitioned = False
+        #: Request frames a scheduled ``("partition", n)`` still owes.
+        self._partition_left = 0
+        #: Frames swallowed by partitions/blackholes (both directions).
+        self.frames_dropped = 0
         self._lock = threading.Lock()
         self._links = []
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -321,6 +387,51 @@ class FaultProxy:
             index = self._frame_index
             self._frame_index += 1
         return self.schedule.action(index)
+
+    # -- partition / blackhole state -----------------------------------
+
+    def partition(self) -> None:
+        """Blackhole the link both ways until :meth:`heal` — connections
+        stay open, frames silently vanish (the network-partition shape)."""
+        with self._lock:
+            self._partitioned = True
+
+    def heal(self) -> None:
+        """End a partition (manual or scheduled); traffic flows again."""
+        with self._lock:
+            self._partitioned = False
+            self._partition_left = 0
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned or self._partition_left > 0
+
+    def _begin_partition(self, more_frames: int) -> None:
+        with self._lock:
+            self._partition_left = max(self._partition_left, more_frames)
+
+    def _count_dropped(self) -> None:
+        with self._lock:
+            self.frames_dropped += 1
+
+    def _drop_request(self) -> bool:
+        with self._lock:
+            if self._partitioned:
+                self.frames_dropped += 1
+                return True
+            if self._partition_left > 0:
+                self._partition_left -= 1
+                self.frames_dropped += 1
+                return True
+        return False
+
+    def _drop_response(self) -> bool:
+        with self._lock:
+            if self._partitioned or self._partition_left > 0:
+                self.frames_dropped += 1
+                return True
+        return False
 
     def _accept_loop(self) -> None:
         while not self._stopped:

@@ -28,6 +28,11 @@ Requests (``key`` is ``u16 length + UTF-8 bytes``)::
     MULTI_QUERY   0x0A  u32 requests, requests * (key, u8 kind, u32 count,
                         count * f64 points); kind: 0 = quantiles,
                         1 = ranks (inclusive), 2 = cdf
+    HELLO         0x0B  u32 flags, session id (key encoding)
+    SEQ_INGEST    0x0C  u64 seq, then the INGEST operands
+    SEQ_MULTI_INGEST 0x0D  u64 seq, then the MULTI_INGEST operands
+    HEALTH        0x0E  (no operands)
+    FETCH         0x0F  key — the key's FRQ1 payload (repair read path)
 
 Responses (after the status byte; every read response carries the key's
 ``u64 num_retained`` as a trailing footer for observability)::
@@ -46,6 +51,7 @@ Responses (after the status byte; every read response carries the key's
                   batch): OK records are ``0, u64 n, f64 eps, u32 count,
                   values, u64 retained`` (a QUERY/CDF/RANK response body);
                   error records are ``status, u32 length, UTF-8 message``.
+    FETCH         u64 n, u32 length, FRQ1 payload
 
 ``MULTI_QUERY`` is the vectorized read path.  A *uniform* frame — every
 record naming the same key, kind, and point count (the dashboard shape:
@@ -96,6 +102,7 @@ __all__ = [
     "OP_SEQ_INGEST",
     "OP_SEQ_MULTI_INGEST",
     "OP_HEALTH",
+    "OP_FETCH",
     "OP_NAMES",
     "FLAG_EXACTLY_ONCE",
     "HEALTH_READY",
@@ -168,6 +175,13 @@ OP_SEQ_INGEST = 0x0C
 OP_SEQ_MULTI_INGEST = 0x0D
 #: Readiness probe: responds ``status, u8 state, u32 length, JSON``.
 OP_HEALTH = 0x0E
+#: ``key`` -> the key's current ``FRQ1`` payload (``u64 n, u32 length,
+#: payload``).  The read half of anti-entropy repair: a cluster
+#: coordinator FETCHes the authoritative replica's summary and ships it
+#: to a lagging replica through ``MERGE`` — mergeability (the paper's
+#: Theorem 3) makes the healed replica as accurate as one that saw the
+#: stream directly.  Unknown keys answer ``UNKNOWN_KEY``.
+OP_FETCH = 0x0F
 
 #: Opcode -> wire name (STATS reporting; unknown opcodes render as hex).
 OP_NAMES = {
@@ -185,6 +199,7 @@ OP_NAMES = {
     OP_SEQ_INGEST: "seq_ingest",
     OP_SEQ_MULTI_INGEST: "seq_multi_ingest",
     OP_HEALTH: "health",
+    OP_FETCH: "fetch",
 }
 
 #: ``HELLO`` capability flag: per-frame sequence numbers + server-side

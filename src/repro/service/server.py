@@ -49,7 +49,7 @@ import threading
 import time
 from collections import deque
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -141,8 +141,13 @@ class QuantileService:
         fsync: bool = False,
         group_commit: bool = False,
         max_sessions: int = 4096,
+        node_id: Optional[str] = None,
     ) -> None:
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        #: Cluster identity: surfaced in STATS/HEALTH so ring-aware
+        #: clients and `cluster-status` can verify they reached the node
+        #: the topology names (``None`` = standalone service).
+        self.node_id = node_id
         self._applied_seq: Dict[str, int] = {}
         self._snap_seq: Dict[str, int] = {}
         self._seq = 1
@@ -376,6 +381,17 @@ class QuantileService:
         self.merge_count += 1
         return n
 
+    def payload(self, key: str) -> Tuple[int, bytes]:
+        """``(n, FRQ1 payload)`` for ``key`` — the FETCH/repair read path.
+
+        Read-only: serializing never mutates the summary, so no WAL
+        record is needed.  Raises ``KeyError`` for unknown keys (mapped
+        to ``UNKNOWN_KEY`` on the wire).
+        """
+        self._check_key(key)
+        payload = self.store.payload(key)
+        return self.current_n(key), payload
+
     # ------------------------------------------------------------------
     # Queries (index-backed; see repro.service.store.SketchStore.query)
     # ------------------------------------------------------------------
@@ -508,6 +524,7 @@ class QuantileService:
             return self.store.key_stats(key)
         report = {
             "version": __version__,
+            "node_id": self.node_id,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "ingested_values": self.ingested_values,
             "query_count": self.query_count,
@@ -1238,6 +1255,12 @@ class QuantileServer:
                     stats["rejected_connections"] = self.rejected_connections
                     stats["draining"] = self.draining
                 return b"\x00" + wire.pack_blob(json.dumps(stats).encode("utf-8"))
+            if op == wire.OP_FETCH:
+                key, _ = wire.unpack_key(body, 1)
+                if not key:
+                    return wire.error_body(wire.STATUS_BAD_REQUEST, "FETCH needs a key")
+                n, payload = self.service.payload(key)
+                return b"\x00" + wire.pack_n(n) + wire.pack_blob(payload)
             if op == wire.OP_SNAPSHOT:
                 return b"\x00" + wire._COUNT.pack(self.service.snapshot_all())
             if op == wire.OP_PING:
@@ -1268,6 +1291,7 @@ class QuantileServer:
             state = wire.HEALTH_READY
         detail = {
             "state": ("ready", "overloaded", "draining")[state],
+            "node_id": self.service.node_id,
             "open_connections": len(self._transports),
             "max_connections": self.max_connections,
             "wal_queue_depth": self.service.wal_queue_depth,
@@ -1439,6 +1463,7 @@ def run_server(
     use_uvloop: bool = True,
     max_connections: Optional[int] = None,
     drain_timeout: float = 10.0,
+    node_id: Optional[str] = None,
 ) -> int:
     """Blocking entry point for ``repro-quantiles serve``.
 
@@ -1467,6 +1492,7 @@ def run_server(
         hot_shards=hot_shards,
         fsync=fsync,
         group_commit=group_commit and data_dir is not None,
+        node_id=node_id,
     )
     server = QuantileServer(
         service,
@@ -1481,6 +1507,13 @@ def run_server(
     async def main() -> None:
         nonlocal drain_requested
         await server.start()
+        # Machine-readable ready line FIRST: supervisors and cluster test
+        # harnesses spawning N servers on port 0 parse this to learn the
+        # bound address the moment accepts are live (no poll-connect).
+        ready = f"READY host={server.host} port={server.port}"
+        if node_id is not None:
+            ready += f" node_id={node_id}"
+        print(ready, flush=True)
         durable = f"data_dir={data_dir}" if data_dir else "in-memory (no durability)"
         print(
             f"repro-quantiles {__version__} serving on {server.host}:{server.port} "

@@ -1,0 +1,290 @@
+"""Cluster chaos: replicated ingest under node kills, partitions, and
+drain/rejoin — the tentpole invariants of the cluster plane.
+
+Every scenario drives a real :class:`ClusterClient` against real
+:class:`ServerThread` nodes (one data dir each) and checks the
+paper-backed contract:
+
+* **Every acked value stays queryable** through any single-node failure
+  (a write is acked once one replica durably applied it, and reads fail
+  over).
+* **Quantile answers honour the sketch's a-priori error bound** during
+  and after the failure — any replica's sketch is a valid REQ summary
+  of the key's stream (mergeability, Theorem 3), so failover costs
+  availability nothing *and* accuracy nothing.
+* **Replicas reconverge to identical per-key ``n``** after hinted
+  handoff replay and/or an anti-entropy repair pass.  When the replicas'
+  flush histories are symmetric (no one-sided mid-stream read — queries
+  drain the staging buffer, which moves compaction boundaries), they
+  reconverge to **bit-identical sketch payloads**: hints replay the
+  exact frames in order and per-key compaction RNG seeds derive from
+  the same base seed on every node.
+* **Snapshot + WAL-tail rejoin is bit-exact**: a restarted node's
+  recovered sketch is byte-identical to its pre-shutdown state.
+
+All scenarios are seeded and repeated; a failure reproduces with the
+same seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterClient, ClusterMap, repair
+from repro.service.faultproxy import FaultProxy
+from repro.service.resilience import RetryPolicy
+from repro.service.server import QuantileService, ServerThread
+
+pytestmark = pytest.mark.chaos
+
+SEED = 20210629  # the paper's conference date; fixed across repeats
+KEYS = ("lat", "err", "ttfb")
+
+
+def _policy(**overrides):
+    base = dict(timeout=0.5, retries=2, backoff=0.01, backoff_max=0.05, seed=SEED)
+    base.update(overrides)
+    return RetryPolicy(**base)
+
+
+def _node(tmp_path, node_id, port=0):
+    return ServerThread(
+        QuantileService(tmp_path / node_id, node_id=node_id),
+        port=port,
+        snapshot_interval=None,
+    )
+
+
+def _assert_quantiles_within_bound(client, key, stream):
+    """q=0.5 / q=0.99 estimates: true normalized rank within the a-priori
+    eps the server reported alongside the answer."""
+    sorted_stream = np.sort(stream)
+    result = client.query(key, [0.5, 0.99])
+    assert result.n == len(stream)
+    for fraction, estimate in zip([0.5, 0.99], result.quantiles):
+        true_rank = np.searchsorted(sorted_stream, estimate, side="right")
+        assert abs(true_rank / len(stream) - fraction) <= result.error_bound
+
+
+def _assert_replicas_identical(client, keys):
+    """After reconvergence every replica of every key agrees on ``n``."""
+    for key in keys:
+        counts = client.key_counts(key)
+        assert None not in counts.values(), f"replica down during verify: {counts}"
+        assert len(set(counts.values())) == 1, f"diverged {key!r}: {counts}"
+
+
+# ----------------------------------------------------------------------
+# Kill a node mid-ingest (the acceptance scenario; 3x with one seed)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_node_kill_mid_ingest_acked_values_stay_queryable(tmp_path, repeat):
+    """R=2, three nodes; one replica dies mid-stream and later rejoins.
+
+    Invariants checked at every stage: each acked value is queryable
+    (reads fail over), q=0.5/0.99 stay within ``error_bound``, and after
+    hint replay + anti-entropy repair every replica of every key reports
+    the same ``n``.  Fixed seed; the parametrized repeat proves the run
+    is deterministic, not lucky.
+    """
+    rng = np.random.default_rng(SEED)  # same seed every repeat
+    streams = {key: rng.lognormal(0.0, 1.0, 9_000) for key in KEYS}
+    nodes = {nid: _node(tmp_path, nid) for nid in ("a", "b", "c")}
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in nodes.items()], replication=2
+    )
+    client = ClusterClient(ring, retry=_policy(), probe_interval=0.05)
+    try:
+        # Phase 1: a third of each stream lands while everyone is up.
+        for key, stream in streams.items():
+            client.ingest_stream(key, stream[:3_000], frame_values=1_000)
+
+        # Kill one replica of the first key mid-ingest.
+        victim = ring.replicas(KEYS[0])[0].node_id
+        victim_port = nodes[victim].port
+        nodes[victim].stop(snapshot=False)  # crash, no goodbye snapshot
+
+        # Phase 2: the rest of every stream, written into the outage.
+        # Writes to the dead replica are hinted; every batch still acks.
+        for key, stream in streams.items():
+            client.ingest_stream(key, stream[3_000:], frame_values=1_000)
+
+        # Every acked value queryable + accurate, served by survivors.
+        for key, stream in streams.items():
+            _assert_quantiles_within_bound(client, key, stream)
+
+        # The node rejoins on its old port from its own WAL.
+        nodes[victim] = _node(tmp_path, victim, port=victim_port)
+        assert client.flush_hints() == {}
+
+        # Anti-entropy pass: nothing left to heal, nothing diverged.
+        report = repair(client)
+        assert report.clean, report
+        _assert_replicas_identical(client, KEYS)
+
+        # Accuracy again, now answerable by the healed replica too.
+        for key, stream in streams.items():
+            _assert_quantiles_within_bound(client, key, stream)
+    finally:
+        client.close()
+        for thread in nodes.values():
+            thread.stop(snapshot=False)
+
+
+# ----------------------------------------------------------------------
+# Partition (frames blackholed, TCP up) and heal
+# ----------------------------------------------------------------------
+
+
+def _partitioned_pair(tmp_path):
+    """Two durable nodes, R=2, node "a" routed through a FaultProxy."""
+    nodes = {nid: _node(tmp_path, nid) for nid in ("a", "b")}
+    proxy = FaultProxy(nodes["a"].port)
+    ring = ClusterMap(
+        [
+            ("a", "127.0.0.1", proxy.port),
+            ("b", "127.0.0.1", nodes["b"].port),
+        ],
+        replication=2,
+    )
+    client = ClusterClient(
+        ring, retry=_policy(timeout=0.3, retries=1), probe_interval=0.05
+    )
+    return nodes, proxy, client
+
+
+def test_partition_reads_fail_over_and_stay_accurate(tmp_path):
+    """One node is partitioned (its frames silently vanish — connections
+    stay open, so only timeouts reveal it).  Writes keep acking on the
+    surviving replica and hint for the partitioned one; reads fail over
+    and stay within the error bound; after heal the replicas agree on
+    ``n`` and an anti-entropy pass finds nothing to fix."""
+    rng = np.random.default_rng(SEED)
+    stream = rng.lognormal(0.0, 1.0, 8_000)
+    nodes, proxy, client = _partitioned_pair(tmp_path)
+    # "rtt" is primary on node "a" — the one behind the proxy — so the
+    # mid-outage read below must fail over to reach an answer at all.
+    key = "rtt"
+    assert client.map.replicas(key)[0].node_id == "a"
+    try:
+        client.ingest_stream(key, stream[:2_000], frame_values=500)
+
+        proxy.partition()
+        client.ingest_stream(key, stream[2_000:6_000], frame_values=500)
+        assert client.hinted_writes > 0
+        # Reads fail over past the partitioned primary and stay accurate.
+        _assert_quantiles_within_bound(client, key, stream[:6_000])
+        assert client.read_failovers > 0
+
+        proxy.heal()
+        client.ingest_stream(key, stream[6_000:], frame_values=500)
+        assert client.flush_hints() == {}
+        assert proxy.frames_dropped > 0
+
+        _assert_replicas_identical(client, [key])
+        assert repair(client).clean
+        _assert_quantiles_within_bound(client, key, stream)
+    finally:
+        client.close()
+        proxy.stop()
+        for thread in nodes.values():
+            thread.stop(snapshot=False)
+
+
+def test_partition_heal_reconverges_bitexact(tmp_path):
+    """Partition, write through the outage, heal: hint replay must carry
+    the partitioned replica to a sketch *byte-identical* with its peer.
+
+    Bit-exactness holds because both replicas see the same frames in
+    the same order (hints replay verbatim before live traffic resumes)
+    and no one-sided read perturbs a staging flush — so this variant
+    deliberately performs no queries until both replicas have
+    everything."""
+    rng = np.random.default_rng(SEED)
+    stream = rng.lognormal(0.0, 1.0, 8_000)
+    nodes, proxy, client = _partitioned_pair(tmp_path)
+    try:
+        client.ingest_stream("lat", stream[:2_000], frame_values=500)
+
+        proxy.partition()
+        client.ingest_stream("lat", stream[2_000:6_000], frame_values=500)
+        assert client.hinted_writes > 0
+
+        proxy.heal()
+        # The next write probes the node back to life and replays the
+        # buffered hints *before* shipping the live frames.
+        client.ingest_stream("lat", stream[6_000:], frame_values=500)
+        assert client.flush_hints() == {}
+        assert proxy.frames_dropped > 0
+
+        _assert_replicas_identical(client, ["lat"])
+        n_a, payload_a = client.node_client("a").fetch("lat")
+        n_b, payload_b = client.node_client("b").fetch("lat")
+        assert n_a == n_b == len(stream)
+        assert payload_a == payload_b
+        _assert_quantiles_within_bound(client, "lat", stream)
+    finally:
+        client.close()
+        proxy.stop()
+        for thread in nodes.values():
+            thread.stop(snapshot=False)
+
+
+# ----------------------------------------------------------------------
+# Drain a node; snapshot + WAL-tail rejoin catches up bit-exact
+# ----------------------------------------------------------------------
+
+
+def test_drain_and_rejoin_catches_up_bitexact(tmp_path):
+    """A node checkpoints mid-stream, takes more writes (a WAL tail past
+    the snapshot), drains gracefully, and misses a batch while away.
+
+    Rejoin recovery must stitch snapshot + WAL tail back to a sketch
+    *byte-identical* with the node's pre-drain state (not merely the
+    same ``n`` — the exact retained multiset and encoding), then hint
+    replay must carry it to the survivor's ``n`` with full accuracy."""
+    rng = np.random.default_rng(SEED)
+    stream = rng.lognormal(0.0, 1.0, 10_000)
+    nodes = {nid: _node(tmp_path, nid) for nid in ("a", "b")}
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in nodes.items()], replication=2
+    )
+    client = ClusterClient(ring, retry=_policy(timeout=0.4), probe_interval=0.05)
+    victim = ring.replicas("lat")[1].node_id
+    try:
+        client.ingest_stream("lat", stream[:3_000], frame_values=500)
+        # Mid-stream checkpoint on the soon-to-drain node...
+        assert client.node_client(victim).snapshot() >= 1
+        # ...then more writes that live only in its WAL tail.
+        client.ingest_stream("lat", stream[3_000:6_000], frame_values=500)
+        _n_pre, payload_pre_drain = client.node_client(victim).fetch("lat")
+
+        victim_port = nodes[victim].port
+        # Graceful drain; the tail stays in the WAL (no exit snapshot).
+        nodes[victim].stop(snapshot=False, drain=True)
+
+        # Writes the drained node misses entirely (hinted for it).
+        client.ingest_stream("lat", stream[6_000:], frame_values=500)
+        assert client.hinted_writes > 0
+        _assert_quantiles_within_bound(client, "lat", stream)
+
+        # Rejoin: recovery stitches snapshot + WAL tail back to the
+        # exact bytes the node held when it drained.
+        nodes[victim] = _node(tmp_path, victim, port=victim_port)
+        assert int(nodes[victim].service.store.key_stats("lat")["n"]) == 6_000
+        recovered_n, recovered_payload = nodes[victim].service.payload("lat")
+        assert recovered_n == 6_000
+        assert recovered_payload == payload_pre_drain
+
+        # Hint replay carries it the rest of the way.
+        assert client.flush_hints() == {}
+        _assert_replicas_identical(client, ["lat"])
+        assert repair(client).clean
+        _assert_quantiles_within_bound(client, "lat", stream)
+    finally:
+        client.close()
+        for thread in nodes.values():
+            thread.stop(snapshot=False)

@@ -1,0 +1,493 @@
+"""Unit and integration tests for the cluster plane: ring, handoff,
+cluster clients, anti-entropy repair, and the cluster-status CLI."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AsyncClusterClient,
+    ClusterClient,
+    ClusterMap,
+    ClusterNode,
+    Hint,
+    HintQueue,
+    key_hash,
+    repair,
+)
+from repro.errors import ClusterError, InvalidParameterError
+from repro.service.resilience import RetryPolicy
+from repro.service.server import QuantileService, ServerThread
+
+NODES = [("a", "127.0.0.1", 7001), ("b", "127.0.0.1", 7002), ("c", "127.0.0.1", 7003)]
+
+
+def _values(count, seed=0):
+    return np.random.default_rng(seed).standard_normal(count)
+
+
+def _policy(**overrides):
+    base = dict(timeout=2.0, retries=2, backoff=0.01, backoff_max=0.05, seed=1)
+    base.update(overrides)
+    return RetryPolicy(**base)
+
+
+# ----------------------------------------------------------------------
+# ClusterMap (pure ring math — no sockets)
+# ----------------------------------------------------------------------
+
+
+class TestClusterMap:
+    def test_replicas_distinct_and_deterministic(self):
+        ring = ClusterMap(NODES, replication=2)
+        for key in ("lat", "err", "k-17", ""):
+            one = ring.replicas(key)
+            assert len(one) == 2
+            assert len({node.node_id for node in one}) == 2
+            assert one == ring.replicas(key)  # stable
+            assert one[0] == ring.primary(key)
+
+    def test_placement_is_process_independent(self):
+        """blake2b, not salted hash(): the same topology must route the
+        same key identically in every process, or replicas disagree."""
+        assert key_hash("lat") == int.from_bytes(
+            __import__("hashlib").blake2b(b"lat", digest_size=8).digest(), "little"
+        )
+        one = ClusterMap(NODES, replication=2)
+        two = ClusterMap.from_json(one.to_json())
+        for index in range(100):
+            key = f"key-{index}"
+            assert [n.node_id for n in one.replicas(key)] == [
+                n.node_id for n in two.replicas(key)
+            ]
+
+    def test_replication_capped_by_cluster_size(self):
+        ring = ClusterMap(NODES[:2], replication=5)
+        assert len(ring.replicas("k")) == 2
+
+    def test_vnodes_smooth_the_load(self):
+        ring = ClusterMap(NODES, replication=1, vnodes=64)
+        counts = {node_id: 0 for node_id, _h, _p in NODES}
+        total = 6000
+        for index in range(total):
+            counts[ring.primary(f"key-{index}").node_id] += 1
+        for count in counts.values():
+            assert 0.2 < count / (total / len(NODES)) < 2.0
+
+    def test_remap_is_minimal_on_node_removal(self):
+        """The consistent-hashing property: removing one node only moves
+        keys that lived on it — keys between surviving nodes stay put."""
+        before = ClusterMap(NODES, replication=1)
+        after = before.without_node("b")
+        moved = stayed = 0
+        for index in range(2000):
+            key = f"key-{index}"
+            old = before.primary(key).node_id
+            new = after.primary(key).node_id
+            if old == "b":
+                assert new != "b"
+            elif old == new:
+                stayed += 1
+            else:
+                moved += 1
+        assert moved == 0
+        assert stayed > 0
+
+    def test_topology_changes_bump_version(self):
+        ring = ClusterMap(NODES, replication=2)
+        assert ring.version == 1
+        grown = ring.with_node(("d", "127.0.0.1", 7004))
+        assert grown.version == 2 and len(grown) == 4
+        shrunk = grown.without_node("d")
+        assert shrunk.version == 3 and len(shrunk) == 3
+        with pytest.raises(ClusterError):
+            ring.without_node("nope")
+
+    def test_json_roundtrip_and_file(self, tmp_path):
+        ring = ClusterMap(NODES, replication=2, vnodes=16, version=7)
+        assert ClusterMap.from_json(ring.to_json()) == ring
+        path = tmp_path / "ring.json"
+        ring.save(path)
+        assert ClusterMap.load(path) == ring
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 7 and doc["replication"] == 2
+
+    def test_load_errors(self, tmp_path):
+        with pytest.raises(ClusterError):
+            ClusterMap.load(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ClusterError):
+            ClusterMap.load(bad)
+        bad.write_text('{"nodes": "wrong-shape"}')
+        with pytest.raises(ClusterError):
+            ClusterMap.load(bad)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterMap([])
+        with pytest.raises(InvalidParameterError):
+            ClusterMap(NODES, replication=0)
+        with pytest.raises(InvalidParameterError):
+            ClusterMap(NODES, vnodes=0)
+        with pytest.raises(InvalidParameterError):
+            ClusterMap([("a", "h", 1), ("a", "h", 2)])
+        with pytest.raises(InvalidParameterError):
+            ClusterMap([("", "h", 1)])
+
+    def test_node_lookup(self):
+        ring = ClusterMap(NODES)
+        assert ring.node("a") == ClusterNode("a", "127.0.0.1", 7001)
+        assert "a" in ring and "z" not in ring
+        assert ring.node("a").address == "127.0.0.1:7001"
+        with pytest.raises(ClusterError):
+            ring.node("z")
+
+
+# ----------------------------------------------------------------------
+# HintQueue (pure buffer logic)
+# ----------------------------------------------------------------------
+
+
+class TestHintQueue:
+    def test_fifo_drain_and_accounting(self):
+        queue = HintQueue()
+        for index in range(3):
+            assert queue.push(Hint("k", 10, bytes([index])))
+        assert len(queue) == 3 and queue.buffered_values == 30
+        assert [hint.body for hint in queue.drain()] == [b"\x00", b"\x01", b"\x02"]
+        assert len(queue) == 0 and queue.buffered_values == 0
+        assert queue.replayed_hints == 3 and queue.complete
+
+    def test_overflow_drops_newest_and_marks_incomplete(self):
+        """Drop-newest keeps the buffered prefix contiguous in sequence
+        order — the server's in-order dedup needs that on replay."""
+        queue = HintQueue(max_hints=2)
+        assert queue.push(Hint("k", 1, b"a"))
+        assert queue.push(Hint("k", 1, b"b"))
+        assert not queue.push(Hint("k", 1, b"c"))
+        assert [h.body for h in queue.drain()] == [b"a", b"b"]  # prefix kept
+        assert queue.dropped_hints == 1 and not queue.complete
+
+    def test_value_bound(self):
+        queue = HintQueue(max_values=25)
+        assert queue.push(Hint("k", 20, b"a"))
+        assert not queue.push(Hint("k", 10, b"b"))  # 30 > 25
+        assert queue.push(Hint("k", 5, b"c"))
+        assert queue.dropped_values == 10
+
+    def test_requeue_after_failed_replay(self):
+        queue = HintQueue()
+        queue.push(Hint("k", 1, b"a"))
+        queue.push(Hint("k", 1, b"b"))
+        drained = []
+        for hint in queue.drain():
+            if hint.body == b"b":
+                queue.requeue(hint)  # replay failed mid-flight
+                break
+            drained.append(hint.body)
+        assert drained == [b"a"]
+        assert [h.body for h in queue.drain()] == [b"b"]
+
+    def test_abandon_counts_as_dropped(self):
+        queue = HintQueue()
+        queue.push(Hint("k", 10, b"a"))
+        queue.push(Hint("k", 10, b"b"))
+        assert queue.abandon() == 2
+        assert len(queue) == 0 and queue.buffered_values == 0
+        assert queue.dropped_hints == 2 and queue.dropped_values == 20
+        assert not queue.complete
+
+    def test_stats(self):
+        queue = HintQueue(max_hints=1)
+        queue.push(Hint("k", 3, b"x"))
+        queue.push(Hint("k", 4, b"y"))
+        stats = queue.stats()
+        assert stats["pending_hints"] == 1
+        assert stats["buffered_values"] == 3
+        assert stats["dropped_hints"] == 1
+        assert stats["complete"] is False
+
+
+# ----------------------------------------------------------------------
+# ClusterClient against live nodes
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def trio(tmp_path):
+    """Three durable nodes + their topology map (R=2)."""
+    threads = {
+        node_id: ServerThread(QuantileService(tmp_path / node_id, node_id=node_id))
+        for node_id in ("a", "b", "c")
+    }
+    ring = ClusterMap(
+        [(node_id, "127.0.0.1", thread.port) for node_id, thread in threads.items()],
+        replication=2,
+    )
+    yield threads, ring
+    for thread in threads.values():
+        thread.stop(snapshot=False)
+
+
+class TestClusterClient:
+    def test_write_lands_on_every_replica(self, trio):
+        threads, ring = trio
+        with ClusterClient(ring, retry=_policy()) as client:
+            assert client.ingest("lat", _values(2000)) == 2000
+            counts = client.key_counts("lat")
+        replica_ids = {node.node_id for node in ring.replicas("lat")}
+        assert set(counts) == replica_ids
+        assert all(n == 2000 for n in counts.values())
+        # Non-replicas never saw the key.
+        for node_id, thread in threads.items():
+            expected = 2000 if node_id in replica_ids else None
+            stats = thread.service.store.key_stats("lat") if expected else None
+            if expected:
+                assert int(stats["n"]) == expected
+
+    def test_read_fails_over_to_surviving_replica(self, trio):
+        threads, ring = trio
+        data = _values(5000)
+        with ClusterClient(ring, retry=_policy(timeout=0.5), probe_interval=10.0) as client:
+            client.ingest("lat", data)
+            for node in ring.replicas("lat"):
+                threads[node.node_id].stop(snapshot=False)
+                result = client.query("lat", [0.5])
+                assert result.n == 5000
+                assert client.read_failovers >= 1
+                break  # killed the primary; the secondary answered
+
+    def test_all_replicas_down_raises_cluster_error(self, trio):
+        threads, ring = trio
+        with ClusterClient(ring, retry=_policy(timeout=0.3, retries=0)) as client:
+            client.ingest("lat", _values(100))
+            for node in ring.replicas("lat"):
+                threads[node.node_id].stop(snapshot=False)
+            with pytest.raises(ClusterError):
+                client.query("lat", [0.5])
+            with pytest.raises(ClusterError):
+                client.ingest("lat", _values(10))
+
+    def test_unknown_key_everywhere_surfaces_unknown_key(self, trio):
+        _threads, ring = trio
+        from repro.errors import ServiceError
+        from repro.service import protocol as wire
+
+        with ClusterClient(ring, retry=_policy()) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.query("never-written", [0.5])
+            assert getattr(excinfo.value, "status", None) == wire.STATUS_UNKNOWN_KEY
+
+    def test_down_replica_gets_hints_and_converges_on_revive(self, trio, tmp_path):
+        threads, ring = trio
+        data = _values(6000)
+        with ClusterClient(ring, retry=_policy(timeout=0.4), probe_interval=0.05) as client:
+            client.ingest("lat", data[:2000])
+            victim = ring.replicas("lat")[1].node_id
+            port = threads[victim].port
+            threads[victim].stop(snapshot=False)
+            client.ingest("lat", data[2000:4000])  # hinted for the victim
+            client.ingest("lat", data[4000:])
+            assert client.hinted_writes > 0
+            threads[victim] = ServerThread(
+                QuantileService(tmp_path / victim, node_id=victim), port=port
+            )
+            assert client.flush_hints() == {}
+            counts = client.key_counts("lat")
+            assert set(counts.values()) == {6000}
+
+    def test_replicas_bitexact_after_hint_replay(self, trio, tmp_path):
+        """Hints replay the exact frames in order and the per-key RNG
+        seeds derive from the same base seed on every node — so a
+        caught-up replica is byte-identical, not just count-identical."""
+        threads, ring = trio
+        data = _values(4000)
+        with ClusterClient(ring, retry=_policy(timeout=0.4), probe_interval=0.05) as client:
+            client.ingest_stream("lat", data[:1000], frame_values=500)
+            victim = ring.replicas("lat")[0].node_id
+            survivor = ring.replicas("lat")[1].node_id
+            port = threads[victim].port
+            threads[victim].stop(snapshot=False)
+            client.ingest_stream("lat", data[1000:], frame_values=500)
+            threads[victim] = ServerThread(
+                QuantileService(tmp_path / victim, node_id=victim), port=port
+            )
+            assert client.flush_hints() == {}
+            _n_victim, payload_victim = client.node_client(victim).fetch("lat")
+            _n_survivor, payload_survivor = client.node_client(survivor).fetch("lat")
+            assert payload_victim == payload_survivor
+
+    def test_stats_shape(self, trio):
+        _threads, ring = trio
+        with ClusterClient(ring, retry=_policy()) as client:
+            client.ingest("lat", _values(100))
+            stats = client.stats()
+        assert stats["topology_version"] == 1
+        assert stats["replication"] == 2
+        assert stats["write_acks"] == 1
+        assert len(stats["nodes"]) == 3
+        for node in stats["nodes"]:
+            assert {"node_id", "live", "pending_hints", "session"} <= set(node)
+
+    def test_topology_file_constructor(self, trio, tmp_path):
+        _threads, ring = trio
+        path = tmp_path / "ring.json"
+        ring.save(path)
+        with ClusterClient(path, retry=_policy()) as client:
+            assert client.ingest("k", _values(50)) == 50
+
+
+class TestAsyncClusterClient:
+    def test_concurrent_fanout_and_failover(self, trio, tmp_path):
+        threads, ring = trio
+        data = _values(3000)
+
+        async def scenario():
+            client = AsyncClusterClient(
+                ring, retry=_policy(timeout=0.4), probe_interval=0.05
+            )
+            try:
+                await client.ingest("lat", data[:1000])
+                victim = ring.replicas("lat")[1].node_id
+                port = threads[victim].port
+                threads[victim].stop(snapshot=False)
+                await client.ingest_stream("lat", data[1000:], frame_values=500)
+                assert client.hinted_writes > 0
+                result = await client.query("lat", [0.5])
+                assert result.n == 3000
+                threads[victim] = ServerThread(
+                    QuantileService(tmp_path / victim, node_id=victim), port=port
+                )
+                assert await client.flush_hints() == {}
+                counts = await client.key_counts("lat")
+                assert set(counts.values()) == {3000}
+                return client.stats()
+            finally:
+                await client.close()
+
+        stats = asyncio.run(scenario())
+        assert stats["write_acks"] == 5  # 1 + 4 stream chunks
+
+
+# ----------------------------------------------------------------------
+# Anti-entropy repair
+# ----------------------------------------------------------------------
+
+
+class TestRepair:
+    def test_consistent_cluster_reports_clean(self, trio):
+        _threads, ring = trio
+        with ClusterClient(ring, retry=_policy()) as client:
+            client.ingest("a-key", _values(500))
+            client.ingest("b-key", _values(700, seed=1))
+            report = repair(client)
+        assert report.examined == 2
+        assert report.consistent == 2
+        assert report.clean
+        assert all(key.consistent for key in report.keys)
+
+    def test_wiped_replica_healed_exactly(self, trio, tmp_path):
+        """Disk loss: the node rejoins empty, its stale hints are
+        abandoned (amnesia detection), and FETCH+MERGE copies the
+        authority — counts agree and a second pass is clean."""
+        import shutil
+
+        threads, ring = trio
+        with ClusterClient(
+            ring, retry=_policy(timeout=0.4), probe_interval=0.05, max_hints=2
+        ) as client:
+            client.ingest("lat", _values(3000))
+            victim = ring.replicas("lat")[1].node_id
+            port = threads[victim].port
+            threads[victim].stop(snapshot=False)
+            shutil.rmtree(tmp_path / victim)
+            for chunk in range(5):  # more writes than the hint bound
+                client.ingest("lat", _values(500, seed=chunk))
+            threads[victim] = ServerThread(
+                QuantileService(tmp_path / victim, node_id=victim), port=port
+            )
+            report = repair(client)
+            assert report.healed == 1
+            assert report.unhealed == 0
+            counts = client.key_counts("lat")
+            assert set(counts.values()) == {5500}
+            assert repair(client).consistent == 1
+
+    def test_detect_only_mode_heals_nothing(self, trio, tmp_path):
+        import shutil
+
+        threads, ring = trio
+        with ClusterClient(
+            ring, retry=_policy(timeout=0.4), probe_interval=0.05, max_hints=1
+        ) as client:
+            client.ingest("lat", _values(1000))
+            victim = ring.replicas("lat")[1].node_id
+            port = threads[victim].port
+            threads[victim].stop(snapshot=False)
+            shutil.rmtree(tmp_path / victim)
+            client.ingest("lat", _values(500, seed=1))
+            client.ingest("lat", _values(500, seed=2))
+            threads[victim] = ServerThread(
+                QuantileService(tmp_path / victim, node_id=victim), port=port
+            )
+            report = repair(client, heal=False)
+            assert not report.clean
+            assert report.healed == 0
+            assert report.unhealed == 1
+            # The divergence is still there for the healing pass.
+            assert repair(client).healed == 1
+
+    def test_down_replica_skipped_not_failed(self, trio):
+        threads, ring = trio
+        with ClusterClient(ring, retry=_policy(timeout=0.3, retries=0)) as client:
+            client.ingest("lat", _values(400))
+            victim = ring.replicas("lat")[0].node_id
+            threads[victim].stop(snapshot=False)
+            report = repair(client)
+        assert report.skipped_down >= 1
+        assert report.examined == 1
+
+
+# ----------------------------------------------------------------------
+# cluster-status CLI
+# ----------------------------------------------------------------------
+
+
+class TestClusterStatusCli:
+    def test_status_consistent_and_divergent(self, trio, tmp_path, capsys):
+        from repro.cli import main
+
+        threads, ring = trio
+        path = tmp_path / "ring.json"
+        ring.save(path)
+        with ClusterClient(ring, retry=_policy()) as client:
+            client.ingest("lat", _values(800))
+        assert main(["cluster-status", str(path), "--key", "lat"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent" in out and "ready" in out
+
+        # Make one replica diverge (merge extra data into it directly).
+        victim = ring.replicas("lat")[0]
+        from repro.fast import FastReqSketch
+
+        extra = FastReqSketch(32, seed=5)
+        extra.update_many(_values(100, seed=9))
+        with ClusterClient(ring, retry=_policy()) as client:
+            client.node_client(victim.node_id).merge("lat", extra.to_bytes())
+        assert main(["cluster-status", str(path), "--key", "lat"]) == 2
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_status_reports_down_node(self, trio, tmp_path, capsys):
+        from repro.cli import main
+
+        threads, ring = trio
+        path = tmp_path / "ring.json"
+        ring.save(path)
+        threads["b"].stop(snapshot=False)
+        assert main(["cluster-status", str(path), "--timeout", "0.3"]) == 2
+        assert "DOWN" in capsys.readouterr().out

@@ -5,6 +5,7 @@ connection limits, drain, HEALTH)."""
 from __future__ import annotations
 
 import asyncio
+import threading
 
 import pytest
 
@@ -16,7 +17,7 @@ from repro.errors import (
 )
 from repro.service import protocol as wire
 from repro.service.client import AsyncQuantileClient, QuantileClient
-from repro.service.faultproxy import FaultProxy, ScriptedFaults
+from repro.service.faultproxy import PASS, FaultProxy, ScriptedFaults, SeededFaults
 from repro.service.resilience import (
     ADMIT_APPLY,
     ADMIT_DUPLICATE,
@@ -187,6 +188,87 @@ class TestSessionTable:
         with pytest.raises(InvalidParameterError):
             SessionTable(max_sessions=0)
 
+    # -- LRU eviction x shed floor -------------------------------------
+
+    def test_eviction_forgets_shed_floor(self):
+        """An evicted session's shed floor dies with it: when the session
+        returns it is brand new and fresh frames apply immediately (the
+        floor exists to keep *tracked* sequences gap-free; an untracked
+        session has no marks left to protect)."""
+        table = SessionTable(max_sessions=2)
+        assert table.admit("a", "k", 1, shedding=True) == ADMIT_SHED
+        table.admit("b", "k", 1)
+        table.admit("c", "k", 1)  # evicts "a", floor and all
+        assert table.admit("a", "k", 2) == ADMIT_APPLY
+
+    def test_eviction_leaves_other_floors_alone(self):
+        """Evicting one session must not lift another's shed floor."""
+        table = SessionTable(max_sessions=2)
+        table.admit("victim", "k", 1)
+        assert table.admit("shed", "k", 5, shedding=True) == ADMIT_SHED
+        table.admit("fresh", "k", 1)  # evicts "victim" (LRU), not "shed"
+        assert table.admit("shed", "k", 6) == ADMIT_SHED  # floor intact
+        assert table.admit("shed", "k", 5) == ADMIT_APPLY  # rewind lifts it
+
+    def test_shed_admit_touches_lru_order(self):
+        """A shed verdict still counts as session activity: the shedding
+        session is MRU afterwards, so it is not the one evicted."""
+        table = SessionTable(max_sessions=2)
+        table.admit("idle", "k", 1)
+        table.admit("busy", "k", 1)
+        assert table.admit("idle", "k", 2, shedding=True) == ADMIT_SHED
+        table.admit("new", "k", 1)  # evicts "busy": "idle" was touched
+        assert table.high_water("idle", "k") == 1
+        assert table.high_water("busy", "k") == 0
+
+    # -- sessions.bin round-trip with evicted entries ------------------
+
+    def test_roundtrip_excludes_evicted_sessions(self):
+        """Serialization carries only live sessions: an evicted entry is
+        gone from the checkpoint, and the restored table treats it as
+        brand new rather than resurrecting stale marks."""
+        table = SessionTable(max_sessions=2)
+        table.admit("a", "k", 7)
+        table.admit("b", "k", 8)
+        table.admit("c", "k", 9)  # evicts "a"
+        restored = SessionTable()
+        restored.load_bytes(table.to_bytes())
+        assert len(restored) == 2
+        assert restored.high_water("a", "k") == 0
+        assert restored.high_water("b", "k") == 8
+        assert restored.high_water("c", "k") == 9
+        # The evicted session's replays are APPLY (new session), while
+        # the survivors' replays dedup — exactly what the live table does.
+        assert restored.admit("a", "k", 7) == ADMIT_APPLY
+        assert restored.admit("b", "k", 8) == ADMIT_DUPLICATE
+
+    def test_roundtrip_does_not_persist_shed_floors(self):
+        """Shed floors are transient backpressure, not durable state: a
+        restart lifts them (the client's rewound retry re-establishes
+        ordering through the normal admit path)."""
+        table = SessionTable()
+        table.admit("s", "k", 1)
+        assert table.admit("s", "k", 2, shedding=True) == ADMIT_SHED
+        restored = SessionTable()
+        restored.load_bytes(table.to_bytes())
+        assert restored.high_water("s", "k") == 1
+        assert restored.admit("s", "k", 2) == ADMIT_APPLY
+
+    def test_load_into_smaller_table_evicts_oldest(self, tmp_path):
+        """Restoring a checkpoint into a table with a smaller cap applies
+        the cap during the load — the file's oldest sessions age out."""
+        table = SessionTable()
+        for index in range(4):
+            table.admit(f"s{index}", "k", index + 1)
+        path = tmp_path / "sessions.bin"
+        table.save(path)
+        small = SessionTable(max_sessions=2)
+        assert small.load(path) is True
+        assert len(small) == 2
+        assert small.evicted == 2
+        assert small.high_water("s3", "k") == 4  # newest survived
+        assert small.high_water("s0", "k") == 0  # oldest aged out
+
 
 # ----------------------------------------------------------------------
 # OverloadPolicy
@@ -322,3 +404,144 @@ class TestServerResilience:
             with QuantileClient(port=running.port) as client:
                 assert client.ingest("k", [1.0, 2.0]) == 2
                 assert not client.exactly_once
+
+
+# ----------------------------------------------------------------------
+# Partition / blackhole faults (frames vanish, TCP stays up)
+# ----------------------------------------------------------------------
+
+
+class TestPartitionFaults:
+    """The silent-drop fault family: unlike sever-style faults nothing
+    tells the client — it must discover the loss by timeout, and the
+    exactly-once session must still count every value once."""
+
+    def _policy(self, **overrides):
+        base = dict(timeout=0.3, retries=6, backoff=0.01, backoff_max=0.05, seed=5)
+        base.update(overrides)
+        return RetryPolicy(**base)
+
+    def test_blackhole_single_frame_retried_once(self):
+        """One swallowed ingest frame: the client times out, reconnects,
+        replays — and the value stream counts exactly once."""
+        service = QuantileService(None)
+        with ServerThread(service) as running:
+            with FaultProxy(
+                running.port, schedule=ScriptedFaults({1: "blackhole"})
+            ) as proxy:
+                client = QuantileClient(port=proxy.port, retry=self._policy())
+                assert client.exactly_once
+                assert client.ingest("k", [float(i) for i in range(500)]) == 500
+                client.close()
+                assert proxy.frames_dropped == 1
+        assert int(service.store.key_stats("k")["n"]) == 500
+
+    def test_partition_span_swallows_n_frames(self):
+        """``("partition", n)`` drops this frame and the next ``n - 1``;
+        the retry that lands after the span is applied once."""
+        service = QuantileService(None)
+        with ServerThread(service) as running:
+            with FaultProxy(
+                running.port, schedule=ScriptedFaults({1: ("partition", 3)})
+            ) as proxy:
+                client = QuantileClient(port=proxy.port, retry=self._policy(retries=10))
+                assert client.ingest("k", [1.0, 2.0, 3.0]) == 3
+                assert proxy.frames_dropped >= 3
+                assert not proxy.partitioned  # span exhausted itself
+                client.close()
+        assert int(service.store.key_stats("k")["n"]) == 3
+
+    def test_manual_partition_blocks_both_directions_until_heal(self):
+        """partition()/heal(): while partitioned nothing crosses (the
+        client times out, the connection never closes); after heal the
+        same client recovers on its own retry policy."""
+        service = QuantileService(None)
+        with ServerThread(service) as running:
+            with FaultProxy(running.port) as proxy:
+                client = QuantileClient(
+                    port=proxy.port, retry=self._policy(retries=1, budget=3)
+                )
+                assert client.ingest("k", [1.0]) == 1
+                proxy.partition()
+                assert proxy.partitioned
+                with pytest.raises((ServiceError, OSError)):
+                    client.ingest("k", [2.0])
+                proxy.heal()
+                assert not proxy.partitioned
+                fresh = QuantileClient(port=proxy.port, retry=self._policy())
+                assert fresh.ingest("k", [3.0]) in (2, 3)  # 2.0 may or may not have landed
+                assert proxy.frames_dropped > 0
+                fresh.close()
+                client.close()
+
+    def test_partition_drops_response_frames_whole(self):
+        """A partition raised between request and response swallows the
+        ack as a whole frame — the client's replay is deduplicated, never
+        double-counted, and the healed stream is byte-clean (no torn
+        frame desyncs the connection)."""
+        service = QuantileService(None)
+
+        class _PartitionAfterDelivery:
+            """Deliver frame 1 upstream, then partition before its ack
+            can come back (the response-side blackhole scenario)."""
+
+            def __init__(self, proxy_box):
+                self.box = proxy_box
+
+            def action(self, frame_index):
+                if frame_index == 1:
+                    self.box[0].partition()
+                    # The request itself was consumed pre-partition; it
+                    # already passed. Only its response is swallowed.
+                return PASS
+
+        box = [None]
+        with ServerThread(service) as running:
+            with FaultProxy(running.port, schedule=_PartitionAfterDelivery(box)) as proxy:
+                box[0] = proxy
+                client = QuantileClient(port=proxy.port, retry=self._policy(retries=2, budget=4))
+                healer = threading.Timer(0.5, proxy.heal)
+                healer.start()
+                try:
+                    assert client.ingest("k", [float(i) for i in range(100)]) == 100
+                finally:
+                    healer.cancel()
+                client.close()
+        assert int(service.store.key_stats("k")["n"]) == 100
+
+    def test_seeded_partitions_deterministic_and_exact(self):
+        """A seeded schedule with a partition band: same seed, same
+        schedule; and the storm never breaks exactly-once."""
+        one = SeededFaults(17, partition_rate=0.08, partition_frames=2)
+        two = SeededFaults(17, partition_rate=0.08, partition_frames=2)
+        actions = [one.action(i) for i in range(300)]
+        assert actions == [two.action(i) for i in range(300)]
+        assert ("partition", 2) in actions
+
+        service = QuantileService(None)
+        with ServerThread(service) as running:
+            schedule = SeededFaults(17, partition_rate=0.08, partition_frames=2)
+            with FaultProxy(running.port, schedule=schedule) as proxy:
+                client = QuantileClient(
+                    port=proxy.port, retry=self._policy(retries=12, budget=200)
+                )
+                total = 0
+                for _ in range(20):
+                    total += 64
+                    assert client.ingest("k", [float(i) for i in range(64)]) == total
+                client.close()
+        assert int(service.store.key_stats("k")["n"]) == 20 * 64
+
+    def test_partition_band_defaults_off_and_preserves_old_schedules(self):
+        """partition_rate defaults to 0.0 and sits last in the band
+        order, so schedules seeded before the fault existed replay
+        byte-identically."""
+        legacy = SeededFaults(99)
+        with_band = SeededFaults(99, partition_rate=0.0)
+        assert [legacy.action(i) for i in range(300)] == [
+            with_band.action(i) for i in range(300)
+        ]
+        assert not any(
+            isinstance(a, tuple) and a[0] == "partition"
+            for a in (legacy.action(i) for i in range(300))
+        )
