@@ -328,6 +328,8 @@ TRACKED_OPS = (
     "service_query",
     "service_query_batched",
     "service_query_pipelined",
+    "windowed_ingest",
+    "windowed_horizon_query",
 )
 
 #: Which tracked ops each engine measures (the reference engine has no
@@ -376,6 +378,29 @@ SERVICE_SMOKE_TOLERANCE = 0.30
 #: vectorized MULTI_QUERY path or the query index collapses it to ~1-3x),
 #: with the shared 30% tolerance.
 SERVICE_SMOKE_QUERY_RATIO = 60.0
+
+#: Committed hardware-normalized windowed-plane ratios for the CI
+#: ``windowed-smoke`` gate (``--check-windowed``).  ``windowed_ingest``
+#: (values/sec through ``window_ingest`` across ``WINDOWED_KEYS`` keys
+#: with every batch rolling buckets over) is divided by the same run's
+#: in-process ``update_many`` — raw CPU speed cancels, what remains is
+#: the per-batch bucketing/grouping/WAL-less apply overhead.
+#: ``windowed_horizon_query`` (horizon merges/sec over
+#: ~``WINDOWED_BUCKET_SPAN`` buckets, 2 fractions each) is divided by the
+#: same run's ``merge_many`` items/sec — the k-way merge IS the dominant
+#: kernel of a horizon answer, so the quotient isolates per-query
+#: overhead from merge-kernel speed.  Committed at roughly half the low
+#: end of repeated BENCH_SMOKE runs on the reference box (observed:
+#: ingest 0.0057-0.0080, query 0.00013-0.0002 — smoke batches are ~200
+#: values across 100 keys, so per-batch overhead dominates by design),
+#: leaving the shared 30% tolerance to trip on real regressions (e.g.
+#: losing the grouped ``update_many`` ingest path or merging buckets
+#: pairwise per query) rather than scheduler noise.
+WINDOWED_SMOKE_INGEST_RATIO = 0.003
+WINDOWED_SMOKE_QUERY_RATIO = 0.00006
+#: Keys and bucket span of the windowed benchmark workload.
+WINDOWED_KEYS = 100
+WINDOWED_BUCKET_SPAN = 8
 
 
 def _best_ops_per_sec(run: Callable[[], int], *, repeats: int = 3) -> float:
@@ -537,6 +562,9 @@ def measure_engine(name: str, *, smoke: bool = False, repeats: int = 3) -> Dict[
             _measure_service_query_vectorized(
                 batch_data, queries=n_queries, repeats=repeats
             )
+        )
+        ops.update(
+            _measure_windowed(batch_data, queries=n_queries, repeats=repeats)
         )
     return ops
 
@@ -707,6 +735,74 @@ def _measure_service_query_vectorized(batch_data, *, queries: int, repeats: int)
             }
 
 
+def _measure_windowed(batch_data, *, queries: int, repeats: int) -> Dict[str, float]:
+    """The windowed plane: bucketed ingest and horizon merges, in-process.
+
+    ``windowed_ingest`` streams the batch workload across
+    ``WINDOWED_KEYS`` keys into 1-second buckets; every per-key batch's
+    timestamps sweep ``WINDOWED_BUCKET_SPAN`` bucket widths, so each call
+    pays the full bucketing path — vectorized grouping, bucket creation,
+    rollover/close bookkeeping — not just one sketch's ``update_many``.
+    Fresh key names per repeat keep rings empty like the other rows.
+
+    ``windowed_horizon_query`` answers ``[start, end)`` reads over the
+    populated keys: each query is one k-way ``merge_many`` over the
+    ~``WINDOWED_BUCKET_SPAN`` overlapping buckets plus a 2-fraction
+    evaluate — the merge-on-query cost the windowed design commits to.
+    """
+    import numpy as np
+
+    from repro.service import QuantileService
+
+    batch_n = len(batch_data)
+    per_key = max(batch_n // WINDOWED_KEYS, 1)
+    segments = [
+        np.ascontiguousarray(batch_data[index * per_key : (index + 1) * per_key])
+        for index in range(WINDOWED_KEYS)
+    ]
+    segments = [segment for segment in segments if len(segment)]
+    stamps = [
+        np.linspace(0.0, float(WINDOWED_BUCKET_SPAN), len(segment), endpoint=False)
+        for segment in segments
+    ]
+    fractions = np.array([0.5, 0.99])
+    epoch = [0]
+
+    service = QuantileService(
+        None, window_resolutions=(1.0,), window_retention=64, seed=0
+    )
+
+    def run_windowed_ingest() -> int:
+        epoch[0] += 1
+        total = 0
+        for index, segment in enumerate(segments):
+            service.window_ingest(f"win/{epoch[0]}/{index}", stamps[index], segment)
+            total += len(segment)
+        return total
+
+    ingest_rate = _best_ops_per_sec(run_windowed_ingest, repeats=repeats)
+
+    # Query workload: one set of populated keys, cycled round-robin.
+    keys = [f"winq/{index}" for index in range(len(segments))]
+    for key, segment, ts in zip(keys, segments, stamps):
+        service.window_ingest(key, ts, segment)
+
+    def run_horizon_queries() -> int:
+        for count in range(queries):
+            service.window_query(
+                keys[count % len(keys)],
+                "quantiles",
+                0.0,
+                0.0,
+                float(WINDOWED_BUCKET_SPAN),
+                fractions,
+            )
+        return queries
+
+    query_rate = _best_ops_per_sec(run_horizon_queries, repeats=repeats)
+    return {"windowed_ingest": ingest_rate, "windowed_horizon_query": query_rate}
+
+
 def collect_measurements(*, smoke: bool = False, repeats: int = 3) -> Dict[str, Dict[str, float]]:
     """Measure every tracked engine; returns ``{engine: {op: ops_per_sec}}``."""
     return {
@@ -806,6 +902,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="exit 1 if the service-plane rows regress more than "
         f"{SERVICE_SMOKE_TOLERANCE:.0%} below the committed hardware-"
         "normalized ratios (the CI bench-smoke gate)",
+    )
+    parser.add_argument(
+        "--check-windowed",
+        action="store_true",
+        help="exit 1 if the windowed-plane rows regress more than "
+        f"{SERVICE_SMOKE_TOLERANCE:.0%} below the committed hardware-"
+        "normalized ratios (the CI windowed-smoke gate)",
     )
     args = parser.parse_args(argv)
 
@@ -928,6 +1031,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
         if failures:
             print("service-plane smoke gate failed: " + "; ".join(failures), file=sys.stderr)
+            return 1
+    if args.check_windowed:
+        failures = []
+        gates = (
+            ("windowed_ingest", "update_many", WINDOWED_SMOKE_INGEST_RATIO),
+            ("windowed_horizon_query", "merge_many", WINDOWED_SMOKE_QUERY_RATIO),
+        )
+        for op, anchor_op, committed in gates:
+            measured = fast_now.get(op, 0.0)
+            anchor = fast_now.get(anchor_op, 0.0)
+            if not anchor or not measured:
+                failures.append(f"fast.{op}: missing measurement")
+                continue
+            ratio = measured / anchor
+            floor = committed * (1.0 - SERVICE_SMOKE_TOLERANCE)
+            print(
+                f"  windowed gate {op}: {ratio:.4f} of {anchor_op} "
+                f"(committed {committed:.4f}, floor {floor:.4f})"
+            )
+            if ratio < floor:
+                failures.append(
+                    f"fast.{op}: {ratio:.4f} of {anchor_op} < floor {floor:.4f} "
+                    f"(committed ratio {committed:.4f}, tolerance "
+                    f"{SERVICE_SMOKE_TOLERANCE:.0%})"
+                )
+        if failures:
+            print("windowed-plane smoke gate failed: " + "; ".join(failures), file=sys.stderr)
             return 1
     return 0
 

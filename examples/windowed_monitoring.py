@@ -1,74 +1,136 @@
 #!/usr/bin/env python3
-"""Windowed tail monitoring with merge-on-demand horizons.
+"""Windowed tail monitoring against a live quantile server.
 
 Run::
 
     python examples/windowed_monitoring.py [--n 240000]
 
-The operational version of the paper's motivating scenario: per-window
-p99s for trending, an any-horizon aggregate obtained purely by *merging*
-window sketches (Theorem 3), and a tail-regression alert. The synthetic
-stream stages an incident: calm traffic, a slowdown regime, recovery.
+The operational version of the paper's motivating scenario, now on the
+service's windowed plane: timestamped values ingest into a per-key ring
+of time-bucketed sketches, a SUBSCRIBE stream pushes each closed bucket
+to the dashboard, any time horizon is answered purely by *merging*
+bucket sketches (Theorem 3), and a tail-regression alert fires from the
+pushed per-bucket p99s.  The synthetic stream stages an incident: calm
+traffic, a slowdown regime, recovery.
 """
 
 from __future__ import annotations
 
 import argparse
+import statistics
 
-from repro.core import ReqSketch
-from repro.monitor import TumblingWindowMonitor
+import numpy as np
+
+from repro.service import QuantileClient, QuantileService, ServerThread
 from repro.streams import regime_switching
+
+BUCKET = 10.0  # seconds per window bucket
+KEY = "edge/latency"
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--n", type=int, default=240_000, help="total requests")
     parser.add_argument("--windows", type=int, default=12, help="number of windows")
+    parser.add_argument(
+        "--baseline",
+        type=int,
+        default=3,
+        help="closed windows forming the tail-shift baseline",
+    )
     parser.add_argument("--seed", type=int, default=9)
     args = parser.parse_args()
 
-    # Calm -> incident (10x median) -> recovery, in three equal regimes.
-    stream = regime_switching(
+    # Calm -> incident (10x median) -> recovery, in three equal regimes,
+    # with one timestamp per request: the incident occupies wall-clock
+    # buckets, not array slices.
+    values = regime_switching(
         args.n, seed=args.seed, medians=(0.12, 1.2, 0.12), sigma=0.45
     )
-    window_size = args.n // args.windows
+    span = args.windows * BUCKET
+    timestamps = np.arange(args.n) * (span / args.n)
+    per_window = args.n // args.windows
 
-    monitor = TumblingWindowMonitor(
-        window_size,
-        retention=args.windows,
-        sketch_factory=lambda s: ReqSketch(32, hra=True, seed=s),
+    service = QuantileService(
+        None,
+        window_resolutions=(BUCKET,),
+        window_retention=args.windows + 4,
         seed=args.seed,
     )
+    with ServerThread(service) as running:
+        with QuantileClient(port=running.port) as writer, QuantileClient(
+            port=running.port
+        ) as watcher:
+            # Ship one batch per window — each batch's watermark closes
+            # the previous bucket server-side.
+            for start in range(0, args.n, per_window):
+                stop = start + per_window
+                writer.ingest_windowed(
+                    KEY, timestamps[start:stop], values[start:stop]
+                )
 
-    print(f"{args.n:,} requests in {args.windows} windows of {window_size:,}\n")
-    print(f"{'window':>7} {'p50 (s)':>9} {'p99 (s)':>9} {'tail-shift':>11}  alert?")
-    for index, start in enumerate(range(0, args.n, window_size)):
-        monitor.record_many(stream[start : start + window_size])
-        if monitor.num_closed_windows <= index:  # window not complete (tail)
-            continue
-        window = monitor.closed_windows()[-1]
-        shift = monitor.tail_shift(0.99, baseline=3)
-        alert = shift is not None and shift > 2.0
-        shift_text = f"{shift:.2f}x" if shift is not None else "warming"
-        print(
-            f"{window.index:>7} {window.quantile(0.5):>9.3f} "
-            f"{window.quantile(0.99):>9.3f} {shift_text:>11}  {'<-- ALERT' if alert else ''}"
-        )
+            print(
+                f"{args.n:,} requests in {args.windows} windows of "
+                f"{BUCKET:.0f}s ({per_window:,} each)\n"
+            )
+            print(
+                f"{'bucket':>7} {'p50 (s)':>9} {'p99 (s)':>9} "
+                f"{'tail-shift':>11}  alert?"
+            )
 
-    print("\nhorizon views (pure merges of the stored window sketches):")
-    for label, last in (("last 3 windows", 3), ("all windows", None)):
-        merged = monitor.horizon(last=last, include_open=False)
-        print(
-            f"  {label:<16} n={merged.n:>9,}  p50={merged.quantile(0.5):.3f}s  "
-            f"p99={merged.quantile(0.99):.3f}s  p99.9={merged.quantile(0.999):.3f}s"
-        )
+            # SUBSCRIBE replays every retained closed bucket before going
+            # live; the final window is still open, so read one fewer.
+            events = watcher.subscribe(KEY, [0.5, 0.99])
+            closed_p99 = []
+            for _ in range(args.windows - 1):
+                event = next(events)
+                p50, p99 = float(event.values[0]), float(event.values[1])
+                if len(closed_p99) >= args.baseline:
+                    shift = p99 / statistics.median(closed_p99[-args.baseline :])
+                    shift_text, alert = f"{shift:.2f}x", shift > 2.0
+                else:
+                    shift_text, alert = "warming", False
+                closed_p99.append(p99)
+                print(
+                    f"{event.index:>7} {p50:>9.3f} {p99:>9.3f} "
+                    f"{shift_text:>11}  {'<-- ALERT' if alert else ''}"
+                )
 
-    total_retained = sum(w.sketch.num_retained for w in monitor.closed_windows())
-    print(
-        f"\nspace: {total_retained:,} retained items across all windows "
-        f"({100 * total_retained / args.n:.2f}% of the raw stream), and any\n"
-        f"time horizon is answerable by merging — no raw data kept anywhere."
-    )
+            # One batch past the stream's end closes the last bucket; the
+            # subscription *pushes* it — no polling.
+            writer.ingest_windowed(KEY, [span + 1.0], [0.1])
+            event = next(events)
+            print(
+                f"{event.index:>7} {float(event.values[0]):>9.3f} "
+                f"{float(event.values[1]):>9.3f} {'(live push)':>11}"
+            )
+            events.close()
+
+            print("\nhorizon views (merge-on-query over the bucket ring):")
+            for label, kwargs in (
+                (
+                    f"last {args.baseline} windows",
+                    dict(last=f"{int(args.baseline * BUCKET)}s", now=span),
+                ),
+                ("all windows", dict(start=0.0, end=span)),
+            ):
+                result = writer.query_horizon(KEY, [0.5, 0.99, 0.999], **kwargs)
+                p50, p99, p999 = (float(v) for v in result.quantiles)
+                print(
+                    f"  {label:<16} n={result.n:>9,}  p50={p50:.3f}s  "
+                    f"p99={p99:.3f}s  p99.9={p999:.3f}s  "
+                    f"(±{result.error_bound:.3%} rank error)"
+                )
+
+            stats = writer.stats()["windowed"]
+            print(
+                f"\nspace: {stats['retained_items']:,} retained items in "
+                f"{stats['buckets']} buckets "
+                f"({100 * stats['retained_items'] / (args.n + 1):.2f}% of the "
+                f"raw stream); expired buckets fall off the ring, and any\n"
+                f"time horizon is answerable by merging — no raw data kept "
+                f"anywhere."
+            )
 
 
 if __name__ == "__main__":

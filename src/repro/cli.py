@@ -10,9 +10,12 @@ Subcommands::
     repro-quantiles bounds --eps 0.01 --n 1e9  # print the space-bound table
     repro-quantiles serve --data-dir ./qdata   # run the quantile service
     repro-quantiles serve --node-id a          # ... as a named cluster node
+    repro-quantiles serve --window-resolutions 1s,1m  # windowed rings per key
     repro-quantiles query KEY --q 0.5 0.99     # query a running service
+    repro-quantiles query KEY --last 5m        # merge-on-query time horizon
     repro-quantiles query K1 K2 --rank 1.5     # ranks, many keys, one frame
     repro-quantiles ingest KEY FILE            # stream a numbers file in
+    repro-quantiles watch KEY --q 0.5 0.99     # follow closed window buckets
     repro-quantiles cluster-status ring.json   # per-node health of a cluster
     repro-quantiles cluster-status ring.json --key lat --repair
     repro-quantiles version                    # print the package version
@@ -174,6 +177,28 @@ def build_parser() -> argparse.ArgumentParser:
         "READY line, HEALTH and STATS so operators and the cluster "
         "client can tell replicas apart",
     )
+    serve_parser.add_argument(
+        "--window-resolutions",
+        default="60",
+        metavar="DURATIONS",
+        help="comma-separated bucket widths for the windowed quantile "
+        "plane (e.g. '1s,1m,1h'; bare numbers are seconds); every key "
+        "gets one time-bucketed sketch ring per resolution",
+    )
+    serve_parser.add_argument(
+        "--window-retention",
+        type=int,
+        default=64,
+        help="buckets retained per ring (TTL = retention x resolution); "
+        "older buckets expire and leave the horizon",
+    )
+    serve_parser.add_argument(
+        "--window-lateness",
+        default="0",
+        metavar="DURATION",
+        help="out-of-order tolerance: values timestamped earlier than "
+        "(batch watermark - lateness) are dropped as late (default 0)",
+    )
 
     status_parser = sub.add_parser(
         "cluster-status",
@@ -223,6 +248,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="report estimated ranks of these values instead of quantiles",
     )
     query_parser.add_argument(
+        "--last",
+        default=None,
+        metavar="DURATION",
+        help="answer from the windowed plane: merge every bucket in the "
+        "trailing DURATION (e.g. '5m', '1h30m') instead of the key's "
+        "lifetime sketch",
+    )
+    query_parser.add_argument(
+        "--resolution",
+        default="0",
+        metavar="DURATION",
+        help="with --last: which ring to answer from ('0' = finest)",
+    )
+    query_parser.add_argument(
         "--stats",
         action="store_true",
         help="print server (or per-key) stats JSON instead of quantiles",
@@ -241,8 +280,55 @@ def build_parser() -> argparse.ArgumentParser:
     ingest_parser.add_argument("--port", type=int, default=7379)
     _add_retry_arguments(ingest_parser)
 
+    watch_parser = sub.add_parser(
+        "watch", help="follow a key's closed window buckets as a live stream"
+    )
+    watch_parser.add_argument("key", help="tenant/metric key")
+    watch_parser.add_argument("--host", default="127.0.0.1")
+    watch_parser.add_argument("--port", type=int, default=7379)
+    watch_parser.add_argument(
+        "--q",
+        type=float,
+        nargs="*",
+        default=[0.5, 0.99],
+        help="quantile fractions reported per closed bucket",
+    )
+    watch_parser.add_argument(
+        "--resolution",
+        default="0",
+        metavar="DURATION",
+        help="which ring to watch ('0' = finest)",
+    )
+    watch_parser.add_argument(
+        "--resume-from",
+        type=int,
+        default=0,
+        metavar="INDEX",
+        help="replay retained closed buckets from this bucket index before "
+        "going live (a previous watch prints the index to resume from)",
+    )
+    _add_retry_arguments(watch_parser)
+
     sub.add_parser("version", help="print the package version")
     return parser
+
+
+def _parse_resolution_list(text: str):
+    """'1s,1m,1h' (bare numbers = seconds) -> tuple of widths in seconds."""
+    from repro.windowed import parse_duration
+
+    tokens = [token.strip() for token in text.split(",") if token.strip()]
+    return tuple(parse_duration(token) for token in tokens)
+
+
+def _parse_optional_duration(text: str) -> float:
+    """A duration that may be '0' (parse_duration itself rejects zero)."""
+    from repro.windowed import parse_duration
+
+    stripped = text.strip()
+    if stripped in ("0", "0s", "0ms"):
+        return 0.0
+    return parse_duration(stripped)
 
 
 def _add_retry_arguments(parser: argparse.ArgumentParser) -> None:
@@ -410,6 +496,9 @@ def _cmd_serve(args) -> int:
         max_connections=args.max_connections,
         drain_timeout=args.drain_timeout,
         node_id=args.node_id,
+        window_resolutions=_parse_resolution_list(args.window_resolutions),
+        window_retention=args.window_retention,
+        window_lateness=_parse_optional_duration(args.window_lateness),
     )
 
 
@@ -424,12 +513,13 @@ def _cmd_cluster_status(args) -> int:
         table = Table(
             f"cluster topology v{cluster_map.version} "
             f"(R={cluster_map.replication}, vnodes={cluster_map.vnodes})",
-            ["node", "address", "state", "connections", "wal_queue", "sessions"],
+            ["node", "address", "state", "connections", "wal_queue", "sessions",
+             "win_keys", "subs"],
         )
         for node_id, detail in client.health().items():
             node = cluster_map.node(node_id)
             if detail is None:
-                table.add_row(node_id, node.address, "DOWN", "-", "-", "-")
+                table.add_row(node_id, node.address, "DOWN", "-", "-", "-", "-", "-")
                 exit_code = 2
                 continue
             table.add_row(
@@ -439,6 +529,8 @@ def _cmd_cluster_status(args) -> int:
                 detail.get("open_connections", "?"),
                 detail.get("wal_queue_depth", "?"),
                 detail.get("sessions", "?"),
+                detail.get("windowed_keys", "?"),
+                detail.get("active_subscriptions", "?"),
             )
         table.print()
         for key in args.key or []:
@@ -488,6 +580,30 @@ def _cmd_query(args) -> int:
             print(json.dumps(client.stats(args.keys[0] if args.keys else None),
                              indent=2, sort_keys=True))
             return 0
+        if args.last is not None:
+            # Windowed horizon reads: one WINDOW_QUERY per key (merge of
+            # every retained bucket overlapping the trailing window).
+            resolution = _parse_optional_duration(args.resolution)
+            failed = False
+            for key in args.keys:
+                try:
+                    result = client.query_horizon(
+                        key, points, last=args.last, kind=kind, resolution=resolution
+                    )
+                except ServiceError as exc:
+                    print(f"error: {key!r}: {exc}", file=sys.stderr)
+                    failed = True
+                    continue
+                table = Table(
+                    f"{kind} of {key!r} over the last {args.last} "
+                    f"(n={result.n:,}, eps={result.error_bound:.4f}, "
+                    f"retained={result.num_retained})",
+                    columns,
+                )
+                for point, value in zip(points, result.quantiles):
+                    table.add_row(point, float(value))
+                table.print()
+            return 2 if failed else 0
         # All keys ride one MULTI_QUERY frame; a missing key reports its
         # error but never fails its neighbours (per-request statuses).
         results = client.query_many([(key, kind, points) for key in args.keys])
@@ -531,6 +647,36 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    from repro.service import QuantileClient
+
+    resolution = _parse_optional_duration(args.resolution)
+    with QuantileClient(
+        args.host, args.port, timeout=args.timeout, retry=_client_retry(args)
+    ) as client:
+        print(
+            f"watching {args.key!r} at {args.host}:{args.port} "
+            f"(fractions {args.q}; ctrl-c to stop)",
+            flush=True,
+        )
+        try:
+            for event in client.subscribe(
+                args.key, args.q, resolution=resolution, resume_from=args.resume_from
+            ):
+                values = " ".join(
+                    f"q{frac:g}={float(value):.6g}"
+                    for frac, value in zip(args.q, event.values)
+                )
+                print(
+                    f"bucket {event.index} [{event.start:.3f}, {event.end:.3f}) "
+                    f"n={event.n} eps={event.error_bound:.4f} {values}",
+                    flush=True,
+                )
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -545,6 +691,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_query(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "cluster-status":
             return _cmd_cluster_status(args)
         if args.command == "list":

@@ -45,7 +45,13 @@ from repro.cluster.handoff import DEFAULT_MAX_HINTS, DEFAULT_MAX_VALUES, Hint, H
 from repro.cluster.ring import ClusterMap, ClusterNode
 from repro.errors import ClusterError, RetryBudgetExceededError, ServiceError
 from repro.service import protocol as wire
-from repro.service.client import AsyncQuantileClient, QuantileClient, QueryResult, _new_session_id
+from repro.service.client import (
+    AsyncQuantileClient,
+    QuantileClient,
+    QueryResult,
+    _new_session_id,
+    _resolve_horizon,
+)
 from repro.service.resilience import RetryPolicy
 
 __all__ = ["ClusterClient", "AsyncClusterClient"]
@@ -331,6 +337,84 @@ class ClusterClient:
         body = wire.pack_seq_ingest(rep.reserve_seq(), key, values)
         self._push_hint(rep, Hint(key, len(values), body))
 
+    # -- windowed writes/reads -----------------------------------------
+
+    def ingest_windowed(self, key: str, timestamps, values) -> int:
+        """Replicated timestamped write into every replica's window rings.
+
+        Same contract as :meth:`ingest` — sequenced exactly-once frames
+        to live replicas, verbatim-frame hints for down ones (timestamps
+        ride inside the hint body, so a replayed bucket lands exactly
+        where it would have live) — and the same W=1 ack rule.
+        """
+        ts = np.ascontiguousarray(timestamps, dtype=wire.WIRE_DTYPE)
+        values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
+        self.keys_seen.add(key)
+        best_n = -1
+        last_error: Optional[BaseException] = None
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not self._ensure_live(rep):
+                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+                self._push_hint(rep, Hint(key, len(values), body))
+                continue
+            if rep.client.exactly_once:
+                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+            else:
+                body = None
+            try:
+                if body is None:
+                    # Old server without exactly-once: best effort, no
+                    # safe replay — never hinted.
+                    n = rep.client.ingest_windowed(key, ts, values)
+                else:
+                    payload = rep.client._request(body, idempotent=True)
+                    n, _ = wire.unpack_n(payload, 0)
+                    rep.acked = True
+            except _REPLICA_ERRORS as exc:
+                self._mark_down(rep, exc)
+                if body is not None:
+                    self._push_hint(rep, Hint(key, len(values), body))
+                last_error = exc
+                continue
+            except ServiceError as exc:
+                if _is_failover_status(exc) and body is not None:
+                    self._push_hint(rep, Hint(key, len(values), body))
+                    last_error = exc
+                    continue
+                raise
+            best_n = max(best_n, n)
+        if best_n < 0:
+            raise ClusterError(
+                f"no live replica acknowledged windowed ingest of {len(values)} "
+                f"values for key {key!r}"
+            ) from last_error
+        self.write_acks += 1
+        return best_n
+
+    def query_horizon(
+        self,
+        key: str,
+        points: Sequence[float] = (0.5, 0.9, 0.99),
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        last=None,
+        kind: str = "quantiles",
+        resolution: float = 0.0,
+        now: Optional[float] = None,
+    ) -> QueryResult:
+        """Windowed horizon read with replica failover.
+
+        A ``last=`` horizon is anchored **once** here, so every replica
+        tried during failover answers the same wall-clock window.
+        """
+        lo, hi = _resolve_horizon(start, end, last, now)
+        return self._read(
+            key, "query_horizon", points,
+            start=lo, end=hi, kind=kind, resolution=resolution,
+        )
+
     def _push_hint(self, rep: _Replica, hint: Hint) -> None:
         rep.hints.push(hint)
         self.hinted_writes += 1
@@ -351,7 +435,7 @@ class ClusterClient:
 
     # -- reads ---------------------------------------------------------
 
-    def _read(self, key: str, op: str, *args):
+    def _read(self, key: str, op: str, *args, **kwargs):
         """Run a read op against the key's replicas with failover."""
         last_error: Optional[BaseException] = None
         unknown: Optional[ServiceError] = None
@@ -363,7 +447,7 @@ class ClusterClient:
                 self.read_failovers += 1
                 continue
             try:
-                return getattr(rep.client, op)(key, *args)
+                return getattr(rep.client, op)(key, *args, **kwargs)
             except _REPLICA_ERRORS as exc:
                 self._mark_down(rep, exc)
                 self.read_failovers += 1
@@ -641,6 +725,78 @@ class AsyncClusterClient:
         body = wire.pack_seq_ingest(rep.reserve_seq(), key, values)
         self._push_hint(rep, Hint(key, len(values), body))
 
+    async def ingest_windowed(self, key: str, timestamps, values) -> int:
+        """Replicated timestamped write (see
+        :meth:`ClusterClient.ingest_windowed`); replicas are awaited
+        concurrently like :meth:`ingest`."""
+        import asyncio
+
+        ts = np.ascontiguousarray(timestamps, dtype=wire.WIRE_DTYPE)
+        values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
+        self.keys_seen.add(key)
+        plan: List[Tuple[_Replica, Optional[bytes]]] = []
+        for node in self.map.replicas(key):
+            rep = self._replica(node)
+            if not await self._ensure_live(rep):
+                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+                self._push_hint(rep, Hint(key, len(values), body))
+                continue
+            if rep.client.exactly_once:
+                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+            else:
+                body = None
+            plan.append((rep, body))
+
+        async def write_one(rep: _Replica, body: Optional[bytes]):
+            try:
+                if body is None:
+                    return await rep.client.ingest_windowed(key, ts, values)
+                payload = await rep.client._request(body, idempotent=True)
+                n, _ = wire.unpack_n(payload, 0)
+                rep.acked = True
+                return n
+            except _REPLICA_ERRORS as exc:
+                await self._mark_down(rep, exc)
+                if body is not None:
+                    self._push_hint(rep, Hint(key, len(values), body))
+                return exc
+            except ServiceError as exc:
+                if _is_failover_status(exc) and body is not None:
+                    self._push_hint(rep, Hint(key, len(values), body))
+                    return exc
+                raise
+
+        results = await asyncio.gather(*(write_one(rep, body) for rep, body in plan))
+        acked = [n for n in results if isinstance(n, int)]
+        if not acked:
+            errors = [r for r in results if isinstance(r, BaseException)]
+            raise ClusterError(
+                f"no live replica acknowledged windowed ingest of {len(values)} "
+                f"values for key {key!r}"
+            ) from (errors[-1] if errors else None)
+        self.write_acks += 1
+        return max(acked)
+
+    async def query_horizon(
+        self,
+        key: str,
+        points: Sequence[float] = (0.5, 0.9, 0.99),
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        last=None,
+        kind: str = "quantiles",
+        resolution: float = 0.0,
+        now: Optional[float] = None,
+    ) -> QueryResult:
+        """Windowed horizon read with failover (see
+        :meth:`ClusterClient.query_horizon`)."""
+        lo, hi = _resolve_horizon(start, end, last, now)
+        return await self._read(
+            key, "query_horizon", points,
+            start=lo, end=hi, kind=kind, resolution=resolution,
+        )
+
     def _push_hint(self, rep: _Replica, hint: Hint) -> None:
         rep.hints.push(hint)
         self.hinted_writes += 1
@@ -654,7 +810,7 @@ class AsyncClusterClient:
                 pending[rep.node.node_id] = len(rep.hints)
         return pending
 
-    async def _read(self, key: str, op: str, *args):
+    async def _read(self, key: str, op: str, *args, **kwargs):
         last_error: Optional[BaseException] = None
         unknown: Optional[ServiceError] = None
         for node in self.map.replicas(key):
@@ -663,7 +819,7 @@ class AsyncClusterClient:
                 self.read_failovers += 1
                 continue
             try:
-                return await getattr(rep.client, op)(key, *args)
+                return await getattr(rep.client, op)(key, *args, **kwargs)
             except _REPLICA_ERRORS as exc:
                 await self._mark_down(rep, exc)
                 self.read_failovers += 1

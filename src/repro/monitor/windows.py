@@ -29,6 +29,7 @@ items with the reference :class:`~repro.core.req.ReqSketch` instead.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, List, Optional, Sequence
@@ -37,6 +38,7 @@ import numpy as np
 
 from repro.errors import EmptySketchError, InvalidParameterError
 from repro.fast import FastReqSketch
+from repro.windowed import mix_seed
 
 __all__ = ["WindowSnapshot", "TumblingWindowMonitor"]
 
@@ -100,6 +102,18 @@ class TumblingWindowMonitor:
     def _new_sketch(self) -> Any:
         seed = None if self._seed is None else self._seed + self._window_count
         return self._factory(seed)
+
+    #: Salts of the scratch (merge-target) sketches.  Window ``i`` uses
+    #: the *linear* seed ``seed + i``, so scratch seeds must come from a
+    #: different namespace entirely: ``seed - 1`` / ``seed - 2`` collide
+    #: with windows of a monitor based at ``seed - 1 - i``, and with each
+    #: other across monitors one seed apart.  ``mix_seed`` (splitmix64
+    #: finalization) scatters them out of the linear range.
+    _HORIZON_SALT = 1
+    _TAIL_SHIFT_SALT = 2
+
+    def _scratch_seed(self, salt: int) -> Optional[int]:
+        return None if self._seed is None else mix_seed(self._seed, salt)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -200,7 +214,7 @@ class TumblingWindowMonitor:
         sources = [snapshot.sketch for snapshot in selected]
         if include_open and self._active.n:
             sources.append(self._active)
-        merged = self._factory(None if self._seed is None else self._seed - 1)
+        merged = self._factory(self._scratch_seed(self._HORIZON_SALT))
         self._merge_all(merged, sources)
         if merged.is_empty:
             raise EmptySketchError("horizon over empty windows")
@@ -214,18 +228,23 @@ class TumblingWindowMonitor:
         """Ratio of the newest closed window's ``q``-quantile to the
         preceding ``baseline`` windows' merged ``q``-quantile.
 
-        Returns ``None`` until enough windows closed.  A ratio of 2.0
-        means the tail doubled — the paper's motivating regression signal.
+        Returns ``None`` until enough windows closed, and ``None`` when
+        both the baseline and the newest window sit at zero (flat, no
+        signal).  A zero baseline with a nonzero newest quantile returns
+        ``math.inf`` — the tail appeared out of nothing, which is the
+        strongest regression alert, not an absence of one.  A ratio of
+        2.0 means the tail doubled — the paper's motivating signal.
         """
         if len(self._windows) < baseline + 1:
             return None
         newest = self._windows[-1]
-        reference = self._factory(None if self._seed is None else self._seed - 2)
+        reference = self._factory(self._scratch_seed(self._TAIL_SHIFT_SALT))
         self._merge_all(
             reference,
             [snapshot.sketch for snapshot in list(self._windows)[-(baseline + 1) : -1]],
         )
         base_value = reference.quantile(q)
+        newest_value = newest.quantile(q)
         if base_value == 0:
-            return None
-        return newest.quantile(q) / base_value
+            return math.inf if newest_value != 0 else None
+        return newest_value / base_value

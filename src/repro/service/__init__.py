@@ -80,7 +80,12 @@ or in-process::
     from repro.service import QuantileService, QuantileServer, QuantileClient
 """
 
-from repro.service.client import AsyncQuantileClient, QuantileClient, QueryResult
+from repro.service.client import (
+    AsyncQuantileClient,
+    BucketEvent,
+    QuantileClient,
+    QueryResult,
+)
 from repro.service.faultproxy import FaultProxy, ScriptedFaults, SeededFaults
 from repro.service.persistence import GroupCommitWal, SnapshotStore, WriteAheadLog
 from repro.service.resilience import OverloadPolicy, RetryPolicy, SessionTable
@@ -95,6 +100,7 @@ from repro.service.store import SketchStore
 
 __all__ = [
     "AsyncQuantileClient",
+    "BucketEvent",
     "FaultProxy",
     "GroupCommitWal",
     "OverloadPolicy",

@@ -50,8 +50,15 @@ import numpy as np
 from repro.errors import ServiceError, TransportError
 from repro.service import protocol as wire
 from repro.service.resilience import RetryPolicy
+from repro.windowed import parse_duration
 
-__all__ = ["QueryResult", "BatchQueryResult", "QuantileClient", "AsyncQuantileClient"]
+__all__ = [
+    "QueryResult",
+    "BatchQueryResult",
+    "BucketEvent",
+    "QuantileClient",
+    "AsyncQuantileClient",
+]
 
 #: Exceptions that mean "the connection is gone" (sync client).  Note
 #: :class:`~repro.errors.TransportError` subclasses ``ConnectionError``,
@@ -114,6 +121,49 @@ class BatchQueryResult(NamedTuple):
     error_bound: float
     values: np.ndarray
     num_retained: int = 0
+
+
+class BucketEvent(NamedTuple):
+    """One closed window bucket, as pushed to a subscriber.
+
+    ``values`` holds the bucket's quantiles at the subscription's
+    fractions; ``[start, end)`` are the bucket's wall-clock bounds and
+    ``index`` its ring index (``floor(start / bucket_seconds)``) — the
+    resume cursor for :meth:`QuantileClient.subscribe`.
+    """
+
+    index: int
+    start: float
+    end: float
+    n: int
+    error_bound: float
+    values: np.ndarray
+
+
+def _decode_bucket_event(payload, offset: int = 0) -> BucketEvent:
+    index, start, end, n, eps, values, _ = wire.unpack_bucket_event(payload, offset)
+    # Copy: the payload may live in a reusable receive scratch buffer.
+    return BucketEvent(index, start, end, n, eps, np.array(values))
+
+
+def _resolve_horizon(start, end, last, now) -> Tuple[float, float]:
+    """``[start, end)`` wall-clock bounds from explicit bounds or ``last``.
+
+    ``last`` is a trailing duration (``"5m"``, ``300``, ``"1h30m"``)
+    anchored at ``now`` (default: the client's wall clock) — the
+    dashboard shape.  Explicit ``start``/``end`` and ``last`` are
+    mutually exclusive.
+    """
+    if last is not None:
+        if start is not None or end is not None:
+            raise ServiceError("pass either start/end or last=, not both")
+        anchor = float(now) if now is not None else time.time()
+        return anchor - parse_duration(last), anchor
+    if start is None:
+        raise ServiceError("query_horizon needs start= (with optional end=) or last=")
+    if end is None:
+        end = float(now) if now is not None else time.time()
+    return float(start), float(end)
 
 
 def _decode_query_response(payload) -> QueryResult:
@@ -820,6 +870,121 @@ class QuantileClient:
         blob, _ = wire.unpack_blob(payload, offset)
         return n, bytes(blob)
 
+    # -- windowed quantiles --------------------------------------------
+
+    def ingest_windowed(self, key: str, timestamps, values) -> int:
+        """Ship timestamped values into ``key``'s window rings.
+
+        ``timestamps`` (epoch seconds) and ``values`` are parallel
+        arrays; one call is one **batch** — the server's lateness window
+        is judged per batch, so values that arrive together are admitted
+        together.  Returns the key's lifetime accepted count (finest
+        ring), which is also the duplicate-ack value under exactly-once.
+        """
+        if self.exactly_once:
+            body = wire.pack_seq_window_ingest(self._reserve_seq(), key, timestamps, values)
+            payload = self._request(body, idempotent=True)
+        else:
+            payload = self._request(wire.pack_window_ingest(key, timestamps, values))
+        n, _ = wire.unpack_n(payload, 0)
+        return n
+
+    def query_horizon(
+        self,
+        key: str,
+        points: Sequence[float] = (0.5, 0.9, 0.99),
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        last=None,
+        kind: str = "quantiles",
+        resolution: float = 0.0,
+        now: Optional[float] = None,
+    ) -> QueryResult:
+        """Query the merge of every bucket overlapping a time horizon.
+
+        Bounds come either from ``start``/``end`` (epoch seconds; ``end``
+        defaults to now) or from ``last`` — a trailing duration such as
+        ``"5m"`` or ``"1h30m"`` — never both.  ``resolution`` picks the
+        ring (``0.0`` = finest); ``kind`` is ``"quantiles"`` / ``"ranks"``
+        / ``"cdf"`` as in :meth:`query_many`.  The answer is exactly what
+        a fresh ``merge_many`` over the retained buckets would give
+        (full mergeability: same a-priori error bound as one sketch over
+        the horizon's values).
+        """
+        lo, hi = _resolve_horizon(start, end, last, now)
+        payload = self._request(
+            wire.pack_window_query(key, kind, resolution, lo, hi, points),
+            idempotent=True,
+        )
+        return _decode_query_response(payload)
+
+    def subscribe(
+        self,
+        key: str,
+        fractions: Sequence[float] = (0.5, 0.99),
+        *,
+        resolution: float = 0.0,
+        resume_from: int = 0,
+    ):
+        """Live bucket-close stream: yields one :class:`BucketEvent` per
+        closed window bucket, oldest first, forever.
+
+        Opens a **dedicated** connection (after the SUBSCRIBE ack the
+        server turns it into a push stream).  The ack replays retained
+        closed buckets from ``resume_from`` before any live push, and the
+        client tracks the next expected index across reconnects — with a
+        retry policy a dropped connection resumes from the cursor and
+        duplicate replays are filtered, so each bucket index is yielded
+        at most once per generator.  Close the generator to unsubscribe.
+        """
+        fractions = [float(f) for f in fractions]
+        next_index = int(resume_from)
+        attempt = 0
+        while True:
+            sock = None
+            try:
+                sock = socket.create_connection((self.host, self.port), timeout=self._timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                frames = wire.FrameReader(sock)
+                sock.sendall(
+                    wire.encode_frame(
+                        wire.pack_subscribe(key, resolution, next_index, fractions)
+                    )
+                )
+                payload = wire.raise_for_status(frames.read_frame())
+                _resolved, cursor, encoded_events = wire.unpack_subscribe_response(payload)
+                attempt = 0
+                for encoded in encoded_events:
+                    event = _decode_bucket_event(encoded)
+                    if event.index < next_index:
+                        continue
+                    next_index = event.index + 1
+                    yield event
+                next_index = max(next_index, cursor)
+                # Live pushes can be arbitrarily far apart: block forever
+                # (the request timeout only covered connect + ack).
+                sock.settimeout(None)
+                while True:
+                    payload = wire.raise_for_status(frames.read_frame())
+                    event = _decode_bucket_event(payload)
+                    if event.index < next_index:
+                        continue
+                    next_index = event.index + 1
+                    yield event
+            except _TRANSPORT_ERRORS as exc:
+                if self._retry is None:
+                    raise
+                self._retry_state.spend(exc)
+                time.sleep(self._retry_state.delay(attempt))
+                attempt += 1
+            finally:
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover - close never matters
+                        pass
+
     # -- queries -------------------------------------------------------
 
     def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
@@ -1250,6 +1415,98 @@ class AsyncQuantileClient:
         n, offset = wire.unpack_n(payload, 0)
         blob, _ = wire.unpack_blob(payload, offset)
         return n, bytes(blob)
+
+    async def ingest_windowed(self, key: str, timestamps, values) -> int:
+        """Timestamped ingest into ``key``'s window rings (see
+        :meth:`QuantileClient.ingest_windowed`)."""
+        if self.exactly_once:
+            body = wire.pack_seq_window_ingest(self._reserve_seq(), key, timestamps, values)
+            payload = await self._request(body, idempotent=True)
+        else:
+            payload = await self._request(wire.pack_window_ingest(key, timestamps, values))
+        n, _ = wire.unpack_n(payload, 0)
+        return n
+
+    async def query_horizon(
+        self,
+        key: str,
+        points: Sequence[float] = (0.5, 0.9, 0.99),
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        last=None,
+        kind: str = "quantiles",
+        resolution: float = 0.0,
+        now: Optional[float] = None,
+    ) -> QueryResult:
+        """Merge-on-query over a time horizon (see
+        :meth:`QuantileClient.query_horizon`)."""
+        lo, hi = _resolve_horizon(start, end, last, now)
+        payload = await self._request(
+            wire.pack_window_query(key, kind, resolution, lo, hi, points),
+            idempotent=True,
+        )
+        return _decode_query_response(payload)
+
+    async def subscribe(
+        self,
+        key: str,
+        fractions: Sequence[float] = (0.5, 0.99),
+        *,
+        resolution: float = 0.0,
+        resume_from: int = 0,
+    ):
+        """Async bucket-close stream (same contract as
+        :meth:`QuantileClient.subscribe`): a dedicated push connection,
+        catch-up replay before live events, at-most-once per index across
+        reconnects."""
+        import asyncio
+
+        fractions = [float(f) for f in fractions]
+        next_index = int(resume_from)
+        attempt = 0
+        while True:
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+                writer.write(
+                    wire.encode_frame(
+                        wire.pack_subscribe(key, resolution, next_index, fractions)
+                    )
+                )
+                await writer.drain()
+                header = await reader.readexactly(4)
+                payload = wire.raise_for_status(
+                    await reader.readexactly(int.from_bytes(header, "little"))
+                )
+                _resolved, cursor, encoded_events = wire.unpack_subscribe_response(payload)
+                attempt = 0
+                for encoded in encoded_events:
+                    event = _decode_bucket_event(encoded)
+                    if event.index < next_index:
+                        continue
+                    next_index = event.index + 1
+                    yield event
+                next_index = max(next_index, cursor)
+                while True:
+                    header = await reader.readexactly(4)
+                    payload = wire.raise_for_status(
+                        await reader.readexactly(int.from_bytes(header, "little"))
+                    )
+                    event = _decode_bucket_event(payload)
+                    if event.index < next_index:
+                        continue
+                    next_index = event.index + 1
+                    yield event
+            except self._ASYNC_TRANSPORT_ERRORS as exc:
+                if self._retry is None:
+                    raise
+                self._retry_state.spend(exc)
+                await asyncio.sleep(self._retry_state.delay(attempt))
+                attempt += 1
+            finally:
+                if writer is not None:
+                    writer.close()
 
     async def query(self, key: str, fractions: Sequence[float]) -> QueryResult:
         return _decode_query_response(

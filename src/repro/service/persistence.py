@@ -64,6 +64,8 @@ __all__ = [
     "WAL_INGEST",
     "WAL_MERGE",
     "WAL_SEQ_INGEST",
+    "WAL_WINDOW_INGEST",
+    "WAL_SEQ_WINDOW_INGEST",
     "pack_session_header",
     "unpack_session_header",
 ]
@@ -78,6 +80,14 @@ WAL_MERGE = 2
 #: :class:`~repro.service.resilience.SessionTable` — **even for records
 #: the key's snapshot already covers** — so dedup survives restarts.
 WAL_SEQ_INGEST = 3
+#: Record op: a *windowed* ingest batch.  ``payload`` is the timestamps
+#: then the values, as two equal-length raw little-endian float64 halves
+#: — timestamps ride in the log so replay rebuilds the identical ring
+#: (bucketing is a pure function of the payload, never of replay time).
+WAL_WINDOW_INGEST = 4
+#: Windowed ingest from a sequenced (exactly-once) session: the
+#: ``WAL_SEQ_INGEST`` session header followed by the windowed halves.
+WAL_SEQ_WINDOW_INGEST = 5
 
 #: Per-record framing: body length, CRC32 of the body.
 _RECORD_HEAD = struct.Struct("<II")
@@ -642,6 +652,10 @@ def recover(
     applied_seq: Dict[str, int],
     snap_seq: Dict[str, int],
     sessions=None,
+    *,
+    window_apply=None,
+    window_snap_seq: Optional[Dict[str, int]] = None,
+    window_applied_seq: Optional[Dict[str, int]] = None,
 ) -> int:
     """Rebuild ``store`` from disk; returns the next free sequence number.
 
@@ -665,6 +679,16 @@ def recover(
     including records skipped because a snapshot covers them, since the
     mark must survive regardless of which durability artifact carried
     the values.
+
+    Windowed records (``WAL_WINDOW_INGEST`` / ``WAL_SEQ_WINDOW_INGEST``)
+    route through ``window_apply(key, payload)`` and keep their own
+    sequence maps (``window_snap_seq`` / ``window_applied_seq``): the
+    windowed plane snapshots into a separate store on its own cadence,
+    so a key's plain and windowed cover points advance independently.
+    The caller is expected to have loaded its windowed snapshots before
+    calling.  A log carrying windowed records while ``window_apply`` is
+    ``None`` refuses to start — dropping acked writes on a config change
+    would be silent data loss.
     """
     import numpy as np
 
@@ -677,11 +701,31 @@ def recover(
     for record in wal.replay():
         max_seq = max(max_seq, record.seq)
         payload = record.payload
-        if record.op == WAL_SEQ_INGEST:
+        if record.op in (WAL_SEQ_INGEST, WAL_SEQ_WINDOW_INGEST):
             sid, frame_seq, offset = unpack_session_header(payload)
             if sessions is not None:
                 sessions.observe(sid, record.key, frame_seq)
             payload = payload[offset:]
+        if record.op in (WAL_WINDOW_INGEST, WAL_SEQ_WINDOW_INGEST):
+            if record.seq <= (window_snap_seq or {}).get(record.key, -1):
+                continue
+            if window_apply is None:
+                raise ServiceError(
+                    f"WAL record seq={record.seq} key={record.key!r} is a "
+                    "windowed ingest but the windowed plane is disabled — "
+                    "refusing to start and silently drop acked writes"
+                )
+            if window_applied_seq is not None:
+                window_applied_seq[record.key] = record.seq
+            try:
+                window_apply(record.key, payload)
+            except Exception as exc:
+                raise ServiceError(
+                    f"WAL record seq={record.seq} key={record.key!r} cannot "
+                    f"be applied ({exc}); the log is inconsistent with the "
+                    "store configuration — refusing to start with partial state"
+                ) from exc
+            continue
         if record.seq <= snap_seq.get(record.key, -1):
             continue
         applied_seq[record.key] = record.seq

@@ -33,6 +33,14 @@ Requests (``key`` is ``u16 length + UTF-8 bytes``)::
     SEQ_MULTI_INGEST 0x0D  u64 seq, then the MULTI_INGEST operands
     HEALTH        0x0E  (no operands)
     FETCH         0x0F  key — the key's FRQ1 payload (repair read path)
+    WINDOW_INGEST 0x10  key, u32 count, count * f64 timestamps,
+                        count * f64 values (both zero-copy views)
+    WINDOW_QUERY  0x11  key, u8 kind, f64 resolution (0 = finest),
+                        f64 start, f64 end, u32 count, count * f64 points
+    SUBSCRIBE     0x12  key, f64 resolution (0 = finest), i64 resume_from
+                        (first bucket index wanted), u32 count,
+                        count * f64 fractions
+    SEQ_WINDOW_INGEST 0x13  u64 seq, then the WINDOW_INGEST operands
 
 Responses (after the status byte; every read response carries the key's
 ``u64 num_retained`` as a trailing footer for observability)::
@@ -52,6 +60,23 @@ Responses (after the status byte; every read response carries the key's
                   values, u64 retained`` (a QUERY/CDF/RANK response body);
                   error records are ``status, u32 length, UTF-8 message``.
     FETCH         u64 n, u32 length, FRQ1 payload
+    WINDOW_INGEST u64 accepted               key's lifetime accepted total
+    WINDOW_QUERY  u64 n, f64 eps, values, u64 retained   (query body shape)
+    SUBSCRIBE     f64 resolution (resolved), i64 next_index, u32 events,
+                  events * (u32 length, bucket event) — the catch-up
+                  replay, inline so it always precedes live pushes
+
+``SUBSCRIBE`` flips the connection into a push stream: after the ack
+(which carries the catch-up events for closed buckets >= ``resume_from``
+inline), the server sends one unsolicited OK frame per newly closed
+bucket — ``0, bucket event`` — and the connection stops being
+request/response (clients dedicate a socket to it).  A bucket event is
+``i64 index, f64 start, f64 end, u64 n, f64 eps, u32 count, count * f64
+quantiles`` (the subscriber's fractions, evaluated server-side at bucket
+close).  Delivery is at-least-once across reconnects but duplicates are
+detectable by index: a resuming client re-subscribes with
+``resume_from`` = last index + 1 and the server replays only the closed
+buckets still retained.
 
 ``MULTI_QUERY`` is the vectorized read path.  A *uniform* frame — every
 record naming the same key, kind, and point count (the dashboard shape:
@@ -103,6 +128,10 @@ __all__ = [
     "OP_SEQ_MULTI_INGEST",
     "OP_HEALTH",
     "OP_FETCH",
+    "OP_WINDOW_INGEST",
+    "OP_WINDOW_QUERY",
+    "OP_SUBSCRIBE",
+    "OP_SEQ_WINDOW_INGEST",
     "OP_NAMES",
     "FLAG_EXACTLY_ONCE",
     "HEALTH_READY",
@@ -135,6 +164,17 @@ __all__ = [
     "unpack_seq",
     "pack_health",
     "unpack_health_response",
+    "pack_window_ingest",
+    "unpack_window_ingest",
+    "pack_seq_window_ingest",
+    "pack_window_query",
+    "unpack_window_query",
+    "pack_subscribe",
+    "unpack_subscribe",
+    "pack_bucket_event",
+    "unpack_bucket_event",
+    "pack_subscribe_response",
+    "unpack_subscribe_response",
     "pack_multi_query",
     "unpack_multi_query",
     "kind_code",
@@ -182,6 +222,19 @@ OP_HEALTH = 0x0E
 #: Theorem 3) makes the healed replica as accurate as one that saw the
 #: stream directly.  Unknown keys answer ``UNKNOWN_KEY``.
 OP_FETCH = 0x0F
+#: Windowed ingest: ``key, u32 count, timestamps, values`` — each value
+#: lands in the wall-clock bucket its timestamp names (see
+#: :mod:`repro.windowed`).  Both arrays decode as zero-copy views.
+OP_WINDOW_INGEST = 0x10
+#: Horizon read: merge the buckets overlapping ``[start, end)`` at one
+#: resolution and answer quantile/rank/cdf points against the merge.
+OP_WINDOW_QUERY = 0x11
+#: Long-lived push stream: per-bucket-close quantile updates.  The first
+#: server-push surface in the protocol — see the module docstring.
+OP_SUBSCRIBE = 0x12
+#: ``WINDOW_INGEST`` with a ``u64 seq`` between the opcode and the key
+#: (the exactly-once windowed write, mirroring ``SEQ_INGEST``).
+OP_SEQ_WINDOW_INGEST = 0x13
 
 #: Opcode -> wire name (STATS reporting; unknown opcodes render as hex).
 OP_NAMES = {
@@ -200,6 +253,10 @@ OP_NAMES = {
     OP_SEQ_MULTI_INGEST: "seq_multi_ingest",
     OP_HEALTH: "health",
     OP_FETCH: "fetch",
+    OP_WINDOW_INGEST: "window_ingest",
+    OP_WINDOW_QUERY: "window_query",
+    OP_SUBSCRIBE: "subscribe",
+    OP_SEQ_WINDOW_INGEST: "seq_window_ingest",
 }
 
 #: ``HELLO`` capability flag: per-frame sequence numbers + server-side
@@ -538,6 +595,210 @@ def unpack_health_response(payload) -> Tuple[int, bytes]:
     state = payload[0]
     blob, _ = unpack_blob(payload, 1)
     return state, blob
+
+
+_F64 = struct.Struct("<d")
+_IDX = struct.Struct("<q")
+
+
+def _unpack_f64(body, offset: int, what: str) -> Tuple[float, int]:
+    try:
+        (value,) = _F64.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated {what}: {exc}") from exc
+    return float(value), offset + _F64.size
+
+
+def _pack_ts_values(timestamps, values) -> bytes:
+    """``u32 count`` + timestamps + values (parallel f64 arrays)."""
+    ts = np.ascontiguousarray(timestamps, dtype=WIRE_DTYPE).reshape(-1)
+    vals = np.ascontiguousarray(values, dtype=WIRE_DTYPE).reshape(-1)
+    if ts.size != vals.size:
+        raise ServiceError(
+            f"windowed batch length mismatch: {ts.size} timestamps vs {vals.size} values"
+        )
+    return _COUNT.pack(ts.size) + ts.tobytes() + vals.tobytes()
+
+
+def pack_window_ingest(key: str, timestamps, values) -> bytes:
+    """One ``WINDOW_INGEST`` body: key + parallel (timestamp, value) arrays."""
+    body = bytes([OP_WINDOW_INGEST]) + pack_key(key) + _pack_ts_values(timestamps, values)
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"WINDOW_INGEST body of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def pack_seq_window_ingest(seq: int, key: str, timestamps, values) -> bytes:
+    """``WINDOW_INGEST`` with a leading ``u64 seq`` (exactly-once dedup)."""
+    body = (
+        bytes([OP_SEQ_WINDOW_INGEST])
+        + _N.pack(seq)
+        + pack_key(key)
+        + _pack_ts_values(timestamps, values)
+    )
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"SEQ_WINDOW_INGEST body of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_window_ingest(body, offset: int = 1):
+    """Decode ``WINDOW_INGEST`` operands into ``(key, ts_view, values_view)``.
+
+    Both arrays are zero-copy float64 views into ``body`` — the windowed
+    twin of :func:`unpack_values`' discipline.
+    """
+    key, offset = unpack_key(body, offset)
+    try:
+        (count,) = _COUNT.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated WINDOW_INGEST count: {exc}") from exc
+    offset += _COUNT.size
+    end = offset + 16 * count
+    if end != len(body):
+        raise ServiceError(
+            f"WINDOW_INGEST declares {count} pairs ({16 * count} bytes) "
+            f"but carries {len(body) - offset}"
+        )
+    ts = np.frombuffer(body, dtype=WIRE_DTYPE, count=count, offset=offset)
+    values = np.frombuffer(body, dtype=WIRE_DTYPE, count=count, offset=offset + 8 * count)
+    return key, ts, values
+
+
+def pack_window_query(
+    key: str, kind, resolution: float, start: float, end: float, points
+) -> bytes:
+    """One ``WINDOW_QUERY`` body (kind as in ``MULTI_QUERY`` records)."""
+    return (
+        bytes([OP_WINDOW_QUERY])
+        + pack_key(key)
+        + bytes([kind_code(kind)])
+        + _F64.pack(resolution)
+        + _F64.pack(start)
+        + _F64.pack(end)
+        + pack_values(points)
+    )
+
+
+def unpack_window_query(body, offset: int = 1):
+    """``(key, kind, resolution, start, end, points_view)`` for WINDOW_QUERY."""
+    key, offset = unpack_key(body, offset)
+    if offset >= len(body):
+        raise ServiceError("truncated WINDOW_QUERY kind byte")
+    kind = body[offset]
+    offset += 1
+    resolution, offset = _unpack_f64(body, offset, "WINDOW_QUERY resolution")
+    start, offset = _unpack_f64(body, offset, "WINDOW_QUERY start")
+    end, offset = _unpack_f64(body, offset, "WINDOW_QUERY end")
+    points, offset = unpack_values(body, offset)
+    if offset != len(body):
+        raise ServiceError(f"{len(body) - offset} trailing bytes after WINDOW_QUERY points")
+    return key, kind, resolution, start, end, points
+
+
+def pack_subscribe(key: str, resolution: float, resume_from: int, fractions) -> bytes:
+    """One ``SUBSCRIBE`` body: watch (key, resolution) from a bucket index."""
+    return (
+        bytes([OP_SUBSCRIBE])
+        + pack_key(key)
+        + _F64.pack(resolution)
+        + _IDX.pack(resume_from)
+        + pack_values(fractions)
+    )
+
+
+def unpack_subscribe(body, offset: int = 1):
+    """``(key, resolution, resume_from, fractions_view)`` for SUBSCRIBE."""
+    key, offset = unpack_key(body, offset)
+    resolution, offset = _unpack_f64(body, offset, "SUBSCRIBE resolution")
+    try:
+        (resume_from,) = _IDX.unpack_from(body, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated SUBSCRIBE resume index: {exc}") from exc
+    offset += _IDX.size
+    fractions, offset = unpack_values(body, offset)
+    if fractions.size == 0:
+        raise ServiceError("SUBSCRIBE needs at least one fraction")
+    if offset != len(body):
+        raise ServiceError(f"{len(body) - offset} trailing bytes after SUBSCRIBE fractions")
+    return key, resolution, int(resume_from), fractions
+
+
+def pack_bucket_event(
+    index: int, start: float, end: float, n: int, eps: float, values
+) -> bytes:
+    """One bucket event: the payload of a push frame (after its status)."""
+    array = np.ascontiguousarray(values, dtype=WIRE_DTYPE).reshape(-1)
+    return (
+        _IDX.pack(index)
+        + _F64.pack(start)
+        + _F64.pack(end)
+        + _N.pack(n)
+        + _EPS.pack(eps)
+        + _COUNT.pack(array.size)
+        + array.tobytes()
+    )
+
+
+def unpack_bucket_event(payload, offset: int = 0):
+    """``(index, start, end, n, eps, values_view, new_offset)``."""
+    try:
+        (index,) = _IDX.unpack_from(payload, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated bucket event index: {exc}") from exc
+    offset += _IDX.size
+    start, offset = _unpack_f64(payload, offset, "bucket event start")
+    end, offset = _unpack_f64(payload, offset, "bucket event end")
+    n, offset = unpack_n(payload, offset)
+    eps, offset = _unpack_f64(payload, offset, "bucket event error bound")
+    values, offset = unpack_values(payload, offset)
+    return int(index), start, end, n, eps, values, offset
+
+
+def pack_subscribe_response(resolution: float, next_index: int, events) -> bytes:
+    """An OK ``SUBSCRIBE`` ack: resolved resolution, live cursor, catch-up.
+
+    ``events`` are already-encoded bucket event bodies
+    (:func:`pack_bucket_event`).  Carrying the catch-up inline in the ack
+    (instead of as separate pushes) pins the ordering: a subscriber
+    always sees its replay before any live push.
+    """
+    parts = [
+        b"\x00",
+        _F64.pack(resolution),
+        _IDX.pack(next_index),
+        _COUNT.pack(len(events)),
+    ]
+    for event in events:
+        parts.append(_COUNT.pack(len(event)))
+        parts.append(event)
+    body = b"".join(parts)
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"SUBSCRIBE response of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_subscribe_response(payload):
+    """``(resolution, next_index, [event bodies])`` for an OK SUBSCRIBE ack."""
+    resolution, offset = _unpack_f64(payload, 0, "SUBSCRIBE ack resolution")
+    try:
+        (next_index,) = _IDX.unpack_from(payload, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated SUBSCRIBE ack cursor: {exc}") from exc
+    offset += _IDX.size
+    try:
+        (count,) = _COUNT.unpack_from(payload, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated SUBSCRIBE ack event count: {exc}") from exc
+    offset += _COUNT.size
+    events = []
+    for _ in range(count):
+        blob, offset = unpack_blob(payload, offset)
+        events.append(blob)
+    if offset != len(payload):
+        raise ServiceError(
+            f"{len(payload) - offset} trailing bytes after SUBSCRIBE ack events"
+        )
+    return resolution, int(next_index), events
 
 
 def kind_code(kind) -> int:

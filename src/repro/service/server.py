@@ -62,6 +62,8 @@ from repro.service.persistence import (
     WAL_INGEST,
     WAL_MERGE,
     WAL_SEQ_INGEST,
+    WAL_SEQ_WINDOW_INGEST,
+    WAL_WINDOW_INGEST,
     GroupCommitWal,
     SnapshotStore,
     WriteAheadLog,
@@ -75,6 +77,7 @@ from repro.service.resilience import (
     SessionTable,
 )
 from repro.service.store import SketchStore
+from repro.windowed import SubscriptionHub, WindowStore
 
 __all__ = ["QuantileService", "QuantileServer", "ServerThread", "run_server", "new_event_loop"]
 
@@ -126,6 +129,15 @@ class QuantileService:
             ack gating), and :meth:`wal_barrier` blocks until everything
             queued so far is durable.  Replay semantics are unchanged —
             records reach the file in append order.
+        window_resolutions: Bucket widths (seconds) of the windowed
+            plane — every key ingested through ``WINDOW_INGEST`` keeps
+            one sketch ring per resolution (see :mod:`repro.windowed`).
+            Always on (an idle ring costs nothing), so a WAL carrying
+            windowed records can always replay.
+        window_retention: Live bucket slots per ring (the TTL is
+            ``retention * resolution`` seconds of wall clock).
+        window_lateness: Out-of-order tolerance in seconds for windowed
+            ingest (see :class:`~repro.windowed.WindowRing`).
     """
 
     def __init__(
@@ -142,6 +154,9 @@ class QuantileService:
         group_commit: bool = False,
         max_sessions: int = 4096,
         node_id: Optional[str] = None,
+        window_resolutions=(60.0,),
+        window_retention: int = 64,
+        window_lateness: float = 0.0,
     ) -> None:
         self.data_dir = Path(data_dir) if data_dir is not None else None
         #: Cluster identity: surfaced in STATS/HEALTH so ring-aware
@@ -192,6 +207,28 @@ class QuantileService:
             hot_shards=hot_shards,
             on_spill_load=self._reseed_from_epoch,
         )
+        #: The windowed plane: per-key time-bucketed sketch rings (its
+        #: seeds derive from the store's per-key seeds, in a disjoint
+        #: namespace, so plain and windowed determinism coexist).
+        self.windows = WindowStore(
+            resolutions=window_resolutions,
+            retention=window_retention,
+            lateness=window_lateness,
+            k=k,
+            hra=hra,
+            seed_fn=self.store.derive_seed,
+        )
+        self._window_applied_seq: Dict[str, int] = {}
+        self._window_snap_seq: Dict[str, int] = {}
+        #: Ring snapshots live in their own store (FRW1 bundles under
+        #: ``windows/``): a key's plain and windowed checkpoints advance
+        #: independently, and neither plane's snapshot can shadow the
+        #: other's WAL cover point.
+        self.window_snapshots = (
+            None
+            if self.data_dir is None
+            else SnapshotStore(self.data_dir / "windows", fsync=fsync)
+        )
         if self.wal is not None:
             if self.wal.healed_bytes:
                 log.warning(
@@ -203,6 +240,15 @@ class QuantileService:
                     self.wal.healed_bytes,
                 )
             self.sessions.load(self.data_dir / "sessions.bin")
+            # Ring snapshots load BEFORE WAL replay (replay applies only
+            # the records newer than each key's windowed cover point) and
+            # re-pin their coin streams to the snapshot epoch, mirroring
+            # the save side — bit-exact windowed recovery.
+            for key, (seq, payload) in self.window_snapshots.load_all().items():
+                self.windows.restore(key, payload)
+                self._window_snap_seq[key] = seq
+                self._window_applied_seq[key] = seq
+                self.windows.reseed_epoch(key, seq)
             self._seq = recover(
                 self.store,
                 self.wal,
@@ -210,7 +256,14 @@ class QuantileService:
                 self._applied_seq,
                 self._snap_seq,
                 self.sessions,
+                window_apply=self._window_apply_replay,
+                window_snap_seq=self._window_snap_seq,
+                window_applied_seq=self._window_applied_seq,
             )
+            if self._window_snap_seq:
+                # A truncated WAL no longer witnesses the sequences the
+                # windowed snapshots were stamped with; never reuse them.
+                self._seq = max(self._seq, max(self._window_snap_seq.values()) + 1)
         self.started_at = time.time()
         self.ingested_values = 0
         self.query_count = 0
@@ -393,6 +446,80 @@ class QuantileService:
         return self.current_n(key), payload
 
     # ------------------------------------------------------------------
+    # Windowed plane (see repro.windowed)
+    # ------------------------------------------------------------------
+
+    def _wal_window_append(self, op: int, key: str, payload: bytes) -> None:
+        """A windowed WAL record: same log, separate applied-seq map."""
+        seq = self._seq
+        self._seq += 1
+        ticket = self.wal.append(op, seq, key, payload)
+        if ticket is not None:
+            self._last_ticket = ticket
+        self.wal_appends += 1
+        self._window_applied_seq[key] = seq
+
+    def window_ingest(self, key: str, timestamps, values, *, session=None):
+        """Apply one (timestamps, values) batch to ``key``'s rings.
+
+        Returns ``(accepted_total, events)``: the key's lifetime accepted
+        count (the windowed ack — monotone, so duplicate sequenced frames
+        ack consistently) and the buckets this batch closed (the server
+        turns those into subscription pushes).  Validation happens before
+        the WAL append, and the record carries the timestamps — replay
+        re-buckets identically because bucketing is a pure function of
+        the payload.
+        """
+        self._check_key(key)
+        ts = np.ascontiguousarray(timestamps, dtype=np.float64).reshape(-1)
+        vals = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
+        self.windows.validate(ts, vals)
+        if self.wal is not None:
+            payload = (
+                ts.astype("<f8", copy=False).tobytes()
+                + vals.astype("<f8", copy=False).tobytes()
+            )
+            if session is not None:
+                self._wal_window_append(
+                    WAL_SEQ_WINDOW_INGEST, key, pack_session_header(*session) + payload
+                )
+            else:
+                self._wal_window_append(WAL_WINDOW_INGEST, key, payload)
+        accepted, events = self.windows.ingest(key, ts, vals)
+        self.ingested_values += int(vals.size)
+        return accepted, events
+
+    def window_accepted(self, key: str) -> int:
+        """``key``'s lifetime accepted count (duplicate-frame acks)."""
+        return self.windows.accepted(key)
+
+    def _window_apply_replay(self, key: str, payload) -> None:
+        """Re-apply one windowed WAL payload (timestamps + values halves)."""
+        array = np.frombuffer(payload, dtype="<f8")
+        if array.size % 2:
+            raise ServiceError("windowed WAL payload has an odd float count")
+        half = array.size // 2
+        self.windows.ingest(key, array[:half], array[half:])
+
+    def window_query(self, key: str, kind, resolution: float, start: float, end: float, points):
+        """A horizon read: ``(n, eps, values, retained)`` over ``[start, end)``.
+
+        Merges the overlapping buckets of one ring into a fresh
+        deterministic-seeded scratch (one ``merge_many``) and evaluates
+        the points against the merge — the windowed twin of
+        :meth:`query_points`.
+        """
+        kind_name = self._kind_name(kind)
+        merged = self.windows.horizon(key, start, end, resolution)
+        if merged.is_empty:
+            raise EmptySketchError(
+                f"no windowed data in [{start}, {end}) for key {key!r}"
+            )
+        values = self.store.evaluate(merged, kind_name, points)
+        self.query_count += 1
+        return int(merged.n), float(merged.error_bound()), values, int(merged.num_retained)
+
+    # ------------------------------------------------------------------
     # Queries (index-backed; see repro.service.store.SketchStore.query)
     # ------------------------------------------------------------------
 
@@ -500,6 +627,19 @@ class QuantileService:
             sketch = self.store.peek(key)
             if isinstance(sketch, FastReqSketch):
                 self._reseed_from_epoch(key, sketch)
+        # Windowed rings checkpoint as FRW1 bundles in their own store,
+        # then re-pin their coin streams to the snapshot epoch — the same
+        # save-side reseed the load side applies, so the post-snapshot
+        # WAL tail replays with identical coins.
+        if self.window_snapshots is not None:
+            for key in self.windows.keys():
+                applied = self._window_applied_seq.get(key, 0)
+                if applied <= self._window_snap_seq.get(key, -1):
+                    continue
+                self.window_snapshots.save(key, applied, self.windows.payload(key))
+                self._window_snap_seq[key] = applied
+                written += 1
+                self.windows.reseed_epoch(key, applied)
         # Persist the session high-water marks BEFORE truncating: the WAL
         # records that carried them are about to disappear, and a crash
         # between save and truncate is harmless (replay re-observes the
@@ -543,6 +683,7 @@ class QuantileService:
         else:
             report["wal_queue_depth"] = 0
         report.update(self.store.stats())
+        report["windowed"] = self.windows.stats()
         return report
 
 
@@ -639,6 +780,7 @@ class _Connection(asyncio.BufferedProtocol):
     def connection_lost(self, exc) -> None:
         self.server._transports.discard(self.transport)
         self.server._conns.discard(self)
+        self.server.subscriptions.drop_connection(self)
         self._outq.clear()
 
     def eof_received(self):
@@ -839,6 +981,8 @@ class QuantileServer:
         self._snapshot_log_limit = RateLimiter(30.0)
         #: Per-opcode frame counts (STATS: observe the pipeline in prod).
         self.op_counts: Dict[str, int] = {}
+        #: Live SUBSCRIBE registrations (the server-push surface).
+        self.subscriptions = SubscriptionHub()
 
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
@@ -1138,6 +1282,68 @@ class QuantileServer:
                         results[g_index] = result
 
                     stage_seq(key, sid, seq, values, resolve_seq_group)
+            elif op == wire.OP_WINDOW_INGEST:
+                if shedding:
+                    slots[index] = shed_body
+                    self.shed_count += 1
+                    continue
+                try:
+                    key, ts, values = wire.unpack_window_ingest(frame)
+                    service.windows.validate(ts, values)
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+                # Windowed ingest applies immediately (no coalescing —
+                # batch boundaries are the lateness unit), so drain any
+                # staged plain ingest first to keep program order.
+                flush_pending()
+                try:
+                    accepted, events = service.window_ingest(key, ts, values)
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+                slots[index] = b"\x00" + wire.pack_n(accepted)
+                if events:
+                    self._notify_closed(key, events)
+            elif op == wire.OP_SEQ_WINDOW_INGEST:
+                try:
+                    seq, offset = wire.unpack_seq(frame, 1)
+                    key, ts, values = wire.unpack_window_ingest(frame, offset)
+                    service.windows.validate(ts, values)
+                    if conn.session_id is None:
+                        raise ServiceError(
+                            "sequenced ingest requires an exactly-once session "
+                            "(send HELLO first)"
+                        )
+                except Exception as exc:
+                    slots[index] = self._error_response(exc)
+                    continue
+                sid = conn.session_id
+                verdict = sessions.admit(sid, key, seq, shedding=shedding)
+                if verdict is ADMIT_SHED:
+                    self.shed_count += 1
+                    slots[index] = shed_body or wire.error_body(
+                        wire.STATUS_RETRY_LATER, "ingest shed, retry later"
+                    )
+                elif verdict is ADMIT_DUPLICATE:
+                    # Ack replays with the key's lifetime accepted count —
+                    # the windowed twin of the ``current_n`` duplicate ack.
+                    slots[index] = b"\x00" + wire.pack_n(service.window_accepted(key))
+                else:
+                    flush_pending()
+                    try:
+                        accepted, events = service.window_ingest(
+                            key, ts, values, session=(sid, seq)
+                        )
+                    except Exception as exc:
+                        slots[index] = self._error_response(exc)
+                        continue
+                    slots[index] = b"\x00" + wire.pack_n(accepted)
+                    if events:
+                        self._notify_closed(key, events)
+            elif op == wire.OP_SUBSCRIBE:
+                flush_pending()
+                slots[index] = self._subscribe(frame, conn)
             elif op == wire.OP_HELLO:
                 flush_pending()
                 try:
@@ -1208,6 +1414,75 @@ class QuantileServer:
             wire.STATUS_ERROR, f"internal error: {type(exc).__name__}: {exc}"
         )
 
+    def _subscribe(self, frame, conn) -> bytes:
+        """Register ``conn`` for bucket-close pushes; returns the ack body.
+
+        The ack carries the catch-up replay inline (closed buckets at or
+        past ``resume_from`` still in retention), so a reconnecting
+        subscriber always sees its replay *before* any live push on the
+        same connection — the dedup contract clients rely on.
+        """
+        service = self.service
+        try:
+            key, resolution, resume_from, fractions = wire.unpack_subscribe(frame)
+            service._check_key(key)
+            resolved = service.windows.resolve(resolution)
+            rings = service.windows.get(key, create=True)
+            ring = rings[resolved]
+            # Copy the fractions out of the receive buffer: the view dies
+            # with this tick, the subscription outlives it.
+            fractions = np.array(fractions, dtype=np.float64)
+            events = []
+            next_index = resume_from
+            for bucket in ring.closed_buckets(resume_from):
+                events.append(
+                    wire.pack_bucket_event(
+                        bucket.index,
+                        bucket.start,
+                        bucket.end,
+                        int(bucket.sketch.n),
+                        float(bucket.sketch.error_bound()),
+                        bucket.sketch.quantiles(fractions),
+                    )
+                )
+                next_index = max(next_index, bucket.index + 1)
+            self.subscriptions.add(
+                conn, key, resolved, tuple(float(f) for f in fractions), next_index
+            )
+            return wire.pack_subscribe_response(resolved, next_index, events)
+        except Exception as exc:
+            return self._error_response(exc)
+
+    def _notify_closed(self, key: str, events) -> None:
+        """Push newly closed buckets to this key's subscribers.
+
+        Pushes are fire-and-forget and not commit-gated: a subscriber that
+        loses one (crash between WAL append and flush) re-derives it from
+        durable state via reconnect catch-up, so gating them on the group
+        commit would buy nothing but latency.
+        """
+        if not self.subscriptions.active_count:
+            return
+
+        def encode(sub, event) -> bytes:
+            sketch = event.sketch
+            return wire.encode_frame(
+                b"\x00"
+                + wire.pack_bucket_event(
+                    event.index,
+                    event.start,
+                    event.end,
+                    int(sketch.n),
+                    float(sketch.error_bound()),
+                    sketch.quantiles(np.asarray(sub.fractions, dtype=np.float64)),
+                )
+            )
+
+        def send(conn, payload: bytes) -> None:
+            conn._enqueue(None, payload)
+
+        self.subscriptions.notify(key, events, encode, send)
+
     def _dispatch(self, body: bytes) -> bytes:
         """Decode one request body, run it, encode the response body.
 
@@ -1236,6 +1511,11 @@ class QuantileServer:
                 return wire.pack_query_result(*self.service.rank(key, values))
             if op == wire.OP_MULTI_QUERY:
                 return self._multi_query(body)
+            if op == wire.OP_WINDOW_QUERY:
+                key, kind, resolution, start, end, points = wire.unpack_window_query(body)
+                return wire.pack_query_result(
+                    *self.service.window_query(key, kind, resolution, start, end, points)
+                )
             if op == wire.OP_MERGE:
                 key, offset = wire.unpack_key(body, 1)
                 payload, _ = wire.unpack_blob(body, offset)
@@ -1254,6 +1534,9 @@ class QuantileServer:
                     stats["shed_count"] = self.shed_count
                     stats["rejected_connections"] = self.rejected_connections
                     stats["draining"] = self.draining
+                    stats.setdefault("windowed", {})[
+                        "active_subscriptions"
+                    ] = self.subscriptions.active_count
                 return b"\x00" + wire.pack_blob(json.dumps(stats).encode("utf-8"))
             if op == wire.OP_FETCH:
                 key, _ = wire.unpack_key(body, 1)
@@ -1298,6 +1581,8 @@ class QuantileServer:
             "shed_count": self.shed_count,
             "rejected_connections": self.rejected_connections,
             "sessions": len(self.service.sessions),
+            "windowed_keys": len(self.service.windows.keys()),
+            "active_subscriptions": self.subscriptions.active_count,
         }
         return (
             b"\x00"
@@ -1464,6 +1749,9 @@ def run_server(
     max_connections: Optional[int] = None,
     drain_timeout: float = 10.0,
     node_id: Optional[str] = None,
+    window_resolutions=(60.0,),
+    window_retention: int = 64,
+    window_lateness: float = 0.0,
 ) -> int:
     """Blocking entry point for ``repro-quantiles serve``.
 
@@ -1493,6 +1781,9 @@ def run_server(
         fsync=fsync,
         group_commit=group_commit and data_dir is not None,
         node_id=node_id,
+        window_resolutions=window_resolutions,
+        window_retention=window_retention,
+        window_lateness=window_lateness,
     )
     server = QuantileServer(
         service,

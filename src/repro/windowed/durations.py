@@ -1,0 +1,69 @@
+"""Human-friendly durations for the windowed plane (``"5m"`` -> 300.0).
+
+The CLI (``serve --window-resolutions 1m,5m``, ``query --last 1h``) and
+clients accept durations either as plain seconds (int/float) or as short
+strings with a unit suffix.  Kept dependency-free and tiny on purpose —
+this is a parsing helper, not a datetime library: windowed timestamps
+are plain epoch-seconds floats supplied by the caller.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["parse_duration", "format_duration"]
+
+#: Unit suffix -> seconds.  Longest-match first ("ms" before "m" / "s").
+_UNITS = {
+    "ms": 0.001,
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+}
+
+_TOKEN = re.compile(r"(\d+(?:\.\d+)?)(ms|s|m|h|d)?", re.ASCII)
+
+
+def parse_duration(value) -> float:
+    """``"5m"`` / ``"1h30m"`` / ``90`` / ``"90"`` -> seconds as float.
+
+    Accepts ints/floats (already seconds) and strings of one or more
+    ``<number><unit>`` tokens (units: ``ms``, ``s``, ``m``, ``h``, ``d``;
+    a bare number means seconds).  Raises
+    :class:`~repro.errors.InvalidParameterError` on anything else or on
+    a non-positive total.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        seconds = float(value)
+    else:
+        text = str(value).strip().lower()
+        if not text:
+            raise InvalidParameterError("empty duration")
+        seconds = 0.0
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                raise InvalidParameterError(
+                    f"cannot parse duration {value!r} "
+                    f"(expected e.g. '30s', '5m', '1h30m', or plain seconds)"
+                )
+            number, unit = match.groups()
+            seconds += float(number) * _UNITS[unit or "s"]
+            position = match.end()
+    if not seconds > 0:
+        raise InvalidParameterError(f"duration must be > 0 seconds, got {value!r}")
+    return seconds
+
+
+def format_duration(seconds: float) -> str:
+    """A compact human rendering (``300.0`` -> ``"5m"``), for logs/CLI."""
+    for unit, scale in (("d", 86400.0), ("h", 3600.0), ("m", 60.0)):
+        if seconds >= scale and seconds % scale == 0:
+            return f"{int(seconds // scale)}{unit}"
+    if seconds >= 1 and float(seconds).is_integer():
+        return f"{int(seconds)}s"
+    return f"{seconds:g}s"

@@ -1,0 +1,408 @@
+"""Time-bucketed sketch rings: the windowed plane's core data structure.
+
+A :class:`WindowRing` keeps one :class:`~repro.fast.FastReqSketch` per
+wall-clock time bucket of a fixed width and answers any horizon by
+*merging* the overlapping buckets (``merge_many`` — one snapshot + one
+compression pass, Theorem 3 of the paper makes the union lossless).
+Nothing is ever re-scanned: ingest cost is one vectorized grouped
+``update_many`` pass, query cost is one k-way merge over at most
+``retention`` tiny summaries.
+
+Timestamps come from the **caller** (epoch seconds as float64) — tests
+drive deterministic clocks, production passes ``time.time()``-based
+stamps.  That choice is what makes WAL replay bit-exact: a replayed
+``(timestamps, values)`` batch lands in exactly the buckets the live
+batch did, because bucketing is a pure function of the payload.
+
+Semantics:
+
+* **Bucketing** — value with timestamp ``t`` belongs to bucket
+  ``floor(t / bucket_seconds)`` (half-open ``[b*w, (b+1)*w)`` intervals).
+* **Watermark / lateness** — the watermark is the maximum timestamp ever
+  ingested, and it advances at *batch boundaries*: a batch is one atomic
+  arrival, so admission is judged against the watermark as of the
+  previous batch (in-batch order is irrelevant, a single in-order batch
+  of any span is fully accepted, and WAL replay — which preserves batch
+  boundaries — is deterministic).  Values older than that watermark
+  minus ``lateness`` are dropped and counted in :attr:`late_dropped`;
+  out-of-order arrivals within the bound land in their true bucket.
+* **Retention / TTL** — only the newest ``retention`` bucket slots are
+  live; older buckets are expired as the watermark advances (TTL =
+  ``retention * bucket_seconds``), counted in :attr:`expired_buckets`.
+* **Bucket close** — bucket ``b`` is *closed* once no admissible future
+  value can reach it (``watermark - lateness >= (b+1)*bucket_seconds``);
+  :meth:`ingest` reports newly closed non-empty buckets so the service
+  can push subscription notifications exactly once per bucket.
+
+Determinism: every bucket sketch is seeded from a splitmix64 mix of the
+ring seed and the bucket index, and :meth:`horizon` merges into a fresh
+target seeded from a disjoint scratch namespace — so a ring rebuilt from
+the same payloads (WAL replay, FRW1 snapshot + tail) answers every
+horizon bit-identically.  :meth:`reseed_epoch` re-pins every bucket's
+coin stream after a snapshot is written/loaded, mirroring the service's
+per-key epoch reseeding for plain sketches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.fast import FastReqSketch
+
+__all__ = ["WindowRing", "ClosedBucket", "mix_seed"]
+
+_MASK64 = (1 << 64) - 1
+#: Salt for the horizon scratch sketch's seed — a namespace disjoint from
+#: the per-bucket seeds (which mix the bucket *index*, never this salt).
+_HORIZON_SALT = 0x484F52495A4F4E31  # b"HORIZON1"
+
+
+def mix_seed(*parts: int) -> int:
+    """Fold integers into one well-mixed non-negative 63-bit seed.
+
+    splitmix64-style: each part perturbs the accumulator through a
+    multiply + xor-shift finalizer, so structured inputs (small bucket
+    indices, consecutive epochs) land far apart.  Deterministic across
+    runs and platforms — the windowed plane's bit-exact recovery leans
+    on it.
+    """
+    acc = 0x9E3779B97F4A7C15
+    for part in parts:
+        acc = (acc ^ (int(part) & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        acc ^= acc >> 29
+        acc = acc * 0x94D049BB133111EB & _MASK64
+        acc ^= acc >> 32
+    return acc & ((1 << 63) - 1)
+
+
+class ClosedBucket(Tuple):
+    """``(index, start, end, sketch)`` for one newly closed bucket."""
+
+    __slots__ = ()
+
+    def __new__(cls, index: int, start: float, end: float, sketch):
+        return tuple.__new__(cls, (index, start, end, sketch))
+
+    @property
+    def index(self) -> int:
+        return self[0]
+
+    @property
+    def start(self) -> float:
+        return self[1]
+
+    @property
+    def end(self) -> float:
+        return self[2]
+
+    @property
+    def sketch(self):
+        return self[3]
+
+
+class WindowRing:
+    """A ring of time-bucketed sketches for one (key, resolution).
+
+    Args:
+        bucket_seconds: Bucket width (> 0).
+        retention: Live bucket slots (>= 1); older buckets expire as the
+            watermark advances.
+        lateness: Out-of-order tolerance in seconds (>= 0): values older
+            than ``watermark - lateness`` are dropped, buckets close only
+            once the watermark clears their end by ``lateness``.
+        k, hra: Per-bucket sketch parameters.
+        seed: Ring seed; bucket ``i`` uses ``mix_seed(seed, i)``.
+            ``None`` = fresh randomness (no bit-exact replay promised).
+    """
+
+    __slots__ = (
+        "bucket_seconds",
+        "retention",
+        "lateness",
+        "k",
+        "hra",
+        "seed",
+        "_buckets",
+        "_watermark",
+        "_closed_through",
+        "late_dropped",
+        "expired_buckets",
+        "accepted",
+    )
+
+    def __init__(
+        self,
+        bucket_seconds: float,
+        *,
+        retention: int = 64,
+        lateness: float = 0.0,
+        k: int = 32,
+        hra: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not bucket_seconds > 0:
+            raise InvalidParameterError(
+                f"bucket_seconds must be > 0, got {bucket_seconds}"
+            )
+        if retention < 1:
+            raise InvalidParameterError(f"retention must be >= 1, got {retention}")
+        if lateness < 0:
+            raise InvalidParameterError(f"lateness must be >= 0, got {lateness}")
+        self.bucket_seconds = float(bucket_seconds)
+        self.retention = int(retention)
+        self.lateness = float(lateness)
+        self.k = k
+        self.hra = hra
+        self.seed = seed
+        self._buckets: Dict[int, FastReqSketch] = {}
+        self._watermark: Optional[float] = None
+        #: Highest bucket index already reported closed (notifications
+        #: fire once per bucket; derived from the watermark on restore).
+        self._closed_through: int = -(2**62)
+        self.late_dropped = 0
+        self.expired_buckets = 0
+        #: Values accepted into buckets over the ring's whole life (the
+        #: ingest ack counter; late-dropped values are excluded).
+        self.accepted = 0
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    def bucket_index(self, timestamp: float) -> int:
+        """The bucket owning ``timestamp`` (half-open intervals)."""
+        return int(math.floor(timestamp / self.bucket_seconds))
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """``[start, end)`` wall-clock bounds of bucket ``index``."""
+        return index * self.bucket_seconds, (index + 1) * self.bucket_seconds
+
+    def _bucket_seed(self, index: int) -> Optional[int]:
+        return None if self.seed is None else mix_seed(self.seed, index)
+
+    @property
+    def horizon_seed(self) -> Optional[int]:
+        """Seed of the scratch sketch :meth:`horizon` merges into.
+
+        Public so the bit-exactness invariant is testable: a fresh
+        ``FastReqSketch`` with this seed, ``merge_many``-ed over
+        :meth:`buckets` in index order, answers identically to
+        :meth:`horizon`.  Mixed with a salt disjoint from every bucket
+        seed's namespace.
+        """
+        return None if self.seed is None else mix_seed(self.seed, _HORIZON_SALT)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """Largest timestamp ever ingested (``None`` before any data)."""
+        return self._watermark
+
+    @property
+    def closed_through(self) -> int:
+        """Highest bucket index known closed (very negative when none)."""
+        return self._closed_through
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def num_retained(self) -> int:
+        """Retained items across every live bucket (space accounting)."""
+        return sum(sketch.num_retained for sketch in self._buckets.values())
+
+    @property
+    def n(self) -> int:
+        """Values currently represented by live buckets (expired excluded)."""
+        return sum(int(sketch.n) for sketch in self._buckets.values())
+
+    def buckets(self) -> List[Tuple[int, FastReqSketch]]:
+        """Live ``(index, sketch)`` pairs in ascending index order."""
+        return sorted(self._buckets.items())
+
+    def closed_buckets(self, from_index: int = -(2**62)) -> List[ClosedBucket]:
+        """Retained *closed* buckets with index >= ``from_index``.
+
+        The subscription catch-up path: everything here was already
+        reported by some :meth:`ingest` (or predates the subscription),
+        so a resuming subscriber replays exactly the closed buckets it
+        missed — never an open one.
+        """
+        out = []
+        for index, sketch in self.buckets():
+            if index < from_index or index > self._closed_through:
+                continue
+            start, end = self.bucket_bounds(index)
+            out.append(ClosedBucket(index, start, end, sketch))
+        return out
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(self, timestamps, values) -> Tuple[int, List[ClosedBucket]]:
+        """Apply one (timestamps, values) batch.
+
+        Returns ``(accepted, closed)``: how many values landed in a live
+        bucket, and the non-empty buckets this batch *newly closed*
+        (ascending).  Deterministic for a given batch sequence — the WAL
+        replay contract.  Arrays must be pre-validated (same length,
+        non-empty, finite timestamps, no NaN values) — the service
+        validates before its WAL append, mirroring plain ingest.
+        """
+        ts = np.ascontiguousarray(timestamps, dtype=np.float64).reshape(-1)
+        vals = np.ascontiguousarray(values, dtype=np.float64).reshape(-1)
+        indices = np.floor(ts / self.bucket_seconds).astype(np.int64)
+        previous = self._watermark
+        high = int(indices.max())
+        if previous is not None:
+            high = max(high, self.bucket_index(previous))
+            watermark = max(previous, float(ts.max()))
+        else:
+            watermark = float(ts.max())
+        self._watermark = watermark
+
+        # Expire buckets that fell off the ring as the watermark advanced.
+        floor_index = high - self.retention + 1
+        if self._buckets:
+            dead = [index for index in self._buckets if index < floor_index]
+            for index in dead:
+                del self._buckets[index]
+            self.expired_buckets += len(dead)
+
+        # Admission: inside the lateness bound (judged against the
+        # pre-batch watermark — the batch is one atomic arrival) AND
+        # inside the live ring.
+        if previous is None:
+            keep = indices >= floor_index
+        else:
+            keep = (ts >= previous - self.lateness) & (indices >= floor_index)
+        dropped = int(keep.size - np.count_nonzero(keep))
+        if dropped:
+            self.late_dropped += dropped
+            indices = indices[keep]
+            vals = vals[keep]
+
+        # Group by bucket (stable sort: in-batch order per bucket is the
+        # arrival order, so replay feeds each sketch identical slices).
+        if indices.size:
+            order = np.argsort(indices, kind="stable")
+            indices = indices[order]
+            vals = vals[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(indices)) + 1, [indices.size])
+            )
+            for lo, hi in zip(starts[:-1], starts[1:]):
+                index = int(indices[lo])
+                sketch = self._buckets.get(index)
+                if sketch is None:
+                    sketch = FastReqSketch(
+                        self.k, hra=self.hra, seed=self._bucket_seed(index)
+                    )
+                    self._buckets[index] = sketch
+                sketch.update_many(vals[lo:hi])
+            self.accepted += int(indices.size)
+
+        return int(indices.size), self._collect_closed()
+
+    def _collect_closed(self) -> List[ClosedBucket]:
+        """Non-empty buckets newly closed by the current watermark."""
+        limit = self.bucket_index(self._watermark - self.lateness) - 1
+        if limit <= self._closed_through:
+            return []
+        closed = []
+        for index, sketch in self.buckets():
+            if self._closed_through < index <= limit:
+                start, end = self.bucket_bounds(index)
+                closed.append(ClosedBucket(index, start, end, sketch))
+        self._closed_through = limit
+        return closed
+
+    # ------------------------------------------------------------------
+    # Horizon queries
+    # ------------------------------------------------------------------
+
+    def horizon(self, start: float, end: float) -> FastReqSketch:
+        """One merged sketch over buckets overlapping ``[start, end)``.
+
+        Pure merge: the bucket sketches are untouched, the target is a
+        fresh deterministic-seeded scratch (:attr:`horizon_seed`) filled
+        by one k-way ``merge_many``.  May return an empty sketch (no
+        overlapping data) — callers decide whether that is an error.
+        """
+        if not end > start:
+            raise InvalidParameterError(
+                f"horizon end must be > start, got [{start}, {end})"
+            )
+        lo = self.bucket_index(start)
+        sources = [
+            sketch
+            for index, sketch in self.buckets()
+            if index >= lo and index * self.bucket_seconds < end
+        ]
+        target = FastReqSketch(self.k, hra=self.hra, seed=self.horizon_seed)
+        if sources:
+            target.merge_many(sources)
+        return target
+
+    # ------------------------------------------------------------------
+    # Durability hooks (see repro.windowed.wire for the FRW1 format)
+    # ------------------------------------------------------------------
+
+    def reseed_epoch(self, epoch: int) -> None:
+        """Pin every bucket's coin stream to ``(bucket seed, epoch)``.
+
+        Called after a ring snapshot is written (live side) and after one
+        is loaded (recovery side), with ``epoch`` = the snapshot's WAL
+        sequence — the windowed twin of the service's per-key
+        ``_reseed_from_epoch``: FRW1 payloads do not carry RNG state, so
+        both sides re-pin to the same deterministic stream and the
+        post-snapshot WAL tail replays with identical coins.  No-op for
+        unseeded rings.
+        """
+        if self.seed is None:
+            return
+        for index, sketch in self._buckets.items():
+            sketch._rng = np.random.default_rng(mix_seed(self.seed, index, epoch))
+
+    def restore_bucket(self, index: int, sketch: FastReqSketch) -> None:
+        """Install one deserialized bucket (snapshot load path)."""
+        self._buckets[int(index)] = sketch
+
+    def restore_marks(
+        self,
+        *,
+        watermark: Optional[float],
+        late_dropped: int,
+        expired_buckets: int,
+        accepted: int,
+    ) -> None:
+        """Restore counters + watermark; recomputes the closed frontier."""
+        self._watermark = watermark
+        self.late_dropped = int(late_dropped)
+        self.expired_buckets = int(expired_buckets)
+        self.accepted = int(accepted)
+        if watermark is not None:
+            self._closed_through = self.bucket_index(watermark - self.lateness) - 1
+
+    def stats(self) -> dict:
+        return {
+            "bucket_seconds": self.bucket_seconds,
+            "retention": self.retention,
+            "lateness": self.lateness,
+            "buckets": self.bucket_count,
+            "retained_items": self.num_retained,
+            "n": self.n,
+            "watermark": self._watermark,
+            "late_dropped": self.late_dropped,
+            "expired_buckets": self.expired_buckets,
+            "accepted": self.accepted,
+        }

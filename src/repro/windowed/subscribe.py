@@ -1,0 +1,112 @@
+"""Subscription bookkeeping for the SUBSCRIBE push surface.
+
+The hub is transport-agnostic: the server hands it connection handles
+and a ``send(conn, payload)`` callback; the hub tracks which connection
+wants which (key, resolution) stream and where each subscriber's cursor
+is.  Delivery guarantees live in the *protocol*, not here:
+
+* A bucket-close notification fires at most once per bucket per
+  subscriber (the ``next_index`` cursor only moves forward).
+* Pushes are fire-and-forget over the socket — a subscriber that loses
+  its connection re-subscribes with ``resume_from = last index + 1`` and
+  the server replays the closed buckets it missed from durable ring
+  state (see ``WindowRing.closed_buckets``), so reconnects resume
+  without duplicates.  Notifications are intentionally *not* gated on
+  WAL commit: a push for a bucket that a crash later un-closes is
+  impossible, because closing is derived from acked, WAL-logged ingest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["Subscription", "SubscriptionHub"]
+
+
+class Subscription:
+    """One subscriber: a connection watching one (key, resolution)."""
+
+    __slots__ = ("conn", "key", "resolution", "fractions", "next_index")
+
+    def __init__(
+        self,
+        conn,
+        key: str,
+        resolution: float,
+        fractions: Tuple[float, ...],
+        next_index: int,
+    ) -> None:
+        self.conn = conn
+        self.key = key
+        self.resolution = resolution
+        self.fractions = fractions
+        self.next_index = next_index
+
+
+class SubscriptionHub:
+    """Registry of live subscriptions, indexed by key."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, List[Subscription]] = {}
+
+    @property
+    def active_count(self) -> int:
+        return sum(len(subs) for subs in self._by_key.values())
+
+    def add(
+        self,
+        conn,
+        key: str,
+        resolution: float,
+        fractions: Sequence[float],
+        next_index: int,
+    ) -> Subscription:
+        sub = Subscription(conn, key, resolution, tuple(fractions), next_index)
+        self._by_key.setdefault(key, []).append(sub)
+        return sub
+
+    def drop_connection(self, conn) -> int:
+        """Remove every subscription held by a closing connection."""
+        dropped = 0
+        for key in list(self._by_key):
+            remaining = [s for s in self._by_key[key] if s.conn is not conn]
+            dropped += len(self._by_key[key]) - len(remaining)
+            if remaining:
+                self._by_key[key] = remaining
+            else:
+                del self._by_key[key]
+        return dropped
+
+    def notify(
+        self,
+        key: str,
+        events,
+        encode: Callable[[Subscription, object], bytes],
+        send: Callable[[object, bytes], None],
+    ) -> int:
+        """Push newly closed buckets to every matching subscriber.
+
+        ``events`` are ``WindowEvent``s from one ingest; ``encode``
+        renders one (subscription, event) into a complete wire frame
+        (the server evaluates the subscriber's fractions there);
+        ``send`` writes bytes to a connection.  Events at a different
+        resolution or below the subscriber's cursor are skipped, and the
+        cursor advances past everything delivered.
+        """
+        subs = self._by_key.get(key)
+        if not subs:
+            return 0
+        pushed = 0
+        for sub in subs:
+            payload = bytearray()
+            for event in events:
+                if event.resolution != sub.resolution:
+                    continue
+                if event.index < sub.next_index:
+                    continue
+                payload += encode(sub, event)
+                sub.next_index = event.index + 1
+            if payload:
+                send(sub.conn, bytes(payload))
+                pushed += 1
+        return pushed

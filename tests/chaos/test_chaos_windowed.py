@@ -1,0 +1,195 @@
+"""Chaos: the windowed plane under faults, kills, and restarts.
+
+The invariants proved here are the windowed acceptance criteria:
+
+* Killing the server **mid-rollover** (buckets closing while sequenced
+  windowed frames are in flight) loses nothing — after the client rides
+  its retry policy through the outage, every acked value sits in its
+  correct time bucket exactly once, and a horizon query answers within
+  the sketch's error bound of ground truth.
+* A subscriber that loses its connection to a crash **reconnects from
+  its cursor**: the catch-up replays exactly the closed buckets it
+  missed, and no bucket index is ever yielded twice.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service.client import QuantileClient
+from repro.service.faultproxy import FaultProxy, ScriptedFaults
+from repro.service.resilience import RetryPolicy
+from repro.service.server import QuantileService, ServerThread
+
+pytestmark = pytest.mark.chaos
+
+KEY = "chaos-win"
+BUCKET = 10.0
+WINDOW_KW = dict(window_resolutions=(BUCKET,), window_retention=256)
+
+
+def _values(count, seed=9):
+    state = seed
+    out = []
+    for _ in range(count):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        out.append(state / float(1 << 64))
+    return out
+
+
+def _policy(seed, **overrides):
+    base = dict(
+        timeout=10.0,
+        retries=30,
+        backoff=0.02,
+        backoff_max=0.2,
+        jitter=0.25,
+        budget=2000,
+        seed=seed,
+    )
+    base.update(overrides)
+    return RetryPolicy(**base)
+
+
+class _Throttle:
+    """Delay every frame so the kill reliably lands mid-stream."""
+
+    def action(self, frame_index):
+        return ("delay", 0.004)
+
+
+def test_kill_mid_rollover_buckets_and_horizon_survive(tmp_path):
+    """Crash the server while windowed batches are rolling buckets over,
+    restart it from the same data dir on the same port: the retrying
+    exactly-once client completes, every value lands in its true bucket
+    exactly once, and the recovered horizon answer is inside the error
+    bound."""
+    total = 8_000
+    per_batch = 250
+    values = _values(total)
+    # Timestamps sweep ~32 buckets; each frame straddles a rollover.
+    timestamps = [1_000.0 + i * (BUCKET * 32 / total) for i in range(total)]
+
+    first = QuantileService(str(tmp_path), **WINDOW_KW)
+    running = ServerThread(first, snapshot_interval=None)
+    port = running.port
+    restarted = []
+    failures = []
+
+    with FaultProxy(port, schedule=_Throttle()) as proxy:
+
+        def kill_and_restart():
+            try:
+                deadline = time.monotonic() + 10
+                while proxy.frames_seen < 8 and time.monotonic() < deadline:
+                    time.sleep(0.002)
+                running.stop(snapshot=False)  # crash: no goodbye snapshot
+                second = QuantileService(str(tmp_path), **WINDOW_KW)
+                restarted.append(
+                    ServerThread(second, port=port, snapshot_interval=None)
+                )
+            except BaseException as exc:  # surface in the main thread
+                failures.append(exc)
+
+        killer = threading.Thread(target=kill_and_restart)
+        killer.start()
+        client = QuantileClient(port=proxy.port, retry=_policy(seed=42))
+        try:
+            assert client.exactly_once
+            acked = 0
+            for lo in range(0, total, per_batch):
+                hi = lo + per_batch
+                acked = client.ingest_windowed(
+                    KEY, timestamps[lo:hi], values[lo:hi]
+                )
+            assert acked == total  # lifetime accepted count: no dups, no loss
+            result = client.query_horizon(KEY, [0.5], start=1_000.0, end=1_400.0)
+        finally:
+            client.close()
+            killer.join(timeout=30)
+    assert not failures, failures
+    assert restarted, "server was never restarted"
+
+    service = restarted[0].service
+    try:
+        ring = service.windows.ring(KEY)
+        assert ring.accepted == total
+        assert ring.n == total
+        # Every value in its true bucket, exactly once.
+        expected = {}
+        for ts in timestamps:
+            index = int(ts // BUCKET)
+            expected[index] = expected.get(index, 0) + 1
+        assert {i: int(s.n) for i, s in ring.buckets()} == expected
+    finally:
+        restarted[0].stop(snapshot=False)
+
+    # The horizon answer is within the merged sketch's rank error bound.
+    assert result.n == total
+    ordered = sorted(values)
+    rank = bisect.bisect_right(ordered, float(result.quantiles[0]))
+    assert abs(rank / total - 0.5) <= result.error_bound + 1e-9
+
+
+def test_subscribe_reconnects_from_cursor_without_duplicates(tmp_path):
+    """Kill the server under an active subscription, restart it from the
+    same durable state: the subscriber reconnects, replays only what it
+    missed, and yields each closed bucket exactly once, in order."""
+    service = QuantileService(str(tmp_path), **WINDOW_KW)
+    running = ServerThread(service, snapshot_interval=None)
+    port = running.port
+
+    writer = QuantileClient(port=port, retry=_policy(seed=7))
+    subscriber = QuantileClient(port=port, retry=_policy(seed=8))
+    seen = []
+    stop = threading.Event()
+
+    events = subscriber.subscribe(KEY, [0.5])
+
+    def collect():
+        for event in events:
+            seen.append(event.index)
+            if len(seen) >= 10:
+                stop.set()
+                return
+
+    collector = threading.Thread(target=collect)
+    collector.start()
+    try:
+        # Close buckets 100..104: one batch per bucket, each batch's
+        # watermark closes the previous bucket.
+        for bucket in range(100, 106):
+            writer.ingest_windowed(KEY, [bucket * BUCKET + 5.0], [float(bucket)])
+        deadline = time.monotonic() + 10
+        while len(seen) < 5 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert seen == [100, 101, 102, 103, 104]
+
+        # Crash + restart on the same port; the WAL rebuilds the ring,
+        # so the catch-up can re-serve every closed bucket — the client
+        # cursor must filter the replay down to only the new ones.
+        running.stop(snapshot=False)
+        second = QuantileService(str(tmp_path), **WINDOW_KW)
+        restarted = ServerThread(second, port=port, snapshot_interval=None)
+        try:
+            for bucket in range(106, 111):
+                writer.ingest_windowed(
+                    KEY, [bucket * BUCKET + 5.0], [float(bucket)]
+                )
+            assert stop.wait(timeout=15), f"saw only {seen}"
+            assert seen == list(range(100, 110))  # exactly once, in order
+            assert len(set(seen)) == len(seen)
+        finally:
+            events.close()
+            collector.join(timeout=10)
+            writer.close()
+            subscriber.close()
+            restarted.stop(snapshot=False)
+    except BaseException:
+        stop.set()
+        raise

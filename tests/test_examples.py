@@ -72,4 +72,6 @@ class TestExamples:
     def test_windowed_monitoring(self):
         out = run_example("windowed_monitoring.py", "--n", "24000")
         assert "ALERT" in out
+        assert "live push" in out
         assert "horizon views" in out
+        assert "retained items" in out

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
@@ -149,3 +150,93 @@ class TestTrendAndAlerts:
         ratio = monitor.tail_shift(0.9, baseline=4)
         assert ratio is not None
         assert 0.3 < ratio < 3.0
+
+    def test_tail_shift_flat_zero_is_none(self):
+        """All-zero baseline AND newest: no signal at all -> None."""
+        monitor = TumblingWindowMonitor(10, seed=19)
+        monitor.record_many([0.0] * 50)
+        assert monitor.tail_shift(0.99, baseline=4) is None
+
+    def test_tail_shift_tail_from_nothing_is_inf(self):
+        """Zero baseline but a live newest tail is the strongest alert."""
+        monitor = TumblingWindowMonitor(10, seed=20)
+        monitor.record_many([0.0] * 40)
+        monitor.record_many([5.0] * 10)
+        assert monitor.tail_shift(0.99, baseline=4) == math.inf
+
+
+class TestGenericFactory:
+    """The reference-engine path: factories without ``merge_many``."""
+
+    def test_reference_sketch_lacks_merge_many(self):
+        # Guard: these tests only exercise the pairwise fold while the
+        # reference sketch has no k-way merge.
+        assert not hasattr(ReqSketch(16), "merge_many")
+
+    def test_horizon_pairwise_fold(self):
+        monitor = TumblingWindowMonitor(
+            100, sketch_factory=lambda s: ReqSketch(16, seed=s), seed=21
+        )
+        monitor.record_many(range(550))
+        merged = monitor.horizon()
+        assert merged.n == 550
+        assert merged.quantile(0.0) == 0
+        assert merged.quantile(1.0) == 549
+
+    def test_horizon_pairwise_fold_pure(self):
+        monitor = TumblingWindowMonitor(
+            50, sketch_factory=lambda s: ReqSketch(16, seed=s), seed=22
+        )
+        monitor.record_many(range(250))
+        before = [w.n for w in monitor.closed_windows()]
+        monitor.horizon()
+        monitor.tail_shift(0.9, baseline=3)
+        assert [w.n for w in monitor.closed_windows()] == before
+
+    def test_tail_shift_pairwise_fold(self):
+        monitor = TumblingWindowMonitor(
+            100, sketch_factory=lambda s: ReqSketch(16, hra=True, seed=s), seed=23
+        )
+        for _ in range(5):
+            monitor.record_many([1.0] * 100)
+        monitor.record_many([4.0] * 100)
+        ratio = monitor.tail_shift(0.9, baseline=4)
+        assert ratio == pytest.approx(4.0)
+
+    def test_record_many_chunks_generic_sequence(self):
+        """A plain iterable spanning 3+ windows matches per-item record."""
+        values = [float(i % 37) for i in range(330)]
+        batched = TumblingWindowMonitor(
+            100, sketch_factory=lambda s: ReqSketch(16, seed=s), seed=24
+        )
+        batched.record_many(iter(values))
+        single = TumblingWindowMonitor(
+            100, sketch_factory=lambda s: ReqSketch(16, seed=s), seed=24
+        )
+        for v in values:
+            single.record(v)
+        assert batched.num_closed_windows == single.num_closed_windows == 3
+        assert batched.current_window_n == single.current_window_n == 30
+        assert batched.total_recorded == single.total_recorded == 330
+        for a, b in zip(batched.closed_windows(), single.closed_windows()):
+            assert a.index == b.index and a.n == b.n
+            assert a.quantile(0.5) == b.quantile(0.5)
+
+
+class TestScratchSeedIsolation:
+    def test_scratch_seeds_avoid_window_seed_range(self):
+        """Horizon/tail-shift scratch seeds must not collide with the
+        linear per-window seeds of nearby monitors (they used to be
+        ``seed - 1`` / ``seed - 2``)."""
+        monitor = TumblingWindowMonitor(10, seed=100)
+        scratch = {
+            monitor._scratch_seed(TumblingWindowMonitor._HORIZON_SALT),
+            monitor._scratch_seed(TumblingWindowMonitor._TAIL_SHIFT_SALT),
+        }
+        assert len(scratch) == 2
+        linear = set(range(100 - 64, 100 + 64))
+        assert not (scratch & linear)
+
+    def test_seedless_monitor_scratch_is_none(self):
+        monitor = TumblingWindowMonitor(10, seed=None)
+        assert monitor._scratch_seed(1) is None

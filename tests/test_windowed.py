@@ -1,0 +1,509 @@
+"""The windowed quantile plane: rings, store, durations, FRW1, recovery.
+
+The acceptance property lives here: ``WINDOW_QUERY`` answers must be
+**bit-identical** to a fresh ``merge_many`` over the same retained
+buckets — under out-of-order ingest, bucket expiry, snapshots, and full
+snapshot+WAL-tail restarts.  Everything is driven with caller-supplied
+timestamps, so every schedule is deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EmptySketchError, InvalidParameterError, ServiceError
+from repro.fast import FastReqSketch
+from repro.service import QuantileService
+from repro.windowed import (
+    WindowRing,
+    WindowStore,
+    format_duration,
+    mix_seed,
+    parse_duration,
+)
+from repro.windowed.wire import hash_resolution, pack_rings, unpack_rings
+
+KEY = "lat"
+FRACTIONS = np.array([0.0, 0.1, 0.5, 0.9, 0.99, 1.0])
+
+
+def _values(count, seed=0):
+    return np.random.default_rng(seed).standard_normal(count)
+
+
+# ----------------------------------------------------------------------
+# Durations
+# ----------------------------------------------------------------------
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("30s", 30.0),
+            ("5m", 300.0),
+            ("1h", 3600.0),
+            ("1h30m", 5400.0),
+            ("2d", 172800.0),
+            ("500ms", 0.5),
+            ("90", 90.0),
+            ("1.5m", 90.0),
+            (90, 90.0),
+            (0.25, 0.25),
+        ],
+    )
+    def test_parse(self, text, seconds):
+        assert parse_duration(text) == seconds
+
+    @pytest.mark.parametrize("bad", ["", "abc", "5x", "-3s", "0", "0s", 0, -1])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(InvalidParameterError):
+            parse_duration(bad)
+
+    @pytest.mark.parametrize(
+        "seconds,text",
+        [(300.0, "5m"), (3600.0, "1h"), (86400.0, "1d"), (45.0, "45s"), (0.5, "0.5s")],
+    )
+    def test_format(self, seconds, text):
+        assert format_duration(seconds) == text
+
+    def test_format_parse_roundtrip(self):
+        for seconds in (0.001, 0.5, 1.0, 90.0, 300.0, 5400.0, 86400.0):
+            assert parse_duration(format_duration(seconds)) == seconds
+
+
+# ----------------------------------------------------------------------
+# mix_seed
+# ----------------------------------------------------------------------
+
+
+class TestMixSeed:
+    def test_deterministic_and_63_bit(self):
+        assert mix_seed(1, 2, 3) == mix_seed(1, 2, 3)
+        for parts in ((0,), (1,), (2**63,), (1, 0), (0, 1)):
+            seed = mix_seed(*parts)
+            assert 0 <= seed < 2**63
+
+    def test_structured_inputs_scatter(self):
+        # Consecutive bucket indices / epochs must not collide or cluster.
+        seeds = {mix_seed(7, index) for index in range(1000)}
+        assert len(seeds) == 1000
+        assert mix_seed(7, 1) != mix_seed(8, 0)  # order matters
+
+
+# ----------------------------------------------------------------------
+# WindowRing
+# ----------------------------------------------------------------------
+
+
+class TestRingConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WindowRing(0.0)
+        with pytest.raises(InvalidParameterError):
+            WindowRing(10.0, retention=0)
+        with pytest.raises(InvalidParameterError):
+            WindowRing(10.0, lateness=-1.0)
+
+    def test_geometry(self):
+        ring = WindowRing(10.0)
+        assert ring.bucket_index(0.0) == 0
+        assert ring.bucket_index(9.999) == 0
+        assert ring.bucket_index(10.0) == 1
+        assert ring.bucket_index(-0.5) == -1
+        assert ring.bucket_bounds(3) == (30.0, 40.0)
+
+
+class TestRingIngest:
+    def test_in_order_batch_lands_in_true_buckets(self):
+        ring = WindowRing(10.0, seed=1)
+        ts = 1000.0 + np.arange(30)  # buckets 100, 101, 102
+        accepted, closed = ring.ingest(ts, _values(30))
+        assert accepted == 30
+        assert [index for index, _ in ring.buckets()] == [100, 101, 102]
+        assert [int(s.n) for _, s in ring.buckets()] == [10, 10, 10]
+        assert ring.watermark == 1029.0
+        assert ring.accepted == 30 and ring.late_dropped == 0
+        # Buckets 100 and 101 are closed by the final watermark.
+        assert [c.index for c in closed] == [100, 101]
+
+    def test_single_in_order_batch_fully_accepted_despite_span(self):
+        # One batch is one atomic arrival: the lateness bound is judged
+        # against the PRE-batch watermark, so a wide batch is kept whole.
+        ring = WindowRing(10.0, lateness=0.0, seed=2)
+        ts = np.array([1000.0, 1035.0, 1005.0, 1020.0])
+        accepted, _ = ring.ingest(ts, _values(4))
+        assert accepted == 4 and ring.late_dropped == 0
+
+    def test_out_of_order_within_lateness_lands_in_true_bucket(self):
+        ring = WindowRing(10.0, lateness=15.0, seed=3)
+        ring.ingest([1025.0], [1.0])  # watermark 1025
+        accepted, _ = ring.ingest([1012.0], [2.0])  # 13s late, inside bound
+        assert accepted == 1
+        assert dict((i, int(s.n)) for i, s in ring.buckets()) == {101: 1, 102: 1}
+
+    def test_too_late_dropped_and_counted(self):
+        ring = WindowRing(10.0, lateness=5.0, seed=4)
+        ring.ingest([1025.0], [1.0])
+        accepted, _ = ring.ingest([1012.0], [2.0])  # 13s late, bound is 5s
+        assert accepted == 0
+        assert ring.late_dropped == 1
+        assert ring.accepted == 1
+
+    def test_retention_expires_old_buckets(self):
+        ring = WindowRing(10.0, retention=3, seed=5)
+        for bucket in range(6):
+            ring.ingest([bucket * 10.0 + 5.0], [float(bucket)])
+        assert [index for index, _ in ring.buckets()] == [3, 4, 5]
+        assert ring.expired_buckets == 3
+        assert ring.n == 3  # expired values are gone from live state
+        assert ring.accepted == 6  # lifetime ack counter keeps counting
+
+    def test_first_batch_below_retention_floor_dropped(self):
+        ring = WindowRing(10.0, retention=2, seed=6)
+        ts = np.array([5.0, 15.0, 25.0, 35.0])  # buckets 0..3, floor is 2
+        accepted, _ = ring.ingest(ts, _values(4))
+        assert accepted == 2
+        assert ring.late_dropped == 2
+        assert [index for index, _ in ring.buckets()] == [2, 3]
+
+
+class TestRingClose:
+    def test_buckets_close_once_watermark_clears_them(self):
+        ring = WindowRing(10.0, seed=7)
+        _, closed = ring.ingest([1005.0], [1.0])
+        assert closed == []  # bucket 100 still open
+        _, closed = ring.ingest([1015.0], [2.0])
+        assert [c.index for c in closed] == [100]
+        assert (closed[0].start, closed[0].end) == (1000.0, 1010.0)
+        _, closed = ring.ingest([1016.0], [3.0])
+        assert closed == []  # never reported twice
+
+    def test_lateness_defers_close(self):
+        ring = WindowRing(10.0, lateness=10.0, seed=8)
+        _, closed = ring.ingest([1005.0], [1.0])
+        assert closed == []
+        # Without lateness a watermark of 1015 would close bucket 100;
+        # with a 10s bound it stays open for stragglers.
+        _, closed = ring.ingest([1015.0], [2.0])
+        assert closed == []
+        _, closed = ring.ingest([1025.0], [3.0])
+        assert [c.index for c in closed] == [100]
+
+    def test_empty_buckets_not_reported(self):
+        ring = WindowRing(10.0, seed=9)
+        _, closed = ring.ingest([1005.0], [1.0])
+        _, closed = ring.ingest([1045.0], [2.0])  # skips buckets 101..103
+        assert [c.index for c in closed] == [100]
+
+    def test_closed_buckets_catch_up_cursor(self):
+        ring = WindowRing(10.0, seed=10)
+        ring.ingest(1000.0 + np.arange(50), _values(50))  # closes 100..103
+        assert [c.index for c in ring.closed_buckets()] == [100, 101, 102, 103]
+        assert [c.index for c in ring.closed_buckets(102)] == [102, 103]
+        assert ring.closed_buckets(200) == []
+
+
+class TestRingHorizon:
+    def test_matches_fresh_merge_many_bit_exact(self):
+        ring = WindowRing(10.0, seed=11)
+        ring.ingest(1000.0 + np.arange(500) * 0.1, _values(500))
+        merged = ring.horizon(1000.0, 1050.0)
+        fresh = FastReqSketch(ring.k, hra=ring.hra, seed=ring.horizon_seed)
+        fresh.merge_many([sketch for _, sketch in ring.buckets()])
+        assert merged.n == fresh.n == 500
+        assert np.array_equal(merged.quantiles(FRACTIONS), fresh.quantiles(FRACTIONS))
+
+    def test_pure_and_repeatable(self):
+        ring = WindowRing(10.0, seed=12)
+        ring.ingest(1000.0 + np.arange(200) * 0.2, _values(200))
+        before = [(index, int(s.n)) for index, s in ring.buckets()]
+        first = ring.horizon(1000.0, 1040.0).quantiles(FRACTIONS)
+        second = ring.horizon(1000.0, 1040.0).quantiles(FRACTIONS)
+        assert np.array_equal(first, second)
+        assert [(index, int(s.n)) for index, s in ring.buckets()] == before
+
+    def test_subrange_selects_overlapping_buckets_only(self):
+        ring = WindowRing(10.0, seed=13)
+        for bucket in range(5):
+            ring.ingest([1000.0 + bucket * 10.0 + 5.0] * 4, [float(bucket)] * 4)
+        merged = ring.horizon(1010.0, 1030.0)  # buckets 101 and 102 only
+        assert merged.n == 8
+        assert merged.quantile(0.0) == 1.0 and merged.quantile(1.0) == 2.0
+
+    def test_empty_and_invalid(self):
+        ring = WindowRing(10.0, seed=14)
+        assert ring.horizon(0.0, 10.0).is_empty
+        with pytest.raises(InvalidParameterError):
+            ring.horizon(10.0, 10.0)
+
+
+# ----------------------------------------------------------------------
+# FRW1 wire round trip
+# ----------------------------------------------------------------------
+
+
+class TestFRW1:
+    def test_roundtrip_preserves_marks_and_answers(self):
+        store = WindowStore(resolutions=(10.0, 60.0), lateness=5.0, seed_fn=lambda k: 99)
+        ts = 1000.0 + np.arange(400) * 0.3
+        store.ingest(KEY, ts, _values(400))
+        payload = store.payload(KEY)
+
+        restored = unpack_rings(payload, k=32, seed=99)
+        assert set(restored) == {10.0, 60.0}
+        for resolution in (10.0, 60.0):
+            live, back = store.get(KEY)[resolution], restored[resolution]
+            assert back.watermark == live.watermark
+            assert back.accepted == live.accepted
+            assert back.late_dropped == live.late_dropped
+            assert back.expired_buckets == live.expired_buckets
+            assert back.closed_through == live.closed_through
+            assert [i for i, _ in back.buckets()] == [i for i, _ in live.buckets()]
+            assert [int(s.n) for _, s in back.buckets()] == [
+                int(s.n) for _, s in live.buckets()
+            ]
+        # Ring seeds re-derive from the per-key base seed + resolution.
+        assert restored[10.0].seed == mix_seed(99, hash_resolution(10.0))
+
+    def test_pack_rings_rejects_nothing_silently(self):
+        ring = WindowRing(10.0, seed=15)
+        blob = pack_rings({10.0: ring})  # empty ring still packs
+        assert unpack_rings(blob, k=32, seed=15)[10.0].bucket_count == 0
+
+
+# ----------------------------------------------------------------------
+# WindowStore
+# ----------------------------------------------------------------------
+
+
+class TestWindowStore:
+    def test_resolution_config(self):
+        store = WindowStore(resolutions=(60.0, 10.0, 60.0))
+        assert store.resolutions == (10.0, 60.0)  # deduped, sorted
+        assert store.resolve(0.0) == 10.0  # sentinel = finest
+        assert store.resolve(60.0) == 60.0
+        with pytest.raises(ServiceError):
+            store.resolve(30.0)
+        with pytest.raises(ServiceError):
+            WindowStore(resolutions=())
+        with pytest.raises(ServiceError):
+            WindowStore(resolutions=(0.0,))
+
+    def test_validate_rejects_malformed_batches(self):
+        store = WindowStore(resolutions=(10.0,))
+        with pytest.raises(ServiceError):
+            store.ingest(KEY, [1.0, 2.0], [1.0])  # length mismatch
+        with pytest.raises(ServiceError):
+            store.ingest(KEY, [], [])  # empty
+        with pytest.raises(ServiceError):
+            store.ingest(KEY, [np.inf], [1.0])  # non-finite timestamp
+        with pytest.raises(ServiceError):
+            store.ingest(KEY, [1.0], [np.nan])  # NaN value
+
+    def test_ingest_fans_out_to_every_resolution(self):
+        store = WindowStore(resolutions=(10.0, 60.0), seed_fn=lambda k: 5)
+        ts = 1000.0 + np.arange(120)
+        accepted, _events = store.ingest(KEY, ts, _values(120))
+        assert accepted == 120
+        assert store.get(KEY)[10.0].n == 120
+        assert store.get(KEY)[60.0].n == 120
+        assert store.get(KEY)[10.0].bucket_count == 12
+        assert store.get(KEY)[60.0].bucket_count == 3
+        assert store.accepted(KEY) == 120
+        assert store.accepted("never") == 0
+
+    def test_events_carry_resolution(self):
+        store = WindowStore(resolutions=(10.0, 60.0), seed_fn=lambda k: 5)
+        _, events = store.ingest(KEY, 1000.0 + np.arange(120), _values(120))
+        resolutions = {event.resolution for event in events}
+        assert resolutions == {10.0, 60.0}
+
+    def test_unknown_key_raises(self):
+        store = WindowStore(resolutions=(10.0,))
+        with pytest.raises(KeyError):
+            store.get("missing")
+
+    def test_restore_keeps_new_config_resolutions_empty(self):
+        old = WindowStore(resolutions=(10.0,), seed_fn=lambda k: 3)
+        old.ingest(KEY, [1005.0], [1.0])
+        payload = old.payload(KEY)
+        new = WindowStore(resolutions=(10.0, 60.0), seed_fn=lambda k: 3)
+        new.restore(KEY, payload)
+        assert new.get(KEY)[10.0].n == 1
+        assert new.get(KEY)[60.0].n == 0  # added since the snapshot
+
+    def test_stats_aggregate(self):
+        store = WindowStore(resolutions=(10.0,), retention=2, seed_fn=lambda k: 1)
+        for bucket in range(4):
+            store.ingest(KEY, [bucket * 10.0 + 5.0], [1.0])
+        stats = store.stats()
+        assert stats["keys"] == 1
+        assert stats["buckets"] == 2
+        assert stats["expired_buckets"] == 2
+        assert stats["resolutions"] == [10.0]
+
+
+# ----------------------------------------------------------------------
+# Service-level durability: snapshot + WAL tail, bit-exact
+# ----------------------------------------------------------------------
+
+_WINDOW_KW = dict(
+    window_resolutions=(10.0,), window_retention=32, window_lateness=5.0
+)
+
+
+def _window_answer(service, start, end):
+    return service.window_query(KEY, "quantiles", 0.0, start, end, FRACTIONS)
+
+
+def _assert_same_answer(expected, got):
+    assert expected[0] == got[0]  # n
+    assert expected[1] == got[1]  # error bound
+    assert np.array_equal(expected[2], got[2])  # values, bit-exact
+    assert expected[3] == got[3]  # retained
+
+
+class TestServiceRecovery:
+    def test_snapshot_plus_wal_tail_restart_is_bit_exact(self, tmp_path):
+        service = QuantileService(tmp_path, seed=0, **_WINDOW_KW)
+        rng = np.random.default_rng(21)
+        service.window_ingest(KEY, 1000.0 + np.arange(300) * 0.2, rng.random(300))
+        service.snapshot_all()
+        # WAL-only tail after the snapshot, including an out-of-order batch.
+        service.window_ingest(KEY, 1060.0 + np.arange(100) * 0.1, rng.random(100))
+        service.window_ingest(KEY, [1058.0, 1069.5], [5.0, 6.0])
+        expected = _window_answer(service, 1000.0, 1100.0)
+        expected_stats = service.windows.ring(KEY).stats()
+        service.close(snapshot=False)  # crash-style exit
+
+        recovered = QuantileService(tmp_path, seed=0, **_WINDOW_KW)
+        _assert_same_answer(expected, _window_answer(recovered, 1000.0, 1100.0))
+        assert recovered.windows.ring(KEY).stats() == expected_stats
+        recovered.close()
+
+    def test_wal_only_restart_replays_lateness_decisions(self, tmp_path):
+        service = QuantileService(tmp_path, seed=0, **_WINDOW_KW)
+        service.window_ingest(KEY, [1025.0], [1.0])
+        service.window_ingest(KEY, [1012.0], [2.0])  # dropped: 13s > 5s bound
+        assert service.windows.ring(KEY).late_dropped == 1
+        expected = _window_answer(service, 1000.0, 1040.0)
+        service.close(snapshot=False)
+
+        recovered = QuantileService(tmp_path, seed=0, **_WINDOW_KW)
+        assert recovered.windows.ring(KEY).late_dropped == 1
+        _assert_same_answer(expected, _window_answer(recovered, 1000.0, 1040.0))
+        recovered.close()
+
+    def test_window_query_errors(self):
+        service = QuantileService(None, seed=0, **_WINDOW_KW)
+        with pytest.raises(KeyError):
+            service.window_query("missing", "quantiles", 0.0, 0.0, 1.0, FRACTIONS)
+        service.window_ingest(KEY, [1005.0], [1.0])
+        with pytest.raises(EmptySketchError):
+            service.window_query(KEY, "quantiles", 0.0, 0.0, 10.0, FRACTIONS)
+        with pytest.raises(ServiceError):
+            service.window_query(KEY, "quantiles", 30.0, 1000.0, 1010.0, FRACTIONS)
+
+
+# ----------------------------------------------------------------------
+# The acceptance property
+# ----------------------------------------------------------------------
+
+#: One schedule step: (op, seed).  Batches advance a deterministic clock;
+#: "late" batches step backwards (some inside the bound, some dropped);
+#: "snapshot" reseeds the live side; "restart" is a crash + recovery.
+_STEPS = st.lists(
+    st.tuples(
+        st.sampled_from(["batch", "late", "sparse", "snapshot", "restart"]),
+        st.integers(0, 2**31 - 1),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestWindowQueryBitExactProperty:
+    @given(_STEPS)
+    @settings(max_examples=25, deadline=None)
+    def test_window_query_equals_fresh_merge_many(self, ops):
+        """WINDOW_QUERY == a fresh ``merge_many`` over the same retained
+        buckets, bit for bit — through out-of-order ingest, expiry (small
+        retention), snapshots, and crash restarts."""
+        with tempfile.TemporaryDirectory() as data_dir:
+            kw = dict(
+                window_resolutions=(10.0,), window_retention=6, window_lateness=8.0
+            )
+            service = QuantileService(data_dir, seed=0, **kw)
+            try:
+                clock = 1000.0
+                for op, arg in ops:
+                    rng = np.random.default_rng(arg)
+                    if op == "batch":
+                        clock += float(rng.uniform(0.0, 15.0))
+                        size = int(rng.integers(1, 120))
+                        ts = clock + rng.uniform(0.0, 10.0, size)
+                        clock = max(clock, float(ts.max()))
+                        service.window_ingest(KEY, ts, rng.random(size))
+                    elif op == "late":
+                        # Straddles the lateness bound: some kept, some dropped.
+                        size = int(rng.integers(1, 40))
+                        ts = clock - rng.uniform(0.0, 20.0, size)
+                        service.window_ingest(KEY, ts, rng.random(size))
+                    elif op == "sparse":
+                        # A big jump expires most of the ring (retention=6).
+                        clock += float(rng.uniform(60.0, 120.0))
+                        service.window_ingest(KEY, [clock], rng.random(1))
+                    elif op == "snapshot":
+                        service.snapshot_all()
+                    else:  # restart
+                        before = self._answer_or_none(service)
+                        service.close(snapshot=False)
+                        service = QuantileService(data_dir, seed=0, **kw)
+                        after = self._answer_or_none(service)
+                        assert (before is None) == (after is None)
+                        if before is not None:
+                            _assert_same_answer(before, after)
+                    self._check_against_fresh_merge(service)
+            finally:
+                service.close(snapshot=False)
+
+    @staticmethod
+    def _horizon_bounds(ring):
+        watermark = ring.watermark
+        return watermark - 200.0, watermark + 10.0
+
+    def _answer_or_none(self, service):
+        if KEY not in service.windows or service.windows.ring(KEY).n == 0:
+            return None
+        lo, hi = self._horizon_bounds(service.windows.ring(KEY))
+        return _window_answer(service, lo, hi)
+
+    def _check_against_fresh_merge(self, service):
+        if KEY not in service.windows:
+            return
+        ring = service.windows.ring(KEY)
+        if ring.n == 0:
+            return
+        lo, hi = self._horizon_bounds(ring)
+        got = _window_answer(service, lo, hi)
+        lo_bucket = ring.bucket_index(lo)
+        sources = [
+            sketch
+            for index, sketch in ring.buckets()
+            if index >= lo_bucket and index * ring.bucket_seconds < hi
+        ]
+        fresh = FastReqSketch(ring.k, hra=ring.hra, seed=ring.horizon_seed)
+        fresh.merge_many(sources)
+        expected = (
+            int(fresh.n),
+            float(fresh.error_bound()),
+            fresh.quantiles(FRACTIONS),
+            int(fresh.num_retained),
+        )
+        _assert_same_answer(expected, got)
