@@ -18,6 +18,8 @@ Subcommands::
     repro-quantiles watch KEY --q 0.5 0.99     # follow closed window buckets
     repro-quantiles cluster-status ring.json   # per-node health of a cluster
     repro-quantiles cluster-status ring.json --key lat --repair
+    repro-quantiles cluster-reshard ring.json --add d=127.0.0.1:7403
+    repro-quantiles cluster-reshard ring.json --remove b
     repro-quantiles version                    # print the package version
 
 (Installed as ``repro-quantiles``; also runnable as ``python -m repro.cli``.)
@@ -221,6 +223,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="run an anti-entropy repair pass over the given --key keys",
     )
     status_parser.add_argument("--timeout", type=float, default=3.0)
+
+    reshard_parser = sub.add_parser(
+        "cluster-reshard",
+        help="live topology change: add or remove a node while writes keep "
+        "flowing, with zero acked-write loss",
+    )
+    reshard_parser.add_argument(
+        "topology",
+        help="cluster topology JSON file; rewritten to the new map on success",
+    )
+    reshard_group = reshard_parser.add_mutually_exclusive_group(required=True)
+    reshard_group.add_argument(
+        "--add",
+        metavar="NODE",
+        help="node to add, as node-id=host:port (start it with "
+        "'serve --node-id' first so it can receive pushed state)",
+    )
+    reshard_group.add_argument(
+        "--remove", metavar="NODE-ID", help="node id to decommission"
+    )
+    reshard_parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the per-key moves without touching any state",
+    )
+    reshard_parser.add_argument(
+        "--drain-rounds",
+        type=int,
+        default=4,
+        metavar="N",
+        help="convergence rounds per key before freezing anyway (default 4)",
+    )
+    reshard_parser.add_argument("--timeout", type=float, default=3.0)
 
     query_parser = sub.add_parser("query", help="query a running quantile service")
     query_parser.add_argument(
@@ -513,24 +548,33 @@ def _cmd_cluster_status(args) -> int:
         table = Table(
             f"cluster topology v{cluster_map.version} "
             f"(R={cluster_map.replication}, vnodes={cluster_map.vnodes})",
-            ["node", "address", "state", "connections", "wal_queue", "sessions",
-             "win_keys", "subs"],
+            ["node", "address", "state", "topology", "connections", "wal_queue",
+             "sessions", "win_keys", "subs", "hints"],
         )
-        for node_id, detail in client.health().items():
+        health = client.health()
+        # Queued-hint depth is a property of the writer client doing the
+        # probing (hinted handoff is client-side); for this status pass
+        # it reflects hints generated while probing/repairing just now.
+        hints = client.hint_depths()
+        for node_id, detail in health.items():
             node = cluster_map.node(node_id)
             if detail is None:
-                table.add_row(node_id, node.address, "DOWN", "-", "-", "-", "-", "-")
+                table.add_row(node_id, node.address, "DOWN", "-", "-", "-", "-",
+                              "-", "-", hints.get(node_id, 0))
                 exit_code = 2
                 continue
+            version = detail.get("topology_version")
             table.add_row(
                 node_id,
                 node.address,
                 detail.get("state", "?"),
+                "none" if version is None else f"v{version}",
                 detail.get("open_connections", "?"),
                 detail.get("wal_queue_depth", "?"),
                 detail.get("sessions", "?"),
                 detail.get("windowed_keys", "?"),
                 detail.get("active_subscriptions", "?"),
+                hints.get(node_id, 0),
             )
         table.print()
         for key in args.key or []:
@@ -557,6 +601,50 @@ def _cmd_cluster_status(args) -> int:
             if report.clean:
                 exit_code = 0
     return exit_code
+
+
+def _cmd_cluster_reshard(args) -> int:
+    from repro.cluster import ClusterMap, Rebalancer
+    from repro.service import RetryPolicy
+
+    old_map = ClusterMap.load(args.topology)
+    if args.add is not None:
+        node_id, sep, address = args.add.partition("=")
+        host, colon, port = address.rpartition(":")
+        if not sep or not colon or not node_id or not host:
+            print(
+                f"error: --add wants node-id=host:port, got {args.add!r}",
+                file=sys.stderr,
+            )
+            return 2
+        new_map = old_map.add_node((node_id, host, int(port)))
+    else:
+        new_map = old_map.without_node(args.remove)
+    retry = RetryPolicy(timeout=args.timeout, retries=1)
+    with Rebalancer(
+        old_map, new_map, retry=retry, drain_rounds=args.drain_rounds
+    ) as rebalancer:
+        if args.plan:
+            moves = rebalancer.plan()
+            for move in moves:
+                print(
+                    f"key {move.key!r}: {move.source} -> "
+                    f"{', '.join(move.destinations)}"
+                    + (f" (freezing {', '.join(move.frozen)})" if move.frozen else "")
+                )
+            print(
+                f"plan: {len(moves)} keys would move for topology "
+                f"v{old_map.version} -> v{new_map.version} (nothing executed)"
+            )
+            return 0
+        report = rebalancer.execute()
+    # Only a committed cutover rewrites the operator's topology file —
+    # a failed run leaves both the file and the cluster on the old map.
+    new_map.save(args.topology)
+    print(report.summary())
+    for move in report.moves:
+        print(f"  moved {move.key!r}: {move.source} -> {', '.join(move.destinations)}")
+    return 0
 
 
 def _cmd_query(args) -> int:
@@ -695,6 +783,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_watch(args)
         if args.command == "cluster-status":
             return _cmd_cluster_status(args)
+        if args.command == "cluster-reshard":
+            return _cmd_cluster_reshard(args)
         if args.command == "list":
             return _cmd_list()
         if args.command == "run":

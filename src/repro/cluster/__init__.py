@@ -11,8 +11,10 @@ This package turns a fleet of single-node quantile services
 * :mod:`repro.cluster.handoff` — :class:`HintQueue`, the bounded buffer
   of writes a down replica missed.
 * :mod:`repro.cluster.repair` — :func:`repair`, the anti-entropy pass
-  that detects replica divergence (per-key ``n`` via ``STATS``) and
-  heals it exactly (``FETCH`` + ``MERGE``).
+  that detects replica divergence (per-key ``n`` via ``STATS``, payload
+  digests via ``FETCH``) and heals it exactly (``FETCH`` + ``MERGE``).
+* :mod:`repro.cluster.reshard` — :class:`Rebalancer`, live elastic
+  resharding between two map versions with zero acked-write loss.
 
 The whole design leans on the paper's full-mergeability theorem
 (Theorem 3): every replica's sketch is a valid REQ summary, any replica
@@ -23,6 +25,7 @@ a sketch merge — no quorum reads, no read-repair write path.
 from repro.cluster.client import AsyncClusterClient, ClusterClient
 from repro.cluster.handoff import DEFAULT_MAX_HINTS, DEFAULT_MAX_VALUES, Hint, HintQueue
 from repro.cluster.repair import KeyRepair, RepairReport, repair
+from repro.cluster.reshard import KeyMove, Rebalancer, ReshardReport
 from repro.cluster.ring import DEFAULT_VNODES, ClusterMap, ClusterNode, key_hash
 
 __all__ = [
@@ -32,8 +35,11 @@ __all__ = [
     "AsyncClusterClient",
     "Hint",
     "HintQueue",
+    "KeyMove",
     "KeyRepair",
+    "Rebalancer",
     "RepairReport",
+    "ReshardReport",
     "repair",
     "key_hash",
     "DEFAULT_VNODES",

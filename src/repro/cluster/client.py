@@ -43,7 +43,12 @@ import numpy as np
 
 from repro.cluster.handoff import DEFAULT_MAX_HINTS, DEFAULT_MAX_VALUES, Hint, HintQueue
 from repro.cluster.ring import ClusterMap, ClusterNode
-from repro.errors import ClusterError, RetryBudgetExceededError, ServiceError
+from repro.errors import (
+    ClusterError,
+    RetryBudgetExceededError,
+    ServiceError,
+    WrongTopologyError,
+)
 from repro.service import protocol as wire
 from repro.service.client import (
     AsyncQuantileClient,
@@ -60,6 +65,13 @@ __all__ = ["ClusterClient", "AsyncClusterClient"]
 #: failover/handoff rather than surfaced (everything else is a real
 #: error: bad request, incompatible merge, unknown key on writes, ...).
 _REPLICA_ERRORS = (ConnectionError, OSError, RetryBudgetExceededError)
+
+#: How many topology generations one operation will chase.  Each
+#: ``WRONG_TOPOLOGY`` redirect carries the rejecting node's newer map;
+#: adopting it and re-routing once per generation converges in a single
+#: hop under a normal reshard — the bound only guards against a cluster
+#: whose topology is churning faster than the client can follow.
+_TOPOLOGY_ATTEMPTS = 3
 
 
 def _is_failover_status(exc: ServiceError) -> bool:
@@ -173,6 +185,8 @@ class ClusterClient:
         self.map = cluster_map
         self._retry = retry if retry is not None else RetryPolicy()
         self.probe_interval = probe_interval
+        self._max_hints = max_hints
+        self._max_hint_values = max_hint_values
         self._replicas: Dict[str, _Replica] = {
             node.node_id: _Replica(node, max_hints=max_hints, max_values=max_hint_values)
             for node in cluster_map.nodes
@@ -184,12 +198,43 @@ class ClusterClient:
         self.read_failovers = 0
         self.hinted_writes = 0
         self.nodes_marked_down = 0
+        self.topology_refreshes = 0
         self._closed = False
 
     # -- per-node connection management --------------------------------
 
     def _replica(self, node: ClusterNode) -> _Replica:
         return self._replicas[node.node_id]
+
+    def adopt_topology(self, map_json: str) -> bool:
+        """Install a newer cluster map (from a ``WRONG_TOPOLOGY`` redirect).
+
+        Returns ``True`` iff the map was adopted.  Replica slots for
+        nodes present in both maps are **kept** — their exactly-once
+        sessions, sequence counters, and queued hints survive the
+        re-route, which is what lets a retried write deduplicate at a
+        node that already applied it under the old map.  Slots for
+        removed nodes are kept too (unrouted) so a map flip-back cannot
+        reset their sequence space.
+        """
+        if not map_json:
+            return False
+        try:
+            new_map = ClusterMap.from_json(map_json)
+        except Exception:
+            return False
+        if new_map.version <= self.map.version:
+            return False
+        self.map = new_map
+        for node in new_map.nodes:
+            if node.node_id not in self._replicas:
+                self._replicas[node.node_id] = _Replica(
+                    node,
+                    max_hints=self._max_hints,
+                    max_values=self._max_hint_values,
+                )
+        self.topology_refreshes += 1
+        return True
 
     def _connect(self, rep: _Replica) -> None:
         client = QuantileClient(
@@ -255,6 +300,14 @@ class ClusterClient:
                 rep.hints.requeue(hint)
                 self._mark_down(rep, exc)
                 return False
+            except WrongTopologyError as exc:
+                # The node no longer owns this hint's key, so the frame
+                # can never apply here.  Every acked copy of the write
+                # moved with the migration bundle and the anti-entropy
+                # pass restores redundancy at the new owners — drop the
+                # hint rather than wedging the queue.
+                self.adopt_topology(exc.map_json)
+                continue
             except ServiceError as exc:
                 if _is_failover_status(exc):
                     rep.hints.requeue(hint)
@@ -278,36 +331,66 @@ class ClusterClient:
         self.keys_seen.add(key)
         best_n = -1
         last_error: Optional[BaseException] = None
-        for node in self.map.replicas(key):
-            rep = self._replica(node)
-            if not self._ensure_live(rep):
-                self._hint(rep, key, values)
-                continue
-            body = self._seq_body(rep, key, values)
+        # Nodes already written (acked or hinted) this operation: a
+        # WRONG_TOPOLOGY re-route must not send them a second frame —
+        # the retry carries a fresh sequence number, so a duplicate
+        # would double-count instead of deduplicating.
+        done = set()
+        for attempt in range(_TOPOLOGY_ATTEMPTS):
             try:
-                if body is None:
-                    # Old server without exactly-once: best effort, no
-                    # safe replay — never hinted.
-                    n = rep.client.ingest(key, values)
-                else:
-                    payload = rep.client._request(body, idempotent=True)
-                    n, _ = wire.unpack_n(payload, 0)
-                    rep.acked = True
-            except _REPLICA_ERRORS as exc:
-                self._mark_down(rep, exc)
-                if body is not None:
-                    self._push_hint(rep, Hint(key, len(values), body))
+                for node in self.map.replicas(key):
+                    if node.node_id in done:
+                        continue
+                    rep = self._replica(node)
+                    if not self._ensure_live(rep):
+                        self._hint(rep, key, values)
+                        done.add(node.node_id)
+                        continue
+                    body = self._seq_body(rep, key, values)
+                    try:
+                        if body is None:
+                            # Old server without exactly-once: best effort,
+                            # no safe replay — never hinted.
+                            n = rep.client.ingest(key, values)
+                        else:
+                            payload = rep.client._request(body, idempotent=True)
+                            n, _ = wire.unpack_n(payload, 0)
+                            rep.acked = True
+                    except _REPLICA_ERRORS as exc:
+                        self._mark_down(rep, exc)
+                        if body is not None:
+                            self._push_hint(rep, Hint(key, len(values), body))
+                        done.add(node.node_id)
+                        last_error = exc
+                        continue
+                    except WrongTopologyError:
+                        raise
+                    except ServiceError as exc:
+                        if _is_failover_status(exc) and body is not None:
+                            # Shedding past the retry budget: treat like a
+                            # down node — the frame was NOT applied; hint it.
+                            self._push_hint(rep, Hint(key, len(values), body))
+                            done.add(node.node_id)
+                            last_error = exc
+                            continue
+                        raise
+                    best_n = max(best_n, n)
+                    done.add(node.node_id)
+                break
+            except WrongTopologyError as exc:
+                # The rejecting node shipped the newer map in the error:
+                # adopt it and re-route to the new owners.  The rejected
+                # frame was not applied (that is what the status means),
+                # and every pre-cutover ack moved with the migration
+                # bundle, so the re-send cannot lose or double anything.
                 last_error = exc
-                continue
-            except ServiceError as exc:
-                if _is_failover_status(exc) and body is not None:
-                    # Shedding past the retry budget: treat like a down
-                    # node — the frame was NOT applied; hint it.
-                    self._push_hint(rep, Hint(key, len(values), body))
-                    last_error = exc
+                if attempt < _TOPOLOGY_ATTEMPTS - 1 and self.adopt_topology(exc.map_json):
                     continue
+                if best_n >= 0:
+                    # W=1 already satisfied; an unadoptable redirect from
+                    # a straggler replica does not unwind the ack.
+                    break
                 raise
-            best_n = max(best_n, n)
         if best_n < 0:
             raise ClusterError(
                 f"no live replica acknowledged ingest of {len(values)} values "
@@ -352,38 +435,57 @@ class ClusterClient:
         self.keys_seen.add(key)
         best_n = -1
         last_error: Optional[BaseException] = None
-        for node in self.map.replicas(key):
-            rep = self._replica(node)
-            if not self._ensure_live(rep):
-                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
-                self._push_hint(rep, Hint(key, len(values), body))
-                continue
-            if rep.client.exactly_once:
-                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
-            else:
-                body = None
+        done = set()
+        for attempt in range(_TOPOLOGY_ATTEMPTS):
             try:
-                if body is None:
-                    # Old server without exactly-once: best effort, no
-                    # safe replay — never hinted.
-                    n = rep.client.ingest_windowed(key, ts, values)
-                else:
-                    payload = rep.client._request(body, idempotent=True)
-                    n, _ = wire.unpack_n(payload, 0)
-                    rep.acked = True
-            except _REPLICA_ERRORS as exc:
-                self._mark_down(rep, exc)
-                if body is not None:
-                    self._push_hint(rep, Hint(key, len(values), body))
+                for node in self.map.replicas(key):
+                    if node.node_id in done:
+                        continue
+                    rep = self._replica(node)
+                    if not self._ensure_live(rep):
+                        body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+                        self._push_hint(rep, Hint(key, len(values), body))
+                        done.add(node.node_id)
+                        continue
+                    if rep.client.exactly_once:
+                        body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+                    else:
+                        body = None
+                    try:
+                        if body is None:
+                            # Old server without exactly-once: best effort,
+                            # no safe replay — never hinted.
+                            n = rep.client.ingest_windowed(key, ts, values)
+                        else:
+                            payload = rep.client._request(body, idempotent=True)
+                            n, _ = wire.unpack_n(payload, 0)
+                            rep.acked = True
+                    except _REPLICA_ERRORS as exc:
+                        self._mark_down(rep, exc)
+                        if body is not None:
+                            self._push_hint(rep, Hint(key, len(values), body))
+                        done.add(node.node_id)
+                        last_error = exc
+                        continue
+                    except WrongTopologyError:
+                        raise
+                    except ServiceError as exc:
+                        if _is_failover_status(exc) and body is not None:
+                            self._push_hint(rep, Hint(key, len(values), body))
+                            done.add(node.node_id)
+                            last_error = exc
+                            continue
+                        raise
+                    best_n = max(best_n, n)
+                    done.add(node.node_id)
+                break
+            except WrongTopologyError as exc:
                 last_error = exc
-                continue
-            except ServiceError as exc:
-                if _is_failover_status(exc) and body is not None:
-                    self._push_hint(rep, Hint(key, len(values), body))
-                    last_error = exc
+                if attempt < _TOPOLOGY_ATTEMPTS - 1 and self.adopt_topology(exc.map_json):
                     continue
+                if best_n >= 0:
+                    break
                 raise
-            best_n = max(best_n, n)
         if best_n < 0:
             raise ClusterError(
                 f"no live replica acknowledged windowed ingest of {len(values)} "
@@ -436,7 +538,18 @@ class ClusterClient:
     # -- reads ---------------------------------------------------------
 
     def _read(self, key: str, op: str, *args, **kwargs):
-        """Run a read op against the key's replicas with failover."""
+        """Run a read op against the key's replicas with failover,
+        chasing ``WRONG_TOPOLOGY`` redirects to the current owners."""
+        for attempt in range(_TOPOLOGY_ATTEMPTS):
+            try:
+                return self._read_once(key, op, *args, **kwargs)
+            except WrongTopologyError as exc:
+                if attempt == _TOPOLOGY_ATTEMPTS - 1 or not self.adopt_topology(exc.map_json):
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _read_once(self, key: str, op: str, *args, **kwargs):
+        """One failover pass over the key's replicas under the current map."""
         last_error: Optional[BaseException] = None
         unknown: Optional[ServiceError] = None
         for node in self.map.replicas(key):
@@ -527,6 +640,10 @@ class ClusterClient:
                 out[rep.node.node_id] = None
         return out
 
+    def hint_depths(self) -> Dict[str, int]:
+        """Queued-hint depth per node (this client's handoff backlog)."""
+        return {rep.node.node_id: len(rep.hints) for rep in self._replicas.values()}
+
     def stats(self) -> dict:
         """Cluster-client view: topology + per-replica state + counters."""
         return {
@@ -538,6 +655,7 @@ class ClusterClient:
             "read_failovers": self.read_failovers,
             "hinted_writes": self.hinted_writes,
             "nodes_marked_down": self.nodes_marked_down,
+            "topology_refreshes": self.topology_refreshes,
         }
 
     def node_client(self, node_id: str) -> Optional[QuantileClient]:
@@ -590,6 +708,8 @@ class AsyncClusterClient:
         self.map = cluster_map
         self._retry = retry if retry is not None else RetryPolicy()
         self.probe_interval = probe_interval
+        self._max_hints = max_hints
+        self._max_hint_values = max_hint_values
         self._replicas: Dict[str, _Replica] = {
             node.node_id: _Replica(node, max_hints=max_hints, max_values=max_hint_values)
             for node in cluster_map.nodes
@@ -599,10 +719,16 @@ class AsyncClusterClient:
         self.read_failovers = 0
         self.hinted_writes = 0
         self.nodes_marked_down = 0
+        self.topology_refreshes = 0
         self._closed = False
 
     def _replica(self, node: ClusterNode) -> _Replica:
         return self._replicas[node.node_id]
+
+    # Same contract as ClusterClient.adopt_topology (pure client state,
+    # no I/O, so the sync implementation is shared verbatim).
+    adopt_topology = ClusterClient.adopt_topology
+    hint_depths = ClusterClient.hint_depths
 
     async def _connect(self, rep: _Replica) -> None:
         client = AsyncQuantileClient(
@@ -658,6 +784,10 @@ class AsyncClusterClient:
                 rep.hints.requeue(hint)
                 await self._mark_down(rep, exc)
                 return False
+            except WrongTopologyError as exc:
+                # Un-owned key: drop the hint (see ClusterClient note).
+                self.adopt_topology(exc.map_json)
+                continue
             except ServiceError as exc:
                 if _is_failover_status(exc):
                     rep.hints.requeue(hint)
@@ -671,13 +801,6 @@ class AsyncClusterClient:
 
         values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
         self.keys_seen.add(key)
-        plan: List[Tuple[_Replica, Optional[bytes]]] = []
-        for node in self.map.replicas(key):
-            rep = self._replica(node)
-            if not await self._ensure_live(rep):
-                self._hint(rep, key, values)
-                continue
-            plan.append((rep, self._seq_body(rep, key, values)))
 
         async def write_one(rep: _Replica, body: Optional[bytes]):
             try:
@@ -692,22 +815,59 @@ class AsyncClusterClient:
                 if body is not None:
                     self._push_hint(rep, Hint(key, len(values), body))
                 return exc
+            except WrongTopologyError as exc:
+                # Surfaced as a value so gather() completes the whole
+                # fan-out; the caller adopts the map and re-routes.
+                return exc
             except ServiceError as exc:
                 if _is_failover_status(exc) and body is not None:
                     self._push_hint(rep, Hint(key, len(values), body))
                     return exc
                 raise
 
-        results = await asyncio.gather(*(write_one(rep, body) for rep, body in plan))
-        acked = [n for n in results if isinstance(n, int)]
-        if not acked:
-            errors = [r for r in results if isinstance(r, BaseException)]
+        best_n = -1
+        last_error: Optional[BaseException] = None
+        done = set()
+        for attempt in range(_TOPOLOGY_ATTEMPTS):
+            plan: List[Tuple[_Replica, Optional[bytes]]] = []
+            for node in self.map.replicas(key):
+                if node.node_id in done:
+                    continue
+                rep = self._replica(node)
+                if not await self._ensure_live(rep):
+                    self._hint(rep, key, values)
+                    done.add(node.node_id)
+                    continue
+                plan.append((rep, self._seq_body(rep, key, values)))
+            results = await asyncio.gather(*(write_one(rep, body) for rep, body in plan))
+            wrong: Optional[WrongTopologyError] = None
+            for (rep, _body), res in zip(plan, results):
+                if isinstance(res, int):
+                    best_n = max(best_n, res)
+                    done.add(rep.node.node_id)
+                elif isinstance(res, WrongTopologyError):
+                    wrong = res
+                    last_error = res
+                else:
+                    # Marked down (hinted) or shed (hinted) inside
+                    # write_one — handled, don't re-send on re-route.
+                    done.add(rep.node.node_id)
+                    if isinstance(res, BaseException):
+                        last_error = res
+            if wrong is None:
+                break
+            if attempt < _TOPOLOGY_ATTEMPTS - 1 and self.adopt_topology(wrong.map_json):
+                continue
+            if best_n >= 0:
+                break
+            raise wrong
+        if best_n < 0:
             raise ClusterError(
                 f"no live replica acknowledged ingest of {len(values)} values "
                 f"for key {key!r}"
-            ) from (errors[-1] if errors else None)
+            ) from last_error
         self.write_acks += 1
-        return max(acked)
+        return best_n
 
     async def ingest_stream(self, key: str, values, *, frame_values: int = 8192) -> int:
         values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
@@ -734,18 +894,6 @@ class AsyncClusterClient:
         ts = np.ascontiguousarray(timestamps, dtype=wire.WIRE_DTYPE)
         values = np.ascontiguousarray(values, dtype=wire.WIRE_DTYPE)
         self.keys_seen.add(key)
-        plan: List[Tuple[_Replica, Optional[bytes]]] = []
-        for node in self.map.replicas(key):
-            rep = self._replica(node)
-            if not await self._ensure_live(rep):
-                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
-                self._push_hint(rep, Hint(key, len(values), body))
-                continue
-            if rep.client.exactly_once:
-                body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
-            else:
-                body = None
-            plan.append((rep, body))
 
         async def write_one(rep: _Replica, body: Optional[bytes]):
             try:
@@ -760,22 +908,60 @@ class AsyncClusterClient:
                 if body is not None:
                     self._push_hint(rep, Hint(key, len(values), body))
                 return exc
+            except WrongTopologyError as exc:
+                return exc
             except ServiceError as exc:
                 if _is_failover_status(exc) and body is not None:
                     self._push_hint(rep, Hint(key, len(values), body))
                     return exc
                 raise
 
-        results = await asyncio.gather(*(write_one(rep, body) for rep, body in plan))
-        acked = [n for n in results if isinstance(n, int)]
-        if not acked:
-            errors = [r for r in results if isinstance(r, BaseException)]
+        best_n = -1
+        last_error: Optional[BaseException] = None
+        done = set()
+        for attempt in range(_TOPOLOGY_ATTEMPTS):
+            plan: List[Tuple[_Replica, Optional[bytes]]] = []
+            for node in self.map.replicas(key):
+                if node.node_id in done:
+                    continue
+                rep = self._replica(node)
+                if not await self._ensure_live(rep):
+                    body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+                    self._push_hint(rep, Hint(key, len(values), body))
+                    done.add(node.node_id)
+                    continue
+                if rep.client.exactly_once:
+                    body = wire.pack_seq_window_ingest(rep.reserve_seq(), key, ts, values)
+                else:
+                    body = None
+                plan.append((rep, body))
+            results = await asyncio.gather(*(write_one(rep, body) for rep, body in plan))
+            wrong: Optional[WrongTopologyError] = None
+            for (rep, _body), res in zip(plan, results):
+                if isinstance(res, int):
+                    best_n = max(best_n, res)
+                    done.add(rep.node.node_id)
+                elif isinstance(res, WrongTopologyError):
+                    wrong = res
+                    last_error = res
+                else:
+                    done.add(rep.node.node_id)
+                    if isinstance(res, BaseException):
+                        last_error = res
+            if wrong is None:
+                break
+            if attempt < _TOPOLOGY_ATTEMPTS - 1 and self.adopt_topology(wrong.map_json):
+                continue
+            if best_n >= 0:
+                break
+            raise wrong
+        if best_n < 0:
             raise ClusterError(
                 f"no live replica acknowledged windowed ingest of {len(values)} "
                 f"values for key {key!r}"
-            ) from (errors[-1] if errors else None)
+            ) from last_error
         self.write_acks += 1
-        return max(acked)
+        return best_n
 
     async def query_horizon(
         self,
@@ -811,6 +997,15 @@ class AsyncClusterClient:
         return pending
 
     async def _read(self, key: str, op: str, *args, **kwargs):
+        for attempt in range(_TOPOLOGY_ATTEMPTS):
+            try:
+                return await self._read_once(key, op, *args, **kwargs)
+            except WrongTopologyError as exc:
+                if attempt == _TOPOLOGY_ATTEMPTS - 1 or not self.adopt_topology(exc.map_json):
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _read_once(self, key: str, op: str, *args, **kwargs):
         last_error: Optional[BaseException] = None
         unknown: Optional[ServiceError] = None
         for node in self.map.replicas(key):
@@ -884,6 +1079,7 @@ class AsyncClusterClient:
             "read_failovers": self.read_failovers,
             "hinted_writes": self.hinted_writes,
             "nodes_marked_down": self.nodes_marked_down,
+            "topology_refreshes": self.topology_refreshes,
         }
 
     async def close(self) -> None:

@@ -8,7 +8,22 @@ that gap:
 **Detection** is cheap: per-replica per-key ``n`` via ``STATS``.  Under
 replicated writes every replica of a key receives the *same value
 stream*, so equal ``n`` means converged and unequal ``n`` pinpoints the
-stale replica and exactly how many values it is missing.
+stale replica and exactly how many values it is missing.  ``n`` is the
+fast path, not the whole truth: replicas can agree on ``n`` yet hold
+different values (e.g. one applied a write the other double-counted
+after losing its dedup marks).  ``repair(..., digest=True)`` closes
+that blind spot by fetching each equal-``n`` replica's FRQ1 payload and
+comparing digests — byte-identical payloads are proof of convergence
+(same values, same coin flips), mismatching ones are reported as
+unhealed divergence for the operator (no exact heal exists for two
+partial states; see below).  A digest mismatch is a flag to inspect,
+not proof of loss: an *asymmetric flush history* — most commonly
+per-node periodic checkpoints compacting at different stream positions
+(``serve --snapshot-interval``) — yields replicas that hold the same
+values and answer identically within the bound yet differ byte-wise.
+Byte-identity is only guaranteed while flush histories stay symmetric
+(e.g. right after a reshard's re-base, before checkpoint timers
+diverge).
 
 **Healing** is conservative, because REQ sketches merge but do not
 subtract.  Merging two sketches that share history double-counts the
@@ -34,11 +49,18 @@ values a replica provably lacks in full.
 
 from __future__ import annotations
 
+import hashlib
+from collections import Counter
 from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.errors import ClusterError
 
 __all__ = ["KeyRepair", "RepairReport", "repair"]
+
+
+def _payload_digest(payload: bytes) -> str:
+    """Short stable digest of an FRQ1 payload (comparison only)."""
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
 class KeyRepair(NamedTuple):
@@ -53,7 +75,7 @@ class KeyRepair(NamedTuple):
     @property
     def consistent(self) -> bool:
         reachable = [n for n in self.counts.values() if n is not None]
-        return len(set(reachable)) <= 1
+        return len(set(reachable)) <= 1 and not self.unhealed
 
 
 class RepairReport(NamedTuple):
@@ -72,7 +94,13 @@ class RepairReport(NamedTuple):
         return self.unhealed == 0
 
 
-def repair(client, keys: Optional[Sequence[str]] = None, *, heal: bool = True) -> RepairReport:
+def repair(
+    client,
+    keys: Optional[Sequence[str]] = None,
+    *,
+    heal: bool = True,
+    digest: bool = False,
+) -> RepairReport:
     """Run one anti-entropy pass through a :class:`ClusterClient`.
 
     Args:
@@ -80,6 +108,15 @@ def repair(client, keys: Optional[Sequence[str]] = None, *, heal: bool = True) -
         keys: Keys to examine; defaults to every key written through
             ``client`` (``client.keys_seen``).
         heal: When ``False``, detect and report only.
+        digest: Deep-check replicas whose ``n`` agree by fetching and
+            comparing their FRQ1 payload digests (one ``FETCH`` per
+            reachable replica per key, so it costs real bandwidth —
+            ``n`` alone stays the fast path).  A digest minority is
+            reported as unhealed divergence: two partial states cannot
+            be exactly merged, so the remedy is the same wipe-and-rerun
+            documented above — unless the mismatch is benign
+            checkpoint-timing skew (see the module docstring), which
+            needs no remedy at all.
 
     Returns a :class:`RepairReport`; raises nothing for divergence (the
     report carries it) but propagates real protocol errors.
@@ -100,8 +137,32 @@ def repair(client, keys: Optional[Sequence[str]] = None, *, heal: bool = True) -
         reachable = {node: n for node, n in counts.items() if n is not None}
         distinct = set(reachable.values())
         if len(distinct) <= 1:
-            consistent += 1
-            results.append(KeyRepair(key, counts, None, {}, {}))
+            mismatched: Dict[str, int] = {}
+            if digest and len(reachable) >= 2 and next(iter(distinct), 0) > 0:
+                digests: Dict[str, str] = {}
+                for node_id in reachable:
+                    node_client = client.node_client(node_id)
+                    if node_client is None:
+                        skipped_down += 1
+                        continue
+                    _n, payload = node_client.fetch(key)
+                    digests[node_id] = _payload_digest(payload)
+                if len(set(digests.values())) > 1:
+                    # The digest majority is the presumed-good cohort;
+                    # with no majority the tie breaks to the digest of
+                    # the first node in replica order.
+                    majority = Counter(digests.values()).most_common(1)[0][0]
+                    mismatched = {
+                        node_id: reachable[node_id]
+                        for node_id, d in digests.items()
+                        if d != majority
+                    }
+            if not mismatched:
+                consistent += 1
+                results.append(KeyRepair(key, counts, None, {}, {}))
+                continue
+            unhealed_total += len(mismatched)
+            results.append(KeyRepair(key, counts, None, {}, mismatched))
             continue
 
         authority = max(reachable, key=lambda node: reachable[node])

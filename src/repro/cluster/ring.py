@@ -95,8 +95,8 @@ class ClusterMap:
             ``min(replication, len(nodes))`` nodes, so a map survives
             shrinking below R without re-validation.
         vnodes: Ring points per node.
-        version: Topology version (bumped by :meth:`with_node` /
-            :meth:`without_node`).
+        version: Topology version (bumped by :meth:`with_node` — alias
+            :meth:`add_node` — and :meth:`without_node`).
     """
 
     __slots__ = ("nodes", "replication", "vnodes", "version", "_by_id", "_hashes", "_owners")
@@ -205,6 +205,10 @@ class ClusterMap:
             vnodes=self.vnodes,
             version=self.version + 1,
         )
+
+    #: Alias for :meth:`with_node` under the name operators reach for
+    #: (and the one the roadmap documents).
+    add_node = with_node
 
     def without_node(self, node_id: str) -> "ClusterMap":
         """A new map excluding ``node_id``, at ``version + 1``."""

@@ -19,6 +19,7 @@ __all__ = [
     "TransportError",
     "RetryBudgetExceededError",
     "ClusterError",
+    "WrongTopologyError",
 ]
 
 
@@ -84,6 +85,21 @@ class RetryBudgetExceededError(ServiceError):
     Carries the final underlying failure as ``__cause__``; raised instead
     of retrying forever so a hard outage surfaces as one loud error.
     """
+
+
+class WrongTopologyError(ServiceError):
+    """A request was routed under a stale cluster topology.
+
+    Raised when a server that has a newer :class:`~repro.cluster.ring.ClusterMap`
+    installed refuses an operation for a key it no longer owns.  The redirect
+    carries the server's map as ``map_json`` (a JSON string, possibly empty
+    when the server could not attach it) so the client can refresh its ring
+    and re-route in one round trip instead of polling for the new topology.
+    """
+
+    def __init__(self, message: str, map_json: str = "") -> None:
+        super().__init__(message)
+        self.map_json = map_json
 
 
 class ClusterError(ServiceError):

@@ -1093,6 +1093,67 @@ class QuantileClient:
         _state, blob = wire.unpack_health_response(payload)
         return json.loads(blob.decode("utf-8"))
 
+    # -- topology & live migration (the reshard control surface) -------
+
+    def topology(self) -> str:
+        """The node's installed topology as JSON (``""`` when none)."""
+        blob, _ = wire.unpack_blob(
+            self._request(wire.pack_topology(), idempotent=True), 0
+        )
+        return blob.decode("utf-8")
+
+    def set_topology(self, map_json: str) -> str:
+        """Install a topology on the node; returns the installed JSON.
+
+        Idempotent (re-installing the same or an older map than the one
+        already installed is a no-op server-side), so it is safe to retry.
+        """
+        blob, _ = wire.unpack_blob(
+            self._request(wire.pack_topology(map_json), idempotent=True), 0
+        )
+        return blob.decode("utf-8")
+
+    def migrate_keys(self) -> List[str]:
+        """Every key the node holds state for (plain or windowed)."""
+        payload = self._request(wire.pack_migrate(wire.MIGRATE_KEYS), idempotent=True)
+        return wire.unpack_keys_response(payload)
+
+    def migrate_begin(self, key: str) -> bytes:
+        """Capture ``key``'s MB1 bundle and put it into forwarding state."""
+        payload = self._request(
+            wire.pack_migrate(wire.MIGRATE_BEGIN, key), idempotent=True
+        )
+        blob, _ = wire.unpack_blob(payload, 0)
+        return bytes(blob)
+
+    def migrate_drain(self, key: str, *, freeze: bool = False):
+        """``(frozen, entries)`` — collect ``key``'s forwarded writes.
+
+        Not retried on transport errors: a resend after an indeterminate
+        outcome could silently skip a buffer the first attempt already
+        cleared; the coordinator handles the failure explicitly.
+        """
+        payload = self._request(
+            wire.pack_migrate(wire.MIGRATE_DRAIN, key, freeze=freeze)
+        )
+        return wire.unpack_drain_response(payload)
+
+    def migrate_commit(self, key: str) -> None:
+        """End ``key``'s migration on this (source) node.  Idempotent."""
+        self._request(wire.pack_migrate(wire.MIGRATE_COMMIT, key), idempotent=True)
+
+    def migrate_abort(self, key: str) -> None:
+        """Abandon ``key``'s migration; the node stays authoritative."""
+        self._request(wire.pack_migrate(wire.MIGRATE_ABORT, key), idempotent=True)
+
+    def migrate_push(self, key: str, bundle: bytes) -> int:
+        """Install an MB1 bundle as ``key``'s state on this (destination)
+        node; returns the resulting ``n``.  REPLACE semantics server-side
+        make a retried push idempotent, so transport retries are safe."""
+        payload = self._request(wire.pack_migrate_push(key, bundle), idempotent=True)
+        n, _ = wire.unpack_n(payload, 0)
+        return n
+
     def close(self) -> None:
         """Flush buffered values and close the socket (idempotent)."""
         if self._closed:
@@ -1591,6 +1652,56 @@ class AsyncQuantileClient:
         payload = await self._request(wire.pack_health(), idempotent=True)
         _state, blob = wire.unpack_health_response(payload)
         return json.loads(blob.decode("utf-8"))
+
+    # -- topology & live migration (async twin of QuantileClient) ------
+
+    async def topology(self) -> str:
+        blob, _ = wire.unpack_blob(
+            await self._request(wire.pack_topology(), idempotent=True), 0
+        )
+        return blob.decode("utf-8")
+
+    async def set_topology(self, map_json: str) -> str:
+        blob, _ = wire.unpack_blob(
+            await self._request(wire.pack_topology(map_json), idempotent=True), 0
+        )
+        return blob.decode("utf-8")
+
+    async def migrate_keys(self) -> List[str]:
+        payload = await self._request(
+            wire.pack_migrate(wire.MIGRATE_KEYS), idempotent=True
+        )
+        return wire.unpack_keys_response(payload)
+
+    async def migrate_begin(self, key: str) -> bytes:
+        payload = await self._request(
+            wire.pack_migrate(wire.MIGRATE_BEGIN, key), idempotent=True
+        )
+        blob, _ = wire.unpack_blob(payload, 0)
+        return bytes(blob)
+
+    async def migrate_drain(self, key: str, *, freeze: bool = False):
+        payload = await self._request(
+            wire.pack_migrate(wire.MIGRATE_DRAIN, key, freeze=freeze)
+        )
+        return wire.unpack_drain_response(payload)
+
+    async def migrate_commit(self, key: str) -> None:
+        await self._request(
+            wire.pack_migrate(wire.MIGRATE_COMMIT, key), idempotent=True
+        )
+
+    async def migrate_abort(self, key: str) -> None:
+        await self._request(
+            wire.pack_migrate(wire.MIGRATE_ABORT, key), idempotent=True
+        )
+
+    async def migrate_push(self, key: str, bundle: bytes) -> int:
+        payload = await self._request(
+            wire.pack_migrate_push(key, bundle), idempotent=True
+        )
+        n, _ = wire.unpack_n(payload, 0)
+        return n
 
     async def close(self) -> None:
         """Flush buffered values and close the connection (idempotent)."""

@@ -66,6 +66,7 @@ __all__ = [
     "WAL_SEQ_INGEST",
     "WAL_WINDOW_INGEST",
     "WAL_SEQ_WINDOW_INGEST",
+    "WAL_MIGRATE_SET",
     "pack_session_header",
     "unpack_session_header",
 ]
@@ -88,6 +89,14 @@ WAL_WINDOW_INGEST = 4
 #: Windowed ingest from a sequenced (exactly-once) session: the
 #: ``WAL_SEQ_INGEST`` session header followed by the windowed halves.
 WAL_SEQ_WINDOW_INGEST = 5
+#: Record op: a migration state transfer.  ``payload`` is an ``MB1``
+#: bundle (:func:`repro.service.protocol.pack_migration_bundle`): the
+#: key's FRQ1 payload, its per-session high-water marks, and its FRW1
+#: windowed rings.  Replay **replaces** the key's state (replace, not
+#: merge, so a re-pushed bundle after an aborted rebalance is
+#: idempotent) and folds the marks into the session table — even for
+#: records a snapshot already covers, mirroring ``WAL_SEQ_INGEST``.
+WAL_MIGRATE_SET = 6
 
 #: Per-record framing: body length, CRC32 of the body.
 _RECORD_HEAD = struct.Struct("<II")
@@ -654,6 +663,7 @@ def recover(
     sessions=None,
     *,
     window_apply=None,
+    window_restore=None,
     window_snap_seq: Optional[Dict[str, int]] = None,
     window_applied_seq: Optional[Dict[str, int]] = None,
 ) -> int:
@@ -689,6 +699,12 @@ def recover(
     calling.  A log carrying windowed records while ``window_apply`` is
     ``None`` refuses to start — dropping acked writes on a config change
     would be silent data loss.
+
+    ``WAL_MIGRATE_SET`` records (a pushed migration bundle) *replace* the
+    key's plain state via ``store.replace_payload`` and its windowed rings
+    via ``window_restore(key, frw1_payload)``, each side honoring its own
+    snapshot cover; the bundle's session marks always fold into
+    ``sessions``, like ``WAL_SEQ_INGEST`` marks do.
     """
     import numpy as np
 
@@ -706,6 +722,42 @@ def recover(
             if sessions is not None:
                 sessions.observe(sid, record.key, frame_seq)
             payload = payload[offset:]
+        if record.op == WAL_MIGRATE_SET:
+            from repro.service.protocol import unpack_migration_bundle
+
+            try:
+                _n, sketch, marks, window = unpack_migration_bundle(payload)
+            except Exception as exc:
+                raise ServiceError(
+                    f"WAL record seq={record.seq} key={record.key!r} carries "
+                    f"a corrupt migration bundle ({exc}) — refusing to start "
+                    "with partial state"
+                ) from exc
+            if sessions is not None:
+                for sid, mark in marks.items():
+                    sessions.observe(sid, record.key, mark)
+            if window is not None and record.seq > (window_snap_seq or {}).get(record.key, -1):
+                if window_restore is None:
+                    raise ServiceError(
+                        f"WAL record seq={record.seq} key={record.key!r} is a "
+                        "migration with windowed state but the windowed plane "
+                        "is disabled — refusing to start and silently drop "
+                        "acked writes"
+                    )
+                if window_applied_seq is not None:
+                    window_applied_seq[record.key] = record.seq
+                window_restore(record.key, window)
+            if sketch is not None and record.seq > snap_seq.get(record.key, -1):
+                applied_seq[record.key] = record.seq
+                try:
+                    store.replace_payload(record.key, sketch)
+                except Exception as exc:
+                    raise ServiceError(
+                        f"WAL record seq={record.seq} key={record.key!r} cannot "
+                        f"be applied ({exc}); the log is inconsistent with the "
+                        "store configuration — refusing to start with partial state"
+                    ) from exc
+            continue
         if record.op in (WAL_WINDOW_INGEST, WAL_SEQ_WINDOW_INGEST):
             if record.seq <= (window_snap_seq or {}).get(record.key, -1):
                 continue

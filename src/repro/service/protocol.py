@@ -41,6 +41,19 @@ Requests (``key`` is ``u16 length + UTF-8 bytes``)::
                         (first bucket index wanted), u32 count,
                         count * f64 fractions
     SEQ_WINDOW_INGEST 0x13  u64 seq, then the WINDOW_INGEST operands
+    TOPOLOGY      0x14  u8 mode: 0 = fetch the installed cluster map,
+                        1 = install (u32 length + JSON topology document)
+    MIGRATE_PUSH  0x15  key, u32 length, MB1 migration bundle — durably
+                        REPLACES the key's state at the receiver
+    MIGRATE       0x16  u8 mode (0 = KEYS, 1 = BEGIN, 2 = DRAIN,
+                        3 = COMMIT, 4 = ABORT); DRAIN carries a u8
+                        freeze flag next; every mode but KEYS then
+                        carries the key
+
+Requests for a key a server no longer owns under its installed topology
+answer ``STATUS_WRONG_TOPOLOGY`` whose body is two blobs — a UTF-8
+message and the server's topology JSON — so one round trip refreshes a
+stale client ring (see :func:`wrong_topology_body`).
 
 Responses (after the status byte; every read response carries the key's
 ``u64 num_retained`` as a trailing footer for observability)::
@@ -60,6 +73,11 @@ Responses (after the status byte; every read response carries the key's
                   values, u64 retained`` (a QUERY/CDF/RANK response body);
                   error records are ``status, u32 length, UTF-8 message``.
     FETCH         u64 n, u32 length, FRQ1 payload
+    TOPOLOGY      u32 length, JSON cluster map (empty = none installed)
+    MIGRATE_PUSH  u64 n                     key's total after the apply
+    MIGRATE       KEYS: u32 count, count * key; BEGIN: u32 length, MB1
+                  bundle; DRAIN: u8 frozen, u32 count, count * entry
+                  (see :func:`pack_drain_entry`); COMMIT/ABORT: empty
     WINDOW_INGEST u64 accepted               key's lifetime accepted total
     WINDOW_QUERY  u64 n, f64 eps, values, u64 retained   (query body shape)
     SUBSCRIBE     f64 resolution (resolved), i64 next_index, u32 events,
@@ -106,11 +124,11 @@ numpy slice assignment, so a pipelined client pays one buffer fill and one
 from __future__ import annotations
 
 import struct
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ServiceError, TransportError
+from repro.errors import ServiceError, TransportError, WrongTopologyError
 
 __all__ = [
     "OP_INGEST",
@@ -132,6 +150,9 @@ __all__ = [
     "OP_WINDOW_QUERY",
     "OP_SUBSCRIBE",
     "OP_SEQ_WINDOW_INGEST",
+    "OP_TOPOLOGY",
+    "OP_MIGRATE_PUSH",
+    "OP_MIGRATE",
     "OP_NAMES",
     "FLAG_EXACTLY_ONCE",
     "HEALTH_READY",
@@ -146,6 +167,16 @@ __all__ = [
     "STATUS_UNKNOWN_KEY",
     "STATUS_BAD_REQUEST",
     "STATUS_RETRY_LATER",
+    "STATUS_WRONG_TOPOLOGY",
+    "TOPOLOGY_GET",
+    "TOPOLOGY_SET",
+    "MIGRATE_KEYS",
+    "MIGRATE_BEGIN",
+    "MIGRATE_DRAIN",
+    "MIGRATE_COMMIT",
+    "MIGRATE_ABORT",
+    "DRAIN_INGEST",
+    "DRAIN_WINDOW",
     "MAX_FRAME",
     "encode_frame",
     "pack_key",
@@ -190,6 +221,21 @@ __all__ = [
     "FrameReader",
     "error_body",
     "raise_for_status",
+    "pack_topology",
+    "unpack_topology",
+    "pack_migrate_push",
+    "unpack_migrate_push",
+    "pack_migrate",
+    "unpack_migrate",
+    "pack_keys_response",
+    "unpack_keys_response",
+    "pack_migration_bundle",
+    "unpack_migration_bundle",
+    "pack_drain_entry",
+    "unpack_drain_entries",
+    "pack_drain_response",
+    "unpack_drain_response",
+    "wrong_topology_body",
 ]
 
 OP_INGEST = 0x01
@@ -235,6 +281,22 @@ OP_SUBSCRIBE = 0x12
 #: ``WINDOW_INGEST`` with a ``u64 seq`` between the opcode and the key
 #: (the exactly-once windowed write, mirroring ``SEQ_INGEST``).
 OP_SEQ_WINDOW_INGEST = 0x13
+#: Topology surface: fetch (mode 0) or install (mode 1) the server's
+#: cluster map.  An installed map makes the server *ownership-aware*:
+#: operations on keys whose replica set excludes this node answer
+#: ``STATUS_WRONG_TOPOLOGY`` carrying the map, so stale clients refresh
+#: in one round trip.  Installing also persists the map to the data dir
+#: (survives restart) and is the per-node commit point of a rebalance.
+OP_TOPOLOGY = 0x14
+#: State transfer: ``key + MB1 bundle`` (sketch payload, per-session
+#: high-water marks, windowed rings).  The receiver durably **replaces**
+#: the key's state — replace, not merge, so a retried migration after an
+#: abort is idempotent and never double-counts.
+OP_MIGRATE_PUSH = 0x15
+#: Migration control plane (coordinator -> source node): list keys,
+#: begin (capture state + enter forwarding), drain buffered writes
+#: (optionally freezing the key), commit, abort.
+OP_MIGRATE = 0x16
 
 #: Opcode -> wire name (STATS reporting; unknown opcodes render as hex).
 OP_NAMES = {
@@ -257,6 +319,9 @@ OP_NAMES = {
     OP_WINDOW_QUERY: "window_query",
     OP_SUBSCRIBE: "subscribe",
     OP_SEQ_WINDOW_INGEST: "seq_window_ingest",
+    OP_TOPOLOGY: "topology",
+    OP_MIGRATE_PUSH: "migrate_push",
+    OP_MIGRATE: "migrate",
 }
 
 #: ``HELLO`` capability flag: per-frame sequence numbers + server-side
@@ -286,6 +351,22 @@ STATUS_BAD_REQUEST = 3
 #: The server is shedding load (or draining); the request was NOT
 #: applied — back off and resend the same frame.
 STATUS_RETRY_LATER = 4
+#: The request named a key this node no longer owns under its installed
+#: cluster topology; the request was NOT applied.  The body carries the
+#: server's map JSON (:func:`wrong_topology_body`) so the client can
+#: refresh its ring and re-route without a separate topology fetch.
+STATUS_WRONG_TOPOLOGY = 5
+
+#: ``TOPOLOGY`` request modes (the ``u8`` after the opcode).
+TOPOLOGY_GET = 0
+TOPOLOGY_SET = 1
+
+#: ``MIGRATE`` request modes (the ``u8`` after the opcode).
+MIGRATE_KEYS = 0
+MIGRATE_BEGIN = 1
+MIGRATE_DRAIN = 2
+MIGRATE_COMMIT = 3
+MIGRATE_ABORT = 4
 
 #: Hard cap on one frame's body, request or response (64 MiB ~ an 8M-value
 #: ingest batch — far past the point where splitting batches is free).
@@ -1108,6 +1189,299 @@ def decode_uniform_query_response(payload, expected_requests: int):
     return n, float(eps), values, retained
 
 
+def pack_topology(map_json: Optional[str] = None) -> bytes:
+    """A ``TOPOLOGY`` request body: fetch (no argument) or install."""
+    if map_json is None:
+        return bytes([OP_TOPOLOGY, TOPOLOGY_GET])
+    body = bytes([OP_TOPOLOGY, TOPOLOGY_SET]) + pack_blob(map_json.encode("utf-8"))
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"TOPOLOGY body of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_topology(body) -> Tuple[int, Optional[str]]:
+    """Decode a ``TOPOLOGY`` body into ``(mode, map_json_or_None)``."""
+    if len(body) < 2:
+        raise ServiceError("truncated TOPOLOGY mode byte")
+    mode = body[1]
+    if mode == TOPOLOGY_GET:
+        if len(body) != 2:
+            raise ServiceError(f"{len(body) - 2} trailing bytes after TOPOLOGY fetch")
+        return mode, None
+    if mode != TOPOLOGY_SET:
+        raise ServiceError(f"unknown TOPOLOGY mode {mode}")
+    blob, offset = unpack_blob(body, 2)
+    if offset != len(body):
+        raise ServiceError(f"{len(body) - offset} trailing bytes after TOPOLOGY document")
+    try:
+        return mode, blob.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ServiceError(f"TOPOLOGY document is not valid UTF-8: {exc}") from exc
+
+
+def pack_migrate_push(key: str, bundle: bytes) -> bytes:
+    """A ``MIGRATE_PUSH`` body: the key + its MB1 migration bundle."""
+    body = bytes([OP_MIGRATE_PUSH]) + pack_key(key) + pack_blob(bundle)
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"MIGRATE_PUSH body of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_migrate_push(body, offset: int = 1) -> Tuple[str, bytes]:
+    """Decode a ``MIGRATE_PUSH`` body into ``(key, bundle)``."""
+    key, offset = unpack_key(body, offset)
+    bundle, offset = unpack_blob(body, offset)
+    if offset != len(body):
+        raise ServiceError(f"{len(body) - offset} trailing bytes after MIGRATE_PUSH bundle")
+    return key, bundle
+
+
+def pack_migrate(mode: int, key: str = "", *, freeze: bool = False) -> bytes:
+    """A ``MIGRATE`` control body (``KEYS`` takes no key)."""
+    if mode == MIGRATE_KEYS:
+        return bytes([OP_MIGRATE, MIGRATE_KEYS])
+    if mode == MIGRATE_DRAIN:
+        return bytes([OP_MIGRATE, MIGRATE_DRAIN, 1 if freeze else 0]) + pack_key(key)
+    if mode not in (MIGRATE_BEGIN, MIGRATE_COMMIT, MIGRATE_ABORT):
+        raise ServiceError(f"unknown MIGRATE mode {mode}")
+    return bytes([OP_MIGRATE, mode]) + pack_key(key)
+
+
+def unpack_migrate(body) -> Tuple[int, bool, str]:
+    """Decode a ``MIGRATE`` body into ``(mode, freeze, key)``."""
+    if len(body) < 2:
+        raise ServiceError("truncated MIGRATE mode byte")
+    mode = body[1]
+    offset = 2
+    freeze = False
+    if mode == MIGRATE_KEYS:
+        if len(body) != 2:
+            raise ServiceError(f"{len(body) - 2} trailing bytes after MIGRATE keys request")
+        return mode, False, ""
+    if mode == MIGRATE_DRAIN:
+        if len(body) < 3:
+            raise ServiceError("truncated MIGRATE drain freeze flag")
+        freeze = bool(body[2])
+        offset = 3
+    elif mode not in (MIGRATE_BEGIN, MIGRATE_COMMIT, MIGRATE_ABORT):
+        raise ServiceError(f"unknown MIGRATE mode {mode}")
+    key, offset = unpack_key(body, offset)
+    if offset != len(body):
+        raise ServiceError(f"{len(body) - offset} trailing bytes after MIGRATE key")
+    if not key:
+        raise ServiceError("MIGRATE needs a non-empty key")
+    return mode, freeze, key
+
+
+def pack_keys_response(keys) -> bytes:
+    """An OK ``MIGRATE`` KEYS payload: every key the node holds state for."""
+    parts = [b"\x00", _COUNT.pack(len(keys))]
+    parts.extend(pack_key(key) for key in keys)
+    body = b"".join(parts)
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"KEYS response of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_keys_response(payload) -> List[str]:
+    """The key list of an OK ``KEYS`` payload (after its status byte)."""
+    try:
+        (count,) = _COUNT.unpack_from(payload, 0)
+    except struct.error as exc:
+        raise ServiceError(f"truncated KEYS count: {exc}") from exc
+    offset = _COUNT.size
+    keys = []
+    for _ in range(count):
+        key, offset = unpack_key(payload, offset)
+        keys.append(key)
+    if offset != len(payload):
+        raise ServiceError(f"{len(payload) - offset} trailing bytes after KEYS list")
+    return keys
+
+
+#: MB1 magic: the migration bundle format tag (versioned like FRQ1/FRW1).
+_MB1_MAGIC = b"MB1\x00"
+
+
+def pack_migration_bundle(
+    n: int,
+    sketch: Optional[bytes],
+    marks,
+    window: Optional[bytes] = None,
+) -> bytes:
+    """One key's migratable state as an ``MB1`` bundle.
+
+    ``n`` is the key's lifetime total, ``sketch`` its FRQ1 payload (absent
+    for a purely windowed key), ``marks`` the per-session high-water marks
+    ``{session_id: mark}`` for this key (so exactly-once dedup survives the
+    move), ``window`` its FRW1 ring bundle when the key has windowed state.
+    """
+    parts = [_MB1_MAGIC, _N.pack(n)]
+    if sketch is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(pack_blob(sketch))
+    items = sorted(marks.items()) if hasattr(marks, "items") else sorted(marks)
+    parts.append(_COUNT.pack(len(items)))
+    for sid, mark in items:
+        parts.append(pack_key(sid))
+        parts.append(_N.pack(int(mark)))
+    if window is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(pack_blob(window))
+    bundle = b"".join(parts)
+    if len(bundle) > MAX_FRAME:
+        raise ServiceError(f"migration bundle of {len(bundle)} bytes exceeds MAX_FRAME")
+    return bundle
+
+
+def unpack_migration_bundle(bundle):
+    """Decode an ``MB1`` bundle into ``(n, sketch, marks, window)``."""
+    if bytes(bundle[: len(_MB1_MAGIC)]) != _MB1_MAGIC:
+        raise ServiceError("migration bundle does not start with the MB1 magic")
+    n, offset = unpack_n(bundle, len(_MB1_MAGIC))
+    sketch = None
+    if offset >= len(bundle):
+        raise ServiceError("truncated MB1 sketch flag")
+    if bundle[offset]:
+        sketch, offset = unpack_blob(bundle, offset + 1)
+    else:
+        offset += 1
+    try:
+        (count,) = _COUNT.unpack_from(bundle, offset)
+    except struct.error as exc:
+        raise ServiceError(f"truncated MB1 mark count: {exc}") from exc
+    offset += _COUNT.size
+    marks = {}
+    for _ in range(count):
+        sid, offset = unpack_key(bundle, offset)
+        mark, offset = unpack_n(bundle, offset)
+        marks[sid] = mark
+    window = None
+    if offset >= len(bundle):
+        raise ServiceError("truncated MB1 window flag")
+    if bundle[offset]:
+        window, offset = unpack_blob(bundle, offset + 1)
+    else:
+        offset += 1
+    if offset != len(bundle):
+        raise ServiceError(f"{len(bundle) - offset} trailing bytes after MB1 window")
+    return n, sketch, marks, window
+
+
+#: Drain entry kinds: a buffered plain ingest vs a windowed ingest.
+DRAIN_INGEST = 0
+DRAIN_WINDOW = 1
+
+
+def pack_drain_entry(kind: int, session, values, timestamps=None) -> bytes:
+    """One buffered write captured while a key was in forwarding state.
+
+    ``session`` is ``(session_id, seq)`` for exactly-once frames (``None``
+    for unsequenced ones); windowed entries carry parallel timestamps.
+    """
+    if kind not in (DRAIN_INGEST, DRAIN_WINDOW):
+        raise ServiceError(f"unknown drain entry kind {kind}")
+    parts = [bytes([kind])]
+    if session is None:
+        parts.append(b"\x00")
+    else:
+        sid, seq = session
+        parts.append(b"\x01")
+        parts.append(pack_key(sid))
+        parts.append(_N.pack(int(seq)))
+    if kind == DRAIN_WINDOW:
+        if timestamps is None:
+            raise ServiceError("windowed drain entries need timestamps")
+        parts.append(_pack_ts_values(timestamps, values))
+    else:
+        parts.append(pack_values(values))
+    return b"".join(parts)
+
+
+def unpack_drain_entries(payload, offset: int, count: int):
+    """Decode ``count`` drain entries; returns ``(entries, new_offset)``.
+
+    Each entry is ``(kind, session, timestamps, values)`` with ``session``
+    as ``(sid, seq)`` or ``None`` and ``timestamps`` ``None`` for plain
+    ingests.  Value arrays are copies (drain responses are applied after
+    the receive scratch may be reused).
+    """
+    entries = []
+    for index in range(count):
+        try:
+            if offset >= len(payload):
+                raise ServiceError("truncated entry kind")
+            kind = payload[offset]
+            offset += 1
+            if kind not in (DRAIN_INGEST, DRAIN_WINDOW):
+                raise ServiceError(f"unknown drain entry kind {kind}")
+            if offset >= len(payload):
+                raise ServiceError("truncated session flag")
+            session = None
+            has_session = payload[offset]
+            offset += 1
+            if has_session:
+                sid, offset = unpack_key(payload, offset)
+                seq, offset = unpack_n(payload, offset)
+                session = (sid, seq)
+            if kind == DRAIN_WINDOW:
+                try:
+                    (pairs,) = _COUNT.unpack_from(payload, offset)
+                except struct.error as exc:
+                    raise ServiceError(f"truncated pair count: {exc}") from exc
+                offset += _COUNT.size
+                end = offset + 16 * pairs
+                if end > len(payload):
+                    raise ServiceError(f"truncated windowed entry: {pairs} pairs declared")
+                ts = np.frombuffer(payload, dtype=WIRE_DTYPE, count=pairs, offset=offset).copy()
+                values = np.frombuffer(
+                    payload, dtype=WIRE_DTYPE, count=pairs, offset=offset + 8 * pairs
+                ).copy()
+                offset = end
+                entries.append((kind, session, ts, values))
+            else:
+                values, offset = unpack_values(payload, offset)
+                entries.append((kind, session, None, values.copy()))
+        except ServiceError as exc:
+            raise ServiceError(f"drain entry {index}: {exc}") from exc
+    return entries, offset
+
+
+def pack_drain_response(frozen: bool, entries) -> bytes:
+    """An OK ``MIGRATE`` DRAIN payload: freeze state + encoded entries."""
+    parts = [b"\x00", b"\x01" if frozen else b"\x00", _COUNT.pack(len(entries))]
+    parts.extend(entries)
+    body = b"".join(parts)
+    if len(body) > MAX_FRAME:
+        raise ServiceError(f"DRAIN response of {len(body)} bytes exceeds MAX_FRAME")
+    return body
+
+
+def unpack_drain_response(payload):
+    """``(frozen, entries)`` for an OK DRAIN payload (after its status)."""
+    if len(payload) < 1 + _COUNT.size:
+        raise ServiceError("truncated DRAIN response")
+    frozen = bool(payload[0])
+    (count,) = _COUNT.unpack_from(payload, 1)
+    entries, offset = unpack_drain_entries(payload, 1 + _COUNT.size, count)
+    if offset != len(payload):
+        raise ServiceError(f"{len(payload) - offset} trailing bytes after DRAIN entries")
+    return frozen, entries
+
+
+def wrong_topology_body(message: str, map_json: str) -> bytes:
+    """A ``STATUS_WRONG_TOPOLOGY`` response body: message + map blobs."""
+    return (
+        bytes([STATUS_WRONG_TOPOLOGY])
+        + pack_blob(message.encode("utf-8"))
+        + pack_blob(map_json.encode("utf-8"))
+    )
+
+
 def error_body(status: int, message: str) -> bytes:
     """A response body carrying an error status and its message."""
     return bytes([status]) + message.encode("utf-8")
@@ -1126,6 +1500,18 @@ def raise_for_status(body) -> bytes:
     status = body[0]
     if status == STATUS_OK:
         return body[1:]
+    if status == STATUS_WRONG_TOPOLOGY:
+        try:
+            msg_blob, offset = unpack_blob(body, 1)
+            map_blob, _ = unpack_blob(body, offset)
+            message = msg_blob.decode("utf-8", errors="replace")
+            map_json = map_blob.decode("utf-8", errors="replace")
+        except ServiceError:
+            message = bytes(body[1:]).decode("utf-8", errors="replace")
+            map_json = ""
+        exc = WrongTopologyError(message or "stale topology", map_json)
+        exc.status = status
+        raise exc
     message = bytes(body[1:]).decode("utf-8", errors="replace") or f"status {status}"
     exc = ServiceError(message)
     exc.status = status

@@ -260,6 +260,21 @@ class SessionTable:
         if seq > entry.marks.get(key, 0):
             entry.marks[key] = seq
 
+    def marks_for_key(self, key: str) -> Dict[str, int]:
+        """Every session's high-water mark for ``key``: ``{sid: mark}``.
+
+        The migration export: shipping these with a key's sketch keeps
+        exactly-once dedup intact at the new owner — a client retry that
+        lands post-move is recognized as a duplicate there.  Does not
+        touch LRU order (an export must not keep dying sessions alive).
+        """
+        out: Dict[str, int] = {}
+        for sid, entry in self._sessions.items():
+            mark = entry.marks.get(key)
+            if mark:
+                out[sid] = mark
+        return out
+
     # -- checkpoint persistence ----------------------------------------
 
     def to_bytes(self) -> bytes:

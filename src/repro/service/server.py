@@ -61,6 +61,7 @@ from repro.service.log import logger as log
 from repro.service.persistence import (
     WAL_INGEST,
     WAL_MERGE,
+    WAL_MIGRATE_SET,
     WAL_SEQ_INGEST,
     WAL_SEQ_WINDOW_INGEST,
     WAL_WINDOW_INGEST,
@@ -83,6 +84,31 @@ __all__ = ["QuantileService", "QuantileServer", "ServerThread", "run_server", "n
 
 #: Sentinel: "use the default overload policy" (``None`` disables shedding).
 _DEFAULT_OVERLOAD = object()
+
+
+class _Migration:
+    """Per-key live-migration state on the SOURCE node of a reshard.
+
+    Created by ``MIGRATE BEGIN``: while it exists (and is not frozen) the
+    key is in **forwarding** state — writes still apply locally (and are
+    acked durably as usual) but each applied batch is also buffered
+    verbatim as a drain entry, so the rebalance coordinator can watch how
+    much is still flowing.  ``MIGRATE DRAIN freeze=1`` flips the key to
+    **frozen**: writes are shed with ``RETRY_LATER`` (never acked, so
+    nothing can be lost) while the coordinator takes the final capture
+    and cuts the topology over.  The freeze carries a deadline — if the
+    coordinator dies mid-cutover the key thaws automatically and the
+    source stays authoritative, so a crashed rebalance never wedges
+    ingest.
+    """
+
+    __slots__ = ("entries", "frozen", "deadline")
+
+    def __init__(self) -> None:
+        #: Encoded drain entries buffered since the last DRAIN.
+        self.entries: List[bytes] = []
+        self.frozen = False
+        self.deadline = 0.0
 
 
 def new_event_loop(use_uvloop: bool = True) -> asyncio.AbstractEventLoop:
@@ -163,6 +189,18 @@ class QuantileService:
         #: clients and `cluster-status` can verify they reached the node
         #: the topology names (``None`` = standalone service).
         self.node_id = node_id
+        #: The installed cluster topology (a ClusterMap, or ``None`` for a
+        #: standalone service).  When set together with ``node_id``, ingest
+        #: for keys this node does not own is refused with a
+        #: ``STATUS_WRONG_TOPOLOGY`` redirect carrying the map, so stale
+        #: clients re-route themselves after a reshard.
+        self.topology = None
+        self._topology_json: Optional[str] = None
+        #: Keys mid-migration on this node (source side of a reshard).
+        self._migrations: Dict[str, _Migration] = {}
+        #: Seconds a frozen key stays frozen without a coordinator
+        #: heartbeat (a DRAIN) before it thaws itself.
+        self.migration_freeze_timeout = 5.0
         self._applied_seq: Dict[str, int] = {}
         self._snap_seq: Dict[str, int] = {}
         self._seq = 1
@@ -257,6 +295,7 @@ class QuantileService:
                 self._snap_seq,
                 self.sessions,
                 window_apply=self._window_apply_replay,
+                window_restore=self._window_restore,
                 window_snap_seq=self._window_snap_seq,
                 window_applied_seq=self._window_applied_seq,
             )
@@ -264,6 +303,11 @@ class QuantileService:
                 # A truncated WAL no longer witnesses the sequences the
                 # windowed snapshots were stamped with; never reuse them.
                 self._seq = max(self._seq, max(self._window_snap_seq.values()) + 1)
+        if self.data_dir is not None and (self.data_dir / "topology.json").exists():
+            # Reload the topology this node had installed before the
+            # restart, so a recovered node keeps refusing keys it handed
+            # off (a stale client must not be able to resurrect them).
+            self._load_topology(self.data_dir / "topology.json")
         self.started_at = time.time()
         self.ingested_values = 0
         self.query_count = 0
@@ -331,6 +375,8 @@ class QuantileService:
                 self._wal_append(WAL_INGEST, key, payload)
         n = self.store.update_many(key, array)
         self.ingested_values += array.size
+        if self._migrations:
+            self._migration_buffer(key, wire.DRAIN_INGEST, session, array)
         return n
 
     def ingest_batches(
@@ -377,6 +423,10 @@ class QuantileService:
                 self._wal_append(WAL_INGEST, key, payload)
         n = self.store.update_many(key, array)
         self.ingested_values += array.size
+        if self._migrations:
+            # pack_drain_entry copies the values immediately, so handing it
+            # the reusable staging scratch view is safe.
+            self._migration_buffer(key, wire.DRAIN_INGEST, session, array)
         return n
 
     def current_n(self, key: str) -> int:
@@ -446,6 +496,228 @@ class QuantileService:
         return self.current_n(key), payload
 
     # ------------------------------------------------------------------
+    # Cluster topology & live migration (see repro.cluster.reshard)
+    # ------------------------------------------------------------------
+
+    def topology_json(self) -> str:
+        """The installed topology as JSON (empty string when none)."""
+        return self._topology_json or ""
+
+    def install_topology(self, map_json: str) -> int:
+        """Install (and persist) a cluster topology; returns its version.
+
+        Installing the same or a newer map is always accepted; an *older*
+        version is refused — the cutover protocol installs the new map on
+        destinations first, and a laggard re-delivery of the old map must
+        not roll a node back to claiming keys it already handed off.
+        """
+        # Lazy import: the service plane must not pull the cluster plane
+        # in at module scope (repro.cluster imports the client, which
+        # imports this module).
+        from repro.cluster.ring import ClusterMap
+
+        new_map = ClusterMap.from_json(map_json)
+        if self.topology is not None and new_map.version < self.topology.version:
+            raise ServiceError(
+                f"refusing topology downgrade: v{self.topology.version} is "
+                f"installed, v{new_map.version} was offered"
+            )
+        self.topology = new_map
+        self._topology_json = new_map.to_json()
+        if self.data_dir is not None:
+            path = self.data_dir / "topology.json"
+            tmp = path.with_name("topology.json.tmp")
+            tmp.write_text(self._topology_json + "\n")
+            os.replace(tmp, path)
+        return new_map.version
+
+    def _load_topology(self, path: Path) -> None:
+        from repro.cluster.ring import ClusterMap
+
+        try:
+            self.topology = ClusterMap.load(path)
+            self._topology_json = self.topology.to_json()
+        except Exception as exc:
+            # A torn topology file must not keep the node down — without a
+            # map the node simply accepts everything, exactly like a node
+            # that never saw a topology; the next install rewrites it.
+            log.warning("ignoring unreadable topology file %s: %s", path, exc)
+
+    def owns_key(self, key: str) -> bool:
+        """Whether this node may serve ``key`` under the installed map.
+
+        Vacuously true for standalone services (no topology or no
+        ``node_id``).  A node absent from the installed map — the tail end
+        of its own decommission — owns nothing.
+        """
+        if self.topology is None or self.node_id is None:
+            return True
+        if self.node_id not in self.topology:
+            return False
+        return any(
+            node.node_id == self.node_id for node in self.topology.replicas(key)
+        )
+
+    def _check_migration(self, key: str) -> Optional[_Migration]:
+        """``key``'s live migration state, expiring stale freezes."""
+        state = self._migrations.get(key)
+        if state is None:
+            return None
+        if state.frozen and time.time() >= state.deadline:
+            # The coordinator stopped heartbeating (DRAIN) mid-cutover:
+            # auto-abort so the key thaws and the source stays
+            # authoritative.  Every write shed while frozen was never
+            # acked, so nothing is lost by resuming normal ingest.
+            log.warning(
+                "migration freeze for key %r expired without a commit; thawing",
+                key,
+            )
+            del self._migrations[key]
+            return None
+        return state
+
+    def migration_active(self, key: str) -> bool:
+        return self._check_migration(key) is not None
+
+    def migration_frozen(self, key: str) -> bool:
+        state = self._check_migration(key)
+        return state is not None and state.frozen
+
+    def _migration_buffer(self, key, kind, session, values, timestamps=None) -> None:
+        state = self._check_migration(key)
+        if state is not None and not state.frozen:
+            state.entries.append(wire.pack_drain_entry(kind, session, values, timestamps))
+
+    def migrate_begin(self, key: str) -> bytes:
+        """Capture ``key``'s full state as an MB1 bundle; start forwarding.
+
+        The capture is atomic with respect to ingest (synchronous under
+        the event loop): the bundle holds the key's FRQ1 payload, its
+        per-session exactly-once high-water marks, and its FRW1 window
+        bundle as of this instant, and every write applied *after* this
+        instant is buffered as a drain entry.  Re-issuing BEGIN recaptures
+        and resets the buffer (a restarted transfer supersedes the old
+        one); an existing freeze is preserved, which is what makes the
+        final post-freeze recapture a complete image of the key.
+        """
+        self._check_key(key)
+        has_sketch = key in self.store.keys()
+        has_window = key in self.windows.keys()
+        if not has_sketch and not has_window:
+            raise KeyError(key)
+        sketch = self.store.payload(key) if has_sketch else None
+        window = self.windows.payload(key) if has_window else None
+        marks = self.sessions.marks_for_key(key)
+        state = self._migrations.get(key)
+        if state is None:
+            state = self._migrations[key] = _Migration()
+        state.entries = []
+        return wire.pack_migration_bundle(self.current_n(key), sketch, marks, window)
+
+    def migrate_drain(self, key: str, *, freeze: bool = False):
+        """``(frozen, entries)``: hand over (and clear) the forward buffer.
+
+        ``freeze=True`` flips the key to frozen — subsequent writes are
+        shed with ``RETRY_LATER`` until COMMIT/ABORT (or the freeze
+        deadline).  Any DRAIN on a frozen key extends the deadline: it is
+        the coordinator's liveness heartbeat.
+        """
+        state = self._check_migration(key)
+        if state is None:
+            raise ServiceError(
+                f"no migration in progress for key {key!r} "
+                "(send MIGRATE BEGIN first, or the freeze timed out)"
+            )
+        entries = state.entries
+        state.entries = []
+        if freeze:
+            state.frozen = True
+        if state.frozen:
+            state.deadline = time.time() + self.migration_freeze_timeout
+        return state.frozen, entries
+
+    def migrate_commit(self, key: str) -> None:
+        """End ``key``'s migration (drop buffer + freeze).  Idempotent."""
+        self._migrations.pop(key, None)
+
+    def migrate_abort(self, key: str) -> None:
+        """Abandon ``key``'s migration; the source stays authoritative."""
+        self._migrations.pop(key, None)
+
+    def migrate_apply(self, key: str, bundle: bytes) -> int:
+        """Install a pushed MB1 bundle as ``key``'s entire state.
+
+        The destination side of a reshard.  REPLACE semantics — the
+        decoded sketch *becomes* the key's summary, the shipped session
+        marks fold into the dedup table (max-fold, so a replica that
+        already saw newer client frames keeps its higher marks), the
+        window bundle replaces the key's rings.  Replace-not-merge makes
+        a retried push idempotent: applying the same bundle twice cannot
+        double-count.  Durable via one ``WAL_MIGRATE_SET`` record carrying
+        the bundle verbatim; every part is validated *before* the append
+        so a record that cannot apply never reaches the log (same rule as
+        :meth:`merge`).  Returns the key's resulting ``n``.
+        """
+        self._check_key(key)
+        bundle = bytes(bundle)
+        try:
+            n, sketch, marks, window = wire.unpack_migration_bundle(bundle)
+        except Exception as exc:
+            raise ServiceError(f"bad migration bundle for key {key!r}: {exc}") from exc
+        if sketch is not None:
+            from repro.fast import FastReqSketch
+
+            try:
+                donor = FastReqSketch.from_bytes(sketch)
+            except Exception as exc:
+                raise ServiceError(
+                    f"migration bundle for key {key!r} carries an undecodable "
+                    f"FRQ1 payload: {exc}"
+                ) from exc
+            if (
+                donor.k != self.store.k
+                or bool(donor.hra) != self.store.hra
+                or donor.n_bound is not None
+            ):
+                raise ServiceError(
+                    f"migration payload has k={donor.k}/hra={donor.hra}/"
+                    f"n_bound={donor.n_bound}; this service runs "
+                    f"k={self.store.k}/hra={self.store.hra}/n_bound=None"
+                )
+        if window is not None:
+            from repro.windowed.wire import unpack_rings
+
+            try:
+                unpack_rings(window, k=self.windows.k)
+            except Exception as exc:
+                raise ServiceError(
+                    f"migration bundle for key {key!r} carries an undecodable "
+                    f"FRW1 window bundle: {exc}"
+                ) from exc
+        if self.wal is not None:
+            self._wal_append(WAL_MIGRATE_SET, key, bundle)
+            if window is not None:
+                self._window_applied_seq[key] = self._applied_seq[key]
+        for sid, mark in marks.items():
+            self.sessions.observe(sid, key, mark)
+        if sketch is not None:
+            self.store.replace_payload(key, sketch)
+        if window is not None:
+            self._window_restore(key, window)
+        return self.current_n(key) if sketch is not None else int(n)
+
+    def _window_restore(self, key: str, payload: bytes) -> None:
+        """Install a migrated FRW1 bundle (live apply AND WAL replay).
+
+        Epoch-reseeds to epoch 0 on every installer: FRW1 carries no RNG
+        state, and each replica (and each replay of the same record)
+        installs the identical bundle, so pinning every side to the same
+        epoch keeps post-migration windowed compactions bit-identical.
+        """
+        self.windows.restore(key, payload)
+        self.windows.reseed_epoch(key, 0)
+
+    # ------------------------------------------------------------------
     # Windowed plane (see repro.windowed)
     # ------------------------------------------------------------------
 
@@ -487,6 +759,8 @@ class QuantileService:
                 self._wal_window_append(WAL_WINDOW_INGEST, key, payload)
         accepted, events = self.windows.ingest(key, ts, vals)
         self.ingested_values += int(vals.size)
+        if self._migrations:
+            self._migration_buffer(key, wire.DRAIN_WINDOW, session, vals, ts)
         return accepted, events
 
     def window_accepted(self, key: str) -> int:
@@ -675,6 +949,8 @@ class QuantileService:
             "wal_appends": self.wal_appends,
             "next_seq": self._seq,
             "sessions": len(self.sessions),
+            "topology_version": None if self.topology is None else self.topology.version,
+            "migrating_keys": len(self._migrations),
         }
         if isinstance(self.wal, GroupCommitWal):
             wal_stats = self.wal.stats()
@@ -1080,6 +1356,38 @@ class QuantileServer:
         name = wire.OP_NAMES.get(op, f"op_{op:#x}")
         self.op_counts[name] = self.op_counts.get(name, 0) + 1
 
+    def _topology_reject(self, key: str) -> Optional[bytes]:
+        """A ``WRONG_TOPOLOGY`` redirect body when this node does not own
+        ``key`` under the installed map, else ``None``.  The body carries
+        the map itself so the client refreshes and re-routes in one round
+        trip."""
+        service = self.service
+        if service.owns_key(key):
+            return None
+        return wire.wrong_topology_body(
+            f"node {service.node_id!r} does not own key {key!r} under "
+            f"topology v{service.topology.version}",
+            service.topology_json(),
+        )
+
+    def _route_reject(self, key: str) -> Optional[bytes]:
+        """The write-path routing guard: freeze shed or topology redirect.
+
+        Frozen-for-cutover keys shed with ``RETRY_LATER`` (the write is
+        never acked, so the client retries it — against the new owner once
+        the topology lands).  Unowned keys redirect with the installed
+        map.  ``None`` means the write may proceed.
+        """
+        service = self.service
+        if service._migrations and service.migration_frozen(key):
+            return wire.error_body(
+                wire.STATUS_RETRY_LATER,
+                f"key {key!r} is frozen for a topology cutover; retry later",
+            )
+        if service.topology is not None:
+            return self._topology_reject(key)
+        return None
+
     def _shedding(self, conn) -> bool:
         """Shed ingest this tick?  (Reads always pass; see OverloadPolicy.)"""
         if self.draining:
@@ -1120,6 +1428,9 @@ class QuantileServer:
         multi: Dict[int, list] = {}
         appends_before = service.wal_appends
         shedding = self._shedding(conn)
+        #: Routing guards engage only when a topology is installed or a
+        #: migration is live — standalone services skip them entirely.
+        routed = service.topology is not None or bool(service._migrations)
         shed_body = None
         if shedding:
             reason = "draining" if self.draining else "overloaded"
@@ -1175,6 +1486,11 @@ class QuantileServer:
                 except Exception as exc:
                     slots[index] = self._error_response(exc)
                     continue
+                if routed:
+                    reject = self._route_reject(key)
+                    if reject is not None:
+                        slots[index] = reject
+                        continue
 
                 def resolve_single(result, index=index):
                     slots[index] = (
@@ -1197,6 +1513,18 @@ class QuantileServer:
                 except Exception as exc:
                     slots[index] = self._error_response(exc)
                     continue
+                if routed:
+                    reject = None
+                    for g_key, _values in groups:
+                        reject = self._route_reject(g_key)
+                        if reject is not None:
+                            break
+                    if reject is not None:
+                        # One unroutable key rejects the whole frame —
+                        # nothing was staged yet, so the client can retry
+                        # or re-route the entire batch safely.
+                        slots[index] = reject
+                        continue
                 results = multi[index] = [None] * len(groups)
                 for g_index, (key, values) in enumerate(groups):
 
@@ -1218,8 +1546,17 @@ class QuantileServer:
                 except Exception as exc:
                     slots[index] = self._error_response(exc)
                     continue
+                if routed:
+                    reject = self._topology_reject(key)
+                    if reject is not None:
+                        # Redirect BEFORE admit: the retry will carry the
+                        # same seq to the new owner, whose dedup marks
+                        # arrived with the migrated state.
+                        slots[index] = reject
+                        continue
                 sid = conn.session_id
-                verdict = sessions.admit(sid, key, seq, shedding=shedding)
+                frozen = routed and service.migration_frozen(key)
+                verdict = sessions.admit(sid, key, seq, shedding=shedding or frozen)
                 if verdict is ADMIT_SHED:
                     self.shed_count += 1
                     slots[index] = shed_body or wire.error_body(
@@ -1257,11 +1594,30 @@ class QuantileServer:
                 except Exception as exc:
                     slots[index] = self._error_response(exc)
                     continue
+                if routed:
+                    reject = None
+                    for g_key, _values in groups:
+                        reject = self._topology_reject(g_key)
+                        if reject is not None:
+                            break
+                    if reject is not None:
+                        slots[index] = reject
+                        continue
                 sid = conn.session_id
+                # One frozen key sheds the WHOLE frame, and the flag must
+                # be frame-constant BEFORE any admit: ADMIT_APPLY advances
+                # the mark immediately, so mixing per-key freeze verdicts
+                # in one frame could advance an unfrozen key's mark and
+                # then shed the frame — its retry would be wrongly
+                # deduplicated (an acked-but-never-counted value).
+                frame_shedding = shedding or (
+                    routed
+                    and any(service.migration_frozen(g_key) for g_key, _v in groups)
+                )
                 verdicts = {}
                 for key, _values in groups:
                     if key not in verdicts:
-                        verdicts[key] = sessions.admit(sid, key, seq, shedding=shedding)
+                        verdicts[key] = sessions.admit(sid, key, seq, shedding=frame_shedding)
                 if any(v is ADMIT_SHED for v in verdicts.values()):
                     # Shedding is tick-constant and the shed floor is
                     # per-session, so APPLY+SHED cannot mix in one frame
@@ -1293,6 +1649,11 @@ class QuantileServer:
                 except Exception as exc:
                     slots[index] = self._error_response(exc)
                     continue
+                if routed:
+                    reject = self._route_reject(key)
+                    if reject is not None:
+                        slots[index] = reject
+                        continue
                 # Windowed ingest applies immediately (no coalescing —
                 # batch boundaries are the lateness unit), so drain any
                 # staged plain ingest first to keep program order.
@@ -1318,8 +1679,14 @@ class QuantileServer:
                 except Exception as exc:
                     slots[index] = self._error_response(exc)
                     continue
+                if routed:
+                    reject = self._topology_reject(key)
+                    if reject is not None:
+                        slots[index] = reject
+                        continue
                 sid = conn.session_id
-                verdict = sessions.admit(sid, key, seq, shedding=shedding)
+                frozen = routed and service.migration_frozen(key)
+                verdict = sessions.admit(sid, key, seq, shedding=shedding or frozen)
                 if verdict is ADMIT_SHED:
                     self.shed_count += 1
                     slots[index] = shed_body or wire.error_body(
@@ -1492,34 +1859,64 @@ class QuantileServer:
         if not body:
             return wire.error_body(wire.STATUS_BAD_REQUEST, "empty request frame")
         op = body[0]
+        service = self.service
+        routed = service.topology is not None or bool(service._migrations)
         try:
             if op == wire.OP_INGEST:
                 key, offset = wire.unpack_key(body, 1)
                 values, _ = wire.unpack_values(body, offset)
-                return b"\x00" + wire.pack_n(self.service.ingest(key, values))
+                if routed:
+                    reject = self._route_reject(key)
+                    if reject is not None:
+                        return reject
+                return b"\x00" + wire.pack_n(service.ingest(key, values))
             if op == wire.OP_QUERY:
                 key, offset = wire.unpack_key(body, 1)
                 fractions, _ = wire.unpack_values(body, offset)
-                return wire.pack_query_result(*self.service.query(key, fractions))
+                reject = self._topology_reject(key) if routed else None
+                if reject is not None:
+                    return reject
+                return wire.pack_query_result(*service.query(key, fractions))
             if op == wire.OP_CDF:
                 key, offset = wire.unpack_key(body, 1)
                 points, _ = wire.unpack_values(body, offset)
-                return wire.pack_query_result(*self.service.cdf(key, points))
+                reject = self._topology_reject(key) if routed else None
+                if reject is not None:
+                    return reject
+                return wire.pack_query_result(*service.cdf(key, points))
             if op == wire.OP_RANK:
                 key, offset = wire.unpack_key(body, 1)
                 values, _ = wire.unpack_values(body, offset)
-                return wire.pack_query_result(*self.service.rank(key, values))
+                reject = self._topology_reject(key) if routed else None
+                if reject is not None:
+                    return reject
+                return wire.pack_query_result(*service.rank(key, values))
             if op == wire.OP_MULTI_QUERY:
                 return self._multi_query(body)
             if op == wire.OP_WINDOW_QUERY:
                 key, kind, resolution, start, end, points = wire.unpack_window_query(body)
+                reject = self._topology_reject(key) if routed else None
+                if reject is not None:
+                    return reject
                 return wire.pack_query_result(
-                    *self.service.window_query(key, kind, resolution, start, end, points)
+                    *service.window_query(key, kind, resolution, start, end, points)
                 )
             if op == wire.OP_MERGE:
                 key, offset = wire.unpack_key(body, 1)
                 payload, _ = wire.unpack_blob(body, offset)
-                return b"\x00" + wire.pack_n(self.service.merge(key, payload))
+                if routed:
+                    if service.migration_active(key):
+                        # A merge mid-migration is not buffered as a drain
+                        # entry, so its convergence would be invisible to
+                        # the coordinator; shed it retryably instead.
+                        return wire.error_body(
+                            wire.STATUS_RETRY_LATER,
+                            f"key {key!r} is migrating; retry the merge later",
+                        )
+                    reject = self._topology_reject(key)
+                    if reject is not None:
+                        return reject
+                return b"\x00" + wire.pack_n(service.merge(key, payload))
             if op == wire.OP_STATS:
                 key, _ = wire.unpack_key(body, 1)
                 stats = self.service.stats(key or None)
@@ -1542,8 +1939,42 @@ class QuantileServer:
                 key, _ = wire.unpack_key(body, 1)
                 if not key:
                     return wire.error_body(wire.STATUS_BAD_REQUEST, "FETCH needs a key")
-                n, payload = self.service.payload(key)
+                reject = self._topology_reject(key) if routed else None
+                if reject is not None:
+                    return reject
+                n, payload = service.payload(key)
                 return b"\x00" + wire.pack_n(n) + wire.pack_blob(payload)
+            if op == wire.OP_TOPOLOGY:
+                mode, map_json = wire.unpack_topology(body)
+                if mode == wire.TOPOLOGY_SET:
+                    service.install_topology(map_json)
+                return b"\x00" + wire.pack_blob(
+                    service.topology_json().encode("utf-8")
+                )
+            if op == wire.OP_MIGRATE_PUSH:
+                key, bundle = wire.unpack_migrate_push(body)
+                # No ownership check: a push legitimately arrives BEFORE
+                # the new topology is installed on this destination.
+                return b"\x00" + wire.pack_n(service.migrate_apply(key, bundle))
+            if op == wire.OP_MIGRATE:
+                mode, freeze, key = wire.unpack_migrate(body)
+                if mode == wire.MIGRATE_KEYS:
+                    keys = list(
+                        dict.fromkeys(
+                            list(service.store.keys()) + list(service.windows.keys())
+                        )
+                    )
+                    return wire.pack_keys_response(keys)
+                if mode == wire.MIGRATE_BEGIN:
+                    return b"\x00" + wire.pack_blob(service.migrate_begin(key))
+                if mode == wire.MIGRATE_DRAIN:
+                    frozen, entries = service.migrate_drain(key, freeze=freeze)
+                    return wire.pack_drain_response(frozen, entries)
+                if mode == wire.MIGRATE_COMMIT:
+                    service.migrate_commit(key)
+                    return b"\x00"
+                service.migrate_abort(key)
+                return b"\x00"
             if op == wire.OP_SNAPSHOT:
                 return b"\x00" + wire._COUNT.pack(self.service.snapshot_all())
             if op == wire.OP_PING:
@@ -1583,6 +2014,11 @@ class QuantileServer:
             "sessions": len(self.service.sessions),
             "windowed_keys": len(self.service.windows.keys()),
             "active_subscriptions": self.subscriptions.active_count,
+            "topology_version": (
+                None if self.service.topology is None
+                else self.service.topology.version
+            ),
+            "migrating_keys": len(self.service._migrations),
         }
         return (
             b"\x00"

@@ -348,6 +348,49 @@ class SketchStore:
         entry.ingested += donor.n
         return self._settle(key, entry)
 
+    def replace_payload(self, key: str, payload: bytes) -> int:
+        """Install an ``FRQ1`` payload as ``key``'s entire state; returns its ``n``.
+
+        The migration apply: unlike :meth:`merge_payload` this **discards**
+        whatever the store held for ``key`` (resident or spilled) and makes
+        the decoded payload the key's summary.  Replace-not-merge is what
+        makes a retried state transfer idempotent — pushing the same bundle
+        twice (a rebalance restarted after a crash) cannot double-count.
+        """
+        try:
+            donor = FastReqSketch.from_bytes(payload)
+        except Exception as exc:
+            raise ServiceError(
+                f"cannot decode replacement payload for key {key!r}: {exc}"
+            ) from exc
+        if donor.k != self.k or bool(donor.hra) != self.hra:
+            raise ServiceError(
+                f"replacement payload has k={donor.k}/hra={donor.hra}; "
+                f"this store runs k={self.k}/hra={self.hra}"
+            )
+        seed = self.derive_seed(key)
+        if seed is not None:
+            # FRQ1 carries no RNG state.  Pin the replacement's coin stream
+            # to the per-key seed: every replica installs the same bundle
+            # and derives the same stream, so post-migration compactions
+            # stay bit-identical across replicas — and WAL replay of the
+            # same record re-derives it, keeping recovery bit-exact too.
+            donor._rng = np.random.default_rng(seed)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._retained_total -= old.retained
+            self._index_hits_evicted += int(getattr(old.sketch, "query_index_hits", 0))
+            self._index_rebuilds_evicted += int(getattr(old.sketch, "query_index_rebuilds", 0))
+        self._spilled.pop(key, None)
+        entry = _Entry(donor)
+        entry.ingested = int(donor.n)
+        entry.retained = int(donor.num_retained)
+        self._entries[key] = entry
+        self._retained_total += entry.retained
+        if self.memory_budget is not None and self._retained_total > self.memory_budget:
+            self._enforce_budget(keep=key)
+        return int(donor.n)
+
     def _settle(self, key: str, entry: _Entry) -> int:
         """Post-write bookkeeping: accounting delta, promotion, budget."""
         if (

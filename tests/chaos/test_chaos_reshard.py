@@ -1,0 +1,454 @@
+"""Reshard chaos: live topology changes under load, crashes, and
+partitions — the acceptance invariants of the elastic-resharding plane.
+
+Every scenario drives a real :class:`Rebalancer` against real
+:class:`ServerThread` nodes while a real :class:`ClusterClient` (and in
+the headline test, a concurrent writer thread) keeps traffic flowing,
+and checks the contract the module exists for:
+
+* **Zero acked-write loss.**  Every value whose write was acknowledged
+  before, during, or after the reshard is queryable afterwards — writes
+  shed inside the cutover freeze are *never* acknowledged, and the
+  client retry that re-routes them under the new map lands them exactly
+  once.
+* **Accuracy is untouched.**  Post-cutover q=0.5/0.99 estimates honour
+  the server-reported ``error_bound`` — the migrated FRQ1 payload is
+  the same REQ sketch (mergeability, Theorem 3), not an approximation
+  of it.
+* **Replicas reconverge byte-identical** after the re-base + repair:
+  every new owner installs the same final bundle and derives the same
+  per-key compaction coin stream.
+* **A dead coordinator or participant never loses data.**  Failures
+  mid-dance abort the reshard; frozen keys thaw on their own deadline;
+  the old map stays authoritative; re-running the same reshard is
+  idempotent and commits.
+
+All scenarios are seeded and repeated; a failure reproduces with the
+same seed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterClient, ClusterMap, Rebalancer, repair
+from repro.errors import ClusterError, ServiceError
+from repro.service.client import QuantileClient
+from repro.service.faultproxy import FaultProxy
+from repro.service.resilience import RetryPolicy
+from repro.service.server import QuantileService, ServerThread
+
+pytestmark = pytest.mark.chaos
+
+SEED = 20210629  # the paper's conference date; fixed across repeats
+KEYS = ("lat", "err", "ttfb", "size", "rt")
+
+
+def _policy(**overrides):
+    base = dict(timeout=0.5, retries=2, backoff=0.01, backoff_max=0.05, seed=SEED)
+    base.update(overrides)
+    return RetryPolicy(**base)
+
+
+def _node(tmp_path, node_id, port=0):
+    return ServerThread(
+        QuantileService(tmp_path / node_id, node_id=node_id),
+        port=port,
+        snapshot_interval=None,
+    )
+
+
+def _install(ring, threads):
+    """Install ``ring`` on every node so servers validate and redirect."""
+    for thread in threads.values():
+        with QuantileClient("127.0.0.1", thread.port, retry=_policy()) as c:
+            c.set_topology(ring.to_json())
+
+
+def _assert_quantiles_within_bound(client, key, stream):
+    sorted_stream = np.sort(stream)
+    result = client.query(key, [0.5, 0.99])
+    assert result.n == len(stream), f"{key}: acked writes lost"
+    for fraction, estimate in zip([0.5, 0.99], result.quantiles):
+        true_rank = np.searchsorted(sorted_stream, estimate, side="right")
+        assert abs(true_rank / len(stream) - fraction) <= result.error_bound
+
+
+def _assert_replicas_byte_identical(client, ring, keys):
+    """Every reachable replica of every key holds the same FRQ1 bytes."""
+    for key in keys:
+        payloads = set()
+        for node in ring.replicas(key):
+            node_client = client.node_client(node.node_id)
+            if node_client is None:
+                continue
+            _n, payload = node_client.fetch(key)
+            payloads.add(payload)
+        assert len(payloads) == 1, f"{key!r}: replica payloads diverge"
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: add a node under live write load (3x, seeded)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_add_node_under_live_load_zero_acked_loss(tmp_path, repeat):
+    """R=2 over three nodes; a fourth joins while a writer thread keeps
+    writing through the whole dance.
+
+    The writer's retry policy is generous enough to ride out the cutover
+    freeze (shed writes are retried, re-routed by ``WRONG_TOPOLOGY``,
+    and land on the new owners).  Afterwards: every key reports its full
+    count, estimates hold the bound, ``repair(digest=True)`` finds
+    nothing, and every replica set is byte-identical.
+    """
+    rng = np.random.default_rng(SEED)  # same seed every repeat
+    streams = {key: rng.lognormal(0.0, 1.0, 6_000) for key in KEYS}
+    threads = {nid: _node(tmp_path, nid) for nid in ("a", "b", "c")}
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in threads.items()],
+        replication=2,
+    )
+    errors, refreshes = [], []
+    cutover_done = threading.Event()
+
+    def writer():
+        client = ClusterClient(
+            ring,
+            retry=_policy(timeout=1.0, retries=6, backoff_max=0.1),
+            probe_interval=0.05,
+        )
+        try:
+            for start in range(3_000, 6_000, 120):
+                if start == 4_440:
+                    # First half raced the transfer + freeze; park until
+                    # the map has flipped so the second half provably
+                    # exercises the stale-client redirect path.
+                    cutover_done.wait(timeout=30)
+                for key in KEYS:
+                    try:
+                        client.ingest(key, streams[key][start : start + 120])
+                    except Exception as exc:  # collected, asserted below
+                        errors.append((key, start, repr(exc)))
+            pending = client.flush_hints()
+            if pending:
+                errors.append(("hints", -1, repr(pending)))
+            refreshes.append(client.topology_refreshes)
+        finally:
+            client.close()
+
+    try:
+        with ClusterClient(ring, retry=_policy(), probe_interval=0.05) as seeder:
+            for key, stream in streams.items():
+                seeder.ingest_stream(key, stream[:3_000], frame_values=500)
+        _install(ring, threads)
+
+        threads["d"] = _node(tmp_path, "d")
+        new_ring = ring.add_node(("d", "127.0.0.1", threads["d"].port))
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)  # let the writer get into the stream
+        try:
+            with Rebalancer(ring, new_ring, retry=_policy(timeout=1.0)) as rebalancer:
+                report = rebalancer.execute()
+        finally:
+            cutover_done.set()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+        assert report.committed
+        assert report.moves, "adding a node moved nothing — widen KEYS"
+        assert errors == [], f"writer lost acked ground: {errors}"
+        # The stale writer was redirected at least once mid-stream.
+        assert refreshes and refreshes[0] >= 1
+
+        with ClusterClient(new_ring, retry=_policy(), probe_interval=0.05) as verify:
+            for key, stream in streams.items():
+                _assert_quantiles_within_bound(verify, key, stream)
+            verify.keys_seen = set(KEYS)
+            report = repair(verify, digest=True)
+            assert report.clean, report
+            _assert_replicas_byte_identical(verify, new_ring, KEYS)
+    finally:
+        for thread_ in threads.values():
+            thread_.stop(snapshot=False)
+
+
+# ----------------------------------------------------------------------
+# Kill the streaming source mid-migration; re-run succeeds
+# ----------------------------------------------------------------------
+
+
+class _KillSourceAfterFirstTransfer(Rebalancer):
+    """Crash the first move's source node right after its transfer —
+    the coordinator then trips over the corpse on the next step."""
+
+    def __init__(self, *args, threads, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._threads = threads
+        self.killed = None
+
+    def _transfer(self, move):
+        result = super()._transfer(move)
+        if self.killed is None:
+            self.killed = move.source
+            self._threads[move.source].stop(snapshot=False)
+        return result
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_kill_source_mid_migration_then_rerun(tmp_path, repeat):
+    """The node streaming bundles dies mid-dance.  The reshard aborts
+    (old map stays authoritative, freezes expire on the dead node and
+    are aborted on the live ones); re-running with the corpse still
+    down commits — every key has a surviving R=2 replica to stream
+    from — and every acked value is queryable under the new map."""
+    rng = np.random.default_rng(SEED)
+    streams = {key: rng.lognormal(0.0, 1.0, 3_000) for key in KEYS}
+    threads = {nid: _node(tmp_path, nid) for nid in ("a", "b", "c")}
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in threads.items()],
+        replication=2,
+    )
+    try:
+        # Fully replicated before the kill: every write is acked by both
+        # of its replicas, so the survivors hold all acked ground.
+        with ClusterClient(ring, retry=_policy(), probe_interval=0.05) as seeder:
+            for key, stream in streams.items():
+                seeder.ingest_stream(key, stream, frame_values=500)
+        _install(ring, threads)
+
+        threads["d"] = _node(tmp_path, "d")
+        new_ring = ring.add_node(("d", "127.0.0.1", threads["d"].port))
+
+        rebalancer = _KillSourceAfterFirstTransfer(
+            ring, new_ring, retry=_policy(timeout=0.3, retries=1), threads=threads
+        )
+        with rebalancer:
+            with pytest.raises((ClusterError, ServiceError, ConnectionError, OSError)):
+                rebalancer.execute()
+        assert rebalancer.killed is not None
+
+        # Aborted, not committed: the old map still answers everything
+        # (reads fail over around the corpse).
+        with ClusterClient(ring, retry=_policy(), probe_interval=0.05) as old_view:
+            for key, stream in streams.items():
+                _assert_quantiles_within_bound(old_view, key, stream)
+
+        # Re-run the same topology change; the planner picks surviving
+        # replicas as sources and the dead node is a mere bystander.
+        with Rebalancer(ring, new_ring, retry=_policy()) as retry_run:
+            report = retry_run.execute()
+        assert report.committed
+
+        with ClusterClient(new_ring, retry=_policy(), probe_interval=0.05) as verify:
+            for key, stream in streams.items():
+                _assert_quantiles_within_bound(verify, key, stream)
+    finally:
+        for thread in threads.values():
+            thread.stop(snapshot=False)
+
+
+# ----------------------------------------------------------------------
+# Kill a destination (gainer) mid-migration; restart and re-run
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_kill_destination_mid_migration_then_rerun(tmp_path, repeat):
+    """The joining node dies before it has everything.  The reshard
+    aborts; after the gainer restarts (WAL recovery keeps whatever
+    partial pushes it had — REPLACE makes re-pushing them idempotent),
+    the re-run commits and the full acceptance invariants hold."""
+    rng = np.random.default_rng(SEED)
+    streams = {key: rng.lognormal(0.0, 1.0, 3_000) for key in KEYS}
+    threads = {nid: _node(tmp_path, nid) for nid in ("a", "b", "c")}
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in threads.items()],
+        replication=2,
+    )
+    try:
+        with ClusterClient(ring, retry=_policy(), probe_interval=0.05) as seeder:
+            for key, stream in streams.items():
+                seeder.ingest_stream(key, stream, frame_values=500)
+        _install(ring, threads)
+
+        threads["d"] = _node(tmp_path, "d")
+        gainer_port = threads["d"].port
+        new_ring = ring.add_node(("d", "127.0.0.1", gainer_port))
+
+        # The gainer is down for the whole first attempt: the very first
+        # push to it fails, mid-migration (the source is already in
+        # forwarding state for that key).
+        threads["d"].stop(snapshot=False)
+        rebalancer = Rebalancer(ring, new_ring, retry=_policy(timeout=0.3, retries=1))
+        with rebalancer:
+            with pytest.raises((ClusterError, ServiceError, ConnectionError, OSError)):
+                rebalancer.execute()
+
+        with ClusterClient(ring, retry=_policy(), probe_interval=0.05) as old_view:
+            for key, stream in streams.items():
+                _assert_quantiles_within_bound(old_view, key, stream)
+
+        threads["d"] = _node(tmp_path, "d", port=gainer_port)
+        with Rebalancer(ring, new_ring, retry=_policy()) as retry_run:
+            report = retry_run.execute()
+        assert report.committed
+
+        with ClusterClient(new_ring, retry=_policy(), probe_interval=0.05) as verify:
+            for key, stream in streams.items():
+                _assert_quantiles_within_bound(verify, key, stream)
+            verify.keys_seen = set(KEYS)
+            assert repair(verify, digest=True).clean
+            _assert_replicas_byte_identical(verify, new_ring, KEYS)
+    finally:
+        for thread in threads.values():
+            thread.stop(snapshot=False)
+
+
+# ----------------------------------------------------------------------
+# Coordinator crash mid-dance: freezes expire, nothing is lost
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_coordinator_crash_freeze_expires_without_acked_loss(tmp_path, repeat):
+    """A coordinator freezes a key's owners and dies before cutover.
+
+    During the freeze the key's writes are shed — and *never* acked, so
+    nothing can be lost.  The freeze deadline thaws the owners on its
+    own; the shed write's hints replay exactly once; and a later full
+    reshard of the same cluster commits as if the crash never happened.
+    """
+    rng = np.random.default_rng(SEED)
+    stream = rng.lognormal(0.0, 1.0, 3_000)
+    key = KEYS[0]
+    threads = {nid: _node(tmp_path, nid) for nid in ("a", "b", "c")}
+    for thread in threads.values():
+        thread.service.migration_freeze_timeout = 0.4
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in threads.items()],
+        replication=2,
+    )
+    client = ClusterClient(
+        ring, retry=_policy(timeout=0.3, retries=1), probe_interval=0.05
+    )
+    try:
+        client.ingest_stream(key, stream[:2_000], frame_values=500)
+        _install(ring, threads)
+
+        # The "coordinator": BEGIN + freeze on every owner, then crash
+        # (no commit, no abort, no heartbeat).
+        owners = [n.node_id for n in ring.replicas(key)]
+        for node_id in owners:
+            with QuantileClient(
+                "127.0.0.1", threads[node_id].port, retry=_policy()
+            ) as c:
+                c.migrate_begin(key)
+                c.migrate_drain(key, freeze=True)
+
+        # Frozen everywhere: the write sheds on every replica and the
+        # batch is NOT acked (it is hinted for an exactly-once retry).
+        with pytest.raises(ClusterError):
+            client.ingest(key, stream[2_000:2_500])
+
+        time.sleep(0.9)  # past the freeze deadline: owners thaw themselves
+
+        # The hinted frames replay exactly once; fresh writes flow again.
+        assert client.flush_hints() == {}
+        client.ingest_stream(key, stream[2_500:], frame_values=500)
+        _assert_quantiles_within_bound(client, key, stream)
+
+        # The abandoned dance left no wreckage: a full reshard commits.
+        threads["d"] = _node(tmp_path, "d")
+        threads["d"].service.migration_freeze_timeout = 0.4
+        new_ring = ring.add_node(("d", "127.0.0.1", threads["d"].port))
+        with Rebalancer(ring, new_ring, retry=_policy()) as rebalancer:
+            assert rebalancer.execute().committed
+        with ClusterClient(new_ring, retry=_policy(), probe_interval=0.05) as verify:
+            _assert_quantiles_within_bound(verify, key, stream)
+            verify.keys_seen = {key}
+            assert repair(verify, digest=True).clean
+    finally:
+        client.close()
+        for thread in threads.values():
+            thread.stop(snapshot=False)
+
+
+# ----------------------------------------------------------------------
+# Partition during cutover: abort cleanly, heal, commit on re-run
+# ----------------------------------------------------------------------
+
+
+class _PartitionAtCutover(Rebalancer):
+    """Blackhole the gainer's link at the exact moment the coordinator
+    starts flipping the map (transfers already done)."""
+
+    def __init__(self, *args, proxy, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._proxy = proxy
+
+    def _cutover(self, moves):
+        self._proxy.partition()
+        super()._cutover(moves)
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_partition_during_cutover_aborts_then_commits(tmp_path, repeat):
+    """The gaining node is partitioned (frames vanish, TCP stays up)
+    right as cutover begins.  Installing the map on a gainer is a
+    correctness requirement, so the reshard aborts: the old map stays
+    authoritative and every acked value remains queryable.  After the
+    partition heals, the identical re-run commits."""
+    rng = np.random.default_rng(SEED)
+    streams = {key: rng.lognormal(0.0, 1.0, 3_000) for key in KEYS}
+    threads = {nid: _node(tmp_path, nid) for nid in ("a", "b", "c")}
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in threads.items()],
+        replication=2,
+    )
+    proxy = None
+    try:
+        with ClusterClient(ring, retry=_policy(), probe_interval=0.05) as seeder:
+            for key, stream in streams.items():
+                seeder.ingest_stream(key, stream, frame_values=500)
+        _install(ring, threads)
+
+        threads["d"] = _node(tmp_path, "d")
+        proxy = FaultProxy(threads["d"].port)
+        new_ring = ring.add_node(("d", "127.0.0.1", proxy.port))
+
+        rebalancer = _PartitionAtCutover(
+            ring, new_ring, retry=_policy(timeout=0.3, retries=1), proxy=proxy
+        )
+        with rebalancer:
+            with pytest.raises(ClusterError):
+                rebalancer.execute()
+        assert proxy.frames_dropped > 0
+
+        with ClusterClient(ring, retry=_policy(), probe_interval=0.05) as old_view:
+            for key, stream in streams.items():
+                _assert_quantiles_within_bound(old_view, key, stream)
+
+        proxy.heal()
+        with Rebalancer(ring, new_ring, retry=_policy()) as retry_run:
+            report = retry_run.execute()
+        assert report.committed
+
+        with ClusterClient(new_ring, retry=_policy(), probe_interval=0.05) as verify:
+            for key, stream in streams.items():
+                _assert_quantiles_within_bound(verify, key, stream)
+            verify.keys_seen = set(KEYS)
+            assert repair(verify, digest=True).clean
+            _assert_replicas_byte_identical(verify, new_ring, KEYS)
+    finally:
+        if proxy is not None:
+            proxy.stop()
+        for thread in threads.values():
+            thread.stop(snapshot=False)
