@@ -201,6 +201,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="out-of-order tolerance: values timestamped earlier than "
         "(batch watermark - lateness) are dropped as late (default 0)",
     )
+    serve_parser.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=300.0,
+        help="seconds between background integrity scrub passes over "
+        "retained snapshots and the WAL; corrupt files are quarantined "
+        "under data_dir/quarantine (0 disables; needs --data-dir)",
+    )
+    serve_parser.add_argument(
+        "--min-free-bytes",
+        type=int,
+        default=8 << 20,
+        help="free-space floor for leaving read-only degraded mode after "
+        "an ENOSPC (default 8 MiB)",
+    )
 
     status_parser = sub.add_parser(
         "cluster-status",
@@ -221,6 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair",
         action="store_true",
         help="run an anti-entropy repair pass over the given --key keys",
+    )
+    status_parser.add_argument(
+        "--digest",
+        action="store_true",
+        help="with --repair: deep-check replicas whose n agree by "
+        "comparing FRQ1 payload digests (catches silent divergence "
+        "that equal counts hide; costs one FETCH per replica per key)",
     )
     status_parser.add_argument("--timeout", type=float, default=3.0)
 
@@ -534,6 +556,8 @@ def _cmd_serve(args) -> int:
         window_resolutions=_parse_resolution_list(args.window_resolutions),
         window_retention=args.window_retention,
         window_lateness=_parse_optional_duration(args.window_lateness),
+        scrub_interval=args.scrub_interval or None,
+        min_free_bytes=args.min_free_bytes,
     )
 
 
@@ -549,7 +573,7 @@ def _cmd_cluster_status(args) -> int:
             f"cluster topology v{cluster_map.version} "
             f"(R={cluster_map.replication}, vnodes={cluster_map.vnodes})",
             ["node", "address", "state", "topology", "connections", "wal_queue",
-             "sessions", "win_keys", "subs", "hints"],
+             "sessions", "win_keys", "subs", "hints", "disk_free", "scrubbed"],
         )
         health = client.health()
         # Queued-hint depth is a property of the writer client doing the
@@ -560,14 +584,20 @@ def _cmd_cluster_status(args) -> int:
             node = cluster_map.node(node_id)
             if detail is None:
                 table.add_row(node_id, node.address, "DOWN", "-", "-", "-", "-",
-                              "-", "-", hints.get(node_id, 0))
+                              "-", "-", hints.get(node_id, 0), "-", "-")
                 exit_code = 2
                 continue
             version = detail.get("topology_version")
+            state = detail.get("state", "?")
+            if state == "degraded" and detail.get("degraded_reason"):
+                # Surface WHY the node refuses writes right in the table.
+                state = f"degraded ({detail['degraded_reason']})"
+            free = detail.get("disk_free_bytes")
+            scrub = detail.get("scrub") or {}
             table.add_row(
                 node_id,
                 node.address,
-                detail.get("state", "?"),
+                state,
                 "none" if version is None else f"v{version}",
                 detail.get("open_connections", "?"),
                 detail.get("wal_queue_depth", "?"),
@@ -575,6 +605,9 @@ def _cmd_cluster_status(args) -> int:
                 detail.get("windowed_keys", "?"),
                 detail.get("active_subscriptions", "?"),
                 hints.get(node_id, 0),
+                "-" if free is None else f"{free / (1 << 20):.0f}M",
+                "-" if not scrub else
+                f"{scrub.get('passes', 0)}x/{scrub.get('corrupt_found', 0)}bad",
             )
         table.print()
         for key in args.key or []:
@@ -592,14 +625,25 @@ def _cmd_cluster_status(args) -> int:
             if not args.key:
                 print("error: --repair needs at least one --key", file=sys.stderr)
                 return 2
-            report = repair(client, args.key)
+            report = repair(client, args.key, digest=args.digest)
             print(
                 f"repair: examined={report.examined} consistent={report.consistent} "
                 f"healed={report.healed} unhealed={report.unhealed} "
                 f"skipped_down={report.skipped_down}"
+                + (" [digest-checked]" if args.digest else "")
             )
+            for entry in report.keys:
+                if entry.unhealed:
+                    nodes = ", ".join(sorted(entry.unhealed))
+                    print(
+                        f"  key {entry.key!r}: divergent on {nodes} "
+                        "(no exact heal; see cluster-status docs)"
+                    )
             if report.clean:
                 exit_code = 0
+        elif args.digest:
+            print("error: --digest needs --repair", file=sys.stderr)
+            return 2
     return exit_code
 
 

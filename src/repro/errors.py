@@ -20,6 +20,8 @@ __all__ = [
     "RetryBudgetExceededError",
     "ClusterError",
     "WrongTopologyError",
+    "SnapshotCorruptError",
+    "DegradedError",
 ]
 
 
@@ -65,6 +67,32 @@ class ServiceError(ReproError):
     opcodes), server-reported request failures surfaced by the clients, and
     durable-state problems (a corrupt snapshot, a write-ahead log that
     cannot be appended to).
+    """
+
+
+class SnapshotCorruptError(ServiceError):
+    """A snapshot file failed its integrity check (CRC, framing, or key).
+
+    Carries the offending path so the caller can quarantine the file —
+    the service moves it to ``data_dir/quarantine/`` and, on the cluster
+    plane, re-fetches the key from a healthy replica instead of serving
+    (or crashing on) rotten bytes.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"corrupt snapshot file {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class DegradedError(ServiceError):
+    """The server is in degraded read-only mode and sheds this write.
+
+    Raised when storage cannot accept new records (``ENOSPC``, a
+    poisoned WAL).  Maps to ``STATUS_RETRY_LATER`` on the wire — the
+    sequenced-retry clients treat it exactly like an overload shed and
+    replay once the server recovers, so no acked write is ever lost and
+    no shed write is ever silently dropped.
     """
 
 

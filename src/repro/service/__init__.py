@@ -48,6 +48,15 @@ Layers (bottom up):
   on ``SIGTERM``.  :mod:`repro.service.faultproxy` is the deterministic
   chaos harness that proves all of it (seeded mid-byte faults, silent
   frame blackholes, manual partitions).
+* the storage-fault plane — :mod:`repro.service.faultdisk` injects
+  seeded/scripted disk faults (ENOSPC, EIO, short writes, bit rot)
+  beneath the WAL and snapshot stores via the ``io_layer`` hook;
+  snapshots carry ``FRS1`` CRC32 framing; :mod:`repro.service.scrub`
+  re-reads retained files on a cadence and quarantines rot (resident
+  keys self-heal, spilled keys heal via cluster repair); a full or
+  failing disk flips the service into read-only **degraded mode**
+  (ingest sheds with ``RETRY_LATER``, reads keep flowing) until space
+  returns.
 
 One layer up, :mod:`repro.cluster` runs many of these nodes as a
 replicated cluster (consistent-hash routing, failover reads, hinted
@@ -86,9 +95,16 @@ from repro.service.client import (
     QuantileClient,
     QueryResult,
 )
+from repro.service.faultdisk import (
+    DiskIo,
+    FaultyDisk,
+    ScriptedDiskFaults,
+    SeededDiskFaults,
+)
 from repro.service.faultproxy import FaultProxy, ScriptedFaults, SeededFaults
 from repro.service.persistence import GroupCommitWal, SnapshotStore, WriteAheadLog
 from repro.service.resilience import OverloadPolicy, RetryPolicy, SessionTable
+from repro.service.scrub import Scrubber, verify_wal_file
 from repro.service.server import (
     QuantileServer,
     QuantileService,
@@ -101,7 +117,9 @@ from repro.service.store import SketchStore
 __all__ = [
     "AsyncQuantileClient",
     "BucketEvent",
+    "DiskIo",
     "FaultProxy",
+    "FaultyDisk",
     "GroupCommitWal",
     "OverloadPolicy",
     "QuantileClient",
@@ -109,7 +127,10 @@ __all__ = [
     "QuantileService",
     "QueryResult",
     "RetryPolicy",
+    "ScriptedDiskFaults",
     "ScriptedFaults",
+    "Scrubber",
+    "SeededDiskFaults",
     "SeededFaults",
     "ServerThread",
     "SessionTable",
@@ -118,4 +139,5 @@ __all__ = [
     "WriteAheadLog",
     "new_event_loop",
     "run_server",
+    "verify_wal_file",
 ]

@@ -51,7 +51,8 @@ from concurrent.futures import Future
 from pathlib import Path
 from typing import Dict, Iterator, NamedTuple, Optional, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, SnapshotCorruptError
+from repro.service.faultdisk import DEFAULT_IO
 from repro.service.log import logger as _log
 from repro.service.store import spill_filename
 
@@ -104,6 +105,13 @@ _RECORD_HEAD = struct.Struct("<II")
 _BODY_HEAD = struct.Struct("<BQH")
 
 _SNAP_HEAD = struct.Struct("<QH")
+
+#: Snapshot file framing: magic, then the legacy body, then a CRC32
+#: footer over the body.  Files written before the framing existed start
+#: straight at the body and carry no checksum; they still load (scrub
+#: reports them as unverifiable) and are rewritten framed on next save.
+_SNAP_MAGIC = b"FRS1"
+_SNAP_CRC = struct.Struct("<I")
 
 #: ``WAL_SEQ_INGEST`` payload prefix: session-id length (id + u64 seq follow).
 _SESSION_HEAD = struct.Struct("<H")
@@ -164,36 +172,72 @@ class WriteAheadLog:
     ``__init__`` therefore trims the file to its longest valid record
     prefix (:attr:`healed_bytes` reports how much was dropped) before the
     append handle opens, keeping "appended" equivalent to "replayable".
+
+    A failed write **poisons** the log, exactly like the group-commit
+    writer: the failure may have left a partial record mid-file, and
+    appending past it would shadow acknowledged records behind bytes
+    replay cannot cross.  All further appends raise; recovery heals the
+    torn tail at next open (the partial record was never acknowledged,
+    so truncating it loses nothing).
+
+    ``io`` routes every byte of file I/O (defaults to the real-disk
+    pass-through); chaos tests inject a
+    :class:`~repro.service.faultdisk.FaultyDisk` here.
     """
 
-    def __init__(self, path, *, fsync: bool = False) -> None:
+    def __init__(self, path, *, fsync: bool = False, io=None) -> None:
         self.path = Path(path)
         self.fsync = fsync
+        self.io = DEFAULT_IO if io is None else io
         self.path.parent.mkdir(parents=True, exist_ok=True)
         #: Torn-tail bytes truncated away when this handle opened (0 = clean).
         self.healed_bytes = self._heal_torn_tail()
         self._file = open(self.path, "ab")
+        #: First write failure; once set the log is poisoned.
+        self._failed: Optional[BaseException] = None
+
+    @property
+    def failed(self) -> Optional[BaseException]:
+        return self._failed
+
+    def _check_usable(self) -> None:
+        if self._failed is not None:
+            raise ServiceError(
+                f"write-ahead log failed and is poisoned: {self._failed} — "
+                "appending past a failed write could leave a torn record "
+                "mid-file that shadows later records from replay"
+            )
 
     def append(self, op: int, seq: int, key: str, payload: bytes, *, flush: bool = True) -> None:
         """Append one record.  ``flush=False`` defers the buffered-write
         flush (and any fsync) to a later :meth:`commit` — the group-commit
         writer uses this to pay one flush/fsync for a whole batch."""
+        self._check_usable()
         raw_key = key.encode("utf-8")
         if len(raw_key) > 0xFFFF:
             raise ServiceError(f"key of {len(raw_key)} UTF-8 bytes exceeds the 65535-byte cap")
         body = _BODY_HEAD.pack(op, seq, len(raw_key)) + raw_key + payload
-        self._file.write(_RECORD_HEAD.pack(len(body), zlib.crc32(body)))
-        self._file.write(body)
-        if flush:
-            self._file.flush()
-            if self.fsync:
-                os.fsync(self._file.fileno())
+        try:
+            self.io.write(self._file, _RECORD_HEAD.pack(len(body), zlib.crc32(body)))
+            self.io.write(self._file, body)
+            if flush:
+                self.io.flush(self._file)
+                if self.fsync:
+                    self.io.fsync(self._file)
+        except Exception as exc:
+            self._failed = exc
+            raise
 
     def commit(self, *, fsync: Optional[bool] = None) -> None:
         """Flush buffered appends to the OS (and optionally the platter)."""
-        self._file.flush()
-        if self.fsync if fsync is None else fsync:
-            os.fsync(self._file.fileno())
+        self._check_usable()
+        try:
+            self.io.flush(self._file)
+            if self.fsync if fsync is None else fsync:
+                self.io.fsync(self._file)
+        except Exception as exc:
+            self._failed = exc
+            raise
 
     def replay(self, *, strict: bool = False) -> Iterator[WalRecord]:
         """Yield every intact record in order.
@@ -297,11 +341,12 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         """Drop every record (call only when all are covered by snapshots)."""
+        self._check_usable()
         self._file.close()
         self._file = open(self.path, "wb")
-        self._file.flush()
+        self.io.flush(self._file)
         if self.fsync:
-            os.fsync(self._file.fileno())
+            self.io.fsync(self._file)
 
     @property
     def size_bytes(self) -> int:
@@ -344,9 +389,9 @@ class GroupCommitWal:
     truncating so no covered record can land after the truncate.
     """
 
-    def __init__(self, path, *, fsync: bool = False, max_queue: int = 65536) -> None:
+    def __init__(self, path, *, fsync: bool = False, max_queue: int = 65536, io=None) -> None:
         # The inner log never fsyncs per append; this class owns commits.
-        self._inner = WriteAheadLog(path, fsync=False)
+        self._inner = WriteAheadLog(path, fsync=False, io=io)
         self.fsync = fsync
         self.max_queue = max_queue
         self._cond = threading.Condition()
@@ -377,6 +422,16 @@ class GroupCommitWal:
     @property
     def healed_bytes(self) -> int:
         return self._inner.healed_bytes
+
+    @property
+    def io(self):
+        return self._inner.io
+
+    @property
+    def failed(self) -> Optional[BaseException]:
+        """The poisoning commit failure, or ``None`` while healthy."""
+        with self._cond:
+            return self._failed
 
     @property
     def size_bytes(self) -> int:
@@ -520,7 +575,7 @@ class GroupCommitWal:
         self.barrier()
         self._inner.truncate()
         if self.fsync:
-            os.fsync(self._inner._file.fileno())
+            self._inner.io.fsync(self._inner._file)
 
     def close(self) -> None:
         """Drain the queue, commit, stop the writer, close the file."""
@@ -571,7 +626,16 @@ class GroupCommitWal:
 
 
 class SnapshotStore:
-    """Per-key snapshot files: ``<u64 seq><u16 key_len><key><FRQ1 payload>``.
+    """Per-key snapshot files with CRC32-footered ``FRS1`` framing.
+
+    Each file is ``FRS1`` + ``<u64 seq><u16 key_len><key><FRQ1 payload>``
+    + ``<u32 crc32>`` over everything between magic and footer.  The WAL
+    already CRC-guards every record; the framing closes the snapshot
+    plane's bit-rot blind spot — a flipped bit anywhere in the body fails
+    the load (:class:`~repro.errors.SnapshotCorruptError`) instead of
+    silently decoding into a wrong sketch.  Files written before the
+    framing existed (no magic) still parse, carry no checksum to verify,
+    and are rewritten framed by their next save.
 
     With ``fsync=True`` every save is forced to disk (file data before the
     rename, the directory entry after it), matching the power-loss
@@ -579,9 +643,10 @@ class SnapshotStore:
     to justify truncating the WAL records it covers.
     """
 
-    def __init__(self, directory, *, fsync: bool = False) -> None:
+    def __init__(self, directory, *, fsync: bool = False, io=None) -> None:
         self.directory = Path(directory)
         self.fsync = fsync
+        self.io = DEFAULT_IO if io is None else io
 
     def save(self, key: str, seq: int, payload: bytes) -> None:
         """Atomically write ``key``'s snapshot (temp file + rename)."""
@@ -591,67 +656,125 @@ class SnapshotStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.directory / spill_filename(key)
         tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as handle:
-            handle.write(_SNAP_HEAD.pack(seq, len(raw_key)) + raw_key + payload)
-            if self.fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
+        body = _SNAP_HEAD.pack(seq, len(raw_key)) + raw_key + payload
+        try:
+            with open(tmp, "wb") as handle:
+                self.io.write(handle, _SNAP_MAGIC + body + _SNAP_CRC.pack(zlib.crc32(body)))
+                if self.fsync:
+                    self.io.flush(handle)
+                    self.io.fsync(handle)
+        except Exception:
+            # A failed save (ENOSPC mid-write) must not leave a partial
+            # temp file to confuse a later rename; the previous snapshot
+            # is still intact under the real name.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         tmp.replace(path)
         if self.fsync:
             _fsync_dir(self.directory)
 
     def load(self, key: str) -> Optional[Tuple[int, bytes]]:
-        """``(seq, payload)`` for ``key``, or ``None`` if never snapshotted."""
+        """``(seq, payload)`` for ``key``, or ``None`` if never snapshotted.
+
+        Verifies the CRC footer before trusting a framed file — recovery
+        and the lazy spill path never decode rotten bytes into a sketch.
+        """
         path = self.directory / spill_filename(key)
         if not path.exists():
             return None
         seq, _key, payload = self._parse(path)
         return seq, payload
 
-    def load_all(self) -> Dict[str, Tuple[int, bytes]]:
-        """Every snapshot on disk, ``{key: (seq, payload)}``."""
+    def load_all(self, *, on_corrupt=None) -> Dict[str, Tuple[int, bytes]]:
+        """Every snapshot on disk, ``{key: (seq, payload)}``.
+
+        ``on_corrupt(path, exc)``: called per unreadable file instead of
+        aborting the whole load — one rotten snapshot must not take down
+        recovery of every other key.  ``None`` keeps the raising
+        behavior (integrity audits).
+        """
         if not self.directory.exists():
             return {}
         result: Dict[str, Tuple[int, bytes]] = {}
         for path in sorted(self.directory.glob("*.frq1")):
-            seq, key, payload = self._parse(path)
+            try:
+                seq, key, payload = self._parse(path)
+            except SnapshotCorruptError as exc:
+                if on_corrupt is None:
+                    raise
+                on_corrupt(path, exc)
+                continue
             result[key] = (seq, payload)
         return result
 
-    def iter_meta(self):
+    def iter_meta(self, *, on_corrupt=None):
         """Yield ``(key, seq)`` per snapshot, reading only the file heads.
 
         Recovery registers every snapshotted key without touching its
         payload (keys load lazily through the store's spill path), so
-        startup I/O stays O(keys), not O(total snapshot bytes).
+        startup I/O stays O(keys), not O(total snapshot bytes).  The CRC
+        footer is therefore **not** checked here — the payload read
+        (:meth:`load`) and the background scrub do that; this pass only
+        validates the structural head.  ``on_corrupt(path, exc)`` skips
+        an unreadable file instead of raising.
         """
         if not self.directory.exists():
             return
         for path in sorted(self.directory.glob("*.frq1")):
             with open(path, "rb") as handle:
-                head = handle.read(_SNAP_HEAD.size)
                 try:
+                    head = handle.read(len(_SNAP_MAGIC))
+                    if head != _SNAP_MAGIC:
+                        head += handle.read(_SNAP_HEAD.size - len(head))
+                    else:
+                        head = handle.read(_SNAP_HEAD.size)
                     seq, key_len = _SNAP_HEAD.unpack(head)
                     raw_key = handle.read(key_len)
                     if len(raw_key) != key_len:
                         raise ValueError("snapshot shorter than its declared key")
                     key = raw_key.decode("utf-8")
                 except (struct.error, ValueError, UnicodeDecodeError) as exc:
-                    raise ServiceError(f"corrupt snapshot file {path}: {exc}") from exc
+                    corrupt = SnapshotCorruptError(path, str(exc))
+                    corrupt.__cause__ = exc
+                    if on_corrupt is None:
+                        raise corrupt from exc
+                    on_corrupt(path, corrupt)
+                    continue
             yield key, seq
 
-    @staticmethod
-    def _parse(path: Path) -> Tuple[int, str, bytes]:
-        data = path.read_bytes()
+    def verify(self, path) -> Tuple[int, str, bytes]:
+        """Fully read and checksum one snapshot file (the scrub primitive).
+
+        Returns ``(seq, key, payload)``; raises
+        :class:`~repro.errors.SnapshotCorruptError` on any damage.
+        """
+        return self._parse(path)
+
+    def _parse(self, path) -> Tuple[int, str, bytes]:
+        path = Path(path)
+        data = self.io.read_bytes(path)
+        if data[: len(_SNAP_MAGIC)] == _SNAP_MAGIC:
+            if len(data) < len(_SNAP_MAGIC) + _SNAP_CRC.size:
+                raise SnapshotCorruptError(path, "truncated FRS1 snapshot")
+            body = data[len(_SNAP_MAGIC) : -_SNAP_CRC.size]
+            (crc,) = _SNAP_CRC.unpack(data[-_SNAP_CRC.size :])
+            if zlib.crc32(body) != crc:
+                raise SnapshotCorruptError(path, "FRS1 CRC mismatch (bit rot or torn write)")
+        else:
+            # Pre-FRS1 snapshot: no checksum to verify, structure only.
+            body = data
         try:
-            seq, key_len = _SNAP_HEAD.unpack_from(data, 0)
-            raw_key = data[_SNAP_HEAD.size : _SNAP_HEAD.size + key_len]
+            seq, key_len = _SNAP_HEAD.unpack_from(body, 0)
+            raw_key = body[_SNAP_HEAD.size : _SNAP_HEAD.size + key_len]
             if len(raw_key) != key_len:
                 raise ValueError("snapshot shorter than its declared key")
             key = raw_key.decode("utf-8")
         except (struct.error, ValueError, UnicodeDecodeError) as exc:
-            raise ServiceError(f"corrupt snapshot file {path}: {exc}") from exc
-        return seq, key, data[_SNAP_HEAD.size + key_len :]
+            raise SnapshotCorruptError(path, str(exc)) from exc
+        return seq, key, body[_SNAP_HEAD.size + key_len :]
 
 
 def recover(
@@ -666,6 +789,7 @@ def recover(
     window_restore=None,
     window_snap_seq: Optional[Dict[str, int]] = None,
     window_applied_seq: Optional[Dict[str, int]] = None,
+    on_corrupt=None,
 ) -> int:
     """Rebuild ``store`` from disk; returns the next free sequence number.
 
@@ -705,11 +829,15 @@ def recover(
     via ``window_restore(key, frw1_payload)``, each side honoring its own
     snapshot cover; the bundle's session marks always fold into
     ``sessions``, like ``WAL_SEQ_INGEST`` marks do.
+
+    ``on_corrupt(path, exc)``: called per unreadable snapshot file
+    instead of aborting recovery of every other key (the server wires
+    this to its quarantine hook); ``None`` keeps the raising behavior.
     """
     import numpy as np
 
     max_seq = 0
-    for key, seq in snapshots.iter_meta():
+    for key, seq in snapshots.iter_meta(on_corrupt=on_corrupt):
         snap_seq[key] = seq
         applied_seq[key] = seq
         max_seq = max(max_seq, seq)

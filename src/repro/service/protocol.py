@@ -158,6 +158,7 @@ __all__ = [
     "HEALTH_READY",
     "HEALTH_OVERLOADED",
     "HEALTH_DRAINING",
+    "HEALTH_DEGRADED",
     "KIND_QUANTILES",
     "KIND_RANKS",
     "KIND_CDF",
@@ -332,6 +333,9 @@ FLAG_EXACTLY_ONCE = 0x1
 HEALTH_READY = 0
 HEALTH_OVERLOADED = 1
 HEALTH_DRAINING = 2
+#: Storage cannot accept writes (ENOSPC, poisoned WAL): the server is
+#: read-only — ingest sheds with ``RETRY_LATER``, queries still serve.
+HEALTH_DEGRADED = 3
 
 #: ``MULTI_QUERY`` request kinds (the per-record ``u8 kind`` operand).
 KIND_QUANTILES = 0

@@ -254,6 +254,33 @@ class SessionTable:
         entry.marks[key] = seq
         return ADMIT_APPLY
 
+    def revert(self, sid: str, key: str, mark: int, failed_seq: int) -> None:
+        """Roll the mark back after an admitted frame FAILED to apply.
+
+        :meth:`admit` advances the mark *before* the caller applies the
+        values (apply can itself spill/snapshot, which persists the
+        mark).  When the apply then fails — a full disk refusing the WAL
+        append — the advanced mark would make the client's retry of that
+        very frame look like a duplicate: an acknowledgement for values
+        that never landed, the one lie exactly-once must never tell.
+        The server therefore reverts: ``mark`` is the pre-admit high
+        water to restore, ``failed_seq`` the highest sequence whose
+        apply failed.  The shed floor is pinned at ``failed_seq`` so any
+        *later* already-pipelined frame is shed (gap-free applies, same
+        invariant as an overload shed) until the failed frame is
+        retried.
+        """
+        entry = self._sessions.get(sid)
+        if entry is None:
+            return
+        if entry.marks.get(key, 0) > mark:
+            if mark > 0:
+                entry.marks[key] = mark
+            else:
+                entry.marks.pop(key, None)
+        floor = entry.shed_floor
+        entry.shed_floor = failed_seq if floor is None else min(floor, failed_seq)
+
     def observe(self, sid: str, key: str, seq: int) -> None:
         """Recovery path: fold a durable ``(sid, key, seq)`` into the marks."""
         entry = self._entry(sid)

@@ -54,8 +54,16 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro._version import __version__
-from repro.errors import EmptySketchError, InvalidParameterError, ReproError, ServiceError
+from repro.errors import (
+    DegradedError,
+    EmptySketchError,
+    InvalidParameterError,
+    ReproError,
+    ServiceError,
+    SnapshotCorruptError,
+)
 from repro.service import protocol as wire
+from repro.service.faultdisk import DEFAULT_IO
 from repro.service.log import RateLimiter, configure_cli_logging
 from repro.service.log import logger as log
 from repro.service.persistence import (
@@ -77,7 +85,7 @@ from repro.service.resilience import (
     OverloadPolicy,
     SessionTable,
 )
-from repro.service.store import SketchStore
+from repro.service.store import SketchStore, spill_filename
 from repro.windowed import SubscriptionHub, WindowStore
 
 __all__ = ["QuantileService", "QuantileServer", "ServerThread", "run_server", "new_event_loop"]
@@ -164,6 +172,14 @@ class QuantileService:
             ``retention * resolution`` seconds of wall clock).
         window_lateness: Out-of-order tolerance in seconds for windowed
             ingest (see :class:`~repro.windowed.WindowRing`).
+        io_layer: The disk io layer every persistence object routes its
+            bytes through (default: the real-disk pass-through).  Chaos
+            tests inject a :class:`~repro.service.faultdisk.FaultyDisk`
+            to script ENOSPC/EIO/bit-rot without touching a real device.
+        min_free_bytes: Free-space threshold for leaving degraded mode —
+            after an ENOSPC poisons the WAL the service stays read-only
+            until the data dir's filesystem reports at least this much
+            free space again.
     """
 
     def __init__(
@@ -183,8 +199,25 @@ class QuantileService:
         window_resolutions=(60.0,),
         window_retention: int = 64,
         window_lateness: float = 0.0,
+        io_layer=None,
+        min_free_bytes: int = 8 << 20,
     ) -> None:
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.io = DEFAULT_IO if io_layer is None else io_layer
+        self.min_free_bytes = min_free_bytes
+        self._fsync = fsync
+        #: Degraded read-only mode: set when storage stops accepting
+        #: writes (ENOSPC, poisoned WAL).  While set, ingest sheds with
+        #: RETRY_LATER and reads keep serving; cleared by
+        #: :meth:`try_exit_degraded` once space returns.
+        self.degraded_reason: Optional[str] = None
+        self.degraded_since: Optional[float] = None
+        self.degraded_entries = 0
+        #: Snapshot files quarantined (moved aside as corrupt) and keys
+        #: forgotten because their only copy was the quarantined file.
+        self.quarantined_files = 0
+        self.quarantined_keys: List[str] = []
+        self._quarantine_log = RateLimiter(5.0)
         #: Cluster identity: surfaced in STATS/HEALTH so ring-aware
         #: clients and `cluster-status` can verify they reached the node
         #: the topology names (``None`` = standalone service).
@@ -220,10 +253,10 @@ class QuantileService:
             spill_save = spill_load = None
         else:
             if group_commit:
-                self.wal = GroupCommitWal(self.data_dir / "wal.log", fsync=fsync)
+                self.wal = GroupCommitWal(self.data_dir / "wal.log", fsync=fsync, io=self.io)
             else:
-                self.wal = WriteAheadLog(self.data_dir / "wal.log", fsync=fsync)
-            self.snapshots = SnapshotStore(self.data_dir / "snapshots", fsync=fsync)
+                self.wal = WriteAheadLog(self.data_dir / "wal.log", fsync=fsync, io=self.io)
+            self.snapshots = SnapshotStore(self.data_dir / "snapshots", fsync=fsync, io=self.io)
 
             def spill_save(key: str, payload: bytes) -> None:
                 seq = self._applied_seq.get(key, 0)
@@ -231,7 +264,17 @@ class QuantileService:
                 self._snap_seq[key] = seq
 
             def spill_load(key: str) -> Optional[bytes]:
-                loaded = self.snapshots.load(key)
+                try:
+                    loaded = self.snapshots.load(key)
+                except SnapshotCorruptError as exc:
+                    # The key's only copy is rotten: quarantine the file
+                    # and forget the key, so the *next* access reads as
+                    # UNKNOWN_KEY — the exact state cluster repair heals
+                    # byte-identically from a healthy replica.  This
+                    # access still fails (the store reports the key as
+                    # missing from the spill target).
+                    self.quarantine_snapshot(key, exc)
+                    return None
                 return None if loaded is None else loaded[1]
 
         self.store = SketchStore(
@@ -265,7 +308,7 @@ class QuantileService:
         self.window_snapshots = (
             None
             if self.data_dir is None
-            else SnapshotStore(self.data_dir / "windows", fsync=fsync)
+            else SnapshotStore(self.data_dir / "windows", fsync=fsync, io=self.io)
         )
         if self.wal is not None:
             if self.wal.healed_bytes:
@@ -282,7 +325,10 @@ class QuantileService:
             # the records newer than each key's windowed cover point) and
             # re-pin their coin streams to the snapshot epoch, mirroring
             # the save side — bit-exact windowed recovery.
-            for key, (seq, payload) in self.window_snapshots.load_all().items():
+            loaded_windows = self.window_snapshots.load_all(
+                on_corrupt=self._quarantine_corrupt_file
+            )
+            for key, (seq, payload) in loaded_windows.items():
                 self.windows.restore(key, payload)
                 self._window_snap_seq[key] = seq
                 self._window_applied_seq[key] = seq
@@ -298,6 +344,7 @@ class QuantileService:
                 window_restore=self._window_restore,
                 window_snap_seq=self._window_snap_seq,
                 window_applied_seq=self._window_applied_seq,
+                on_corrupt=self._quarantine_corrupt_file,
             )
             if self._window_snap_seq:
                 # A truncated WAL no longer witnesses the sequences the
@@ -312,6 +359,11 @@ class QuantileService:
         self.ingested_values = 0
         self.query_count = 0
         self.merge_count = 0
+        #: Background-scrub state (counters live here even when no scrub
+        #: task runs — ``scrub_once()`` can always be called directly).
+        from repro.service.scrub import Scrubber
+
+        self.scrub = None if self.data_dir is None else Scrubber(self)
 
     # ------------------------------------------------------------------
     # Mutations (WAL first, then the store)
@@ -319,9 +371,25 @@ class QuantileService:
 
     def _wal_append(self, op: int, key: str, payload: bytes) -> None:
         """Append one record (sequence assignment + ticket bookkeeping)."""
+        if self.degraded:
+            raise DegradedError(
+                f"read-only degraded mode ({self.degraded_reason}): write shed"
+            )
         seq = self._seq
         self._seq += 1
-        ticket = self.wal.append(op, seq, key, payload)
+        try:
+            ticket = self.wal.append(op, seq, key, payload)
+        except Exception as exc:
+            # The record never became replayable (a failed sync append is
+            # healed as a torn tail at next open); hand the sequence back
+            # so the log carries no gap, then flip read-only.  Only a
+            # storage failure degrades — a validation error (oversized
+            # key) is the caller's problem, not the disk's.
+            self._seq = seq
+            if not isinstance(exc, OSError) and getattr(self.wal, "failed", None) is None:
+                raise
+            self.enter_degraded(f"WAL append failed: {exc}")
+            raise DegradedError(f"WAL append failed, entering degraded mode: {exc}") from exc
         if ticket is not None:  # group-commit log: durability is deferred
             self._last_ticket = ticket
         self.wal_appends += 1
@@ -348,6 +416,171 @@ class QuantileService:
         """Block until every queued WAL record is durable (no-op otherwise)."""
         if isinstance(self.wal, GroupCommitWal):
             self.wal.barrier()
+
+    # ------------------------------------------------------------------
+    # Degraded read-only mode (storage faults)
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_reason is not None
+
+    @property
+    def wal_failed(self) -> bool:
+        """True when the WAL is poisoned (a write/commit failed)."""
+        return self.wal is not None and getattr(self.wal, "failed", None) is not None
+
+    @property
+    def disk_free_bytes(self) -> Optional[int]:
+        """Free bytes under the data dir (``None``: in-memory/unknown)."""
+        if self.data_dir is None:
+            return None
+        return self.io.disk_free(self.data_dir)
+
+    def enter_degraded(self, reason: str) -> None:
+        """Flip read-only: ingest sheds with RETRY_LATER, reads serve.
+
+        Idempotent — the first storage failure records the reason; later
+        failures while already degraded change nothing.
+        """
+        if self.degraded:
+            return
+        self.degraded_reason = str(reason)
+        self.degraded_since = time.time()
+        self.degraded_entries += 1
+        log.error(
+            "entering degraded read-only mode: %s — ingest sheds with "
+            "RETRY_LATER (nothing unacknowledged is lost; sequenced "
+            "clients replay), reads keep serving; recovery is automatic "
+            "once the disk accepts writes again",
+            reason,
+        )
+
+    def try_exit_degraded(self) -> bool:
+        """Attempt to leave degraded mode; returns True on success.
+
+        The exit sequence keeps "acknowledged == replayable" intact:
+
+        1. Free space must be back (``min_free_bytes`` under the data
+           dir) — ENOSPC would just re-poison the fresh log.
+        2. The poisoned WAL is closed and reopened.  Opening self-heals
+           the failed append's torn tail — poisoning stopped all later
+           appends, so the tear is genuinely the last record and was
+           never acknowledged.
+        3. A full checkpoint makes the in-memory state durable again.
+           Group-commit batches that were *applied* but never committed
+           (their acks were withheld) are thereby re-covered by
+           snapshots, so the store and the fresh log agree byte-exactly.
+        4. Only then does the flag clear and ingest resume.
+
+        A failure at any step leaves the service degraded for the next
+        probe tick to retry.
+        """
+        if not self.degraded:
+            return True
+        if self.wal is None:
+            self._clear_degraded()
+            return True
+        free = self.disk_free_bytes
+        if free is not None and free < self.min_free_bytes:
+            return False
+        try:
+            self.wal.close()
+            if isinstance(self.wal, GroupCommitWal):
+                self.wal = GroupCommitWal(
+                    self.data_dir / "wal.log",
+                    fsync=self._fsync,
+                    max_queue=self.wal.max_queue,
+                    io=self.io,
+                )
+            else:
+                self.wal = WriteAheadLog(
+                    self.data_dir / "wal.log", fsync=self._fsync, io=self.io
+                )
+            if self.wal.healed_bytes:
+                log.warning(
+                    "degraded-mode exit healed the failed append: path=%s "
+                    "truncated_bytes=%d (the record was never acknowledged)",
+                    self.wal.path,
+                    self.wal.healed_bytes,
+                )
+            self._last_ticket = None
+            self.snapshot_all()
+        except Exception as exc:
+            log.warning(
+                "degraded-mode exit attempt failed (%s); staying read-only", exc
+            )
+            return False
+        self._clear_degraded()
+        return True
+
+    def _clear_degraded(self) -> None:
+        log.warning(
+            "leaving degraded mode after %.1fs (%s): storage accepts "
+            "writes again, ingest resumes",
+            time.time() - (self.degraded_since or time.time()),
+            self.degraded_reason,
+        )
+        self.degraded_reason = None
+        self.degraded_since = None
+
+    # ------------------------------------------------------------------
+    # Snapshot quarantine (corrupt files)
+    # ------------------------------------------------------------------
+
+    def quarantine_dir(self) -> Optional[Path]:
+        return None if self.data_dir is None else self.data_dir / "quarantine"
+
+    def _quarantine_move(self, path: Path) -> Optional[Path]:
+        """Move a corrupt file under ``data_dir/quarantine/``."""
+        qdir = self.quarantine_dir()
+        if qdir is None:
+            return None
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = qdir / f"{path.name}.{suffix}"
+        try:
+            path.replace(target)
+        except OSError:
+            return None
+        self.quarantined_files += 1
+        return target
+
+    def _quarantine_corrupt_file(self, path, exc) -> None:
+        """``on_corrupt`` hook for recovery/scrub: move the file aside.
+
+        Rate-limited warn via the service logger — a directory full of
+        rot must not flood the log line-per-file.
+        """
+        moved = self._quarantine_move(Path(path))
+        should_emit, suppressed = self._quarantine_log.ready("quarantine")
+        if should_emit:
+            log.warning(
+                "quarantined corrupt snapshot file: %s -> %s (%s)%s",
+                path,
+                moved,
+                exc,
+                f" [+{suppressed} similar suppressed]" if suppressed else "",
+            )
+
+    def quarantine_snapshot(self, key: str, exc) -> None:
+        """Quarantine ``key``'s snapshot file and forget the key.
+
+        Used when the corrupt file was the key's *only* copy (the key was
+        spilled).  Afterwards the key reads as unknown — on the cluster
+        plane ``repair()`` sees an ``n == 0`` replica and re-fetches the
+        byte-identical payload from the healthiest peer.
+        """
+        path = self.snapshots.directory / spill_filename(key)
+        if path.exists():
+            self._quarantine_corrupt_file(path, exc)
+        if self.store.forget_spilled(key):
+            self._snap_seq.pop(key, None)
+            self._applied_seq.pop(key, None)
+            self.quarantined_keys.append(key)
 
     def ingest(self, key: str, values, *, session=None) -> int:
         """Apply one batch to ``key``; returns the key's total ``n``.
@@ -723,9 +956,20 @@ class QuantileService:
 
     def _wal_window_append(self, op: int, key: str, payload: bytes) -> None:
         """A windowed WAL record: same log, separate applied-seq map."""
+        if self.degraded:
+            raise DegradedError(
+                f"read-only degraded mode ({self.degraded_reason}): write shed"
+            )
         seq = self._seq
         self._seq += 1
-        ticket = self.wal.append(op, seq, key, payload)
+        try:
+            ticket = self.wal.append(op, seq, key, payload)
+        except Exception as exc:
+            self._seq = seq
+            if not isinstance(exc, OSError) and getattr(self.wal, "failed", None) is None:
+                raise
+            self.enter_degraded(f"WAL append failed: {exc}")
+            raise DegradedError(f"WAL append failed, entering degraded mode: {exc}") from exc
         if ticket is not None:
             self._last_ticket = ticket
         self.wal_appends += 1
@@ -951,7 +1195,15 @@ class QuantileService:
             "sessions": len(self.sessions),
             "topology_version": None if self.topology is None else self.topology.version,
             "migrating_keys": len(self._migrations),
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "degraded_entries": self.degraded_entries,
+            "disk_free_bytes": self.disk_free_bytes,
+            "quarantined_files": self.quarantined_files,
+            "quarantined_keys": len(self.quarantined_keys),
         }
+        if self.scrub is not None:
+            report["scrub"] = self.scrub.stats()
         if isinstance(self.wal, GroupCommitWal):
             wal_stats = self.wal.stats()
             report["wal_queue_depth"] = wal_stats.pop("queue_depth")
@@ -1189,6 +1441,12 @@ class _Connection(asyncio.BufferedProtocol):
                         "instead of acking",
                         ticket.exception(),
                     )
+                    # The WAL is poisoned (every later commit would fail
+                    # too): flip the whole server read-only rather than
+                    # letting each connection rediscover the corpse.
+                    self.server.service.enter_degraded(
+                        f"WAL group commit failed: {ticket.exception()}"
+                    )
                     self._outq.clear()
                     if transport is not None:
                         transport.abort()
@@ -1219,6 +1477,12 @@ class QuantileServer:
             shedding entirely.
         drain_timeout: Default deadline (seconds) for a graceful drain —
             how long :meth:`stop` waits for in-flight acks to flush.
+        scrub_interval: Seconds between background integrity scrub
+            passes over retained snapshots and the WAL (``None``
+            disables; durable services only).
+        degraded_probe_interval: Cadence (seconds) of the degraded-mode
+            probe, which notices a poisoned WAL and attempts
+            ``try_exit_degraded`` once the disk recovers.
     """
 
     def __init__(
@@ -1231,6 +1495,8 @@ class QuantileServer:
         max_connections: Optional[int] = None,
         overload=_DEFAULT_OVERLOAD,
         drain_timeout: float = 10.0,
+        scrub_interval: Optional[float] = None,
+        degraded_probe_interval: float = 0.5,
     ) -> None:
         self.service = service
         self.host = host
@@ -1240,8 +1506,12 @@ class QuantileServer:
         self.max_connections = max_connections
         self.overload = OverloadPolicy() if overload is _DEFAULT_OVERLOAD else overload
         self.drain_timeout = drain_timeout
+        self.scrub_interval = scrub_interval
+        self.degraded_probe_interval = degraded_probe_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._snapshot_task: Optional[asyncio.Task] = None
+        self._scrub_task: Optional[asyncio.Task] = None
+        self._probe_task: Optional[asyncio.Task] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._transports: set = set()
         self._conns: set = set()
@@ -1268,6 +1538,10 @@ class QuantileServer:
         self.port = self._server.sockets[0].getsockname()[1]
         if self.snapshot_interval is not None and self.service.wal is not None:
             self._snapshot_task = asyncio.ensure_future(self._periodic_snapshots())
+        if self.scrub_interval is not None and self.service.scrub is not None:
+            self._scrub_task = asyncio.ensure_future(self._periodic_scrub())
+        if self.service.wal is not None:
+            self._probe_task = asyncio.ensure_future(self._degraded_probe())
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -1295,13 +1569,15 @@ class QuantileServer:
             return
         self._stopped = True
         self.draining = True
-        if self._snapshot_task is not None:
-            self._snapshot_task.cancel()
-            try:
-                await self._snapshot_task
-            except asyncio.CancelledError:
-                pass
-            self._snapshot_task = None
+        for attr in ("_snapshot_task", "_scrub_task", "_probe_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -1333,6 +1609,11 @@ class QuantileServer:
     async def _periodic_snapshots(self) -> None:
         while True:
             await asyncio.sleep(self.snapshot_interval)
+            if self.service.degraded:
+                # The disk already refused writes; hammering it with a
+                # full checkpoint just burns the rate-limit budget.  The
+                # degraded probe checkpoints on recovery.
+                continue
             try:
                 self.service.snapshot_all()
             except Exception as exc:
@@ -1347,6 +1628,44 @@ class QuantileServer:
                         exc,
                         f" ({suppressed} repeats suppressed)" if suppressed else "",
                     )
+
+    async def _periodic_scrub(self) -> None:
+        """Run one integrity pass per ``scrub_interval`` seconds.
+
+        ``scrub_once`` mutates service state (quarantine, snapshot
+        rewrite), so it runs on the event loop like every other mutation
+        — a pass over a few hundred snapshots is milliseconds.
+        """
+        while True:
+            await asyncio.sleep(self.scrub_interval)
+            if self.service.degraded:
+                continue  # the disk is the problem; scrubbing it isn't
+            try:
+                self.service.scrub.scrub_once()
+            except Exception as exc:  # pragma: no cover - defensive
+                log.warning("background scrub pass failed (will retry): %s", exc)
+
+    async def _degraded_probe(self) -> None:
+        """Watch for a poisoned WAL; attempt recovery while degraded.
+
+        Two jobs on one cadence: (1) a group-commit failure poisons the
+        WAL on the writer thread — if no subsequent write has tripped
+        ``enter_degraded`` yet, do it here so HEALTH flips promptly;
+        (2) while degraded, call ``try_exit_degraded`` each tick — it
+        re-checks free space and rebuilds the WAL, so recovery happens
+        without operator action the moment the disk clears.
+        """
+        while True:
+            await asyncio.sleep(self.degraded_probe_interval)
+            service = self.service
+            try:
+                if not service.degraded and service.wal_failed:
+                    failure = getattr(service.wal, "failed", None)
+                    service.enter_degraded(f"WAL poisoned: {failure}")
+                elif service.degraded:
+                    service.try_exit_degraded()
+            except Exception as exc:  # pragma: no cover - defensive
+                log.warning("degraded-mode probe failed (will retry): %s", exc)
 
     # ------------------------------------------------------------------
     # Batch dispatch: coalescing + commit gating
@@ -1392,6 +1711,10 @@ class QuantileServer:
         """Shed ingest this tick?  (Reads always pass; see OverloadPolicy.)"""
         if self.draining:
             return True
+        if self.service.degraded:
+            # Read-only degraded mode (full/failing disk): every write
+            # path sheds with RETRY_LATER before it can touch the WAL.
+            return True
         if self.overload is None:
             return False
         return self.overload.should_shed(
@@ -1424,6 +1747,9 @@ class QuantileServer:
         pending: Dict[tuple, list] = {}
         #: (key, sid) -> highest frame seq staged for that group.
         pending_seq: Dict[tuple, int] = {}
+        #: (key, sid) -> mark BEFORE this tick's first admit for the
+        #: group; rollback target if the apply fails (see flush_pending).
+        pending_prev: Dict[tuple, int] = {}
         #: frame index -> per-group result list (MULTI_INGEST assembly).
         multi: Dict[int, list] = {}
         appends_before = service.wal_appends
@@ -1433,7 +1759,12 @@ class QuantileServer:
         routed = service.topology is not None or bool(service._migrations)
         shed_body = None
         if shedding:
-            reason = "draining" if self.draining else "overloaded"
+            if self.draining:
+                reason = "draining"
+            elif service.degraded:
+                reason = f"degraded ({service.degraded_reason})"
+            else:
+                reason = "overloaded"
             shed_body = wire.error_body(
                 wire.STATUS_RETRY_LATER, f"{reason}; ingest shed, retry later"
             )
@@ -1447,6 +1778,16 @@ class QuantileServer:
                         key, [v for v, _ in entries], prevalidated=True, session=session
                     )
                 except Exception as exc:
+                    if sid is not None:
+                        # admit() advanced the marks before apply; a
+                        # failed apply (full disk poisoning the WAL)
+                        # must roll them back or the client's retry of
+                        # these very frames would dedup into a lying
+                        # ack.  The pinned floor sheds later pipelined
+                        # frames so applied seqs stay gap-free.
+                        sessions.revert(
+                            sid, key, pending_prev.get(group, 0), pending_seq[group]
+                        )
                     body = self._error_response(exc)
                     for _values, resolve in entries:
                         resolve(body)
@@ -1457,14 +1798,18 @@ class QuantileServer:
                         resolve(running)
             pending.clear()
             pending_seq.clear()
+            pending_prev.clear()
 
         def stage(key: str, sid, values, resolve) -> None:
             pending.setdefault((key, sid), []).append((values, resolve))
 
-        def stage_seq(key: str, sid: str, seq: int, values, resolve) -> None:
+        def stage_seq(key: str, sid: str, seq: int, values, resolve, prev: int) -> None:
             group = (key, sid)
             if seq > pending_seq.get(group, 0):
                 pending_seq[group] = seq
+            # First staging this batch wins: ``prev`` is the mark before
+            # that admit, i.e. the last successfully applied seq.
+            pending_prev.setdefault(group, prev)
             pending.setdefault(group, []).append((values, resolve))
 
         for index, frame in enumerate(frames):
@@ -1556,6 +1901,7 @@ class QuantileServer:
                         continue
                 sid = conn.session_id
                 frozen = routed and service.migration_frozen(key)
+                prev_mark = sessions.high_water(sid, key)
                 verdict = sessions.admit(sid, key, seq, shedding=shedding or frozen)
                 if verdict is ADMIT_SHED:
                     self.shed_count += 1
@@ -1574,7 +1920,7 @@ class QuantileServer:
                             b"\x00" + wire.pack_n(result) if isinstance(result, int) else result
                         )
 
-                    stage_seq(key, sid, seq, values, resolve_seq)
+                    stage_seq(key, sid, seq, values, resolve_seq, prev_mark)
             elif op == wire.OP_SEQ_MULTI_INGEST:
                 try:
                     seq, offset = wire.unpack_seq(frame, 1)
@@ -1615,8 +1961,10 @@ class QuantileServer:
                     and any(service.migration_frozen(g_key) for g_key, _v in groups)
                 )
                 verdicts = {}
+                prev_marks = {}
                 for key, _values in groups:
                     if key not in verdicts:
+                        prev_marks[key] = sessions.high_water(sid, key)
                         verdicts[key] = sessions.admit(sid, key, seq, shedding=frame_shedding)
                 if any(v is ADMIT_SHED for v in verdicts.values()):
                     # Shedding is tick-constant and the shed floor is
@@ -1637,7 +1985,7 @@ class QuantileServer:
                     def resolve_seq_group(result, results=results, g_index=g_index):
                         results[g_index] = result
 
-                    stage_seq(key, sid, seq, values, resolve_seq_group)
+                    stage_seq(key, sid, seq, values, resolve_seq_group, prev_marks[key])
             elif op == wire.OP_WINDOW_INGEST:
                 if shedding:
                     slots[index] = shed_body
@@ -1686,6 +2034,7 @@ class QuantileServer:
                         continue
                 sid = conn.session_id
                 frozen = routed and service.migration_frozen(key)
+                prev_mark = sessions.high_water(sid, key)
                 verdict = sessions.admit(sid, key, seq, shedding=shedding or frozen)
                 if verdict is ADMIT_SHED:
                     self.shed_count += 1
@@ -1703,6 +2052,9 @@ class QuantileServer:
                             key, ts, values, session=(sid, seq)
                         )
                     except Exception as exc:
+                        # Applied immediately (no staging), so the failed
+                        # apply reverts its own admit right here.
+                        sessions.revert(sid, key, prev_mark, seq)
                         slots[index] = self._error_response(exc)
                         continue
                     slots[index] = b"\x00" + wire.pack_n(accepted)
@@ -1767,6 +2119,11 @@ class QuantileServer:
         """Map an exception to the response body ``_dispatch`` would send."""
         if isinstance(exc, KeyError):
             return wire.error_body(wire.STATUS_UNKNOWN_KEY, f"unknown key {exc.args[0]!r}")
+        if isinstance(exc, DegradedError):
+            # Degraded mode is a retriable shed, not a client mistake:
+            # the write was never applied, so RETRY_LATER (against this
+            # node once space returns, or a healthy replica) is honest.
+            return wire.error_body(wire.STATUS_RETRY_LATER, str(exc))
         if isinstance(exc, EmptySketchError):
             return wire.error_body(wire.STATUS_ERROR, str(exc))
         if isinstance(exc, ServiceError):
@@ -1997,6 +2354,11 @@ class QuantileServer:
         """
         if self.draining:
             state = wire.HEALTH_DRAINING
+        elif self.service.degraded:
+            # Degraded outranks overloaded: a full disk sheds ALL writes,
+            # not just a transient queue spike, and a balancer should
+            # route writes elsewhere until this clears.
+            state = wire.HEALTH_DEGRADED
         elif self.overload is not None and self.overload.should_shed(
             wal_queue_depth=self.service.wal_queue_depth
         ):
@@ -2004,7 +2366,10 @@ class QuantileServer:
         else:
             state = wire.HEALTH_READY
         detail = {
-            "state": ("ready", "overloaded", "draining")[state],
+            "state": ("ready", "overloaded", "draining", "degraded")[state],
+            "degraded": self.service.degraded,
+            "degraded_reason": self.service.degraded_reason,
+            "disk_free_bytes": self.service.disk_free_bytes,
             "node_id": self.service.node_id,
             "open_connections": len(self._transports),
             "max_connections": self.max_connections,
@@ -2020,6 +2385,8 @@ class QuantileServer:
             ),
             "migrating_keys": len(self.service._migrations),
         }
+        if self.service.scrub is not None:
+            detail["scrub"] = self.service.scrub.stats()
         return (
             b"\x00"
             + bytes([state])
@@ -2109,6 +2476,8 @@ class ServerThread:
         max_connections: Optional[int] = None,
         overload=_DEFAULT_OVERLOAD,
         drain_timeout: float = 10.0,
+        scrub_interval: Optional[float] = None,
+        degraded_probe_interval: float = 0.5,
     ) -> None:
         self.service = service
         self.server = QuantileServer(
@@ -2119,6 +2488,8 @@ class ServerThread:
             max_connections=max_connections,
             overload=overload,
             drain_timeout=drain_timeout,
+            scrub_interval=scrub_interval,
+            degraded_probe_interval=degraded_probe_interval,
         )
         self.loop = new_event_loop(use_uvloop)
         self._started = threading.Event()
@@ -2188,6 +2559,9 @@ def run_server(
     window_resolutions=(60.0,),
     window_retention: int = 64,
     window_lateness: float = 0.0,
+    scrub_interval: Optional[float] = 300.0,
+    min_free_bytes: int = 8 << 20,
+    io_layer=None,
 ) -> int:
     """Blocking entry point for ``repro-quantiles serve``.
 
@@ -2220,6 +2594,8 @@ def run_server(
         window_resolutions=window_resolutions,
         window_retention=window_retention,
         window_lateness=window_lateness,
+        min_free_bytes=min_free_bytes,
+        io_layer=io_layer,
     )
     server = QuantileServer(
         service,
@@ -2228,6 +2604,7 @@ def run_server(
         snapshot_interval=snapshot_interval,
         max_connections=max_connections,
         drain_timeout=drain_timeout,
+        scrub_interval=scrub_interval if data_dir is not None else None,
     )
     drain_requested = False
 

@@ -185,6 +185,20 @@ class SketchStore:
         if key not in self._entries:
             self._spilled[key] = True
 
+    def forget_spilled(self, key: str) -> bool:
+        """Drop a spilled key from the inventory (the quarantine path).
+
+        When the key's only copy — its snapshot file — fails its
+        integrity check, the file is quarantined and the key must stop
+        being advertised: after this call the key is simply *unknown*
+        (``KeyError`` → ``UNKNOWN_KEY`` on the wire), which is exactly
+        the state cluster ``repair()`` heals exactly (FETCH + MERGE into
+        empty).  Returns ``False`` if the key was resident or unknown —
+        a resident key needs no forgetting, its live sketch is the
+        authoritative copy.
+        """
+        return self._spilled.pop(key, None) is not None
+
     @property
     def resident_keys(self) -> List[str]:
         return list(self._entries)

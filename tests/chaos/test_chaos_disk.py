@@ -1,0 +1,238 @@
+"""Disk chaos: bit rot and disk-full against live servers.
+
+The acceptance scenarios of the storage-fault plane, driven end to end
+through real sockets with the deterministic fault layer
+(:class:`~repro.service.faultdisk.FaultyDisk`) beneath the WAL and
+snapshot stores:
+
+* **Bit rot on a replica** — a spilled key's only local copy is
+  bit-flipped; the scrub quarantines the file and forgets the key; the
+  cluster keeps answering (reads fail over, zero acked-write loss) and
+  an anti-entropy ``repair()`` re-fetches the payload from the healthy
+  replica **byte-identically**.
+* **ENOSPC mid-ingest** — the disk fills while an exactly-once stream
+  is in flight.  The server never crashes and never acks a lost write:
+  it flips into degraded read-only mode (``HEALTH`` reports
+  ``degraded``, ingest sheds with ``RETRY_LATER``, reads keep
+  serving), and when space returns the probe exits degraded mode and
+  the stream completes with every value counted exactly once — a
+  post-crash restart agrees.
+
+Every scenario runs with a fixed seed and is repeated 3x — same seed,
+same fault schedule, same outcome — so a pass proves determinism, not
+luck.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterClient, ClusterMap, repair
+from repro.service.faultdisk import FaultyDisk
+from repro.service.resilience import RetryPolicy
+from repro.service.server import QuantileService, ServerThread
+from repro.service.client import QuantileClient
+from repro.service.store import spill_filename
+
+pytestmark = pytest.mark.chaos
+
+SEED = 20210629  # the paper's conference date; fixed across repeats
+
+
+def _policy(**overrides):
+    base = dict(timeout=1.0, retries=3, backoff=0.02, backoff_max=0.1, seed=SEED)
+    base.update(overrides)
+    return RetryPolicy(**base)
+
+
+def _wait_until(predicate, *, timeout: float = 5.0, interval: float = 0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# Bit rot: quarantine -> forget -> cluster repair, byte-identical
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_bit_rot_quarantined_scrubbed_and_repaired_byte_identical(tmp_path, repeat):
+    """R=2, two nodes; one node's spilled snapshot rots on disk.
+
+    The scrub finds the rot against the FRS1 CRC, quarantines the file,
+    and forgets the key (its only local copy was the rotten file).  No
+    acked write is ever unanswerable — reads fail over to the healthy
+    replica — and one ``repair()`` pass re-fetches the authoritative
+    payload and restores the victim replica **byte-identically**
+    (merging into an empty key is a copy).
+    """
+    rng = np.random.default_rng(SEED)  # same seed every repeat
+    keys = [f"k{i}" for i in range(5)]
+    streams = {key: rng.lognormal(0.0, 1.0, 2_500) for key in keys}
+    # Small memory budgets force LRU spill, so some keys' only local
+    # copy is their snapshot file — the bit-rot target.
+    services = {
+        nid: QuantileService(tmp_path / nid, node_id=nid, memory_budget=2_000)
+        for nid in ("a", "b")
+    }
+    nodes = {
+        nid: ServerThread(service, snapshot_interval=None)
+        for nid, service in services.items()
+    }
+    ring = ClusterMap(
+        [(nid, "127.0.0.1", t.port) for nid, t in nodes.items()], replication=2
+    )
+    client = ClusterClient(ring, retry=_policy(), probe_interval=0.05)
+    try:
+        for key, stream in streams.items():
+            client.ingest_stream(key, stream, frame_values=500)
+
+        victim_service = services["a"]
+        spilled = victim_service.store.spilled_keys
+        assert spilled, "memory budget did not spill — workload too small"
+        victim = spilled[0]
+        healthy_n, healthy_payload = client.node_client("b").fetch(victim)
+        assert healthy_n == 2_500
+
+        # Rot: flip one bit in the middle of the spilled snapshot.
+        snap = tmp_path / "a" / "snapshots" / spill_filename(victim)
+        data = bytearray(snap.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        snap.write_bytes(bytes(data))
+
+        # The scrub pass finds it, quarantines, forgets.
+        report = victim_service.scrub.scrub_once()
+        assert victim in report["forgotten_keys"]
+        assert victim in victim_service.quarantined_keys
+        quarantine = tmp_path / "a" / "quarantine"
+        assert len(list(quarantine.iterdir())) == 1
+
+        # Zero acked-write loss: every key (the victim included) still
+        # answers with its full count — reads fail over past the
+        # forgotten replica.
+        for key, stream in streams.items():
+            result = client.query(key, [0.5, 0.99])
+            assert result.n == len(stream)
+            sorted_stream = np.sort(stream)
+            for fraction, estimate in zip([0.5, 0.99], result.quantiles):
+                true_rank = np.searchsorted(sorted_stream, estimate, side="right")
+                assert abs(true_rank / len(stream) - fraction) <= result.error_bound
+
+        # One anti-entropy pass re-fetches the payload from the healthy
+        # replica.  digest=True deep-checks the healed pair afterwards.
+        heal_report = repair(client, keys)
+        assert heal_report.healed >= 1, heal_report
+        assert repair(client, [victim], digest=True).clean
+
+        # Byte-identical: the healed replica's payload IS the healthy
+        # replica's payload, bit for bit.
+        healed_n, healed_payload = client.node_client("a").fetch(victim)
+        assert healed_n == healthy_n
+        assert healed_payload == healthy_payload
+    finally:
+        client.close()
+        for thread in nodes.values():
+            thread.stop(snapshot=False)
+
+
+# ----------------------------------------------------------------------
+# ENOSPC mid-ingest: degrade read-only, recover when space returns
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("repeat", range(3))
+def test_enospc_mid_ingest_degrades_then_fully_recovers(tmp_path, repeat):
+    """The disk fills mid-stream; the server degrades instead of dying.
+
+    The in-flight exactly-once stream sees aborted connections and
+    ``RETRY_LATER`` sheds — never a lying OK — while reads and HEALTH
+    keep serving (state ``degraded``, ``disk_free_bytes`` 0).  Once
+    space returns, the degraded probe heals the WAL, checkpoints, and
+    ingest resumes; the stream completes with every value counted
+    exactly once, and a crash+restart recovers the same count.
+    """
+    rng = np.random.default_rng(SEED)  # same seed every repeat
+    phase1 = rng.lognormal(0.0, 1.0, 3_000)
+    # phase2 must outlast the pipelined window (8 frames x 512 values):
+    # frames already in flight when the commit fails are applied with
+    # their marks advanced, so the replay acks them as duplicates — only
+    # frames *beyond* the window are sent fresh while degraded and can
+    # be observed shedding with RETRY_LATER.
+    phase2 = rng.lognormal(0.0, 1.0, 20_000)
+    disk = FaultyDisk()
+    service = QuantileService(
+        tmp_path, k=32, io_layer=disk, group_commit=True, min_free_bytes=1 << 20
+    )
+    running = ServerThread(
+        service, snapshot_interval=None, degraded_probe_interval=0.05
+    )
+    writer = QuantileClient(
+        port=running.port, retry=_policy(retries=60, budget=4_000)
+    )
+    watcher = QuantileClient(port=running.port, retry=_policy())
+    try:
+        assert writer.exactly_once
+        assert writer.ingest_stream("lat", phase1, frame_values=512) == len(phase1)
+
+        disk.fill()
+        outcome = {}
+
+        def pump():
+            outcome["n"] = writer.ingest_stream(
+                "lat", phase2, frame_values=512, window=8
+            )
+
+        thread = threading.Thread(target=pump, daemon=True)
+        thread.start()
+
+        # The first failed group commit flips the server degraded (the
+        # abort path and the probe both lead there).  HEALTH reports it
+        # while reads keep being answered.
+        assert _wait_until(lambda: service.degraded), "server never degraded"
+        detail = watcher.health()
+        assert detail["state"] in ("degraded", "overloaded")  # probe races tick
+        assert _wait_until(lambda: watcher.health()["state"] == "degraded")
+        detail = watcher.health()
+        assert detail["degraded"] is True
+        assert detail["disk_free_bytes"] == 0
+        assert "scrub" in detail
+        assert watcher.query("lat", [0.5]).n >= len(phase1)  # reads serve
+        stats = watcher.stats()
+        assert stats["degraded"] is True
+        assert stats["degraded_entries"] >= 1
+
+        # Hold the outage until the writer's replay has provably been
+        # shed with RETRY_LATER at least once — the "never a lying ack"
+        # half of the contract — then space returns: the probe exits
+        # degraded mode on its own and the stream finishes, every
+        # retried frame applied or deduped exactly once.
+        assert _wait_until(
+            lambda: running.server.shed_count > 0, timeout=10.0
+        ), "no RETRY_LATER shed observed during the outage"
+        disk.free()
+        assert _wait_until(lambda: not service.degraded, timeout=10.0)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "stream never completed after recovery"
+        assert outcome["n"] == len(phase1) + len(phase2)
+        assert watcher.health()["state"] == "ready"
+
+        total = watcher.query("lat", [0.5]).n
+        assert total == len(phase1) + len(phase2)
+    finally:
+        writer.close()
+        watcher.close()
+        running.stop(snapshot=False)  # crash: recovery must agree alone
+
+    recovered = QuantileService(tmp_path, k=32)
+    try:
+        assert recovered.current_n("lat") == len(phase1) + len(phase2)
+    finally:
+        recovered.close(snapshot=False)

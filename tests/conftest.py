@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import bisect
+import os
 import random
 
 import pytest
@@ -45,3 +46,18 @@ def pytest_configure(config):
     )
     # The `chaos` marker is registered in pytest.ini next to the
     # chaos-smoke CI job that selects it.
+
+    if os.environ.get("REPRO_TEST_FSYNC"):
+        # CI matrix leg: run the whole suite with fsync-on durability as
+        # the default, so the os.fsync paths (WAL commit, group-commit
+        # barrier, snapshot save) get tier-1 coverage too.  Tests that
+        # pass fsync= explicitly keep their choice.
+        from repro.service.server import QuantileService
+
+        original_init = QuantileService.__init__
+
+        def fsync_default_init(self, *args, **kwargs):
+            kwargs.setdefault("fsync", True)
+            original_init(self, *args, **kwargs)
+
+        QuantileService.__init__ = fsync_default_init
